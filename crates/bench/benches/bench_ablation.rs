@@ -1,0 +1,121 @@
+//! Ablations of the checker's design choices (DESIGN.md §6):
+//!
+//! * failure-state **memoization** on/off in the view search,
+//! * **dead-state pruning** on/off,
+//! * **parallel vs sequential** classification sweeps (rayon).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
+use smc_core::checker::CheckConfig;
+use smc_core::histgen::{all_histories, GenParams};
+use smc_core::lattice::classify;
+use smc_core::models;
+use smc_core::orders::program_order;
+use smc_core::view::{
+    find_legal_extension_with, LegalityMode, SearchOptions, ViewProblem,
+};
+use smc_history::{History, HistoryBuilder};
+use smc_relation::BitSet;
+use std::cell::Cell;
+
+/// A hard UNSAT instance for the view search: widened store buffering
+/// under a single global view (the SC refutation path).
+fn wide_sb(k: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    for i in 0..k {
+        b.write("p", &format!("x{i}"), 1);
+    }
+    b.read("p", "y0", 0);
+    for i in 0..k {
+        b.write("q", &format!("y{i}"), 1);
+    }
+    b.read("q", "x0", 0);
+    b.build()
+}
+
+fn search(h: &History, opts: SearchOptions) -> u64 {
+    let po = program_order(h);
+    let p = ViewProblem {
+        history: h,
+        ops: BitSet::full(h.num_ops()),
+        constraints: &po,
+        legality: LegalityMode::ByValue,
+    };
+    let budget = Cell::new(u64::MAX);
+    let out = find_legal_extension_with(&p, &budget, opts);
+    assert!(matches!(out, smc_core::view::SearchOutcome::NotFound));
+    u64::MAX - budget.get() // nodes spent
+}
+
+fn bench_search_options(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/view_search_unsat");
+    g.sample_size(10);
+    let variants = [
+        ("full", SearchOptions::default()),
+        (
+            "no_memo",
+            SearchOptions {
+                memoize: false,
+                dead_prune: true,
+            },
+        ),
+        (
+            "no_dead_prune",
+            SearchOptions {
+                memoize: true,
+                dead_prune: false,
+            },
+        ),
+        (
+            "neither",
+            SearchOptions {
+                memoize: false,
+                dead_prune: false,
+            },
+        ),
+    ];
+    for &k in &[4usize, 6] {
+        let h = wide_sb(k);
+        for (name, opts) in variants {
+            g.bench_function(BenchmarkId::new(name, h.num_ops()), |b| {
+                b.iter(|| black_box(search(&h, opts)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let corpus = all_histories(&GenParams {
+        procs: 2,
+        ops_per_proc: 2,
+        locs: 2,
+        values: 1,
+    });
+    let models = models::figure5_models();
+    let cfg = CheckConfig::default();
+    let mut g = c.benchmark_group("ablation/lattice_sweep_1296_histories");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let n: usize = corpus
+                .iter()
+                .map(|h| classify(h, &models, &cfg).allowed.len())
+                .sum();
+            black_box(n)
+        })
+    });
+    g.bench_function("rayon_parallel", |b| {
+        b.iter(|| {
+            let n: usize = corpus
+                .par_iter()
+                .map(|h| classify(h, &models, &cfg).allowed.len())
+                .sum();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search_options, bench_parallel_sweep);
+criterion_main!(benches);

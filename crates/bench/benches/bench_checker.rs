@@ -1,0 +1,131 @@
+//! Checker cost per model and its growth with history size — the paper
+//! reports no timings (it is a formal paper), so these benches establish
+//! the decision procedure's practical envelope on litmus-scale inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use smc_core::checker::{check_with_config, CheckConfig};
+use smc_core::models;
+use smc_history::litmus::parse_history;
+use smc_history::{History, HistoryBuilder};
+
+fn figures() -> Vec<(&'static str, History)> {
+    vec![
+        (
+            "fig1",
+            parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap(),
+        ),
+        (
+            "fig2",
+            parse_history("p: w(x)1\nq: r(x)1 w(y)1\nr: r(y)1 r(x)0").unwrap(),
+        ),
+        (
+            "fig3",
+            parse_history("p: w(x)1 r(x)1 r(x)2\nq: w(x)2 r(x)2 r(x)1").unwrap(),
+        ),
+        (
+            "fig4",
+            parse_history(
+                "p: w(x)1 w(y)1\nq: r(y)1 w(z)1 r(x)2\nr: w(x)2 r(x)1 r(z)1 r(y)1",
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = CheckConfig::default();
+    let models = [
+        models::sc(),
+        models::tso(),
+        models::pc(),
+        models::causal(),
+        models::pram(),
+    ];
+    let mut g = c.benchmark_group("checker/figures");
+    for (name, h) in figures() {
+        for m in &models {
+            g.bench_function(BenchmarkId::new(m.name.clone(), name), |b| {
+                b.iter(|| black_box(check_with_config(&h, m, &cfg)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Widened store buffering: each processor writes `k` distinct locations
+/// then reads the other side's first — SC-forbidden, TSO-allowed, so the
+/// SC verdict is an expensive refutation and TSO an expensive search.
+fn wide_sb(k: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    for i in 0..k {
+        b.write("p", &format!("x{i}"), 1);
+    }
+    b.read("p", "y0", 0);
+    for i in 0..k {
+        b.write("q", &format!("y{i}"), 1);
+    }
+    b.read("q", "x0", 0);
+    b.build()
+}
+
+/// A message chain through `n` processors: causality-heavy and allowed by
+/// every model, so the checker must construct real witnesses.
+fn chain(n: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    for i in 0..n {
+        let p = format!("p{i}");
+        if i > 0 {
+            b.read(&p, &format!("c{}", i - 1), 1);
+        }
+        b.write(&p, &format!("c{i}"), 1);
+    }
+    b.build()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = CheckConfig::default();
+    let mut g = c.benchmark_group("checker/scaling");
+    g.sample_size(20);
+    for &k in &[2usize, 4, 6] {
+        let h = wide_sb(k);
+        let ops = h.num_ops();
+        g.bench_with_input(BenchmarkId::new("SC_refute_wide_sb", ops), &h, |b, h| {
+            b.iter(|| black_box(check_with_config(h, &models::sc(), &cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("TSO_admit_wide_sb", ops), &h, |b, h| {
+            b.iter(|| black_box(check_with_config(h, &models::tso(), &cfg)))
+        });
+    }
+    for &n in &[3usize, 5, 7] {
+        let h = chain(n);
+        let ops = h.num_ops();
+        g.bench_with_input(BenchmarkId::new("Causal_admit_chain", ops), &h, |b, h| {
+            b.iter(|| black_box(check_with_config(h, &models::causal(), &cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("PC_admit_chain", ops), &h, |b, h| {
+            b.iter(|| black_box(check_with_config(h, &models::pc(), &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rc(c: &mut Criterion) {
+    let cfg = CheckConfig::default();
+    let s5 = parse_history(
+        "p1: wl(choosing[0])1 rl(number[1])0 wl(number[0])1 wl(choosing[0])0 rl(choosing[1])0 rl(number[1])0\n\
+         p2: wl(choosing[1])1 rl(number[0])0 wl(number[1])1 wl(choosing[1])0 rl(choosing[0])0 rl(number[0])0",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("checker/rc_section5");
+    g.sample_size(10);
+    g.bench_function("RCpc_admit_bakery_s5", |b| {
+        b.iter(|| black_box(check_with_config(&s5, &models::rc_pc(), &cfg)))
+    });
+    g.bench_function("RCsc_refute_bakery_s5", |b| {
+        b.iter(|| black_box(check_with_config(&s5, &models::rc_sc(), &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_scaling, bench_rc);
+criterion_main!(benches);

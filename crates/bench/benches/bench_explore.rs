@@ -1,0 +1,75 @@
+//! Exhaustive-exploration growth: states expanded when enumerating every
+//! schedule of the store-buffering shape, as the per-thread operation
+//! count grows — the cost profile of the model-checking substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use smc_sim::explore::{explore, ExploreConfig};
+use smc_sim::mem::MemorySystem;
+use smc_sim::workload::{Access, OpScript};
+use smc_sim::{PramMem, ScMem, TsoMem};
+
+/// `k` writes then one read per thread, two threads, disjoint locations.
+fn sb_wide(k: usize) -> OpScript {
+    let t0: Vec<Access> = (0..k)
+        .map(|i| Access::write(i as u32, 1))
+        .chain([Access::read(k as u32)])
+        .collect();
+    let t1: Vec<Access> = (0..k)
+        .map(|i| Access::write((k + i) as u32, 1))
+        .chain([Access::read(0)])
+        .collect();
+    OpScript::new(vec![t0, t1], 2 * k)
+}
+
+fn states<M: MemorySystem>(mem: M, script: &OpScript) -> usize {
+    let out = explore(&mem, script, &ExploreConfig::default());
+    assert!(!out.truncated);
+    out.states_explored
+}
+
+fn bench_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore/sb_wide");
+    g.sample_size(10);
+    for &k in &[1usize, 2, 3] {
+        let script = sb_wide(k);
+        g.bench_with_input(BenchmarkId::new("SC", k), &script, |b, s| {
+            b.iter(|| black_box(states(ScMem::new(2, 2 * k), s)))
+        });
+        g.bench_with_input(BenchmarkId::new("TSO", k), &script, |b, s| {
+            b.iter(|| black_box(states(TsoMem::new(2, 2 * k), s)))
+        });
+        g.bench_with_input(BenchmarkId::new("PRAM", k), &script, |b, s| {
+            b.iter(|| black_box(states(PramMem::new(2, 2 * k), s)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_history_enumeration(c: &mut Criterion) {
+    // The fig3 exchange shape: exhaustive history enumeration per model.
+    let script = OpScript::new(
+        vec![
+            vec![Access::write(0, 1), Access::read(0), Access::read(0)],
+            vec![Access::write(0, 2), Access::read(0), Access::read(0)],
+        ],
+        1,
+    );
+    let mut g = c.benchmark_group("explore/fig3_histories");
+    g.sample_size(10);
+    g.bench_function("PRAM", |b| {
+        b.iter(|| {
+            let out = explore(&PramMem::new(2, 1), &script, &ExploreConfig::default());
+            black_box(out.histories.len())
+        })
+    });
+    g.bench_function("TSO", |b| {
+        b.iter(|| {
+            let out = explore(&TsoMem::new(2, 1), &script, &ExploreConfig::default());
+            black_box(out.histories.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_growth, bench_history_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Relation-engine microbenchmarks: transitive closure, topological
+//! sorting, and linear-extension enumeration — the primitives under every
+//! checker query.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smc_relation::{linext, BitSet, Relation};
+
+/// A random DAG: edges only from lower to higher indices, density `p`.
+fn random_dag(n: usize, p: f64, seed: u64) -> Relation {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut r = Relation::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool(p) {
+                r.add(a, b);
+            }
+        }
+    }
+    r
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relation/transitive_closure");
+    for &n in &[16usize, 64, 128, 256] {
+        let r = random_dag(n, 0.05, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
+            b.iter(|| black_box(r.closed()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_topo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relation/topo_sort");
+    for &n in &[64usize, 256] {
+        let r = random_dag(n, 0.05, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
+            b.iter(|| black_box(r.topo_sort()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_linext(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relation/count_linear_extensions");
+    // Antichain: the worst case, n! extensions.
+    for &n in &[6usize, 7, 8] {
+        let r = Relation::new(n);
+        let full = BitSet::full(n);
+        g.bench_with_input(BenchmarkId::new("antichain", n), &n, |b, _| {
+            b.iter(|| black_box(linext::count_linear_extensions(&r, &full, usize::MAX)))
+        });
+    }
+    // Two chains of n/2: C(n, n/2) extensions — the store-order
+    // enumeration shape (two processors' writes).
+    for &n in &[8usize, 12] {
+        let mut r = Relation::new(n);
+        r.add_total_order(&(0..n / 2).collect::<Vec<_>>());
+        r.add_total_order(&(n / 2..n).collect::<Vec<_>>());
+        let full = BitSet::full(n);
+        g.bench_with_input(BenchmarkId::new("two_chains", n), &n, |b, _| {
+            b.iter(|| black_box(linext::count_linear_extensions(&r, &full, usize::MAX)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_restrict(c: &mut Criterion) {
+    let r = random_dag(256, 0.05, 3);
+    let keep = BitSet::from_iter(256, (0..256).filter(|i| i % 2 == 0));
+    c.bench_function("relation/restrict_half_of_256", |b| {
+        b.iter(|| black_box(r.restrict(&keep)))
+    });
+}
+
+criterion_group!(benches, bench_closure, bench_topo, bench_linext, bench_restrict);
+criterion_main!(benches);

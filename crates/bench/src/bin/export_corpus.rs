@@ -1,0 +1,11 @@
+//! Writes the embedded litmus corpus to `litmus/paper.litmus` so the
+//! `smc` CLI can consume it from disk.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "litmus/paper.litmus".into());
+    std::fs::write(&path, smc_programs::corpus::SUITE_TEXT.trim_start())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,0 +1,54 @@
+//! Regenerates Figure 1: the store-buffering execution that TSO admits
+//! and SC forbids, with witness processor views in the paper's notation,
+//! plus the operational confirmation that the TSO store-buffer machine
+//! actually reaches it.
+
+use smc_bench::{print_history, report_check};
+use smc_core::models;
+use smc_history::litmus::parse_history;
+use smc_sim::explore::{explore, ExploreConfig};
+use smc_sim::workload::{Access, OpScript};
+use smc_sim::{ScMem, TsoMem};
+
+fn main() {
+    let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+    println!("Figure 1 — TSO execution history:");
+    print_history(&h);
+    println!();
+
+    println!("Declarative checker (paper Section 3.2):");
+    let sc = report_check(&h, &models::sc(), false);
+    let tso = report_check(&h, &models::tso(), true);
+    assert!(sc.is_disallowed() && tso.is_allowed());
+    println!();
+
+    // Operational confirmation: exhaustively enumerate every history the
+    // store-buffer machine can produce for this program shape.
+    let script = OpScript::new(
+        vec![
+            vec![Access::write(0, 1), Access::read(1)],
+            vec![Access::write(1, 1), Access::read(0)],
+        ],
+        2,
+    );
+    let cfg = ExploreConfig::default();
+    let sc_out = explore(&ScMem::new(2, 2), &script, &cfg);
+    let tso_out = explore(&TsoMem::new(2, 2), &script, &cfg);
+    println!("Operational machines, exhaustive over all schedules:");
+    println!(
+        "  SC  atomic memory    : {} distinct histories ({} states)",
+        sc_out.histories.len(),
+        sc_out.states_explored
+    );
+    println!(
+        "  TSO store buffers    : {} distinct histories ({} states)",
+        tso_out.histories.len(),
+        tso_out.states_explored
+    );
+    let fig1 = "p0: w(x0)1 r(x1)0\np1: w(x1)1 r(x0)0\n";
+    let sc_reaches = sc_out.histories.iter().any(|h| h.to_string() == fig1);
+    let tso_reaches = tso_out.histories.iter().any(|h| h.to_string() == fig1);
+    println!("  Figure 1 outcome reachable:  SC: {sc_reaches}   TSO: {tso_reaches}");
+    assert!(!sc_reaches && tso_reaches);
+    println!("\nFigure 1 reproduced: SC forbids, TSO admits (both declaratively and operationally).");
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 3: the write exchange PRAM admits and TSO forbids,
+//! with the operational PRAM machine reaching it.
+
+use smc_bench::{print_history, report_check};
+use smc_core::models;
+use smc_history::litmus::parse_history;
+use smc_sim::explore::{explore, ExploreConfig};
+use smc_sim::workload::{Access, OpScript};
+use smc_sim::PramMem;
+
+fn main() {
+    let h = parse_history(
+        "p: w(x)1 r(x)1 r(x)2\n\
+         q: w(x)2 r(x)2 r(x)1",
+    )
+    .unwrap();
+    println!("Figure 3 — a PRAM history that is not allowed by TSO:");
+    print_history(&h);
+    println!();
+
+    println!("Declarative checker (paper Section 3.5):");
+    let pram = report_check(&h, &models::pram(), true);
+    let tso = report_check(&h, &models::tso(), false);
+    let pc = report_check(&h, &models::pc(), false);
+    let causal = report_check(&h, &models::causal(), false);
+    assert!(pram.is_allowed() && tso.is_disallowed());
+    assert!(pc.is_disallowed(), "coherence forbids the exchange");
+    assert!(causal.is_allowed(), "causal memory has no coherence");
+    println!();
+
+    // Operational confirmation on the replica machine.
+    let script = OpScript::new(
+        vec![
+            vec![Access::write(0, 1), Access::read(0), Access::read(0)],
+            vec![Access::write(0, 2), Access::read(0), Access::read(0)],
+        ],
+        1,
+    );
+    let out = explore(&PramMem::new(2, 1), &script, &ExploreConfig::default());
+    let fig3 = "p0: w(x0)1 r(x0)1 r(x0)2\np1: w(x0)2 r(x0)2 r(x0)1\n";
+    let reached = out.histories.iter().any(|h| h.to_string() == fig3);
+    println!(
+        "Operational PRAM machine: {} distinct histories over {} states; \
+         Figure 3 outcome reachable: {reached}",
+        out.histories.len(),
+        out.states_explored
+    );
+    assert!(reached);
+    println!("\nFigure 3 reproduced: PRAM (and causal) admit the exchange; TSO and PC forbid it.");
+}

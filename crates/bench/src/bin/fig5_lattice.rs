@@ -1,0 +1,141 @@
+//! Regenerates Figure 5: the inclusion lattice of SC, TSO, PC, causal
+//! and PRAM — computed *empirically* by classifying every history in a
+//! bounded universe against every model and comparing the admitted sets.
+//!
+//! Usage: `fig5_lattice [--exhaustive]`
+//!
+//! The default corpus is the litmus suite plus the 2-processor ×
+//! 2-operation universe; `--exhaustive` enlarges the universe (slower,
+//! classifies thousands of histories; classification is parallelized
+//! with rayon).
+
+use rayon::prelude::*;
+use smc_core::checker::CheckConfig;
+use smc_core::histgen::{all_histories, GenParams};
+use smc_core::lattice::{classify, compare_classified, LatticeResult};
+use smc_core::models;
+use smc_history::History;
+use smc_programs::corpus::litmus_suite;
+
+fn main() {
+    let exhaustive = std::env::args().any(|a| a == "--exhaustive");
+    let models = models::figure5_models();
+    let cfg = CheckConfig::default();
+
+    let mut corpus: Vec<History> = litmus_suite().into_iter().map(|t| t.history).collect();
+    let params = if exhaustive {
+        GenParams {
+            procs: 2,
+            ops_per_proc: 3,
+            locs: 2,
+            values: 1,
+        }
+    } else {
+        GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        }
+    };
+    println!(
+        "Corpus: {} litmus tests + the {}-history universe ({} procs × {} ops, {} locs, values ≤ {})",
+        corpus.len(),
+        params.universe_size(),
+        params.procs,
+        params.ops_per_proc,
+        params.locs,
+        params.values
+    );
+    corpus.extend(all_histories(&params));
+
+    let classifications: Vec<_> = corpus
+        .par_iter()
+        .map(|h| classify(h, &models, &cfg))
+        .collect();
+    let result = compare_classified(&models, classifications);
+
+    print_lattice(&result, &corpus);
+
+    println!("\nHasse diagram (covering edges of 'strictly stronger', Figure 5):");
+    let classes = result.equivalence_classes();
+    for (a, b) in result.hasse_edges() {
+        println!(
+            "  {}  ⊂  {}",
+            result.class_name(&classes[a]),
+            result.class_name(&classes[b])
+        );
+    }
+
+    // The paper's Figure 5 claims, asserted:
+    let idx = |name: &str| {
+        result
+            .model_names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("missing model {name}"))
+    };
+    let (sc, tso, pc, causal, pram) = (
+        idx("SC"),
+        idx("TSO"),
+        idx("PC"),
+        idx("Causal"),
+        idx("PRAM"),
+    );
+    assert!(result.strictly_stronger(sc, tso), "SC ⊂ TSO");
+    assert!(result.strictly_stronger(tso, pc), "TSO ⊂ PC");
+    assert!(result.strictly_stronger(tso, causal), "TSO ⊂ Causal");
+    assert!(result.strictly_stronger(pc, pram), "PC ⊂ PRAM");
+    assert!(result.strictly_stronger(causal, pram), "Causal ⊂ PRAM");
+    assert!(result.incomparable(pc, causal), "PC ∥ Causal");
+    println!(
+        "\nFigure 5 reproduced: SC ⊂ TSO ⊂ {{PC, Causal}} ⊂ PRAM with PC and causal incomparable."
+    );
+}
+
+fn print_lattice(result: &LatticeResult, corpus: &[History]) {
+    let m = result.model_names.len();
+    println!(
+        "\nAdmitted histories per model (of {} decided):",
+        corpus.len() - result.undecided
+    );
+    for (name, count) in result.model_names.iter().zip(&result.counts) {
+        println!("  {name:<8} {count}");
+    }
+    println!("\nInclusion matrix (row ⊆ column?):");
+    print!("{:<8}", "");
+    for name in &result.model_names {
+        print!(" {name:>7}");
+    }
+    println!();
+    for a in 0..m {
+        print!("{:<8}", result.model_names[a]);
+        for b in 0..m {
+            let cell = if a == b {
+                "="
+            } else if result.inclusion[a][b] {
+                "⊆"
+            } else {
+                "⊄"
+            };
+            print!(" {cell:>7}");
+        }
+        println!();
+    }
+    println!("\nSeparating witnesses (history admitted by COLUMN but not ROW):");
+    for a in 0..m {
+        for b in 0..m {
+            if a != b {
+                if let Some(hi) = result.separating[a][b] {
+                    println!(
+                        "  {} admits, {} forbids:",
+                        result.model_names[b], result.model_names[a]
+                    );
+                    for line in corpus[hi].to_string().lines() {
+                        println!("      {line}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The corpus × model classification matrix: every litmus test in the
+//! workspace corpus (the paper's Figures 1–4, classic shapes, the
+//! Section 5 Bakery execution) checked against every model. Expectations
+//! embedded in the corpus are asserted; a mismatch aborts.
+
+use smc_bench::{print_matrix, verdict_cell};
+use smc_core::checker::{check_with_config, CheckConfig};
+use smc_core::models;
+use smc_programs::corpus::litmus_suite;
+
+fn main() {
+    let models = models::all_models();
+    let cfg = CheckConfig::default();
+    let suite = litmus_suite();
+
+    let mut rows = Vec::new();
+    let mut mismatches = Vec::new();
+    for t in &suite {
+        let verdicts: Vec<_> = models
+            .iter()
+            .map(|m| check_with_config(&t.history, m, &cfg))
+            .collect();
+        for (m, v) in models.iter().zip(&verdicts) {
+            if let Some(expected) = t.expectation(&m.name) {
+                if v.decided() != Some(expected) {
+                    mismatches.push(format!(
+                        "{} × {}: expected {}, checker says {}",
+                        t.name,
+                        m.name,
+                        if expected { "yes" } else { "no" },
+                        verdict_cell(v)
+                    ));
+                }
+            }
+        }
+        rows.push((t.name.clone(), verdicts));
+    }
+
+    print_matrix(&rows, &models);
+    println!();
+    if mismatches.is_empty() {
+        println!(
+            "All {} embedded expectations match the checker.",
+            suite
+                .iter()
+                .map(|t| t.expectations.len())
+                .sum::<usize>()
+        );
+    } else {
+        for m in &mismatches {
+            eprintln!("MISMATCH: {m}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,376 @@
+//! Subcommand implementations for the `smc` binary.
+
+use smc_core::checker::{check_with_config, format_view, CheckConfig, Verdict};
+use smc_core::models;
+use smc_core::spec::ModelSpec;
+use smc_history::litmus::{parse_history, parse_suite, LitmusTest};
+use smc_history::{History, Label, ProcId};
+use smc_programs::bakery::bakery;
+use smc_programs::interp::ProgramWorkload;
+use smc_sim::explore::{explore, ExploreConfig};
+use smc_sim::mem::MemorySystem;
+use smc_sim::sched::run_random;
+use smc_sim::workload::{Access, OpScript};
+use smc_sim::{CausalMem, CoherentMem, HybridMem, PcMem, PramMem, RcMem, ScMem, SyncMode, TsoMem, WoMem};
+use std::process::ExitCode;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  smc check <file> [--model NAME]   check a litmus history or suite
+  smc matrix <file>                 classification matrix for a suite
+  smc explore <file> --memory NAME  enumerate every history a machine
+                                    produces for the file's program shape
+  smc bakery [--memory NAME] [--n N] [--runs R] [--show-program]
+                                    run the Bakery algorithm (default rcpc)
+  smc models                        list available models and machines
+
+memories for --memory: sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybrid";
+
+/// Dispatch on the first argument.
+pub fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("matrix") => cmd_matrix(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("bakery") => cmd_bakery(&args[1..]),
+        Some("models") => cmd_models(),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("missing subcommand".into()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// Parse a file as a suite if it contains `test` blocks, else as a bare
+/// history wrapped in an anonymous test.
+fn load(path: &str) -> Result<Vec<LitmusTest>, String> {
+    let text = read_file(path)?;
+    let looks_like_suite = text
+        .lines()
+        .map(str::trim_start)
+        .any(|l| l.starts_with("test"));
+    if looks_like_suite {
+        parse_suite(&text).map_err(|e| e.to_string())
+    } else {
+        let history = parse_history(&text).map_err(|e| e.to_string())?;
+        Ok(vec![LitmusTest {
+            name: path.to_owned(),
+            description: String::new(),
+            history,
+            expectations: Vec::new(),
+        }])
+    }
+}
+
+fn resolve_models(selector: Option<&str>) -> Result<Vec<ModelSpec>, String> {
+    match selector {
+        None | Some("all") => Ok(models::all_models()),
+        Some(name) => models::by_name(name)
+            .map(|m| vec![m])
+            .ok_or_else(|| format!("unknown model `{name}` (try `smc models`)")),
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("check: missing <file>")?;
+    let model_list = resolve_models(flag_value(args, "--model"))?;
+    let cfg = CheckConfig::default();
+    let mut failures = 0;
+    for t in load(path)? {
+        println!("== {} ==", t.name);
+        for line in t.history.to_string().lines() {
+            println!("    {line}");
+        }
+        for m in &model_list {
+            let v = check_with_config(&t.history, m, &cfg);
+            let cell = match &v {
+                Verdict::Allowed(_) => "allowed".to_owned(),
+                Verdict::Disallowed => "forbidden".to_owned(),
+                Verdict::Exhausted => "undecided (budget)".to_owned(),
+                Verdict::Unsupported(e) => format!("unsupported: {e}"),
+            };
+            let expect = t.expectation(&m.name);
+            let marker = match (expect, v.decided()) {
+                (Some(e), Some(g)) if e == g => "  [expected]",
+                (Some(_), _) => {
+                    failures += 1;
+                    "  [MISMATCH]"
+                }
+                _ => "",
+            };
+            println!("  {:<16} {cell}{marker}", m.name);
+            if model_list.len() == 1 {
+                match &v {
+                    Verdict::Allowed(w) => {
+                        for (p, view) in w.views.iter().enumerate() {
+                            println!(
+                                "    {}",
+                                format_view(&t.history, ProcId(p as u32), view)
+                            );
+                        }
+                    }
+                    Verdict::Disallowed => {
+                        if let Some(cert) =
+                            smc_core::explain::explain_disallowed(&t.history, m)
+                        {
+                            println!("    {}", cert.render(&t.history));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        println!();
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} expectation(s) failed");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_matrix(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("matrix: missing <file>")?;
+    let suite = load(path)?;
+    let model_list = models::all_models();
+    let cfg = CheckConfig::default();
+    let name_w = suite.iter().map(|t| t.name.len()).max().unwrap_or(7).max(7);
+    print!("{:<name_w$}", "history");
+    for m in &model_list {
+        print!(" {:>14}", m.name);
+    }
+    println!();
+    for t in &suite {
+        print!("{:<name_w$}", t.name);
+        for m in &model_list {
+            let v = check_with_config(&t.history, m, &cfg);
+            let cell = match v {
+                Verdict::Allowed(_) => "yes",
+                Verdict::Disallowed => "no",
+                Verdict::Exhausted => "?",
+                Verdict::Unsupported(_) => "n/a",
+            };
+            print!(" {cell:>14}");
+        }
+        println!();
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Turn a history into the program shape that generated it: per-processor
+/// access lists (write values kept, read values ignored).
+fn to_script(h: &History) -> OpScript {
+    let threads = (0..h.num_procs())
+        .map(|p| {
+            h.proc_ops(ProcId(p as u32))
+                .iter()
+                .map(|o| Access {
+                    kind: o.kind,
+                    loc: o.loc,
+                    value: o.value,
+                    label: o.label,
+                })
+                .collect()
+        })
+        .collect();
+    OpScript::new(threads, h.num_locs())
+}
+
+fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("explore: missing <file>")?;
+    let memory = flag_value(args, "--memory").ok_or("explore: missing --memory NAME")?;
+    let tests = load(path)?;
+    let t = tests.first().ok_or("explore: file contains no history")?;
+    let script = to_script(&t.history);
+    let (n, l) = (t.history.num_procs(), t.history.num_locs());
+    let cfg = ExploreConfig::default();
+
+    fn go<M: MemorySystem>(mem: M, script: &OpScript, cfg: &ExploreConfig) -> Result<ExitCode, String> {
+        let out = explore(&mem, script, cfg);
+        println!(
+            "{}: {} distinct histories over {} states{}{}",
+            mem.name(),
+            out.histories.len(),
+            out.states_explored,
+            if out.truncated { " (TRUNCATED)" } else { "" },
+            if out.bounded { " (bounded)" } else { "" },
+        );
+        for h in &out.histories {
+            for line in h.to_string().lines() {
+                println!("    {line}");
+            }
+            println!();
+        }
+        Ok(ExitCode::SUCCESS)
+    }
+
+    match memory {
+        "sc" => go(ScMem::new(n, l), &script, &cfg),
+        "tso" => go(TsoMem::new(n, l), &script, &cfg),
+        "tso-fwd" => go(TsoMem::with_forwarding(n, l), &script, &cfg),
+        "pram" => go(PramMem::new(n, l), &script, &cfg),
+        "causal" => go(CausalMem::new(n, l), &script, &cfg),
+        "pc" => go(PcMem::new(n, l), &script, &cfg),
+        "coherent" => go(CoherentMem::new(n, l), &script, &cfg),
+        "rcsc" => go(RcMem::new(SyncMode::Sc, n, l), &script, &cfg),
+        "rcpc" => go(RcMem::new(SyncMode::Pc, n, l), &script, &cfg),
+        "wo" => go(WoMem::new(n, l), &script, &cfg),
+        "hybrid" => go(HybridMem::new(n, l), &script, &cfg),
+        other => Err(format!("unknown memory `{other}`")),
+    }
+}
+
+fn cmd_bakery(args: &[String]) -> Result<ExitCode, String> {
+    let n: usize = flag_value(args, "--n").unwrap_or("2").parse().map_err(|_| "--n: not a number")?;
+    let runs: u64 = flag_value(args, "--runs")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| "--runs: not a number")?;
+    let memory = flag_value(args, "--memory").unwrap_or("rcpc");
+    let program = bakery(n, Label::Labeled);
+    let locs = program.num_locs();
+    if args.iter().any(|a| a == "--show-program") {
+        println!("{program}");
+    }
+
+    fn trial<M: MemorySystem>(
+        make: impl Fn() -> M,
+        program: &smc_programs::Program,
+        runs: u64,
+    ) -> (u64, Option<(u64, String, History)>) {
+        let mut violations = 0;
+        let mut first = None;
+        for seed in 0..runs {
+            let w = ProgramWorkload::new(program.clone(), 200);
+            let r = run_random(make(), w, seed, 200_000);
+            if let Some(v) = r.violation {
+                violations += 1;
+                if first.is_none() {
+                    first = Some((seed, v, r.history));
+                }
+            }
+        }
+        (violations, first)
+    }
+
+    let (violations, first) = match memory {
+        "sc" => trial(|| ScMem::new(n, locs), &program, runs),
+        "tso" => trial(|| TsoMem::new(n, locs), &program, runs),
+        "rcsc" => trial(|| RcMem::new(SyncMode::Sc, n, locs), &program, runs),
+        "rcpc" => trial(|| RcMem::new(SyncMode::Pc, n, locs), &program, runs),
+        "wo" => trial(|| WoMem::new(n, locs), &program, runs),
+        "hybrid" => trial(|| HybridMem::new(n, locs), &program, runs),
+        other => return Err(format!("bakery: unsupported memory `{other}`")),
+    };
+    println!("Bakery n={n} on {memory}: {violations}/{runs} runs violated mutual exclusion");
+    if let Some((seed, msg, history)) = first {
+        println!("first violation (seed {seed}): {msg}");
+        for line in history.to_string().lines() {
+            println!("    {line}");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_models() -> Result<ExitCode, String> {
+    println!("Declarative models (for `smc check --model ...`):");
+    for m in models::all_models() {
+        println!(
+            "  {:<16} δ={:?}, mutual: [{}{}{}{}], order: {:?}{}{}{}",
+            m.name,
+            m.delta,
+            if m.identical_views { "identical-views " } else { "" },
+            if m.global_write_order { "store-order " } else { "" },
+            if m.coherence { "coherence " } else { "" },
+            m.labeled.map(|l| format!("labeled:{l:?} ")).unwrap_or_default(),
+            m.global_order,
+            if m.rc_bracketing { " +rc-bracketing" } else { "" },
+            if m.fence_bracketing { " +fences" } else { "" },
+            match m.owner_order {
+                smc_core::spec::OwnerOrder::None => "",
+                _ => " +owner-order",
+            },
+        );
+    }
+    println!("\nOperational machines (for `smc explore --memory ...`):");
+    println!("  sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybrid");
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["x.litmus", "--model", "TSO", "--runs", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--model"), Some("TSO"));
+        assert_eq!(flag_value(&args, "--runs"), Some("5"));
+        assert_eq!(flag_value(&args, "--nope"), None);
+        assert_eq!(positional(&args), vec!["x.litmus"]);
+    }
+
+    #[test]
+    fn resolve_model_selectors() {
+        assert!(resolve_models(None).unwrap().len() > 5);
+        assert_eq!(resolve_models(Some("tso")).unwrap()[0].name, "TSO");
+        assert!(resolve_models(Some("bogus")).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn models_subcommand_succeeds() {
+        assert!(cmd_models().is_ok());
+    }
+
+    #[test]
+    fn script_conversion_preserves_shape() {
+        let h = parse_history("p: w(x)1 rl(y)0\nq: wl(y)2").unwrap();
+        let s = to_script(&h);
+        assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.num_locs(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! `smc` — command-line front end to the characterization framework.
+//!
+//! ```text
+//! smc check <file> [--model NAME]     check a litmus history/suite
+//! smc matrix <file>                   classification matrix for a suite
+//! smc explore <file> --memory NAME    enumerate an operational machine
+//! smc bakery [--memory NAME] [--n N] [--runs R]
+//! smc models                          list the available models
+//! ```
+//!
+//! Files use the litmus notation of `smc-history` (`p: w(x)1 r(y)0`; see
+//! the README). Exit status is nonzero when a suite expectation fails or
+//! a requested verdict is `Disallowed`.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! The decision procedure: is a history admitted by a model?
+//!
+//! Following Section 2, a history `H` is admitted by a model iff a legal
+//! view `S_{p+δp}` exists for every processor, subject to the model's
+//! parameters. The checker realizes the existential quantifiers as nested
+//! enumerations:
+//!
+//! 1. **reads-from assignments** (only for models whose derived orders
+//!    mention them),
+//! 2. **store orders** (TSO's global write agreement),
+//! 3. **coherence orders** (per-location write agreement),
+//! 4. **labeled orders** (RC_sc's common SC order of labeled operations),
+//! 5. a per-processor **legal-extension search** ([`crate::view`]) once
+//!    all shared ingredients are fixed — at that point the views decouple
+//!    and can be searched independently.
+//!
+//! Every `Allowed` verdict carries a [`Witness`] that
+//! [`crate::verify::verify_witness`] can validate independently of the
+//! search.
+
+use crate::coherence::{enumerate_coherence, CoherenceOrders};
+use crate::constraints::{
+    assemble_global, owner_edges, BaseOrders, Candidates, LabeledCtx, RcError,
+};
+use crate::rf::{enumerate_reads_from, ReadsFrom};
+use crate::spec::{LabeledModel, ModelSpec, OperationSet};
+use crate::view::{
+    find_legal_extension, for_each_legal_extension, LegalityMode, SearchEnd, SearchOutcome,
+    ViewProblem,
+};
+use smc_history::{History, OpId, ProcId};
+use smc_relation::BitSet;
+use std::cell::Cell;
+use std::ops::ControlFlow;
+
+/// Resource limits for a check.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Maximum reads-from assignments to enumerate.
+    pub max_rf: usize,
+    /// Search-node budget shared across the whole check (view searches,
+    /// candidate enumeration).
+    pub node_budget: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_rf: 4096,
+            node_budget: 20_000_000,
+        }
+    }
+}
+
+/// A certificate that a history is admitted: the per-processor views plus
+/// every enumerated shared ingredient that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// One legal view per processor, as sequences of operation ids.
+    pub views: Vec<Vec<OpId>>,
+    /// TSO's common store order, if the model required one.
+    pub store_order: Option<Vec<OpId>>,
+    /// Per-location coherence orders, if the model required them.
+    pub coherence: Option<Vec<Vec<OpId>>>,
+    /// RC_sc's common legal order of labeled operations.
+    pub labeled_order: Option<Vec<OpId>>,
+    /// The reads-from assignment the check was relative to.
+    pub reads_from: Option<Vec<Option<OpId>>>,
+}
+
+/// The checker's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The history is admitted; a witness is attached.
+    Allowed(Box<Witness>),
+    /// The history is not admitted by the model.
+    Disallowed,
+    /// The resource budget ran out before the question was decided.
+    Exhausted,
+    /// The (history, model) combination is outside the checker's scope —
+    /// currently only RC checks of histories that access a location with
+    /// both labeled and ordinary operations.
+    Unsupported(String),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Allowed`].
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, Verdict::Allowed(_))
+    }
+
+    /// `true` for [`Verdict::Disallowed`].
+    pub fn is_disallowed(&self) -> bool {
+        matches!(self, Verdict::Disallowed)
+    }
+
+    /// `Some(true)` / `Some(false)` for decided verdicts, `None`
+    /// otherwise.
+    pub fn decided(&self) -> Option<bool> {
+        match self {
+            Verdict::Allowed(_) => Some(true),
+            Verdict::Disallowed => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Check `h` against `spec` with default limits.
+pub fn check(h: &History, spec: &ModelSpec) -> Verdict {
+    check_with_config(h, spec, &CheckConfig::default())
+}
+
+/// Check `h` against `spec` under explicit resource limits.
+pub fn check_with_config(h: &History, spec: &ModelSpec, cfg: &CheckConfig) -> Verdict {
+    if let Err(e) = spec.validate() {
+        return Verdict::Unsupported(e);
+    }
+    let budget = Cell::new(cfg.node_budget);
+    let base = BaseOrders::new(h);
+    let mut exhausted = false;
+
+    if spec.needs_reads_from() {
+        let (rfs, truncated) = enumerate_reads_from(h, cfg.max_rf);
+        if rfs.is_empty() {
+            // No read is explainable at all: no legal views can exist.
+            return Verdict::Disallowed;
+        }
+        for rf in &rfs {
+            match check_with_rf(h, spec, &base, Some(rf), &budget) {
+                Step::Allowed(w) => return Verdict::Allowed(w),
+                Step::Disallowed => {}
+                Step::Exhausted => {
+                    exhausted = true;
+                    break;
+                }
+                Step::Unsupported(e) => return Verdict::Unsupported(e),
+            }
+        }
+        if truncated {
+            exhausted = true;
+        }
+    } else {
+        match check_with_rf(h, spec, &base, None, &budget) {
+            Step::Allowed(w) => return Verdict::Allowed(w),
+            Step::Disallowed => {}
+            Step::Exhausted => exhausted = true,
+            Step::Unsupported(e) => return Verdict::Unsupported(e),
+        }
+    }
+    if exhausted {
+        Verdict::Exhausted
+    } else {
+        Verdict::Disallowed
+    }
+}
+
+enum Step {
+    Allowed(Box<Witness>),
+    Disallowed,
+    Exhausted,
+    Unsupported(String),
+}
+
+/// The operation sets `V_p = H_p ∪ δ_p` for each processor.
+pub fn view_op_sets(h: &History, delta: OperationSet) -> Vec<BitSet> {
+    (0..h.num_procs())
+        .map(|p| {
+            BitSet::from_iter(
+                h.num_ops(),
+                h.ops()
+                    .iter()
+                    .filter(|o| {
+                        o.proc.index() == p
+                            || match delta {
+                                OperationSet::AllOps => true,
+                                OperationSet::WritesOnly => o.is_write(),
+                            }
+                    })
+                    .map(|o| o.id.index()),
+            )
+        })
+        .collect()
+}
+
+fn check_with_rf(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rf: Option<&ReadsFrom>,
+    budget: &Cell<u64>,
+) -> Step {
+    let legality = match rf {
+        Some(rf) => LegalityMode::ByReadsFrom(rf),
+        None => LegalityMode::ByValue,
+    };
+
+    // Release consistency: build the labeled context once per assignment
+    // (the agreement-only submodel needs neither reads-from nor the
+    // sync-location discipline).
+    let labeled_ctx = if matches!(
+        spec.labeled,
+        Some(LabeledModel::SequentiallyConsistent) | Some(LabeledModel::ProcessorConsistent)
+    ) {
+        let rf = rf.expect("RC models enumerate reads-from");
+        match LabeledCtx::build(h, rf) {
+            Ok(ctx) => Some(ctx),
+            Err(RcError::MixedLocation(loc)) => {
+                return Step::Unsupported(format!(
+                    "{}: location `{loc}` is accessed by both labeled and ordinary \
+                     operations; the RC checker requires the properly-labeled \
+                     discipline (sync locations touched only by labeled operations)",
+                    spec.name
+                ))
+            }
+            // This reads-from assignment cannot be an RC witness.
+            Err(RcError::AcquireFromOrdinary) => return Step::Disallowed,
+        }
+    } else {
+        None
+    };
+
+    // SC's identical-views shortcut: one shared legal sequence of all ops.
+    if spec.identical_views {
+        let cand = Candidates::default();
+        let g = match assemble_global(h, spec, base, rf, &cand, None) {
+            Ok(g) => g,
+            Err(e) => return Step::Unsupported(e),
+        };
+        let problem = ViewProblem {
+            history: h,
+            ops: BitSet::full(h.num_ops()),
+            constraints: &g,
+            legality,
+        };
+        return match find_legal_extension(&problem, budget) {
+            SearchOutcome::Found(order) => Step::Allowed(Box::new(Witness {
+                views: vec![order; h.num_procs()],
+                store_order: None,
+                coherence: None,
+                labeled_order: None,
+                reads_from: rf.map(|r| r.as_slice().to_vec()),
+            })),
+            SearchOutcome::NotFound => Step::Disallowed,
+            SearchOutcome::Exhausted => Step::Exhausted,
+        };
+    }
+
+    // Layer 2: store orders (TSO).
+    if spec.global_write_order {
+        let writes = BitSet::from_iter(
+            h.num_ops(),
+            h.ops().iter().filter(|o| o.is_write()).map(|o| o.id.index()),
+        );
+        let mut result = Step::Disallowed;
+        let flow = smc_relation::linext::for_each_linear_extension(
+            &base.ppo,
+            &writes,
+            |ext| {
+                if budget.get() == 0 {
+                    result = Step::Exhausted;
+                    return ControlFlow::Break(());
+                }
+                budget.set(budget.get() - 1);
+                let store: Vec<OpId> = ext.iter().map(|&i| OpId(i as u32)).collect();
+                let cand = Candidates {
+                    store_order: Some(&store),
+                    ..Default::default()
+                };
+                match with_candidates(h, spec, base, rf, legality, &cand, None, budget) {
+                    Step::Disallowed => ControlFlow::Continue(()),
+                    done => {
+                        result = attach_store(done, &store);
+                        ControlFlow::Break(())
+                    }
+                }
+            },
+        );
+        let _ = flow;
+        return result;
+    }
+
+    // Layer 3: coherence orders (PC, RC, coherent variants).
+    if spec.coherence {
+        // Any common per-location write order must extend ppo restricted
+        // to same-location writes (every view contains all writes and
+        // respects at least the owner's ppo there).
+        let mut result = Step::Disallowed;
+        let _ = enumerate_coherence(h, &base.ppo, |coh| {
+            if budget.get() == 0 {
+                result = Step::Exhausted;
+                return ControlFlow::Break(());
+            }
+            budget.set(budget.get() - 1);
+            match with_coherence(h, spec, base, rf, legality, coh, labeled_ctx.as_ref(), budget) {
+                Step::Disallowed => ControlFlow::Continue(()),
+                done => {
+                    result = done;
+                    ControlFlow::Break(())
+                }
+            }
+        });
+        return result;
+    }
+
+    // Labeled agreement without coherence (hybrid consistency).
+    if spec.labeled == Some(LabeledModel::AgreementOnly) {
+        return with_labeled_agreement(h, spec, base, rf, legality, None, budget);
+    }
+
+    // No shared orders at all (PRAM, causal): straight to the views.
+    let cand = Candidates::default();
+    with_candidates(h, spec, base, rf, legality, &cand, None, budget)
+}
+
+/// Enumerate the common (agreement-only) orders of the labeled
+/// operations: linear extensions of program order restricted to labeled
+/// operations, optionally also respecting a fixed coherence order.
+fn with_labeled_agreement(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rf: Option<&ReadsFrom>,
+    legality: LegalityMode<'_>,
+    coh: Option<&CoherenceOrders>,
+    budget: &Cell<u64>,
+) -> Step {
+    let labeled = BitSet::from_iter(
+        h.num_ops(),
+        h.labeled_ops().map(|o| o.id.index()),
+    );
+    let mut cons = base.po.clone();
+    if let Some(coh) = coh {
+        cons.union_with(&coh.as_relation(h.num_ops()));
+    }
+    let mut result = Step::Disallowed;
+    let flow = smc_relation::linext::for_each_linear_extension(&cons, &labeled, |ext| {
+        if budget.get() == 0 {
+            result = Step::Exhausted;
+            return ControlFlow::Break(());
+        }
+        budget.set(budget.get() - 1);
+        let t: Vec<OpId> = ext.iter().map(|&i| OpId(i as u32)).collect();
+        let cand = Candidates {
+            coherence: coh,
+            labeled_order: Some(&t),
+            ..Default::default()
+        };
+        match with_candidates(h, spec, base, rf, legality, &cand, None, budget) {
+            Step::Disallowed => ControlFlow::Continue(()),
+            done => {
+                result = match done {
+                    Step::Allowed(mut w) => {
+                        w.labeled_order = Some(t);
+                        Step::Allowed(w)
+                    }
+                    other => other,
+                };
+                ControlFlow::Break(())
+            }
+        }
+    });
+    let _ = flow;
+    match (result, coh) {
+        (r, None) => r,
+        (r, Some(coh)) => attach_coherence(r, coh),
+    }
+}
+
+fn attach_store(step: Step, store: &[OpId]) -> Step {
+    match step {
+        Step::Allowed(mut w) => {
+            w.store_order = Some(store.to_vec());
+            Step::Allowed(w)
+        }
+        other => other,
+    }
+}
+
+/// With a coherence order fixed, handle the optional labeled layer and
+/// descend to the per-view searches.
+#[allow(clippy::too_many_arguments)]
+fn with_coherence(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rf: Option<&ReadsFrom>,
+    legality: LegalityMode<'_>,
+    coh: &CoherenceOrders,
+    labeled_ctx: Option<&LabeledCtx>,
+    budget: &Cell<u64>,
+) -> Step {
+    match spec.labeled {
+        Some(LabeledModel::AgreementOnly) => {
+            with_labeled_agreement(h, spec, base, rf, legality, Some(coh), budget)
+        }
+        Some(LabeledModel::SequentiallyConsistent) => {
+            let ctx = labeled_ctx.expect("labeled context built for RC");
+            // Enumerate the legal SC orders T of the labeled subhistory:
+            // legal linear extensions of po_sub ∪ the projected coherence.
+            let sub = &ctx.sub;
+            let mut cons = crate::orders::program_order(sub);
+            cons.union_with(&ctx.project_coherence(coh).as_relation(sub.num_ops()));
+            let problem = ViewProblem {
+                history: sub,
+                ops: BitSet::full(sub.num_ops()),
+                constraints: &cons,
+                legality: LegalityMode::ByReadsFrom(&ctx.rf_sub),
+            };
+            let mut result = Step::Disallowed;
+            let end = for_each_legal_extension(&problem, budget, |t_sub| {
+                let t: Vec<OpId> = t_sub.iter().map(|l| ctx.back[l.index()]).collect();
+                let cand = Candidates {
+                    coherence: Some(coh),
+                    labeled_order: Some(&t),
+                    ..Default::default()
+                };
+                match with_candidates(
+                    h,
+                    spec,
+                    base,
+                    rf,
+                    legality,
+                    &cand,
+                    Some(ctx),
+                    budget,
+                ) {
+                    Step::Disallowed => ControlFlow::Continue(()),
+                    done => ControlFlow::Break((done, t)),
+                }
+            });
+            match end {
+                SearchEnd::Completed => {}
+                SearchEnd::Exhausted => result = Step::Exhausted,
+                SearchEnd::Broke((done, t)) => {
+                    result = match done {
+                        Step::Allowed(mut w) => {
+                            w.labeled_order = Some(t);
+                            Step::Allowed(w)
+                        }
+                        other => other,
+                    };
+                }
+            }
+            attach_coherence(result, coh)
+        }
+        _ => {
+            let cand = Candidates {
+                coherence: Some(coh),
+                ..Default::default()
+            };
+            attach_coherence(
+                with_candidates(h, spec, base, rf, legality, &cand, labeled_ctx, budget),
+                coh,
+            )
+        }
+    }
+}
+
+fn attach_coherence(step: Step, coh: &CoherenceOrders) -> Step {
+    match step {
+        Step::Allowed(mut w) => {
+            w.coherence = Some(coh.all().to_vec());
+            Step::Allowed(w)
+        }
+        other => other,
+    }
+}
+
+/// All shared ingredients fixed: assemble the global constraint relation
+/// and search each processor's view independently.
+#[allow(clippy::too_many_arguments)]
+fn with_candidates(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rf: Option<&ReadsFrom>,
+    legality: LegalityMode<'_>,
+    cand: &Candidates<'_>,
+    labeled_ctx: Option<&LabeledCtx>,
+    budget: &Cell<u64>,
+) -> Step {
+    let g = match assemble_global(h, spec, base, rf, cand, labeled_ctx) {
+        Ok(g) => g,
+        Err(e) => return Step::Unsupported(e),
+    };
+    // A cyclic constraint set can never be extended; reject early.
+    if !g.is_acyclic() {
+        return Step::Disallowed;
+    }
+    let op_sets = view_op_sets(h, spec.delta);
+    let mut views = Vec::with_capacity(h.num_procs());
+    #[allow(clippy::needless_range_loop)] // p is also the processor id
+    for p in 0..h.num_procs() {
+        let constraints = if matches!(spec.owner_order, crate::spec::OwnerOrder::None) {
+            g.clone()
+        } else {
+            let mut gp = g.clone();
+            gp.union_with(&owner_edges(h, spec, base, p));
+            gp
+        };
+        let problem = ViewProblem {
+            history: h,
+            ops: op_sets[p].clone(),
+            constraints: &constraints,
+            legality,
+        };
+        match find_legal_extension(&problem, budget) {
+            SearchOutcome::Found(v) => views.push(v),
+            SearchOutcome::NotFound => return Step::Disallowed,
+            SearchOutcome::Exhausted => return Step::Exhausted,
+        }
+    }
+    Step::Allowed(Box::new(Witness {
+        views,
+        store_order: cand.store_order.map(<[OpId]>::to_vec),
+        coherence: None,
+        labeled_order: None,
+        reads_from: rf.map(|r| r.as_slice().to_vec()),
+    }))
+}
+
+/// Render a witness view in the paper's notation
+/// (`S_{p+w}: r_p(y)0 w_p(x)1 w_q(y)1`).
+pub fn format_view(h: &History, p: ProcId, view: &[OpId]) -> String {
+    let ops: Vec<String> = view
+        .iter()
+        .map(|&o| h.format_op_subscripted(o))
+        .collect();
+    format!("S_{{{}+w}}: {}", h.proc_name(p), ops.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use smc_history::litmus::parse_history;
+    use smc_history::HistoryBuilder;
+
+    #[test]
+    fn empty_history_allowed_by_every_model() {
+        let h = HistoryBuilder::new().build();
+        for m in models::all_models() {
+            assert!(check(&h, &m).is_allowed(), "{} rejects empty", m.name);
+        }
+    }
+
+    #[test]
+    fn single_op_history_allowed_by_every_model() {
+        let h = parse_history("p: w(x)1").unwrap();
+        for m in models::all_models() {
+            assert!(check(&h, &m).is_allowed(), "{} rejects single op", m.name);
+        }
+        let r = parse_history("p: r(x)0").unwrap();
+        for m in models::all_models() {
+            assert!(check(&r, &m).is_allowed(), "{} rejects initial read", m.name);
+        }
+    }
+
+    #[test]
+    fn unexplainable_read_disallowed_everywhere() {
+        let h = parse_history("p: r(x)7").unwrap();
+        for m in models::all_models() {
+            assert!(
+                check(&h, &m).is_disallowed(),
+                "{} admits a read of a never-written value",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhausted() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let cfg = CheckConfig {
+            max_rf: 1,
+            node_budget: 1,
+        };
+        assert_eq!(
+            check_with_config(&h, &models::sc(), &cfg),
+            Verdict::Exhausted
+        );
+    }
+
+    #[test]
+    fn invalid_spec_reports_unsupported() {
+        let mut bad = models::rc_sc();
+        bad.coherence = false;
+        let h = parse_history("p: w(x)1").unwrap();
+        assert!(matches!(check(&h, &bad), Verdict::Unsupported(_)));
+    }
+
+    #[test]
+    fn view_op_sets_membership() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1").unwrap();
+        let writes_only = view_op_sets(&h, OperationSet::WritesOnly);
+        // p's view: both own ops + q's write.
+        assert_eq!(writes_only[0].count(), 3);
+        // q's view: own write + p's write (not p's read).
+        assert_eq!(writes_only[1].count(), 2);
+        let all = view_op_sets(&h, OperationSet::AllOps);
+        assert_eq!(all[0].count(), 3);
+        assert_eq!(all[1].count(), 3);
+    }
+
+    #[test]
+    fn format_view_uses_paper_notation() {
+        let h = parse_history("p: w(x)1\nq: r(x)1").unwrap();
+        let s = format_view(&h, ProcId(1), &[OpId(0), OpId(1)]);
+        assert_eq!(s, "S_{q+w}: w_p(x)1 r_q(x)1");
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert_eq!(Verdict::Disallowed.decided(), Some(false));
+        assert_eq!(Verdict::Exhausted.decided(), None);
+        assert!(!Verdict::Unsupported("x".into()).is_allowed());
+    }
+
+    #[test]
+    fn duplicate_values_exercise_rf_enumeration() {
+        // Two writes of the same value: only one attribution makes the
+        // causal check succeed, and the checker must find it.
+        let h = parse_history("p: w(x)5\nq: w(x)5\nr: r(x)5 r(x)5").unwrap();
+        assert!(check(&h, &models::causal()).is_allowed());
+        assert!(check(&h, &models::sc()).is_allowed());
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-location write orders (coherence).
+//!
+//! Several mutual-consistency parameters existentially quantify over a
+//! *coherence order*: a total order on the writes to each location that
+//! every processor view must respect (Section 3.3's "for each memory
+//! location, there is a unique ordering of the writes to that location").
+//! [`CoherenceOrders`] is one such candidate; [`enumerate_coherence`]
+//! visits all candidates consistent with a base constraint relation.
+
+use smc_history::{History, Location, OpId};
+use smc_relation::{linext, BitSet, Relation};
+use std::ops::ControlFlow;
+
+/// A total order on the writes to each location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceOrders {
+    /// `orders[loc]` lists the writes to `loc`, oldest first.
+    orders: Vec<Vec<OpId>>,
+    /// `pos[op] = position of op within its location's order` (or
+    /// `u32::MAX` for non-writes).
+    pos: Vec<u32>,
+}
+
+impl CoherenceOrders {
+    /// Build from explicit per-location write sequences.
+    ///
+    /// `orders[l]` must contain exactly the writes of `h` to location `l`.
+    pub fn new(h: &History, orders: Vec<Vec<OpId>>) -> Self {
+        debug_assert_eq!(orders.len(), h.num_locs());
+        let mut pos = vec![u32::MAX; h.num_ops()];
+        for seq in &orders {
+            for (i, &w) in seq.iter().enumerate() {
+                pos[w.index()] = i as u32;
+            }
+        }
+        CoherenceOrders { orders, pos }
+    }
+
+    /// The unique coherence order when no location has two writes; callers
+    /// with multi-writer locations should use [`enumerate_coherence`].
+    /// Falls back to processor-major order for multi-writer locations
+    /// (useful only in tests).
+    pub fn from_single(h: &History) -> Self {
+        let mut orders = vec![Vec::new(); h.num_locs()];
+        for o in h.ops() {
+            if o.is_write() {
+                orders[o.loc.index()].push(o.id);
+            }
+        }
+        Self::new(h, orders)
+    }
+
+    /// The writes to `loc`, oldest first.
+    pub fn order_of(&self, loc: Location) -> &[OpId] {
+        &self.orders[loc.index()]
+    }
+
+    /// All per-location orders, indexed by location.
+    pub fn all(&self) -> &[Vec<OpId>] {
+        &self.orders
+    }
+
+    /// `true` if write `a` precedes write `b` in the order of `loc`.
+    /// Both must be writes to `loc`.
+    #[inline]
+    pub fn precedes(&self, loc: Location, a: OpId, b: OpId) -> bool {
+        let _ = loc;
+        let (pa, pb) = (self.pos[a.index()], self.pos[b.index()]);
+        debug_assert!(pa != u32::MAX && pb != u32::MAX);
+        pa < pb
+    }
+
+    /// The coherence orders as a relation over all operations (all
+    /// transitive pairs of each per-location chain).
+    pub fn as_relation(&self, num_ops: usize) -> Relation {
+        let mut r = Relation::new(num_ops);
+        for seq in &self.orders {
+            let idx: Vec<usize> = seq.iter().map(|o| o.index()).collect();
+            r.add_total_order(&idx);
+        }
+        r
+    }
+}
+
+/// Visit every combination of per-location write orders consistent with
+/// `base` (a relation over all operations; only its edges between writes
+/// to the same location constrain the enumeration).
+///
+/// The visitor may break to stop early (e.g. once a witness is found).
+pub fn enumerate_coherence<B>(
+    h: &History,
+    base: &Relation,
+    mut visit: impl FnMut(&CoherenceOrders) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    // Collect per-location candidate orders up front; locations with 0 or
+    // 1 write have exactly one order and cost nothing.
+    let mut per_loc: Vec<Vec<Vec<OpId>>> = Vec::with_capacity(h.num_locs());
+    for l in 0..h.num_locs() {
+        let loc = Location(l as u32);
+        let writes = BitSet::from_iter(
+            h.num_ops(),
+            h.writes_to(loc).map(|o| o.id.index()),
+        );
+        let mut cands = Vec::new();
+        let flow = linext::for_each_linear_extension(base, &writes, |ext| {
+            cands.push(ext.iter().map(|&i| OpId(i as u32)).collect::<Vec<_>>());
+            ControlFlow::<()>::Continue(())
+        });
+        debug_assert!(flow.is_continue());
+        if cands.is_empty() {
+            // Base constraints are cyclic among this location's writes:
+            // no coherence order exists at all.
+            return ControlFlow::Continue(());
+        }
+        per_loc.push(cands);
+    }
+
+    // Cartesian product over locations.
+    let mut choice = vec![0usize; per_loc.len()];
+    loop {
+        let orders: Vec<Vec<OpId>> = choice
+            .iter()
+            .zip(&per_loc)
+            .map(|(&c, cands)| cands[c].clone())
+            .collect();
+        visit(&CoherenceOrders::new(h, orders))?;
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return ControlFlow::Continue(());
+            }
+            choice[i] += 1;
+            if choice[i] < per_loc[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Count the coherence-order combinations consistent with `base`, up to
+/// `cap`.
+pub fn count_coherence(h: &History, base: &Relation, cap: usize) -> usize {
+    let mut n = 0;
+    let _ = enumerate_coherence(h, base, |_| {
+        n += 1;
+        if n >= cap {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::<()>::Continue(())
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_history::litmus::parse_history;
+
+    #[test]
+    fn single_writer_locations_have_one_order() {
+        let h = parse_history("p: w(x)1 w(y)1\nq: r(x)1").unwrap();
+        let base = Relation::new(h.num_ops());
+        assert_eq!(count_coherence(&h, &base, usize::MAX), 1);
+        let coh = CoherenceOrders::from_single(&h);
+        assert_eq!(coh.order_of(Location(0)).len(), 1);
+        assert_eq!(coh.order_of(Location(1)).len(), 1);
+    }
+
+    #[test]
+    fn two_writers_two_orders() {
+        let h = parse_history("p: w(x)1\nq: w(x)2").unwrap();
+        let base = Relation::new(h.num_ops());
+        assert_eq!(count_coherence(&h, &base, usize::MAX), 2);
+    }
+
+    #[test]
+    fn base_constraints_prune() {
+        let h = parse_history("p: w(x)1\nq: w(x)2").unwrap();
+        // Force w(x)2 before w(x)1.
+        let base = Relation::from_edges(h.num_ops(), [(1, 0)]);
+        let mut seen = Vec::new();
+        let _ = enumerate_coherence(&h, &base, |c| {
+            seen.push(c.order_of(Location(0)).to_vec());
+            ControlFlow::<()>::Continue(())
+        });
+        assert_eq!(seen, vec![vec![OpId(1), OpId(0)]]);
+    }
+
+    #[test]
+    fn cartesian_product_across_locations() {
+        let h = parse_history("p: w(x)1 w(y)1\nq: w(x)2 w(y)2").unwrap();
+        let base = Relation::new(h.num_ops());
+        assert_eq!(count_coherence(&h, &base, usize::MAX), 4);
+    }
+
+    #[test]
+    fn cyclic_base_yields_nothing() {
+        let h = parse_history("p: w(x)1\nq: w(x)2").unwrap();
+        let base = Relation::from_edges(h.num_ops(), [(0, 1), (1, 0)]);
+        assert_eq!(count_coherence(&h, &base, usize::MAX), 0);
+    }
+
+    #[test]
+    fn precedes_and_relation() {
+        let h = parse_history("p: w(x)1 w(x)2\nq: r(x)1").unwrap();
+        let coh = CoherenceOrders::new(&h, vec![vec![OpId(0), OpId(1)]]);
+        assert!(coh.precedes(Location(0), OpId(0), OpId(1)));
+        assert!(!coh.precedes(Location(0), OpId(1), OpId(0)));
+        let rel = coh.as_relation(h.num_ops());
+        assert!(rel.has(0, 1));
+        assert_eq!(rel.num_edges(), 1);
+    }
+
+    #[test]
+    fn early_break_stops_enumeration() {
+        let h = parse_history("p: w(x)1 w(y)1\nq: w(x)2 w(y)2").unwrap();
+        let base = Relation::new(h.num_ops());
+        let mut n = 0;
+        let flow = enumerate_coherence(&h, &base, |_| {
+            n += 1;
+            ControlFlow::Break("stop")
+        });
+        assert_eq!(n, 1);
+        assert!(matches!(flow, ControlFlow::Break("stop")));
+    }
+}

@@ -1,0 +1,386 @@
+//! Assembly of the per-candidate constraint relation.
+//!
+//! Once the checker has fixed the existentially-quantified ingredients —
+//! a reads-from assignment, a store order, per-location coherence orders,
+//! a common order on labeled operations — the model's requirements reduce
+//! to a single relation over operation ids that every view must respect
+//! (plus the owner-only relation of release consistency). Building that
+//! relation in one place lets the checker and the independent witness
+//! verifier share the exact same semantics.
+
+use crate::coherence::CoherenceOrders;
+use crate::orders;
+use crate::rf::ReadsFrom;
+use crate::spec::{GlobalOrder, LabeledModel, ModelSpec, OwnerOrder};
+use smc_history::{History, OpId};
+use smc_relation::Relation;
+
+/// Precomputed context for release consistency's *labeled subhistory*
+/// (Section 3.4): the projection of the history onto labeled operations,
+/// with id maps in both directions and the projected reads-from.
+pub struct LabeledCtx {
+    /// The labeled subhistory `H|ℓ`.
+    pub sub: History,
+    /// `back[l] = global id` of labeled-subhistory operation `l`.
+    pub back: Vec<OpId>,
+    /// `to_sub[g] = Some(l)` iff global op `g` is labeled.
+    pub to_sub: Vec<Option<OpId>>,
+    /// Reads-from over the subhistory's ids.
+    pub rf_sub: ReadsFrom,
+    /// `sync_locs[loc] = true` iff some labeled operation touches `loc`.
+    pub sync_locs: Vec<bool>,
+}
+
+/// Why a history cannot be checked against a release-consistency model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RcError {
+    /// A location is accessed by both labeled and ordinary operations.
+    ///
+    /// The checker requires the properly-labeled discipline the paper
+    /// assumes for RC programs: synchronization locations are accessed
+    /// only by labeled operations. Without it, the paper's "labeled
+    /// operations are SC/PC" condition is not expressible as a projection.
+    MixedLocation(String),
+    /// A labeled read returns the value of an *ordinary* write under the
+    /// current reads-from assignment, so the labeled subhistory cannot
+    /// explain it. The enclosing assignment is simply not a witness
+    /// candidate.
+    AcquireFromOrdinary,
+}
+
+impl LabeledCtx {
+    /// Build the labeled context, validating the sync-location discipline
+    /// and the reads-from assignment's compatibility with it.
+    pub fn build(h: &History, rf: &ReadsFrom) -> Result<LabeledCtx, RcError> {
+        let mut sync_locs = vec![false; h.num_locs()];
+        for o in h.labeled_ops() {
+            sync_locs[o.loc.index()] = true;
+        }
+        for o in h.ops() {
+            if !o.is_labeled() && sync_locs[o.loc.index()] {
+                return Err(RcError::MixedLocation(
+                    h.loc_name(o.loc).to_owned(),
+                ));
+            }
+        }
+        let (sub, back) = h.project(|o| o.is_labeled());
+        let mut to_sub = vec![None; h.num_ops()];
+        for (l, &g) in back.iter().enumerate() {
+            to_sub[g.index()] = Some(OpId(l as u32));
+        }
+        let mut rf_sources = vec![None; sub.num_ops()];
+        for o in sub.ops() {
+            if o.is_read() {
+                let g = back[o.id.index()];
+                match rf.source(g) {
+                    None => {}
+                    Some(src) => match to_sub[src.index()] {
+                        Some(l) => rf_sources[o.id.index()] = Some(l),
+                        None => return Err(RcError::AcquireFromOrdinary),
+                    },
+                }
+            }
+        }
+        Ok(LabeledCtx {
+            sub,
+            back,
+            to_sub,
+            rf_sub: ReadsFrom::from_sources(rf_sources),
+            sync_locs,
+        })
+    }
+
+    /// Project a global coherence order onto the labeled subhistory.
+    /// Labeled writes are exactly the writes to sync locations, so the
+    /// projection is total on the subhistory's writes.
+    pub fn project_coherence(&self, coh: &CoherenceOrders) -> CoherenceOrders {
+        let orders: Vec<Vec<OpId>> = coh
+            .all()
+            .iter()
+            .map(|seq| {
+                seq.iter()
+                    .filter_map(|g| self.to_sub[g.index()])
+                    .collect()
+            })
+            .collect();
+        CoherenceOrders::new(&self.sub, orders)
+    }
+
+    /// Lift a relation over subhistory ids to global ids.
+    pub fn lift(&self, rel: &Relation, num_ops: usize) -> Relation {
+        let mut out = Relation::new(num_ops);
+        for (a, b) in rel.edges() {
+            out.add(self.back[a].index(), self.back[b].index());
+        }
+        out
+    }
+}
+
+/// The acquire/release bracketing edges of Section 3.4, as a relation that
+/// binds every view containing both endpoints:
+///
+/// * if ordinary `o` of `p` follows an acquire `o_r` of `p` in program
+///   order, and `o_r` reads the write `o_w`, then `o_w → o`;
+/// * if ordinary `o` of `p` precedes a release `o_w` of `p` in program
+///   order, then `o → o_w`.
+///
+/// (The paper's statement of the second condition says "o *follows* o_w";
+/// that is a typo — release consistency guarantees ordinary operations
+/// complete *before* the release that follows them is performed, which is
+/// the direction implemented here and the one the Section 5 Bakery
+/// analysis relies on.)
+pub fn bracketing_edges(h: &History, rf: &ReadsFrom) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for ph in h.procs() {
+        for (i, a) in ph.ops.iter().enumerate() {
+            if a.is_acquire() {
+                if let Some(w) = rf.source(a.id) {
+                    for o in &ph.ops[i + 1..] {
+                        if !o.is_labeled() {
+                            r.add(w.index(), o.id.index());
+                        }
+                    }
+                }
+            }
+            if !a.is_labeled() {
+                for o in &ph.ops[i + 1..] {
+                    if o.is_release() {
+                        r.add(a.id.index(), o.id.index());
+                    }
+                }
+            }
+        }
+    }
+    r
+}
+
+/// The fence edges of weak ordering / hybrid consistency: every ordinary
+/// operation is ordered against every labeled operation of the same
+/// processor, in program-order direction, in all views containing both.
+pub fn fence_edges(h: &History) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for ph in h.procs() {
+        for (i, a) in ph.ops.iter().enumerate() {
+            for b in &ph.ops[i + 1..] {
+                if a.is_labeled() != b.is_labeled() {
+                    r.add(a.id.index(), b.id.index());
+                }
+            }
+        }
+    }
+    r
+}
+
+/// The fixed, candidate-independent ingredients for a model check.
+pub struct BaseOrders {
+    /// `→po`.
+    pub po: Relation,
+    /// `→ppo`.
+    pub ppo: Relation,
+}
+
+impl BaseOrders {
+    /// Compute program order and partial program order once per history.
+    pub fn new(h: &History) -> Self {
+        BaseOrders {
+            po: orders::program_order(h),
+            ppo: orders::partial_program_order(h),
+        }
+    }
+}
+
+/// The candidate shared orders fixed by the current enumeration step.
+#[derive(Default)]
+pub struct Candidates<'a> {
+    /// TSO's single store order over all writes.
+    pub store_order: Option<&'a [OpId]>,
+    /// Per-location coherence orders.
+    pub coherence: Option<&'a CoherenceOrders>,
+    /// RC_sc's common legal order of all labeled operations.
+    pub labeled_order: Option<&'a [OpId]>,
+}
+
+/// Assemble the relation that every view must respect for `spec`, given a
+/// reads-from assignment (if the model needs one) and the enumerated
+/// candidates.
+///
+/// Returns an error string if a required ingredient is missing (a checker
+/// bug rather than a property of the history).
+pub fn assemble_global(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rf: Option<&ReadsFrom>,
+    cand: &Candidates<'_>,
+    labeled_ctx: Option<&LabeledCtx>,
+) -> Result<Relation, String> {
+    let need_rf = || rf.ok_or_else(|| format!("{}: reads-from required", spec.name));
+    let mut g = match spec.global_order {
+        GlobalOrder::None => Relation::new(h.num_ops()),
+        GlobalOrder::ProgramOrder => base.po.clone(),
+        GlobalOrder::PartialProgramOrder => base.ppo.clone(),
+        GlobalOrder::PerLocationProgramOrder => orders::per_location_program_order(h),
+        GlobalOrder::CausalOrder => orders::causal_order(h, need_rf()?),
+        GlobalOrder::SemiCausalOrder => {
+            let coh = cand
+                .coherence
+                .ok_or_else(|| format!("{}: coherence order required", spec.name))?;
+            orders::semi_causal(h, need_rf()?, &base.ppo, coh)
+        }
+    };
+    if spec.global_write_order {
+        let store = cand
+            .store_order
+            .ok_or_else(|| format!("{}: store order required", spec.name))?;
+        let idx: Vec<usize> = store.iter().map(|o| o.index()).collect();
+        g.add_total_order(&idx);
+    }
+    if spec.coherence {
+        let coh = cand
+            .coherence
+            .ok_or_else(|| format!("{}: coherence order required", spec.name))?;
+        g.union_with(&coh.as_relation(h.num_ops()));
+    }
+    if spec.rc_bracketing {
+        g.union_with(&bracketing_edges(h, need_rf()?));
+    }
+    if spec.fence_bracketing {
+        g.union_with(&fence_edges(h));
+    }
+    match spec.labeled {
+        None => {}
+        Some(LabeledModel::SequentiallyConsistent) | Some(LabeledModel::AgreementOnly) => {
+            let t = cand
+                .labeled_order
+                .ok_or_else(|| format!("{}: labeled order required", spec.name))?;
+            let idx: Vec<usize> = t.iter().map(|o| o.index()).collect();
+            g.add_total_order(&idx);
+        }
+        Some(LabeledModel::ProcessorConsistent) => {
+            let ctx = labeled_ctx
+                .ok_or_else(|| format!("{}: labeled context required", spec.name))?;
+            let coh = cand
+                .coherence
+                .ok_or_else(|| format!("{}: coherence order required", spec.name))?;
+            let coh_sub = ctx.project_coherence(coh);
+            let ppo_sub = orders::partial_program_order(&ctx.sub);
+            let sem_sub =
+                orders::semi_causal(&ctx.sub, &ctx.rf_sub, &ppo_sub, &coh_sub);
+            g.union_with(&ctx.lift(&sem_sub, h.num_ops()));
+        }
+    }
+    Ok(g)
+}
+
+/// The additional constraints that bind only processor `p`'s own view
+/// (release consistency's owner-only `→ppo`). Returns edges between `p`'s
+/// operations only.
+pub fn owner_edges(h: &History, spec: &ModelSpec, base: &BaseOrders, p: usize) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    let src = match spec.owner_order {
+        OwnerOrder::None => return r,
+        OwnerOrder::ProgramOrder => &base.po,
+        OwnerOrder::PartialProgramOrder => &base.ppo,
+    };
+    let ops = h.proc_ops(smc_history::ProcId(p as u32));
+    for a in ops {
+        for b in ops {
+            if src.has(a.id.index(), b.id.index()) {
+                r.add(a.id.index(), b.id.index());
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::rf::unique_reads_from;
+    use smc_history::litmus::parse_history;
+
+    #[test]
+    fn bracketing_orders_data_between_sync() {
+        // p: acquire(s) then ordinary write; q released s after data write.
+        let h = parse_history(
+            "q: w(d)1 wl(s)1\n\
+             p: rl(s)1 r(d)1",
+        )
+        .unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let b = bracketing_edges(&h, &rf);
+        // B2: w(d)1 before the release wl(s)1 everywhere.
+        assert!(b.has(0, 1));
+        // B1: r(d)1 (ordinary, after acquire) after the release the
+        // acquire read.
+        assert!(b.has(1, 3));
+        // No edge touching the acquire itself.
+        assert!(!b.has(2, 3) && !b.has(1, 2));
+    }
+
+    #[test]
+    fn labeled_ctx_rejects_mixed_locations() {
+        let h = parse_history("p: wl(s)1 r(s)1").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        assert!(matches!(
+            LabeledCtx::build(&h, &rf),
+            Err(RcError::MixedLocation(_))
+        ));
+    }
+
+    #[test]
+    fn labeled_ctx_projects_rf() {
+        let h = parse_history("p: w(d)1 wl(s)1\nq: rl(s)1 r(d)1").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let ctx = LabeledCtx::build(&h, &rf).unwrap();
+        assert_eq!(ctx.sub.num_ops(), 2);
+        // The acquire in the subhistory reads from the release.
+        let acq = ctx.sub.ops().iter().find(|o| o.is_read()).unwrap();
+        let rel = ctx.sub.ops().iter().find(|o| o.is_write()).unwrap();
+        assert_eq!(ctx.rf_sub.source(acq.id), Some(rel.id));
+        assert!(ctx.sync_locs[h.loc_by_name("s").unwrap().index()]);
+        assert!(!ctx.sync_locs[h.loc_by_name("d").unwrap().index()]);
+    }
+
+    #[test]
+    fn assemble_requires_ingredients() {
+        let h = parse_history("p: w(x)1\nq: r(x)1").unwrap();
+        let base = BaseOrders::new(&h);
+        // TSO without a store order is a usage error.
+        let err = assemble_global(
+            &h,
+            &models::tso(),
+            &base,
+            None,
+            &Candidates::default(),
+            None,
+        );
+        assert!(err.is_err());
+        // PRAM needs nothing beyond po.
+        let g = assemble_global(
+            &h,
+            &models::pram(),
+            &base,
+            None,
+            &Candidates::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(g.num_edges(), base.po.num_edges());
+    }
+
+    #[test]
+    fn owner_edges_only_for_rc() {
+        let h = parse_history("p: r(x)0 w(y)1\nq: w(z)1").unwrap();
+        let base = BaseOrders::new(&h);
+        let none = owner_edges(&h, &models::pram(), &base, 0);
+        assert_eq!(none.num_edges(), 0);
+        let rc = owner_edges(&h, &models::rc_sc(), &base, 0);
+        // r(x)0 →ppo w(y)1 is an owner edge for p...
+        assert!(rc.has(0, 1));
+        // ...and q's ops contribute nothing to p's owner edges.
+        let rc_q = owner_edges(&h, &models::rc_sc(), &base, 1);
+        assert_eq!(rc_q.num_edges(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Best-effort refutation certificates.
+//!
+//! When a history is disallowed, the most useful artifact is a *cycle*:
+//! a set of operations whose required orderings (derived order ∪
+//! reads-from legality) cannot all hold in any view. Such a certificate
+//! exists whenever the refutation is "structural"; refutations that only
+//! emerge from the interplay of several views (e.g. a store order that
+//! fails in one view for each choice) have no single-cycle witness and
+//! are reported as search-based.
+//!
+//! Certificates currently cover the models without shared-order
+//! enumeration (PRAM, causal memory): for those, the history is
+//! disallowed iff **every** reads-from assignment produces a cyclic
+//! constraint graph once per-view legality edges are added — and the
+//! cycle of the first assignment is a faithful explanation.
+
+use crate::checker::view_op_sets;
+use crate::constraints::{assemble_global, BaseOrders, Candidates};
+use crate::rf::{enumerate_reads_from, ReadsFrom};
+use crate::spec::{GlobalOrder, ModelSpec};
+use smc_history::{History, OpId, ProcId};
+use smc_relation::scc::cycle_nodes;
+use smc_relation::Relation;
+
+/// A refutation certificate: operations that form an unsatisfiable
+/// ordering cycle *within one processor's view*, under a specific
+/// reads-from assignment.
+#[derive(Debug, Clone)]
+pub struct CycleCertificate {
+    /// The processor whose view cannot be constructed.
+    pub proc: ProcId,
+    /// Operations on the cycle, ascending by id.
+    pub ops: Vec<OpId>,
+    /// The reads-from assignment the cycle is relative to.
+    pub reads_from: Vec<Option<OpId>>,
+}
+
+impl CycleCertificate {
+    /// Render the certificate in the paper's notation.
+    pub fn render(&self, h: &History) -> String {
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|&o| h.format_op_subscripted(o))
+            .collect();
+        format!(
+            "no view exists for {}: unsatisfiable ordering cycle among: {}",
+            h.proc_name(self.proc),
+            ops.join("  ")
+        )
+    }
+}
+
+/// The legality edges a fixed reads-from assignment forces inside
+/// processor `p`'s view (only `p`'s own reads appear there): the source
+/// write precedes its read, and a read of the initial value precedes
+/// every write to its location.
+fn legality_edges_for(h: &History, rf: &ReadsFrom, p: ProcId) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for o in h.proc_ops(p) {
+        if !o.is_read() {
+            continue;
+        }
+        match rf.source(o.id) {
+            None => {
+                for w in h.writes_to(o.loc) {
+                    r.add(o.id.index(), w.id.index());
+                }
+            }
+            Some(src) => {
+                r.add(src.index(), o.id.index());
+            }
+        }
+    }
+    r
+}
+
+/// Try to produce a cycle certificate for `h` being disallowed by
+/// `spec`. Returns `None` when the model needs shared-order enumeration
+/// (no single-cycle certificate in general), when the history is in fact
+/// satisfiable at this level, or when some assignment is acyclic (the
+/// refutation, if any, is search-based).
+pub fn explain_disallowed(h: &History, spec: &ModelSpec) -> Option<CycleCertificate> {
+    // Only the enumeration-free models have per-assignment certificates.
+    let enumeration_free = !spec.identical_views
+        && !spec.global_write_order
+        && !spec.coherence
+        && spec.labeled.is_none()
+        && matches!(
+            spec.global_order,
+            GlobalOrder::ProgramOrder | GlobalOrder::CausalOrder | GlobalOrder::None
+        );
+    if !enumeration_free {
+        return None;
+    }
+    let base = BaseOrders::new(h);
+    let (rfs, truncated) = enumerate_reads_from(h, 4096);
+    if truncated {
+        return None;
+    }
+    if rfs.is_empty() {
+        // Unexplainable read: certificate is the read itself — but there
+        // is no cycle to show; treat as no certificate.
+        return None;
+    }
+    let op_sets = view_op_sets(h, spec.delta);
+    let mut first = None;
+    for rf in &rfs {
+        let g = assemble_global(h, spec, &base, Some(rf), &Candidates::default(), None)
+            .ok()?;
+        // The assignment is refuted only if SOME view's constraint graph
+        // is cyclic (cycles must stay within one view: legality edges of
+        // different processors never combine).
+        let mut cyclic_view = None;
+        #[allow(clippy::needless_range_loop)] // p is also the processor id
+        for p in 0..h.num_procs() {
+            let proc = ProcId(p as u32);
+            let mut gp = g.clone();
+            gp.union_with(&legality_edges_for(h, rf, proc));
+            let (restricted, back) = gp.restrict(&op_sets[p]);
+            let cyc = cycle_nodes(&restricted);
+            if !cyc.is_empty() {
+                cyclic_view = Some(CycleCertificate {
+                    proc,
+                    ops: cyc.into_iter().map(|i| OpId(back[i] as u32)).collect(),
+                    reads_from: rf.as_slice().to_vec(),
+                });
+                break;
+            }
+        }
+        match cyclic_view {
+            // Structurally satisfiable assignment: no certificate.
+            None => return None,
+            Some(cert) => {
+                if first.is_none() {
+                    first = Some(cert);
+                }
+            }
+        }
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check;
+    use crate::models;
+    use smc_history::litmus::parse_history;
+
+    #[test]
+    fn causal_mp_stale_has_a_cycle_certificate() {
+        let h = parse_history("p: w(d)1 w(f)1\nq: r(f)1 r(d)0").unwrap();
+        assert!(check(&h, &models::causal()).is_disallowed());
+        let cert = explain_disallowed(&h, &models::causal()).expect("certificate");
+        // The cycle runs through the data write and the stale read.
+        assert!(cert.ops.contains(&OpId(0)), "{cert:?}");
+        assert!(cert.ops.contains(&OpId(3)), "{cert:?}");
+        let text = cert.render(&h);
+        assert!(text.contains("w_p(d)1") && text.contains("r_q(d)0"), "{text}");
+    }
+
+    #[test]
+    fn pram_mp_stale_has_a_cycle_certificate() {
+        let h = parse_history("p: w(d)1 w(f)1\nq: r(f)1 r(d)0").unwrap();
+        assert!(check(&h, &models::pram()).is_disallowed());
+        assert!(explain_disallowed(&h, &models::pram()).is_some());
+    }
+
+    #[test]
+    fn allowed_history_has_no_certificate() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        assert!(check(&h, &models::pram()).is_allowed());
+        assert!(explain_disallowed(&h, &models::pram()).is_none());
+    }
+
+    #[test]
+    fn enumeration_models_are_out_of_scope() {
+        let h = parse_history("p: w(d)1 w(f)1\nq: r(f)1 r(d)0").unwrap();
+        assert!(explain_disallowed(&h, &models::tso()).is_none());
+        assert!(explain_disallowed(&h, &models::pc()).is_none());
+        assert!(explain_disallowed(&h, &models::sc()).is_none());
+    }
+
+    #[test]
+    fn certificates_agree_with_the_checker_on_the_corpus_models() {
+        // Soundness of the certificate: whenever one exists, the checker
+        // must indeed disallow.
+        use crate::histgen::{all_histories, GenParams};
+        for h in all_histories(&GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        }) {
+            for spec in [models::pram(), models::causal()] {
+                if explain_disallowed(&h, &spec).is_some() {
+                    assert!(
+                        check(&h, &spec).is_disallowed(),
+                        "{}: certificate for an allowed history\n{h}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+}

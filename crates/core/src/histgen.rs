@@ -1,0 +1,200 @@
+//! Exhaustive generation of small abstract histories.
+//!
+//! The paper's Figure 5 relates models by inclusion of their admitted
+//! history sets. We make the figure *empirical* by enumerating every
+//! history in a bounded universe (processors × operations × locations ×
+//! values), classifying each against each model, and computing the
+//! inclusion matrix ([`crate::lattice`]).
+
+use smc_history::{History, HistoryBuilder};
+use std::ops::ControlFlow;
+
+/// The bounded universe of histories to enumerate.
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Number of processors.
+    pub procs: usize,
+    /// Operations per processor (every processor issues exactly this
+    /// many).
+    pub ops_per_proc: usize,
+    /// Number of distinct locations (`x`, `y`, ...).
+    pub locs: usize,
+    /// Writes store values `1..=values`; reads may return `0..=values`.
+    pub values: i64,
+}
+
+impl GenParams {
+    /// Number of choices for a single operation slot.
+    pub fn choices_per_slot(&self) -> usize {
+        // Reads: locs * (values + 1); writes: locs * values.
+        self.locs * (self.values as usize + 1) + self.locs * self.values as usize
+    }
+
+    /// Total number of histories in the universe.
+    pub fn universe_size(&self) -> u128 {
+        let slots = (self.procs * self.ops_per_proc) as u32;
+        (self.choices_per_slot() as u128).pow(slots)
+    }
+}
+
+const PROC_NAMES: [&str; 8] = ["p", "q", "r", "s", "t", "u", "v", "w"];
+const LOC_NAMES: [&str; 8] = ["x", "y", "z", "a", "b", "c", "d", "e"];
+
+fn decode_slot(params: &GenParams, mut code: usize) -> (bool, usize, i64) {
+    // Returns (is_write, loc, value).
+    let reads = params.locs * (params.values as usize + 1);
+    if code < reads {
+        let loc = code / (params.values as usize + 1);
+        let val = (code % (params.values as usize + 1)) as i64;
+        (false, loc, val)
+    } else {
+        code -= reads;
+        let loc = code / params.values as usize;
+        let val = (code % params.values as usize) as i64 + 1;
+        (true, loc, val)
+    }
+}
+
+/// Visit every history in the universe, in a fixed deterministic order.
+///
+/// The visitor may break to stop early. Histories where some read's value
+/// is unexplainable by any write (e.g. `r(x)2` with no `w(x)2` anywhere)
+/// are still produced — they are simply disallowed by every model, which
+/// the lattice treats uniformly.
+pub fn for_each_history<B>(
+    params: &GenParams,
+    mut visit: impl FnMut(&History) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    assert!(params.procs <= PROC_NAMES.len(), "too many processors");
+    assert!(params.locs <= LOC_NAMES.len(), "too many locations");
+    let slots = params.procs * params.ops_per_proc;
+    let choices = params.choices_per_slot();
+    let mut code = vec![0usize; slots];
+    loop {
+        let mut b = HistoryBuilder::new();
+        // Register processors and locations up-front so ids are stable
+        // across the enumeration.
+        for name in &PROC_NAMES[..params.procs] {
+            b.add_proc(name);
+        }
+        for name in &LOC_NAMES[..params.locs] {
+            b.add_loc(name);
+        }
+        for (slot, &c) in code.iter().enumerate() {
+            let p = slot / params.ops_per_proc;
+            let (is_write, loc, val) = decode_slot(params, c);
+            if is_write {
+                b.write(PROC_NAMES[p], LOC_NAMES[loc], val);
+            } else {
+                b.read(PROC_NAMES[p], LOC_NAMES[loc], val);
+            }
+        }
+        visit(&b.build())?;
+        // Odometer.
+        let mut i = 0;
+        loop {
+            if i == slots {
+                return ControlFlow::Continue(());
+            }
+            code[i] += 1;
+            if code[i] < choices {
+                break;
+            }
+            code[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Collect every history of the universe into a vector (use only for
+/// small parameter sets; see [`GenParams::universe_size`]).
+pub fn all_histories(params: &GenParams) -> Vec<History> {
+    let mut out = Vec::new();
+    let flow = for_each_history(params, |h| {
+        out.push(h.clone());
+        ControlFlow::<()>::Continue(())
+    });
+    debug_assert!(flow.is_continue());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_size_matches_enumeration() {
+        let params = GenParams {
+            procs: 2,
+            ops_per_proc: 1,
+            locs: 1,
+            values: 1,
+        };
+        // Per slot: reads r(x)0, r(x)1; writes w(x)1 → 3 choices; 2 slots.
+        assert_eq!(params.choices_per_slot(), 3);
+        assert_eq!(params.universe_size(), 9);
+        assert_eq!(all_histories(&params).len(), 9);
+    }
+
+    #[test]
+    fn histories_are_distinct_and_well_formed() {
+        let params = GenParams {
+            procs: 2,
+            ops_per_proc: 1,
+            locs: 2,
+            values: 1,
+        };
+        let all = all_histories(&params);
+        for h in &all {
+            h.validate().unwrap();
+            assert_eq!(h.num_ops(), 2);
+        }
+        let mut rendered: Vec<String> = all.iter().map(History::to_string).collect();
+        rendered.sort();
+        rendered.dedup();
+        assert_eq!(rendered.len(), all.len());
+    }
+
+    #[test]
+    fn early_break_stops() {
+        let params = GenParams {
+            procs: 1,
+            ops_per_proc: 2,
+            locs: 1,
+            values: 1,
+        };
+        let mut n = 0;
+        let flow = for_each_history(&params, |_| {
+            n += 1;
+            if n == 4 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(flow.is_break());
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn contains_the_store_buffering_shape() {
+        // The Figure 1 history must appear in the 2×2×2×1 universe.
+        let params = GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        };
+        let target = "p: w(x)1 r(y)0\nq: w(y)1 r(x)0\n";
+        let mut found = false;
+        let _ = for_each_history(&params, |h| {
+            if h.to_string() == target {
+                found = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::<()>::Continue(())
+            }
+        });
+        assert!(found);
+    }
+}

@@ -1,0 +1,275 @@
+//! Empirical model comparison (the paper's Section 4 / Figure 5).
+//!
+//! A model `A` is *stronger* than `B` when every history `A` admits, `B`
+//! admits too — set inclusion of admitted histories. Over a finite corpus
+//! the inclusion matrix is computable exactly; with the corpus of *all*
+//! small histories ([`crate::histgen`]) the matrix reproduces Figure 5's
+//! lattice, complete with concrete witness histories for every strict
+//! inclusion and incomparability.
+//!
+//! ```
+//! use smc_core::checker::CheckConfig;
+//! use smc_core::{lattice, models};
+//! use smc_history::litmus::parse_history;
+//!
+//! let corpus = vec![
+//!     parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap(), // fig. 1
+//!     parse_history("p: w(x)1\nq: r(x)1").unwrap(),
+//! ];
+//! let models = vec![models::sc(), models::tso()];
+//! let r = lattice::compare(&corpus, &models, &CheckConfig::default());
+//! assert!(r.strictly_stronger(0, 1)); // SC ⊂ TSO, witnessed by fig. 1
+//! ```
+
+use crate::checker::{check_with_config, CheckConfig};
+use crate::spec::ModelSpec;
+use smc_history::History;
+
+/// Classification of one history against every model in a list:
+/// `allowed[m]` is `Some(true/false)` if decided, `None` if the budget ran
+/// out (or the combination was unsupported).
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Per-model verdicts, indexed like the model list.
+    pub allowed: Vec<Option<bool>>,
+}
+
+/// Classify `h` against each model.
+pub fn classify(h: &History, models: &[ModelSpec], cfg: &CheckConfig) -> Classification {
+    Classification {
+        allowed: models
+            .iter()
+            .map(|m| check_with_config(h, m, cfg).decided())
+            .collect(),
+    }
+}
+
+/// The empirical comparison of a model list over a history corpus.
+#[derive(Debug, Clone)]
+pub struct LatticeResult {
+    /// Model display names, in input order.
+    pub model_names: Vec<String>,
+    /// `counts[m]` = number of corpus histories admitted by model `m`.
+    pub counts: Vec<usize>,
+    /// Number of histories with at least one undecided verdict (excluded
+    /// from the inclusion matrix).
+    pub undecided: usize,
+    /// `inclusion[a][b]` = over the decided corpus, every history admitted
+    /// by `a` is admitted by `b` (i.e. `a` is at least as strong as `b`).
+    pub inclusion: Vec<Vec<bool>>,
+    /// `separating[a][b]` = index of a corpus history admitted by `b` but
+    /// not by `a`, when one exists (a witness that `a` is strictly
+    /// stronger on this corpus, or that they are incomparable).
+    pub separating: Vec<Vec<Option<usize>>>,
+    /// Per-history classifications, aligned with the input corpus.
+    pub classifications: Vec<Classification>,
+}
+
+impl LatticeResult {
+    /// `true` if `a` is strictly stronger than `b` on this corpus:
+    /// inclusion holds one way and a separating history exists the other.
+    pub fn strictly_stronger(&self, a: usize, b: usize) -> bool {
+        self.inclusion[a][b] && self.separating[a][b].is_some()
+    }
+
+    /// `true` if the corpus shows `a` and `b` incomparable: each admits a
+    /// history the other forbids.
+    pub fn incomparable(&self, a: usize, b: usize) -> bool {
+        self.separating[a][b].is_some() && self.separating[b][a].is_some()
+    }
+
+    /// `true` if `a` and `b` admit exactly the same corpus histories.
+    pub fn equivalent_on_corpus(&self, a: usize, b: usize) -> bool {
+        self.inclusion[a][b] && self.inclusion[b][a]
+    }
+
+    /// Group models into equivalence classes (same admitted set on this
+    /// corpus); each class lists model indices, ordered by first member.
+    #[allow(clippy::needless_range_loop)] // indices double as model ids
+    pub fn equivalence_classes(&self) -> Vec<Vec<usize>> {
+        let n = self.model_names.len();
+        let mut assigned = vec![false; n];
+        let mut classes = Vec::new();
+        for a in 0..n {
+            if assigned[a] {
+                continue;
+            }
+            let mut class = vec![a];
+            assigned[a] = true;
+            for b in a + 1..n {
+                if !assigned[b] && self.equivalent_on_corpus(a, b) {
+                    class.push(b);
+                    assigned[b] = true;
+                }
+            }
+            classes.push(class);
+        }
+        classes
+    }
+
+    /// The covering (Hasse) edges of the strictly-stronger order between
+    /// equivalence classes: `(stronger_class, weaker_class)` pairs with
+    /// no class strictly between them. This is the paper's Figure 5 as a
+    /// diagram rather than a matrix.
+    pub fn hasse_edges(&self) -> Vec<(usize, usize)> {
+        let classes = self.equivalence_classes();
+        let k = classes.len();
+        let stronger = |a: usize, b: usize| {
+            self.strictly_stronger(classes[a][0], classes[b][0])
+        };
+        let mut edges = Vec::new();
+        for a in 0..k {
+            for b in 0..k {
+                if a == b || !stronger(a, b) {
+                    continue;
+                }
+                let covered = (0..k)
+                    .any(|c| c != a && c != b && stronger(a, c) && stronger(c, b));
+                if !covered {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Display name of an equivalence class: members joined by `≡`.
+    pub fn class_name(&self, class: &[usize]) -> String {
+        class
+            .iter()
+            .map(|&i| self.model_names[i].as_str())
+            .collect::<Vec<_>>()
+            .join(" ≡ ")
+    }
+}
+
+/// Compare `models` over `corpus`.
+pub fn compare(corpus: &[History], models: &[ModelSpec], cfg: &CheckConfig) -> LatticeResult {
+    let classifications: Vec<Classification> =
+        corpus.iter().map(|h| classify(h, models, cfg)).collect();
+    compare_classified(models, classifications)
+}
+
+/// Build the lattice from precomputed classifications (used when the
+/// corpus is classified in parallel by the caller).
+#[allow(clippy::needless_range_loop)] // indices double as model ids
+pub fn compare_classified(
+    models: &[ModelSpec],
+    classifications: Vec<Classification>,
+) -> LatticeResult {
+    let m = models.len();
+    let mut counts = vec![0usize; m];
+    let mut undecided = 0usize;
+    let mut inclusion = vec![vec![true; m]; m];
+    let mut separating = vec![vec![None; m]; m];
+
+    for (hi, c) in classifications.iter().enumerate() {
+        if c.allowed.iter().any(Option::is_none) {
+            undecided += 1;
+            continue;
+        }
+        for a in 0..m {
+            if c.allowed[a] == Some(true) {
+                counts[a] += 1;
+            }
+        }
+        for a in 0..m {
+            for b in 0..m {
+                if c.allowed[a] == Some(true) && c.allowed[b] == Some(false) {
+                    // `a` admits a history `b` forbids: a ⊄ b, and this
+                    // history separates b from a.
+                    inclusion[a][b] = false;
+                    if separating[b][a].is_none() {
+                        separating[b][a] = Some(hi);
+                    }
+                }
+            }
+        }
+    }
+
+    LatticeResult {
+        model_names: models.iter().map(|s| s.name.clone()).collect(),
+        counts,
+        undecided,
+        inclusion,
+        separating,
+        classifications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use smc_history::litmus::parse_history;
+
+    #[test]
+    fn figure1_separates_sc_from_tso() {
+        let corpus = vec![
+            parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap(),
+            parse_history("p: w(x)1\nq: r(x)1").unwrap(),
+        ];
+        let ms = vec![models::sc(), models::tso()];
+        let r = compare(&corpus, &ms, &CheckConfig::default());
+        assert_eq!(r.undecided, 0);
+        // SC admits only the second history; TSO admits both.
+        assert_eq!(r.counts, vec![1, 2]);
+        assert!(r.inclusion[0][1]); // SC ⊆ TSO
+        assert!(!r.inclusion[1][0]);
+        assert!(r.strictly_stronger(0, 1));
+        assert_eq!(r.separating[0][1], Some(0));
+        assert!(!r.incomparable(0, 1));
+    }
+
+    #[test]
+    fn hasse_edges_skip_transitive_pairs() {
+        // Corpus separating SC ⊂ TSO ⊂ PRAM: the Hasse diagram must keep
+        // only the two covering edges, not SC ⊂ PRAM.
+        let corpus = vec![
+            parse_history("p: w(x)1 r(y)0
+q: w(y)1 r(x)0").unwrap(), // TSO+, SC-
+            parse_history("p: w(d)1 w(f)1
+q: r(f)1 r(d)0").unwrap(), // none
+            parse_history("p: w(x)1 r(x)1 r(x)2
+q: w(x)2 r(x)2 r(x)1").unwrap(), // PRAM+, TSO-
+            parse_history("p: w(x)1
+q: r(x)1").unwrap(),             // all
+        ];
+        let ms = vec![crate::models::sc(), crate::models::tso(), crate::models::pram()];
+        let r = compare(&corpus, &ms, &CheckConfig::default());
+        let classes = r.equivalence_classes();
+        assert_eq!(classes.len(), 3);
+        let edges = r.hasse_edges();
+        assert_eq!(edges.len(), 2, "{edges:?}");
+        // SC ⊂ TSO and TSO ⊂ PRAM, never SC ⊂ PRAM directly.
+        let names: Vec<(String, String)> = edges
+            .iter()
+            .map(|&(a, b)| (r.class_name(&classes[a]), r.class_name(&classes[b])))
+            .collect();
+        assert!(names.contains(&("SC".into(), "TSO".into())));
+        assert!(names.contains(&("TSO".into(), "PRAM".into())));
+    }
+
+    #[test]
+    fn equivalence_classes_merge_equal_models() {
+        // On a corpus where SC and TSO agree everywhere they form one
+        // class.
+        let corpus = vec![parse_history("p: w(x)1
+q: r(x)1").unwrap()];
+        let ms = vec![crate::models::sc(), crate::models::tso()];
+        let r = compare(&corpus, &ms, &CheckConfig::default());
+        let classes = r.equivalence_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(r.class_name(&classes[0]), "SC ≡ TSO");
+        assert!(r.hasse_edges().is_empty());
+    }
+
+    #[test]
+    fn equivalent_on_trivial_corpus() {
+        let corpus = vec![parse_history("p: w(x)1").unwrap()];
+        let ms = vec![models::sc(), models::tso()];
+        let r = compare(&corpus, &ms, &CheckConfig::default());
+        assert!(r.equivalent_on_corpus(0, 1));
+        assert!(!r.strictly_stronger(0, 1));
+    }
+}

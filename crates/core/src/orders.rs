@@ -1,0 +1,366 @@
+//! The derived orders of Section 2 and Section 3.3.
+//!
+//! All orders are materialized as [`Relation`]s over the dense operation
+//! ids of a [`History`]:
+//!
+//! * [`program_order`] — the paper's `→po`: total per processor.
+//! * [`partial_program_order`] — `→ppo`: `po` minus write→read pairs on
+//!   different locations, transitively closed (reads may bypass buffered
+//!   writes, as in TSO and PC).
+//! * [`writes_before`] — `→wb`: each write before the reads that return
+//!   its value (relative to a reads-from assignment).
+//! * [`causal_order`] — `→co = (po ∪ wb)+` (Lamport's happened-before
+//!   adapted to shared memory).
+//! * [`remote_writes_before`], [`remote_reads_before`], [`semi_causal`] —
+//!   the `→rwb`, `→rrb` and `→sem = (ppo ∪ rwb ∪ rrb)+` orders that define
+//!   processor consistency; `rrb` is relative to a per-location coherence
+//!   order.
+
+use crate::coherence::CoherenceOrders;
+use crate::rf::ReadsFrom;
+use smc_history::History;
+use smc_relation::Relation;
+
+/// The paper's program order `→po`: `o_{p,i} → o_{p,j}` for `i < j`.
+pub fn program_order(h: &History) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for ph in h.procs() {
+        for i in 0..ph.ops.len() {
+            for j in i + 1..ph.ops.len() {
+                r.add(ph.ops[i].id.index(), ph.ops[j].id.index());
+            }
+        }
+    }
+    r
+}
+
+/// The partial program order `→ppo` (Section 2, Ordering).
+///
+/// For `o1 →po o2`, the direct cases are: same location; both reads; both
+/// writes; or `o1` a read and `o2` a write. The omitted case — a write
+/// followed by a read of a *different* location — is what lets reads
+/// bypass buffered writes. The paper closes the direct cases transitively
+/// (through operations of the same processor); we do the same.
+pub fn partial_program_order(h: &History) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for ph in h.procs() {
+        for i in 0..ph.ops.len() {
+            for j in i + 1..ph.ops.len() {
+                let (a, b) = (&ph.ops[i], &ph.ops[j]);
+                let direct = a.loc == b.loc
+                    || (a.is_read() && b.is_read())
+                    || (a.is_write() && b.is_write())
+                    || (a.is_read() && b.is_write());
+                if direct {
+                    r.add(a.id.index(), b.id.index());
+                }
+            }
+        }
+    }
+    r.transitive_closure();
+    r
+}
+
+/// Program order restricted to pairs on the same location (the ordering
+/// requirement of a coherent-only memory).
+pub fn per_location_program_order(h: &History) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for ph in h.procs() {
+        for i in 0..ph.ops.len() {
+            for j in i + 1..ph.ops.len() {
+                if ph.ops[i].loc == ph.ops[j].loc {
+                    r.add(ph.ops[i].id.index(), ph.ops[j].id.index());
+                }
+            }
+        }
+    }
+    r
+}
+
+/// The writes-before order `→wb`: `w →wb r` when `r` returns the value
+/// written by `w` under the given reads-from assignment.
+pub fn writes_before(h: &History, rf: &ReadsFrom) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for o in h.ops() {
+        if o.is_read() {
+            if let Some(w) = rf.source(o.id) {
+                r.add(w.index(), o.id.index());
+            }
+        }
+    }
+    r
+}
+
+/// The causal order `→co = (→po ∪ →wb)+` (Section 2, Ordering).
+pub fn causal_order(h: &History, rf: &ReadsFrom) -> Relation {
+    let mut r = program_order(h);
+    r.union_with(&writes_before(h, rf));
+    r.transitive_closure();
+    r
+}
+
+/// The remote writes-before order `→rwb` (Section 3.3).
+///
+/// `o1 →rwb o2` iff `o1 = w(x)v`, `o2 = r(y)u`, and there is a write
+/// `o' = w(y)u` with `o1 →ppo o'` and `o2` reads from `o'`.
+pub fn remote_writes_before(h: &History, rf: &ReadsFrom, ppo: &Relation) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for o2 in h.ops() {
+        if !o2.is_read() {
+            continue;
+        }
+        let Some(oprime) = rf.source(o2.id) else {
+            continue;
+        };
+        for o1 in h.ops() {
+            if o1.is_write() && o1.id != oprime && ppo.has(o1.id.index(), oprime.index()) {
+                r.add(o1.id.index(), o2.id.index());
+            }
+        }
+    }
+    r
+}
+
+/// The remote reads-before order `→rrb` (Section 3.3).
+///
+/// `o1 →rrb o2` iff `o1 = r(x)v`, `o2 = w(y)u`, and there is a write
+/// `o' = w(x)v'` such that `o1` precedes `o'` in coherence order and
+/// `o' →ppo o2`. A read "precedes a write in coherence order" when its
+/// source write does (a read of the initial value precedes every write to
+/// the location).
+pub fn remote_reads_before(
+    h: &History,
+    rf: &ReadsFrom,
+    ppo: &Relation,
+    coherence: &CoherenceOrders,
+) -> Relation {
+    let mut r = Relation::new(h.num_ops());
+    for o1 in h.ops() {
+        if !o1.is_read() {
+            continue;
+        }
+        let src = rf.source(o1.id);
+        for oprime in h.writes_to(o1.loc) {
+            let newer = match src {
+                None => true,
+                Some(s) => s != oprime.id && coherence.precedes(o1.loc, s, oprime.id),
+            };
+            if !newer {
+                continue;
+            }
+            for o2 in h.ops() {
+                if o2.is_write() && ppo.has(oprime.id.index(), o2.id.index()) {
+                    r.add(o1.id.index(), o2.id.index());
+                }
+            }
+        }
+    }
+    r
+}
+
+/// The semi-causality order `→sem = (→ppo ∪ →rwb ∪ →rrb)+` that defines
+/// the ordering requirement of processor consistency.
+pub fn semi_causal(
+    h: &History,
+    rf: &ReadsFrom,
+    ppo: &Relation,
+    coherence: &CoherenceOrders,
+) -> Relation {
+    let mut r = ppo.clone();
+    r.union_with(&remote_writes_before(h, rf, ppo));
+    r.union_with(&remote_reads_before(h, rf, ppo, coherence));
+    r.transitive_closure();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::CoherenceOrders;
+    use crate::rf::unique_reads_from;
+    use smc_history::litmus::parse_history;
+    use smc_history::OpId;
+
+    fn id(i: u32) -> usize {
+        OpId(i).index()
+    }
+
+    #[test]
+    fn po_is_total_per_processor() {
+        let h = parse_history("p: w(x)1 r(y)0 w(z)2\nq: r(x)0").unwrap();
+        let po = program_order(&h);
+        assert!(po.has(id(0), id(1)) && po.has(id(1), id(2)) && po.has(id(0), id(2)));
+        assert!(!po.has(id(1), id(0)));
+        assert!(!po.has(id(0), id(3)) && !po.has(id(3), id(0)));
+        assert_eq!(po.num_edges(), 3);
+    }
+
+    #[test]
+    fn ppo_lets_reads_bypass_writes() {
+        // w(x)1 then r(y)0: different locations, write→read — NOT ppo.
+        let h = parse_history("p: w(x)1 r(y)0").unwrap();
+        let ppo = partial_program_order(&h);
+        assert!(!ppo.has(id(0), id(1)));
+        // But w(x)1 then r(x)0: same location — ppo.
+        let h2 = parse_history("p: w(x)1 r(x)1").unwrap();
+        assert!(partial_program_order(&h2).has(id(0), id(1)));
+    }
+
+    #[test]
+    fn ppo_keeps_rr_ww_rw_pairs() {
+        let h = parse_history("p: r(x)0 r(y)0\nq: w(x)1 w(y)1\nr: r(x)0 w(y)1").unwrap();
+        let ppo = partial_program_order(&h);
+        assert!(ppo.has(id(0), id(1))); // read read
+        assert!(ppo.has(id(2), id(3))); // write write
+        assert!(ppo.has(id(4), id(5))); // read write
+    }
+
+    #[test]
+    fn ppo_transitive_through_intermediate() {
+        // w(x) → r(z) not direct, but w(x) →ppo w(y) →ppo ... no read path;
+        // instead w(x) → r(x) (same loc) → r(z) (both reads) closes to
+        // w(x) → r(z).
+        let h = parse_history("p: w(x)1 r(x)1 r(z)0").unwrap();
+        let ppo = partial_program_order(&h);
+        assert!(ppo.has(id(0), id(2)));
+    }
+
+    #[test]
+    fn per_location_po_only_same_loc() {
+        let h = parse_history("p: w(x)1 r(y)0 r(x)1").unwrap();
+        let plo = per_location_program_order(&h);
+        assert!(plo.has(id(0), id(2)));
+        assert!(!plo.has(id(0), id(1)));
+        assert!(!plo.has(id(1), id(2)));
+    }
+
+    #[test]
+    fn wb_and_causal() {
+        // Message passing: q sees the flag then the data must be visible.
+        let h = parse_history("p: w(d)1 w(f)1\nq: r(f)1 r(d)1").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let wb = writes_before(&h, &rf);
+        assert!(wb.has(id(1), id(2))); // w(f)1 → r(f)1
+        assert!(wb.has(id(0), id(3)));
+        let co = causal_order(&h, &rf);
+        // w(d)1 →po w(f)1 →wb r(f)1 →po r(d)1, closed:
+        assert!(co.has(id(0), id(3)));
+        assert!(co.has(id(0), id(2)));
+        assert!(!co.has(id(2), id(0)));
+    }
+
+    #[test]
+    fn initial_reads_have_no_wb_edge() {
+        let h = parse_history("p: w(x)1\nq: r(x)0").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        assert_eq!(writes_before(&h, &rf).num_edges(), 0);
+    }
+
+    #[test]
+    fn rwb_relates_earlier_write_to_remote_read() {
+        // p writes x then y; q reads y's new value → w(x)1 →rwb r(y)1.
+        let h = parse_history("p: w(x)1 w(y)1\nq: r(y)1").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let ppo = partial_program_order(&h);
+        let rwb = remote_writes_before(&h, &rf, &ppo);
+        assert!(rwb.has(id(0), id(2)));
+        // The direct writes-before pair w(y)1→r(y)1 is NOT in rwb
+        // (o1 must differ from o').
+        assert!(!rwb.has(id(1), id(2)));
+    }
+
+    #[test]
+    fn rrb_relates_old_read_to_later_write() {
+        // q reads x's initial value; p writes x then writes y.
+        // r(x)0 →rrb w(y)1 via o' = w(x)1.
+        let h = parse_history("p: w(x)1 w(y)1\nq: r(x)0").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let ppo = partial_program_order(&h);
+        let coh = CoherenceOrders::from_single(&h);
+        let rrb = remote_reads_before(&h, &rf, &ppo, &coh);
+        assert!(rrb.has(id(2), id(1)));
+        // Not related to the x-write itself (needs o' →ppo o2, o2 ≠ o').
+        assert!(!rrb.has(id(2), id(0)));
+    }
+
+    #[test]
+    fn sem_contains_ppo() {
+        let h = parse_history("p: w(x)1 w(y)1\nq: r(y)1 r(x)0").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let ppo = partial_program_order(&h);
+        let coh = CoherenceOrders::from_single(&h);
+        let sem = semi_causal(&h, &rf, &ppo, &coh);
+        assert!(ppo.is_subrelation(&sem));
+        // w(x)1 →rwb r(y)1 →ppo r(x)0 closes to w(x)1 →sem r(x)0, which is
+        // exactly why PC forbids this message-passing violation.
+        assert!(sem.has(id(0), id(3)));
+    }
+}
+
+#[cfg(test)]
+mod order_properties {
+    use super::*;
+    use crate::coherence::CoherenceOrders;
+    use crate::rf::enumerate_reads_from;
+    use smc_history::HistoryBuilder;
+
+    /// A deterministic pseudo-random history generator (no external
+    /// dependency needed for these little algebraic checks).
+    fn histories() -> Vec<smc_history::History> {
+        let mut out = Vec::new();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..40 {
+            let mut b = HistoryBuilder::new();
+            let procs = 1 + (next() % 3) as usize;
+            for p in 0..procs {
+                let name = ["p", "q", "r"][p];
+                b.add_proc(name);
+                let ops = (next() % 4) as usize;
+                for _ in 0..ops {
+                    let loc = ["x", "y"][(next() % 2) as usize];
+                    let val = (next() % 3) as i64;
+                    if next() % 2 == 0 {
+                        b.write(name, loc, val.max(1));
+                    } else {
+                        b.read(name, loc, val);
+                    }
+                }
+            }
+            out.push(b.build());
+        }
+        out
+    }
+
+    #[test]
+    fn algebra_po_ppo_co_sem() {
+        for h in histories() {
+            let po = program_order(&h);
+            let ppo = partial_program_order(&h);
+            let plpo = per_location_program_order(&h);
+            // ppo ⊆ po⁺ = po (po is transitively closed by construction),
+            // and per-location po ⊆ ppo ⊆ po.
+            assert!(ppo.is_subrelation(&po), "ppo ⊄ po on\n{h}");
+            assert!(plpo.is_subrelation(&ppo), "plpo ⊄ ppo on\n{h}");
+            // All three are acyclic.
+            assert!(po.is_acyclic() && ppo.is_acyclic() && plpo.is_acyclic());
+
+            let (rfs, _) = enumerate_reads_from(&h, 64);
+            for rf in &rfs {
+                let co = causal_order(&h, rf);
+                // po ⊆ co; co is transitively closed.
+                assert!(po.is_subrelation(&co));
+                assert_eq!(co.closed(), co);
+                let coh = CoherenceOrders::from_single(&h);
+                let sem = semi_causal(&h, rf, &ppo, &coh);
+                assert!(ppo.is_subrelation(&sem));
+                assert_eq!(sem.closed(), sem);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Reads-from resolution.
+//!
+//! The paper's derived orders (*writes-before*, causal order, the remote
+//! writes-/reads-before orders of semi-causality) are phrased in terms of
+//! "the write whose value a read returns". When every written value is
+//! distinct per location this attribution is forced; in general several
+//! writes may have stored the same value and a read of `0` may be
+//! explained by the initial state. The checker therefore works relative to
+//! a *reads-from assignment* and, where needed, enumerates all consistent
+//! assignments.
+
+use smc_history::{History, OpId, Value};
+
+/// A candidate attribution of every read to the write it returns.
+///
+/// `source[r] = Some(w)` says read `r` returns the value stored by write
+/// `w`; `None` says it returns the location's initial value. Entries for
+/// write operations are unused (kept `None`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReadsFrom {
+    source: Vec<Option<OpId>>,
+}
+
+impl ReadsFrom {
+    /// Build from an explicit source vector, indexed by [`OpId`]
+    /// (entries for writes must be `None`).
+    pub fn from_sources(source: Vec<Option<OpId>>) -> Self {
+        ReadsFrom { source }
+    }
+
+    /// The source write of read `r` (`None` = initial value).
+    #[inline]
+    pub fn source(&self, r: OpId) -> Option<OpId> {
+        self.source[r.index()]
+    }
+
+    /// Raw access, indexed by [`OpId`].
+    pub fn as_slice(&self) -> &[Option<OpId>] {
+        &self.source
+    }
+}
+
+/// The candidate source writes for each read of `h`.
+///
+/// A write `w` is a candidate for read `r` iff they touch the same
+/// location and `w` stores exactly the value `r` returns; reads of the
+/// initial value additionally admit `None`. A read *may* read its own
+/// processor's write (PRAM's Figure 3 relies on this).
+fn candidates(h: &History, r: OpId) -> Vec<Option<OpId>> {
+    let read = h.op(r);
+    debug_assert!(read.is_read());
+    let mut out = Vec::new();
+    if read.value == Value::INITIAL {
+        out.push(None);
+    }
+    for w in h.writes_to(read.loc) {
+        if w.value == read.value {
+            out.push(Some(w.id));
+        }
+    }
+    out
+}
+
+/// Enumerate every consistent reads-from assignment of `h`, up to `limit`.
+///
+/// Returns `(assignments, truncated)`. An empty result with
+/// `truncated == false` means some read's value is unexplainable by any
+/// write (or the initial state) — no memory model in the framework can
+/// admit such a history, because every view must be legal.
+pub fn enumerate_reads_from(h: &History, limit: usize) -> (Vec<ReadsFrom>, bool) {
+    let reads: Vec<OpId> = h
+        .ops()
+        .iter()
+        .filter(|o| o.is_read())
+        .map(|o| o.id)
+        .collect();
+    let per_read: Vec<Vec<Option<OpId>>> = reads.iter().map(|&r| candidates(h, r)).collect();
+    if per_read.iter().any(Vec::is_empty) {
+        return (Vec::new(), false);
+    }
+
+    let mut out = Vec::new();
+    let mut current = vec![None; h.num_ops()];
+    let mut truncated = false;
+    fn rec(
+        reads: &[OpId],
+        per_read: &[Vec<Option<OpId>>],
+        i: usize,
+        current: &mut Vec<Option<OpId>>,
+        out: &mut Vec<ReadsFrom>,
+        limit: usize,
+        truncated: &mut bool,
+    ) {
+        if out.len() >= limit {
+            *truncated = true;
+            return;
+        }
+        if i == reads.len() {
+            out.push(ReadsFrom {
+                source: current.clone(),
+            });
+            return;
+        }
+        for &cand in &per_read[i] {
+            current[reads[i].index()] = cand;
+            rec(reads, per_read, i + 1, current, out, limit, truncated);
+            if *truncated {
+                return;
+            }
+        }
+        current[reads[i].index()] = None;
+    }
+    rec(
+        &reads,
+        &per_read,
+        0,
+        &mut current,
+        &mut out,
+        limit,
+        &mut truncated,
+    );
+    // `truncated` may have been set spuriously when the limit was reached
+    // exactly at the last assignment; only report truncation if we stopped
+    // with work remaining.
+    (out, truncated)
+}
+
+/// The unique reads-from assignment, if written values are distinct per
+/// location (the common litmus-test case).
+pub fn unique_reads_from(h: &History) -> Option<ReadsFrom> {
+    let (mut v, truncated) = enumerate_reads_from(h, 2);
+    if v.len() == 1 && !truncated {
+        v.pop()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_history::litmus::parse_history;
+
+    #[test]
+    fn unique_when_values_distinct() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        // Both reads return the initial value.
+        let reads: Vec<_> = h.ops().iter().filter(|o| o.is_read()).collect();
+        for r in reads {
+            assert_eq!(rf.source(r.id), None);
+        }
+    }
+
+    #[test]
+    fn read_maps_to_matching_write() {
+        let h = parse_history("p: w(x)1\nq: r(x)1").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let r = h.ops().iter().find(|o| o.is_read()).unwrap();
+        let w = h.ops().iter().find(|o| o.is_write()).unwrap();
+        assert_eq!(rf.source(r.id), Some(w.id));
+    }
+
+    #[test]
+    fn ambiguous_values_enumerate() {
+        // Two writes of the same value: the read has two explanations.
+        let h = parse_history("p: w(x)5\nq: w(x)5\nr: r(x)5").unwrap();
+        let (all, truncated) = enumerate_reads_from(&h, 100);
+        assert_eq!(all.len(), 2);
+        assert!(!truncated);
+        assert!(unique_reads_from(&h).is_none());
+    }
+
+    #[test]
+    fn zero_read_with_zero_write_has_two_explanations() {
+        let h = parse_history("p: w(x)0\nq: r(x)0").unwrap();
+        let (all, _) = enumerate_reads_from(&h, 100);
+        // Initial value or the explicit write of 0.
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn unexplainable_read_yields_empty() {
+        let h = parse_history("p: r(x)7").unwrap();
+        let (all, truncated) = enumerate_reads_from(&h, 100);
+        assert!(all.is_empty());
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let h = parse_history("p: w(x)5\nq: w(x)5\nr: r(x)5 r(x)5").unwrap();
+        let (all, truncated) = enumerate_reads_from(&h, 3);
+        assert_eq!(all.len(), 3);
+        assert!(truncated);
+        let (all4, truncated4) = enumerate_reads_from(&h, 4);
+        assert_eq!(all4.len(), 4);
+        assert!(!truncated4);
+    }
+
+    #[test]
+    fn own_write_is_a_candidate() {
+        let h = parse_history("p: w(x)1 r(x)1").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let r = &h.ops()[1];
+        assert_eq!(rf.source(r.id), Some(h.ops()[0].id));
+    }
+}

@@ -1,0 +1,237 @@
+//! The three characterization parameters as data.
+//!
+//! Section 2 of the paper identifies the parameters that, varied
+//! systematically, produce the memory models in the literature:
+//!
+//! 1. **Set of operations** — which remote operations a processor's view
+//!    must include ([`OperationSet`]);
+//! 2. **Mutual consistency** — cross-view agreement requirements
+//!    (the boolean/optional fields of [`ModelSpec`]: identical views, a
+//!    global write order, coherence, agreement on labeled operations);
+//! 3. **Ordering** — which order derived from the history each view must
+//!    respect ([`GlobalOrder`] for constraints that bind every view,
+//!    [`OwnerOrder`] for release consistency's weaker rule that only the
+//!    issuing processor's own view preserves `→ppo`).
+//!
+//! A [`ModelSpec`] is a *point in parameter space*; the standard models
+//! are constructed in [`crate::models`], and new memories (the paper's
+//! Section 7) are just new parameter combinations.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameter 1: the membership of `δ_p` — which operations of *other*
+/// processors must appear in processor `p`'s view (its own operations are
+/// always included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperationSet {
+    /// All operations of other processors (`S_{p+a}`): used by sequential
+    /// consistency, where everyone observes everything.
+    AllOps,
+    /// Only the write operations of other processors (`S_{p+w}`): the
+    /// plausible minimum, since only writes change the memory state; used
+    /// by every weaker model in the paper.
+    WritesOnly,
+}
+
+/// The order that must be preserved between any two operations *present in
+/// a view*, whichever processor issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlobalOrder {
+    /// No global ordering requirement.
+    None,
+    /// Program order `→po` (PRAM, SC).
+    ProgramOrder,
+    /// Partial program order `→ppo` (TSO): reads may bypass earlier
+    /// writes to different locations.
+    PartialProgramOrder,
+    /// Program order restricted to same-location pairs (coherent-only
+    /// memory).
+    PerLocationProgramOrder,
+    /// The causal order `→co = (po ∪ wb)+` (causal memory).
+    CausalOrder,
+    /// The semi-causality order `→sem = (ppo ∪ rwb ∪ rrb)+` (processor
+    /// consistency). Depends on the enumerated coherence order.
+    SemiCausalOrder,
+}
+
+impl GlobalOrder {
+    /// Whether deriving this order requires a reads-from assignment.
+    pub fn needs_reads_from(self) -> bool {
+        matches!(self, GlobalOrder::CausalOrder | GlobalOrder::SemiCausalOrder)
+    }
+
+    /// Whether deriving this order requires a coherence order.
+    pub fn needs_coherence(self) -> bool {
+        matches!(self, GlobalOrder::SemiCausalOrder)
+    }
+}
+
+/// The order preserved only in the *issuing processor's own* view.
+///
+/// Release consistency requires `o1 →ppo o2` to be respected in `S_p` when
+/// both are operations *of p*, while other processors may observe `p`'s
+/// ordinary writes in either order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OwnerOrder {
+    /// No owner-only requirement (the global order already covers it).
+    None,
+    /// Program order among the owner's operations.
+    ProgramOrder,
+    /// Partial program order among the owner's operations.
+    PartialProgramOrder,
+}
+
+/// Which consistency the *labeled* (synchronization) operations enjoy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabeledModel {
+    /// `RC_sc` / weak ordering: labeled operations are sequentially
+    /// consistent (one common *legal* order of all labeled operations).
+    SequentiallyConsistent,
+    /// `RC_pc`: labeled operations are only processor consistent.
+    ProcessorConsistent,
+    /// Hybrid consistency's weaker requirement: all processors agree on
+    /// the relative order of labeled (strong) operations, but the common
+    /// order need not be a legal sequence by itself.
+    AgreementOnly,
+}
+
+/// A memory consistency model as a point in the paper's parameter space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Display name (`"SC"`, `"TSO"`, ...), used by litmus expectations.
+    pub name: String,
+    /// Parameter 1: view membership.
+    pub delta: OperationSet,
+    /// Mutual consistency: all processors share one common view (SC).
+    pub identical_views: bool,
+    /// Mutual consistency: all views order *all* writes identically
+    /// (TSO's store order).
+    pub global_write_order: bool,
+    /// Mutual consistency: all views order writes *to each location*
+    /// identically (coherence; PC, RC and extensions).
+    pub coherence: bool,
+    /// Mutual consistency + ordering for labeled operations (release
+    /// consistency). Requires `coherence`.
+    pub labeled: Option<LabeledModel>,
+    /// Parameter 3: the order preserved in every view.
+    pub global_order: GlobalOrder,
+    /// Parameter 3 (RC): the order preserved only in the owner's view.
+    pub owner_order: OwnerOrder,
+    /// Release consistency's acquire/release bracketing conditions
+    /// (Section 3.4): an ordinary operation following an acquire is
+    /// ordered after the write the acquire read; an ordinary operation
+    /// preceding a release is ordered before the release, in every view
+    /// containing both.
+    pub rc_bracketing: bool,
+    /// Full fence semantics for labeled operations (weak ordering /
+    /// hybrid consistency): every ordinary operation is ordered with
+    /// respect to every labeled operation of the same processor, in both
+    /// directions, in every view containing both. Strictly stronger than
+    /// `rc_bracketing`.
+    pub fence_bracketing: bool,
+}
+
+impl ModelSpec {
+    /// Whether checking this model requires enumerating reads-from
+    /// assignments (models whose derived orders mention "the write a read
+    /// returns").
+    pub fn needs_reads_from(&self) -> bool {
+        self.global_order.needs_reads_from()
+            || self.rc_bracketing
+            || matches!(
+                self.labeled,
+                Some(LabeledModel::SequentiallyConsistent)
+                    | Some(LabeledModel::ProcessorConsistent)
+            )
+    }
+
+    /// Whether checking this model enumerates per-location coherence
+    /// orders.
+    pub fn needs_coherence(&self) -> bool {
+        self.coherence
+    }
+
+    /// Basic well-formedness of the parameter combination.
+    pub fn validate(&self) -> Result<(), String> {
+        if matches!(
+            self.labeled,
+            Some(LabeledModel::SequentiallyConsistent) | Some(LabeledModel::ProcessorConsistent)
+        ) && !self.coherence
+        {
+            return Err(format!(
+                "{}: release consistency requires coherence even for ordinary operations",
+                self.name
+            ));
+        }
+        if self.identical_views && self.delta != OperationSet::AllOps {
+            return Err(format!(
+                "{}: identical views only make sense when views contain all operations",
+                self.name
+            ));
+        }
+        if self.rc_bracketing && self.labeled.is_none() {
+            return Err(format!(
+                "{}: acquire/release bracketing requires a labeled submodel",
+                self.name
+            ));
+        }
+        if self.global_write_order && (self.coherence || self.labeled.is_some()) {
+            return Err(format!(
+                "{}: a global write order already implies per-location agreement; \
+                 combining it with coherence or labeled submodels is not supported",
+                self.name
+            ));
+        }
+        if self.labeled.is_some() && !(self.rc_bracketing || self.fence_bracketing) {
+            return Err(format!(
+                "{}: a labeled submodel without any ordinary/labeled ordering \
+                 (bracketing or fences) would leave data unsynchronized",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn standard_models_are_well_formed() {
+        for m in models::all_models() {
+            m.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn needs_reads_from_tracks_order_choice() {
+        assert!(!models::sc().needs_reads_from());
+        assert!(!models::tso().needs_reads_from());
+        assert!(!models::pram().needs_reads_from());
+        assert!(models::causal().needs_reads_from());
+        assert!(models::pc().needs_reads_from());
+        assert!(models::rc_sc().needs_reads_from());
+        assert!(models::rc_pc().needs_reads_from());
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        let mut bad = models::rc_sc();
+        bad.coherence = false;
+        assert!(bad.validate().is_err());
+
+        let mut bad = models::sc();
+        bad.delta = OperationSet::WritesOnly;
+        assert!(bad.validate().is_err());
+
+        let mut bad = models::pram();
+        bad.rc_bracketing = true;
+        assert!(bad.validate().is_err());
+
+        let mut bad = models::tso();
+        bad.coherence = true;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! Independent validation of checker witnesses.
+//!
+//! [`verify_witness`] re-derives every requirement of the model directly
+//! from the definitions — view membership, legality, reads-from
+//! consistency, the assembled ordering constraints, and each mutual
+//! consistency condition — without reusing the checker's search. The test
+//! suite holds the invariant *every `Allowed` verdict verifies*, which
+//! guards the search (pruning, memoization, budget plumbing) against
+//! soundness bugs.
+
+use crate::checker::{view_op_sets, Witness};
+use crate::coherence::CoherenceOrders;
+use crate::constraints::{assemble_global, owner_edges, BaseOrders, Candidates, LabeledCtx};
+use crate::rf::ReadsFrom;
+use crate::spec::{LabeledModel, ModelSpec};
+use crate::view::is_legal_sequence;
+use smc_history::{History, OpId};
+use smc_relation::BitSet;
+
+fn fail(msg: impl Into<String>) -> Result<(), String> {
+    Err(msg.into())
+}
+
+/// Validate `witness` as a certificate that `h` is admitted by `spec`.
+pub fn verify_witness(h: &History, spec: &ModelSpec, witness: &Witness) -> Result<(), String> {
+    spec.validate()?;
+    if witness.views.len() != h.num_procs() {
+        return fail(format!(
+            "expected {} views, witness has {}",
+            h.num_procs(),
+            witness.views.len()
+        ));
+    }
+
+    // 1. View membership: each view is a permutation of H_p ∪ δ_p.
+    let expected = view_op_sets(h, spec.delta);
+    for (p, view) in witness.views.iter().enumerate() {
+        let got = BitSet::from_iter(h.num_ops(), view.iter().map(|o| o.index()));
+        if got.count() != view.len() {
+            return fail(format!("view of P{p} repeats an operation"));
+        }
+        if got != expected[p] {
+            return fail(format!("view of P{p} has the wrong operation set"));
+        }
+    }
+
+    // 2. Legality of every view.
+    for (p, view) in witness.views.iter().enumerate() {
+        if !is_legal_sequence(h, view) {
+            return fail(format!("view of P{p} is not legal"));
+        }
+    }
+
+    // 3. Reads-from consistency, if the witness pins an assignment.
+    let rf = witness.reads_from.clone().map(ReadsFrom::from_sources);
+    if let Some(rf) = &rf {
+        for o in h.ops() {
+            if !o.is_read() {
+                continue;
+            }
+            match rf.source(o.id) {
+                None => {
+                    if !o.value.is_initial() {
+                        return fail(format!(
+                            "read {} returns {} but is attributed to the initial value",
+                            o.id, o.value
+                        ));
+                    }
+                }
+                Some(w) => {
+                    let src = h.op(w);
+                    if !src.is_write() || src.loc != o.loc || src.value != o.value {
+                        return fail(format!("read {} mis-attributed to {}", o.id, w));
+                    }
+                }
+            }
+        }
+        for (p, view) in witness.views.iter().enumerate() {
+            verify_view_reads_from(h, rf, view)
+                .map_err(|e| format!("view of P{p}: {e}"))?;
+        }
+    } else if spec.needs_reads_from() {
+        return fail(format!("{} witnesses must carry a reads-from assignment", spec.name));
+    }
+
+    // 4. Mutual consistency conditions, checked directly.
+    if spec.identical_views {
+        for (p, view) in witness.views.iter().enumerate() {
+            if view != &witness.views[0] {
+                return fail(format!("SC requires identical views; P{p} differs"));
+            }
+        }
+    }
+    if spec.global_write_order {
+        let store = witness
+            .store_order
+            .as_ref()
+            .ok_or("witness is missing the store order")?;
+        verify_projection_is(h, witness, |o| h.op(o).is_write(), store, "store order")?;
+    }
+    let coh = match &witness.coherence {
+        Some(orders) => {
+            let coh = CoherenceOrders::new(h, orders.clone());
+            for (l, seq) in orders.iter().enumerate() {
+                let expect: BitSet = BitSet::from_iter(
+                    h.num_ops(),
+                    h.writes_to(smc_history::Location(l as u32))
+                        .map(|o| o.id.index()),
+                );
+                let got = BitSet::from_iter(h.num_ops(), seq.iter().map(|o| o.index()));
+                if got != expect || got.count() != seq.len() {
+                    return fail(format!("coherence order of location {l} is not a \
+                                          permutation of its writes"));
+                }
+            }
+            for (l, seq) in orders.iter().enumerate() {
+                verify_projection_is(
+                    h,
+                    witness,
+                    |o| {
+                        let op = h.op(o);
+                        op.is_write() && op.loc.index() == l
+                    },
+                    seq,
+                    "coherence order",
+                )?;
+            }
+            Some(coh)
+        }
+        None => {
+            if spec.coherence {
+                return fail("witness is missing coherence orders");
+            }
+            None
+        }
+    };
+
+    // 5. Labeled submodel conditions.
+    let labeled_ctx = match spec.labeled {
+        None => None,
+        Some(LabeledModel::AgreementOnly) => {
+            let t = witness
+                .labeled_order
+                .as_ref()
+                .ok_or("agreement witness is missing the labeled order")?;
+            verify_labeled_order(h, witness, t, false)?;
+            None
+        }
+        Some(sub) => {
+            let rf = rf.as_ref().expect("checked above");
+            let ctx = LabeledCtx::build(h, rf).map_err(|e| format!("{e:?}"))?;
+            if sub == LabeledModel::SequentiallyConsistent {
+                let t = witness
+                    .labeled_order
+                    .as_ref()
+                    .ok_or("RC_sc witness is missing the labeled order")?;
+                verify_labeled_order(h, witness, t, true)?;
+            }
+            Some(ctx)
+        }
+    };
+
+    // 6. Ordering constraints: rebuild the same relation the checker used
+    // and check every view (plus owner-only edges) respects it.
+    let base = BaseOrders::new(h);
+    let cand = Candidates {
+        store_order: witness.store_order.as_deref(),
+        coherence: coh.as_ref(),
+        labeled_order: witness.labeled_order.as_deref(),
+    };
+    let g = assemble_global(h, spec, &base, rf.as_ref(), &cand, labeled_ctx.as_ref())?;
+    for (p, view) in witness.views.iter().enumerate() {
+        let idx: Vec<usize> = view.iter().map(|o| o.index()).collect();
+        if !g.respects(&idx) {
+            return fail(format!("view of P{p} violates the ordering constraints"));
+        }
+        let own = owner_edges(h, spec, &base, p);
+        if !own.respects(&idx) {
+            return fail(format!("view of P{p} violates its owner-only ordering"));
+        }
+    }
+    Ok(())
+}
+
+/// Check that `t` is a permutation of the labeled operations that
+/// respects program order, that every view's labeled projection agrees
+/// with it, and (for the SC submodel) that it is a legal sequence.
+fn verify_labeled_order(
+    h: &History,
+    witness: &Witness,
+    t: &[OpId],
+    require_legal: bool,
+) -> Result<(), String> {
+    let expect = BitSet::from_iter(h.num_ops(), h.labeled_ops().map(|o| o.id.index()));
+    let got = BitSet::from_iter(h.num_ops(), t.iter().map(|o| o.index()));
+    if got != expect || got.count() != t.len() {
+        return fail("labeled order is not a permutation of the labeled ops");
+    }
+    if require_legal && !is_legal_sequence(h, t) {
+        return fail("labeled order is not a legal SC sequence");
+    }
+    let idx: Vec<usize> = t.iter().map(|o| o.index()).collect();
+    if !crate::orders::program_order(h).respects(&idx) {
+        return fail("labeled order violates program order");
+    }
+    for (p, view) in witness.views.iter().enumerate() {
+        let proj: Vec<OpId> = view
+            .iter()
+            .copied()
+            .filter(|o| h.op(*o).is_labeled())
+            .collect();
+        let t_restricted: Vec<OpId> =
+            t.iter().copied().filter(|o| proj.contains(o)).collect();
+        if proj != t_restricted {
+            return fail(format!("view of P{p} orders labeled ops differently from T"));
+        }
+    }
+    Ok(())
+}
+
+/// Check that the most recent preceding same-location write before each
+/// read in `view` is exactly its assigned source.
+fn verify_view_reads_from(h: &History, rf: &ReadsFrom, view: &[OpId]) -> Result<(), String> {
+    let mut last: Vec<Option<OpId>> = vec![None; h.num_locs()];
+    for &id in view {
+        let o = h.op(id);
+        if o.is_write() {
+            last[o.loc.index()] = Some(id);
+        } else {
+            let got = last[o.loc.index()];
+            if got != rf.source(id) {
+                return fail(format!(
+                    "read {} sees {:?} but is assigned {:?}",
+                    id,
+                    got,
+                    rf.source(id)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that projecting every view onto `keep` yields exactly `expect`.
+fn verify_projection_is(
+    h: &History,
+    witness: &Witness,
+    keep: impl Fn(OpId) -> bool,
+    expect: &[OpId],
+    what: &str,
+) -> Result<(), String> {
+    let _ = h;
+    for (p, view) in witness.views.iter().enumerate() {
+        let proj: Vec<OpId> = view.iter().copied().filter(|&o| keep(o)).collect();
+        if proj != expect {
+            return fail(format!("view of P{p} disagrees with the {what}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, Verdict};
+    use crate::models;
+    use smc_history::litmus::parse_history;
+
+    fn assert_allowed_and_verified(text: &str, spec: &ModelSpec) -> Witness {
+        let h = parse_history(text).unwrap();
+        match check(&h, spec) {
+            Verdict::Allowed(w) => {
+                verify_witness(&h, spec, &w).unwrap_or_else(|e| {
+                    panic!("{} witness failed verification: {e}\n{h}", spec.name)
+                });
+                *w
+            }
+            other => panic!("{}: expected Allowed, got {other:?}\n{h}", spec.name),
+        }
+    }
+
+    #[test]
+    fn sc_witness_verifies() {
+        assert_allowed_and_verified("p: w(x)1\nq: r(x)1 r(x)1", &models::sc());
+    }
+
+    #[test]
+    fn tso_fig1_witness_verifies() {
+        let w = assert_allowed_and_verified(
+            "p: w(x)1 r(y)0\nq: w(y)1 r(x)0",
+            &models::tso(),
+        );
+        assert!(w.store_order.is_some());
+    }
+
+    #[test]
+    fn pram_witness_verifies() {
+        assert_allowed_and_verified(
+            "p: w(x)1 r(x)1 r(x)2\nq: w(x)2 r(x)2 r(x)1",
+            &models::pram(),
+        );
+    }
+
+    #[test]
+    fn corrupted_witness_rejected() {
+        let h = parse_history("p: w(x)1\nq: r(x)1").unwrap();
+        let spec = models::pram();
+        let Verdict::Allowed(w) = check(&h, &spec) else {
+            panic!("expected Allowed");
+        };
+        // Swap the first view's order to break legality or membership.
+        let mut bad = (*w).clone();
+        bad.views[1].reverse();
+        assert!(verify_witness(&h, &spec, &bad).is_err());
+        let mut bad2 = (*w).clone();
+        bad2.views.pop();
+        assert!(verify_witness(&h, &spec, &bad2).is_err());
+    }
+}
+
+#[cfg(test)]
+mod corruption_tests {
+    use super::*;
+    use crate::checker::{check, Verdict};
+    use crate::models;
+    use smc_history::litmus::parse_history;
+
+    fn witness_for(text: &str, spec: &ModelSpec) -> (smc_history::History, Witness) {
+        let h = parse_history(text).unwrap();
+        match check(&h, spec) {
+            Verdict::Allowed(w) => (h, *w),
+            other => panic!("{}: expected Allowed, got {other:?}", spec.name),
+        }
+    }
+
+    #[test]
+    fn corrupt_store_order_rejected() {
+        let spec = models::tso();
+        let (h, w) = witness_for("p: w(x)1 r(y)0\nq: w(y)1 r(x)0", &spec);
+        let mut bad = w.clone();
+        bad.store_order.as_mut().unwrap().reverse();
+        assert!(verify_witness(&h, &spec, &bad).is_err());
+        let mut missing = w;
+        missing.store_order = None;
+        assert!(verify_witness(&h, &spec, &missing).is_err());
+    }
+
+    #[test]
+    fn corrupt_coherence_rejected() {
+        let spec = models::pc();
+        let (h, w) = witness_for("p: w(x)1 r(x)1 r(x)2\nq: w(x)2", &spec);
+        let mut bad = w.clone();
+        for seq in bad.coherence.as_mut().unwrap() {
+            seq.reverse();
+        }
+        assert!(verify_witness(&h, &spec, &bad).is_err());
+        let mut missing = w;
+        missing.coherence = None;
+        assert!(verify_witness(&h, &spec, &missing).is_err());
+    }
+
+    #[test]
+    fn corrupt_labeled_order_rejected() {
+        let spec = models::rc_sc();
+        let (h, w) = witness_for("q: w(d)1 wl(s)1\np: rl(s)1 r(d)1", &spec);
+        let mut bad = w.clone();
+        bad.labeled_order.as_mut().unwrap().reverse();
+        assert!(verify_witness(&h, &spec, &bad).is_err());
+        let mut missing = w;
+        missing.labeled_order = None;
+        assert!(verify_witness(&h, &spec, &missing).is_err());
+    }
+
+    #[test]
+    fn corrupt_reads_from_rejected() {
+        let spec = models::causal();
+        let (h, w) = witness_for("p: w(x)1\nq: r(x)1", &spec);
+        let mut bad = w.clone();
+        // Attribute the read to the initial value despite returning 1.
+        for slot in bad.reads_from.as_mut().unwrap() {
+            *slot = None;
+        }
+        assert!(verify_witness(&h, &spec, &bad).is_err());
+        let mut missing = w;
+        missing.reads_from = None;
+        assert!(verify_witness(&h, &spec, &missing).is_err());
+    }
+
+    #[test]
+    fn foreign_view_order_rejected() {
+        // A view that is a legal sequence but violates the required
+        // ordering constraints must fail step 6.
+        let spec = models::pram();
+        let h = parse_history("p: w(x)1 w(y)1\nq: r(y)0 r(x)0").unwrap();
+        let Verdict::Allowed(w) = check(&h, &spec) else {
+            panic!("expected Allowed");
+        };
+        let mut bad = (*w).clone();
+        // Force q's view to order p's writes against program order:
+        // w(y)1 before w(x)1 with q's reads first stays legal but breaks po.
+        bad.views[1] = vec![
+            smc_history::OpId(2),
+            smc_history::OpId(3),
+            smc_history::OpId(1),
+            smc_history::OpId(0),
+        ];
+        assert!(verify_witness(&h, &spec, &bad).is_err());
+    }
+}

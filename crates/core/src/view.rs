@@ -1,0 +1,575 @@
+//! Search for legal sequential views.
+//!
+//! Section 2 of the paper requires, for each processor `p`, a *legal*
+//! sequential history `S_{p+δp}`: a total order over `p`'s operations and
+//! the model-selected remote operations in which every read returns the
+//! value of the most recent preceding write to its location (initial value
+//! `0` if none). The model's ordering and mutual-consistency parameters
+//! contribute a partial order that the view must extend.
+//!
+//! This module answers the per-view question: *given the operation set and
+//! the required partial order, does a legal linear extension exist?* — by
+//! depth-first search over schedulable operations with
+//!
+//! * dead-state pruning (a read whose explanation has been overwritten can
+//!   never be scheduled), and
+//! * memoization of failed states, keyed by the scheduled-set bit mask and
+//!   the per-location last writes (the only state the future depends on).
+//!
+//! Deciding this question is NP-complete in general (it subsumes checking
+//! sequential consistency), but litmus-scale instances are instant.
+
+use crate::rf::ReadsFrom;
+use smc_history::{History, OpId, Value};
+use smc_relation::{BitSet, Relation};
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+/// How read legality is judged during the search.
+#[derive(Clone, Copy)]
+pub enum LegalityMode<'a> {
+    /// A read of value `v` may be scheduled whenever the most recent write
+    /// to its location (if any) stored `v`, or `v = 0` with no write yet.
+    /// Used by models whose derived orders do not mention reads-from
+    /// (SC, TSO, PRAM, coherent memory).
+    ByValue,
+    /// A read must be explained by exactly its assigned source write
+    /// (or the initial value). Used by models whose ordering constraints
+    /// are derived from a reads-from assignment (causal, PC, RC).
+    ByReadsFrom(&'a ReadsFrom),
+}
+
+/// One per-view satisfiability problem.
+pub struct ViewProblem<'a> {
+    /// The full history the operations come from.
+    pub history: &'a History,
+    /// Global ids of the operations that form the view (`H_p ∪ δ_p`).
+    pub ops: BitSet,
+    /// Required partial order over global ids; only edges between two
+    /// members of `ops` constrain the view.
+    pub constraints: &'a Relation,
+    /// Read-legality mode.
+    pub legality: LegalityMode<'a>,
+}
+
+/// Outcome of a bounded search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A legal extension exists; the witness view is attached.
+    Found(Vec<OpId>),
+    /// No legal extension exists.
+    NotFound,
+    /// The node budget ran out before the search completed.
+    Exhausted,
+}
+
+/// Result of a visitor-driven enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchEnd<B> {
+    /// Every legal extension was visited without the visitor breaking.
+    Completed,
+    /// The visitor broke with this value.
+    Broke(B),
+    /// The node budget ran out.
+    Exhausted,
+}
+
+/// Tuning knobs for the view search, exposed for the ablation
+/// benchmarks (`bench_ablation`): disabling either optimization keeps the
+/// search correct but changes its cost profile.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Memoize failed `(scheduled set, last writes)` states.
+    pub memoize: bool,
+    /// Prune states in which some unscheduled read can never again be
+    /// scheduled.
+    pub dead_prune: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            memoize: true,
+            dead_prune: true,
+        }
+    }
+}
+
+const NO_WRITE: u32 = u32::MAX;
+
+struct Ctx<'a> {
+    /// Global op index per local index, ascending.
+    elems: Vec<usize>,
+    h: &'a History,
+    /// Local predecessor masks.
+    preds: Vec<BitSet>,
+    legality: LegalityMode<'a>,
+    /// Local indices of reads, for dead-state scans.
+    reads: Vec<usize>,
+    num_locs: usize,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(p: &'a ViewProblem<'a>) -> Self {
+        let elems: Vec<usize> = p.ops.iter().collect();
+        let m = elems.len();
+        let mut local_of = vec![usize::MAX; p.history.num_ops()];
+        for (i, &e) in elems.iter().enumerate() {
+            local_of[e] = i;
+        }
+        let mut preds: Vec<BitSet> = (0..m).map(|_| BitSet::new(m)).collect();
+        for (i, &e) in elems.iter().enumerate() {
+            for s in p.constraints.successors(e).iter() {
+                let j = local_of[s];
+                if j != usize::MAX && j != i {
+                    preds[j].insert(i);
+                }
+            }
+        }
+        let reads = (0..m)
+            .filter(|&i| p.history.ops()[elems[i]].is_read())
+            .collect();
+        Ctx {
+            elems,
+            h: p.history,
+            preds,
+            legality: p.legality,
+            reads,
+            num_locs: p.history.num_locs(),
+        }
+    }
+
+    #[inline]
+    fn op(&self, local: usize) -> &smc_history::Operation {
+        &self.h.ops()[self.elems[local]]
+    }
+
+    /// May `local` be scheduled now, given the per-location last writes?
+    fn schedulable(&self, local: usize, last_write: &[u32]) -> bool {
+        let o = self.op(local);
+        if o.is_write() {
+            return true;
+        }
+        let lw = last_write[o.loc.index()];
+        match self.legality {
+            LegalityMode::ByValue => {
+                if lw == NO_WRITE {
+                    o.value == Value::INITIAL
+                } else {
+                    self.op(lw as usize).value == o.value
+                }
+            }
+            LegalityMode::ByReadsFrom(rf) => {
+                match rf.source(OpId(self.elems[local] as u32)) {
+                    None => lw == NO_WRITE,
+                    Some(src) => lw != NO_WRITE && self.elems[lw as usize] == src.index(),
+                }
+            }
+        }
+    }
+
+    /// `true` if some unscheduled read can never become schedulable.
+    fn dead(&self, placed: &BitSet, last_write: &[u32]) -> bool {
+        for &r in &self.reads {
+            if placed.contains(r) {
+                continue;
+            }
+            let o = self.op(r);
+            let lw = last_write[o.loc.index()];
+            match self.legality {
+                LegalityMode::ByReadsFrom(rf) => {
+                    match rf.source(OpId(self.elems[r] as u32)) {
+                        None => {
+                            // Needs the initial state: dead once any write
+                            // to the location has been scheduled.
+                            if lw != NO_WRITE {
+                                return true;
+                            }
+                        }
+                        Some(src) => {
+                            // Dead if the source has been scheduled but is
+                            // no longer the most recent write.
+                            if let Some(src_local) =
+                                self.local_of_global(src.index(), placed)
+                            {
+                                if lw != src_local as u32 {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+                LegalityMode::ByValue => {
+                    // Dead if the current value mismatches and no pending
+                    // write can ever produce the needed value.
+                    let current_ok = if lw == NO_WRITE {
+                        o.value == Value::INITIAL
+                    } else {
+                        self.op(lw as usize).value == o.value
+                    };
+                    if !current_ok {
+                        let rescue = (0..self.elems.len()).any(|i| {
+                            !placed.contains(i) && {
+                                let c = self.op(i);
+                                c.is_write() && c.loc == o.loc && c.value == o.value
+                            }
+                        });
+                        if !rescue {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Local index of a scheduled global op, if it is scheduled.
+    fn local_of_global(&self, global: usize, placed: &BitSet) -> Option<usize> {
+        // elems is ascending, so binary search.
+        match self.elems.binary_search(&global) {
+            Ok(local) if placed.contains(local) => Some(local),
+            _ => None,
+        }
+    }
+}
+
+/// Search for one legal extension of the problem, spending at most
+/// `budget` search nodes (decremented in place so budgets can be shared
+/// across sub-searches and nested enumerations).
+pub fn find_legal_extension(p: &ViewProblem<'_>, budget: &Cell<u64>) -> SearchOutcome {
+    find_legal_extension_with(p, budget, SearchOptions::default())
+}
+
+/// [`find_legal_extension`] with explicit [`SearchOptions`].
+pub fn find_legal_extension_with(
+    p: &ViewProblem<'_>,
+    budget: &Cell<u64>,
+    opts: SearchOptions,
+) -> SearchOutcome {
+    let ctx = Ctx::new(p);
+    let m = ctx.elems.len();
+    let mut placed = BitSet::new(m);
+    let mut last_write = vec![NO_WRITE; ctx.num_locs];
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    let mut failed: HashSet<(BitSet, Vec<u32>)> = HashSet::new();
+
+    fn rec(
+        ctx: &Ctx<'_>,
+        placed: &mut BitSet,
+        last_write: &mut Vec<u32>,
+        order: &mut Vec<usize>,
+        failed: &mut HashSet<(BitSet, Vec<u32>)>,
+        budget: &Cell<u64>,
+        opts: SearchOptions,
+    ) -> SearchOutcome {
+        if order.len() == ctx.elems.len() {
+            return SearchOutcome::Found(
+                order.iter().map(|&l| OpId(ctx.elems[l] as u32)).collect(),
+            );
+        }
+        if budget.get() == 0 {
+            return SearchOutcome::Exhausted;
+        }
+        budget.set(budget.get() - 1);
+        if opts.dead_prune && ctx.dead(placed, last_write) {
+            return SearchOutcome::NotFound;
+        }
+        let key = (placed.clone(), last_write.clone());
+        if opts.memoize && failed.contains(&key) {
+            return SearchOutcome::NotFound;
+        }
+        for i in 0..ctx.elems.len() {
+            if placed.contains(i) || !ctx.preds[i].is_subset(placed) {
+                continue;
+            }
+            if !ctx.schedulable(i, last_write) {
+                continue;
+            }
+            let o = ctx.op(i);
+            let saved = last_write[o.loc.index()];
+            if o.is_write() {
+                last_write[o.loc.index()] = i as u32;
+            }
+            placed.insert(i);
+            order.push(i);
+            match rec(ctx, placed, last_write, order, failed, budget, opts) {
+                SearchOutcome::NotFound => {}
+                done => return done,
+            }
+            order.pop();
+            placed.remove(i);
+            last_write[o.loc.index()] = saved;
+        }
+        if opts.memoize {
+            failed.insert(key);
+        }
+        SearchOutcome::NotFound
+    }
+
+    rec(
+        &ctx,
+        &mut placed,
+        &mut last_write,
+        &mut order,
+        &mut failed,
+        budget,
+        opts,
+    )
+}
+
+/// Visit every legal extension of the problem (no failure memoization, so
+/// the visitor sees each distinct extension exactly once).
+pub fn for_each_legal_extension<B>(
+    p: &ViewProblem<'_>,
+    budget: &Cell<u64>,
+    mut visit: impl FnMut(&[OpId]) -> ControlFlow<B>,
+) -> SearchEnd<B> {
+    let ctx = Ctx::new(p);
+    let m = ctx.elems.len();
+    let mut placed = BitSet::new(m);
+    let mut last_write = vec![NO_WRITE; ctx.num_locs];
+    let mut order: Vec<OpId> = Vec::with_capacity(m);
+
+    fn rec<B>(
+        ctx: &Ctx<'_>,
+        placed: &mut BitSet,
+        last_write: &mut Vec<u32>,
+        order: &mut Vec<OpId>,
+        budget: &Cell<u64>,
+        visit: &mut impl FnMut(&[OpId]) -> ControlFlow<B>,
+    ) -> SearchEnd<B> {
+        if order.len() == ctx.elems.len() {
+            return match visit(order) {
+                ControlFlow::Continue(()) => SearchEnd::Completed,
+                ControlFlow::Break(b) => SearchEnd::Broke(b),
+            };
+        }
+        if budget.get() == 0 {
+            return SearchEnd::Exhausted;
+        }
+        budget.set(budget.get() - 1);
+        if ctx.dead(placed, last_write) {
+            return SearchEnd::Completed;
+        }
+        for i in 0..ctx.elems.len() {
+            if placed.contains(i) || !ctx.preds[i].is_subset(placed) {
+                continue;
+            }
+            if !ctx.schedulable(i, last_write) {
+                continue;
+            }
+            let o = ctx.op(i);
+            let saved = last_write[o.loc.index()];
+            if o.is_write() {
+                last_write[o.loc.index()] = i as u32;
+            }
+            placed.insert(i);
+            order.push(OpId(ctx.elems[i] as u32));
+            let end = rec(ctx, placed, last_write, order, budget, visit);
+            order.pop();
+            placed.remove(i);
+            last_write[o.loc.index()] = saved;
+            match end {
+                SearchEnd::Completed => {}
+                other => return other,
+            }
+        }
+        SearchEnd::Completed
+    }
+
+    rec(
+        &ctx,
+        &mut placed,
+        &mut last_write,
+        &mut order,
+        budget,
+        &mut visit,
+    )
+}
+
+/// Check that `order` is a legal sequence for the history: every read
+/// returns the most recent preceding write's value (initial `0` if none).
+/// Used to validate witnesses independently of the search.
+pub fn is_legal_sequence(h: &History, order: &[OpId]) -> bool {
+    let mut last: Vec<Option<Value>> = vec![None; h.num_locs()];
+    for &id in order {
+        let o = h.op(id);
+        if o.is_write() {
+            last[o.loc.index()] = Some(o.value);
+        } else {
+            let expect = last[o.loc.index()].unwrap_or(Value::INITIAL);
+            if o.value != expect {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orders::program_order;
+    use crate::rf::unique_reads_from;
+    use smc_history::litmus::parse_history;
+
+    fn all_ops(h: &History) -> BitSet {
+        BitSet::full(h.num_ops())
+    }
+
+    fn find(h: &History, constraints: &Relation, legality: LegalityMode<'_>) -> SearchOutcome {
+        let p = ViewProblem {
+            history: h,
+            ops: all_ops(h),
+            constraints,
+            legality,
+        };
+        let budget = Cell::new(1_000_000);
+        find_legal_extension(&p, &budget)
+    }
+
+    #[test]
+    fn message_passing_has_legal_po_extension() {
+        let h = parse_history("p: w(d)1 w(f)1\nq: r(f)1 r(d)1").unwrap();
+        let po = program_order(&h);
+        match find(&h, &po, LegalityMode::ByValue) {
+            SearchOutcome::Found(order) => {
+                assert!(is_legal_sequence(&h, &order));
+                assert!(po.respects(&order.iter().map(|o| o.index()).collect::<Vec<_>>()));
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig1_has_no_global_po_extension() {
+        // The SC-violating store-buffering history: no single legal
+        // sequence respects both program orders.
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let po = program_order(&h);
+        assert_eq!(find(&h, &po, LegalityMode::ByValue), SearchOutcome::NotFound);
+    }
+
+    #[test]
+    fn reads_from_mode_pins_the_source() {
+        let h = parse_history("p: w(x)1 w(x)2\nq: r(x)1").unwrap();
+        let rf = unique_reads_from(&h).unwrap();
+        let po = program_order(&h);
+        let p = ViewProblem {
+            history: &h,
+            ops: all_ops(&h),
+            constraints: &po,
+            legality: LegalityMode::ByReadsFrom(&rf),
+        };
+        let budget = Cell::new(1_000_000);
+        match find_legal_extension(&p, &budget) {
+            SearchOutcome::Found(order) => {
+                // r(x)1 must land strictly between the two writes.
+                let pos = |id: u32| order.iter().position(|o| o.0 == id).unwrap();
+                assert!(pos(0) < pos(2) && pos(2) < pos(1));
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subset_views_ignore_outside_ops() {
+        // Only q's ops + p's writes, as in S_{q+w}.
+        let h = parse_history("p: w(x)1 r(z)0\nq: r(x)1").unwrap();
+        let po = program_order(&h);
+        let ops = BitSet::from_iter(h.num_ops(), [0usize, 2]);
+        let p = ViewProblem {
+            history: &h,
+            ops,
+            constraints: &po,
+            legality: LegalityMode::ByValue,
+        };
+        let budget = Cell::new(1_000);
+        match find_legal_extension(&p, &budget) {
+            SearchOutcome::Found(order) => assert_eq!(order.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let po = program_order(&h);
+        let p = ViewProblem {
+            history: &h,
+            ops: all_ops(&h),
+            constraints: &po,
+            legality: LegalityMode::ByValue,
+        };
+        let budget = Cell::new(1);
+        assert_eq!(find_legal_extension(&p, &budget), SearchOutcome::Exhausted);
+    }
+
+    #[test]
+    fn enumeration_visits_each_extension_once() {
+        // Two independent writes to different locations: 2 interleavings.
+        let h = parse_history("p: w(x)1\nq: w(y)1").unwrap();
+        let cons = Relation::new(h.num_ops());
+        let p = ViewProblem {
+            history: &h,
+            ops: all_ops(&h),
+            constraints: &cons,
+            legality: LegalityMode::ByValue,
+        };
+        let budget = Cell::new(1_000);
+        let mut seen = Vec::new();
+        let end = for_each_legal_extension(&p, &budget, |ext| {
+            seen.push(ext.to_vec());
+            ControlFlow::<()>::Continue(())
+        });
+        assert!(matches!(end, SearchEnd::Completed));
+        assert_eq!(seen.len(), 2);
+        assert_ne!(seen[0], seen[1]);
+    }
+
+    #[test]
+    fn enumeration_prunes_illegal_prefixes() {
+        // r(x)0 cannot follow w(x)1, so only one legal order exists.
+        let h = parse_history("p: w(x)1\nq: r(x)0").unwrap();
+        let cons = Relation::new(h.num_ops());
+        let p = ViewProblem {
+            history: &h,
+            ops: all_ops(&h),
+            constraints: &cons,
+            legality: LegalityMode::ByValue,
+        };
+        let budget = Cell::new(1_000);
+        let mut count = 0;
+        for_each_legal_extension(&p, &budget, |_| {
+            count += 1;
+            ControlFlow::<()>::Continue(())
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn enumeration_break_propagates() {
+        let h = parse_history("p: w(x)1\nq: w(y)1").unwrap();
+        let cons = Relation::new(h.num_ops());
+        let p = ViewProblem {
+            history: &h,
+            ops: all_ops(&h),
+            constraints: &cons,
+            legality: LegalityMode::ByValue,
+        };
+        let budget = Cell::new(1_000);
+        let end = for_each_legal_extension(&p, &budget, |_| ControlFlow::Break(42));
+        assert!(matches!(end, SearchEnd::Broke(42)));
+    }
+
+    #[test]
+    fn is_legal_sequence_checks_values() {
+        let h = parse_history("p: w(x)1 r(x)1 r(x)0").unwrap();
+        let good = vec![OpId(2), OpId(0), OpId(1)];
+        assert!(is_legal_sequence(&h, &good));
+        let bad = vec![OpId(0), OpId(1), OpId(2)];
+        assert!(!is_legal_sequence(&h, &bad));
+    }
+}

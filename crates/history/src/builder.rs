@@ -1,0 +1,179 @@
+//! Programmatic construction of histories.
+
+use crate::history::History;
+use crate::op::{Label, Location, OpId, OpKind, Operation, ProcId, Value};
+
+/// Builds a [`History`] incrementally, interning processor and location
+/// names in first-use order.
+///
+/// Operations may be added for processors in any interleaving; the builder
+/// groups them per processor, and [`HistoryBuilder::build`] lays them out in
+/// processor-major order with dense [`OpId`]s.
+///
+/// ```
+/// use smc_history::HistoryBuilder;
+///
+/// let mut b = HistoryBuilder::new();
+/// b.write("p", "x", 1);
+/// b.read("p", "y", 0);
+/// b.write("q", "y", 1);
+/// b.read("q", "x", 0);
+/// let h = b.build();
+/// assert_eq!(h.num_ops(), 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct HistoryBuilder {
+    proc_names: Vec<String>,
+    loc_names: Vec<String>,
+    /// Per-processor pending operations: (kind, loc, value, label).
+    pending: Vec<Vec<(OpKind, Location, Value, Label)>>,
+}
+
+impl HistoryBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern (or look up) a processor by name, creating it with an empty
+    /// operation sequence if new.
+    pub fn add_proc(&mut self, name: &str) -> ProcId {
+        if let Some(i) = self.proc_names.iter().position(|n| n == name) {
+            return ProcId(i as u32);
+        }
+        self.proc_names.push(name.to_owned());
+        self.pending.push(Vec::new());
+        ProcId((self.proc_names.len() - 1) as u32)
+    }
+
+    /// Intern (or look up) a location by name.
+    pub fn add_loc(&mut self, name: &str) -> Location {
+        if let Some(i) = self.loc_names.iter().position(|n| n == name) {
+            return Location(i as u32);
+        }
+        self.loc_names.push(name.to_owned());
+        Location((self.loc_names.len() - 1) as u32)
+    }
+
+    /// Append an operation with explicit kind and label to `proc`'s program
+    /// order.
+    pub fn push(
+        &mut self,
+        proc: &str,
+        kind: OpKind,
+        loc: &str,
+        value: impl Into<Value>,
+        label: Label,
+    ) {
+        let p = self.add_proc(proc);
+        let l = self.add_loc(loc);
+        self.pending[p.index()].push((kind, l, value.into(), label));
+    }
+
+    /// Append an ordinary write `w(loc)value` to `proc`.
+    pub fn write(&mut self, proc: &str, loc: &str, value: impl Into<Value>) {
+        self.push(proc, OpKind::Write, loc, value, Label::Ordinary);
+    }
+
+    /// Append an ordinary read `r(loc)value` to `proc`.
+    pub fn read(&mut self, proc: &str, loc: &str, value: impl Into<Value>) {
+        self.push(proc, OpKind::Read, loc, value, Label::Ordinary);
+    }
+
+    /// Append a labeled write (release) `wl(loc)value` to `proc`.
+    pub fn labeled_write(&mut self, proc: &str, loc: &str, value: impl Into<Value>) {
+        self.push(proc, OpKind::Write, loc, value, Label::Labeled);
+    }
+
+    /// Append a labeled read (acquire) `rl(loc)value` to `proc`.
+    pub fn labeled_read(&mut self, proc: &str, loc: &str, value: impl Into<Value>) {
+        self.push(proc, OpKind::Read, loc, value, Label::Labeled);
+    }
+
+    /// Number of operations added so far.
+    pub fn num_ops(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+
+    /// Finalize into a [`History`] with dense processor-major [`OpId`]s.
+    pub fn build(self) -> History {
+        let mut ops = Vec::with_capacity(self.num_ops());
+        let mut proc_ranges = Vec::with_capacity(self.pending.len());
+        for (p, seq) in self.pending.into_iter().enumerate() {
+            let start = ops.len() as u32;
+            for (i, (kind, loc, value, label)) in seq.into_iter().enumerate() {
+                ops.push(Operation {
+                    id: OpId(ops.len() as u32),
+                    proc: ProcId(p as u32),
+                    index: i as u32,
+                    kind,
+                    loc,
+                    value,
+                    label,
+                });
+            }
+            proc_ranges.push(start..ops.len() as u32);
+        }
+        let h = History {
+            ops,
+            proc_ranges,
+            proc_names: self.proc_names,
+            loc_names: self.loc_names,
+        };
+        debug_assert!(h.validate().is_ok());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut b = HistoryBuilder::new();
+        let p0 = b.add_proc("p");
+        let q = b.add_proc("q");
+        let p1 = b.add_proc("p");
+        assert_eq!(p0, p1);
+        assert_ne!(p0, q);
+        let x0 = b.add_loc("x");
+        let x1 = b.add_loc("x");
+        assert_eq!(x0, x1);
+    }
+
+    #[test]
+    fn interleaved_adds_group_by_processor() {
+        let mut b = HistoryBuilder::new();
+        b.write("p", "x", 1);
+        b.write("q", "y", 2);
+        b.read("p", "y", 0);
+        let h = b.build();
+        assert_eq!(h.proc_ops(ProcId(0)).len(), 2);
+        assert_eq!(h.proc_ops(ProcId(1)).len(), 1);
+        // p's ops come first and keep their relative order.
+        assert!(h.ops()[0].is_write());
+        assert!(h.ops()[1].is_read());
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let mut b = HistoryBuilder::new();
+        b.labeled_write("p", "s", 1);
+        b.labeled_read("q", "s", 1);
+        b.write("q", "x", 7);
+        let h = b.build();
+        assert!(h.ops()[0].is_release());
+        assert!(h.ops()[1].is_acquire());
+        assert!(!h.ops()[2].is_labeled());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_history() {
+        let h = HistoryBuilder::new().build();
+        assert_eq!(h.num_ops(), 0);
+        assert_eq!(h.num_procs(), 0);
+        h.validate().unwrap();
+    }
+}

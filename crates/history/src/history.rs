@@ -1,0 +1,389 @@
+//! System execution histories.
+
+use crate::op::{Label, Location, OpId, OpKind, Operation, ProcId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// A system execution history: the set `H = {H_p | p ∈ P}` of per-processor
+/// operation sequences (Section 2 of the paper).
+///
+/// Operations are stored in a single flat vector in processor-major order,
+/// so [`OpId`]s are dense and can index bit sets and relation matrices
+/// directly. Processor and location names from the source litmus text are
+/// retained for display.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    pub(crate) ops: Vec<Operation>,
+    /// `proc_ranges[p]` is the range of `ops` holding processor `p`'s
+    /// operations, in program order.
+    pub(crate) proc_ranges: Vec<Range<u32>>,
+    pub(crate) proc_names: Vec<String>,
+    pub(crate) loc_names: Vec<String>,
+}
+
+/// A borrowed view of one processor's execution history `H_p`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcHistory<'a> {
+    /// The processor whose operations these are.
+    pub proc: ProcId,
+    /// The operations, in program order.
+    pub ops: &'a [Operation],
+}
+
+impl History {
+    /// Total number of operations across all processors.
+    #[inline]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of processors (including ones that issued no operations).
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.proc_ranges.len()
+    }
+
+    /// Number of distinct locations named by the history.
+    #[inline]
+    pub fn num_locs(&self) -> usize {
+        self.loc_names.len()
+    }
+
+    /// All operations in processor-major order (so `ops()[i].id == OpId(i)`).
+    #[inline]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Look up one operation by identifier.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this history.
+    #[inline]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// The operations of processor `p`, in program order.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn proc_ops(&self, p: ProcId) -> &[Operation] {
+        let r = &self.proc_ranges[p.index()];
+        &self.ops[r.start as usize..r.end as usize]
+    }
+
+    /// Iterate over the per-processor histories.
+    pub fn procs(&self) -> impl Iterator<Item = ProcHistory<'_>> + '_ {
+        (0..self.num_procs()).map(move |p| {
+            let proc = ProcId(p as u32);
+            ProcHistory {
+                proc,
+                ops: self.proc_ops(proc),
+            }
+        })
+    }
+
+    /// All write operations to location `loc`, in processor-major order.
+    pub fn writes_to(&self, loc: Location) -> impl Iterator<Item = &Operation> + '_ {
+        self.ops.iter().filter(move |o| o.is_write() && o.loc == loc)
+    }
+
+    /// All read operations of location `loc`, in processor-major order.
+    pub fn reads_of(&self, loc: Location) -> impl Iterator<Item = &Operation> + '_ {
+        self.ops.iter().filter(move |o| o.is_read() && o.loc == loc)
+    }
+
+    /// All labeled (synchronization) operations.
+    pub fn labeled_ops(&self) -> impl Iterator<Item = &Operation> + '_ {
+        self.ops.iter().filter(|o| o.is_labeled())
+    }
+
+    /// `true` if the history contains at least one labeled operation.
+    pub fn has_labeled_ops(&self) -> bool {
+        self.ops.iter().any(|o| o.is_labeled())
+    }
+
+    /// The display name of a processor.
+    pub fn proc_name(&self, p: ProcId) -> &str {
+        &self.proc_names[p.index()]
+    }
+
+    /// The display name of a location.
+    pub fn loc_name(&self, l: Location) -> &str {
+        &self.loc_names[l.index()]
+    }
+
+    /// Find a processor by its display name.
+    pub fn proc_by_name(&self, name: &str) -> Option<ProcId> {
+        self.proc_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ProcId(i as u32))
+    }
+
+    /// Find a location by its display name.
+    pub fn loc_by_name(&self, name: &str) -> Option<Location> {
+        self.loc_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Location(i as u32))
+    }
+
+    /// Render one operation in the paper's notation, e.g. `w(x)1` or, for a
+    /// labeled read, `rl(y)0`.
+    pub fn format_op(&self, id: OpId) -> String {
+        let o = self.op(id);
+        let k = match (o.kind, o.label) {
+            (OpKind::Read, Label::Ordinary) => "r",
+            (OpKind::Write, Label::Ordinary) => "w",
+            (OpKind::Read, Label::Labeled) => "rl",
+            (OpKind::Write, Label::Labeled) => "wl",
+        };
+        format!("{}({}){}", k, self.loc_name(o.loc), o.value)
+    }
+
+    /// Render one operation with its processor subscript, e.g. `w_p(x)1`.
+    pub fn format_op_subscripted(&self, id: OpId) -> String {
+        let o = self.op(id);
+        let k = match (o.kind, o.label) {
+            (OpKind::Read, Label::Ordinary) => "r",
+            (OpKind::Write, Label::Ordinary) => "w",
+            (OpKind::Read, Label::Labeled) => "rl",
+            (OpKind::Write, Label::Labeled) => "wl",
+        };
+        format!(
+            "{}_{}({}){}",
+            k,
+            self.proc_name(o.proc),
+            self.loc_name(o.loc),
+            o.value
+        )
+    }
+
+    /// Project the history onto the operations satisfying `keep`, producing
+    /// a new dense history plus the mapping from new [`OpId`]s back to the
+    /// originals.
+    ///
+    /// Used by the release-consistency checker, which must decide whether
+    /// the *labeled subhistory* satisfies SC or PC (Section 3.4).
+    pub fn project<F: Fn(&Operation) -> bool>(&self, keep: F) -> (History, Vec<OpId>) {
+        let mut ops = Vec::new();
+        let mut back = Vec::new();
+        let mut proc_ranges = Vec::with_capacity(self.num_procs());
+        for p in 0..self.num_procs() {
+            let start = ops.len() as u32;
+            for o in self.proc_ops(ProcId(p as u32)) {
+                if keep(o) {
+                    let mut n = *o;
+                    n.id = OpId(ops.len() as u32);
+                    n.index = (ops.len() as u32) - start;
+                    back.push(o.id);
+                    ops.push(n);
+                }
+            }
+            proc_ranges.push(start..ops.len() as u32);
+        }
+        (
+            History {
+                ops,
+                proc_ranges,
+                proc_names: self.proc_names.clone(),
+                loc_names: self.loc_names.clone(),
+            },
+            back,
+        )
+    }
+
+    /// A sanity check of internal invariants: dense ids, processor-major
+    /// layout, program-order indices, and in-range location/processor ids.
+    ///
+    /// Builders and parsers uphold these by construction; deserialized
+    /// histories should be validated before use.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut cursor = 0u32;
+        for (p, r) in self.proc_ranges.iter().enumerate() {
+            if r.start != cursor {
+                return Err(format!("proc {p}: range not contiguous"));
+            }
+            cursor = r.end;
+            for (i, o) in self.ops[r.start as usize..r.end as usize].iter().enumerate() {
+                if o.proc.index() != p {
+                    return Err(format!("op {}: wrong proc", o.id));
+                }
+                if o.index as usize != i {
+                    return Err(format!("op {}: wrong program index", o.id));
+                }
+                if o.loc.index() >= self.loc_names.len() {
+                    return Err(format!("op {}: location out of range", o.id));
+                }
+            }
+        }
+        if cursor as usize != self.ops.len() {
+            return Err("trailing operations not covered by any processor".into());
+        }
+        for (i, o) in self.ops.iter().enumerate() {
+            if o.id.index() != i {
+                return Err(format!("op at {i} has id {}", o.id));
+            }
+        }
+        if self.proc_names.len() != self.proc_ranges.len() {
+            return Err("processor name table size mismatch".into());
+        }
+        Ok(())
+    }
+
+    /// `true` if every written value in the history is distinct per
+    /// location (so the reads-from relation is uniquely determined).
+    pub fn has_unique_written_values(&self) -> bool {
+        for l in 0..self.num_locs() {
+            let loc = Location(l as u32);
+            let mut seen = Vec::new();
+            for w in self.writes_to(loc) {
+                if w.value.is_initial() || seen.contains(&w.value) {
+                    return false;
+                }
+                seen.push(w.value);
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for History {
+    /// Paper-style rendering:
+    ///
+    /// ```text
+    /// p: w(x)1 r(y)0
+    /// q: w(y)1 r(x)0
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .proc_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(1);
+        for ph in self.procs() {
+            write!(f, "{:>width$}:", self.proc_name(ph.proc), width = width)?;
+            for o in ph.ops {
+                write!(f, " {}", self.format_op(o.id))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::HistoryBuilder;
+    use crate::op::{Location, OpId, ProcId, Value};
+
+    fn fig1() -> crate::History {
+        let mut b = HistoryBuilder::new();
+        b.write("p", "x", 1);
+        b.read("p", "y", 0);
+        b.write("q", "y", 1);
+        b.read("q", "x", 0);
+        b.build()
+    }
+
+    #[test]
+    fn dense_ids_and_ranges() {
+        let h = fig1();
+        assert_eq!(h.num_ops(), 4);
+        assert_eq!(h.num_procs(), 2);
+        assert_eq!(h.num_locs(), 2);
+        for (i, o) in h.ops().iter().enumerate() {
+            assert_eq!(o.id, OpId(i as u32));
+        }
+        assert_eq!(h.proc_ops(ProcId(0)).len(), 2);
+        assert_eq!(h.proc_ops(ProcId(1)).len(), 2);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn name_lookup_round_trips() {
+        let h = fig1();
+        let p = h.proc_by_name("p").unwrap();
+        assert_eq!(h.proc_name(p), "p");
+        let x = h.loc_by_name("x").unwrap();
+        assert_eq!(h.loc_name(x), "x");
+        assert!(h.proc_by_name("zz").is_none());
+        assert!(h.loc_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn writes_and_reads_queries() {
+        let h = fig1();
+        let x = h.loc_by_name("x").unwrap();
+        let writes: Vec<_> = h.writes_to(x).collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].value, Value(1));
+        let reads: Vec<_> = h.reads_of(x).collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].proc, ProcId(1));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let h = fig1();
+        let s = h.to_string();
+        assert_eq!(s, "p: w(x)1 r(y)0\nq: w(y)1 r(x)0\n");
+    }
+
+    #[test]
+    fn projection_renumbers_densely() {
+        let mut b = HistoryBuilder::new();
+        b.write("p", "x", 1);
+        b.labeled_write("p", "s", 1);
+        b.labeled_read("q", "s", 1);
+        b.read("q", "x", 1);
+        let h = b.build();
+        let (sub, back) = h.project(|o| o.is_labeled());
+        assert_eq!(sub.num_ops(), 2);
+        sub.validate().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(h.op(back[0]).loc, sub.op(OpId(0)).loc);
+        assert!(sub.ops().iter().all(|o| o.is_labeled()));
+    }
+
+    #[test]
+    fn unique_written_values_detection() {
+        let h = fig1();
+        assert!(h.has_unique_written_values());
+        let mut b = HistoryBuilder::new();
+        b.write("p", "x", 1);
+        b.write("q", "x", 1);
+        let dup = b.build();
+        assert!(!dup.has_unique_written_values());
+        let mut b = HistoryBuilder::new();
+        b.write("p", "x", 0);
+        let zero = b.build();
+        assert!(!zero.has_unique_written_values());
+    }
+
+    #[test]
+    fn empty_processor_allowed() {
+        let mut b = HistoryBuilder::new();
+        b.add_proc("p");
+        b.write("q", "x", 1);
+        let h = b.build();
+        assert_eq!(h.num_procs(), 2);
+        assert!(h.proc_ops(ProcId(0)).is_empty());
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let mut h = fig1();
+        h.ops[2].id = OpId(0);
+        assert!(h.validate().is_err());
+        let mut h2 = fig1();
+        h2.ops[1].loc = Location(99);
+        assert!(h2.validate().is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Execution histories for the shared-memory characterization framework of
+//! Kohli, Neiger & Ahamad, *A Characterization of Scalable Shared Memories*
+//! (ICPP 1993).
+//!
+//! The paper models a system as a finite set of processors interacting
+//! through a shared memory of named locations. Each processor issues a
+//! sequence of `read` and `write` operations; the per-processor sequences
+//! form a *system execution history*. A memory consistency model is then
+//! *characterized* by the set of system execution histories it admits.
+//!
+//! This crate provides the vocabulary types used everywhere else in the
+//! workspace:
+//!
+//! * [`Operation`] — a single read or write, optionally *labeled* (the
+//!   paper's synchronization operations used by release consistency),
+//! * [`History`] — a system execution history: one operation sequence per
+//!   processor, with interned processor and location names,
+//! * [`HistoryBuilder`] — an ergonomic way to construct histories in code,
+//! * [`litmus`] — a parser for the paper's `p: w(x)1 r(y)0` notation, plus a
+//!   small suite format carrying per-model expectations,
+//! * [`OpId`] — dense operation identifiers usable as bit-set indices by the
+//!   relation engine.
+//!
+//! # Example
+//!
+//! Figure 1 of the paper (an execution admitted by TSO but not by SC):
+//!
+//! ```
+//! use smc_history::litmus;
+//!
+//! let h = litmus::parse_history(
+//!     "p: w(x)1 r(y)0\n\
+//!      q: w(y)1 r(x)0",
+//! )
+//! .unwrap();
+//! assert_eq!(h.num_procs(), 2);
+//! assert_eq!(h.num_ops(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod history;
+pub mod litmus;
+mod op;
+
+pub use builder::HistoryBuilder;
+pub use history::{History, ProcHistory};
+pub use op::{Label, Location, OpId, OpKind, Operation, ProcId, Value};

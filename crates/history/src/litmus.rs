@@ -1,0 +1,435 @@
+//! A parser for the paper's litmus notation.
+//!
+//! A *history* is one line per processor:
+//!
+//! ```text
+//! p: w(x)1 r(y)0
+//! q: w(y)1 r(x)0
+//! ```
+//!
+//! Operation mnemonics are `w` / `r` for ordinary writes and reads and
+//! `wl` / `rl` (or `W` / `R`) for labeled (synchronization) operations.
+//! Location names are identifiers, optionally with an array subscript
+//! (`number[0]`); values are (possibly negative) integers. `#` starts a
+//! comment that runs to end of line.
+//!
+//! A *suite* packages named histories with per-model expectations:
+//!
+//! ```text
+//! test fig1 "TSO but not SC" {
+//!     p: w(x)1 r(y)0
+//!     q: w(y)1 r(x)0
+//! } expect { SC: no, TSO: yes }
+//! ```
+
+use crate::builder::HistoryBuilder;
+use crate::history::History;
+use crate::op::{Label, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parse failure, carrying a 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line on which the error was detected.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "litmus parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A named litmus test: a history plus expected verdicts per model name.
+///
+/// Expectations are keyed by model *name* (e.g. `"TSO"`); the checker crate
+/// resolves names to models. `true` means the history must be admitted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LitmusTest {
+    /// Identifier of the test (e.g. `fig1`).
+    pub name: String,
+    /// Optional human-readable description.
+    pub description: String,
+    /// The system execution history under test.
+    pub history: History,
+    /// `(model name, expected admitted?)` pairs, in source order.
+    pub expectations: Vec<(String, bool)>,
+}
+
+impl LitmusTest {
+    /// The expected verdict for `model`, if the test states one.
+    pub fn expectation(&self, model: &str) -> Option<bool> {
+        self.expectations
+            .iter()
+            .find(|(m, _)| m.eq_ignore_ascii_case(model))
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Parse a bare history (no `test` wrapper) from litmus text.
+pub fn parse_history(text: &str) -> Result<History, ParseError> {
+    let mut b = HistoryBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_proc_line(&mut b, line, line_no)?;
+    }
+    Ok(b.build())
+}
+
+/// Parse a suite of [`LitmusTest`]s.
+pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
+    let mut tests = Vec::new();
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim().to_owned()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .peekable();
+
+    while let Some((line_no, header)) = lines.next() {
+        let rest = match header.strip_prefix("test") {
+            Some(r) if r.starts_with(char::is_whitespace) => r.trim_start(),
+            _ => return err(line_no, format!("expected `test <name> ... {{`, found `{header}`")),
+        };
+        let (name, rest) = take_ident(rest)
+            .ok_or_else(|| ParseError {
+                line: line_no,
+                message: "missing test name".into(),
+            })?;
+        let rest = rest.trim_start();
+        let (description, rest) = if let Some(r) = rest.strip_prefix('"') {
+            let end = r.find('"').ok_or_else(|| ParseError {
+                line: line_no,
+                message: "unterminated description string".into(),
+            })?;
+            (r[..end].to_owned(), r[end + 1..].trim_start())
+        } else {
+            (String::new(), rest)
+        };
+        if rest != "{" {
+            return err(line_no, "expected `{` to open the test body");
+        }
+
+        let mut b = HistoryBuilder::new();
+        let mut expectations = Vec::new();
+        let mut closed = false;
+        while let Some((body_line_no, body)) = lines.next() {
+            if let Some(tail) = body.strip_prefix('}') {
+                let mut tail = tail.trim_start().to_owned();
+                // An `expect { ... }` block may span multiple lines;
+                // gather until its closing brace.
+                if tail.starts_with("expect") {
+                    while !tail.contains('}') {
+                        match lines.next() {
+                            Some((_, more)) => {
+                                tail.push(' ');
+                                tail.push_str(&more);
+                            }
+                            None => {
+                                return err(body_line_no, "unterminated expect block");
+                            }
+                        }
+                    }
+                }
+                if !tail.is_empty() {
+                    expectations = parse_expect(&tail, body_line_no)?;
+                }
+                closed = true;
+                break;
+            }
+            parse_proc_line(&mut b, &body, body_line_no)?;
+        }
+        if !closed {
+            return err(line_no, format!("test `{name}` has no closing `}}`"));
+        }
+        tests.push(LitmusTest {
+            name: name.to_owned(),
+            description,
+            history: b.build(),
+            expectations,
+        });
+    }
+    Ok(tests)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parse `expect { SC: no, TSO: yes }` (the `expect` keyword and braces are
+/// in `tail`).
+fn parse_expect(tail: &str, line_no: usize) -> Result<Vec<(String, bool)>, ParseError> {
+    let body = tail
+        .strip_prefix("expect")
+        .map(str::trim_start)
+        .ok_or_else(|| ParseError {
+            line: line_no,
+            message: format!("expected `expect {{...}}` after `}}`, found `{tail}`"),
+        })?;
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| ParseError {
+            line: line_no,
+            message: "expectations must be wrapped in `{...}`".into(),
+        })?;
+    let mut out = Vec::new();
+    for item in body.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (model, verdict) = item.split_once(':').ok_or_else(|| ParseError {
+            line: line_no,
+            message: format!("expectation `{item}` is not `MODEL: yes|no`"),
+        })?;
+        let v = match verdict.trim() {
+            "yes" | "true" | "allowed" => true,
+            "no" | "false" | "forbidden" => false,
+            other => {
+                return err(line_no, format!("unknown verdict `{other}` (use yes/no)"));
+            }
+        };
+        out.push((model.trim().to_owned(), v));
+    }
+    Ok(out)
+}
+
+/// Parse `p: w(x)1 r(y)0` into the builder.
+fn parse_proc_line(b: &mut HistoryBuilder, line: &str, line_no: usize) -> Result<(), ParseError> {
+    let (proc, ops) = line.split_once(':').ok_or_else(|| ParseError {
+        line: line_no,
+        message: format!("expected `proc: ops...`, found `{line}`"),
+    })?;
+    let proc = proc.trim();
+    if proc.is_empty() || !is_ident(proc) {
+        return err(line_no, format!("invalid processor name `{proc}`"));
+    }
+    b.add_proc(proc);
+    let mut rest = ops.trim();
+    while !rest.is_empty() {
+        rest = parse_op(b, proc, rest, line_no)?.trim_start();
+    }
+    Ok(())
+}
+
+/// Parse a single `w(x)1`-style operation from the front of `s`; returns
+/// the remainder.
+fn parse_op<'a>(
+    b: &mut HistoryBuilder,
+    proc: &str,
+    s: &'a str,
+    line_no: usize,
+) -> Result<&'a str, ParseError> {
+    let open = s.find('(').ok_or_else(|| ParseError {
+        line: line_no,
+        message: format!("expected `(` in operation near `{s}`"),
+    })?;
+    let (kind, label) = match &s[..open] {
+        "w" => (OpKind::Write, Label::Ordinary),
+        "r" => (OpKind::Read, Label::Ordinary),
+        "wl" | "W" => (OpKind::Write, Label::Labeled),
+        "rl" | "R" => (OpKind::Read, Label::Labeled),
+        other => {
+            return err(
+                line_no,
+                format!("unknown operation mnemonic `{other}` (use w/r/wl/rl)"),
+            )
+        }
+    };
+    let after_open = &s[open + 1..];
+    let close = after_open.find(')').ok_or_else(|| ParseError {
+        line: line_no,
+        message: format!("missing `)` in operation near `{s}`"),
+    })?;
+    let loc = after_open[..close].trim();
+    if loc.is_empty() || !is_loc_name(loc) {
+        return err(line_no, format!("invalid location name `{loc}`"));
+    }
+    let after_close = &after_open[close + 1..];
+    let val_len = value_prefix_len(after_close);
+    if val_len == 0 {
+        return err(
+            line_no,
+            format!("missing value after `)` near `{after_close}`"),
+        );
+    }
+    let value: i64 = after_close[..val_len].parse().map_err(|_| ParseError {
+        line: line_no,
+        message: format!("invalid value `{}`", &after_close[..val_len]),
+    })?;
+    b.push(proc, kind, loc, value, label);
+    Ok(&after_close[val_len..])
+}
+
+fn value_prefix_len(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    if bytes.first() == Some(&b'-') {
+        i = 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == 1 && bytes[0] == b'-' {
+        0
+    } else {
+        i
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_loc_name(s: &str) -> bool {
+    s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '[' || c == ']')
+        && s.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_')
+}
+
+fn take_ident(s: &str) -> Option<(&str, &str)> {
+    let end = s
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    if end == 0 {
+        None
+    } else {
+        Some((&s[..end], &s[end..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ProcId, Value};
+
+    #[test]
+    fn parses_fig1() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        assert_eq!(h.num_ops(), 4);
+        assert_eq!(h.num_procs(), 2);
+        assert_eq!(h.to_string(), "p: w(x)1 r(y)0\nq: w(y)1 r(x)0\n");
+    }
+
+    #[test]
+    fn parses_labeled_ops_and_arrays() {
+        let h = parse_history("p1: wl(choosing[0])1 rl(number[1])0 w(d)5").unwrap();
+        let ops = h.ops();
+        assert!(ops[0].is_release());
+        assert!(ops[1].is_acquire());
+        assert!(!ops[2].is_labeled());
+        assert_eq!(h.loc_name(ops[0].loc), "choosing[0]");
+    }
+
+    #[test]
+    fn uppercase_mnemonics_are_labeled() {
+        let h = parse_history("p: W(s)1 R(s)1").unwrap();
+        assert!(h.ops()[0].is_release());
+        assert!(h.ops()[1].is_acquire());
+    }
+
+    #[test]
+    fn negative_values_and_comments() {
+        let h = parse_history("# leading comment\np: w(x)-3 # trailing\n\nq: r(x)-3").unwrap();
+        assert_eq!(h.ops()[0].value, Value(-3));
+        assert_eq!(h.ops()[1].value, Value(-3));
+    }
+
+    #[test]
+    fn multiple_lines_same_proc_accumulate() {
+        let h = parse_history("p: w(x)1\np: r(y)0").unwrap();
+        assert_eq!(h.num_procs(), 1);
+        assert_eq!(h.proc_ops(ProcId(0)).len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_history("p: w(x)1\nq: z(x)1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("mnemonic"));
+        let e = parse_history("p w(x)1").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_paren() {
+        assert!(parse_history("p: w(x)").is_err());
+        assert!(parse_history("p: w(x 1").is_err());
+        assert!(parse_history("p: w()1").is_err());
+        assert!(parse_history("p: w(x)-").is_err());
+    }
+
+    #[test]
+    fn parses_suite_with_expectations() {
+        let suite = parse_suite(
+            r#"
+            # figure 1 of the paper
+            test fig1 "TSO but not SC" {
+                p: w(x)1 r(y)0
+                q: w(y)1 r(x)0
+            } expect { SC: no, TSO: yes, PC: yes }
+
+            test empty {
+                p: w(x)1
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(suite.len(), 2);
+        let t = &suite[0];
+        assert_eq!(t.name, "fig1");
+        assert_eq!(t.description, "TSO but not SC");
+        assert_eq!(t.expectation("sc"), Some(false));
+        assert_eq!(t.expectation("TSO"), Some(true));
+        assert_eq!(t.expectation("PRAM"), None);
+        assert!(suite[1].expectations.is_empty());
+    }
+
+    #[test]
+    fn suite_errors() {
+        assert!(parse_suite("test {").is_err());
+        assert!(parse_suite("test t \"unterminated {").is_err());
+        assert!(parse_suite("test t {\n p: w(x)1").is_err());
+        assert!(parse_suite("test t {\n} expect SC: yes").is_err());
+        assert!(parse_suite("test t {\n} expect { SC maybe }").is_err());
+        assert!(parse_suite("test t {\n} expect { SC: maybe }").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let suite = parse_suite(
+            "test t \"d\" {\n p: w(x)1 rl(y)0\n} expect { SC: yes }",
+        )
+        .unwrap();
+        let json = serde_json::to_string(&suite).unwrap();
+        let back: Vec<LitmusTest> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back[0].history, suite[0].history);
+        assert_eq!(back[0].expectations, suite[0].expectations);
+    }
+}

@@ -1,0 +1,267 @@
+//! The operation vocabulary: identifiers, kinds, labels and values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a processor within a [`crate::History`].
+///
+/// Processors are numbered `0..num_procs` in the order they were added to
+/// the history; the history's symbol table maps them back to their source
+/// names (`p`, `q`, ... in the paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Dense identifier of a shared-memory location.
+///
+/// The paper assumes a finite set of named locations, all holding the
+/// initial value `0`. Locations are interned by the history builder; the
+/// numeric form keeps per-location bookkeeping (coherence orders, last
+/// writes) as flat arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Location(pub u32);
+
+impl Location {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A value stored in, or read from, a memory location.
+///
+/// All locations initially hold [`Value::INITIAL`] (zero), matching the
+/// paper's footnote 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Value(pub i64);
+
+impl Value {
+    /// The initial value of every location (the paper assumes `0`).
+    pub const INITIAL: Value = Value(0);
+
+    /// Whether this is the initial value.
+    #[inline]
+    pub fn is_initial(self) -> bool {
+        self == Self::INITIAL
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+/// Globally dense identifier of an operation within a [`crate::History`].
+///
+/// Identifiers are assigned in processor-major order (`P0`'s operations
+/// first, in program order, then `P1`'s, ...) so they double as indices
+/// into bit sets and relation matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Whether an operation is a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read (the paper's `r(x)v`): reports that `v` is stored in `x`.
+    Read,
+    /// A write (the paper's `w(x)v`): stores `v` in `x`.
+    Write,
+}
+
+impl OpKind {
+    /// `true` for [`OpKind::Read`].
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, OpKind::Read)
+    }
+
+    /// `true` for [`OpKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Write)
+    }
+}
+
+/// The paper's distinction between *ordinary* and *labeled* operations.
+///
+/// Release consistency (Section 3.4) divides operations into ordinary ones
+/// and labeled (synchronization) ones; a labeled read acts as an *acquire*
+/// and a labeled write as a *release*. Models that do not distinguish
+/// (SC, TSO, PC, PRAM, causal) simply ignore the label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Label {
+    /// An ordinary data operation.
+    #[default]
+    Ordinary,
+    /// A labeled (synchronization) operation: acquire if a read, release if
+    /// a write.
+    Labeled,
+}
+
+impl Label {
+    /// `true` for [`Label::Labeled`].
+    #[inline]
+    pub fn is_labeled(self) -> bool {
+        matches!(self, Label::Labeled)
+    }
+}
+
+/// A single read or write operation in a system execution history.
+///
+/// `w_p(x)v` in the paper becomes `Operation { proc: p, kind: Write,
+/// loc: x, value: v, .. }`. The pair `(proc, index)` gives the operation's
+/// position in program order; `id` is the dense global identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Operation {
+    /// Dense global identifier (index into relation matrices and bit sets).
+    pub id: OpId,
+    /// The issuing processor.
+    pub proc: ProcId,
+    /// Zero-based position within the issuing processor's program order.
+    pub index: u32,
+    /// Read or write.
+    pub kind: OpKind,
+    /// The accessed location.
+    pub loc: Location,
+    /// The value written (for writes) or reported (for reads).
+    pub value: Value,
+    /// Ordinary or labeled (synchronization) operation.
+    pub label: Label,
+}
+
+impl Operation {
+    /// `true` if this operation is a read.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        self.kind.is_read()
+    }
+
+    /// `true` if this operation is a write.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+
+    /// `true` if this operation is labeled (a synchronization operation).
+    #[inline]
+    pub fn is_labeled(&self) -> bool {
+        self.label.is_labeled()
+    }
+
+    /// `true` if this is a labeled read — an *acquire* in release
+    /// consistency.
+    #[inline]
+    pub fn is_acquire(&self) -> bool {
+        self.is_labeled() && self.is_read()
+    }
+
+    /// `true` if this is a labeled write — a *release* in release
+    /// consistency.
+    #[inline]
+    pub fn is_release(&self) -> bool {
+        self.is_labeled() && self.is_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_initial_is_zero() {
+        assert_eq!(Value::INITIAL, Value(0));
+        assert!(Value(0).is_initial());
+        assert!(!Value(1).is_initial());
+    }
+
+    #[test]
+    fn op_kind_predicates() {
+        assert!(OpKind::Read.is_read());
+        assert!(!OpKind::Read.is_write());
+        assert!(OpKind::Write.is_write());
+        assert!(!OpKind::Write.is_read());
+    }
+
+    #[test]
+    fn label_default_is_ordinary() {
+        assert_eq!(Label::default(), Label::Ordinary);
+        assert!(!Label::Ordinary.is_labeled());
+        assert!(Label::Labeled.is_labeled());
+    }
+
+    #[test]
+    fn operation_acquire_release() {
+        let base = Operation {
+            id: OpId(0),
+            proc: ProcId(0),
+            index: 0,
+            kind: OpKind::Read,
+            loc: Location(0),
+            value: Value(1),
+            label: Label::Labeled,
+        };
+        assert!(base.is_acquire());
+        assert!(!base.is_release());
+        let rel = Operation {
+            kind: OpKind::Write,
+            ..base
+        };
+        assert!(rel.is_release());
+        assert!(!rel.is_acquire());
+        let ord = Operation {
+            label: Label::Ordinary,
+            ..base
+        };
+        assert!(!ord.is_acquire() && !ord.is_release());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(OpId(1) < OpId(2));
+        assert_eq!(OpId(3).to_string(), "#3");
+        assert_eq!(ProcId(2).to_string(), "P2");
+        assert_eq!(Location(5).to_string(), "L5");
+        assert_eq!(Value(-4).to_string(), "-4");
+    }
+}

@@ -1,0 +1,76 @@
+//! Round-trip properties of the litmus notation: any history renders to
+//! text that parses back to an identical history, and suites survive
+//! serde.
+
+use proptest::prelude::*;
+use smc_history::litmus::{parse_history, parse_suite};
+use smc_history::{History, HistoryBuilder};
+
+const PROCS: [&str; 4] = ["p", "q", "r", "s"];
+const LOCS: [&str; 4] = ["x", "y", "number[0]", "c_2"];
+
+fn history_strategy() -> impl Strategy<Value = History> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (any::<bool>(), any::<bool>(), 0..LOCS.len(), -3i64..100),
+            0..5,
+        ),
+        1..=4,
+    )
+    .prop_map(|threads| {
+        let mut b = HistoryBuilder::new();
+        for (t, ops) in threads.iter().enumerate() {
+            b.add_proc(PROCS[t]);
+            for &(is_write, labeled, loc, value) in ops {
+                match (is_write, labeled) {
+                    (true, false) => b.write(PROCS[t], LOCS[loc], value),
+                    (true, true) => b.labeled_write(PROCS[t], LOCS[loc], value),
+                    (false, false) => b.read(PROCS[t], LOCS[loc], value),
+                    (false, true) => b.labeled_read(PROCS[t], LOCS[loc], value),
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display → parse is the identity up to processor/location
+    /// renumbering — and since both sides intern in first-use order, it
+    /// is the identity exactly when every processor appears.
+    #[test]
+    fn display_parse_roundtrip(h in history_strategy()) {
+        let text = h.to_string();
+        let back = parse_history(&text).unwrap();
+        // Rendering the reparse reproduces the text (canonical form).
+        prop_assert_eq!(back.to_string(), text);
+        // Same shape: op multisets per processor match.
+        prop_assert_eq!(back.num_ops(), h.num_ops());
+        prop_assert_eq!(back.num_procs(), h.num_procs());
+        for (a, b) in h.ops().iter().zip(back.ops()) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.value, b.value);
+            prop_assert_eq!(a.label, b.label);
+        }
+    }
+
+    /// Wrapping in a suite block round-trips too.
+    #[test]
+    fn suite_roundtrip(h in history_strategy()) {
+        let text = format!("test t \"generated\" {{\n{h}}} expect {{ SC: yes }}");
+        let suite = parse_suite(&text).unwrap();
+        prop_assert_eq!(suite.len(), 1);
+        prop_assert_eq!(suite[0].history.to_string(), h.to_string());
+        prop_assert_eq!(suite[0].expectation("SC"), Some(true));
+    }
+
+    /// Serde JSON round-trips preserve equality.
+    #[test]
+    fn serde_roundtrip(h in history_strategy()) {
+        let json = serde_json::to_string(&h).unwrap();
+        let back: History = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, h);
+    }
+}

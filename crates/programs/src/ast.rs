@@ -1,0 +1,364 @@
+//! The program representation.
+
+use smc_history::Label;
+
+/// A register- and constant-valued expression, evaluated thread-locally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal.
+    Const(i64),
+    /// The current value of a register.
+    Reg(usize),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Maximum of the operands.
+    Max(Box<Expr>, Box<Expr>),
+    /// Equality (`1` or `0`).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Strictly less-than (`1` or `0`).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Logical and (operands interpreted as booleans: nonzero = true).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// The Bakery algorithm's lexicographic ticket order:
+    /// `(a, b) < (c, d)`.
+    LexLt {
+        /// First component of the left pair.
+        a: Box<Expr>,
+        /// Second component of the left pair.
+        b: Box<Expr>,
+        /// First component of the right pair.
+        c: Box<Expr>,
+        /// Second component of the right pair.
+        d: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand constructors keep the algorithm builders readable.
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Register reference.
+    pub fn r(i: usize) -> Expr {
+        Expr::Reg(i)
+    }
+
+    /// `a + b`.
+    #[allow(clippy::should_implement_trait)] // DSL constructor, not ops::Add
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Not(Box::new(Expr::eq(a, b)))
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Lt(Box::new(a), Box::new(b))
+    }
+
+    /// `a || b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `a && b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `!a`.
+    #[allow(clippy::should_implement_trait)] // DSL constructor, not ops::Not
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Box::new(a))
+    }
+
+    /// `(a, b) < (c, d)` lexicographically.
+    pub fn lex_lt(a: Expr, b: Expr, c: Expr, d: Expr) -> Expr {
+        Expr::LexLt {
+            a: Box::new(a),
+            b: Box::new(b),
+            c: Box::new(c),
+            d: Box::new(d),
+        }
+    }
+}
+
+/// A reference to a shared location: an array plus a computed index.
+///
+/// Scalars are arrays of length 1 with index `Const(0)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LocRef {
+    /// Index into the program's array table.
+    pub array: usize,
+    /// Element index, evaluated at access time.
+    pub index: Expr,
+}
+
+impl LocRef {
+    /// `array[index]` with a constant index.
+    pub fn at(array: usize, index: i64) -> Self {
+        LocRef {
+            array,
+            index: Expr::Const(index),
+        }
+    }
+
+    /// `array[reg]`.
+    pub fn at_reg(array: usize, reg: usize) -> Self {
+        LocRef {
+            array,
+            index: Expr::Reg(reg),
+        }
+    }
+}
+
+/// One instruction. `Read`/`Write` touch shared memory; everything else
+/// is thread-local.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Load a shared location into a register.
+    Read {
+        /// Source location.
+        loc: LocRef,
+        /// Destination register.
+        reg: usize,
+        /// Ordinary or labeled access.
+        label: Label,
+    },
+    /// Store an expression's value to a shared location.
+    Write {
+        /// Target location.
+        loc: LocRef,
+        /// Value to store.
+        value: Expr,
+        /// Ordinary or labeled access.
+        label: Label,
+    },
+    /// `reg := value`.
+    Assign {
+        /// Destination register.
+        reg: usize,
+        /// Evaluated expression.
+        value: Expr,
+    },
+    /// Jump to `target` when `cond` is nonzero.
+    BranchIf {
+        /// Branch condition.
+        cond: Expr,
+        /// Destination instruction index within the thread.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Enter the critical section (checked by the mutual-exclusion
+    /// monitor).
+    EnterCs,
+    /// Leave the critical section.
+    ExitCs,
+    /// Fail with `msg` if `cond` is zero.
+    Assert {
+        /// Must evaluate nonzero.
+        cond: Expr,
+        /// Violation message.
+        msg: String,
+    },
+    /// Terminate the thread.
+    Halt,
+}
+
+impl Instr {
+    /// `true` for instructions that access shared memory.
+    pub fn is_memory_op(&self) -> bool {
+        matches!(self, Instr::Read { .. } | Instr::Write { .. })
+    }
+}
+
+/// A complete multi-threaded program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Program {
+    /// Shared arrays: `(name, length)`. Location ids are assigned
+    /// contiguously in declaration order.
+    pub arrays: Vec<(String, usize)>,
+    /// Instruction list per thread.
+    pub threads: Vec<Vec<Instr>>,
+    /// Registers per thread (all initially 0).
+    pub num_regs: usize,
+}
+
+impl Program {
+    /// Total number of shared locations.
+    pub fn num_locs(&self) -> usize {
+        self.arrays.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// The flat location id of `array[index]`.
+    ///
+    /// # Panics
+    /// Panics if the array id or index is out of range.
+    pub fn loc_id(&self, array: usize, index: usize) -> usize {
+        assert!(index < self.arrays[array].1, "array index out of range");
+        self.arrays[..array].iter().map(|&(_, len)| len).sum::<usize>() + index
+    }
+
+    /// Display names for every location (`x` for scalars, `a[i]` for
+    /// arrays).
+    pub fn loc_names(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.num_locs());
+        for (name, len) in &self.arrays {
+            if *len == 1 {
+                out.push(name.clone());
+            } else {
+                for i in 0..*len {
+                    out.push(format!("{name}[{i}]"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural sanity checks: branch targets in range, register and
+    /// array ids in range.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check_expr(e: &Expr, num_regs: usize) -> Result<(), String> {
+            match e {
+                Expr::Const(_) => Ok(()),
+                Expr::Reg(r) => {
+                    if *r < num_regs {
+                        Ok(())
+                    } else {
+                        Err(format!("register r{r} out of range"))
+                    }
+                }
+                Expr::Add(a, b)
+                | Expr::Sub(a, b)
+                | Expr::Max(a, b)
+                | Expr::Eq(a, b)
+                | Expr::Lt(a, b)
+                | Expr::And(a, b)
+                | Expr::Or(a, b) => {
+                    check_expr(a, num_regs)?;
+                    check_expr(b, num_regs)
+                }
+                Expr::Not(a) => check_expr(a, num_regs),
+                Expr::LexLt { a, b, c, d } => {
+                    check_expr(a, num_regs)?;
+                    check_expr(b, num_regs)?;
+                    check_expr(c, num_regs)?;
+                    check_expr(d, num_regs)
+                }
+            }
+        }
+        for (t, code) in self.threads.iter().enumerate() {
+            for (i, instr) in code.iter().enumerate() {
+                let ctx = format!("thread {t} instr {i}");
+                match instr {
+                    Instr::Read { loc, reg, .. } => {
+                        if loc.array >= self.arrays.len() {
+                            return Err(format!("{ctx}: bad array id"));
+                        }
+                        if *reg >= self.num_regs {
+                            return Err(format!("{ctx}: bad register"));
+                        }
+                        check_expr(&loc.index, self.num_regs).map_err(|e| format!("{ctx}: {e}"))?;
+                    }
+                    Instr::Write { loc, value, .. } => {
+                        if loc.array >= self.arrays.len() {
+                            return Err(format!("{ctx}: bad array id"));
+                        }
+                        check_expr(&loc.index, self.num_regs).map_err(|e| format!("{ctx}: {e}"))?;
+                        check_expr(value, self.num_regs).map_err(|e| format!("{ctx}: {e}"))?;
+                    }
+                    Instr::Assign { reg, value } => {
+                        if *reg >= self.num_regs {
+                            return Err(format!("{ctx}: bad register"));
+                        }
+                        check_expr(value, self.num_regs).map_err(|e| format!("{ctx}: {e}"))?;
+                    }
+                    Instr::BranchIf { cond, target } => {
+                        check_expr(cond, self.num_regs).map_err(|e| format!("{ctx}: {e}"))?;
+                        if *target >= code.len() {
+                            return Err(format!("{ctx}: branch target out of range"));
+                        }
+                    }
+                    Instr::Jump(target) => {
+                        if *target >= code.len() {
+                            return Err(format!("{ctx}: jump target out of range"));
+                        }
+                    }
+                    Instr::Assert { cond, .. } => {
+                        check_expr(cond, self.num_regs).map_err(|e| format!("{ctx}: {e}"))?;
+                    }
+                    Instr::EnterCs | Instr::ExitCs | Instr::Halt => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_ids_are_contiguous() {
+        let p = Program {
+            arrays: vec![("choosing".into(), 2), ("number".into(), 2), ("d".into(), 1)],
+            threads: vec![],
+            num_regs: 0,
+        };
+        assert_eq!(p.num_locs(), 5);
+        assert_eq!(p.loc_id(0, 0), 0);
+        assert_eq!(p.loc_id(0, 1), 1);
+        assert_eq!(p.loc_id(1, 0), 2);
+        assert_eq!(p.loc_id(2, 0), 4);
+        assert_eq!(
+            p.loc_names(),
+            vec!["choosing[0]", "choosing[1]", "number[0]", "number[1]", "d"]
+        );
+    }
+
+    #[test]
+    fn validate_catches_bad_targets_and_regs() {
+        let mut p = Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![vec![Instr::Jump(5)]],
+            num_regs: 1,
+        };
+        assert!(p.validate().is_err());
+        p.threads = vec![vec![Instr::Assign {
+            reg: 3,
+            value: Expr::c(0),
+        }]];
+        assert!(p.validate().is_err());
+        p.threads = vec![vec![
+            Instr::Read {
+                loc: LocRef::at(0, 0),
+                reg: 0,
+                label: Label::Ordinary,
+            },
+            Instr::Halt,
+        ]];
+        assert!(p.validate().is_ok());
+    }
+}

@@ -1,0 +1,190 @@
+//! Lamport's Bakery algorithm (Figure 6 of the paper).
+
+use crate::ast::{Expr as E, Instr as I, LocRef, Program};
+use smc_history::Label;
+
+/// Build the `n`-processor Bakery algorithm, with every synchronization
+/// access (`choosing` and `number`) carrying `sync_label`.
+///
+/// Each thread makes one pass: doorway, wait loops, critical section,
+/// exit. Inside the critical section the thread writes its identity to an
+/// *ordinary* shared scalar `d`, reads it back and asserts it unchanged —
+/// so critical-section interference is caught both by the
+/// mutual-exclusion monitor and by a data check. Labeling matches the
+/// paper's Section 5 setup: "we label all read and write operations of
+/// the code ... except the ones in the critical and the remainder
+/// sections".
+///
+/// Array layout: `choosing[n]` (array 0), `number[n]` (array 1), `d`
+/// (array 2). Registers: `r0` = max / my ticket, `r1` = scratch.
+pub fn bakery(n: usize, sync_label: Label) -> Program {
+    assert!(n >= 2, "bakery needs at least two processors");
+    let (choosing, number, d) = (0usize, 1usize, 2usize);
+    let threads = (0..n).map(|i| bakery_thread(n, i, sync_label, choosing, number, d)).collect();
+    let p = Program {
+        arrays: vec![
+            ("choosing".into(), n),
+            ("number".into(), n),
+            ("d".into(), 1),
+        ],
+        threads,
+        num_regs: 2,
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+fn bakery_thread(
+    n: usize,
+    i: usize,
+    label: Label,
+    choosing: usize,
+    number: usize,
+    d: usize,
+) -> Vec<I> {
+    let mut code = Vec::new();
+    // Doorway: choosing[i] := true.
+    code.push(I::Write {
+        loc: LocRef::at(choosing, i as i64),
+        value: E::c(1),
+        label,
+    });
+    // r0 := 1 + max(number[j] for j != i)  (reads the array).
+    code.push(I::Assign {
+        reg: 0,
+        value: E::c(0),
+    });
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        code.push(I::Read {
+            loc: LocRef::at(number, j as i64),
+            reg: 1,
+            label,
+        });
+        code.push(I::Assign {
+            reg: 0,
+            value: E::max(E::r(0), E::r(1)),
+        });
+    }
+    code.push(I::Assign {
+        reg: 0,
+        value: E::add(E::r(0), E::c(1)),
+    });
+    // number[i] := mine; choosing[i] := false.
+    code.push(I::Write {
+        loc: LocRef::at(number, i as i64),
+        value: E::r(0),
+        label,
+    });
+    code.push(I::Write {
+        loc: LocRef::at(choosing, i as i64),
+        value: E::c(0),
+        label,
+    });
+    // Wait loops, one pair per other processor.
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        // repeat test := choosing[j] until not test
+        let spin_choosing = code.len();
+        code.push(I::Read {
+            loc: LocRef::at(choosing, j as i64),
+            reg: 1,
+            label,
+        });
+        code.push(I::BranchIf {
+            cond: E::ne(E::r(1), E::c(0)),
+            target: spin_choosing,
+        });
+        // repeat other := number[j]
+        //   until other = 0 or (mine, i) < (other, j)
+        let spin_number = code.len();
+        code.push(I::Read {
+            loc: LocRef::at(number, j as i64),
+            reg: 1,
+            label,
+        });
+        code.push(I::BranchIf {
+            cond: E::not(E::or(
+                E::eq(E::r(1), E::c(0)),
+                E::lex_lt(E::r(0), E::c(i as i64), E::r(1), E::c(j as i64)),
+            )),
+            target: spin_number,
+        });
+    }
+    // Critical section: ordinary accesses to d, checked for
+    // interference.
+    code.push(I::EnterCs);
+    code.push(I::Write {
+        loc: LocRef::at(d, 0),
+        value: E::c(i as i64 + 1),
+        label: Label::Ordinary,
+    });
+    code.push(I::Read {
+        loc: LocRef::at(d, 0),
+        reg: 1,
+        label: Label::Ordinary,
+    });
+    code.push(I::Assert {
+        cond: E::eq(E::r(1), E::c(i as i64 + 1)),
+        msg: "critical-section data overwritten by another processor".into(),
+    });
+    code.push(I::ExitCs);
+    // Exit: number[i] := 0.
+    code.push(I::Write {
+        loc: LocRef::at(number, i as i64),
+        value: E::c(0),
+        label,
+    });
+    code.push(I::Halt);
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ProgramWorkload;
+    use smc_sim::sc::ScMem;
+    use smc_sim::sched::run_random;
+
+    #[test]
+    fn program_shape() {
+        let p = bakery(2, Label::Labeled);
+        p.validate().unwrap();
+        assert_eq!(p.num_locs(), 5);
+        assert_eq!(p.threads.len(), 2);
+        let p3 = bakery(3, Label::Ordinary);
+        assert_eq!(p3.num_locs(), 7);
+        assert_eq!(p3.threads.len(), 3);
+    }
+
+    #[test]
+    fn correct_on_sequential_consistency_random_runs() {
+        let p = bakery(2, Label::Labeled);
+        for seed in 0..50 {
+            let w = ProgramWorkload::new(p.clone(), 200);
+            let r = run_random(ScMem::new(2, p.num_locs()), w, seed, 100_000);
+            assert!(
+                r.violation.is_none(),
+                "seed {seed} violated: {:?}\n{}",
+                r.violation,
+                r.history
+            );
+            assert!(r.completed, "seed {seed} did not complete");
+        }
+    }
+
+    #[test]
+    fn three_processors_correct_on_sc() {
+        let p = bakery(3, Label::Labeled);
+        for seed in 0..10 {
+            let w = ProgramWorkload::new(p.clone(), 400);
+            let r = run_random(ScMem::new(3, p.num_locs()), w, seed, 400_000);
+            assert!(r.violation.is_none(), "seed {seed}: {:?}", r.violation);
+            assert!(r.completed, "seed {seed} did not complete");
+        }
+    }
+}

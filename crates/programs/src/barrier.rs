@@ -1,0 +1,131 @@
+//! A flag-based barrier: the data-then-flag idiom, n-way.
+
+use crate::ast::{Expr as E, Instr as I, LocRef, Program};
+use smc_history::Label;
+
+/// Build an `n`-thread one-shot barrier from plain reads and writes:
+/// every thread publishes a datum, raises its flag (with `sync_label`),
+/// spins until every other flag is up, and then asserts it can read
+/// every other thread's datum.
+///
+/// The assertion holds on any memory that delivers one processor's
+/// writes in order (SC, TSO, PRAM, causal — and RC/WO when the flags are
+/// labeled), and fails on memories that reorder a processor's writes
+/// across locations (the coherent-only machine, RC with ordinary flags).
+///
+/// Array layout: `data[n]` (array 0), `flag[n]` (array 1).
+/// Registers: `r0` scratch.
+pub fn barrier(n: usize, sync_label: Label) -> Program {
+    assert!(n >= 2, "a barrier needs at least two threads");
+    let (data, flag) = (0usize, 1usize);
+    let threads = (0..n)
+        .map(|i| {
+            let mut code = Vec::new();
+            // Publish datum, then raise the flag.
+            code.push(I::Write {
+                loc: LocRef::at(data, i as i64),
+                value: E::c(i as i64 + 1),
+                label: Label::Ordinary,
+            });
+            code.push(I::Write {
+                loc: LocRef::at(flag, i as i64),
+                value: E::c(1),
+                label: sync_label,
+            });
+            // Wait for everyone else's flag.
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let spin = code.len();
+                code.push(I::Read {
+                    loc: LocRef::at(flag, j as i64),
+                    reg: 0,
+                    label: sync_label,
+                });
+                code.push(I::BranchIf {
+                    cond: E::eq(E::r(0), E::c(0)),
+                    target: spin,
+                });
+            }
+            // Behind the barrier: every datum must be visible.
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                code.push(I::Read {
+                    loc: LocRef::at(data, j as i64),
+                    reg: 0,
+                    label: Label::Ordinary,
+                });
+                code.push(I::Assert {
+                    cond: E::eq(E::r(0), E::c(j as i64 + 1)),
+                    msg: format!("thread saw stale data[{j}] after the barrier"),
+                });
+            }
+            code.push(I::Halt);
+            code
+        })
+        .collect();
+    let p = Program {
+        arrays: vec![("data".into(), n), ("flag".into(), n)],
+        threads,
+        num_regs: 1,
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ProgramWorkload;
+    use smc_sim::explore::{explore, ExploreConfig};
+    use smc_sim::mem::MemorySystem;
+    use smc_sim::rc::{RcMem, SyncMode};
+    use smc_sim::{CausalMem, CoherentMem, PramMem, ScMem, TsoMem, WoMem};
+
+    fn hunt<M: MemorySystem>(mem: M, label: Label, op_limit: u32) -> Option<String> {
+        let p = barrier(2, label);
+        let w = ProgramWorkload::new(p, op_limit);
+        let cfg = ExploreConfig {
+            collect_histories: false,
+            ..Default::default()
+        };
+        explore(&mem, &w, &cfg).violation.map(|(m, _)| m)
+    }
+
+    #[test]
+    fn safe_on_ordered_delivery_machines() {
+        assert_eq!(hunt(ScMem::new(2, 4), Label::Ordinary, 10), None);
+        assert_eq!(hunt(TsoMem::new(2, 4), Label::Ordinary, 10), None);
+        assert_eq!(hunt(PramMem::new(2, 4), Label::Ordinary, 10), None);
+        assert_eq!(hunt(CausalMem::new(2, 4), Label::Ordinary, 10), None);
+    }
+
+    #[test]
+    fn unlabeled_breaks_on_reordering_machines() {
+        let v = hunt(CoherentMem::new(2, 4), Label::Ordinary, 10);
+        assert!(v.unwrap().contains("stale"));
+        let v = hunt(RcMem::new(SyncMode::Sc, 2, 4), Label::Ordinary, 10);
+        assert!(v.unwrap().contains("stale"));
+    }
+
+    #[test]
+    fn labeled_flags_restore_safety_on_rc_and_wo() {
+        assert_eq!(hunt(RcMem::new(SyncMode::Sc, 2, 4), Label::Labeled, 10), None);
+        assert_eq!(hunt(RcMem::new(SyncMode::Pc, 2, 4), Label::Labeled, 10), None);
+        assert_eq!(hunt(WoMem::new(2, 4), Label::Labeled, 10), None);
+    }
+
+    #[test]
+    fn three_way_barrier_safe_on_sc() {
+        let p = barrier(3, Label::Ordinary);
+        for seed in 0..30 {
+            let w = ProgramWorkload::new(p.clone(), 60);
+            let r = smc_sim::sched::run_random(ScMem::new(3, 6), w, seed, 100_000);
+            assert!(r.violation.is_none(), "seed {seed}: {:?}", r.violation);
+            assert!(r.completed);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Dekker's algorithm — the oldest two-processor mutual exclusion
+//! protocol built from plain reads and writes.
+
+use crate::ast::{Expr as E, Instr as I, LocRef, Program};
+use smc_history::Label;
+
+/// Build Dekker's algorithm for two processors with its synchronization
+/// accesses carrying `sync_label`.
+///
+/// Array layout: `flag[2]` (array 0), `turn` (array 1), `d` (array 2).
+pub fn dekker(sync_label: Label) -> Program {
+    let threads = (0..2).map(|i| dekker_thread(i, sync_label)).collect();
+    let p = Program {
+        arrays: vec![("flag".into(), 2), ("turn".into(), 1), ("d".into(), 1)],
+        threads,
+        num_regs: 2,
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+fn dekker_thread(i: usize, label: Label) -> Vec<I> {
+    let j = 1 - i;
+    let (flag, turn, d) = (0usize, 1usize, 2usize);
+    vec![
+        // 0: flag[i] := 1
+        I::Write {
+            loc: LocRef::at(flag, i as i64),
+            value: E::c(1),
+            label,
+        },
+        // 1: r0 := flag[j]
+        I::Read {
+            loc: LocRef::at(flag, j as i64),
+            reg: 0,
+            label,
+        },
+        // 2: if flag[j] == 0 goto 10 (critical section)
+        I::BranchIf {
+            cond: E::eq(E::r(0), E::c(0)),
+            target: 10,
+        },
+        // 3: r1 := turn
+        I::Read {
+            loc: LocRef::at(turn, 0),
+            reg: 1,
+            label,
+        },
+        // 4: if turn != j goto 1 (our turn: insist)
+        I::BranchIf {
+            cond: E::ne(E::r(1), E::c(j as i64)),
+            target: 1,
+        },
+        // 5: back off: flag[i] := 0
+        I::Write {
+            loc: LocRef::at(flag, i as i64),
+            value: E::c(0),
+            label,
+        },
+        // 6: r1 := turn
+        I::Read {
+            loc: LocRef::at(turn, 0),
+            reg: 1,
+            label,
+        },
+        // 7: while turn == j goto 6
+        I::BranchIf {
+            cond: E::eq(E::r(1), E::c(j as i64)),
+            target: 6,
+        },
+        // 8: flag[i] := 1
+        I::Write {
+            loc: LocRef::at(flag, i as i64),
+            value: E::c(1),
+            label,
+        },
+        // 9: goto 1
+        I::Jump(1),
+        // 10: critical section
+        I::EnterCs,
+        I::Write {
+            loc: LocRef::at(d, 0),
+            value: E::c(i as i64 + 1),
+            label: Label::Ordinary,
+        },
+        I::Read {
+            loc: LocRef::at(d, 0),
+            reg: 1,
+            label: Label::Ordinary,
+        },
+        I::Assert {
+            cond: E::eq(E::r(1), E::c(i as i64 + 1)),
+            msg: "critical-section data overwritten by the other processor".into(),
+        },
+        I::ExitCs,
+        // 15: turn := j; flag[i] := 0
+        I::Write {
+            loc: LocRef::at(turn, 0),
+            value: E::c(j as i64),
+            label,
+        },
+        I::Write {
+            loc: LocRef::at(flag, i as i64),
+            value: E::c(0),
+            label,
+        },
+        I::Halt,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ProgramWorkload;
+    use smc_sim::explore::{explore, ExploreConfig};
+    use smc_sim::sc::ScMem;
+    use smc_sim::tso::TsoMem;
+
+    #[test]
+    fn correct_under_sc_exhaustively() {
+        let p = dekker(Label::Ordinary);
+        let w = ProgramWorkload::new(p.clone(), 10);
+        let cfg = ExploreConfig {
+            collect_histories: false,
+            ..Default::default()
+        };
+        let out = explore(&ScMem::new(2, p.num_locs()), &w, &cfg);
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn violated_under_tso() {
+        let p = dekker(Label::Ordinary);
+        let w = ProgramWorkload::new(p.clone(), 10);
+        let cfg = ExploreConfig {
+            collect_histories: false,
+            ..Default::default()
+        };
+        let out = explore(&TsoMem::new(2, p.num_locs()), &w, &cfg);
+        assert!(out.violation.is_some(), "TSO should break Dekker");
+    }
+}

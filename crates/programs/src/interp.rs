@@ -1,0 +1,485 @@
+//! The program interpreter, as a [`Workload`] over any memory.
+
+use crate::ast::{Expr, Instr, LocRef, Program};
+use smc_history::{Location, ProcId, Value};
+use smc_sim::mem::MemorySystem;
+use smc_sim::record::Recorder;
+use smc_sim::workload::Workload;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Upper bound on consecutive thread-local instructions per step, to
+/// catch accidental local-only loops.
+const LOCAL_FUEL: usize = 10_000;
+
+/// Interpreter state for one [`Program`], implementing
+/// [`Workload`]: thread `t` drives processor `t`.
+///
+/// One step executes any pending thread-local instructions and then at
+/// most one shared-memory access (local instructions are invisible to
+/// other threads, so batching them shrinks the exploration state space
+/// without losing any observable interleaving). The built-in monitor
+/// flags overlapping critical sections and failed `Assert`s via
+/// [`Workload::violation`].
+///
+/// `op_limit` bounds the shared-memory operations each thread may issue —
+/// necessary because busy-wait loops (the Bakery's `repeat ... until`)
+/// have unbounded executions; exhaustive exploration is then "complete up
+/// to the bound".
+#[derive(Debug, Clone)]
+pub struct ProgramWorkload {
+    program: Arc<Program>,
+    pcs: Vec<usize>,
+    regs: Vec<Vec<i64>>,
+    halted: Vec<bool>,
+    in_cs: Vec<bool>,
+    ops_issued: Vec<u32>,
+    op_limit: u32,
+    violation: Option<String>,
+}
+
+impl PartialEq for ProgramWorkload {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.program, &other.program)
+            && self.pcs == other.pcs
+            && self.regs == other.regs
+            && self.halted == other.halted
+            && self.in_cs == other.in_cs
+            && self.ops_issued == other.ops_issued
+            && self.violation == other.violation
+    }
+}
+
+impl Eq for ProgramWorkload {}
+
+impl Hash for ProgramWorkload {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The program is immutable and shared; only dynamic state hashes.
+        self.pcs.hash(state);
+        self.regs.hash(state);
+        self.halted.hash(state);
+        self.in_cs.hash(state);
+        self.ops_issued.hash(state);
+        self.violation.hash(state);
+    }
+}
+
+impl ProgramWorkload {
+    /// A fresh workload with a per-thread shared-operation limit.
+    ///
+    /// # Panics
+    /// Panics if the program fails [`Program::validate`].
+    pub fn new(program: Program, op_limit: u32) -> Self {
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid program: {e}"));
+        let threads = program.threads.len();
+        let regs = vec![vec![0i64; program.num_regs]; threads];
+        ProgramWorkload {
+            program: Arc::new(program),
+            pcs: vec![0; threads],
+            regs,
+            halted: vec![false; threads],
+            in_cs: vec![false; threads],
+            ops_issued: vec![0; threads],
+            op_limit,
+            violation: None,
+        }
+    }
+
+    /// The interpreted program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// `true` if any thread stopped because it hit the operation limit
+    /// (results of an exploration are then bounded, not exhaustive).
+    pub fn hit_op_limit(&self) -> bool {
+        self.ops_issued.iter().any(|&n| n >= self.op_limit)
+    }
+
+    fn eval(&self, t: usize, e: &Expr) -> i64 {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::Reg(r) => self.regs[t][*r],
+            Expr::Add(a, b) => self.eval(t, a).wrapping_add(self.eval(t, b)),
+            Expr::Sub(a, b) => self.eval(t, a).wrapping_sub(self.eval(t, b)),
+            Expr::Max(a, b) => self.eval(t, a).max(self.eval(t, b)),
+            Expr::Eq(a, b) => (self.eval(t, a) == self.eval(t, b)) as i64,
+            Expr::Lt(a, b) => (self.eval(t, a) < self.eval(t, b)) as i64,
+            Expr::And(a, b) => (self.eval(t, a) != 0 && self.eval(t, b) != 0) as i64,
+            Expr::Or(a, b) => (self.eval(t, a) != 0 || self.eval(t, b) != 0) as i64,
+            Expr::Not(a) => (self.eval(t, a) == 0) as i64,
+            Expr::LexLt { a, b, c, d } => {
+                let (a, b, c, d) = (
+                    self.eval(t, a),
+                    self.eval(t, b),
+                    self.eval(t, c),
+                    self.eval(t, d),
+                );
+                (a < c || (a == c && b < d)) as i64
+            }
+        }
+    }
+
+    fn resolve_loc(&self, t: usize, loc: &LocRef) -> Option<Location> {
+        let idx = self.eval(t, &loc.index);
+        let len = self.program.arrays[loc.array].1;
+        if idx < 0 || idx as usize >= len {
+            return None;
+        }
+        Some(Location(self.program.loc_id(loc.array, idx as usize) as u32))
+    }
+
+    /// Execute thread-local instructions at `t`'s pc until the pc rests
+    /// on a memory access or the thread halts. Returns `false` if a
+    /// violation was raised.
+    fn run_locals(&mut self, t: usize) -> bool {
+        let program = Arc::clone(&self.program);
+        let code = &program.threads[t];
+        let mut fuel = LOCAL_FUEL;
+        loop {
+            if self.halted[t] || self.violation.is_some() {
+                return self.violation.is_none();
+            }
+            let Some(instr) = code.get(self.pcs[t]) else {
+                self.halted[t] = true;
+                return true;
+            };
+            if instr.is_memory_op() {
+                return true;
+            }
+            if fuel == 0 {
+                self.violation =
+                    Some(format!("thread {t}: local loop without shared accesses"));
+                return false;
+            }
+            fuel -= 1;
+            match instr {
+                Instr::Assign { reg, value } => {
+                    self.regs[t][*reg] = self.eval(t, value);
+                    self.pcs[t] += 1;
+                }
+                Instr::BranchIf { cond, target } => {
+                    if self.eval(t, cond) != 0 {
+                        self.pcs[t] = *target;
+                    } else {
+                        self.pcs[t] += 1;
+                    }
+                }
+                Instr::Jump(target) => self.pcs[t] = *target,
+                Instr::EnterCs => {
+                    if let Some(other) = (0..self.in_cs.len()).find(|&o| o != t && self.in_cs[o]) {
+                        self.violation = Some(format!(
+                            "mutual exclusion violated: threads {other} and {t} \
+                             are both in the critical section"
+                        ));
+                        return false;
+                    }
+                    self.in_cs[t] = true;
+                    self.pcs[t] += 1;
+                }
+                Instr::ExitCs => {
+                    self.in_cs[t] = false;
+                    self.pcs[t] += 1;
+                }
+                Instr::Assert { cond, msg } => {
+                    if self.eval(t, cond) == 0 {
+                        self.violation = Some(format!("thread {t}: {msg}"));
+                        return false;
+                    }
+                    self.pcs[t] += 1;
+                }
+                Instr::Halt => {
+                    self.halted[t] = true;
+                    return true;
+                }
+                Instr::Read { .. } | Instr::Write { .. } => unreachable!(),
+            }
+        }
+    }
+
+    /// The memory access the thread is currently resting on, if any.
+    fn pending_access(&self, t: usize) -> Option<&Instr> {
+        if self.halted[t] || self.violation.is_some() {
+            return None;
+        }
+        self.program.threads[t]
+            .get(self.pcs[t])
+            .filter(|i| i.is_memory_op())
+    }
+}
+
+impl<M: MemorySystem> Workload<M> for ProgramWorkload {
+    fn num_threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    fn runnable(&self, t: usize, mem: &M) -> bool {
+        if self.halted[t] || self.violation.is_some() {
+            return false;
+        }
+        let Some(instr) = self.program.threads[t].get(self.pcs[t]) else {
+            // Fell off the end: one step to retire the thread.
+            return true;
+        };
+        match instr {
+            Instr::Read { loc, label, .. } => {
+                if self.ops_issued[t] >= self.op_limit {
+                    return false;
+                }
+                match self.resolve_loc(t, loc) {
+                    // Out-of-range index raises a violation on step.
+                    None => true,
+                    Some(l) => mem.can_read(ProcId(t as u32), l, *label),
+                }
+            }
+            Instr::Write { loc, label, .. } => {
+                if self.ops_issued[t] >= self.op_limit {
+                    return false;
+                }
+                match self.resolve_loc(t, loc) {
+                    None => true,
+                    Some(l) => mem.can_write(ProcId(t as u32), l, *label),
+                }
+            }
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, t: usize, mem: &mut M, rec: &mut Recorder) {
+        // Execute the access the pc rests on (if any), then run the
+        // following local instructions so the next step starts at a
+        // memory access again.
+        if let Some(instr) = self.pending_access(t).cloned() {
+            let p = ProcId(t as u32);
+            match instr {
+                Instr::Read { loc, reg, label } => match self.resolve_loc(t, &loc) {
+                    None => {
+                        self.violation = Some(format!("thread {t}: array index out of range"));
+                        return;
+                    }
+                    Some(l) => {
+                        let v = mem.read(p, l, label);
+                        rec.read(p, l, v, label);
+                        self.regs[t][reg] = v.0;
+                        self.ops_issued[t] += 1;
+                        self.pcs[t] += 1;
+                    }
+                },
+                Instr::Write { loc, value, label } => match self.resolve_loc(t, &loc) {
+                    None => {
+                        self.violation = Some(format!("thread {t}: array index out of range"));
+                        return;
+                    }
+                    Some(l) => {
+                        let v = Value(self.eval(t, &value));
+                        mem.write(p, l, v, label);
+                        rec.write(p, l, v, label);
+                        self.ops_issued[t] += 1;
+                        self.pcs[t] += 1;
+                    }
+                },
+                _ => unreachable!(),
+            }
+        }
+        self.run_locals(t);
+    }
+
+    fn done(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+
+    fn violation(&self) -> Option<String> {
+        self.violation.clone()
+    }
+
+    fn recorder(&self) -> Recorder {
+        Recorder::new(
+            (0..self.pcs.len()).map(|t| format!("p{t}")).collect(),
+            self.program.loc_names(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr as E, Instr as I, LocRef};
+    use smc_history::Label::Ordinary;
+    use smc_sim::sc::ScMem;
+    use smc_sim::sched::run_random;
+
+    fn counter_program() -> Program {
+        // Two threads each: read x, write x+1 (racy increment).
+        let thread = vec![
+            I::Read {
+                loc: LocRef::at(0, 0),
+                reg: 0,
+                label: Ordinary,
+            },
+            I::Write {
+                loc: LocRef::at(0, 0),
+                value: E::add(E::r(0), E::c(1)),
+                label: Ordinary,
+            },
+            I::Halt,
+        ];
+        Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![thread.clone(), thread],
+            num_regs: 1,
+        }
+    }
+
+    #[test]
+    fn runs_to_completion_and_records() {
+        let w = ProgramWorkload::new(counter_program(), 100);
+        let r = run_random(ScMem::new(2, 1), w, 3, 1_000);
+        assert!(r.completed);
+        assert_eq!(r.history.num_ops(), 4);
+        assert!(r.violation.is_none());
+    }
+
+    #[test]
+    fn spin_loop_waits_for_value() {
+        // t0 spins until x == 1; t1 sets it.
+        let spin = vec![
+            I::Read {
+                loc: LocRef::at(0, 0),
+                reg: 0,
+                label: Ordinary,
+            },
+            I::BranchIf {
+                cond: E::ne(E::r(0), E::c(1)),
+                target: 0,
+            },
+            I::Halt,
+        ];
+        let set = vec![
+            I::Write {
+                loc: LocRef::at(0, 0),
+                value: E::c(1),
+                label: Ordinary,
+            },
+            I::Halt,
+        ];
+        let p = Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![spin, set],
+            num_regs: 1,
+        };
+        let w = ProgramWorkload::new(p, 1_000);
+        let r = run_random(ScMem::new(2, 1), w, 11, 100_000);
+        assert!(r.completed);
+        assert!(r.violation.is_none());
+    }
+
+    #[test]
+    fn cs_overlap_detected() {
+        let enter_only = vec![I::EnterCs, I::Halt];
+        let p = Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![enter_only.clone(), enter_only],
+            num_regs: 0,
+        };
+        let w = ProgramWorkload::new(p, 10);
+        let r = run_random(ScMem::new(2, 1), w, 0, 1_000);
+        assert!(r.violation.unwrap().contains("mutual exclusion"));
+    }
+
+    #[test]
+    fn assert_failure_detected() {
+        let p = Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![vec![
+                I::Assert {
+                    cond: E::c(0),
+                    msg: "always fails".into(),
+                },
+                I::Halt,
+            ]],
+            num_regs: 0,
+        };
+        let w = ProgramWorkload::new(p, 10);
+        let r = run_random(ScMem::new(1, 1), w, 0, 100);
+        assert!(r.violation.unwrap().contains("always fails"));
+    }
+
+    #[test]
+    fn out_of_range_index_is_a_violation() {
+        let p = Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![vec![
+                I::Read {
+                    loc: LocRef::at_reg(0, 0),
+                    reg: 1,
+                    label: Ordinary,
+                },
+                I::Halt,
+            ]],
+            num_regs: 2,
+        };
+        let mut w = ProgramWorkload::new(p, 10);
+        w.regs[0][0] = 5; // index out of range
+        let r = run_random(ScMem::new(1, 1), w, 0, 100);
+        assert!(r.violation.unwrap().contains("out of range"));
+    }
+
+    #[test]
+    fn expression_evaluation_via_asserts() {
+        // Exercise every expression constructor through the interpreter:
+        // a single thread computes and asserts.
+        use crate::ast::Expr;
+        let checks: Vec<(Expr, &str)> = vec![
+            (E::eq(E::add(E::c(2), E::c(3)), E::c(5)), "add"),
+            (E::eq(Expr::Sub(Box::new(E::c(2)), Box::new(E::c(3))), E::c(-1)), "sub"),
+            (E::eq(E::max(E::c(2), E::c(7)), E::c(7)), "max"),
+            (E::lt(E::c(-1), E::c(0)), "lt"),
+            (Expr::And(Box::new(E::c(1)), Box::new(E::c(2))), "and"),
+            (E::or(E::c(0), E::c(5)), "or"),
+            (E::not(E::c(0)), "not"),
+            (E::lex_lt(E::c(1), E::c(2), E::c(1), E::c(3)), "lex tie-break"),
+            (E::lex_lt(E::c(1), E::c(9), E::c(2), E::c(0)), "lex major"),
+            (E::not(E::lex_lt(E::c(2), E::c(0), E::c(1), E::c(9))), "lex not"),
+        ];
+        let code: Vec<I> = checks
+            .into_iter()
+            .map(|(cond, msg)| I::Assert {
+                cond,
+                msg: msg.to_string(),
+            })
+            .chain([I::Halt])
+            .collect();
+        let p = Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![code],
+            num_regs: 0,
+        };
+        let w = ProgramWorkload::new(p, 10);
+        let r = run_random(ScMem::new(1, 1), w, 0, 100);
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn op_limit_freezes_thread() {
+        // Infinite read loop hits the limit and stops being runnable.
+        let p = Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![vec![
+                I::Read {
+                    loc: LocRef::at(0, 0),
+                    reg: 0,
+                    label: Ordinary,
+                },
+                I::Jump(0),
+            ]],
+            num_regs: 1,
+        };
+        let w = ProgramWorkload::new(p, 5);
+        let r = run_random(ScMem::new(1, 1), w, 0, 10_000);
+        assert!(!r.completed);
+        assert_eq!(r.history.num_ops(), 5);
+    }
+}

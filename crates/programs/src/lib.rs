@@ -1,0 +1,42 @@
+//! Concurrent programs for the characterization framework.
+//!
+//! Section 5 of the paper runs Lamport's Bakery algorithm — a real
+//! synchronization algorithm with loops, per-processor arithmetic and an
+//! array of shared variables — against two memory models. Reproducing
+//! that experiment needs more than scripted access lists, so this crate
+//! provides:
+//!
+//! * [`ast`] — a small imperative language: registers, arithmetic and
+//!   comparison expressions (including the Bakery's lexicographic ticket
+//!   comparison), shared-array accesses with computed indices, branches,
+//!   assertions, and critical-section markers;
+//! * [`interp`] — an interpreter that implements
+//!   [`smc_sim::Workload`], so any program runs over any of the
+//!   operational memories under random or exhaustive scheduling, with a
+//!   built-in mutual-exclusion monitor;
+//! * [`bakery`], [`peterson`], [`dekker`], [`mp`], [`barrier`],
+//!   [`seqlock`] — classic
+//!   algorithms as program builders, each parameterized by whether their
+//!   synchronization accesses are labeled (for release consistency) or
+//!   ordinary;
+//! * [`corpus`] — the workspace's litmus-test corpus: the paper's four
+//!   figures plus classic shapes, each with expected verdicts per model;
+//! * [`pretty`] — pseudo-code rendering of programs (also `Display` on
+//!   [`Program`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod bakery;
+pub mod barrier;
+pub mod corpus;
+pub mod dekker;
+pub mod interp;
+pub mod mp;
+pub mod peterson;
+pub mod pretty;
+pub mod seqlock;
+
+pub use ast::{Expr, Instr, LocRef, Program};
+pub use interp::ProgramWorkload;

@@ -1,0 +1,110 @@
+//! Message passing: the producer/consumer handshake that motivates
+//! release consistency.
+
+use crate::ast::{Expr as E, Instr as I, LocRef, Program};
+use smc_history::Label;
+
+/// Build the message-passing program: a producer writes `payload` to an
+/// *ordinary* data location and then sets a flag with `sync_label`; a
+/// consumer spins on the flag (same label) and then asserts it reads the
+/// fresh payload.
+///
+/// * With `sync_label = Labeled`, this is the properly-labeled pattern
+///   release consistency is designed for: correct on `RC_sc` *and*
+///   `RC_pc` (the flag write is a release that waits for the data write
+///   to perform everywhere).
+/// * With `sync_label = Ordinary`, correctness depends on the memory
+///   keeping cross-location program order: fine on SC/TSO/PRAM/causal,
+///   broken on the coherent-only memory and on RC.
+///
+/// Array layout: `d` (array 0), `f` (array 1).
+pub fn message_passing(sync_label: Label, payload: i64) -> Program {
+    let (d, f) = (0usize, 1usize);
+    let producer = vec![
+        I::Write {
+            loc: LocRef::at(d, 0),
+            value: E::c(payload),
+            label: Label::Ordinary,
+        },
+        I::Write {
+            loc: LocRef::at(f, 0),
+            value: E::c(1),
+            label: sync_label,
+        },
+        I::Halt,
+    ];
+    let consumer = vec![
+        // 0: r0 := f; spin until it is set.
+        I::Read {
+            loc: LocRef::at(f, 0),
+            reg: 0,
+            label: sync_label,
+        },
+        I::BranchIf {
+            cond: E::eq(E::r(0), E::c(0)),
+            target: 0,
+        },
+        I::Read {
+            loc: LocRef::at(d, 0),
+            reg: 1,
+            label: Label::Ordinary,
+        },
+        I::Assert {
+            cond: E::eq(E::r(1), E::c(payload)),
+            msg: "consumer read stale data after observing the flag".into(),
+        },
+        I::Halt,
+    ];
+    let p = Program {
+        arrays: vec![("d".into(), 1), ("f".into(), 1)],
+        threads: vec![producer, consumer],
+        num_regs: 2,
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ProgramWorkload;
+    use smc_sim::coherent::CoherentMem;
+    use smc_sim::explore::{explore, ExploreConfig};
+    use smc_sim::rc::{RcMem, SyncMode};
+    use smc_sim::sc::ScMem;
+    use smc_sim::tso::TsoMem;
+
+    fn check<M: smc_sim::MemorySystem>(mem: M, label: Label, op_limit: u32) -> Option<String> {
+        let p = message_passing(label, 42);
+        let w = ProgramWorkload::new(p, op_limit);
+        let cfg = ExploreConfig {
+            collect_histories: false,
+            ..Default::default()
+        };
+        explore(&mem, &w, &cfg).violation.map(|(m, _)| m)
+    }
+
+    #[test]
+    fn safe_on_sc_and_tso() {
+        assert_eq!(check(ScMem::new(2, 2), Label::Ordinary, 8), None);
+        assert_eq!(check(TsoMem::new(2, 2), Label::Ordinary, 8), None);
+    }
+
+    #[test]
+    fn unlabeled_breaks_on_coherent_only_memory() {
+        let v = check(CoherentMem::new(2, 2), Label::Ordinary, 8);
+        assert!(v.unwrap().contains("stale"));
+    }
+
+    #[test]
+    fn unlabeled_breaks_on_rc() {
+        let v = check(RcMem::new(SyncMode::Sc, 2, 2), Label::Ordinary, 8);
+        assert!(v.unwrap().contains("stale"));
+    }
+
+    #[test]
+    fn properly_labeled_is_safe_on_both_rc_variants() {
+        assert_eq!(check(RcMem::new(SyncMode::Sc, 2, 2), Label::Labeled, 8), None);
+        assert_eq!(check(RcMem::new(SyncMode::Pc, 2, 2), Label::Labeled, 8), None);
+    }
+}

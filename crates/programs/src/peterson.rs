@@ -1,0 +1,131 @@
+//! Peterson's two-processor mutual exclusion algorithm.
+
+use crate::ast::{Expr as E, Instr as I, LocRef, Program};
+use smc_history::Label;
+
+/// Build Peterson's algorithm for two processors, with its
+/// synchronization accesses (`flag` and `victim`) carrying `sync_label`.
+///
+/// Like the Bakery algorithm, Peterson's algorithm implements mutual
+/// exclusion with plain reads and writes and is correct under sequential
+/// consistency; under TSO the buffered `flag` write lets both processors
+/// read the other's flag as 0 and enter together — a classic
+/// store-buffering failure the test suite demonstrates operationally.
+///
+/// Array layout: `flag[2]` (array 0), `victim` (array 1), `d` (array 2).
+pub fn peterson(sync_label: Label) -> Program {
+    let threads = (0..2).map(|i| peterson_thread(i, sync_label)).collect();
+    let p = Program {
+        arrays: vec![("flag".into(), 2), ("victim".into(), 1), ("d".into(), 1)],
+        threads,
+        num_regs: 2,
+    };
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+fn peterson_thread(i: usize, label: Label) -> Vec<I> {
+    let j = 1 - i;
+    let (flag, victim, d) = (0usize, 1usize, 2usize);
+    vec![
+        // 0: flag[i] := 1
+        I::Write {
+            loc: LocRef::at(flag, i as i64),
+            value: E::c(1),
+            label,
+        },
+        // 1: victim := i
+        I::Write {
+            loc: LocRef::at(victim, 0),
+            value: E::c(i as i64),
+            label,
+        },
+        // 2: r0 := flag[j]
+        I::Read {
+            loc: LocRef::at(flag, j as i64),
+            reg: 0,
+            label,
+        },
+        // 3: if flag[j] == 0 goto 7 (enter)
+        I::BranchIf {
+            cond: E::eq(E::r(0), E::c(0)),
+            target: 7,
+        },
+        // 4: r1 := victim
+        I::Read {
+            loc: LocRef::at(victim, 0),
+            reg: 1,
+            label,
+        },
+        // 5: if victim != i goto 7 (enter)
+        I::BranchIf {
+            cond: E::ne(E::r(1), E::c(i as i64)),
+            target: 7,
+        },
+        // 6: retry
+        I::Jump(2),
+        // 7: critical section
+        I::EnterCs,
+        I::Write {
+            loc: LocRef::at(d, 0),
+            value: E::c(i as i64 + 1),
+            label: Label::Ordinary,
+        },
+        I::Read {
+            loc: LocRef::at(d, 0),
+            reg: 1,
+            label: Label::Ordinary,
+        },
+        I::Assert {
+            cond: E::eq(E::r(1), E::c(i as i64 + 1)),
+            msg: "critical-section data overwritten by the other processor".into(),
+        },
+        I::ExitCs,
+        // 12: flag[i] := 0
+        I::Write {
+            loc: LocRef::at(flag, i as i64),
+            value: E::c(0),
+            label,
+        },
+        I::Halt,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ProgramWorkload;
+    use smc_sim::explore::{explore, ExploreConfig};
+    use smc_sim::sc::ScMem;
+    use smc_sim::tso::TsoMem;
+
+    #[test]
+    fn correct_under_sc_exhaustively() {
+        let p = peterson(Label::Ordinary);
+        let w = ProgramWorkload::new(p.clone(), 10);
+        let cfg = ExploreConfig {
+            collect_histories: false,
+            ..Default::default()
+        };
+        let out = explore(&ScMem::new(2, p.num_locs()), &w, &cfg);
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(!out.truncated, "exploration truncated");
+    }
+
+    #[test]
+    fn violated_under_tso() {
+        let p = peterson(Label::Ordinary);
+        let w = ProgramWorkload::new(p.clone(), 10);
+        let cfg = ExploreConfig {
+            collect_histories: false,
+            ..Default::default()
+        };
+        let out = explore(&TsoMem::new(2, p.num_locs()), &w, &cfg);
+        let (msg, history) = out.violation.expect("TSO should break Peterson");
+        assert!(
+            msg.contains("mutual exclusion") || msg.contains("overwritten"),
+            "{msg}"
+        );
+        assert!(history.num_ops() > 0);
+    }
+}

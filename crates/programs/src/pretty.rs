@@ -1,0 +1,156 @@
+//! Pseudo-code rendering of programs.
+
+use crate::ast::{Expr, Instr, LocRef, Program};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Render an expression in infix notation.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Reg(r) => format!("r{r}"),
+        Expr::Add(a, b) => format!("({} + {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Sub(a, b) => format!("({} - {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Max(a, b) => format!("max({}, {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Eq(a, b) => format!("({} == {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Lt(a, b) => format!("({} < {})", expr_to_string(a), expr_to_string(b)),
+        Expr::And(a, b) => format!("({} && {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Or(a, b) => format!("({} || {})", expr_to_string(a), expr_to_string(b)),
+        Expr::Not(a) => format!("!{}", expr_to_string(a)),
+        Expr::LexLt { a, b, c, d } => format!(
+            "(({}, {}) <lex ({}, {}))",
+            expr_to_string(a),
+            expr_to_string(b),
+            expr_to_string(c),
+            expr_to_string(d)
+        ),
+    }
+}
+
+fn loc_to_string(p: &Program, loc: &LocRef) -> String {
+    let (name, len) = &p.arrays[loc.array];
+    if *len == 1 {
+        name.clone()
+    } else {
+        format!("{name}[{}]", expr_to_string(&loc.index))
+    }
+}
+
+/// Render one instruction (without its index).
+pub fn instr_to_string(p: &Program, i: &Instr) -> String {
+    match i {
+        Instr::Read { loc, reg, label } => format!(
+            "r{reg} := {}{}",
+            loc_to_string(p, loc),
+            if label.is_labeled() { "   (labeled)" } else { "" }
+        ),
+        Instr::Write { loc, value, label } => format!(
+            "{} := {}{}",
+            loc_to_string(p, loc),
+            expr_to_string(value),
+            if label.is_labeled() { "   (labeled)" } else { "" }
+        ),
+        Instr::Assign { reg, value } => format!("r{reg} := {}", expr_to_string(value)),
+        Instr::BranchIf { cond, target } => {
+            format!("if {} goto {target}", expr_to_string(cond))
+        }
+        Instr::Jump(target) => format!("goto {target}"),
+        Instr::EnterCs => "enter critical section".into(),
+        Instr::ExitCs => "exit critical section".into(),
+        Instr::Assert { cond, msg } => {
+            format!("assert {} \"{msg}\"", expr_to_string(cond))
+        }
+        Instr::Halt => "halt".into(),
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write!(out, "shared:")?;
+        for (name, len) in &self.arrays {
+            if *len == 1 {
+                write!(out, " {name}")?;
+            } else {
+                write!(out, " {name}[{len}]")?;
+            }
+        }
+        writeln!(out)?;
+        for (t, code) in self.threads.iter().enumerate() {
+            writeln!(out, "thread {t}:")?;
+            for (i, instr) in code.iter().enumerate() {
+                writeln!(out, "  {i:>3}: {}", instr_to_string(self, instr))?;
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr as E, Instr as I};
+    use crate::bakery::bakery;
+    use smc_history::Label;
+
+    #[test]
+    fn expressions_render_infix() {
+        let e = E::or(E::eq(E::r(1), E::c(0)), E::lex_lt(E::r(0), E::c(1), E::r(1), E::c(0)));
+        assert_eq!(
+            expr_to_string(&e),
+            "((r1 == 0) || ((r0, 1) <lex (r1, 0)))"
+        );
+        assert_eq!(expr_to_string(&E::max(E::r(0), E::c(3))), "max(r0, 3)");
+        assert_eq!(expr_to_string(&E::not(E::c(0))), "!0");
+    }
+
+    #[test]
+    fn bakery_renders_completely() {
+        let p = bakery(2, Label::Labeled);
+        let text = p.to_string();
+        assert!(text.contains("shared: choosing[2] number[2] d"));
+        assert!(text.contains("thread 0:"));
+        assert!(text.contains("thread 1:"));
+        assert!(text.contains("(labeled)"));
+        assert!(text.contains("enter critical section"));
+        assert!(text.contains("<lex"));
+        // Every instruction of both threads appears (indented `N: ...`).
+        let lines = text
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.split(':').next().is_some_and(|n| n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty())
+            })
+            .count();
+        assert_eq!(lines, p.threads[0].len() + p.threads[1].len());
+    }
+
+    #[test]
+    fn scalar_and_array_locations() {
+        let p = crate::mp::message_passing(Label::Ordinary, 42);
+        let text = p.to_string();
+        assert!(text.contains("d := 42"));
+        assert!(text.contains("r0 := f"));
+        assert!(text.contains("if (r0 == 0) goto 0"));
+    }
+
+    #[test]
+    fn control_instructions_render() {
+        let p = crate::ast::Program {
+            arrays: vec![("x".into(), 1)],
+            threads: vec![vec![
+                I::Jump(0),
+                I::Assert {
+                    cond: E::c(1),
+                    msg: "ok".into(),
+                },
+                I::Halt,
+            ]],
+            num_regs: 0,
+        };
+        let text = p.to_string();
+        assert!(text.contains("goto 0"));
+        assert!(text.contains("assert 1 \"ok\""));
+        assert!(text.contains("halt"));
+    }
+}

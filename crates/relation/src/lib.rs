@@ -1,0 +1,27 @@
+//! A small binary-relation engine used by the memory-model checker.
+//!
+//! The characterization framework of Kohli, Neiger & Ahamad represents every
+//! ordering requirement (program order, writes-before, causal order,
+//! semi-causality, enumerated store orders, ...) as a binary relation over
+//! the operations of a history. This crate provides the shared machinery:
+//!
+//! * [`BitSet`] — a growable bit set over dense `usize` indices,
+//! * [`Relation`] — a dense bit-matrix relation with union, composition,
+//!   transitive closure, acyclicity checking and topological sorting,
+//! * [`linext`] — enumeration of the linear extensions of a partial order
+//!   (used to enumerate candidate store orders and coherence orders),
+//! * [`scc`] — strongly-connected components for cycle diagnostics.
+//!
+//! Everything is index-based; the checker crate maps operation identifiers
+//! to indices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+pub mod linext;
+mod relation;
+pub mod scc;
+
+pub use bitset::BitSet;
+pub use relation::Relation;

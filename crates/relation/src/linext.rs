@@ -1,0 +1,186 @@
+//! Enumeration of linear extensions of a partial order.
+//!
+//! The checker uses this to enumerate the existentially-quantified *shared*
+//! orders demanded by mutual-consistency parameters: TSO's single store
+//! order, PC's per-location coherence orders, and RC's common order on
+//! labeled operations. Each candidate order is a linear extension of the
+//! constraints already known to hold among the relevant operations.
+
+use crate::bitset::BitSet;
+use crate::relation::Relation;
+use std::ops::ControlFlow;
+
+/// Visit every linear extension of `rel` restricted to the elements of
+/// `subset`, in lexicographically ascending index order.
+///
+/// `rel` is interpreted as a (not necessarily transitively closed)
+/// precedence relation; only edges between two members of `subset` matter.
+/// The visitor receives each complete extension as a slice of original
+/// indices and may stop the enumeration early by returning
+/// [`ControlFlow::Break`].
+///
+/// Returns `Break(x)` if the visitor broke with `x`, `Continue(())` if the
+/// enumeration ran to completion (including the degenerate case of a cyclic
+/// restriction, which has no extensions).
+pub fn for_each_linear_extension<B>(
+    rel: &Relation,
+    subset: &BitSet,
+    mut visit: impl FnMut(&[usize]) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    let elems: Vec<usize> = subset.iter().collect();
+    let m = elems.len();
+    if m == 0 {
+        return visit(&[]);
+    }
+    // Local dense indices 0..m; preds[i] = bitmask of local predecessors.
+    let mut local_of = vec![usize::MAX; rel.len()];
+    for (i, &e) in elems.iter().enumerate() {
+        local_of[e] = i;
+    }
+    let mut preds: Vec<BitSet> = (0..m).map(|_| BitSet::new(m)).collect();
+    for (i, &e) in elems.iter().enumerate() {
+        for s in rel.successors(e).iter() {
+            let j = local_of[s];
+            if j != usize::MAX {
+                if j == i {
+                    // Self-loop: no extensions.
+                    return ControlFlow::Continue(());
+                }
+                preds[j].insert(i);
+            }
+        }
+    }
+
+    let mut placed = BitSet::new(m);
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    fn rec<B>(
+        elems: &[usize],
+        preds: &[BitSet],
+        placed: &mut BitSet,
+        order: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        let m = elems.len();
+        if order.len() == m {
+            return visit(order);
+        }
+        for i in 0..m {
+            if !placed.contains(i) && preds[i].is_subset(placed) {
+                placed.insert(i);
+                order.push(elems[i]);
+                rec(elems, preds, placed, order, visit)?;
+                order.pop();
+                placed.remove(i);
+            }
+        }
+        ControlFlow::Continue(())
+    }
+    rec(&elems, &preds, &mut placed, &mut order, &mut visit)
+}
+
+/// Collect every linear extension of `rel` restricted to `subset`, up to
+/// `limit` extensions. Returns `(extensions, truncated)` where `truncated`
+/// reports whether the limit cut the enumeration short.
+pub fn linear_extensions(
+    rel: &Relation,
+    subset: &BitSet,
+    limit: usize,
+) -> (Vec<Vec<usize>>, bool) {
+    let mut out = Vec::new();
+    let flow = for_each_linear_extension(rel, subset, |ext| {
+        if out.len() == limit {
+            return ControlFlow::Break(());
+        }
+        out.push(ext.to_vec());
+        ControlFlow::Continue(())
+    });
+    (out, flow.is_break())
+}
+
+/// Count the linear extensions of `rel` restricted to `subset`, stopping at
+/// `cap`. Returns `min(count, cap)`.
+pub fn count_linear_extensions(rel: &Relation, subset: &BitSet, cap: usize) -> usize {
+    let mut n = 0usize;
+    let _ = for_each_linear_extension(rel, subset, |_| {
+        n += 1;
+        if n >= cap {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::<()>::Continue(())
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exts(rel: &Relation, subset: &BitSet) -> Vec<Vec<usize>> {
+        linear_extensions(rel, subset, usize::MAX).0
+    }
+
+    #[test]
+    fn antichain_gives_all_permutations() {
+        let rel = Relation::new(3);
+        let all = exts(&rel, &BitSet::full(3));
+        assert_eq!(all.len(), 6);
+        // Lexicographic by index at each choice point.
+        assert_eq!(all[0], vec![0, 1, 2]);
+        assert_eq!(all[5], vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn chain_gives_single_extension() {
+        let rel = Relation::from_edges(3, [(2, 1), (1, 0)]);
+        let all = exts(&rel, &BitSet::full(3));
+        assert_eq!(all, vec![vec![2, 1, 0]]);
+    }
+
+    #[test]
+    fn respects_partial_constraints() {
+        // 0 < 2, 1 free among {0,1,2}.
+        let rel = Relation::from_edges(3, [(0, 2)]);
+        let all = exts(&rel, &BitSet::full(3));
+        assert_eq!(all.len(), 3);
+        for e in &all {
+            let p0 = e.iter().position(|&x| x == 0).unwrap();
+            let p2 = e.iter().position(|&x| x == 2).unwrap();
+            assert!(p0 < p2);
+        }
+    }
+
+    #[test]
+    fn subset_ignores_outside_edges() {
+        // Edge 0→1 exists but only {1,2} are enumerated.
+        let rel = Relation::from_edges(3, [(0, 1), (2, 1)]);
+        let subset = BitSet::from_iter(3, [1, 2]);
+        let all = exts(&rel, &subset);
+        assert_eq!(all, vec![vec![2, 1]]);
+    }
+
+    #[test]
+    fn cycle_has_no_extensions() {
+        let rel = Relation::from_edges(2, [(0, 1), (1, 0)]);
+        assert!(exts(&rel, &BitSet::full(2)).is_empty());
+        let selfloop = Relation::from_edges(1, [(0, 0)]);
+        assert!(exts(&selfloop, &BitSet::full(1)).is_empty());
+    }
+
+    #[test]
+    fn empty_subset_yields_one_empty_extension() {
+        let rel = Relation::new(3);
+        let all = exts(&rel, &BitSet::new(3));
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn early_break_and_limits() {
+        let rel = Relation::new(4);
+        let (some, truncated) = linear_extensions(&rel, &BitSet::full(4), 5);
+        assert_eq!(some.len(), 5);
+        assert!(truncated);
+        assert_eq!(count_linear_extensions(&rel, &BitSet::full(4), usize::MAX), 24);
+        assert_eq!(count_linear_extensions(&rel, &BitSet::full(4), 7), 7);
+    }
+}

@@ -1,0 +1,139 @@
+//! Strongly-connected components (Tarjan), used to explain *why* a set of
+//! ordering constraints is unsatisfiable: any SCC with more than one node
+//! (or a self-loop) is a certificate that no linear extension exists.
+
+use crate::relation::Relation;
+
+/// Compute the strongly-connected components of `rel` viewed as a digraph.
+///
+/// Components are returned in reverse topological order (Tarjan's natural
+/// output order); each component lists its member indices.
+pub fn strongly_connected_components(rel: &Relation) -> Vec<Vec<usize>> {
+    // Iterative Tarjan to avoid recursion-depth limits on long chains.
+    let n = rel.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps = Vec::new();
+
+    // Explicit DFS frames: (node, successor iterator position).
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = rel.successors(root).iter().collect();
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, succs, 0));
+
+        while let Some(frame) = frames.last_mut() {
+            let (v, succs, pos) = (frame.0, &frame.1, &mut frame.2);
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let wsuccs: Vec<usize> = rel.successors(w).iter().collect();
+                    frames.push((w, wsuccs, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                // Finished v.
+                let v_low = low[v];
+                let v_index = index[v];
+                if v_low == v_index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0;
+                    low[p] = low[p].min(v_low);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// The nodes that participate in some cycle: members of a multi-node SCC,
+/// or nodes with a self-loop. Empty iff the relation is acyclic.
+pub fn cycle_nodes(rel: &Relation) -> Vec<usize> {
+    let mut out = Vec::new();
+    for comp in strongly_connected_components(rel) {
+        if comp.len() > 1 {
+            out.extend(comp);
+        } else if rel.has(comp[0], comp[0]) {
+            out.push(comp[0]);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let rel = Relation::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let comps = strongly_connected_components(&rel);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        assert!(cycle_nodes(&rel).is_empty());
+    }
+
+    #[test]
+    fn finds_cycle_component() {
+        let rel = Relation::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let comps = strongly_connected_components(&rel);
+        let big: Vec<_> = comps.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        let mut nodes = big[0].clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2]);
+        assert_eq!(cycle_nodes(&rel), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let rel = Relation::from_edges(2, [(0, 0)]);
+        assert_eq!(cycle_nodes(&rel), vec![0]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let rel = Relation::from_edges(6, [(0, 1), (1, 0), (3, 4), (4, 5), (5, 3)]);
+        let cyc = cycle_nodes(&rel);
+        assert_eq!(cyc, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow_stack() {
+        let n = 20_000;
+        let rel = Relation::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let comps = strongly_connected_components(&rel);
+        assert_eq!(comps.len(), n);
+    }
+}

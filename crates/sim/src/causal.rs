@@ -1,0 +1,183 @@
+//! Causal memory (Ahamad–Burns–Hutto–Neiger), implemented with
+//! vector-clock causal broadcast.
+
+use crate::channel::Update;
+use crate::mem::MemorySystem;
+use crate::vclock::VClock;
+use smc_history::{Label, Location, ProcId, Value};
+use std::collections::VecDeque;
+
+/// Replicated memory whose update delivery respects the causal order
+/// `→co = (po ∪ wb)+`:
+///
+/// * a write ticks the writer's vector clock and broadcasts the update
+///   stamped with it;
+/// * an update is deliverable at `q` only when `q` has already applied
+///   every causal predecessor ([`VClock::ready_for`]);
+/// * reads return the local replica value — and since reading a value
+///   means its write was applied here, the reader's clock already
+///   dominates it, so the reader's *subsequent* writes are stamped after
+///   it: exactly the writes-before edge of the paper's causal order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CausalMem {
+    replicas: Vec<Vec<Value>>,
+    clocks: Vec<VClock>,
+    /// `queues[src * n + dst]` of causally-stamped updates (FIFO per
+    /// pair; sender stamps are monotonic, so only heads can be ready).
+    queues: Vec<VecDeque<(Update, VClock)>>,
+}
+
+impl CausalMem {
+    /// A causal memory for `num_procs` processors and `num_locs`
+    /// locations.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        CausalMem {
+            replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            clocks: vec![VClock::new(num_procs); num_procs],
+            queues: vec![VecDeque::new(); num_procs * num_procs],
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Deliverable `(src, dst)` channel heads.
+    fn ready(&self) -> Vec<(usize, usize)> {
+        let n = self.n();
+        let mut out = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                if let Some((_, vc)) = self.queues[src * n + dst].front() {
+                    if self.clocks[dst].ready_for(vc, src) {
+                        out.push((src, dst));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inspect processor `p`'s replica (tests and diagnostics).
+    pub fn replica(&self, p: ProcId) -> &[Value] {
+        &self.replicas[p.index()]
+    }
+}
+
+impl MemorySystem for CausalMem {
+    fn num_procs(&self) -> usize {
+        self.n()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.replicas[0].len()
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, _label: Label) -> Value {
+        self.replicas[p.index()][loc.index()]
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, _label: Label) {
+        let pi = p.index();
+        self.clocks[pi].tick(pi);
+        self.replicas[pi][loc.index()] = value;
+        let stamp = self.clocks[pi].clone();
+        let n = self.n();
+        for dst in 0..n {
+            if dst != pi {
+                self.queues[pi * n + dst].push_back((
+                    Update {
+                        loc,
+                        value,
+                        seq: 0,
+                    },
+                    stamp.clone(),
+                ));
+            }
+        }
+    }
+
+    fn num_internal(&self) -> usize {
+        self.ready().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let (src, dst) = self.ready()[i];
+        let n = self.n();
+        let (u, vc) = self.queues[src * n + dst]
+            .pop_front()
+            .expect("ready channel head");
+        self.replicas[dst][u.loc.index()] = u.value;
+        self.clocks[dst].merge(&vc);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    fn name(&self) -> String {
+        "Causal".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+
+    #[test]
+    fn local_write_visible_immediately() {
+        let mut m = CausalMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(1));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(0));
+    }
+
+    #[test]
+    fn causal_chain_delivered_in_order() {
+        // p0 writes x; p1 reads it, then writes y; p2 must not apply y
+        // before x.
+        let mut m = CausalMem::new(3, 2);
+        let (x, y) = (Location(0), Location(1));
+        m.write(ProcId(0), x, Value(1), ORD);
+        // Deliver x to p1 (find the (0,1) ready transition).
+        let i = m.ready().iter().position(|&(s, d)| (s, d) == (0, 1)).unwrap();
+        m.fire(i);
+        assert_eq!(m.read(ProcId(1), x, ORD), Value(1));
+        m.write(ProcId(1), y, Value(1), ORD);
+        // p2 has seen nothing: y's update is NOT deliverable, x's is.
+        let ready = m.ready();
+        assert!(ready.contains(&(0, 2)));
+        assert!(!ready.contains(&(1, 2)));
+        // After x arrives, y becomes deliverable.
+        let i = m.ready().iter().position(|&(s, d)| (s, d) == (0, 2)).unwrap();
+        m.fire(i);
+        assert!(m.ready().contains(&(1, 2)));
+    }
+
+    #[test]
+    fn concurrent_writes_may_cross() {
+        // Figure 3's exchange is causal: the two writes are concurrent.
+        let mut m = CausalMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        m.write(ProcId(1), Location(0), Value(2), ORD);
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(1));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(2));
+        while !m.quiescent() {
+            m.fire(0);
+        }
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(2));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(1));
+    }
+
+    #[test]
+    fn quiescent_only_when_all_delivered() {
+        let mut m = CausalMem::new(2, 1);
+        assert!(m.quiescent());
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        assert!(!m.quiescent());
+        m.fire(0);
+        assert!(m.quiescent());
+    }
+}

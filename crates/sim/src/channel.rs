@@ -1,0 +1,188 @@
+//! Point-to-point message channels — the substrate under every
+//! replica-based memory.
+
+use smc_history::{Location, Value};
+use std::collections::VecDeque;
+
+/// A single update message: "location `loc` was assigned `value`",
+/// optionally stamped by a coherence arbiter with a per-location sequence
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// The written location.
+    pub loc: Location,
+    /// The written value.
+    pub value: Value,
+    /// Per-location coherence stamp (0 when the model has no arbiter).
+    pub seq: u64,
+}
+
+/// A mesh of point-to-point channels between `n` processors.
+///
+/// Each ordered pair `(src, dst)` with `src != dst` has its own queue.
+/// Delivery discipline is chosen per call: [`Channels::heads`] exposes
+/// only queue fronts (FIFO — PRAM, PC), while [`Channels::all_pending`]
+/// exposes every queued message (arbitrary-order delivery — the
+/// coherent-only memory and RC's ordinary writes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Channels {
+    n: usize,
+    /// `queues[src * n + dst]`.
+    queues: Vec<VecDeque<Update>>,
+}
+
+impl Channels {
+    /// Empty channels among `n` processors.
+    pub fn new(n: usize) -> Self {
+        Channels {
+            n,
+            queues: vec![VecDeque::new(); n * n],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, src: usize, dst: usize) -> usize {
+        src * self.n + dst
+    }
+
+    /// Broadcast an update from `src` to every other processor.
+    pub fn broadcast(&mut self, src: usize, u: Update) {
+        for dst in 0..self.n {
+            if dst != src {
+                let i = self.idx(src, dst);
+                self.queues[i].push_back(u);
+            }
+        }
+    }
+
+    /// Send an update along one channel.
+    pub fn send(&mut self, src: usize, dst: usize, u: Update) {
+        let i = self.idx(src, dst);
+        self.queues[i].push_back(u);
+    }
+
+    /// The deliverable queue *fronts*: `(src, dst, update)` triples, in a
+    /// deterministic order.
+    pub fn heads(&self) -> Vec<(usize, usize, Update)> {
+        let mut out = Vec::new();
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if let Some(&u) = self.queues[self.idx(src, dst)].front() {
+                    out.push((src, dst, u));
+                }
+            }
+        }
+        out
+    }
+
+    /// Every pending message: `(src, dst, position, update)`.
+    pub fn all_pending(&self) -> Vec<(usize, usize, usize, Update)> {
+        let mut out = Vec::new();
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                for (k, &u) in self.queues[self.idx(src, dst)].iter().enumerate() {
+                    out.push((src, dst, k, u));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pop the front of channel `(src, dst)`.
+    ///
+    /// # Panics
+    /// Panics if the channel is empty.
+    pub fn pop_head(&mut self, src: usize, dst: usize) -> Update {
+        let i = self.idx(src, dst);
+        self.queues[i].pop_front().expect("pop from empty channel")
+    }
+
+    /// Remove the message at `position` in channel `(src, dst)`
+    /// (arbitrary-order delivery).
+    ///
+    /// # Panics
+    /// Panics if the position is out of range.
+    pub fn remove_at(&mut self, src: usize, dst: usize, position: usize) -> Update {
+        let i = self.idx(src, dst);
+        self.queues[i]
+            .remove(position)
+            .expect("remove from invalid channel position")
+    }
+
+    /// Total number of queued messages.
+    pub fn pending_count(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Number of messages still queued *from* `src` (to anyone) — the
+    /// release-consistency "performed everywhere" test.
+    pub fn pending_from(&self, src: usize) -> usize {
+        (0..self.n)
+            .map(|dst| self.queues[self.idx(src, dst)].len())
+            .sum()
+    }
+
+    /// `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(loc: u32, value: i64, seq: u64) -> Update {
+        Update {
+            loc: Location(loc),
+            value: Value(value),
+            seq,
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_source() {
+        let mut ch = Channels::new(3);
+        ch.broadcast(0, u(0, 1, 0));
+        assert_eq!(ch.pending_count(), 2);
+        let heads = ch.heads();
+        let dsts: Vec<usize> = heads.iter().map(|&(_, d, _)| d).collect();
+        assert_eq!(dsts, vec![1, 2]);
+        assert!(heads.iter().all(|&(s, _, _)| s == 0));
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let mut ch = Channels::new(2);
+        ch.broadcast(0, u(0, 1, 0));
+        ch.broadcast(0, u(1, 2, 0));
+        assert_eq!(ch.pop_head(0, 1).value, Value(1));
+        assert_eq!(ch.pop_head(0, 1).value, Value(2));
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn arbitrary_order_removal() {
+        let mut ch = Channels::new(2);
+        ch.send(0, 1, u(0, 1, 1));
+        ch.send(0, 1, u(0, 2, 2));
+        ch.send(0, 1, u(0, 3, 3));
+        let pend = ch.all_pending();
+        assert_eq!(pend.len(), 3);
+        // Remove the middle one first.
+        let got = ch.remove_at(0, 1, 1);
+        assert_eq!(got.value, Value(2));
+        assert_eq!(ch.pop_head(0, 1).value, Value(1));
+        assert_eq!(ch.pop_head(0, 1).value, Value(3));
+    }
+
+    #[test]
+    fn pending_from_counts_outgoing() {
+        let mut ch = Channels::new(3);
+        ch.broadcast(1, u(0, 5, 0));
+        assert_eq!(ch.pending_from(1), 2);
+        assert_eq!(ch.pending_from(0), 0);
+        ch.pop_head(1, 0);
+        assert_eq!(ch.pending_from(1), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Coherent-only memory: the arbiter without the pipeline.
+
+use crate::channel::{Channels, Update};
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+
+/// Replicated memory with per-location coherence but *arbitrary-order*
+/// delivery: updates from the same processor to different locations may
+/// overtake each other, so even per-source program order across locations
+/// is lost. The weakest model in the workspace's parameter space that
+/// still agrees on each location's write order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoherentMem {
+    replicas: Vec<Vec<Value>>,
+    applied_seq: Vec<Vec<u64>>,
+    next_seq: Vec<u64>,
+    channels: Channels,
+}
+
+impl CoherentMem {
+    /// A coherent-only memory for `num_procs` processors and `num_locs`
+    /// locations.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        CoherentMem {
+            replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            applied_seq: vec![vec![0; num_locs]; num_procs],
+            next_seq: vec![0; num_locs],
+            channels: Channels::new(num_procs),
+        }
+    }
+
+    /// Inspect processor `p`'s replica (tests and diagnostics).
+    pub fn replica(&self, p: ProcId) -> &[Value] {
+        &self.replicas[p.index()]
+    }
+}
+
+impl MemorySystem for CoherentMem {
+    fn num_procs(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.next_seq.len()
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, _label: Label) -> Value {
+        self.replicas[p.index()][loc.index()]
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, _label: Label) {
+        let pi = p.index();
+        self.next_seq[loc.index()] += 1;
+        let seq = self.next_seq[loc.index()];
+        self.replicas[pi][loc.index()] = value;
+        self.applied_seq[pi][loc.index()] = seq;
+        self.channels.broadcast(pi, Update { loc, value, seq });
+    }
+
+    fn num_internal(&self) -> usize {
+        // ANY pending message may be delivered next, not just heads.
+        self.channels.all_pending().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let (src, dst, pos, _) = self.channels.all_pending()[i];
+        let u = self.channels.remove_at(src, dst, pos);
+        if u.seq > self.applied_seq[dst][u.loc.index()] {
+            self.replicas[dst][u.loc.index()] = u.value;
+            self.applied_seq[dst][u.loc.index()] = u.seq;
+        }
+    }
+
+    fn name(&self) -> String {
+        "Coherent".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+
+    #[test]
+    fn updates_may_overtake_across_locations() {
+        // p0 writes data then flag; the flag update can arrive first.
+        let mut m = CoherentMem::new(2, 2);
+        m.write(ProcId(0), Location(0), Value(1), ORD); // data
+        m.write(ProcId(0), Location(1), Value(1), ORD); // flag
+        // Both messages are deliverable, in either order.
+        assert_eq!(m.num_internal(), 2);
+        // Deliver the flag first.
+        let pending = m.channels.all_pending();
+        let i = pending
+            .iter()
+            .position(|&(_, _, _, u)| u.loc == Location(1))
+            .unwrap();
+        m.fire(i);
+        assert_eq!(m.replica(ProcId(1))[1], Value(1));
+        assert_eq!(m.replica(ProcId(1))[0], Value(0)); // stale data seen
+    }
+
+    #[test]
+    fn same_location_still_coherent() {
+        let mut m = CoherentMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD); // seq 1
+        m.write(ProcId(0), Location(0), Value(2), ORD); // seq 2
+        // Deliver out of order: seq 2 first, then seq 1 (absorbed).
+        let pending = m.channels.all_pending();
+        let newer = pending.iter().position(|&(_, _, _, u)| u.seq == 2).unwrap();
+        m.fire(newer);
+        assert_eq!(m.replica(ProcId(1))[0], Value(2));
+        m.fire(0);
+        assert_eq!(m.replica(ProcId(1))[0], Value(2));
+        assert!(m.quiescent());
+    }
+}

@@ -1,0 +1,223 @@
+//! A hybrid-consistency machine (Attiya–Friedman strong/weak operations).
+
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+use std::collections::VecDeque;
+
+/// Hybrid consistency, operationally:
+///
+/// * **strong** (labeled) writes append to one global, totally-ordered
+///   log that every processor applies lazily in order — all processors
+///   *agree* on the strong-operation order, but nothing forces the
+///   common order to be "legal in real time";
+/// * **weak** (ordinary) writes update the local replica and propagate
+///   to each other replica in arbitrary order with last-arrival-wins
+///   semantics — no coherence at all (two replicas may settle on
+///   different winners while updates remain in flight);
+/// * the **fences**: a strong write waits until the issuer's weak writes
+///   have performed everywhere, and a weak update carries the issuer's
+///   log length at issue time — a replica may apply it only once its own
+///   log prefix has caught up, so a weak write can never overtake the
+///   strong write that precedes it in program order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HybridMem {
+    replicas: Vec<Vec<Value>>,
+    /// Weak-update channels: `queues[src * n + dst]` of
+    /// `(loc, value, fence_stamp)`.
+    queues: Vec<VecDeque<(Location, Value, usize)>>,
+    sync_log: Vec<(Location, Value)>,
+    sync_prefix: Vec<usize>,
+    sync_replicas: Vec<Vec<Value>>,
+}
+
+impl HybridMem {
+    /// A hybrid memory for `num_procs` processors and `num_locs`
+    /// locations.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        HybridMem {
+            replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            queues: vec![VecDeque::new(); num_procs * num_procs],
+            sync_log: Vec::new(),
+            sync_prefix: vec![0; num_procs],
+            sync_replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn pending_from(&self, src: usize) -> usize {
+        (0..self.n()).map(|dst| self.queues[src * self.n() + dst].len()).sum()
+    }
+
+    /// Deliverable weak updates: `(src, dst, position)` whose fence stamp
+    /// the destination has caught up with.
+    fn deliverable(&self) -> Vec<(usize, usize, usize)> {
+        let n = self.n();
+        let mut out = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                for (k, &(_, _, stamp)) in self.queues[src * n + dst].iter().enumerate() {
+                    if stamp <= self.sync_prefix[dst] {
+                        out.push((src, dst, k));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn lagging(&self) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&p| self.sync_prefix[p] < self.sync_log.len())
+            .collect()
+    }
+
+    fn catch_up(&mut self, p: usize, upto: usize) {
+        while self.sync_prefix[p] < upto {
+            let (loc, value) = self.sync_log[self.sync_prefix[p]];
+            self.sync_replicas[p][loc.index()] = value;
+            self.sync_prefix[p] += 1;
+        }
+    }
+}
+
+impl MemorySystem for HybridMem {
+    fn num_procs(&self) -> usize {
+        self.n()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.replicas[0].len()
+    }
+
+    fn can_write(&self, p: ProcId, _loc: Location, label: Label) -> bool {
+        // A strong write fences the issuer's weak writes.
+        label == Label::Ordinary || self.pending_from(p.index()) == 0
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, label: Label) -> Value {
+        match label {
+            Label::Ordinary => self.replicas[p.index()][loc.index()],
+            Label::Labeled => self.sync_replicas[p.index()][loc.index()],
+        }
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, label: Label) {
+        let pi = p.index();
+        match label {
+            Label::Ordinary => {
+                self.replicas[pi][loc.index()] = value;
+                let stamp = self.sync_log.len();
+                let n = self.n();
+                for dst in 0..n {
+                    if dst != pi {
+                        self.queues[pi * n + dst].push_back((loc, value, stamp));
+                    }
+                }
+            }
+            Label::Labeled => {
+                debug_assert!(self.pending_from(pi) == 0);
+                self.sync_log.push((loc, value));
+                let upto = self.sync_log.len();
+                self.catch_up(pi, upto);
+            }
+        }
+    }
+
+    fn num_internal(&self) -> usize {
+        self.deliverable().len() + self.lagging().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let deliverable = self.deliverable();
+        if i < deliverable.len() {
+            let (src, dst, pos) = deliverable[i];
+            let n = self.n();
+            let (loc, value, _) = self.queues[src * n + dst]
+                .remove(pos)
+                .expect("deliverable position");
+            // Last arrival wins: no coherence.
+            self.replicas[dst][loc.index()] = value;
+            return;
+        }
+        let p = self.lagging()[i - deliverable.len()];
+        let upto = self.sync_prefix[p] + 1;
+        self.catch_up(p, upto);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+            && self.sync_prefix.iter().all(|&k| k == self.sync_log.len())
+    }
+
+    fn name(&self) -> String {
+        "Hybrid".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+    const LBL: Label = Label::Labeled;
+
+    #[test]
+    fn weak_writes_are_uncoherent() {
+        // Two processors write the same weak location; with in-flight
+        // updates delivered in opposite orders the replicas disagree
+        // permanently — which hybrid consistency permits.
+        let mut m = HybridMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        m.write(ProcId(1), Location(0), Value(2), ORD);
+        while !m.quiescent() {
+            m.fire(0);
+        }
+        // Each applied the other's update after its own write.
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(2));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(1));
+    }
+
+    #[test]
+    fn strong_order_is_agreed() {
+        let mut m = HybridMem::new(3, 1);
+        m.write(ProcId(0), Location(0), Value(1), LBL);
+        m.write(ProcId(1), Location(0), Value(2), LBL);
+        while !m.lagging().is_empty() {
+            let n = m.num_internal();
+            m.fire(n - 1);
+        }
+        // Everyone converges on the log's last write.
+        for p in 0..3 {
+            assert_eq!(m.read(ProcId(p), Location(0), LBL), Value(2));
+        }
+    }
+
+    #[test]
+    fn weak_update_cannot_pass_preceding_strong_write() {
+        let mut m = HybridMem::new(2, 2);
+        let (q, p, s, d) = (ProcId(0), ProcId(1), Location(0), Location(1));
+        m.write(q, s, Value(1), LBL); // log entry 0
+        m.write(q, d, Value(1), ORD); // stamped with log length 1
+        // p has not applied the strong write: the weak update is not
+        // deliverable yet.
+        assert!(m.deliverable().is_empty());
+        assert_eq!(m.lagging(), vec![p.index()]);
+        m.fire(0); // p applies the strong write
+        assert_eq!(m.read(p, s, LBL), Value(1));
+        assert_eq!(m.deliverable().len(), 1);
+        m.fire(0);
+        assert_eq!(m.read(p, d, ORD), Value(1));
+    }
+
+    #[test]
+    fn strong_write_waits_for_weak() {
+        let mut m = HybridMem::new(2, 2);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        assert!(!m.can_write(ProcId(0), Location(1), LBL));
+        m.fire(0);
+        assert!(m.can_write(ProcId(0), Location(1), LBL));
+    }
+}

@@ -1,0 +1,68 @@
+//! Operational shared-memory simulators.
+//!
+//! The paper remarks that "the per processor view can be thought of as the
+//! behavior of a local cache" — this crate makes the remark executable by
+//! implementing, for each memory model the paper characterizes, the
+//! operational machine the literature describes it with:
+//!
+//! * [`ScMem`] — one atomic memory, operations take effect at issue;
+//! * [`TsoMem`] — per-processor FIFO store buffers draining into a
+//!   single-ported memory (Section 3.2's operational TSO);
+//! * [`PramMem`] — full replicas with per-source FIFO broadcast
+//!   (Lipton–Sandberg pipelined RAM, Section 3.5);
+//! * [`CausalMem`] — replicas with vector-clock causal broadcast;
+//! * [`PcMem`] — PRAM channels plus a per-location coherence arbiter with
+//!   write absorption (DASH-style processor consistency);
+//! * [`CoherentMem`] — the arbiter alone: coherence with arbitrary-order
+//!   delivery;
+//! * [`RcMem`] — release consistency: buffered ordinary writes with
+//!   arbitrary-order coherent delivery, releases that wait for prior
+//!   ordinary writes to perform everywhere, and labeled operations
+//!   executed on either a lazily-applied global log (`RC_sc`) or a PC
+//!   substrate (`RC_pc`);
+//! * [`WoMem`] — weak ordering: instantly-global synchronization with
+//!   full fences;
+//! * [`HybridMem`] — hybrid consistency: an agreed strong-operation log
+//!   with fence-stamped weak updates.
+//!
+//! Drivers live in [`sched`] (seeded random schedules) and [`explore`]
+//! (exhaustive depth-first enumeration of all schedules). Both consume
+//! any [`Workload`] — a set of threads issuing operations — and produce
+//! [`smc_history::History`] values via the [`Recorder`], which the
+//! declarative checker (`smc-core`) can then classify. The workspace's
+//! integration tests close the loop: *every history an operational
+//! simulator can produce is admitted by the corresponding declarative
+//! model*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod causal;
+pub mod channel;
+pub mod coherent;
+pub mod explore;
+pub mod hybrid;
+pub mod mem;
+pub mod pc;
+pub mod pram;
+pub mod rc;
+pub mod record;
+pub mod sc;
+pub mod sched;
+pub mod tso;
+pub mod vclock;
+pub mod wo;
+pub mod workload;
+
+pub use causal::CausalMem;
+pub use hybrid::HybridMem;
+pub use coherent::CoherentMem;
+pub use mem::MemorySystem;
+pub use pc::PcMem;
+pub use pram::PramMem;
+pub use rc::{RcMem, SyncMode};
+pub use record::Recorder;
+pub use sc::ScMem;
+pub use tso::TsoMem;
+pub use wo::WoMem;
+pub use workload::{OpScript, Workload};

@@ -1,0 +1,77 @@
+//! The interface every operational memory implements.
+
+use smc_history::{Label, Location, ProcId, Value};
+use std::hash::Hash;
+
+/// An operational shared memory driven one transition at a time.
+///
+/// A memory has two kinds of transitions:
+///
+/// * **issue** transitions, taken synchronously when a processor performs
+///   a [`MemorySystem::read`] or [`MemorySystem::write`] (a read returns
+///   its value immediately — the simulators model asynchrony in the
+///   *propagation* of writes, not in the local operation itself);
+/// * **internal** transitions — buffer drains, message deliveries —
+///   numbered `0..num_internal()` and fired by the scheduler in any
+///   order. Which internal transitions exist, and what firing them does,
+///   is the whole difference between the memory models.
+///
+/// Some models block an issue until internal work completes (the paper's
+/// TSO stalls a read of a location the processor has a buffered store
+/// for; a release-consistent release waits until the processor's earlier
+/// ordinary writes have performed everywhere). Schedulers must consult
+/// [`MemorySystem::can_read`] / [`MemorySystem::can_write`] first; firing
+/// internal transitions always eventually unblocks an issue (all the
+/// provided memories are deadlock-free in this sense).
+///
+/// `Clone + Eq + Hash` let the exhaustive explorer treat a memory as a
+/// value in a state graph.
+pub trait MemorySystem: Clone + Eq + Hash {
+    /// Number of processors this memory was configured for.
+    fn num_procs(&self) -> usize;
+
+    /// Number of locations this memory was configured for.
+    fn num_locs(&self) -> usize;
+
+    /// May `p` currently issue a read of `loc`?
+    fn can_read(&self, p: ProcId, loc: Location, label: Label) -> bool {
+        let _ = (p, loc, label);
+        true
+    }
+
+    /// May `p` currently issue a write to `loc`?
+    fn can_write(&self, p: ProcId, loc: Location, label: Label) -> bool {
+        let _ = (p, loc, label);
+        true
+    }
+
+    /// Issue a read and return the value observed.
+    ///
+    /// # Panics
+    /// May panic if `can_read` is false.
+    fn read(&mut self, p: ProcId, loc: Location, label: Label) -> Value;
+
+    /// Issue a write.
+    ///
+    /// # Panics
+    /// May panic if `can_write` is false.
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, label: Label);
+
+    /// Number of currently-enabled internal transitions.
+    fn num_internal(&self) -> usize;
+
+    /// Fire internal transition `i` (`0 <= i < num_internal()`).
+    ///
+    /// Transition numbering may change arbitrarily after any transition;
+    /// schedulers re-query `num_internal` each step.
+    fn fire(&mut self, i: usize);
+
+    /// `true` when no internal work remains (all writes performed
+    /// everywhere).
+    fn quiescent(&self) -> bool {
+        self.num_internal() == 0
+    }
+
+    /// A short human-readable name (`"SC"`, `"TSO(fwd)"`, ...).
+    fn name(&self) -> String;
+}

@@ -1,0 +1,143 @@
+//! DASH-style processor consistency: pipelined delivery plus a coherence
+//! arbiter.
+
+use crate::channel::{Channels, Update};
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+
+/// PRAM's replicated machine strengthened with per-location coherence.
+///
+/// A global arbiter stamps each write with a per-location sequence number
+/// at issue. Updates travel over per-source FIFO channels (preserving
+/// `→ppo` the way PRAM preserves `→po`), and a receiver applies an update
+/// only if its stamp is newer than the last stamp applied to that
+/// location — older updates are *absorbed* (the value was already
+/// overwritten), so all replicas settle on the arbiter's per-location
+/// write order: exactly the coherence requirement of Section 3.3.
+///
+/// The writer applies its own update immediately (reads may see the
+/// processor's own writes early, which PC permits — unlike the paper's
+/// TSO).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PcMem {
+    replicas: Vec<Vec<Value>>,
+    /// Last arbiter stamp applied per (processor, location).
+    applied_seq: Vec<Vec<u64>>,
+    /// Next arbiter stamp per location.
+    next_seq: Vec<u64>,
+    channels: Channels,
+}
+
+impl PcMem {
+    /// A PC memory for `num_procs` processors and `num_locs` locations.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        PcMem {
+            replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            applied_seq: vec![vec![0; num_locs]; num_procs],
+            next_seq: vec![0; num_locs],
+            channels: Channels::new(num_procs),
+        }
+    }
+
+    /// Inspect processor `p`'s replica (tests and diagnostics).
+    pub fn replica(&self, p: ProcId) -> &[Value] {
+        &self.replicas[p.index()]
+    }
+}
+
+impl MemorySystem for PcMem {
+    fn num_procs(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.next_seq.len()
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, _label: Label) -> Value {
+        self.replicas[p.index()][loc.index()]
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, _label: Label) {
+        let pi = p.index();
+        self.next_seq[loc.index()] += 1;
+        let seq = self.next_seq[loc.index()];
+        self.replicas[pi][loc.index()] = value;
+        self.applied_seq[pi][loc.index()] = seq;
+        self.channels.broadcast(pi, Update { loc, value, seq });
+    }
+
+    fn num_internal(&self) -> usize {
+        self.channels.heads().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let (src, dst, _) = self.channels.heads()[i];
+        let u = self.channels.pop_head(src, dst);
+        // Coherence: apply only if newer than what this replica already
+        // holds for the location; otherwise absorb.
+        if u.seq > self.applied_seq[dst][u.loc.index()] {
+            self.replicas[dst][u.loc.index()] = u.value;
+            self.applied_seq[dst][u.loc.index()] = u.seq;
+        }
+    }
+
+    fn name(&self) -> String {
+        "PC".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+
+    #[test]
+    fn own_writes_visible_immediately() {
+        let mut m = PcMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(1));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(0));
+    }
+
+    #[test]
+    fn absorption_enforces_coherence() {
+        // Two processors write x concurrently; the arbiter stamps p0's
+        // write first, so every replica converges on p1's value.
+        let mut m = PcMem::new(3, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD); // seq 1
+        m.write(ProcId(1), Location(0), Value(2), ORD); // seq 2
+        while !m.quiescent() {
+            // Deliver in whatever order the head list produces.
+            m.fire(m.num_internal() - 1);
+        }
+        for p in 0..3 {
+            assert_eq!(m.replica(ProcId(p as u32))[0], Value(2));
+        }
+    }
+
+    #[test]
+    fn stale_update_absorbed_after_newer_applied() {
+        let mut m = PcMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD); // seq 1 → queued to p1
+        m.write(ProcId(1), Location(0), Value(2), ORD); // seq 2, applied at p1
+        // Deliver p0's (older) update to p1: must be absorbed.
+        let heads = m.channels.heads();
+        let i = heads.iter().position(|&(s, d, _)| (s, d) == (0, 1)).unwrap();
+        m.fire(i);
+        assert_eq!(m.replica(ProcId(1))[0], Value(2));
+    }
+
+    #[test]
+    fn per_source_fifo_like_pram() {
+        let mut m = PcMem::new(2, 2);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        m.write(ProcId(0), Location(1), Value(1), ORD);
+        // Only the first write is at the channel head.
+        assert_eq!(m.num_internal(), 1);
+        m.fire(0);
+        assert_eq!(m.replica(ProcId(1))[0], Value(1));
+        assert_eq!(m.replica(ProcId(1))[1], Value(0));
+    }
+}

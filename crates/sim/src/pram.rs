@@ -1,0 +1,121 @@
+//! Pipelined RAM (Lipton–Sandberg), Section 3.5's operational
+//! description.
+
+use crate::channel::{Channels, Update};
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+
+/// Every processor owns a complete replica; writes apply locally and
+/// broadcast over reliable, point-to-point-ordered channels; reads return
+/// the local value. Updates from one processor arrive in order, but
+/// updates from distinct processors may interleave arbitrarily — exactly
+/// PRAM's guarantee.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PramMem {
+    replicas: Vec<Vec<Value>>,
+    channels: Channels,
+}
+
+impl PramMem {
+    /// A PRAM memory for `num_procs` processors and `num_locs` locations.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        PramMem {
+            replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            channels: Channels::new(num_procs),
+        }
+    }
+
+    /// Inspect processor `p`'s replica (tests and diagnostics).
+    pub fn replica(&self, p: ProcId) -> &[Value] {
+        &self.replicas[p.index()]
+    }
+}
+
+impl MemorySystem for PramMem {
+    fn num_procs(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.replicas[0].len()
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, _label: Label) -> Value {
+        self.replicas[p.index()][loc.index()]
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, _label: Label) {
+        self.replicas[p.index()][loc.index()] = value;
+        self.channels.broadcast(
+            p.index(),
+            Update {
+                loc,
+                value,
+                seq: 0,
+            },
+        );
+    }
+
+    fn num_internal(&self) -> usize {
+        self.channels.heads().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let (src, dst, _) = self.channels.heads()[i];
+        let u = self.channels.pop_head(src, dst);
+        self.replicas[dst][u.loc.index()] = u.value;
+    }
+
+    fn name(&self) -> String {
+        "PRAM".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+
+    #[test]
+    fn writes_apply_locally_first() {
+        let mut m = PramMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(1));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(0));
+        m.fire(0);
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(1));
+        assert!(m.quiescent());
+    }
+
+    #[test]
+    fn per_source_fifo_preserved() {
+        let mut m = PramMem::new(2, 2);
+        m.write(ProcId(0), Location(0), Value(1), ORD); // data
+        m.write(ProcId(0), Location(1), Value(1), ORD); // flag
+        // Only the head (the data write) is deliverable to p1.
+        assert_eq!(m.num_internal(), 1);
+        m.fire(0);
+        assert_eq!(m.replica(ProcId(1))[0], Value(1));
+        assert_eq!(m.replica(ProcId(1))[1], Value(0));
+        m.fire(0);
+        assert_eq!(m.replica(ProcId(1))[1], Value(1));
+    }
+
+    #[test]
+    fn figure3_exchange_is_reachable() {
+        // p: w(x)1 r(x)1 r(x)2 / q: w(x)2 r(x)2 r(x)1 (paper Figure 3).
+        let mut m = PramMem::new(2, 1);
+        let (p, q, x) = (ProcId(0), ProcId(1), Location(0));
+        m.write(p, x, Value(1), ORD);
+        m.write(q, x, Value(2), ORD);
+        assert_eq!(m.read(p, x, ORD), Value(1));
+        assert_eq!(m.read(q, x, ORD), Value(2));
+        // Cross-deliver both updates.
+        while !m.quiescent() {
+            m.fire(0);
+        }
+        assert_eq!(m.read(p, x, ORD), Value(2));
+        assert_eq!(m.read(q, x, ORD), Value(1));
+    }
+}

@@ -1,0 +1,338 @@
+//! Release consistency (DASH, Section 3.4): buffered ordinary writes with
+//! releases that wait for them, and labeled operations on a pluggable
+//! synchronization substrate (`RC_sc` or `RC_pc`).
+
+use crate::channel::{Channels, Update};
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+
+/// Which consistency the labeled (synchronization) operations get.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncMode {
+    /// `RC_sc`: labeled writes append to one global, totally-ordered
+    /// synchronization log; each processor applies the log *lazily*, in
+    /// order, to a local sync replica (fast-forwarding past its own
+    /// writes). The common log order makes the labeled operations
+    /// sequentially consistent, while the lazy prefixes let a processor
+    /// read a stale synchronization value — which the RC_sc *model*
+    /// permits (SC constrains the common order, not real time). The
+    /// stricter instant-visibility machine lives in [`crate::WoMem`].
+    Sc,
+    /// `RC_pc`: labeled operations execute on a processor-consistent
+    /// substrate (local sync replicas, per-source FIFO delivery, a
+    /// coherence arbiter with absorption) — a release may reach different
+    /// processors arbitrarily late, which is exactly what breaks the
+    /// Bakery algorithm in the paper's Section 5.
+    Pc,
+}
+
+/// The release-consistent memory.
+///
+/// **Ordinary** operations: reads hit the local replica; writes apply
+/// locally, get a per-location coherence stamp, and propagate to other
+/// replicas in *arbitrary order* (coherence is maintained by absorption,
+/// but nothing else is guaranteed — "their values may arrive in different
+/// order at different caches").
+///
+/// **Labeled** operations: routed to the synchronization substrate
+/// selected by [`SyncMode`]. A labeled write (release) *blocks* until all
+/// of the issuer's ordinary writes have performed everywhere
+/// ([`MemorySystem::can_write`] is false while any are pending) — RC's
+/// guarantee that ordinary operations complete before the following
+/// release.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RcMem {
+    mode: SyncMode,
+    // Ordinary data.
+    replicas: Vec<Vec<Value>>,
+    applied_seq: Vec<Vec<u64>>,
+    next_seq: Vec<u64>,
+    ordinary: Channels,
+    // Synchronization substrate.
+    /// RC_sc: the global, totally-ordered log of labeled writes.
+    sync_log: Vec<(Location, Value)>,
+    /// RC_sc: how much of the log each processor has applied.
+    sync_prefix: Vec<usize>,
+    /// Per-processor sync replicas (both modes).
+    sync_replicas: Vec<Vec<Value>>,
+    /// RC_pc: absorption bookkeeping.
+    sync_applied_seq: Vec<Vec<u64>>,
+    sync_next_seq: Vec<u64>,
+    sync_channels: Channels,
+}
+
+impl RcMem {
+    /// A release-consistent memory for `num_procs` processors and
+    /// `num_locs` locations, with the given synchronization substrate.
+    pub fn new(mode: SyncMode, num_procs: usize, num_locs: usize) -> Self {
+        RcMem {
+            mode,
+            replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            applied_seq: vec![vec![0; num_locs]; num_procs],
+            next_seq: vec![0; num_locs],
+            ordinary: Channels::new(num_procs),
+            sync_log: Vec::new(),
+            sync_prefix: vec![0; num_procs],
+            sync_replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            sync_applied_seq: vec![vec![0; num_locs]; num_procs],
+            sync_next_seq: vec![0; num_locs],
+            sync_channels: Channels::new(num_procs),
+        }
+    }
+
+    /// The configured synchronization mode.
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    fn ordinary_pending(&self) -> Vec<(usize, usize, usize, Update)> {
+        self.ordinary.all_pending()
+    }
+
+    fn sync_heads(&self) -> Vec<(usize, usize, Update)> {
+        match self.mode {
+            SyncMode::Sc => Vec::new(),
+            SyncMode::Pc => self.sync_channels.heads(),
+        }
+    }
+
+    /// RC_sc: processors whose log prefix is behind (each may apply its
+    /// next log entry as an internal transition).
+    fn lagging(&self) -> Vec<usize> {
+        match self.mode {
+            SyncMode::Pc => Vec::new(),
+            SyncMode::Sc => (0..self.replicas.len())
+                .filter(|&p| self.sync_prefix[p] < self.sync_log.len())
+                .collect(),
+        }
+    }
+
+    /// RC_sc: apply log entries to `p`'s sync replica up to `upto`.
+    fn catch_up(&mut self, p: usize, upto: usize) {
+        while self.sync_prefix[p] < upto {
+            let (loc, value) = self.sync_log[self.sync_prefix[p]];
+            self.sync_replicas[p][loc.index()] = value;
+            self.sync_prefix[p] += 1;
+        }
+    }
+}
+
+impl MemorySystem for RcMem {
+    fn num_procs(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.next_seq.len()
+    }
+
+    fn can_write(&self, p: ProcId, _loc: Location, label: Label) -> bool {
+        match label {
+            Label::Ordinary => true,
+            // A release waits until the issuer's ordinary writes have
+            // performed with respect to every processor.
+            Label::Labeled => self.ordinary.pending_from(p.index()) == 0,
+        }
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, label: Label) -> Value {
+        match label {
+            Label::Ordinary => self.replicas[p.index()][loc.index()],
+            Label::Labeled => self.sync_replicas[p.index()][loc.index()],
+        }
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, label: Label) {
+        let pi = p.index();
+        match label {
+            Label::Ordinary => {
+                self.next_seq[loc.index()] += 1;
+                let seq = self.next_seq[loc.index()];
+                self.replicas[pi][loc.index()] = value;
+                self.applied_seq[pi][loc.index()] = seq;
+                self.ordinary.broadcast(pi, Update { loc, value, seq });
+            }
+            Label::Labeled => {
+                debug_assert!(
+                    self.ordinary.pending_from(pi) == 0,
+                    "release issued before ordinary writes performed"
+                );
+                match self.mode {
+                    SyncMode::Sc => {
+                        // Append to the common log and fast-forward past
+                        // our own write, so our later labeled reads keep
+                        // program order within the common order.
+                        self.sync_log.push((loc, value));
+                        let upto = self.sync_log.len();
+                        self.catch_up(pi, upto);
+                    }
+                    SyncMode::Pc => {
+                        self.sync_next_seq[loc.index()] += 1;
+                        let seq = self.sync_next_seq[loc.index()];
+                        self.sync_replicas[pi][loc.index()] = value;
+                        self.sync_applied_seq[pi][loc.index()] = seq;
+                        self.sync_channels.broadcast(pi, Update { loc, value, seq });
+                    }
+                }
+            }
+        }
+    }
+
+    fn num_internal(&self) -> usize {
+        self.ordinary_pending().len() + self.sync_heads().len() + self.lagging().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let ordinary = self.ordinary_pending();
+        if i < ordinary.len() {
+            let (src, dst, pos, _) = ordinary[i];
+            let u = self.ordinary.remove_at(src, dst, pos);
+            if u.seq > self.applied_seq[dst][u.loc.index()] {
+                self.replicas[dst][u.loc.index()] = u.value;
+                self.applied_seq[dst][u.loc.index()] = u.seq;
+            }
+            return;
+        }
+        let i = i - ordinary.len();
+        let heads = self.sync_heads();
+        if i < heads.len() {
+            let (src, dst, _) = heads[i];
+            let u = self.sync_channels.pop_head(src, dst);
+            if u.seq > self.sync_applied_seq[dst][u.loc.index()] {
+                self.sync_replicas[dst][u.loc.index()] = u.value;
+                self.sync_applied_seq[dst][u.loc.index()] = u.seq;
+            }
+            return;
+        }
+        // RC_sc: advance a lagging processor's log prefix by one entry.
+        let p = self.lagging()[i - heads.len()];
+        let upto = self.sync_prefix[p] + 1;
+        self.catch_up(p, upto);
+    }
+
+    fn name(&self) -> String {
+        match self.mode {
+            SyncMode::Sc => "RCsc".into(),
+            SyncMode::Pc => "RCpc".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+    const LBL: Label = Label::Labeled;
+
+    #[test]
+    fn release_blocks_until_ordinary_performed() {
+        let mut m = RcMem::new(SyncMode::Sc, 2, 2);
+        let (p, d, s) = (ProcId(0), Location(0), Location(1));
+        m.write(p, d, Value(1), ORD);
+        assert!(!m.can_write(p, s, LBL));
+        // Deliver the ordinary update to the other replica.
+        m.fire(0);
+        assert!(m.can_write(p, s, LBL));
+        m.write(p, s, Value(1), LBL);
+        // The release sits in the common log; the other processor sees
+        // it once it catches up...
+        assert_eq!(m.read(ProcId(1), s, LBL), Value(0));
+        while !m.lagging().is_empty() {
+            let n = m.num_internal();
+            m.fire(n - 1);
+        }
+        assert_eq!(m.read(ProcId(1), s, LBL), Value(1));
+        // ...and the data it guards was already delivered before the
+        // release could be issued.
+        assert_eq!(m.read(ProcId(1), d, ORD), Value(1));
+    }
+
+    #[test]
+    fn rc_pc_release_propagates_lazily() {
+        let mut m = RcMem::new(SyncMode::Pc, 2, 1);
+        let (p, q, s) = (ProcId(0), ProcId(1), Location(0));
+        m.write(p, s, Value(1), LBL);
+        // The release is applied locally but q has not seen it yet.
+        assert_eq!(m.read(p, s, LBL), Value(1));
+        assert_eq!(m.read(q, s, LBL), Value(0));
+        assert_eq!(m.num_internal(), 1);
+        m.fire(0);
+        assert_eq!(m.read(q, s, LBL), Value(1));
+    }
+
+    #[test]
+    fn ordinary_updates_may_reorder() {
+        let mut m = RcMem::new(SyncMode::Sc, 2, 2);
+        let p = ProcId(0);
+        m.write(p, Location(0), Value(1), ORD);
+        m.write(p, Location(1), Value(2), ORD);
+        // Both ordinary messages deliverable in any order.
+        assert_eq!(m.num_internal(), 2);
+        let pending = m.ordinary_pending();
+        let later = pending
+            .iter()
+            .position(|&(_, _, _, u)| u.loc == Location(1))
+            .unwrap();
+        m.fire(later);
+        assert_eq!(m.read(ProcId(1), Location(1), ORD), Value(2));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(0));
+    }
+
+    #[test]
+    fn rc_pc_sync_channels_are_fifo() {
+        let mut m = RcMem::new(SyncMode::Pc, 2, 2);
+        let p = ProcId(0);
+        m.write(p, Location(0), Value(1), LBL);
+        m.write(p, Location(1), Value(2), LBL);
+        // Only the first labeled update is at the head.
+        assert_eq!(m.num_internal(), 1);
+        m.fire(0);
+        assert_eq!(m.read(ProcId(1), Location(0), LBL), Value(1));
+        assert_eq!(m.read(ProcId(1), Location(1), LBL), Value(0));
+    }
+
+    #[test]
+    fn rc_sc_log_prefixes_allow_stale_reads_before_catch_up() {
+        // An ordinary write issued AFTER a release can reach another
+        // processor before the release's log entry is applied there —
+        // the behaviour that separates the RC_sc model from weak
+        // ordering (see `wo_release_fence` in the corpus).
+        let mut m = RcMem::new(SyncMode::Sc, 2, 2);
+        let (q, p, s, d) = (ProcId(0), ProcId(1), Location(0), Location(1));
+        m.write(q, s, Value(1), LBL);
+        m.write(q, d, Value(1), ORD);
+        // Deliver the ordinary write to p without applying the log.
+        let pending = m.ordinary_pending();
+        assert_eq!(pending.len(), 1);
+        m.fire(0);
+        assert_eq!(m.read(p, d, ORD), Value(1));
+        assert_eq!(m.read(p, s, LBL), Value(0));
+    }
+
+    #[test]
+    fn bakery_style_mutual_blindness_under_rc_pc() {
+        // Both processors "take a ticket" (labeled write) and read the
+        // other's ticket as 0 — the Section 5 failure in miniature.
+        let mut m = RcMem::new(SyncMode::Pc, 2, 2);
+        let (p1, p2) = (ProcId(0), ProcId(1));
+        let (n0, n1) = (Location(0), Location(1));
+        m.write(p1, n0, Value(1), LBL);
+        m.write(p2, n1, Value(1), LBL);
+        assert_eq!(m.read(p1, n1, LBL), Value(0));
+        assert_eq!(m.read(p2, n0, LBL), Value(0));
+        // Under RC_sc the log still orders the writes, but lazy
+        // prefixes also allow mutual blindness at this point — the SC
+        // guarantee is about the common order, not real time. After
+        // catching up, both must agree.
+        let mut m = RcMem::new(SyncMode::Sc, 2, 2);
+        m.write(p1, n0, Value(1), LBL);
+        m.write(p2, n1, Value(1), LBL);
+        while !m.lagging().is_empty() {
+            let n = m.num_internal();
+            m.fire(n - 1);
+        }
+        assert_eq!(m.read(p1, n1, LBL), Value(1));
+        assert_eq!(m.read(p2, n0, LBL), Value(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! The atomic (sequentially consistent) memory.
+
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+
+/// One shared memory; every operation takes effect at issue.
+///
+/// The interleaving the scheduler picks *is* the single legal sequence all
+/// processors agree on, so every run is sequentially consistent by
+/// construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScMem {
+    num_procs: usize,
+    cells: Vec<Value>,
+}
+
+impl ScMem {
+    /// An SC memory for `num_procs` processors and `num_locs` locations,
+    /// all initially `0`.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        ScMem {
+            num_procs,
+            cells: vec![Value::INITIAL; num_locs],
+        }
+    }
+}
+
+impl MemorySystem for ScMem {
+    fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    fn num_locs(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn read(&mut self, _p: ProcId, loc: Location, _label: Label) -> Value {
+        self.cells[loc.index()]
+    }
+
+    fn write(&mut self, _p: ProcId, loc: Location, value: Value, _label: Label) {
+        self.cells[loc.index()] = value;
+    }
+
+    fn num_internal(&self) -> usize {
+        0
+    }
+
+    fn fire(&mut self, _i: usize) {
+        unreachable!("ScMem has no internal transitions");
+    }
+
+    fn name(&self) -> String {
+        "SC".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_see_latest_write_immediately() {
+        let mut m = ScMem::new(2, 2);
+        assert_eq!(m.read(ProcId(0), Location(0), Label::Ordinary), Value(0));
+        m.write(ProcId(0), Location(0), Value(7), Label::Ordinary);
+        assert_eq!(m.read(ProcId(1), Location(0), Label::Ordinary), Value(7));
+        assert_eq!(m.read(ProcId(1), Location(1), Label::Ordinary), Value(0));
+        assert!(m.quiescent());
+    }
+}

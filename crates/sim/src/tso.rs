@@ -1,0 +1,176 @@
+//! Store-buffer TSO (the paper's Section 3.2 operational description).
+
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+use std::collections::VecDeque;
+
+/// Per-processor FIFO store buffers draining into one single-ported
+/// memory.
+///
+/// A write enqueues into the issuer's buffer; the internal transitions
+/// commit buffer heads to memory in FIFO order per processor (the switch
+/// arbitrating the single port is the scheduler's choice of which head to
+/// commit).
+///
+/// Reads come in two flavours, controlled by `forwarding`:
+///
+/// * `forwarding = false` (default — the **paper's** TSO): a read of a
+///   location the issuer has a buffered store for *stalls* until the
+///   buffer drains past it; the paper's `→ppo` orders a write before a
+///   later read of the same location, so its characterization has no
+///   store forwarding.
+/// * `forwarding = true` (SPARC hardware behaviour): the read returns the
+///   youngest buffered value immediately. Runs of this variant can
+///   produce histories the paper's TSO characterization *rejects* — the
+///   workspace's negative cross-validation test relies on exactly that
+///   discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TsoMem {
+    memory: Vec<Value>,
+    buffers: Vec<VecDeque<(Location, Value)>>,
+    forwarding: bool,
+}
+
+impl TsoMem {
+    /// The paper's TSO: no store forwarding.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        TsoMem {
+            memory: vec![Value::INITIAL; num_locs],
+            buffers: vec![VecDeque::new(); num_procs],
+            forwarding: false,
+        }
+    }
+
+    /// SPARC-style TSO with store forwarding (see type docs).
+    pub fn with_forwarding(num_procs: usize, num_locs: usize) -> Self {
+        TsoMem {
+            forwarding: true,
+            ..Self::new(num_procs, num_locs)
+        }
+    }
+
+    /// Indices of processors with non-empty buffers, in order.
+    fn drainable(&self) -> Vec<usize> {
+        (0..self.buffers.len())
+            .filter(|&p| !self.buffers[p].is_empty())
+            .collect()
+    }
+}
+
+impl MemorySystem for TsoMem {
+    fn num_procs(&self) -> usize {
+        self.buffers.len()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.memory.len()
+    }
+
+    fn can_read(&self, p: ProcId, loc: Location, _label: Label) -> bool {
+        self.forwarding
+            || !self.buffers[p.index()].iter().any(|&(l, _)| l == loc)
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, _label: Label) -> Value {
+        if self.forwarding {
+            if let Some(&(_, v)) = self.buffers[p.index()]
+                .iter()
+                .rev()
+                .find(|&&(l, _)| l == loc)
+            {
+                return v;
+            }
+        } else {
+            debug_assert!(
+                !self.buffers[p.index()].iter().any(|&(l, _)| l == loc),
+                "read issued while stalled on a buffered store"
+            );
+        }
+        self.memory[loc.index()]
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, _label: Label) {
+        self.buffers[p.index()].push_back((loc, value));
+    }
+
+    fn num_internal(&self) -> usize {
+        self.drainable().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let p = self.drainable()[i];
+        let (loc, value) = self.buffers[p].pop_front().expect("drainable buffer");
+        self.memory[loc.index()] = value;
+    }
+
+    fn name(&self) -> String {
+        if self.forwarding {
+            "TSO(fwd)".into()
+        } else {
+            "TSO".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+
+    #[test]
+    fn buffered_write_invisible_until_drained() {
+        let mut m = TsoMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        // The other processor still sees the old value.
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(0));
+        assert_eq!(m.num_internal(), 1);
+        m.fire(0);
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(1));
+        assert!(m.quiescent());
+    }
+
+    #[test]
+    fn paper_tso_stalls_own_read() {
+        let mut m = TsoMem::new(1, 2);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        assert!(!m.can_read(ProcId(0), Location(0), ORD));
+        // Reads of other locations bypass the buffered store.
+        assert!(m.can_read(ProcId(0), Location(1), ORD));
+        assert_eq!(m.read(ProcId(0), Location(1), ORD), Value(0));
+        m.fire(0);
+        assert!(m.can_read(ProcId(0), Location(0), ORD));
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(1));
+    }
+
+    #[test]
+    fn forwarding_variant_reads_own_buffer() {
+        let mut m = TsoMem::with_forwarding(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        m.write(ProcId(0), Location(0), Value(2), ORD);
+        assert!(m.can_read(ProcId(0), Location(0), ORD));
+        // Youngest buffered value wins.
+        assert_eq!(m.read(ProcId(0), Location(0), ORD), Value(2));
+        assert_eq!(m.read(ProcId(1), Location(0), ORD), Value(0));
+    }
+
+    #[test]
+    fn buffers_drain_fifo_per_processor() {
+        let mut m = TsoMem::new(2, 2);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        m.write(ProcId(0), Location(1), Value(2), ORD);
+        m.write(ProcId(1), Location(0), Value(3), ORD);
+        assert_eq!(m.num_internal(), 2);
+        // Fire p0's head first: loc0 := 1.
+        m.fire(0);
+        assert_eq!(m.memory[0], Value(1));
+        assert_eq!(m.memory[1], Value(0));
+        // Then p1's head: loc0 := 3.
+        m.fire(1);
+        assert_eq!(m.memory[0], Value(3));
+        // Finally p0's second store.
+        m.fire(0);
+        assert_eq!(m.memory[1], Value(2));
+        assert!(m.quiescent());
+    }
+}

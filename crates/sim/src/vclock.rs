@@ -1,0 +1,158 @@
+//! Vector clocks — the causal-delivery substrate.
+
+use std::fmt;
+
+/// A vector clock over `n` processors.
+///
+/// Used by [`crate::CausalMem`] to deliver remote writes only once all
+/// their causal predecessors have been applied, implementing the paper's
+/// causal order `→co = (po ∪ wb)+` operationally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VClock {
+    counts: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock for `n` processors.
+    pub fn new(n: usize) -> Self {
+        VClock {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Number of processor entries.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` for a zero-length clock.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Entry for processor `p`.
+    #[inline]
+    pub fn get(&self, p: usize) -> u64 {
+        self.counts[p]
+    }
+
+    /// Increment processor `p`'s entry (a local event at `p`).
+    pub fn tick(&mut self, p: usize) {
+        self.counts[p] += 1;
+    }
+
+    /// Pointwise maximum (merging received knowledge).
+    pub fn merge(&mut self, other: &VClock) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `true` if `self ≤ other` pointwise.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// `true` if `self < other` (≤ and ≠).
+    pub fn lt(&self, other: &VClock) -> bool {
+        self.le(other) && self.counts != other.counts
+    }
+
+    /// `true` if neither clock dominates the other (concurrent events).
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Causal-delivery test: may a message stamped `msg` (sent by `src`,
+    /// whose stamp includes the send event) be delivered to a process
+    /// whose clock is `self`?
+    ///
+    /// Requires `msg[src] == self[src] + 1` (no gap from the sender) and
+    /// `msg[k] <= self[k]` for all `k != src` (all other causal
+    /// predecessors already seen).
+    pub fn ready_for(&self, msg: &VClock, src: usize) -> bool {
+        debug_assert_eq!(self.counts.len(), msg.counts.len());
+        msg.counts[src] == self.counts[src] + 1
+            && (0..self.counts.len())
+                .filter(|&k| k != src)
+                .all(|k| msg.counts[k] <= self.counts[k])
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_compare() {
+        let mut a = VClock::new(3);
+        let b = VClock::new(3);
+        assert!(b.le(&a) && a.le(&b));
+        a.tick(0);
+        assert!(b.lt(&a));
+        assert!(!a.le(&b));
+    }
+
+    #[test]
+    fn concurrent_detection() {
+        let mut a = VClock::new(2);
+        let mut b = VClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        a.merge(&b);
+        assert!(b.le(&a));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn delivery_requires_no_gap_from_sender() {
+        // Receiver has seen nothing; message is sender's second event.
+        let recv = VClock::new(2);
+        let mut msg = VClock::new(2);
+        msg.tick(0);
+        msg.tick(0);
+        assert!(!recv.ready_for(&msg, 0));
+        let mut first = VClock::new(2);
+        first.tick(0);
+        assert!(recv.ready_for(&first, 0));
+    }
+
+    #[test]
+    fn delivery_requires_transitive_predecessors() {
+        // p0 wrote (event ⟨1,0⟩); p1 saw it and wrote (event ⟨1,1⟩).
+        // A fresh receiver cannot take p1's message before p0's.
+        let recv = VClock::new(2);
+        let mut p1_msg = VClock::new(2);
+        p1_msg.tick(0);
+        p1_msg.tick(1);
+        assert!(!recv.ready_for(&p1_msg, 1));
+        let mut after_p0 = VClock::new(2);
+        after_p0.tick(0);
+        assert!(after_p0.ready_for(&p1_msg, 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut v = VClock::new(2);
+        v.tick(1);
+        assert_eq!(v.to_string(), "⟨0,1⟩");
+    }
+}

@@ -1,0 +1,142 @@
+//! A weakly-ordered memory (Dubois–Scheurich–Briggs fences).
+
+use crate::channel::{Channels, Update};
+use crate::mem::MemorySystem;
+use smc_history::{Label, Location, ProcId, Value};
+
+/// The weak-ordering machine: labeled (synchronization) operations hit a
+/// single global memory *instantly* — but only after every ordinary
+/// write of the issuer has performed everywhere — and ordinary
+/// operations between synchronization points propagate like release
+/// consistency's (arbitrary order, coherent by absorption).
+///
+/// Compared to [`crate::RcMem`] in `Sc` mode, synchronization here is
+/// visible in real time (no lazy log prefixes), which is exactly the
+/// fence guarantee that makes this machine a *weak-ordering* machine:
+/// it can never show an ordinary write overtaking the labeled write that
+/// precedes it in program order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WoMem {
+    replicas: Vec<Vec<Value>>,
+    applied_seq: Vec<Vec<u64>>,
+    next_seq: Vec<u64>,
+    ordinary: Channels,
+    sync_global: Vec<Value>,
+}
+
+impl WoMem {
+    /// A weakly-ordered memory for `num_procs` processors and `num_locs`
+    /// locations.
+    pub fn new(num_procs: usize, num_locs: usize) -> Self {
+        WoMem {
+            replicas: vec![vec![Value::INITIAL; num_locs]; num_procs],
+            applied_seq: vec![vec![0; num_locs]; num_procs],
+            next_seq: vec![0; num_locs],
+            ordinary: Channels::new(num_procs),
+            sync_global: vec![Value::INITIAL; num_locs],
+        }
+    }
+}
+
+impl MemorySystem for WoMem {
+    fn num_procs(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn num_locs(&self) -> usize {
+        self.next_seq.len()
+    }
+
+    fn can_read(&self, p: ProcId, _loc: Location, label: Label) -> bool {
+        // A synchronization access fences: all previous ordinary writes
+        // must have performed everywhere.
+        label == Label::Ordinary || self.ordinary.pending_from(p.index()) == 0
+    }
+
+    fn can_write(&self, p: ProcId, _loc: Location, label: Label) -> bool {
+        label == Label::Ordinary || self.ordinary.pending_from(p.index()) == 0
+    }
+
+    fn read(&mut self, p: ProcId, loc: Location, label: Label) -> Value {
+        match label {
+            Label::Ordinary => self.replicas[p.index()][loc.index()],
+            Label::Labeled => self.sync_global[loc.index()],
+        }
+    }
+
+    fn write(&mut self, p: ProcId, loc: Location, value: Value, label: Label) {
+        let pi = p.index();
+        match label {
+            Label::Ordinary => {
+                self.next_seq[loc.index()] += 1;
+                let seq = self.next_seq[loc.index()];
+                self.replicas[pi][loc.index()] = value;
+                self.applied_seq[pi][loc.index()] = seq;
+                self.ordinary.broadcast(pi, Update { loc, value, seq });
+            }
+            Label::Labeled => {
+                debug_assert!(self.ordinary.pending_from(pi) == 0);
+                self.sync_global[loc.index()] = value;
+            }
+        }
+    }
+
+    fn num_internal(&self) -> usize {
+        self.ordinary.all_pending().len()
+    }
+
+    fn fire(&mut self, i: usize) {
+        let (src, dst, pos, _) = self.ordinary.all_pending()[i];
+        let u = self.ordinary.remove_at(src, dst, pos);
+        if u.seq > self.applied_seq[dst][u.loc.index()] {
+            self.replicas[dst][u.loc.index()] = u.value;
+            self.applied_seq[dst][u.loc.index()] = u.seq;
+        }
+    }
+
+    fn name(&self) -> String {
+        "WO".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORD: Label = Label::Ordinary;
+    const LBL: Label = Label::Labeled;
+
+    #[test]
+    fn sync_is_instantly_visible() {
+        let mut m = WoMem::new(2, 1);
+        m.write(ProcId(0), Location(0), Value(1), LBL);
+        assert_eq!(m.read(ProcId(1), Location(0), LBL), Value(1));
+    }
+
+    #[test]
+    fn sync_waits_for_ordinary() {
+        let mut m = WoMem::new(2, 2);
+        m.write(ProcId(0), Location(0), Value(1), ORD);
+        assert!(!m.can_write(ProcId(0), Location(1), LBL));
+        assert!(!m.can_read(ProcId(0), Location(1), LBL));
+        // The other processor's sync ops are unaffected.
+        assert!(m.can_write(ProcId(1), Location(1), LBL));
+        m.fire(0);
+        assert!(m.can_write(ProcId(0), Location(1), LBL));
+    }
+
+    #[test]
+    fn ordinary_after_sync_cannot_overtake_it() {
+        // Unlike the lazy RC_sc log, the release here is globally
+        // visible before any later ordinary write can be issued.
+        let mut m = WoMem::new(2, 2);
+        let (q, p, s, d) = (ProcId(0), ProcId(1), Location(0), Location(1));
+        m.write(q, s, Value(1), LBL);
+        m.write(q, d, Value(1), ORD);
+        m.fire(0); // deliver d to p
+        assert_eq!(m.read(p, d, ORD), Value(1));
+        // s is already 1 — the stale read the corpus' wo_release_fence
+        // history requires is unreachable.
+        assert_eq!(m.read(p, s, LBL), Value(1));
+    }
+}

@@ -1,0 +1,67 @@
+//! Run Lamport's Bakery algorithm on every operational memory and watch
+//! where mutual exclusion survives.
+//!
+//! ```sh
+//! cargo run -p smc-bench --example bakery_demo
+//! ```
+//!
+//! Reproduces the paper's Section 5 conclusion operationally: with all
+//! synchronization operations labeled, the algorithm is correct on the
+//! `RC_sc` machine and fails on the `RC_pc` machine. As a bonus it shows
+//! the unlabeled variant breaking on plain TSO — the same store-buffer
+//! effect, thirty years older.
+
+use smc_history::Label;
+use smc_programs::bakery::bakery;
+use smc_programs::interp::ProgramWorkload;
+use smc_sim::mem::MemorySystem;
+use smc_sim::rc::{RcMem, SyncMode};
+use smc_sim::sched::run_random;
+use smc_sim::{ScMem, TsoMem};
+
+fn trial<M: MemorySystem>(mem_of: impl Fn() -> M, program: &smc_programs::Program) -> (usize, usize) {
+    let runs = 1_000;
+    let mut violations = 0;
+    for seed in 0..runs {
+        let w = ProgramWorkload::new(program.clone(), 200);
+        let r = run_random(mem_of(), w, seed as u64, 100_000);
+        if r.violation.is_some() {
+            violations += 1;
+        }
+    }
+    (violations, runs)
+}
+
+fn main() {
+    let n = 2;
+    let labeled = bakery(n, Label::Labeled);
+    let ordinary = bakery(n, Label::Ordinary);
+    let locs = labeled.num_locs();
+
+    println!("Bakery algorithm, n = {n}, 1000 random schedules per memory:\n");
+    println!("{:<44} violations", "memory / labeling");
+    println!("{:-<56}", "");
+
+    let (v, r) = trial(|| ScMem::new(n, locs), &ordinary);
+    println!("{:<44} {v}/{r}", "SC (atomic memory), ordinary ops");
+    assert_eq!(v, 0);
+
+    let (v, r) = trial(|| TsoMem::new(n, locs), &ordinary);
+    println!("{:<44} {v}/{r}", "TSO (store buffers), ordinary ops");
+    assert!(v > 0, "TSO should break the unlabeled Bakery");
+
+    let (v, r) = trial(|| RcMem::new(SyncMode::Sc, n, locs), &labeled);
+    println!("{:<44} {v}/{r}", "RC_sc (labeled ops sequentially consistent)");
+    assert_eq!(v, 0);
+
+    let (v, r) = trial(|| RcMem::new(SyncMode::Pc, n, locs), &labeled);
+    println!("{:<44} {v}/{r}", "RC_pc (labeled ops processor consistent)");
+    assert!(v > 0, "RC_pc should break the Bakery");
+
+    println!(
+        "\nExactly the paper's Section 5: the Bakery algorithm runs correctly \
+         with RC_sc\nbut fails with RC_pc — the two release-consistency variants \
+         are NOT equivalent\nfor algorithms that coordinate with plain reads and \
+         writes."
+    );
+}

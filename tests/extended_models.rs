@@ -1,0 +1,140 @@
+//! The extension models (PC-Goodman, weak ordering, hybrid consistency,
+//! the Section 7 memories) and their place in the lattice.
+
+use smc_core::checker::{check, check_with_config, CheckConfig, Verdict};
+use smc_core::histgen::{all_histories, GenParams};
+use smc_core::lattice::compare;
+use smc_core::models;
+use smc_core::verify::verify_witness;
+use smc_history::litmus::parse_history;
+use smc_programs::corpus::litmus_suite;
+
+#[test]
+fn pc_goodman_relates_correctly() {
+    // PC-Goodman = PRAM + coherence: SC ⊆ PCG ⊆ PRAM and PCG ⊆ Coherent,
+    // strictly on a corpus with multi-writer locations.
+    let mut corpus: Vec<_> = litmus_suite()
+        .into_iter()
+        .map(|t| t.history)
+        .filter(|h| !h.has_labeled_ops())
+        .collect();
+    corpus.extend(all_histories(&GenParams {
+        procs: 2,
+        ops_per_proc: 2,
+        locs: 1,
+        values: 2,
+    }));
+    let ms = vec![
+        models::sc(),
+        models::pc(),
+        models::pc_goodman(),
+        models::pram(),
+        models::coherent(),
+    ];
+    let r = compare(&corpus, &ms, &CheckConfig::default());
+    assert_eq!(r.undecided, 0);
+    let idx = |n: &str| r.model_names.iter().position(|m| m == n).unwrap();
+    assert!(r.strictly_stronger(idx("SC"), idx("PCG")));
+    assert!(r.strictly_stronger(idx("PCG"), idx("PRAM")));
+    assert!(r.strictly_stronger(idx("PCG"), idx("Coherent")));
+    // PCG is at least as strong as DASH PC on this corpus (the DASH
+    // definition drops the own write→read order that PRAM keeps).
+    assert!(r.inclusion[idx("PCG")][idx("PC")]);
+}
+
+#[test]
+fn pc_goodman_forbids_what_pram_allows() {
+    // Figure 3 (coherence violation) separates PCG from PRAM.
+    let fig3 = parse_history("p: w(x)1 r(x)1 r(x)2\nq: w(x)2 r(x)2 r(x)1").unwrap();
+    assert!(check(&fig3, &models::pram()).is_allowed());
+    assert!(check(&fig3, &models::pc_goodman()).is_disallowed());
+    // And the DASH-PC-allowed forwarding history shows PCG ⊆ PC is
+    // strict-or-equal in the other direction... the own-read history is
+    // allowed by both (legal views can delay the remote write), so the
+    // corpus-level inclusion above is the meaningful statement.
+    let fwd = parse_history("p: w(x)1 r(x)1 r(y)0\nq: w(y)1 r(y)1 r(x)0").unwrap();
+    assert!(check(&fwd, &models::pc_goodman()).is_allowed());
+    assert!(check(&fwd, &models::pc()).is_allowed());
+}
+
+#[test]
+fn weak_ordering_is_strictly_stronger_than_rc_sc() {
+    let suite = litmus_suite();
+    // On every labeled corpus history, WO allowing implies RC_sc allows.
+    for t in &suite {
+        let wo = check(&t.history, &models::weak_ordering());
+        let rcsc = check(&t.history, &models::rc_sc());
+        if wo.is_allowed() {
+            assert!(
+                rcsc.is_allowed(),
+                "{}: WO admits but RC_sc forbids",
+                t.name
+            );
+        }
+    }
+    // Strictness witness: an ordinary write overtaking its preceding
+    // release is RC_sc-allowed but WO-forbidden.
+    let h = parse_history("q: wl(s)1 w(d)1\np: r(d)1 rl(s)0").unwrap();
+    assert!(check(&h, &models::rc_sc()).is_allowed());
+    assert!(check(&h, &models::weak_ordering()).is_disallowed());
+}
+
+#[test]
+fn hybrid_agreement_suffices_for_the_bakery_doorway() {
+    // Hybrid consistency's strong-operation agreement already forbids the
+    // Section 5 both-enter execution, like RC_sc and unlike RC_pc.
+    let t = smc_programs::corpus::by_name("bakery_s5").unwrap();
+    assert!(check(&t.history, &models::hybrid()).is_disallowed());
+    assert!(check(&t.history, &models::rc_pc()).is_allowed());
+}
+
+#[test]
+fn hybrid_is_very_weak_on_ordinary_operations() {
+    // Without labels, hybrid keeps only the issuing processor's program
+    // order: even per-source ordering of remote writes is lost.
+    let coww = parse_history("p: w(x)1 w(x)2\nq: r(x)2 r(x)1").unwrap();
+    assert!(check(&coww, &models::hybrid()).is_allowed());
+    assert!(check(&coww, &models::pram()).is_disallowed());
+    assert!(check(&coww, &models::coherent()).is_disallowed());
+}
+
+#[test]
+fn hybrid_witnesses_verify() {
+    let cfg = CheckConfig::default();
+    for t in litmus_suite() {
+        if let Verdict::Allowed(w) =
+            check_with_config(&t.history, &models::hybrid(), &cfg)
+        {
+            verify_witness(&t.history, &models::hybrid(), &w)
+                .unwrap_or_else(|e| panic!("{}: hybrid witness invalid: {e}", t.name));
+        }
+        if let Verdict::Allowed(w) =
+            check_with_config(&t.history, &models::weak_ordering(), &cfg)
+        {
+            verify_witness(&t.history, &models::weak_ordering(), &w)
+                .unwrap_or_else(|e| panic!("{}: WO witness invalid: {e}", t.name));
+        }
+        if let Verdict::Allowed(w) =
+            check_with_config(&t.history, &models::pc_goodman(), &cfg)
+        {
+            verify_witness(&t.history, &models::pc_goodman(), &w)
+                .unwrap_or_else(|e| panic!("{}: PCG witness invalid: {e}", t.name));
+        }
+    }
+}
+
+#[test]
+fn strength_chain_wo_rcsc_rcpc_on_labeled_corpus() {
+    // WO ⊆ RC_sc ⊆ RC_pc pointwise on every corpus history.
+    for t in litmus_suite() {
+        let wo = check(&t.history, &models::weak_ordering()).decided();
+        let rcsc = check(&t.history, &models::rc_sc()).decided();
+        let rcpc = check(&t.history, &models::rc_pc()).decided();
+        if wo == Some(true) {
+            assert_eq!(rcsc, Some(true), "{}: WO ⊄ RCsc", t.name);
+        }
+        if rcsc == Some(true) {
+            assert_eq!(rcpc, Some(true), "{}: RCsc ⊄ RCpc", t.name);
+        }
+    }
+}

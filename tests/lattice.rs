@@ -1,0 +1,111 @@
+//! Figure 5 as an integration test: the inclusion lattice of the five
+//! paper models, recomputed empirically over the exhaustive universe of
+//! small histories plus the litmus corpus.
+
+use smc_core::checker::CheckConfig;
+use smc_core::histgen::{all_histories, GenParams};
+use smc_core::lattice::{compare, LatticeResult};
+use smc_core::models;
+use smc_history::History;
+use smc_programs::corpus::litmus_suite;
+
+fn build() -> (LatticeResult, Vec<History>) {
+    let mut corpus: Vec<History> = litmus_suite()
+        .into_iter()
+        .map(|t| t.history)
+        .filter(|h| !h.has_labeled_ops())
+        .collect();
+    corpus.extend(all_histories(&GenParams {
+        procs: 2,
+        ops_per_proc: 2,
+        locs: 2,
+        values: 1,
+    }));
+    let models = models::figure5_models();
+    let result = compare(&corpus, &models, &CheckConfig::default());
+    (result, corpus)
+}
+
+#[test]
+fn figure5_lattice_holds_empirically() {
+    let (r, corpus) = build();
+    assert_eq!(r.undecided, 0, "budget too small for the corpus");
+    let idx = |n: &str| r.model_names.iter().position(|m| m == n).unwrap();
+    let (sc, tso, pc, causal, pram) =
+        (idx("SC"), idx("TSO"), idx("PC"), idx("Causal"), idx("PRAM"));
+
+    // Strict chain SC ⊂ TSO ⊂ PC ⊂ PRAM.
+    assert!(r.strictly_stronger(sc, tso));
+    assert!(r.strictly_stronger(tso, pc));
+    assert!(r.strictly_stronger(pc, pram));
+    // Strict chain SC ⊂ TSO ⊂ Causal ⊂ PRAM.
+    assert!(r.strictly_stronger(tso, causal));
+    assert!(r.strictly_stronger(causal, pram));
+    // PC and causal are incomparable (Section 4).
+    assert!(r.incomparable(pc, causal));
+
+    // Admitted-set sizes are monotone along the chains.
+    assert!(r.counts[sc] < r.counts[tso]);
+    assert!(r.counts[tso] < r.counts[pc]);
+    assert!(r.counts[tso] < r.counts[causal]);
+    assert!(r.counts[pc] < r.counts[pram]);
+    assert!(r.counts[causal] < r.counts[pram]);
+
+    // Every separating witness is a real corpus index.
+    for row in &r.separating {
+        for w in row.iter().flatten() {
+            assert!(*w < corpus.len());
+        }
+    }
+}
+
+#[test]
+fn section7_extensions_slot_into_the_lattice() {
+    let corpus = all_histories(&GenParams {
+        procs: 2,
+        ops_per_proc: 2,
+        locs: 1,
+        values: 2,
+    });
+    let models = vec![
+        models::causal(),
+        models::causal_coherent(),
+        models::coherent(),
+        models::pram(),
+        models::pc(),
+    ];
+    let r = compare(&corpus, &models, &CheckConfig::default());
+    assert_eq!(r.undecided, 0);
+    let idx = |n: &str| r.model_names.iter().position(|m| m == n).unwrap();
+    // CausalCoherent ⊆ Causal and ⊆ Coherent by construction.
+    assert!(r.inclusion[idx("CausalCoherent")][idx("Causal")]);
+    assert!(r.inclusion[idx("CausalCoherent")][idx("Coherent")]);
+    // Causal ⊆ PRAM on any corpus.
+    assert!(r.inclusion[idx("Causal")][idx("PRAM")]);
+    // PC ⊆ Coherent (PC implies coherence).
+    assert!(r.inclusion[idx("PC")][idx("Coherent")]);
+}
+
+#[test]
+fn single_processor_histories_collapse_the_lattice() {
+    // With one processor every model degenerates to sequential
+    // semantics: all five models admit exactly the same histories.
+    let corpus = all_histories(&GenParams {
+        procs: 1,
+        ops_per_proc: 3,
+        locs: 2,
+        values: 1,
+    });
+    let models = models::figure5_models();
+    let r = compare(&corpus, &models, &CheckConfig::default());
+    for a in 0..models.len() {
+        for b in 0..models.len() {
+            assert!(
+                r.equivalent_on_corpus(a, b),
+                "{} and {} differ on single-processor histories",
+                r.model_names[a],
+                r.model_names[b]
+            );
+        }
+    }
+}

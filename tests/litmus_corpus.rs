@@ -1,0 +1,82 @@
+//! Every expectation embedded in the litmus corpus, checked against the
+//! decision procedure, with every `Allowed` witness independently
+//! verified. This is the executable form of the paper's Sections 3–5
+//! claims about which model admits which execution.
+
+use smc_core::checker::{check_with_config, CheckConfig, Verdict};
+use smc_core::models;
+use smc_core::verify::verify_witness;
+use smc_programs::corpus::litmus_suite;
+
+#[test]
+fn all_corpus_expectations_hold() {
+    let cfg = CheckConfig::default();
+    let mut checked = 0;
+    for t in litmus_suite() {
+        for (model_name, expected) in &t.expectations {
+            let spec = models::by_name(model_name)
+                .unwrap_or_else(|| panic!("{}: unknown model {model_name}", t.name));
+            let verdict = check_with_config(&t.history, &spec, &cfg);
+            match &verdict {
+                Verdict::Allowed(w) => {
+                    verify_witness(&t.history, &spec, w).unwrap_or_else(|e| {
+                        panic!("{} × {}: witness failed verification: {e}", t.name, spec.name)
+                    });
+                }
+                Verdict::Disallowed => {}
+                other => panic!("{} × {}: undecided {other:?}", t.name, spec.name),
+            }
+            assert_eq!(
+                verdict.decided(),
+                Some(*expected),
+                "{} × {}: expected {}, got {:?}\n{}",
+                t.name,
+                spec.name,
+                expected,
+                verdict.decided(),
+                t.history
+            );
+            checked += 1;
+        }
+    }
+    // Guard against the corpus silently shrinking.
+    assert!(checked >= 140, "only {checked} expectations checked");
+}
+
+#[test]
+fn corpus_verdicts_respect_known_strength_order() {
+    // If a model pair (stronger, weaker) is in Figure 5's lattice, then
+    // every corpus history admitted by the stronger must be admitted by
+    // the weaker.
+    let pairs = [
+        ("SC", "TSO"),
+        ("SC", "PC"),
+        ("SC", "PRAM"),
+        ("SC", "Causal"),
+        ("TSO", "PC"),
+        ("TSO", "Causal"),
+        ("TSO", "PRAM"),
+        ("PC", "PRAM"),
+        ("Causal", "PRAM"),
+        ("CausalCoherent", "Causal"),
+        ("PC", "Coherent"),
+    ];
+    let cfg = CheckConfig::default();
+    for t in litmus_suite() {
+        if t.history.has_labeled_ops() {
+            continue;
+        }
+        for (a, b) in pairs {
+            let strong = check_with_config(&t.history, &models::by_name(a).unwrap(), &cfg);
+            let weak = check_with_config(&t.history, &models::by_name(b).unwrap(), &cfg);
+            if strong.is_allowed() {
+                assert!(
+                    weak.is_allowed(),
+                    "{}: {a} admits but {b} forbids — breaks {a} ⊆ {b}\n{}",
+                    t.name,
+                    t.history
+                );
+            }
+        }
+    }
+}

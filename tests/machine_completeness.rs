@@ -1,0 +1,257 @@
+//! Machine completeness: the converse of the soundness cross-validation.
+//!
+//! For a fixed program shape, enumerate **every** value assignment to its
+//! reads, keep the histories the declarative model admits, and require
+//! the operational machine to reach each of them under some schedule.
+//! Together with `sim_crossval.rs` (machine ⊆ model) this pins the
+//! machine's reachable set to *exactly* the model's admitted set on these
+//! shapes — the strongest operational/declarative agreement we can test.
+//!
+//! Models that admit value-from-the-future behaviour no machine exhibits
+//! (the paper's PC admits load buffering, see EXPERIMENTS.md) are
+//! necessarily incomplete and excluded here.
+
+use smc_core::checker::{check_with_config, CheckConfig};
+use smc_core::spec::ModelSpec;
+use smc_core::models;
+use smc_history::{History, HistoryBuilder, Label, OpKind, Value};
+use smc_sim::explore::{explore, ExploreConfig};
+use smc_sim::mem::MemorySystem;
+use smc_sim::workload::{Access, OpScript};
+use smc_sim::{CausalMem, PramMem, ScMem, TsoMem};
+
+/// The shapes under test: `(name, per-thread accesses, num_locs)`.
+fn shapes() -> Vec<(&'static str, Vec<Vec<Access>>, usize)> {
+    vec![
+        (
+            "store-buffering",
+            vec![
+                vec![Access::write(0, 1), Access::read(1)],
+                vec![Access::write(1, 1), Access::read(0)],
+            ],
+            2,
+        ),
+        (
+            "message-passing",
+            vec![
+                vec![Access::write(0, 1), Access::write(1, 1)],
+                vec![Access::read(1), Access::read(0)],
+            ],
+            2,
+        ),
+        (
+            "write-exchange",
+            vec![
+                vec![Access::write(0, 1), Access::read(0)],
+                vec![Access::write(0, 2), Access::read(0)],
+            ],
+            1,
+        ),
+        (
+            "coherence",
+            vec![
+                vec![Access::write(0, 1), Access::write(0, 2)],
+                vec![Access::read(0), Access::read(0)],
+            ],
+            1,
+        ),
+    ]
+}
+
+/// Every history obtainable from the shape by assigning each read a value
+/// in `{0} ∪ {values written to its location}`.
+fn all_outcomes(threads: &[Vec<Access>], num_locs: usize) -> Vec<History> {
+    let mut written: Vec<Vec<i64>> = vec![vec![0]; num_locs];
+    for t in threads {
+        for a in t {
+            if a.kind == OpKind::Write {
+                written[a.loc.index()].push(a.value.0);
+            }
+        }
+    }
+    // Flatten read slots.
+    let slots: Vec<(usize, usize)> = threads
+        .iter()
+        .enumerate()
+        .flat_map(|(t, ops)| {
+            ops.iter()
+                .enumerate()
+                .filter(|(_, a)| a.kind == OpKind::Read)
+                .map(move |(i, _)| (t, i))
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; slots.len()];
+    loop {
+        let mut b = HistoryBuilder::new();
+        for (t, ops) in threads.iter().enumerate() {
+            let pname = format!("p{t}");
+            b.add_proc(&pname);
+            for (i, a) in ops.iter().enumerate() {
+                let lname = format!("x{}", a.loc.index());
+                match a.kind {
+                    OpKind::Write => b.push(&pname, OpKind::Write, &lname, a.value, a.label),
+                    OpKind::Read => {
+                        let slot = slots.iter().position(|&s| s == (t, i)).unwrap();
+                        let v = written[a.loc.index()][choice[slot]];
+                        b.push(&pname, OpKind::Read, &lname, Value(v), Label::Ordinary)
+                    }
+                }
+            }
+        }
+        out.push(b.build());
+        // Odometer over read-value choices.
+        let mut i = 0;
+        loop {
+            if i == slots.len() {
+                return out;
+            }
+            choice[i] += 1;
+            let (t, op) = slots[i];
+            let loc = threads[t][op].loc.index();
+            if choice[i] < written[loc].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn assert_complete<M: MemorySystem>(make: impl Fn() -> M, spec: &ModelSpec) {
+    let cfg = CheckConfig::default();
+    for (name, threads, num_locs) in shapes() {
+        let script = OpScript::new(threads.clone(), num_locs);
+        let reached: std::collections::HashSet<String> =
+            explore(&make(), &script, &ExploreConfig::default())
+                .histories
+                .iter()
+                .map(History::to_string)
+                .collect();
+        for h in all_outcomes(&threads, num_locs) {
+            if check_with_config(&h, spec, &cfg).is_allowed() {
+                assert!(
+                    reached.contains(&h.to_string()),
+                    "{} model admits an outcome the {} machine never reaches \
+                     on `{name}`:\n{h}",
+                    spec.name,
+                    make().name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sc_machine_complete() {
+    assert_complete(|| ScMem::new(2, 2), &models::sc());
+}
+
+#[test]
+fn tso_machine_complete() {
+    // The no-forwarding store-buffer machine realizes exactly the
+    // paper's TSO on these shapes.
+    assert_complete(|| TsoMem::new(2, 2), &models::tso());
+}
+
+#[test]
+fn pram_machine_complete() {
+    assert_complete(|| PramMem::new(2, 2), &models::pram());
+}
+
+#[test]
+fn causal_machine_complete() {
+    assert_complete(|| CausalMem::new(2, 2), &models::causal());
+}
+
+#[test]
+fn outcome_enumeration_counts() {
+    // Sanity of the generator itself: SB has 2 reads × 2 candidate
+    // values; coherence shape has 2 reads × 3 candidates.
+    let (_, sb, locs) = &shapes()[0];
+    assert_eq!(all_outcomes(sb, *locs).len(), 4);
+    let (_, coh, locs) = &shapes()[3];
+    assert_eq!(all_outcomes(coh, *locs).len(), 9);
+}
+
+/// Brute-force SC oracle: a history is SC iff some interleaving of the
+/// per-processor sequences is legal. Implemented without any of the
+/// checker's machinery (no relations, no memoization) and compared
+/// against the checker over the full 1296-history universe.
+mod sc_oracle {
+    use smc_core::checker::check_with_config;
+    use smc_core::histgen::{all_histories, GenParams};
+    use smc_core::models;
+    use smc_history::{History, ProcId, Value};
+
+    fn legal_interleaving_exists(h: &History, pcs: &mut Vec<usize>, mem: &mut Vec<Value>) -> bool {
+        if (0..h.num_procs()).all(|p| pcs[p] == h.proc_ops(ProcId(p as u32)).len()) {
+            return true;
+        }
+        for p in 0..h.num_procs() {
+            let ops = h.proc_ops(ProcId(p as u32));
+            if pcs[p] >= ops.len() {
+                continue;
+            }
+            let o = &ops[pcs[p]];
+            if o.is_write() {
+                let saved = mem[o.loc.index()];
+                mem[o.loc.index()] = o.value;
+                pcs[p] += 1;
+                if legal_interleaving_exists(h, pcs, mem) {
+                    return true;
+                }
+                pcs[p] -= 1;
+                mem[o.loc.index()] = saved;
+            } else if mem[o.loc.index()] == o.value {
+                pcs[p] += 1;
+                if legal_interleaving_exists(h, pcs, mem) {
+                    return true;
+                }
+                pcs[p] -= 1;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn checker_agrees_with_brute_force_on_the_universe() {
+        let spec = models::sc();
+        let cfg = smc_core::checker::CheckConfig::default();
+        for h in all_histories(&GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        }) {
+            let mut pcs = vec![0; h.num_procs()];
+            let mut mem = vec![Value::INITIAL; h.num_locs()];
+            let oracle = legal_interleaving_exists(&h, &mut pcs, &mut mem);
+            let checker = check_with_config(&h, &spec, &cfg).is_allowed();
+            assert_eq!(oracle, checker, "oracle and checker disagree on\n{h}");
+        }
+    }
+}
+
+#[test]
+fn pc_machine_is_necessarily_incomplete() {
+    // Load buffering is admitted by the paper's PC but cannot be produced
+    // by any machine that reads present values — the documented gap
+    // between the declarative definition and operational intuition.
+    use smc_sim::PcMem;
+    let threads = vec![
+        vec![Access::read(0), Access::write(1, 1)],
+        vec![Access::read(1), Access::write(0, 1)],
+    ];
+    let script = OpScript::new(threads.clone(), 2);
+    let reached: std::collections::HashSet<String> =
+        explore(&PcMem::new(2, 2), &script, &ExploreConfig::default())
+            .histories
+            .iter()
+            .map(History::to_string)
+            .collect();
+    let lb = "p0: r(x0)1 w(x1)1\np1: r(x1)1 w(x0)1\n";
+    let h = smc_history::litmus::parse_history("p0: r(x0)1 w(x1)1\np1: r(x1)1 w(x0)1").unwrap();
+    assert!(check_with_config(&h, &models::pc(), &CheckConfig::default()).is_allowed());
+    assert!(!reached.contains(lb), "a machine read a value from the future");
+}

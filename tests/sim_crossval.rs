@@ -1,0 +1,374 @@
+//! Simulator ↔ checker cross-validation.
+//!
+//! Soundness: every history an operational machine can produce must be
+//! admitted by the corresponding declarative model (the machine
+//! *implements* the model). We enumerate machine histories exhaustively
+//! for a family of small program shapes and check every one.
+//!
+//! The negative direction is spot-checked too: deliberately *wrong*
+//! machines (SPARC-style TSO forwarding under the paper's TSO model;
+//! non-FIFO delivery under PRAM) must produce at least one rejected
+//! history — otherwise the tests above would be vacuous.
+
+use smc_core::checker::{check_with_config, CheckConfig};
+use smc_core::models;
+use smc_core::spec::ModelSpec;
+use smc_core::verify::verify_witness;
+use smc_history::History;
+use smc_sim::explore::{explore, ExploreConfig};
+use smc_sim::mem::MemorySystem;
+use smc_sim::workload::{Access, OpScript};
+use smc_sim::{CausalMem, CoherentMem, PcMem, PramMem, RcMem, ScMem, SyncMode, TsoMem};
+
+/// The program shapes driven over each machine.
+fn shapes() -> Vec<(&'static str, OpScript)> {
+    vec![
+        (
+            "store-buffering",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1), Access::read(1)],
+                    vec![Access::write(1, 1), Access::read(0)],
+                ],
+                2,
+            ),
+        ),
+        (
+            "message-passing",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1), Access::write(1, 1)],
+                    vec![Access::read(1), Access::read(0)],
+                ],
+                2,
+            ),
+        ),
+        (
+            "write-exchange (fig3 shape)",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1), Access::read(0), Access::read(0)],
+                    vec![Access::write(0, 2), Access::read(0), Access::read(0)],
+                ],
+                1,
+            ),
+        ),
+        (
+            "write-read causality (fig2 shape)",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1)],
+                    vec![Access::read(0), Access::write(1, 1)],
+                    vec![Access::read(1), Access::read(0)],
+                ],
+                2,
+            ),
+        ),
+        (
+            "own-write reads (forwarding shape)",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1), Access::read(0), Access::read(1)],
+                    vec![Access::write(1, 1), Access::read(1), Access::read(0)],
+                ],
+                2,
+            ),
+        ),
+        (
+            "coherence (same-location writes)",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1), Access::write(0, 2), Access::read(0)],
+                    vec![Access::read(0), Access::read(0)],
+                ],
+                1,
+            ),
+        ),
+    ]
+}
+
+fn machine_histories<M: MemorySystem>(mem: M, script: &OpScript) -> Vec<History> {
+    let out = explore(&mem, script, &ExploreConfig::default());
+    assert!(!out.truncated, "exploration truncated for {}", mem.name());
+    assert!(out.violation.is_none());
+    out.histories
+}
+
+/// Every machine history must be admitted by `spec`, with a verified
+/// witness.
+fn assert_sound<M: MemorySystem>(make: impl Fn() -> M, spec: &ModelSpec) {
+    let cfg = CheckConfig::default();
+    for (name, script) in shapes() {
+        for h in machine_histories(make(), &script) {
+            match check_with_config(&h, spec, &cfg) {
+                smc_core::Verdict::Allowed(w) => {
+                    verify_witness(&h, spec, &w).unwrap_or_else(|e| {
+                        panic!("{}/{name}: witness invalid: {e}\n{h}", spec.name)
+                    });
+                }
+                other => panic!(
+                    "{} machine produced a history its model rejects ({other:?}) \
+                     on shape `{name}`:\n{h}",
+                    spec.name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn sc_machine_sound() {
+    assert_sound(|| ScMem::new(3, 2), &models::sc());
+}
+
+#[test]
+fn tso_machine_sound() {
+    assert_sound(|| TsoMem::new(3, 2), &models::tso());
+}
+
+#[test]
+fn pram_machine_sound() {
+    assert_sound(|| PramMem::new(3, 2), &models::pram());
+}
+
+#[test]
+fn causal_machine_sound() {
+    assert_sound(|| CausalMem::new(3, 2), &models::causal());
+}
+
+#[test]
+fn pc_machine_sound() {
+    assert_sound(|| PcMem::new(3, 2), &models::pc());
+}
+
+#[test]
+fn coherent_machine_sound() {
+    assert_sound(|| CoherentMem::new(3, 2), &models::coherent());
+}
+
+#[test]
+fn machine_strength_matches_lattice() {
+    // On each shape, the machines' history sets must nest like Figure 5:
+    // SC ⊆ TSO ⊆ PC ⊆ PRAM and SC ⊆ Causal ⊆ PRAM.
+    for (name, script) in shapes() {
+        let keys = |hs: &[History]| {
+            hs.iter().map(History::to_string).collect::<std::collections::HashSet<_>>()
+        };
+        let sc = keys(&machine_histories(ScMem::new(3, 2), &script));
+        let tso = keys(&machine_histories(TsoMem::new(3, 2), &script));
+        let pc = keys(&machine_histories(PcMem::new(3, 2), &script));
+        let causal = keys(&machine_histories(CausalMem::new(3, 2), &script));
+        let pram = keys(&machine_histories(PramMem::new(3, 2), &script));
+        assert!(sc.is_subset(&tso), "SC ⊄ TSO on {name}");
+        assert!(tso.is_subset(&pc), "TSO ⊄ PC on {name}");
+        assert!(pc.is_subset(&pram), "PC ⊄ PRAM on {name}");
+        assert!(sc.is_subset(&causal), "SC ⊄ Causal on {name}");
+        assert!(causal.is_subset(&pram), "Causal ⊄ PRAM on {name}");
+    }
+}
+
+// ---- Negative controls --------------------------------------------------
+
+#[test]
+fn forwarding_tso_machine_exceeds_paper_tso() {
+    // SPARC-style store forwarding produces histories the paper's TSO
+    // characterization rejects (the own-write reads shape).
+    let cfg = CheckConfig::default();
+    let spec = models::tso();
+    let mut rejected = 0;
+    for (_, script) in shapes() {
+        for h in machine_histories(TsoMem::with_forwarding(3, 2), &script) {
+            if check_with_config(&h, &spec, &cfg).is_disallowed() {
+                rejected += 1;
+            }
+        }
+    }
+    assert!(
+        rejected > 0,
+        "the forwarding machine never escaped the paper's TSO — negative control failed"
+    );
+}
+
+#[test]
+fn coherent_machine_exceeds_pram() {
+    // Arbitrary-order delivery breaks PRAM's per-source FIFO guarantee.
+    let cfg = CheckConfig::default();
+    let spec = models::pram();
+    let mut rejected = 0;
+    for (_, script) in shapes() {
+        for h in machine_histories(CoherentMem::new(3, 2), &script) {
+            if check_with_config(&h, &spec, &cfg).is_disallowed() {
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "non-FIFO delivery never escaped PRAM");
+}
+
+#[test]
+fn pram_machine_exceeds_causal_and_pc() {
+    // PRAM is strictly weaker than both causal memory and PC: the
+    // machine must realize histories each of them rejects.
+    let cfg = CheckConfig::default();
+    let mut causal_rejected = 0;
+    let mut pc_rejected = 0;
+    for (_, script) in shapes() {
+        for h in machine_histories(PramMem::new(3, 2), &script) {
+            if check_with_config(&h, &models::causal(), &cfg).is_disallowed() {
+                causal_rejected += 1;
+            }
+            if check_with_config(&h, &models::pc(), &cfg).is_disallowed() {
+                pc_rejected += 1;
+            }
+        }
+    }
+    assert!(causal_rejected > 0, "PRAM machine stayed within causal memory");
+    assert!(pc_rejected > 0, "PRAM machine stayed within PC");
+}
+
+// ---- Release consistency ------------------------------------------------
+
+fn rc_shapes() -> Vec<(&'static str, OpScript)> {
+    vec![
+        (
+            "labeled handshake",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1), Access::release(1, 1)],
+                    vec![Access::acquire(1), Access::read(0)],
+                ],
+                2,
+            ),
+        ),
+        (
+            "labeled store-buffering",
+            OpScript::new(
+                vec![
+                    vec![Access::release(0, 1), Access::acquire(1)],
+                    vec![Access::release(1, 1), Access::acquire(0)],
+                ],
+                2,
+            ),
+        ),
+        (
+            "release then ordinary data",
+            OpScript::new(
+                vec![
+                    vec![Access::write(0, 1), Access::release(1, 1), Access::write(0, 2)],
+                    vec![Access::acquire(1), Access::read(0), Access::read(0)],
+                ],
+                2,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn rc_sc_machine_sound() {
+    let cfg = CheckConfig::default();
+    let spec = models::rc_sc();
+    for (name, script) in rc_shapes() {
+        for h in machine_histories(RcMem::new(SyncMode::Sc, 2, 2), &script) {
+            let v = check_with_config(&h, &spec, &cfg);
+            assert!(
+                v.is_allowed(),
+                "RC_sc machine history rejected ({v:?}) on `{name}`:\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rc_pc_machine_sound() {
+    let cfg = CheckConfig::default();
+    let spec = models::rc_pc();
+    for (name, script) in rc_shapes() {
+        for h in machine_histories(RcMem::new(SyncMode::Pc, 2, 2), &script) {
+            let v = check_with_config(&h, &spec, &cfg);
+            assert!(
+                v.is_allowed(),
+                "RC_pc machine history rejected ({v:?}) on `{name}`:\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rc_pc_machine_exceeds_rc_sc() {
+    // The RC_pc machine realizes labeled histories RC_sc forbids (the
+    // labeled store-buffering shape).
+    let cfg = CheckConfig::default();
+    let spec = models::rc_sc();
+    let mut rejected = 0;
+    for (_, script) in rc_shapes() {
+        for h in machine_histories(RcMem::new(SyncMode::Pc, 2, 2), &script) {
+            if check_with_config(&h, &spec, &cfg).is_disallowed() {
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "RC_pc machine stayed within RC_sc");
+}
+
+#[test]
+fn wo_machine_sound() {
+    // The weak-ordering machine stays within the WO model (and hence
+    // within RC_sc) on all labeled shapes.
+    let cfg = CheckConfig::default();
+    let wo = models::weak_ordering();
+    let rcsc = models::rc_sc();
+    for (name, script) in rc_shapes() {
+        for h in machine_histories(smc_sim::WoMem::new(2, 2), &script) {
+            let v = check_with_config(&h, &wo, &cfg);
+            assert!(v.is_allowed(), "WO machine escaped WO ({v:?}) on `{name}`:\n{h}");
+            assert!(check_with_config(&h, &rcsc, &cfg).is_allowed());
+        }
+    }
+}
+
+#[test]
+fn hybrid_machine_sound() {
+    let cfg = CheckConfig::default();
+    let spec = models::hybrid();
+    // Labeled shapes plus the ordinary shapes (hybrid handles both).
+    for (name, script) in rc_shapes().into_iter().chain(shapes()) {
+        for h in machine_histories(smc_sim::HybridMem::new(3, 2), &script) {
+            let v = check_with_config(&h, &spec, &cfg);
+            assert!(
+                v.is_allowed(),
+                "Hybrid machine escaped its model ({v:?}) on `{name}`:\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_rc_sc_machine_escapes_weak_ordering() {
+    // The lazy-log RC_sc machine can let an ordinary write overtake the
+    // release that precedes it — allowed by RC_sc, forbidden by WO. This
+    // separates the two machines *operationally*, matching the
+    // wo_release_fence corpus entry.
+    let cfg = CheckConfig::default();
+    let script = OpScript::new(
+        vec![
+            vec![Access::release(0, 1), Access::write(1, 1)],
+            vec![Access::read(1), Access::acquire(0)],
+        ],
+        2,
+    );
+    let histories = machine_histories(RcMem::new(SyncMode::Sc, 2, 2), &script);
+    let target = "p0: wl(x0)1 w(x1)1\np1: r(x1)1 rl(x0)0\n";
+    assert!(
+        histories.iter().any(|h| h.to_string() == target),
+        "lazy RC_sc machine no longer reaches the overtaking history"
+    );
+    let h = histories
+        .iter()
+        .find(|h| h.to_string() == target)
+        .unwrap();
+    assert!(check_with_config(h, &models::rc_sc(), &cfg).is_allowed());
+    assert!(check_with_config(h, &models::weak_ordering(), &cfg).is_disallowed());
+    // And the WO machine cannot reach it.
+    let wo_histories = machine_histories(smc_sim::WoMem::new(2, 2), &script);
+    assert!(!wo_histories.iter().any(|h| h.to_string() == target));
+}
