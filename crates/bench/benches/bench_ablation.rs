@@ -2,21 +2,20 @@
 //!
 //! * failure-state **memoization** on/off in the view search,
 //! * **dead-state pruning** on/off,
-//! * **parallel vs sequential** classification sweeps (rayon).
+//! * **parallel vs sequential** classification sweeps (the `smc-core`
+//!   batch engine).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rayon::prelude::*;
+use smc_bench::quickbench::{black_box, Harness};
+use smc_core::batch::check_batch;
+use smc_core::budget::Budget;
 use smc_core::checker::CheckConfig;
 use smc_core::histgen::{all_histories, GenParams};
 use smc_core::lattice::classify;
 use smc_core::models;
 use smc_core::orders::program_order;
-use smc_core::view::{
-    find_legal_extension_with, LegalityMode, SearchOptions, ViewProblem,
-};
+use smc_core::view::{find_legal_extension_with, LegalityMode, SearchOptions, ViewProblem};
 use smc_history::{History, HistoryBuilder};
 use smc_relation::BitSet;
-use std::cell::Cell;
 
 /// A hard UNSAT instance for the view search: widened store buffering
 /// under a single global view (the SC refutation path).
@@ -41,15 +40,14 @@ fn search(h: &History, opts: SearchOptions) -> u64 {
         constraints: &po,
         legality: LegalityMode::ByValue,
     };
-    let budget = Cell::new(u64::MAX);
+    let budget = Budget::local(u64::MAX);
     let out = find_legal_extension_with(&p, &budget, opts);
     assert!(matches!(out, smc_core::view::SearchOutcome::NotFound));
-    u64::MAX - budget.get() // nodes spent
+    budget.spent() // nodes spent
 }
 
-fn bench_search_options(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/view_search_unsat");
-    g.sample_size(10);
+fn bench_search_options(harness: &mut Harness) {
+    let mut g = harness.group("ablation/view_search_unsat");
     let variants = [
         ("full", SearchOptions::default()),
         (
@@ -77,15 +75,14 @@ fn bench_search_options(c: &mut Criterion) {
     for &k in &[4usize, 6] {
         let h = wide_sb(k);
         for (name, opts) in variants {
-            g.bench_function(BenchmarkId::new(name, h.num_ops()), |b| {
-                b.iter(|| black_box(search(&h, opts)))
+            g.bench(&format!("{name}/{}", h.num_ops()), || {
+                black_box(search(&h, opts));
             });
         }
     }
-    g.finish();
 }
 
-fn bench_parallel_sweep(c: &mut Criterion) {
+fn bench_parallel_sweep(harness: &mut Harness) {
     let corpus = all_histories(&GenParams {
         procs: 2,
         ops_per_proc: 2,
@@ -94,28 +91,28 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     });
     let models = models::figure5_models();
     let cfg = CheckConfig::default();
-    let mut g = c.benchmark_group("ablation/lattice_sweep_1296_histories");
-    g.sample_size(10);
-    g.bench_function("sequential", |b| {
-        b.iter(|| {
-            let n: usize = corpus
-                .iter()
-                .map(|h| classify(h, &models, &cfg).allowed.len())
-                .sum();
-            black_box(n)
-        })
+    let jobs = std::thread::available_parallelism().map_or(2, usize::from);
+    let mut g = harness.group("ablation/lattice_sweep_1296_histories");
+    g.bench("sequential", || {
+        let n: usize = corpus
+            .iter()
+            .map(|h| classify(h, &models, &cfg).allowed.len())
+            .sum();
+        black_box(n);
     });
-    g.bench_function("rayon_parallel", |b| {
-        b.iter(|| {
-            let n: usize = corpus
-                .par_iter()
-                .map(|h| classify(h, &models, &cfg).allowed.len())
-                .sum();
-            black_box(n)
-        })
+    g.bench(&format!("batch_parallel_j{jobs}"), || {
+        let pairs: Vec<(&History, &smc_core::ModelSpec)> = corpus
+            .iter()
+            .flat_map(|h| models.iter().map(move |m| (h, m)))
+            .collect();
+        let results = check_batch(&pairs, &cfg, jobs);
+        let n = results.iter().filter(|r| r.verdict.is_allowed()).count();
+        black_box(n);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_search_options, bench_parallel_sweep);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_search_options(&mut h);
+    bench_parallel_sweep(&mut h);
+}

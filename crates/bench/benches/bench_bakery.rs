@@ -2,7 +2,7 @@
 //! mutual-exclusion violation is found, versus the full exhaustive sweep
 //! proving RC_sc correct, versus random-schedule sampling.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smc_bench::quickbench::{black_box, Harness};
 use smc_history::Label;
 use smc_programs::bakery::bakery;
 use smc_programs::interp::ProgramWorkload;
@@ -18,43 +18,37 @@ fn cfg() -> ExploreConfig {
     }
 }
 
-fn bench_violation_search(c: &mut Criterion) {
+fn bench_violation_search(h: &mut Harness) {
     let program = bakery(2, Label::Labeled);
     let locs = program.num_locs();
-    let mut g = c.benchmark_group("bakery");
-    g.sample_size(10);
+    let mut g = h.group("bakery");
 
-    g.bench_function("rc_pc_find_violation_exhaustive", |b| {
-        b.iter(|| {
-            let w = ProgramWorkload::new(program.clone(), 12);
-            let out = explore(&RcMem::new(SyncMode::Pc, 2, locs), &w, &cfg());
-            assert!(out.violation.is_some());
-            black_box(out.states_explored)
-        })
+    g.bench("rc_pc_find_violation_exhaustive", || {
+        let w = ProgramWorkload::new(program.clone(), 12);
+        let out = explore(&RcMem::new(SyncMode::Pc, 2, locs), &w, &cfg());
+        assert!(out.violation.is_some());
+        black_box(out.states_explored);
     });
 
-    g.bench_function("rc_sc_prove_safe_exhaustive", |b| {
-        b.iter(|| {
-            let w = ProgramWorkload::new(program.clone(), 12);
-            let out = explore(&RcMem::new(SyncMode::Sc, 2, locs), &w, &cfg());
-            assert!(out.violation.is_none());
-            black_box(out.states_explored)
-        })
+    g.bench("rc_sc_prove_safe_exhaustive", || {
+        let w = ProgramWorkload::new(program.clone(), 12);
+        let out = explore(&RcMem::new(SyncMode::Sc, 2, locs), &w, &cfg());
+        assert!(out.violation.is_none());
+        black_box(out.states_explored);
     });
 
-    g.bench_function("rc_pc_100_random_runs", |b| {
-        b.iter(|| {
-            let mut violations = 0;
-            for seed in 0..100u64 {
-                let w = ProgramWorkload::new(program.clone(), 200);
-                let r = run_random(RcMem::new(SyncMode::Pc, 2, locs), w, seed, 100_000);
-                violations += r.violation.is_some() as usize;
-            }
-            black_box(violations)
-        })
+    g.bench("rc_pc_100_random_runs", || {
+        let mut violations = 0;
+        for seed in 0..100u64 {
+            let w = ProgramWorkload::new(program.clone(), 200);
+            let r = run_random(RcMem::new(SyncMode::Pc, 2, locs), w, seed, 100_000);
+            violations += r.violation.is_some() as usize;
+        }
+        black_box(violations);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_violation_search);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_violation_search(&mut h);
+}

@@ -1,0 +1,94 @@
+//! Sequential vs parallel corpus checking — the headline numbers for the
+//! `smc-core` batch engine.
+//!
+//! Two scenarios:
+//!
+//! * the embedded litmus corpus crossed with every model, checked by a
+//!   plain sequential loop and by [`check_batch`] at increasing worker
+//!   counts (speedup is expected only on multi-core hosts — on one core
+//!   the parallel rows measure the engine's overhead);
+//! * a single hard exhaustive check split across workers by
+//!   [`check_parallel`].
+
+use smc_bench::quickbench::{black_box, Harness};
+use smc_core::batch::{check_batch, check_parallel};
+use smc_core::checker::{check_with_config, CheckConfig};
+use smc_core::{models, ModelSpec};
+use smc_history::{History, HistoryBuilder};
+use smc_programs::corpus::litmus_suite;
+
+fn corpus_pairs<'a>(
+    histories: &'a [History],
+    model_list: &'a [ModelSpec],
+) -> Vec<(&'a History, &'a ModelSpec)> {
+    histories
+        .iter()
+        .flat_map(|h| model_list.iter().map(move |m| (h, m)))
+        .collect()
+}
+
+fn bench_corpus(harness: &mut Harness) {
+    let histories: Vec<History> = litmus_suite().into_iter().map(|t| t.history).collect();
+    let model_list = models::all_models();
+    let cfg = CheckConfig::default();
+    let pairs = corpus_pairs(&histories, &model_list);
+    let mut g = harness.group(&format!("batch/corpus_{}_pairs", pairs.len()));
+    g.bench("sequential_loop", || {
+        let n = pairs
+            .iter()
+            .filter(|(h, m)| check_with_config(h, m, &cfg).is_allowed())
+            .count();
+        black_box(n);
+    });
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut job_counts = vec![1usize, 2, 4];
+    if !job_counts.contains(&hw) {
+        job_counts.push(hw);
+    }
+    for jobs in job_counts {
+        g.bench(&format!("check_batch_j{jobs}"), || {
+            let results = check_batch(&pairs, &cfg, jobs);
+            let n = results.iter().filter(|r| r.verdict.is_allowed()).count();
+            black_box(n);
+        });
+    }
+}
+
+/// A PRAM refutation that needs exhaustive per-processor view searches:
+/// `p` writes `x` as 1..=k, every other processor claims to read them in
+/// reverse order (violating FIFO delivery of `p`'s writes).
+fn reversed_reads(k: i64, readers: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    for v in 1..=k {
+        b.write("p", "x", v);
+    }
+    for r in 0..readers {
+        let name = format!("q{r}");
+        for v in (1..=k).rev() {
+            b.read(&name, "x", v);
+        }
+    }
+    b.build()
+}
+
+fn bench_single_check(harness: &mut Harness) {
+    let h = reversed_reads(8, 4);
+    let spec = models::pram();
+    let cfg = CheckConfig::default();
+    let mut g = harness.group("batch/single_check_pram_reversed");
+    g.bench("sequential", || {
+        black_box(check_with_config(&h, &spec, &cfg));
+    });
+    for jobs in [2usize, 4] {
+        g.bench(&format!("check_parallel_j{jobs}"), || {
+            let (v, stats) = check_parallel(&h, &spec, &cfg, jobs);
+            black_box((v, stats.nodes_spent));
+        });
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    bench_corpus(&mut h);
+    bench_single_check(&mut h);
+}

@@ -2,7 +2,7 @@
 //! reports no timings (it is a formal paper), so these benches establish
 //! the decision procedure's practical envelope on litmus-scale inputs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use smc_bench::quickbench::{black_box, Harness};
 use smc_core::checker::{check_with_config, CheckConfig};
 use smc_core::models;
 use smc_history::litmus::parse_history;
@@ -24,15 +24,13 @@ fn figures() -> Vec<(&'static str, History)> {
         ),
         (
             "fig4",
-            parse_history(
-                "p: w(x)1 w(y)1\nq: r(y)1 w(z)1 r(x)2\nr: w(x)2 r(x)1 r(z)1 r(y)1",
-            )
-            .unwrap(),
+            parse_history("p: w(x)1 w(y)1\nq: r(y)1 w(z)1 r(x)2\nr: w(x)2 r(x)1 r(z)1 r(y)1")
+                .unwrap(),
         ),
     ]
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures(harness: &mut Harness) {
     let cfg = CheckConfig::default();
     let models = [
         models::sc(),
@@ -41,15 +39,14 @@ fn bench_figures(c: &mut Criterion) {
         models::causal(),
         models::pram(),
     ];
-    let mut g = c.benchmark_group("checker/figures");
+    let mut g = harness.group("checker/figures");
     for (name, h) in figures() {
         for m in &models {
-            g.bench_function(BenchmarkId::new(m.name.clone(), name), |b| {
-                b.iter(|| black_box(check_with_config(&h, m, &cfg)))
+            g.bench(&format!("{}/{name}", m.name), || {
+                black_box(check_with_config(&h, m, &cfg));
             });
         }
     }
-    g.finish();
 }
 
 /// Widened store buffering: each processor writes `k` distinct locations
@@ -82,50 +79,50 @@ fn chain(n: usize) -> History {
     b.build()
 }
 
-fn bench_scaling(c: &mut Criterion) {
+fn bench_scaling(harness: &mut Harness) {
     let cfg = CheckConfig::default();
-    let mut g = c.benchmark_group("checker/scaling");
-    g.sample_size(20);
+    let mut g = harness.group("checker/scaling");
     for &k in &[2usize, 4, 6] {
         let h = wide_sb(k);
         let ops = h.num_ops();
-        g.bench_with_input(BenchmarkId::new("SC_refute_wide_sb", ops), &h, |b, h| {
-            b.iter(|| black_box(check_with_config(h, &models::sc(), &cfg)))
+        g.bench(&format!("SC_refute_wide_sb/{ops}"), || {
+            black_box(check_with_config(&h, &models::sc(), &cfg));
         });
-        g.bench_with_input(BenchmarkId::new("TSO_admit_wide_sb", ops), &h, |b, h| {
-            b.iter(|| black_box(check_with_config(h, &models::tso(), &cfg)))
+        g.bench(&format!("TSO_admit_wide_sb/{ops}"), || {
+            black_box(check_with_config(&h, &models::tso(), &cfg));
         });
     }
     for &n in &[3usize, 5, 7] {
         let h = chain(n);
         let ops = h.num_ops();
-        g.bench_with_input(BenchmarkId::new("Causal_admit_chain", ops), &h, |b, h| {
-            b.iter(|| black_box(check_with_config(h, &models::causal(), &cfg)))
+        g.bench(&format!("Causal_admit_chain/{ops}"), || {
+            black_box(check_with_config(&h, &models::causal(), &cfg));
         });
-        g.bench_with_input(BenchmarkId::new("PC_admit_chain", ops), &h, |b, h| {
-            b.iter(|| black_box(check_with_config(h, &models::pc(), &cfg)))
+        g.bench(&format!("PC_admit_chain/{ops}"), || {
+            black_box(check_with_config(&h, &models::pc(), &cfg));
         });
     }
-    g.finish();
 }
 
-fn bench_rc(c: &mut Criterion) {
+fn bench_rc(harness: &mut Harness) {
     let cfg = CheckConfig::default();
     let s5 = parse_history(
         "p1: wl(choosing[0])1 rl(number[1])0 wl(number[0])1 wl(choosing[0])0 rl(choosing[1])0 rl(number[1])0\n\
          p2: wl(choosing[1])1 rl(number[0])0 wl(number[1])1 wl(choosing[1])0 rl(choosing[0])0 rl(number[0])0",
     )
     .unwrap();
-    let mut g = c.benchmark_group("checker/rc_section5");
-    g.sample_size(10);
-    g.bench_function("RCpc_admit_bakery_s5", |b| {
-        b.iter(|| black_box(check_with_config(&s5, &models::rc_pc(), &cfg)))
+    let mut g = harness.group("checker/rc_section5");
+    g.bench("RCpc_admit_bakery_s5", || {
+        black_box(check_with_config(&s5, &models::rc_pc(), &cfg));
     });
-    g.bench_function("RCsc_refute_bakery_s5", |b| {
-        b.iter(|| black_box(check_with_config(&s5, &models::rc_sc(), &cfg)))
+    g.bench("RCsc_refute_bakery_s5", || {
+        black_box(check_with_config(&s5, &models::rc_sc(), &cfg));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_scaling, bench_rc);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_figures(&mut h);
+    bench_scaling(&mut h);
+    bench_rc(&mut h);
+}

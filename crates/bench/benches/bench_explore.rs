@@ -2,7 +2,7 @@
 //! schedule of the store-buffering shape, as the per-thread operation
 //! count grows — the cost profile of the model-checking substrate.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use smc_bench::quickbench::{black_box, Harness};
 use smc_sim::explore::{explore, ExploreConfig};
 use smc_sim::mem::MemorySystem;
 use smc_sim::workload::{Access, OpScript};
@@ -27,25 +27,23 @@ fn states<M: MemorySystem>(mem: M, script: &OpScript) -> usize {
     out.states_explored
 }
 
-fn bench_growth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("explore/sb_wide");
-    g.sample_size(10);
+fn bench_growth(h: &mut Harness) {
+    let mut g = h.group("explore/sb_wide");
     for &k in &[1usize, 2, 3] {
         let script = sb_wide(k);
-        g.bench_with_input(BenchmarkId::new("SC", k), &script, |b, s| {
-            b.iter(|| black_box(states(ScMem::new(2, 2 * k), s)))
+        g.bench(&format!("SC/{k}"), || {
+            black_box(states(ScMem::new(2, 2 * k), &script));
         });
-        g.bench_with_input(BenchmarkId::new("TSO", k), &script, |b, s| {
-            b.iter(|| black_box(states(TsoMem::new(2, 2 * k), s)))
+        g.bench(&format!("TSO/{k}"), || {
+            black_box(states(TsoMem::new(2, 2 * k), &script));
         });
-        g.bench_with_input(BenchmarkId::new("PRAM", k), &script, |b, s| {
-            b.iter(|| black_box(states(PramMem::new(2, 2 * k), s)))
+        g.bench(&format!("PRAM/{k}"), || {
+            black_box(states(PramMem::new(2, 2 * k), &script));
         });
     }
-    g.finish();
 }
 
-fn bench_history_enumeration(c: &mut Criterion) {
+fn bench_history_enumeration(h: &mut Harness) {
     // The fig3 exchange shape: exhaustive history enumeration per model.
     let script = OpScript::new(
         vec![
@@ -54,22 +52,19 @@ fn bench_history_enumeration(c: &mut Criterion) {
         ],
         1,
     );
-    let mut g = c.benchmark_group("explore/fig3_histories");
-    g.sample_size(10);
-    g.bench_function("PRAM", |b| {
-        b.iter(|| {
-            let out = explore(&PramMem::new(2, 1), &script, &ExploreConfig::default());
-            black_box(out.histories.len())
-        })
+    let mut g = h.group("explore/fig3_histories");
+    g.bench("PRAM", || {
+        let out = explore(&PramMem::new(2, 1), &script, &ExploreConfig::default());
+        black_box(out.histories.len());
     });
-    g.bench_function("TSO", |b| {
-        b.iter(|| {
-            let out = explore(&TsoMem::new(2, 1), &script, &ExploreConfig::default());
-            black_box(out.histories.len())
-        })
+    g.bench("TSO", || {
+        let out = explore(&TsoMem::new(2, 1), &script, &ExploreConfig::default());
+        black_box(out.histories.len());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_growth, bench_history_enumeration);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_growth(&mut h);
+    bench_history_enumeration(&mut h);
+}

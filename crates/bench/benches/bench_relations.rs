@@ -2,9 +2,8 @@
 //! sorting, and linear-extension enumeration — the primitives under every
 //! checker query.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smc_bench::quickbench::{black_box, Harness};
+use smc_prng::SmallRng;
 use smc_relation::{linext, BitSet, Relation};
 
 /// A random DAG: edges only from lower to higher indices, density `p`.
@@ -21,36 +20,34 @@ fn random_dag(n: usize, p: f64, seed: u64) -> Relation {
     r
 }
 
-fn bench_closure(c: &mut Criterion) {
-    let mut g = c.benchmark_group("relation/transitive_closure");
+fn bench_closure(h: &mut Harness) {
+    let mut g = h.group("relation/transitive_closure");
     for &n in &[16usize, 64, 128, 256] {
         let r = random_dag(n, 0.05, 42);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
-            b.iter(|| black_box(r.closed()))
+        g.bench(&n.to_string(), || {
+            black_box(r.closed());
         });
     }
-    g.finish();
 }
 
-fn bench_topo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("relation/topo_sort");
+fn bench_topo(h: &mut Harness) {
+    let mut g = h.group("relation/topo_sort");
     for &n in &[64usize, 256] {
         let r = random_dag(n, 0.05, 7);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
-            b.iter(|| black_box(r.topo_sort()))
+        g.bench(&n.to_string(), || {
+            black_box(r.topo_sort());
         });
     }
-    g.finish();
 }
 
-fn bench_linext(c: &mut Criterion) {
-    let mut g = c.benchmark_group("relation/count_linear_extensions");
+fn bench_linext(h: &mut Harness) {
+    let mut g = h.group("relation/count_linear_extensions");
     // Antichain: the worst case, n! extensions.
     for &n in &[6usize, 7, 8] {
         let r = Relation::new(n);
         let full = BitSet::full(n);
-        g.bench_with_input(BenchmarkId::new("antichain", n), &n, |b, _| {
-            b.iter(|| black_box(linext::count_linear_extensions(&r, &full, usize::MAX)))
+        g.bench(&format!("antichain/{n}"), || {
+            black_box(linext::count_linear_extensions(&r, &full, usize::MAX));
         });
     }
     // Two chains of n/2: C(n, n/2) extensions — the store-order
@@ -60,20 +57,24 @@ fn bench_linext(c: &mut Criterion) {
         r.add_total_order(&(0..n / 2).collect::<Vec<_>>());
         r.add_total_order(&(n / 2..n).collect::<Vec<_>>());
         let full = BitSet::full(n);
-        g.bench_with_input(BenchmarkId::new("two_chains", n), &n, |b, _| {
-            b.iter(|| black_box(linext::count_linear_extensions(&r, &full, usize::MAX)))
+        g.bench(&format!("two_chains/{n}"), || {
+            black_box(linext::count_linear_extensions(&r, &full, usize::MAX));
         });
     }
-    g.finish();
 }
 
-fn bench_restrict(c: &mut Criterion) {
+fn bench_restrict(h: &mut Harness) {
     let r = random_dag(256, 0.05, 3);
     let keep = BitSet::from_iter(256, (0..256).filter(|i| i % 2 == 0));
-    c.bench_function("relation/restrict_half_of_256", |b| {
-        b.iter(|| black_box(r.restrict(&keep)))
+    h.bench("relation/restrict_half_of_256", || {
+        black_box(r.restrict(&keep));
     });
 }
 
-criterion_group!(benches, bench_closure, bench_topo, bench_linext, bench_restrict);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_closure(&mut h);
+    bench_topo(&mut h);
+    bench_linext(&mut h);
+    bench_restrict(&mut h);
+}

@@ -1,9 +1,8 @@
 //! Operational-simulator throughput: transitions per second under a
 //! seeded random scheduler, per memory model.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use smc_bench::quickbench::{black_box, Harness};
+use smc_prng::SmallRng;
 use smc_sim::mem::MemorySystem;
 use smc_sim::sched::run_random;
 use smc_sim::workload::{Access, OpScript};
@@ -29,11 +28,10 @@ fn random_script(threads: usize, ops: usize, seed: u64) -> OpScript {
     OpScript::new(lists, 4)
 }
 
-fn bench_throughput(c: &mut Criterion) {
+fn bench_throughput(h: &mut Harness) {
     let threads = 4;
     let ops = 200;
     let script = random_script(threads, ops, 99);
-    let total_ops = (threads * ops) as u64;
 
     fn run<M: MemorySystem>(mem: M, script: &OpScript) -> usize {
         let r = run_random(mem, script.clone(), 1234, 1_000_000);
@@ -41,50 +39,47 @@ fn bench_throughput(c: &mut Criterion) {
         r.steps
     }
 
-    let mut g = c.benchmark_group("sim/throughput_4x200");
-    g.throughput(Throughput::Elements(total_ops));
-    g.bench_function(BenchmarkId::from_parameter("SC"), |b| {
-        b.iter(|| black_box(run(ScMem::new(threads, 4), &script)))
+    let mut g = h.group("sim/throughput_4x200");
+    g.bench("SC", || {
+        black_box(run(ScMem::new(threads, 4), &script));
     });
-    g.bench_function(BenchmarkId::from_parameter("TSO"), |b| {
-        b.iter(|| black_box(run(TsoMem::new(threads, 4), &script)))
+    g.bench("TSO", || {
+        black_box(run(TsoMem::new(threads, 4), &script));
     });
-    g.bench_function(BenchmarkId::from_parameter("PRAM"), |b| {
-        b.iter(|| black_box(run(PramMem::new(threads, 4), &script)))
+    g.bench("PRAM", || {
+        black_box(run(PramMem::new(threads, 4), &script));
     });
-    g.bench_function(BenchmarkId::from_parameter("Causal"), |b| {
-        b.iter(|| black_box(run(CausalMem::new(threads, 4), &script)))
+    g.bench("Causal", || {
+        black_box(run(CausalMem::new(threads, 4), &script));
     });
-    g.bench_function(BenchmarkId::from_parameter("PC"), |b| {
-        b.iter(|| black_box(run(PcMem::new(threads, 4), &script)))
+    g.bench("PC", || {
+        black_box(run(PcMem::new(threads, 4), &script));
     });
-    g.bench_function(BenchmarkId::from_parameter("Coherent"), |b| {
-        b.iter(|| black_box(run(CoherentMem::new(threads, 4), &script)))
+    g.bench("Coherent", || {
+        black_box(run(CoherentMem::new(threads, 4), &script));
     });
-    g.bench_function(BenchmarkId::from_parameter("RCsc"), |b| {
-        b.iter(|| black_box(run(RcMem::new(SyncMode::Sc, threads, 4), &script)))
+    g.bench("RCsc", || {
+        black_box(run(RcMem::new(SyncMode::Sc, threads, 4), &script));
     });
-    g.bench_function(BenchmarkId::from_parameter("RCpc"), |b| {
-        b.iter(|| black_box(run(RcMem::new(SyncMode::Pc, threads, 4), &script)))
+    g.bench("RCpc", || {
+        black_box(run(RcMem::new(SyncMode::Pc, threads, 4), &script));
     });
-    g.finish();
 }
 
-fn bench_proc_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim/pram_proc_scaling_100ops");
-    g.sample_size(20);
+fn bench_proc_scaling(h: &mut Harness) {
+    let mut g = h.group("sim/pram_proc_scaling_100ops");
     for &n in &[2usize, 4, 8, 16] {
         let script = random_script(n, 100, 5);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let r = run_random(PramMem::new(n, 4), script.clone(), 77, 10_000_000);
-                assert!(r.completed);
-                black_box(r.steps)
-            })
+        g.bench(&n.to_string(), || {
+            let r = run_random(PramMem::new(n, 4), script.clone(), 77, 10_000_000);
+            assert!(r.completed);
+            black_box(r.steps);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_throughput, bench_proc_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_throughput(&mut h);
+    bench_proc_scaling(&mut h);
+}

@@ -50,5 +50,7 @@ fn main() {
     let tso_reaches = tso_out.histories.iter().any(|h| h.to_string() == fig1);
     println!("  Figure 1 outcome reachable:  SC: {sc_reaches}   TSO: {tso_reaches}");
     assert!(!sc_reaches && tso_reaches);
-    println!("\nFigure 1 reproduced: SC forbids, TSO admits (both declaratively and operationally).");
+    println!(
+        "\nFigure 1 reproduced: SC forbids, TSO admits (both declaratively and operationally)."
+    );
 }

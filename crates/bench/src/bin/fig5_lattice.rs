@@ -7,12 +7,11 @@
 //! The default corpus is the litmus suite plus the 2-processor ×
 //! 2-operation universe; `--exhaustive` enlarges the universe (slower,
 //! classifies thousands of histories; classification is parallelized
-//! with rayon).
+//! with the `smc-core` batch engine).
 
-use rayon::prelude::*;
 use smc_core::checker::CheckConfig;
 use smc_core::histgen::{all_histories, GenParams};
-use smc_core::lattice::{classify, compare_classified, LatticeResult};
+use smc_core::lattice::{classify_all, compare_classified, LatticeResult};
 use smc_core::models;
 use smc_history::History;
 use smc_programs::corpus::litmus_suite;
@@ -49,10 +48,8 @@ fn main() {
     );
     corpus.extend(all_histories(&params));
 
-    let classifications: Vec<_> = corpus
-        .par_iter()
-        .map(|h| classify(h, &models, &cfg))
-        .collect();
+    let jobs = std::thread::available_parallelism().map_or(1, usize::from);
+    let classifications = classify_all(&corpus, &models, &cfg, jobs);
     let result = compare_classified(&models, classifications);
 
     print_lattice(&result, &corpus);
@@ -75,13 +72,8 @@ fn main() {
             .position(|n| n == name)
             .unwrap_or_else(|| panic!("missing model {name}"))
     };
-    let (sc, tso, pc, causal, pram) = (
-        idx("SC"),
-        idx("TSO"),
-        idx("PC"),
-        idx("Causal"),
-        idx("PRAM"),
-    );
+    let (sc, tso, pc, causal, pram) =
+        (idx("SC"), idx("TSO"), idx("PC"), idx("Causal"), idx("PRAM"));
     assert!(result.strictly_stronger(sc, tso), "SC ⊂ TSO");
     assert!(result.strictly_stronger(tso, pc), "TSO ⊂ PC");
     assert!(result.strictly_stronger(tso, causal), "TSO ⊂ Causal");

@@ -54,9 +54,7 @@ fn main() {
         "RC_pc: {} states explored (stopped at first violation)",
         pc_out.states_explored
     );
-    let (msg, history) = pc_out
-        .violation
-        .expect("Bakery must fail under RC_pc");
+    let (msg, history) = pc_out.violation.expect("Bakery must fail under RC_pc");
     println!("RC_pc violation: {msg}");
     println!("Violating execution (compare the paper's Section 5 subhistories):");
     print_history(&history);

@@ -3,10 +3,9 @@
 //! ordering [1], hybrid consistency [4] — and the Section 7 parameter
 //! combinations alongside the five models of Figure 5.
 
-use rayon::prelude::*;
 use smc_core::checker::CheckConfig;
 use smc_core::histgen::{all_histories, GenParams};
-use smc_core::lattice::{classify, compare_classified};
+use smc_core::lattice::{classify_all, compare_classified};
 use smc_core::models;
 use smc_history::History;
 use smc_programs::corpus::litmus_suite;
@@ -46,13 +45,15 @@ fn main() {
         models.len()
     );
     let cfg = CheckConfig::default();
-    let classifications: Vec<_> = corpus
-        .par_iter()
-        .map(|h| classify(h, &models, &cfg))
-        .collect();
+    let jobs = std::thread::available_parallelism().map_or(1, usize::from);
+    let classifications = classify_all(&corpus, &models, &cfg, jobs);
     let r = compare_classified(&models, classifications);
 
-    println!("{:<16} admitted (of {})", "model", corpus.len() - r.undecided);
+    println!(
+        "{:<16} admitted (of {})",
+        "model",
+        corpus.len() - r.undecided
+    );
     for (name, count) in r.model_names.iter().zip(&r.counts) {
         println!("{name:<16} {count}");
     }
@@ -80,7 +81,11 @@ fn main() {
     println!("\nHasse diagram (covering edges; ≡ marks corpus-equivalent models):");
     let classes = r.equivalence_classes();
     for (a, b) in r.hasse_edges() {
-        println!("  {}  ⊂  {}", r.class_name(&classes[a]), r.class_name(&classes[b]));
+        println!(
+            "  {}  ⊂  {}",
+            r.class_name(&classes[a]),
+            r.class_name(&classes[b])
+        );
     }
 
     let idx = |n: &str| r.model_names.iter().position(|m| m == n).unwrap();

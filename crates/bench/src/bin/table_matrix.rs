@@ -41,10 +41,7 @@ fn main() {
     if mismatches.is_empty() {
         println!(
             "All {} embedded expectations match the checker.",
-            suite
-                .iter()
-                .map(|t| t.expectations.len())
-                .sum::<usize>()
+            suite.iter().map(|t| t.expectations.len()).sum::<usize>()
         );
     } else {
         for m in &mismatches {

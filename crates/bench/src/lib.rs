@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod quickbench;
+
 use smc_core::checker::{check_with_config, format_view, CheckConfig, Verdict};
 use smc_core::spec::ModelSpec;
 use smc_history::{History, ProcId};
@@ -42,8 +44,7 @@ pub fn report_check(h: &History, spec: &ModelSpec, show_views: bool) -> Verdict 
                     println!("    {}", format_view(h, ProcId(p as u32), view));
                 }
                 if let Some(t) = &w.labeled_order {
-                    let seq: Vec<String> =
-                        t.iter().map(|&o| h.format_op_subscripted(o)).collect();
+                    let seq: Vec<String> = t.iter().map(|&o| h.format_op_subscripted(o)).collect();
                     println!("    labeled order: {}", seq.join(" "));
                 }
             }
@@ -65,12 +66,7 @@ pub fn print_history(h: &History) {
 /// Print a classification matrix: one row per history, one column per
 /// model.
 pub fn print_matrix(rows: &[(String, Vec<Verdict>)], models: &[ModelSpec]) {
-    let name_w = rows
-        .iter()
-        .map(|(n, _)| n.len())
-        .max()
-        .unwrap_or(4)
-        .max(7);
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(7);
     print!("{:<name_w$}", "history");
     for m in models {
         print!(" {:>14}", m.name);

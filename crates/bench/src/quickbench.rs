@@ -1,0 +1,94 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace previously used Criterion; with the registry unavailable
+//! the benches now run on this self-contained harness: each benchmark is
+//! calibrated by doubling the iteration count until the timed batch runs
+//! long enough to measure, then reported as ns/iter. Invoke through
+//! `cargo bench` (the bench targets set `harness = false`) with an
+//! optional substring filter, e.g. `cargo bench --bench bench_checker
+//! fig1`.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-value barrier, re-exported so benches keep their `black_box`
+/// calls.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch runtime a measurement must reach before it is reported.
+const MIN_BATCH: Duration = Duration::from_millis(100);
+/// Iteration-count ceiling for very fast bodies.
+const MAX_ITERS: u64 = 1 << 22;
+
+/// A benchmark runner: filters by substring and prints one line per
+/// benchmark.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Build from `cargo bench` CLI arguments (the first non-flag
+    /// argument is a substring filter).
+    pub fn from_env() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && a != "bench");
+        Harness { filter }
+    }
+
+    /// A harness that runs everything (for tests).
+    pub fn unfiltered() -> Self {
+        Harness { filter: None }
+    }
+
+    /// `true` if `name` passes the CLI filter.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Time `f`, printing its cost as ns/iter.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        if !self.selected(name) {
+            return;
+        }
+        f(); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || iters >= MAX_ITERS {
+                let per = elapsed.as_nanos() / u128::from(iters);
+                println!("{name:<60} {per:>14} ns/iter  ({iters} iters)");
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    /// A named group: benches run as `group/name`.
+    pub fn group(&mut self, prefix: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            prefix: prefix.to_owned(),
+        }
+    }
+}
+
+/// A prefix-scoped view of the harness.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Time `f` under `prefix/name`.
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        let full = format!("{}/{}", self.prefix, name);
+        self.harness.bench(&full, f);
+    }
+}

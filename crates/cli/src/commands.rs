@@ -1,6 +1,7 @@
 //! Subcommand implementations for the `smc` binary.
 
-use smc_core::checker::{check_with_config, format_view, CheckConfig, Verdict};
+use smc_core::batch::{check_batch, BatchResult};
+use smc_core::checker::{format_view, CheckConfig, CheckStats, Verdict};
 use smc_core::models;
 use smc_core::spec::ModelSpec;
 use smc_history::litmus::{parse_history, parse_suite, LitmusTest};
@@ -11,19 +12,29 @@ use smc_sim::explore::{explore, ExploreConfig};
 use smc_sim::mem::MemorySystem;
 use smc_sim::sched::run_random;
 use smc_sim::workload::{Access, OpScript};
-use smc_sim::{CausalMem, CoherentMem, HybridMem, PcMem, PramMem, RcMem, ScMem, SyncMode, TsoMem, WoMem};
+use smc_sim::{
+    CausalMem, CoherentMem, HybridMem, PcMem, PramMem, RcMem, ScMem, SyncMode, TsoMem, WoMem,
+};
 use std::process::ExitCode;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
 usage:
-  smc check <file> [--model NAME]   check a litmus history or suite
-  smc matrix <file>                 classification matrix for a suite
-  smc explore <file> --memory NAME  enumerate every history a machine
-                                    produces for the file's program shape
+  smc check <file> [--model NAME] [--jobs N] [--stats]
+                                    check a litmus history or suite
+  smc corpus [--jobs N] [--stats]   check the embedded litmus corpus
+                                    against its recorded expectations
+  smc matrix <file> [--jobs N]      classification matrix for a suite
+  smc explore <file> --memory NAME [--check] [--model NAME] [--jobs N]
+                                    enumerate every history a machine
+                                    produces for the file's program shape;
+                                    --check classifies each history
   smc bakery [--memory NAME] [--n N] [--runs R] [--show-program]
                                     run the Bakery algorithm (default rcpc)
   smc models                        list available models and machines
+
+--jobs N runs checks on N worker threads (default 1; results are
+reported in the same order as sequential checking).
 
 memories for --memory: sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybrid";
 
@@ -31,6 +42,7 @@ memories for --memory: sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybri
 pub fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
         Some("bakery") => cmd_bakery(&args[1..]),
@@ -102,20 +114,67 @@ fn resolve_models(selector: Option<&str>) -> Result<Vec<ModelSpec>, String> {
     }
 }
 
+/// Parse `--jobs N` (default 1 = sequential).
+fn jobs_flag(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--jobs") {
+        None if args.iter().any(|a| a == "--jobs") => Err("--jobs requires a value".to_string()),
+        None => Ok(1),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--jobs: `{v}` is not a positive integer")),
+    }
+}
+
+fn render_stats(stats: &CheckStats) -> String {
+    let mut s = format!(
+        "{} nodes, {} rf assignment(s), {:.1?}",
+        stats.nodes_spent, stats.rf_assignments_tried, stats.wall
+    );
+    if stats.rf_truncated {
+        s.push_str(", rf truncated");
+    }
+    if let Some(stage) = stats.exhausted_stage {
+        s.push_str(&format!(", exhausted in {stage}"));
+    }
+    s
+}
+
+/// Check every (test × model) pair of a suite on `jobs` threads; results
+/// come back indexed test-major, matching the sequential print order.
+fn check_suite(
+    suite: &[LitmusTest],
+    model_list: &[ModelSpec],
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> Vec<BatchResult> {
+    let pairs: Vec<(&History, &ModelSpec)> = suite
+        .iter()
+        .flat_map(|t| model_list.iter().map(move |m| (&t.history, m)))
+        .collect();
+    check_batch(&pairs, cfg, jobs)
+}
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("check: missing <file>")?;
     let model_list = resolve_models(flag_value(args, "--model"))?;
+    let jobs = jobs_flag(args)?;
+    let show_stats = args.iter().any(|a| a == "--stats");
     let cfg = CheckConfig::default();
+    let suite = load(path)?;
+    let results = check_suite(&suite, &model_list, &cfg, jobs);
     let mut failures = 0;
-    for t in load(path)? {
+    for (ti, t) in suite.iter().enumerate() {
         println!("== {} ==", t.name);
         for line in t.history.to_string().lines() {
             println!("    {line}");
         }
-        for m in &model_list {
-            let v = check_with_config(&t.history, m, &cfg);
-            let cell = match &v {
+        for (mi, m) in model_list.iter().enumerate() {
+            let r = &results[ti * model_list.len() + mi];
+            let v = &r.verdict;
+            let cell = match v {
                 Verdict::Allowed(_) => "allowed".to_owned(),
                 Verdict::Disallowed => "forbidden".to_owned(),
                 Verdict::Exhausted => "undecided (budget)".to_owned(),
@@ -131,20 +190,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                 _ => "",
             };
             println!("  {:<16} {cell}{marker}", m.name);
+            if show_stats {
+                println!("                   ({})", render_stats(&r.stats));
+            }
             if model_list.len() == 1 {
-                match &v {
+                match v {
                     Verdict::Allowed(w) => {
                         for (p, view) in w.views.iter().enumerate() {
-                            println!(
-                                "    {}",
-                                format_view(&t.history, ProcId(p as u32), view)
-                            );
+                            println!("    {}", format_view(&t.history, ProcId(p as u32), view));
                         }
                     }
                     Verdict::Disallowed => {
-                        if let Some(cert) =
-                            smc_core::explain::explain_disallowed(&t.history, m)
-                        {
+                        if let Some(cert) = smc_core::explain::explain_disallowed(&t.history, m) {
                             println!("    {}", cert.render(&t.history));
                         }
                     }
@@ -162,23 +219,88 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
+    let jobs = jobs_flag(args)?;
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let cfg = CheckConfig::default();
+    let suite = smc_programs::corpus::litmus_suite();
+    let model_list = models::all_models();
+    let results = check_suite(&suite, &model_list, &cfg, jobs);
+    let mut failures = 0;
+    let mut checked = 0;
+    let mut nodes = 0u64;
+    for (ti, t) in suite.iter().enumerate() {
+        for (mi, m) in model_list.iter().enumerate() {
+            let r = &results[ti * model_list.len() + mi];
+            nodes += r.stats.nodes_spent;
+            let Some(expected) = t.expectation(&m.name) else {
+                continue;
+            };
+            checked += 1;
+            match r.verdict.decided() {
+                Some(got) if got == expected => {}
+                Some(_) => {
+                    failures += 1;
+                    println!(
+                        "MISMATCH {}: {} expected {}, got {}",
+                        t.name,
+                        m.name,
+                        if expected { "allowed" } else { "forbidden" },
+                        if expected { "forbidden" } else { "allowed" },
+                    );
+                }
+                None => {
+                    failures += 1;
+                    println!(
+                        "UNDECIDED {}: {} ({})",
+                        t.name,
+                        m.name,
+                        render_stats(&r.stats)
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "corpus: {} tests × {} models, {} expectation(s) checked, {} failure(s){}",
+        suite.len(),
+        model_list.len(),
+        checked,
+        failures,
+        if jobs > 1 {
+            format!(" [{jobs} jobs]")
+        } else {
+            String::new()
+        }
+    );
+    if show_stats {
+        println!("total search nodes: {nodes}");
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_matrix(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("matrix: missing <file>")?;
+    let jobs = jobs_flag(args)?;
     let suite = load(path)?;
     let model_list = models::all_models();
     let cfg = CheckConfig::default();
+    let results = check_suite(&suite, &model_list, &cfg, jobs);
     let name_w = suite.iter().map(|t| t.name.len()).max().unwrap_or(7).max(7);
     print!("{:<name_w$}", "history");
     for m in &model_list {
         print!(" {:>14}", m.name);
     }
     println!();
-    for t in &suite {
+    for (ti, t) in suite.iter().enumerate() {
         print!("{:<name_w$}", t.name);
-        for m in &model_list {
-            let v = check_with_config(&t.history, m, &cfg);
-            let cell = match v {
+        for mi in 0..model_list.len() {
+            let cell = match &results[ti * model_list.len() + mi].verdict {
                 Verdict::Allowed(_) => "yes",
                 Verdict::Disallowed => "no",
                 Verdict::Exhausted => "?",
@@ -214,32 +336,24 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("explore: missing <file>")?;
     let memory = flag_value(args, "--memory").ok_or("explore: missing --memory NAME")?;
+    let do_check = args.iter().any(|a| a == "--check");
+    let jobs = jobs_flag(args)?;
     let tests = load(path)?;
     let t = tests.first().ok_or("explore: file contains no history")?;
     let script = to_script(&t.history);
     let (n, l) = (t.history.num_procs(), t.history.num_locs());
     let cfg = ExploreConfig::default();
 
-    fn go<M: MemorySystem>(mem: M, script: &OpScript, cfg: &ExploreConfig) -> Result<ExitCode, String> {
-        let out = explore(&mem, script, cfg);
-        println!(
-            "{}: {} distinct histories over {} states{}{}",
-            mem.name(),
-            out.histories.len(),
-            out.states_explored,
-            if out.truncated { " (TRUNCATED)" } else { "" },
-            if out.bounded { " (bounded)" } else { "" },
-        );
-        for h in &out.histories {
-            for line in h.to_string().lines() {
-                println!("    {line}");
-            }
-            println!();
-        }
-        Ok(ExitCode::SUCCESS)
+    fn go<M: MemorySystem>(
+        mem: M,
+        script: &OpScript,
+        cfg: &ExploreConfig,
+    ) -> (String, smc_sim::explore::ExploreOutcome) {
+        let name = mem.name();
+        (name, explore(&mem, script, cfg))
     }
 
-    match memory {
+    let (mem_name, out) = match memory {
         "sc" => go(ScMem::new(n, l), &script, &cfg),
         "tso" => go(TsoMem::new(n, l), &script, &cfg),
         "tso-fwd" => go(TsoMem::with_forwarding(n, l), &script, &cfg),
@@ -251,12 +365,61 @@ fn cmd_explore(args: &[String]) -> Result<ExitCode, String> {
         "rcpc" => go(RcMem::new(SyncMode::Pc, n, l), &script, &cfg),
         "wo" => go(WoMem::new(n, l), &script, &cfg),
         "hybrid" => go(HybridMem::new(n, l), &script, &cfg),
-        other => Err(format!("unknown memory `{other}`")),
+        other => return Err(format!("unknown memory `{other}`")),
+    };
+    println!(
+        "{}: {} distinct histories over {} states{}{}",
+        mem_name,
+        out.histories.len(),
+        out.states_explored,
+        if out.truncated { " (TRUNCATED)" } else { "" },
+        if out.bounded { " (bounded)" } else { "" },
+    );
+    if !do_check {
+        for h in &out.histories {
+            for line in h.to_string().lines() {
+                println!("    {line}");
+            }
+            println!();
+        }
+        return Ok(ExitCode::SUCCESS);
     }
+
+    // --check: classify every explored history against the models, using
+    // the batch engine (explored histories come out in a deterministic
+    // order, and batch results preserve input order).
+    let model_list = resolve_models(flag_value(args, "--model"))?;
+    let check_cfg = CheckConfig::default();
+    let results = smc_core::batch::check_matrix(&out.histories, &model_list, &check_cfg, jobs);
+    print!("{:<8}", "");
+    for m in &model_list {
+        print!(" {:>14}", m.name);
+    }
+    println!();
+    for (hi, h) in out.histories.iter().enumerate() {
+        print!("#{hi:<7}");
+        for mi in 0..model_list.len() {
+            let cell = match &results[hi * model_list.len() + mi].verdict {
+                Verdict::Allowed(_) => "yes",
+                Verdict::Disallowed => "no",
+                Verdict::Exhausted => "?",
+                Verdict::Unsupported(_) => "n/a",
+            };
+            print!(" {cell:>14}");
+        }
+        println!();
+        for line in h.to_string().lines() {
+            println!("    {line}");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_bakery(args: &[String]) -> Result<ExitCode, String> {
-    let n: usize = flag_value(args, "--n").unwrap_or("2").parse().map_err(|_| "--n: not a number")?;
+    let n: usize = flag_value(args, "--n")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "--n: not a number")?;
     let runs: u64 = flag_value(args, "--runs")
         .unwrap_or("1000")
         .parse()
@@ -314,12 +477,26 @@ fn cmd_models() -> Result<ExitCode, String> {
             "  {:<16} δ={:?}, mutual: [{}{}{}{}], order: {:?}{}{}{}",
             m.name,
             m.delta,
-            if m.identical_views { "identical-views " } else { "" },
-            if m.global_write_order { "store-order " } else { "" },
+            if m.identical_views {
+                "identical-views "
+            } else {
+                ""
+            },
+            if m.global_write_order {
+                "store-order "
+            } else {
+                ""
+            },
             if m.coherence { "coherence " } else { "" },
-            m.labeled.map(|l| format!("labeled:{l:?} ")).unwrap_or_default(),
+            m.labeled
+                .map(|l| format!("labeled:{l:?} "))
+                .unwrap_or_default(),
             m.global_order,
-            if m.rc_bracketing { " +rc-bracketing" } else { "" },
+            if m.rc_bracketing {
+                " +rc-bracketing"
+            } else {
+                ""
+            },
             if m.fence_bracketing { " +fences" } else { "" },
             match m.owner_order {
                 smc_core::spec::OwnerOrder::None => "",

@@ -1,0 +1,558 @@
+//! Parallel batch checking: fan (history × model) pairs — or the inner
+//! enumerations of a single check — across a thread pool.
+//!
+//! Three entry points, all built on [`crate::budget::SharedBudget`] and
+//! `std::thread::scope` (no external runtime):
+//!
+//! * [`check_batch`] — check many independent (history, model) pairs;
+//!   workers pull pairs from a shared index, results come back in input
+//!   order regardless of completion order.
+//! * [`check_matrix`] — convenience wrapper: every history against every
+//!   model, history-major.
+//! * [`check_parallel`] — parallelize a *single* check: reads-from
+//!   assignments fan out across workers drawing on one shared node pool,
+//!   and for models with no shared orders the per-processor view searches
+//!   run concurrently. The first worker to reach a verdict cancels the
+//!   rest.
+//!
+//! Determinism: `check_batch`/`check_matrix` results are positionally
+//! identical to running [`crate::checker::check_with_stats`] on each pair
+//! (each pair gets its own budget of `cfg.node_budget` nodes, exactly as
+//! in the sequential case). `check_parallel` returns the lowest-index
+//! decided outcome; because its workers share one node pool it may
+//! *decide* an instance where the sequential order of exploration
+//! exhausts first, but it never contradicts a sequential `Allowed` or
+//! `Disallowed`, and every `Allowed` carries a witness that
+//! [`crate::verify::verify_witness`] accepts.
+
+use crate::budget::SharedBudget;
+use crate::checker::{
+    check_with_budget, check_with_rf, check_with_stats, proc_constraints, view_op_sets,
+    CheckConfig, CheckStats, Stage, Step, Verdict, Witness,
+};
+use crate::constraints::{assemble_global, BaseOrders, Candidates};
+use crate::rf::{enumerate_reads_from, ReadsFrom};
+use crate::spec::ModelSpec;
+use crate::view::{find_legal_extension, LegalityMode, SearchOutcome, ViewProblem};
+use smc_history::History;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Outcome of one (history, model) pair in a batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Position of the pair in the input slice.
+    pub index: usize,
+    /// The checker's answer for this pair.
+    pub verdict: Verdict,
+    /// Work accounting for this pair.
+    pub stats: CheckStats,
+}
+
+/// Check every (history, model) pair on up to `jobs` worker threads.
+///
+/// `results[i]` always corresponds to `pairs[i]`; each pair is checked
+/// under its own `cfg.node_budget`, so verdicts are identical to calling
+/// [`crate::checker::check_with_config`] on each pair in turn.
+pub fn check_batch(
+    pairs: &[(&History, &ModelSpec)],
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> Vec<BatchResult> {
+    let jobs = jobs.max(1).min(pairs.len().max(1));
+    if jobs <= 1 || pairs.len() <= 1 {
+        return pairs
+            .iter()
+            .enumerate()
+            .map(|(index, (h, m))| {
+                let (verdict, stats) = check_with_stats(h, m, cfg);
+                BatchResult {
+                    index,
+                    verdict,
+                    stats,
+                }
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<BatchResult>>> =
+        Mutex::new((0..pairs.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= pairs.len() {
+                    break;
+                }
+                let (h, m) = pairs[index];
+                let (verdict, stats) = check_with_stats(h, m, cfg);
+                let done = BatchResult {
+                    index,
+                    verdict,
+                    stats,
+                };
+                match slots.lock() {
+                    Ok(mut slots) => slots[index] = Some(done),
+                    // A sibling panicked while holding the lock; the
+                    // scope is about to propagate that panic anyway.
+                    Err(_) => break,
+                }
+            });
+        }
+    });
+    let slots = match slots.into_inner() {
+        Ok(slots) => slots,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| {
+            r.unwrap_or_else(|| BatchResult {
+                index,
+                verdict: Verdict::Exhausted,
+                stats: CheckStats::default(),
+            })
+        })
+        .collect()
+}
+
+/// Check every history against every model, history-major: the result for
+/// `(histories[i], models[j])` is at index `i * models.len() + j`.
+pub fn check_matrix(
+    histories: &[History],
+    models: &[ModelSpec],
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> Vec<BatchResult> {
+    let pairs: Vec<(&History, &ModelSpec)> = histories
+        .iter()
+        .flat_map(|h| models.iter().map(move |m| (h, m)))
+        .collect();
+    check_batch(&pairs, cfg, jobs)
+}
+
+/// `true` if the model requires no agreement between views beyond the
+/// reads-from assignment — the case in which per-processor view searches
+/// are fully independent and can run on separate threads.
+fn views_decouple(spec: &ModelSpec) -> bool {
+    !spec.identical_views && !spec.global_write_order && !spec.coherence && spec.labeled.is_none()
+}
+
+/// Run a single check on up to `jobs` threads sharing one pool of
+/// `cfg.node_budget` search nodes.
+///
+/// Parallelism comes from two sources, chosen by the model's shape:
+/// reads-from assignments fan out across workers (causal, PC, RC — any
+/// model that enumerates explanations), and for models with no shared
+/// orders (PRAM-like) the per-processor view searches run concurrently.
+/// Models that are sequential-only under this scheme (e.g. SC's single
+/// global search) fall back to [`check_with_stats`].
+pub fn check_parallel(
+    h: &History,
+    spec: &ModelSpec,
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> (Verdict, CheckStats) {
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        return check_with_stats(h, spec, cfg);
+    }
+    if let Err(e) = spec.validate() {
+        return (Verdict::Unsupported(e), CheckStats::default());
+    }
+    let start = Instant::now();
+    let base = BaseOrders::new(h);
+
+    let (verdict, mut stats) = if spec.needs_reads_from() {
+        let (rfs, truncated) = enumerate_reads_from(h, cfg.max_rf);
+        if rfs.is_empty() {
+            (Verdict::Disallowed, CheckStats::default())
+        } else if rfs.len() == 1 && views_decouple(spec) {
+            parallel_views(h, spec, &base, Some(&rfs[0]), cfg, jobs)
+        } else {
+            let (v, mut st) = parallel_rf(h, spec, &base, &rfs, cfg, jobs);
+            if truncated {
+                st.rf_truncated = true;
+                if v.is_disallowed() {
+                    st.exhausted_stage = Some(Stage::ReadsFrom);
+                    return finish(Verdict::Exhausted, st, start);
+                }
+            }
+            (v, st)
+        }
+    } else if views_decouple(spec) {
+        parallel_views(h, spec, &base, None, cfg, jobs)
+    } else {
+        // Shared-order enumerations (SC's single global search, TSO's
+        // store orders, coherence, labeled orders) are inherently
+        // sequential in this engine; use the plain checker.
+        return check_with_stats(h, spec, cfg);
+    };
+    stats.wall = start.elapsed();
+    (verdict, stats)
+}
+
+fn finish(v: Verdict, mut stats: CheckStats, start: Instant) -> (Verdict, CheckStats) {
+    stats.wall = start.elapsed();
+    (v, stats)
+}
+
+/// Fan the reads-from assignments across workers sharing one node pool;
+/// the first decided outcome cancels the remaining workers.
+fn parallel_rf(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rfs: &[ReadsFrom],
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> (Verdict, CheckStats) {
+    let pool = SharedBudget::new(cfg.node_budget);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Step>>> = Mutex::new((0..rfs.len()).map(|_| None).collect());
+    let tried = AtomicUsize::new(0);
+    let nodes = Mutex::new(0u64);
+
+    let jobs = jobs.min(rfs.len());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {
+                let budget = pool.attach();
+                loop {
+                    if pool.is_cancelled() {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= rfs.len() {
+                        break;
+                    }
+                    tried.fetch_add(1, Ordering::Relaxed);
+                    let step = check_with_rf(h, spec, base, Some(&rfs[index]), &budget);
+                    // A decided outcome (witness found, or the model is
+                    // out of scope) makes the remaining assignments moot.
+                    if matches!(step, Step::Allowed(_) | Step::Unsupported(_)) {
+                        pool.cancel();
+                    }
+                    if let Ok(mut slots) = slots.lock() {
+                        slots[index] = Some(step);
+                    } else {
+                        break;
+                    }
+                }
+                budget.release();
+                if let Ok(mut nodes) = nodes.lock() {
+                    *nodes += budget.spent();
+                }
+            });
+        }
+    });
+
+    let slots = match slots.into_inner() {
+        Ok(s) => s,
+        Err(p) => p.into_inner(),
+    };
+    let mut stats = CheckStats {
+        nodes_spent: match nodes.into_inner() {
+            Ok(n) => n,
+            Err(p) => p.into_inner(),
+        },
+        rf_assignments_tried: tried.load(Ordering::Relaxed),
+        ..CheckStats::default()
+    };
+
+    // Lowest-index decided outcome wins; cancelled or genuinely exhausted
+    // workers leave `Exhausted`/`None` slots that only matter if nothing
+    // was decided anywhere.
+    let mut exhausted: Option<Stage> = None;
+    let mut skipped = false;
+    for slot in slots {
+        match slot {
+            Some(Step::Allowed(w)) => return (Verdict::Allowed(w), stats),
+            Some(Step::Unsupported(e)) => return (Verdict::Unsupported(e), stats),
+            Some(Step::Disallowed) => {}
+            Some(Step::Exhausted(stage)) => exhausted = exhausted.or(Some(stage)),
+            None => skipped = true,
+        }
+    }
+    match exhausted {
+        Some(stage) => {
+            stats.exhausted_stage = Some(stage);
+            (Verdict::Exhausted, stats)
+        }
+        // `skipped` without a decided slot can only mean cancellation
+        // raced a decided outcome that then failed to record; treat as
+        // exhaustion rather than claiming `Disallowed` for unchecked rfs.
+        None if skipped => {
+            stats.exhausted_stage = Some(Stage::ReadsFrom);
+            (Verdict::Exhausted, stats)
+        }
+        None => (Verdict::Disallowed, stats),
+    }
+}
+
+/// Search each processor's view on its own thread (models with no shared
+/// orders, so the views are independent once the reads-from assignment —
+/// if any — is fixed). Any processor with no legal view refutes the whole
+/// history and cancels the sibling searches.
+fn parallel_views(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rf: Option<&ReadsFrom>,
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> (Verdict, CheckStats) {
+    let legality = match rf {
+        Some(rf) => LegalityMode::ByReadsFrom(rf),
+        None => LegalityMode::ByValue,
+    };
+    let cand = Candidates::default();
+    let g = match assemble_global(h, spec, base, rf, &cand, None) {
+        Ok(g) => g,
+        Err(e) => return (Verdict::Unsupported(e), CheckStats::default()),
+    };
+    let mut stats = CheckStats::default();
+    if rf.is_some() {
+        stats.rf_assignments_tried = 1;
+    }
+    if !g.is_acyclic() {
+        return (Verdict::Disallowed, stats);
+    }
+
+    let pool = SharedBudget::new(cfg.node_budget);
+    let op_sets = view_op_sets(h, spec.delta);
+    let procs = h.num_procs();
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<SearchOutcome>>> = Mutex::new((0..procs).map(|_| None).collect());
+    let nodes = Mutex::new(0u64);
+
+    let jobs = jobs.min(procs.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {
+                let budget = pool.attach();
+                loop {
+                    if pool.is_cancelled() {
+                        break;
+                    }
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= procs {
+                        break;
+                    }
+                    let constraints = proc_constraints(h, spec, base, &g, p);
+                    let problem = ViewProblem {
+                        history: h,
+                        ops: op_sets[p].clone(),
+                        constraints: &constraints,
+                        legality,
+                    };
+                    let out = find_legal_extension(&problem, &budget);
+                    // A missing view refutes the history outright.
+                    if matches!(out, SearchOutcome::NotFound) {
+                        pool.cancel();
+                    }
+                    if let Ok(mut slots) = slots.lock() {
+                        slots[p] = Some(out);
+                    } else {
+                        break;
+                    }
+                }
+                budget.release();
+                if let Ok(mut nodes) = nodes.lock() {
+                    *nodes += budget.spent();
+                }
+            });
+        }
+    });
+
+    let slots = match slots.into_inner() {
+        Ok(s) => s,
+        Err(p) => p.into_inner(),
+    };
+    stats.nodes_spent = match nodes.into_inner() {
+        Ok(n) => n,
+        Err(p) => p.into_inner(),
+    };
+
+    let mut views = Vec::with_capacity(procs);
+    let mut exhausted = false;
+    for slot in slots {
+        match slot {
+            Some(SearchOutcome::Found(v)) => views.push(v),
+            Some(SearchOutcome::NotFound) => return (Verdict::Disallowed, stats),
+            Some(SearchOutcome::Exhausted) | None => exhausted = true,
+        }
+    }
+    if exhausted {
+        stats.exhausted_stage = Some(Stage::ViewSearch);
+        return (Verdict::Exhausted, stats);
+    }
+    (
+        Verdict::Allowed(Box::new(Witness {
+            views,
+            store_order: None,
+            coherence: None,
+            labeled_order: None,
+            reads_from: rf.map(|r| r.as_slice().to_vec()),
+        })),
+        stats,
+    )
+}
+
+/// Run a whole batch against one shared node pool (used by callers that
+/// want a global ceiling across many checks rather than a per-check
+/// budget; verdicts may then differ from per-check budgeting by
+/// exhausting earlier).
+pub fn check_batch_shared(
+    pairs: &[(&History, &ModelSpec)],
+    cfg: &CheckConfig,
+    jobs: usize,
+    pool_nodes: u64,
+) -> Vec<BatchResult> {
+    let jobs = jobs.max(1).min(pairs.len().max(1));
+    let pool = SharedBudget::new(pool_nodes);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<BatchResult>>> =
+        Mutex::new((0..pairs.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {
+                let budget = pool.attach();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= pairs.len() {
+                        break;
+                    }
+                    let (h, m) = pairs[index];
+                    let (verdict, stats) = check_with_budget(h, m, cfg, &budget);
+                    let done = BatchResult {
+                        index,
+                        verdict,
+                        stats,
+                    };
+                    match slots.lock() {
+                        Ok(mut slots) => slots[index] = Some(done),
+                        Err(_) => break,
+                    }
+                }
+                budget.release();
+            });
+        }
+    });
+    let slots = match slots.into_inner() {
+        Ok(s) => s,
+        Err(p) => p.into_inner(),
+    };
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| {
+            r.unwrap_or_else(|| BatchResult {
+                index,
+                verdict: Verdict::Exhausted,
+                stats: CheckStats::default(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_with_config;
+    use crate::models;
+    use crate::verify::verify_witness;
+    use smc_history::litmus::parse_history;
+
+    fn figures() -> Vec<History> {
+        [
+            "p: w(x)1 r(y)0\nq: w(y)1 r(x)0",
+            "p: w(x)1\nq: r(x)1 w(y)1\nr: r(y)1 r(x)0",
+            "p: w(x)1 r(x)1 r(x)2\nq: w(x)2 r(x)2 r(x)1",
+            "p: w(x)1 w(y)1\nq: r(y)1 w(z)1 r(x)2\nr: w(x)2 r(x)1 r(z)1 r(y)1",
+            "p: w(x)5\nq: w(x)5\nr: r(x)5 r(x)5",
+        ]
+        .iter()
+        .map(|t| parse_history(t).expect("litmus fixture parses"))
+        .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_figures() {
+        let histories = figures();
+        let models = models::all_models();
+        let cfg = CheckConfig::default();
+        let results = check_matrix(&histories, &models, &cfg, 4);
+        assert_eq!(results.len(), histories.len() * models.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            let h = &histories[i / models.len()];
+            let m = &models[i % models.len()];
+            let seq = check_with_config(h, m, &cfg);
+            assert_eq!(
+                r.verdict.decided(),
+                seq.decided(),
+                "{} on history {}",
+                m.name,
+                i / models.len()
+            );
+            if let Verdict::Allowed(w) = &r.verdict {
+                verify_witness(h, m, w).expect("batch witness verifies");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_on_empty_input() {
+        let cfg = CheckConfig::default();
+        assert!(check_batch(&[], &cfg, 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_single_check_agrees() {
+        let cfg = CheckConfig::default();
+        for h in figures() {
+            for m in models::all_models() {
+                let seq = check_with_config(&h, &m, &cfg);
+                let (par, stats) = check_parallel(&h, &m, &cfg, 4);
+                if let (Some(a), Some(b)) = (seq.decided(), par.decided()) {
+                    assert_eq!(a, b, "{} disagrees", m.name);
+                }
+                if let Verdict::Allowed(w) = &par {
+                    verify_witness(&h, &m, w).expect("parallel witness verifies");
+                    assert!(stats.nodes_spent > 0 || h.num_ops() == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_views_refute_pram_violation() {
+        // PRAM forbids reordering one processor's writes in another's view.
+        let h = parse_history("p: w(x)1 w(y)1\nq: r(y)1 r(x)0").unwrap();
+        let cfg = CheckConfig::default();
+        let (v, _) = check_parallel(&h, &models::pram(), &cfg, 4);
+        assert!(v.is_disallowed());
+        assert!(check_with_config(&h, &models::pram(), &cfg).is_disallowed());
+    }
+
+    #[test]
+    fn shared_pool_batch_exhausts_instead_of_lying() {
+        let histories = figures();
+        let models = [models::sc()];
+        let cfg = CheckConfig::default();
+        let pairs: Vec<(&History, &ModelSpec)> = histories
+            .iter()
+            .flat_map(|h| models.iter().map(move |m| (h, m)))
+            .collect();
+        // A pool far too small to decide anything: every result must be
+        // Exhausted, never a fabricated decision.
+        let results = check_batch_shared(&pairs, &cfg, 2, 1);
+        assert!(results
+            .iter()
+            .all(|r| matches!(r.verdict, Verdict::Exhausted)));
+    }
+}

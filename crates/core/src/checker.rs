@@ -16,8 +16,11 @@
 //!
 //! Every `Allowed` verdict carries a [`Witness`] that
 //! [`crate::verify::verify_witness`] can validate independently of the
-//! search.
+//! search. Every enumeration charges a [`crate::budget::Budget`], so the
+//! whole check runs under one node limit that can also be drawn from a
+//! shared pool by the parallel drivers in [`crate::batch`].
 
+use crate::budget::Budget;
 use crate::coherence::{enumerate_coherence, CoherenceOrders};
 use crate::constraints::{
     assemble_global, owner_edges, BaseOrders, Candidates, LabeledCtx, RcError,
@@ -30,8 +33,8 @@ use crate::view::{
 };
 use smc_history::{History, OpId, ProcId};
 use smc_relation::BitSet;
-use std::cell::Cell;
 use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
 
 /// Resource limits for a check.
 #[derive(Debug, Clone)]
@@ -50,6 +53,49 @@ impl Default for CheckConfig {
             node_budget: 20_000_000,
         }
     }
+}
+
+/// The enumeration layer in which a check ran out of budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The reads-from enumeration was truncated at `max_rf` assignments.
+    ReadsFrom,
+    /// Enumerating TSO's global store orders.
+    StoreOrders,
+    /// Enumerating per-location coherence orders.
+    CoherenceOrders,
+    /// Enumerating common orders of the labeled operations.
+    LabeledOrders,
+    /// Searching a per-processor legal view.
+    ViewSearch,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Stage::ReadsFrom => "reads-from enumeration",
+            Stage::StoreOrders => "store-order enumeration",
+            Stage::CoherenceOrders => "coherence-order enumeration",
+            Stage::LabeledOrders => "labeled-order enumeration",
+            Stage::ViewSearch => "view search",
+        })
+    }
+}
+
+/// How much work a check did, reported alongside its [`Verdict`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    /// Search nodes charged to the budget.
+    pub nodes_spent: u64,
+    /// Reads-from assignments the check started on.
+    pub rf_assignments_tried: usize,
+    /// `true` if the reads-from enumeration hit `max_rf` before listing
+    /// every assignment.
+    pub rf_truncated: bool,
+    /// Wall-clock time of the check.
+    pub wall: Duration,
+    /// Where the budget ran out, for `Exhausted` verdicts.
+    pub exhausted_stage: Option<Stage>,
 }
 
 /// A certificate that a history is admitted: the per-processor views plus
@@ -112,52 +158,91 @@ pub fn check(h: &History, spec: &ModelSpec) -> Verdict {
 
 /// Check `h` against `spec` under explicit resource limits.
 pub fn check_with_config(h: &History, spec: &ModelSpec, cfg: &CheckConfig) -> Verdict {
+    check_with_stats(h, spec, cfg).0
+}
+
+/// Check `h` against `spec`, also reporting how much work the check did.
+pub fn check_with_stats(h: &History, spec: &ModelSpec, cfg: &CheckConfig) -> (Verdict, CheckStats) {
+    let budget = Budget::local(cfg.node_budget);
+    check_with_budget(h, spec, cfg, &budget)
+}
+
+/// [`check_with_stats`] against a caller-supplied budget — the entry point
+/// the batch engine uses to run several checks against one shared pool.
+pub(crate) fn check_with_budget(
+    h: &History,
+    spec: &ModelSpec,
+    cfg: &CheckConfig,
+    budget: &Budget,
+) -> (Verdict, CheckStats) {
+    let start = Instant::now();
+    let spent_before = budget.spent();
+    let mut stats = CheckStats::default();
+    let verdict = run_check(h, spec, cfg, budget, &mut stats);
+    stats.nodes_spent = budget.spent() - spent_before;
+    stats.wall = start.elapsed();
+    if !matches!(verdict, Verdict::Exhausted) {
+        stats.exhausted_stage = None;
+    }
+    (verdict, stats)
+}
+
+fn run_check(
+    h: &History,
+    spec: &ModelSpec,
+    cfg: &CheckConfig,
+    budget: &Budget,
+    stats: &mut CheckStats,
+) -> Verdict {
     if let Err(e) = spec.validate() {
         return Verdict::Unsupported(e);
     }
-    let budget = Cell::new(cfg.node_budget);
     let base = BaseOrders::new(h);
-    let mut exhausted = false;
+    let mut exhausted: Option<Stage> = None;
 
     if spec.needs_reads_from() {
         let (rfs, truncated) = enumerate_reads_from(h, cfg.max_rf);
+        stats.rf_truncated = truncated;
         if rfs.is_empty() {
             // No read is explainable at all: no legal views can exist.
             return Verdict::Disallowed;
         }
         for rf in &rfs {
-            match check_with_rf(h, spec, &base, Some(rf), &budget) {
+            stats.rf_assignments_tried += 1;
+            match check_with_rf(h, spec, &base, Some(rf), budget) {
                 Step::Allowed(w) => return Verdict::Allowed(w),
                 Step::Disallowed => {}
-                Step::Exhausted => {
-                    exhausted = true;
+                Step::Exhausted(stage) => {
+                    exhausted = Some(stage);
                     break;
                 }
                 Step::Unsupported(e) => return Verdict::Unsupported(e),
             }
         }
-        if truncated {
-            exhausted = true;
+        if truncated && exhausted.is_none() {
+            exhausted = Some(Stage::ReadsFrom);
         }
     } else {
-        match check_with_rf(h, spec, &base, None, &budget) {
+        match check_with_rf(h, spec, &base, None, budget) {
             Step::Allowed(w) => return Verdict::Allowed(w),
             Step::Disallowed => {}
-            Step::Exhausted => exhausted = true,
+            Step::Exhausted(stage) => exhausted = Some(stage),
             Step::Unsupported(e) => return Verdict::Unsupported(e),
         }
     }
-    if exhausted {
-        Verdict::Exhausted
-    } else {
-        Verdict::Disallowed
+    match exhausted {
+        Some(stage) => {
+            stats.exhausted_stage = Some(stage);
+            Verdict::Exhausted
+        }
+        None => Verdict::Disallowed,
     }
 }
 
-enum Step {
+pub(crate) enum Step {
     Allowed(Box<Witness>),
     Disallowed,
-    Exhausted,
+    Exhausted(Stage),
     Unsupported(String),
 }
 
@@ -182,12 +267,12 @@ pub fn view_op_sets(h: &History, delta: OperationSet) -> Vec<BitSet> {
         .collect()
 }
 
-fn check_with_rf(
+pub(crate) fn check_with_rf(
     h: &History,
     spec: &ModelSpec,
     base: &BaseOrders,
     rf: Option<&ReadsFrom>,
-    budget: &Cell<u64>,
+    budget: &Budget,
 ) -> Step {
     let legality = match rf {
         Some(rf) => LegalityMode::ByReadsFrom(rf),
@@ -201,7 +286,12 @@ fn check_with_rf(
         spec.labeled,
         Some(LabeledModel::SequentiallyConsistent) | Some(LabeledModel::ProcessorConsistent)
     ) {
-        let rf = rf.expect("RC models enumerate reads-from");
+        let Some(rf) = rf else {
+            return Step::Unsupported(format!(
+                "{}: labeled submodel requires a reads-from assignment",
+                spec.name
+            ));
+        };
         match LabeledCtx::build(h, rf) {
             Ok(ctx) => Some(ctx),
             Err(RcError::MixedLocation(loc)) => {
@@ -241,7 +331,7 @@ fn check_with_rf(
                 reads_from: rf.map(|r| r.as_slice().to_vec()),
             })),
             SearchOutcome::NotFound => Step::Disallowed,
-            SearchOutcome::Exhausted => Step::Exhausted,
+            SearchOutcome::Exhausted => Step::Exhausted(Stage::ViewSearch),
         };
     }
 
@@ -249,32 +339,30 @@ fn check_with_rf(
     if spec.global_write_order {
         let writes = BitSet::from_iter(
             h.num_ops(),
-            h.ops().iter().filter(|o| o.is_write()).map(|o| o.id.index()),
+            h.ops()
+                .iter()
+                .filter(|o| o.is_write())
+                .map(|o| o.id.index()),
         );
         let mut result = Step::Disallowed;
-        let flow = smc_relation::linext::for_each_linear_extension(
-            &base.ppo,
-            &writes,
-            |ext| {
-                if budget.get() == 0 {
-                    result = Step::Exhausted;
-                    return ControlFlow::Break(());
+        let flow = smc_relation::linext::for_each_linear_extension(&base.ppo, &writes, |ext| {
+            if !budget.try_spend() {
+                result = Step::Exhausted(Stage::StoreOrders);
+                return ControlFlow::Break(());
+            }
+            let store: Vec<OpId> = ext.iter().map(|&i| OpId(i as u32)).collect();
+            let cand = Candidates {
+                store_order: Some(&store),
+                ..Default::default()
+            };
+            match with_candidates(h, spec, base, rf, legality, &cand, None, budget) {
+                Step::Disallowed => ControlFlow::Continue(()),
+                done => {
+                    result = attach_store(done, &store);
+                    ControlFlow::Break(())
                 }
-                budget.set(budget.get() - 1);
-                let store: Vec<OpId> = ext.iter().map(|&i| OpId(i as u32)).collect();
-                let cand = Candidates {
-                    store_order: Some(&store),
-                    ..Default::default()
-                };
-                match with_candidates(h, spec, base, rf, legality, &cand, None, budget) {
-                    Step::Disallowed => ControlFlow::Continue(()),
-                    done => {
-                        result = attach_store(done, &store);
-                        ControlFlow::Break(())
-                    }
-                }
-            },
-        );
+            }
+        });
         let _ = flow;
         return result;
     }
@@ -286,12 +374,20 @@ fn check_with_rf(
         // respects at least the owner's ppo there).
         let mut result = Step::Disallowed;
         let _ = enumerate_coherence(h, &base.ppo, |coh| {
-            if budget.get() == 0 {
-                result = Step::Exhausted;
+            if !budget.try_spend() {
+                result = Step::Exhausted(Stage::CoherenceOrders);
                 return ControlFlow::Break(());
             }
-            budget.set(budget.get() - 1);
-            match with_coherence(h, spec, base, rf, legality, coh, labeled_ctx.as_ref(), budget) {
+            match with_coherence(
+                h,
+                spec,
+                base,
+                rf,
+                legality,
+                coh,
+                labeled_ctx.as_ref(),
+                budget,
+            ) {
                 Step::Disallowed => ControlFlow::Continue(()),
                 done => {
                     result = done;
@@ -322,23 +418,19 @@ fn with_labeled_agreement(
     rf: Option<&ReadsFrom>,
     legality: LegalityMode<'_>,
     coh: Option<&CoherenceOrders>,
-    budget: &Cell<u64>,
+    budget: &Budget,
 ) -> Step {
-    let labeled = BitSet::from_iter(
-        h.num_ops(),
-        h.labeled_ops().map(|o| o.id.index()),
-    );
+    let labeled = BitSet::from_iter(h.num_ops(), h.labeled_ops().map(|o| o.id.index()));
     let mut cons = base.po.clone();
     if let Some(coh) = coh {
         cons.union_with(&coh.as_relation(h.num_ops()));
     }
     let mut result = Step::Disallowed;
     let flow = smc_relation::linext::for_each_linear_extension(&cons, &labeled, |ext| {
-        if budget.get() == 0 {
-            result = Step::Exhausted;
+        if !budget.try_spend() {
+            result = Step::Exhausted(Stage::LabeledOrders);
             return ControlFlow::Break(());
         }
-        budget.set(budget.get() - 1);
         let t: Vec<OpId> = ext.iter().map(|&i| OpId(i as u32)).collect();
         let cand = Candidates {
             coherence: coh,
@@ -387,14 +479,19 @@ fn with_coherence(
     legality: LegalityMode<'_>,
     coh: &CoherenceOrders,
     labeled_ctx: Option<&LabeledCtx>,
-    budget: &Cell<u64>,
+    budget: &Budget,
 ) -> Step {
     match spec.labeled {
         Some(LabeledModel::AgreementOnly) => {
             with_labeled_agreement(h, spec, base, rf, legality, Some(coh), budget)
         }
         Some(LabeledModel::SequentiallyConsistent) => {
-            let ctx = labeled_ctx.expect("labeled context built for RC");
+            let Some(ctx) = labeled_ctx else {
+                return Step::Unsupported(format!(
+                    "{}: labeled context missing for an RC_sc check",
+                    spec.name
+                ));
+            };
             // Enumerate the legal SC orders T of the labeled subhistory:
             // legal linear extensions of po_sub ∪ the projected coherence.
             let sub = &ctx.sub;
@@ -414,23 +511,14 @@ fn with_coherence(
                     labeled_order: Some(&t),
                     ..Default::default()
                 };
-                match with_candidates(
-                    h,
-                    spec,
-                    base,
-                    rf,
-                    legality,
-                    &cand,
-                    Some(ctx),
-                    budget,
-                ) {
+                match with_candidates(h, spec, base, rf, legality, &cand, Some(ctx), budget) {
                     Step::Disallowed => ControlFlow::Continue(()),
                     done => ControlFlow::Break((done, t)),
                 }
             });
             match end {
                 SearchEnd::Completed => {}
-                SearchEnd::Exhausted => result = Step::Exhausted,
+                SearchEnd::Exhausted => result = Step::Exhausted(Stage::LabeledOrders),
                 SearchEnd::Broke((done, t)) => {
                     result = match done {
                         Step::Allowed(mut w) => {
@@ -466,6 +554,24 @@ fn attach_coherence(step: Step, coh: &CoherenceOrders) -> Step {
     }
 }
 
+/// Build the constraint relation for processor `p`'s view under the
+/// current candidates: the global relation plus any owner-order edges.
+pub(crate) fn proc_constraints(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    g: &smc_relation::Relation,
+    p: usize,
+) -> smc_relation::Relation {
+    if matches!(spec.owner_order, crate::spec::OwnerOrder::None) {
+        g.clone()
+    } else {
+        let mut gp = g.clone();
+        gp.union_with(&owner_edges(h, spec, base, p));
+        gp
+    }
+}
+
 /// All shared ingredients fixed: assemble the global constraint relation
 /// and search each processor's view independently.
 #[allow(clippy::too_many_arguments)]
@@ -477,7 +583,7 @@ fn with_candidates(
     legality: LegalityMode<'_>,
     cand: &Candidates<'_>,
     labeled_ctx: Option<&LabeledCtx>,
-    budget: &Cell<u64>,
+    budget: &Budget,
 ) -> Step {
     let g = match assemble_global(h, spec, base, rf, cand, labeled_ctx) {
         Ok(g) => g,
@@ -491,13 +597,7 @@ fn with_candidates(
     let mut views = Vec::with_capacity(h.num_procs());
     #[allow(clippy::needless_range_loop)] // p is also the processor id
     for p in 0..h.num_procs() {
-        let constraints = if matches!(spec.owner_order, crate::spec::OwnerOrder::None) {
-            g.clone()
-        } else {
-            let mut gp = g.clone();
-            gp.union_with(&owner_edges(h, spec, base, p));
-            gp
-        };
+        let constraints = proc_constraints(h, spec, base, &g, p);
         let problem = ViewProblem {
             history: h,
             ops: op_sets[p].clone(),
@@ -507,7 +607,7 @@ fn with_candidates(
         match find_legal_extension(&problem, budget) {
             SearchOutcome::Found(v) => views.push(v),
             SearchOutcome::NotFound => return Step::Disallowed,
-            SearchOutcome::Exhausted => return Step::Exhausted,
+            SearchOutcome::Exhausted => return Step::Exhausted(Stage::ViewSearch),
         }
     }
     Step::Allowed(Box::new(Witness {
@@ -522,10 +622,7 @@ fn with_candidates(
 /// Render a witness view in the paper's notation
 /// (`S_{p+w}: r_p(y)0 w_p(x)1 w_q(y)1`).
 pub fn format_view(h: &History, p: ProcId, view: &[OpId]) -> String {
-    let ops: Vec<String> = view
-        .iter()
-        .map(|&o| h.format_op_subscripted(o))
-        .collect();
+    let ops: Vec<String> = view.iter().map(|&o| h.format_op_subscripted(o)).collect();
     format!("S_{{{}+w}}: {}", h.proc_name(p), ops.join(" "))
 }
 
@@ -552,7 +649,11 @@ mod tests {
         }
         let r = parse_history("p: r(x)0").unwrap();
         for m in models::all_models() {
-            assert!(check(&r, &m).is_allowed(), "{} rejects initial read", m.name);
+            assert!(
+                check(&r, &m).is_allowed(),
+                "{} rejects initial read",
+                m.name
+            );
         }
     }
 
@@ -579,6 +680,34 @@ mod tests {
             check_with_config(&h, &models::sc(), &cfg),
             Verdict::Exhausted
         );
+    }
+
+    #[test]
+    fn stats_report_exhaustion_stage_and_spend() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let cfg = CheckConfig {
+            max_rf: 1,
+            node_budget: 1,
+        };
+        let (v, stats) = check_with_stats(&h, &models::sc(), &cfg);
+        assert_eq!(v, Verdict::Exhausted);
+        assert_eq!(stats.exhausted_stage, Some(Stage::ViewSearch));
+        assert_eq!(stats.nodes_spent, 1);
+    }
+
+    #[test]
+    fn stats_on_decided_verdicts() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let cfg = CheckConfig::default();
+        let (v, stats) = check_with_stats(&h, &models::sc(), &cfg);
+        assert!(v.is_disallowed());
+        assert_eq!(stats.exhausted_stage, None);
+        assert!(stats.nodes_spent > 0);
+        assert!(!stats.rf_truncated);
+
+        let (v, stats) = check_with_stats(&h, &models::causal(), &cfg);
+        assert!(v.is_allowed());
+        assert!(stats.rf_assignments_tried >= 1);
     }
 
     #[test]

@@ -97,10 +97,7 @@ pub fn enumerate_coherence<B>(
     let mut per_loc: Vec<Vec<Vec<OpId>>> = Vec::with_capacity(h.num_locs());
     for l in 0..h.num_locs() {
         let loc = Location(l as u32);
-        let writes = BitSet::from_iter(
-            h.num_ops(),
-            h.writes_to(loc).map(|o| o.id.index()),
-        );
+        let writes = BitSet::from_iter(h.num_ops(), h.writes_to(loc).map(|o| o.id.index()));
         let mut cands = Vec::new();
         let flow = linext::for_each_linear_extension(base, &writes, |ext| {
             cands.push(ext.iter().map(|&i| OpId(i as u32)).collect::<Vec<_>>());

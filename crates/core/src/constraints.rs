@@ -58,9 +58,7 @@ impl LabeledCtx {
         }
         for o in h.ops() {
             if !o.is_labeled() && sync_locs[o.loc.index()] {
-                return Err(RcError::MixedLocation(
-                    h.loc_name(o.loc).to_owned(),
-                ));
+                return Err(RcError::MixedLocation(h.loc_name(o.loc).to_owned()));
             }
         }
         let (sub, back) = h.project(|o| o.is_labeled());
@@ -97,11 +95,7 @@ impl LabeledCtx {
         let orders: Vec<Vec<OpId>> = coh
             .all()
             .iter()
-            .map(|seq| {
-                seq.iter()
-                    .filter_map(|g| self.to_sub[g.index()])
-                    .collect()
-            })
+            .map(|seq| seq.iter().filter_map(|g| self.to_sub[g.index()]).collect())
             .collect();
         CoherenceOrders::new(&self.sub, orders)
     }
@@ -257,15 +251,14 @@ pub fn assemble_global(
             g.add_total_order(&idx);
         }
         Some(LabeledModel::ProcessorConsistent) => {
-            let ctx = labeled_ctx
-                .ok_or_else(|| format!("{}: labeled context required", spec.name))?;
+            let ctx =
+                labeled_ctx.ok_or_else(|| format!("{}: labeled context required", spec.name))?;
             let coh = cand
                 .coherence
                 .ok_or_else(|| format!("{}: coherence order required", spec.name))?;
             let coh_sub = ctx.project_coherence(coh);
             let ppo_sub = orders::partial_program_order(&ctx.sub);
-            let sem_sub =
-                orders::semi_causal(&ctx.sub, &ctx.rf_sub, &ppo_sub, &coh_sub);
+            let sem_sub = orders::semi_causal(&ctx.sub, &ctx.rf_sub, &ppo_sub, &coh_sub);
             g.union_with(&ctx.lift(&sem_sub, h.num_ops()));
         }
     }

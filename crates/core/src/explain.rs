@@ -106,8 +106,7 @@ pub fn explain_disallowed(h: &History, spec: &ModelSpec) -> Option<CycleCertific
     let op_sets = view_op_sets(h, spec.delta);
     let mut first = None;
     for rf in &rfs {
-        let g = assemble_global(h, spec, &base, Some(rf), &Candidates::default(), None)
-            .ok()?;
+        let g = assemble_global(h, spec, &base, Some(rf), &Candidates::default(), None).ok()?;
         // The assignment is refuted only if SOME view's constraint graph
         // is cyclic (cycles must stay within one view: legality edges of
         // different processors never combine).
@@ -157,7 +156,10 @@ mod tests {
         assert!(cert.ops.contains(&OpId(0)), "{cert:?}");
         assert!(cert.ops.contains(&OpId(3)), "{cert:?}");
         let text = cert.render(&h);
-        assert!(text.contains("w_p(d)1") && text.contains("r_q(d)0"), "{text}");
+        assert!(
+            text.contains("w_p(d)1") && text.contains("r_q(d)0"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -44,6 +44,24 @@ pub fn classify(h: &History, models: &[ModelSpec], cfg: &CheckConfig) -> Classif
     }
 }
 
+/// Classify a whole corpus on up to `jobs` threads (via
+/// [`crate::batch::check_matrix`]); equivalent to mapping [`classify`]
+/// over the corpus.
+pub fn classify_all(
+    corpus: &[History],
+    models: &[ModelSpec],
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> Vec<Classification> {
+    let results = crate::batch::check_matrix(corpus, models, cfg, jobs);
+    results
+        .chunks(models.len().max(1))
+        .map(|row| Classification {
+            allowed: row.iter().map(|r| r.verdict.decided()).collect(),
+        })
+        .collect()
+}
+
 /// The empirical comparison of a model list over a history corpus.
 #[derive(Debug, Clone)]
 pub struct LatticeResult {
@@ -114,17 +132,14 @@ impl LatticeResult {
     pub fn hasse_edges(&self) -> Vec<(usize, usize)> {
         let classes = self.equivalence_classes();
         let k = classes.len();
-        let stronger = |a: usize, b: usize| {
-            self.strictly_stronger(classes[a][0], classes[b][0])
-        };
+        let stronger = |a: usize, b: usize| self.strictly_stronger(classes[a][0], classes[b][0]);
         let mut edges = Vec::new();
         for a in 0..k {
             for b in 0..k {
                 if a == b || !stronger(a, b) {
                     continue;
                 }
-                let covered = (0..k)
-                    .any(|c| c != a && c != b && stronger(a, c) && stronger(c, b));
+                let covered = (0..k).any(|c| c != a && c != b && stronger(a, c) && stronger(c, b));
                 if !covered {
                     edges.push((a, b));
                 }
@@ -226,16 +241,32 @@ mod tests {
         // Corpus separating SC ⊂ TSO ⊂ PRAM: the Hasse diagram must keep
         // only the two covering edges, not SC ⊂ PRAM.
         let corpus = vec![
-            parse_history("p: w(x)1 r(y)0
-q: w(y)1 r(x)0").unwrap(), // TSO+, SC-
-            parse_history("p: w(d)1 w(f)1
-q: r(f)1 r(d)0").unwrap(), // none
-            parse_history("p: w(x)1 r(x)1 r(x)2
-q: w(x)2 r(x)2 r(x)1").unwrap(), // PRAM+, TSO-
-            parse_history("p: w(x)1
-q: r(x)1").unwrap(),             // all
+            parse_history(
+                "p: w(x)1 r(y)0
+q: w(y)1 r(x)0",
+            )
+            .unwrap(), // TSO+, SC-
+            parse_history(
+                "p: w(d)1 w(f)1
+q: r(f)1 r(d)0",
+            )
+            .unwrap(), // none
+            parse_history(
+                "p: w(x)1 r(x)1 r(x)2
+q: w(x)2 r(x)2 r(x)1",
+            )
+            .unwrap(), // PRAM+, TSO-
+            parse_history(
+                "p: w(x)1
+q: r(x)1",
+            )
+            .unwrap(), // all
         ];
-        let ms = vec![crate::models::sc(), crate::models::tso(), crate::models::pram()];
+        let ms = vec![
+            crate::models::sc(),
+            crate::models::tso(),
+            crate::models::pram(),
+        ];
         let r = compare(&corpus, &ms, &CheckConfig::default());
         let classes = r.equivalence_classes();
         assert_eq!(classes.len(), 3);
@@ -254,8 +285,11 @@ q: r(x)1").unwrap(),             // all
     fn equivalence_classes_merge_equal_models() {
         // On a corpus where SC and TSO agree everywhere they form one
         // class.
-        let corpus = vec![parse_history("p: w(x)1
-q: r(x)1").unwrap()];
+        let corpus = vec![parse_history(
+            "p: w(x)1
+q: r(x)1",
+        )
+        .unwrap()];
         let ms = vec![crate::models::sc(), crate::models::tso()];
         let r = compare(&corpus, &ms, &CheckConfig::default());
         let classes = r.equivalence_classes();

@@ -22,7 +22,13 @@
 //! * [`view`] — the legal-extension search for a single view.
 //! * [`checker`] — the full decision procedure: [`checker::check`]
 //!   returns [`checker::Verdict::Allowed`] with a [`checker::Witness`],
-//!   or `Disallowed`, under explicit resource budgets.
+//!   or `Disallowed`, under explicit resource budgets;
+//!   [`checker::check_with_stats`] also reports [`checker::CheckStats`].
+//! * [`budget`] — the search-node budget: a thread-local fast path over
+//!   an optional shared atomic pool with early cancellation.
+//! * [`batch`] — the parallel engine: [`batch::check_batch`] fans
+//!   (history, model) pairs across a thread pool; [`batch::check_parallel`]
+//!   parallelizes a single check's inner enumerations.
 //! * [`explain`] — best-effort cycle certificates for refutations.
 //! * [`verify`] — independent validation of witnesses (used heavily by
 //!   the test suite: every `Allowed` must verify).
@@ -46,6 +52,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod budget;
 pub mod checker;
 pub mod coherence;
 pub mod constraints;
@@ -59,5 +67,9 @@ pub mod spec;
 pub mod verify;
 pub mod view;
 
-pub use checker::{check, check_with_config, CheckConfig, Verdict, Witness};
+pub use batch::{check_batch, check_batch_shared, check_matrix, check_parallel, BatchResult};
+pub use budget::{Budget, SharedBudget};
+pub use checker::{
+    check, check_with_config, check_with_stats, CheckConfig, CheckStats, Stage, Verdict, Witness,
+};
 pub use spec::ModelSpec;

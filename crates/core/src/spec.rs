@@ -17,12 +17,10 @@
 //! are constructed in [`crate::models`], and new memories (the paper's
 //! Section 7) are just new parameter combinations.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameter 1: the membership of `δ_p` — which operations of *other*
 /// processors must appear in processor `p`'s view (its own operations are
 /// always included).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OperationSet {
     /// All operations of other processors (`S_{p+a}`): used by sequential
     /// consistency, where everyone observes everything.
@@ -35,7 +33,7 @@ pub enum OperationSet {
 
 /// The order that must be preserved between any two operations *present in
 /// a view*, whichever processor issued them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GlobalOrder {
     /// No global ordering requirement.
     None,
@@ -57,7 +55,10 @@ pub enum GlobalOrder {
 impl GlobalOrder {
     /// Whether deriving this order requires a reads-from assignment.
     pub fn needs_reads_from(self) -> bool {
-        matches!(self, GlobalOrder::CausalOrder | GlobalOrder::SemiCausalOrder)
+        matches!(
+            self,
+            GlobalOrder::CausalOrder | GlobalOrder::SemiCausalOrder
+        )
     }
 
     /// Whether deriving this order requires a coherence order.
@@ -71,7 +72,7 @@ impl GlobalOrder {
 /// Release consistency requires `o1 →ppo o2` to be respected in `S_p` when
 /// both are operations *of p*, while other processors may observe `p`'s
 /// ordinary writes in either order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OwnerOrder {
     /// No owner-only requirement (the global order already covers it).
     None,
@@ -82,7 +83,7 @@ pub enum OwnerOrder {
 }
 
 /// Which consistency the *labeled* (synchronization) operations enjoy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LabeledModel {
     /// `RC_sc` / weak ordering: labeled operations are sequentially
     /// consistent (one common *legal* order of all labeled operations).
@@ -96,7 +97,7 @@ pub enum LabeledModel {
 }
 
 /// A memory consistency model as a point in the paper's parameter space.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelSpec {
     /// Display name (`"SC"`, `"TSO"`, ...), used by litmus expectations.
     pub name: String,

@@ -76,11 +76,13 @@ pub fn verify_witness(h: &History, spec: &ModelSpec, witness: &Witness) -> Resul
             }
         }
         for (p, view) in witness.views.iter().enumerate() {
-            verify_view_reads_from(h, rf, view)
-                .map_err(|e| format!("view of P{p}: {e}"))?;
+            verify_view_reads_from(h, rf, view).map_err(|e| format!("view of P{p}: {e}"))?;
         }
     } else if spec.needs_reads_from() {
-        return fail(format!("{} witnesses must carry a reads-from assignment", spec.name));
+        return fail(format!(
+            "{} witnesses must carry a reads-from assignment",
+            spec.name
+        ));
     }
 
     // 4. Mutual consistency conditions, checked directly.
@@ -109,8 +111,10 @@ pub fn verify_witness(h: &History, spec: &ModelSpec, witness: &Witness) -> Resul
                 );
                 let got = BitSet::from_iter(h.num_ops(), seq.iter().map(|o| o.index()));
                 if got != expect || got.count() != seq.len() {
-                    return fail(format!("coherence order of location {l} is not a \
-                                          permutation of its writes"));
+                    return fail(format!(
+                        "coherence order of location {l} is not a \
+                                          permutation of its writes"
+                    ));
                 }
             }
             for (l, seq) in orders.iter().enumerate() {
@@ -209,10 +213,11 @@ fn verify_labeled_order(
             .copied()
             .filter(|o| h.op(*o).is_labeled())
             .collect();
-        let t_restricted: Vec<OpId> =
-            t.iter().copied().filter(|o| proj.contains(o)).collect();
+        let t_restricted: Vec<OpId> = t.iter().copied().filter(|o| proj.contains(o)).collect();
         if proj != t_restricted {
-            return fail(format!("view of P{p} orders labeled ops differently from T"));
+            return fail(format!(
+                "view of P{p} orders labeled ops differently from T"
+            ));
         }
     }
     Ok(())
@@ -286,10 +291,7 @@ mod tests {
 
     #[test]
     fn tso_fig1_witness_verifies() {
-        let w = assert_allowed_and_verified(
-            "p: w(x)1 r(y)0\nq: w(y)1 r(x)0",
-            &models::tso(),
-        );
+        let w = assert_allowed_and_verified("p: w(x)1 r(y)0\nq: w(y)1 r(x)0", &models::tso());
         assert!(w.store_order.is_some());
     }
 

@@ -19,10 +19,10 @@
 //! Deciding this question is NP-complete in general (it subsumes checking
 //! sequential consistency), but litmus-scale instances are instant.
 
+use crate::budget::Budget;
 use crate::rf::ReadsFrom;
 use smc_history::{History, OpId, Value};
 use smc_relation::{BitSet, Relation};
-use std::cell::Cell;
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 
@@ -160,12 +160,10 @@ impl<'a> Ctx<'a> {
                     self.op(lw as usize).value == o.value
                 }
             }
-            LegalityMode::ByReadsFrom(rf) => {
-                match rf.source(OpId(self.elems[local] as u32)) {
-                    None => lw == NO_WRITE,
-                    Some(src) => lw != NO_WRITE && self.elems[lw as usize] == src.index(),
-                }
-            }
+            LegalityMode::ByReadsFrom(rf) => match rf.source(OpId(self.elems[local] as u32)) {
+                None => lw == NO_WRITE,
+                Some(src) => lw != NO_WRITE && self.elems[lw as usize] == src.index(),
+            },
         }
     }
 
@@ -190,9 +188,7 @@ impl<'a> Ctx<'a> {
                         Some(src) => {
                             // Dead if the source has been scheduled but is
                             // no longer the most recent write.
-                            if let Some(src_local) =
-                                self.local_of_global(src.index(), placed)
-                            {
+                            if let Some(src_local) = self.local_of_global(src.index(), placed) {
                                 if lw != src_local as u32 {
                                     return true;
                                 }
@@ -235,17 +231,18 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// Search for one legal extension of the problem, spending at most
-/// `budget` search nodes (decremented in place so budgets can be shared
-/// across sub-searches and nested enumerations).
-pub fn find_legal_extension(p: &ViewProblem<'_>, budget: &Cell<u64>) -> SearchOutcome {
+/// Search for one legal extension of the problem, charging one unit of
+/// `budget` per search node (the same budget can be shared across
+/// sub-searches, nested enumerations, and — via
+/// [`crate::budget::SharedBudget`] — worker threads).
+pub fn find_legal_extension(p: &ViewProblem<'_>, budget: &Budget) -> SearchOutcome {
     find_legal_extension_with(p, budget, SearchOptions::default())
 }
 
 /// [`find_legal_extension`] with explicit [`SearchOptions`].
 pub fn find_legal_extension_with(
     p: &ViewProblem<'_>,
-    budget: &Cell<u64>,
+    budget: &Budget,
     opts: SearchOptions,
 ) -> SearchOutcome {
     let ctx = Ctx::new(p);
@@ -261,7 +258,7 @@ pub fn find_legal_extension_with(
         last_write: &mut Vec<u32>,
         order: &mut Vec<usize>,
         failed: &mut HashSet<(BitSet, Vec<u32>)>,
-        budget: &Cell<u64>,
+        budget: &Budget,
         opts: SearchOptions,
     ) -> SearchOutcome {
         if order.len() == ctx.elems.len() {
@@ -269,10 +266,9 @@ pub fn find_legal_extension_with(
                 order.iter().map(|&l| OpId(ctx.elems[l] as u32)).collect(),
             );
         }
-        if budget.get() == 0 {
+        if !budget.try_spend() {
             return SearchOutcome::Exhausted;
         }
-        budget.set(budget.get() - 1);
         if opts.dead_prune && ctx.dead(placed, last_write) {
             return SearchOutcome::NotFound;
         }
@@ -323,7 +319,7 @@ pub fn find_legal_extension_with(
 /// the visitor sees each distinct extension exactly once).
 pub fn for_each_legal_extension<B>(
     p: &ViewProblem<'_>,
-    budget: &Cell<u64>,
+    budget: &Budget,
     mut visit: impl FnMut(&[OpId]) -> ControlFlow<B>,
 ) -> SearchEnd<B> {
     let ctx = Ctx::new(p);
@@ -337,7 +333,7 @@ pub fn for_each_legal_extension<B>(
         placed: &mut BitSet,
         last_write: &mut Vec<u32>,
         order: &mut Vec<OpId>,
-        budget: &Cell<u64>,
+        budget: &Budget,
         visit: &mut impl FnMut(&[OpId]) -> ControlFlow<B>,
     ) -> SearchEnd<B> {
         if order.len() == ctx.elems.len() {
@@ -346,10 +342,9 @@ pub fn for_each_legal_extension<B>(
                 ControlFlow::Break(b) => SearchEnd::Broke(b),
             };
         }
-        if budget.get() == 0 {
+        if !budget.try_spend() {
             return SearchEnd::Exhausted;
         }
-        budget.set(budget.get() - 1);
         if ctx.dead(placed, last_write) {
             return SearchEnd::Completed;
         }
@@ -426,7 +421,7 @@ mod tests {
             constraints,
             legality,
         };
-        let budget = Cell::new(1_000_000);
+        let budget = Budget::local(1_000_000);
         find_legal_extension(&p, &budget)
     }
 
@@ -449,7 +444,10 @@ mod tests {
         // sequence respects both program orders.
         let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
         let po = program_order(&h);
-        assert_eq!(find(&h, &po, LegalityMode::ByValue), SearchOutcome::NotFound);
+        assert_eq!(
+            find(&h, &po, LegalityMode::ByValue),
+            SearchOutcome::NotFound
+        );
     }
 
     #[test]
@@ -463,7 +461,7 @@ mod tests {
             constraints: &po,
             legality: LegalityMode::ByReadsFrom(&rf),
         };
-        let budget = Cell::new(1_000_000);
+        let budget = Budget::local(1_000_000);
         match find_legal_extension(&p, &budget) {
             SearchOutcome::Found(order) => {
                 // r(x)1 must land strictly between the two writes.
@@ -486,7 +484,7 @@ mod tests {
             constraints: &po,
             legality: LegalityMode::ByValue,
         };
-        let budget = Cell::new(1_000);
+        let budget = Budget::local(1_000);
         match find_legal_extension(&p, &budget) {
             SearchOutcome::Found(order) => assert_eq!(order.len(), 2),
             other => panic!("{other:?}"),
@@ -503,7 +501,7 @@ mod tests {
             constraints: &po,
             legality: LegalityMode::ByValue,
         };
-        let budget = Cell::new(1);
+        let budget = Budget::local(1);
         assert_eq!(find_legal_extension(&p, &budget), SearchOutcome::Exhausted);
     }
 
@@ -518,7 +516,7 @@ mod tests {
             constraints: &cons,
             legality: LegalityMode::ByValue,
         };
-        let budget = Cell::new(1_000);
+        let budget = Budget::local(1_000);
         let mut seen = Vec::new();
         let end = for_each_legal_extension(&p, &budget, |ext| {
             seen.push(ext.to_vec());
@@ -540,7 +538,7 @@ mod tests {
             constraints: &cons,
             legality: LegalityMode::ByValue,
         };
-        let budget = Cell::new(1_000);
+        let budget = Budget::local(1_000);
         let mut count = 0;
         for_each_legal_extension(&p, &budget, |_| {
             count += 1;
@@ -559,7 +557,7 @@ mod tests {
             constraints: &cons,
             legality: LegalityMode::ByValue,
         };
-        let budget = Cell::new(1_000);
+        let budget = Budget::local(1_000);
         let end = for_each_legal_extension(&p, &budget, |_| ControlFlow::Break(42));
         assert!(matches!(end, SearchEnd::Broke(42)));
     }

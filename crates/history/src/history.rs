@@ -1,7 +1,6 @@
 //! System execution histories.
 
 use crate::op::{Label, Location, OpId, OpKind, Operation, ProcId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
 
@@ -12,7 +11,7 @@ use std::ops::Range;
 /// so [`OpId`]s are dense and can index bit sets and relation matrices
 /// directly. Processor and location names from the source litmus text are
 /// retained for display.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct History {
     pub(crate) ops: Vec<Operation>,
     /// `proc_ranges[p]` is the range of `ops` holding processor `p`'s
@@ -88,7 +87,9 @@ impl History {
 
     /// All write operations to location `loc`, in processor-major order.
     pub fn writes_to(&self, loc: Location) -> impl Iterator<Item = &Operation> + '_ {
-        self.ops.iter().filter(move |o| o.is_write() && o.loc == loc)
+        self.ops
+            .iter()
+            .filter(move |o| o.is_write() && o.loc == loc)
     }
 
     /// All read operations of location `loc`, in processor-major order.
@@ -209,7 +210,10 @@ impl History {
                 return Err(format!("proc {p}: range not contiguous"));
             }
             cursor = r.end;
-            for (i, o) in self.ops[r.start as usize..r.end as usize].iter().enumerate() {
+            for (i, o) in self.ops[r.start as usize..r.end as usize]
+                .iter()
+                .enumerate()
+            {
                 if o.proc.index() != p {
                     return Err(format!("op {}: wrong proc", o.id));
                 }
@@ -260,12 +264,7 @@ impl fmt::Display for History {
     /// q: w(y)1 r(x)0
     /// ```
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let width = self
-            .proc_names
-            .iter()
-            .map(|n| n.len())
-            .max()
-            .unwrap_or(1);
+        let width = self.proc_names.iter().map(|n| n.len()).max().unwrap_or(1);
         for ph in self.procs() {
             write!(f, "{:>width$}:", self.proc_name(ph.proc), width = width)?;
             for o in ph.ops {
@@ -279,8 +278,8 @@ impl fmt::Display for History {
 
 #[cfg(test)]
 mod tests {
-    use crate::HistoryBuilder;
     use crate::op::{Location, OpId, ProcId, Value};
+    use crate::HistoryBuilder;
 
     fn fig1() -> crate::History {
         let mut b = HistoryBuilder::new();

@@ -25,7 +25,6 @@
 use crate::builder::HistoryBuilder;
 use crate::history::History;
 use crate::op::{Label, OpKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A parse failure, carrying a 1-based line number and message.
@@ -39,7 +38,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "litmus parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "litmus parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -56,7 +59,7 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 ///
 /// Expectations are keyed by model *name* (e.g. `"TSO"`); the checker crate
 /// resolves names to models. `true` means the history must be admitted.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LitmusTest {
     /// Identifier of the test (e.g. `fig1`).
     pub name: String,
@@ -107,13 +110,17 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
     while let Some((line_no, header)) = lines.next() {
         let rest = match header.strip_prefix("test") {
             Some(r) if r.starts_with(char::is_whitespace) => r.trim_start(),
-            _ => return err(line_no, format!("expected `test <name> ... {{`, found `{header}`")),
+            _ => {
+                return err(
+                    line_no,
+                    format!("expected `test <name> ... {{`, found `{header}`"),
+                )
+            }
         };
-        let (name, rest) = take_ident(rest)
-            .ok_or_else(|| ParseError {
-                line: line_no,
-                message: "missing test name".into(),
-            })?;
+        let (name, rest) = take_ident(rest).ok_or_else(|| ParseError {
+            line: line_no,
+            message: "missing test name".into(),
+        })?;
         let rest = rest.trim_start();
         let (description, rest) = if let Some(r) = rest.strip_prefix('"') {
             let end = r.find('"').ok_or_else(|| ParseError {
@@ -133,15 +140,21 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
         let mut closed = false;
         while let Some((body_line_no, body)) = lines.next() {
             if let Some(tail) = body.strip_prefix('}') {
-                let mut tail = tail.trim_start().to_owned();
+                let tail = tail.trim_start();
                 // An `expect { ... }` block may span multiple lines;
-                // gather until its closing brace.
+                // gather segments (keeping their line numbers for error
+                // reporting) until its closing brace.
+                let mut segments: Vec<(usize, String)> = Vec::new();
+                if !tail.is_empty() {
+                    segments.push((body_line_no, tail.to_owned()));
+                }
                 if tail.starts_with("expect") {
-                    while !tail.contains('}') {
+                    let mut terminated = tail.contains('}');
+                    while !terminated {
                         match lines.next() {
-                            Some((_, more)) => {
-                                tail.push(' ');
-                                tail.push_str(&more);
+                            Some((no, more)) => {
+                                terminated = more.contains('}');
+                                segments.push((no, more));
                             }
                             None => {
                                 return err(body_line_no, "unterminated expect block");
@@ -149,8 +162,8 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
                         }
                     }
                 }
-                if !tail.is_empty() {
-                    expectations = parse_expect(&tail, body_line_no)?;
+                if !segments.is_empty() {
+                    expectations = parse_expect(&segments)?;
                 }
                 closed = true;
                 break;
@@ -177,41 +190,92 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
-/// Parse `expect { SC: no, TSO: yes }` (the `expect` keyword and braces are
-/// in `tail`).
-fn parse_expect(tail: &str, line_no: usize) -> Result<Vec<(String, bool)>, ParseError> {
-    let body = tail
-        .strip_prefix("expect")
-        .map(str::trim_start)
-        .ok_or_else(|| ParseError {
-            line: line_no,
-            message: format!("expected `expect {{...}}` after `}}`, found `{tail}`"),
-        })?;
-    let body = body
-        .strip_prefix('{')
-        .and_then(|b| b.strip_suffix('}'))
-        .ok_or_else(|| ParseError {
-            line: line_no,
-            message: "expectations must be wrapped in `{...}`".into(),
-        })?;
-    let mut out = Vec::new();
-    for item in body.split(',') {
-        let item = item.trim();
+/// Parse `expect { SC: no, TSO: yes }` from the gathered segments that
+/// followed a test's closing `}` — one `(line number, text)` pair per
+/// source line, so every error can name the line it occurred on.
+fn parse_expect(segments: &[(usize, String)]) -> Result<Vec<(String, bool)>, ParseError> {
+    // Join the segments into one string, remembering where each source
+    // line starts so offsets map back to line numbers.
+    let mut text = String::new();
+    let mut starts: Vec<(usize, usize)> = Vec::new();
+    for (line_no, seg) in segments {
+        if !text.is_empty() {
+            text.push(' ');
+        }
+        starts.push((text.len(), *line_no));
+        text.push_str(seg);
+    }
+    let first_line = segments.first().map_or(0, |&(no, _)| no);
+    let line_at = |offset: usize| -> usize {
+        starts
+            .iter()
+            .rev()
+            .find(|&&(start, _)| start <= offset)
+            .map_or(first_line, |&(_, no)| no)
+    };
+
+    let Some(after_kw) = text.strip_prefix("expect") else {
+        return err(
+            first_line,
+            format!("expected `expect {{...}}` after `}}`, found `{text}`"),
+        );
+    };
+    let open = text.len() - after_kw.trim_start().len();
+    if !text[open..].starts_with('{') {
+        return err(line_at(open), "expectations must be wrapped in `{...}`");
+    }
+    let close = match text.rfind('}') {
+        Some(close) if close > open => close,
+        _ => return err(line_at(open), "expectations must be wrapped in `{...}`"),
+    };
+    let trailing = text[close + 1..].trim();
+    if !trailing.is_empty() {
+        return err(
+            line_at(close + 1),
+            format!("unexpected text after expect block: `{trailing}`"),
+        );
+    }
+
+    let mut out: Vec<(String, bool)> = Vec::new();
+    let mut item_start = open + 1;
+    while item_start <= close {
+        let item_end = text[item_start..close]
+            .find(',')
+            .map_or(close, |i| item_start + i);
+        let item = text[item_start..item_end].trim();
+        let item_line = {
+            let leading =
+                text[item_start..item_end].len() - text[item_start..item_end].trim_start().len();
+            line_at(item_start + leading)
+        };
+        item_start = item_end + 1;
         if item.is_empty() {
             continue;
         }
-        let (model, verdict) = item.split_once(':').ok_or_else(|| ParseError {
-            line: line_no,
-            message: format!("expectation `{item}` is not `MODEL: yes|no`"),
-        })?;
+        let Some((model, verdict)) = item.split_once(':') else {
+            return err(
+                item_line,
+                format!("expectation `{item}` is not `MODEL: yes|no`"),
+            );
+        };
+        let model = model.trim();
+        if !is_ident(model) {
+            return err(item_line, format!("invalid model name `{model}`"));
+        }
         let v = match verdict.trim() {
             "yes" | "true" | "allowed" => true,
             "no" | "false" | "forbidden" => false,
             other => {
-                return err(line_no, format!("unknown verdict `{other}` (use yes/no)"));
+                return err(item_line, format!("unknown verdict `{other}` (use yes/no)"));
             }
         };
-        out.push((model.trim().to_owned(), v));
+        if out.iter().any(|(m, _)| m.eq_ignore_ascii_case(model)) {
+            return err(
+                item_line,
+                format!("duplicate expectation for model `{model}`"),
+            );
+        }
+        out.push((model.to_owned(), v));
     }
     Ok(out)
 }
@@ -422,13 +486,69 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let suite = parse_suite(
-            "test t \"d\" {\n p: w(x)1 rl(y)0\n} expect { SC: yes }",
-        )
-        .unwrap();
-        let json = serde_json::to_string(&suite).unwrap();
-        let back: Vec<LitmusTest> = serde_json::from_str(&json).unwrap();
+    fn duplicate_expectations_rejected() {
+        let e = parse_suite("test t {\n p: w(x)1\n} expect { SC: yes, SC: no }").unwrap_err();
+        assert!(e.message.contains("duplicate expectation"), "{e}");
+        assert_eq!(e.line, 3);
+        // Case-insensitive, matching `LitmusTest::expectation` lookup.
+        let e = parse_suite("test t {\n p: w(x)1\n} expect { SC: yes, sc: yes }").unwrap_err();
+        assert!(e.message.contains("duplicate expectation"), "{e}");
+    }
+
+    #[test]
+    fn expect_errors_carry_line_numbers() {
+        // Multiline expect block: the error names the continuation line
+        // the bad item is on, not the line the block opened on.
+        let e = parse_suite("test t {\n p: w(x)1\n} expect { SC: yes,\n TSO: maybe,\n PC: no }")
+            .unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+        assert!(e.message.contains("maybe"), "{e}");
+
+        let e = parse_suite("test t {\n p: w(x)1\n} expect { SC: yes,\n 7up: no }").unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+        assert!(e.message.contains("invalid model name"), "{e}");
+    }
+
+    #[test]
+    fn expect_rejects_trailing_text() {
+        let e = parse_suite("test t {\n p: w(x)1\n} expect { SC: yes } junk").unwrap_err();
+        assert!(e.message.contains("unexpected text"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn multiline_expect_blocks_parse() {
+        let suite =
+            parse_suite("test t {\n p: w(x)1\n} expect {\n SC: yes,\n TSO: yes,\n PRAM: no\n}")
+                .unwrap();
+        assert_eq!(
+            suite[0].expectations,
+            vec![
+                ("SC".to_owned(), true),
+                ("TSO".to_owned(), true),
+                ("PRAM".to_owned(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_expect_block_reports_opening_line() {
+        let e = parse_suite("test t {\n p: w(x)1\n} expect { SC: yes,\n TSO: yes").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unterminated expect block"), "{e}");
+    }
+
+    #[test]
+    fn suite_text_round_trip() {
+        // The litmus text is the canonical serialization: rendering a
+        // parsed history and re-wrapping it in a suite block must
+        // reproduce the history and expectations exactly.
+        let suite = parse_suite("test t \"d\" {\n p: w(x)1 rl(y)0\n} expect { SC: yes }").unwrap();
+        let text = format!(
+            "test t \"d\" {{\n{}}} expect {{ SC: yes }}",
+            suite[0].history
+        );
+        let back = parse_suite(&text).unwrap();
         assert_eq!(back[0].history, suite[0].history);
         assert_eq!(back[0].expectations, suite[0].expectations);
     }

@@ -1,6 +1,5 @@
 //! The operation vocabulary: identifiers, kinds, labels and values.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense identifier of a processor within a [`crate::History`].
@@ -8,7 +7,7 @@ use std::fmt;
 /// Processors are numbered `0..num_procs` in the order they were added to
 /// the history; the history's symbol table maps them back to their source
 /// names (`p`, `q`, ... in the paper's figures).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub u32);
 
 impl ProcId {
@@ -31,7 +30,7 @@ impl fmt::Display for ProcId {
 /// initial value `0`. Locations are interned by the history builder; the
 /// numeric form keeps per-location bookkeeping (coherence orders, last
 /// writes) as flat arrays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Location(pub u32);
 
 impl Location {
@@ -52,7 +51,7 @@ impl fmt::Display for Location {
 ///
 /// All locations initially hold [`Value::INITIAL`] (zero), matching the
 /// paper's footnote 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Value(pub i64);
 
 impl Value {
@@ -83,7 +82,7 @@ impl From<i64> for Value {
 /// Identifiers are assigned in processor-major order (`P0`'s operations
 /// first, in program order, then `P1`'s, ...) so they double as indices
 /// into bit sets and relation matrices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub u32);
 
 impl OpId {
@@ -101,7 +100,7 @@ impl fmt::Display for OpId {
 }
 
 /// Whether an operation is a read or a write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// A read (the paper's `r(x)v`): reports that `v` is stored in `x`.
     Read,
@@ -129,7 +128,7 @@ impl OpKind {
 /// and labeled (synchronization) ones; a labeled read acts as an *acquire*
 /// and a labeled write as a *release*. Models that do not distinguish
 /// (SC, TSO, PC, PRAM, causal) simply ignore the label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Label {
     /// An ordinary data operation.
     #[default]
@@ -152,7 +151,7 @@ impl Label {
 /// `w_p(x)v` in the paper becomes `Operation { proc: p, kind: Write,
 /// loc: x, value: v, .. }`. The pair `(proc, index)` gives the operation's
 /// position in program order; `id` is the dense global identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Operation {
     /// Dense global identifier (index into relation matrices and bit sets).
     pub id: OpId,

@@ -1,76 +1,81 @@
 //! Round-trip properties of the litmus notation: any history renders to
-//! text that parses back to an identical history, and suites survive
-//! serde.
+//! text that parses back to an identical history, and suites survive the
+//! same trip.
+//!
+//! Inputs are generated from a seeded [`smc_prng::SmallRng`] (the
+//! workspace's dependency-free property-testing substrate); on failure the
+//! case index identifies the offending input deterministically.
 
-use proptest::prelude::*;
 use smc_history::litmus::{parse_history, parse_suite};
 use smc_history::{History, HistoryBuilder};
+use smc_prng::SmallRng;
 
 const PROCS: [&str; 4] = ["p", "q", "r", "s"];
 const LOCS: [&str; 4] = ["x", "y", "number[0]", "c_2"];
+const CASES: u64 = 256;
 
-fn history_strategy() -> impl Strategy<Value = History> {
-    proptest::collection::vec(
-        proptest::collection::vec(
-            (any::<bool>(), any::<bool>(), 0..LOCS.len(), -3i64..100),
-            0..5,
-        ),
-        1..=4,
-    )
-    .prop_map(|threads| {
-        let mut b = HistoryBuilder::new();
-        for (t, ops) in threads.iter().enumerate() {
-            b.add_proc(PROCS[t]);
-            for &(is_write, labeled, loc, value) in ops {
-                match (is_write, labeled) {
-                    (true, false) => b.write(PROCS[t], LOCS[loc], value),
-                    (true, true) => b.labeled_write(PROCS[t], LOCS[loc], value),
-                    (false, false) => b.read(PROCS[t], LOCS[loc], value),
-                    (false, true) => b.labeled_read(PROCS[t], LOCS[loc], value),
-                }
-            }
+fn random_history(rng: &mut SmallRng) -> History {
+    let mut b = HistoryBuilder::new();
+    let threads = rng.gen_range(1..5usize);
+    for proc in PROCS.iter().take(threads) {
+        b.add_proc(proc);
+        for _ in 0..rng.gen_range(0..5usize) {
+            let loc = LOCS[rng.gen_range(0..LOCS.len())];
+            let value = rng.gen_range(-3..100i64);
+            match (rng.gen_bool(0.5), rng.gen_bool(0.5)) {
+                (true, false) => b.write(proc, loc, value),
+                (true, true) => b.labeled_write(proc, loc, value),
+                (false, false) => b.read(proc, loc, value),
+                (false, true) => b.labeled_read(proc, loc, value),
+            };
         }
-        b.build()
-    })
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Display → parse is the identity up to processor/location
-    /// renumbering — and since both sides intern in first-use order, it
-    /// is the identity exactly when every processor appears.
-    #[test]
-    fn display_parse_roundtrip(h in history_strategy()) {
+/// Display → parse is the identity up to processor/location renumbering —
+/// and since both sides intern in first-use order, it is the identity
+/// exactly when every processor appears.
+#[test]
+fn display_parse_roundtrip() {
+    for case in 0..CASES {
+        let h = random_history(&mut SmallRng::seed_from_u64(case));
         let text = h.to_string();
         let back = parse_history(&text).unwrap();
         // Rendering the reparse reproduces the text (canonical form).
-        prop_assert_eq!(back.to_string(), text);
+        assert_eq!(back.to_string(), text, "case {case}");
         // Same shape: op multisets per processor match.
-        prop_assert_eq!(back.num_ops(), h.num_ops());
-        prop_assert_eq!(back.num_procs(), h.num_procs());
+        assert_eq!(back.num_ops(), h.num_ops(), "case {case}");
+        assert_eq!(back.num_procs(), h.num_procs(), "case {case}");
         for (a, b) in h.ops().iter().zip(back.ops()) {
-            prop_assert_eq!(a.kind, b.kind);
-            prop_assert_eq!(a.value, b.value);
-            prop_assert_eq!(a.label, b.label);
+            assert_eq!(a.kind, b.kind, "case {case}");
+            assert_eq!(a.value, b.value, "case {case}");
+            assert_eq!(a.label, b.label, "case {case}");
         }
     }
+}
 
-    /// Wrapping in a suite block round-trips too.
-    #[test]
-    fn suite_roundtrip(h in history_strategy()) {
+/// Wrapping in a suite block round-trips too.
+#[test]
+fn suite_roundtrip() {
+    for case in 0..CASES {
+        let h = random_history(&mut SmallRng::seed_from_u64(case));
         let text = format!("test t \"generated\" {{\n{h}}} expect {{ SC: yes }}");
         let suite = parse_suite(&text).unwrap();
-        prop_assert_eq!(suite.len(), 1);
-        prop_assert_eq!(suite[0].history.to_string(), h.to_string());
-        prop_assert_eq!(suite[0].expectation("SC"), Some(true));
+        assert_eq!(suite.len(), 1, "case {case}");
+        assert_eq!(suite[0].history.to_string(), h.to_string(), "case {case}");
+        assert_eq!(suite[0].expectation("SC"), Some(true), "case {case}");
     }
+}
 
-    /// Serde JSON round-trips preserve equality.
-    #[test]
-    fn serde_roundtrip(h in history_strategy()) {
-        let json = serde_json::to_string(&h).unwrap();
-        let back: History = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(back, h);
+/// Reparsing a rendered history is idempotent: a second round trip
+/// changes nothing (the parse of canonical text is a fixed point).
+#[test]
+fn reparse_is_fixed_point() {
+    for case in 0..CASES {
+        let h = random_history(&mut SmallRng::seed_from_u64(case));
+        let once = parse_history(&h.to_string()).unwrap();
+        let twice = parse_history(&once.to_string()).unwrap();
+        assert_eq!(once, twice, "case {case}");
     }
 }

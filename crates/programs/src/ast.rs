@@ -217,7 +217,11 @@ impl Program {
     /// Panics if the array id or index is out of range.
     pub fn loc_id(&self, array: usize, index: usize) -> usize {
         assert!(index < self.arrays[array].1, "array index out of range");
-        self.arrays[..array].iter().map(|&(_, len)| len).sum::<usize>() + index
+        self.arrays[..array]
+            .iter()
+            .map(|&(_, len)| len)
+            .sum::<usize>()
+            + index
     }
 
     /// Display names for every location (`x` for scalars, `a[i]` for
@@ -323,7 +327,11 @@ mod tests {
     #[test]
     fn loc_ids_are_contiguous() {
         let p = Program {
-            arrays: vec![("choosing".into(), 2), ("number".into(), 2), ("d".into(), 1)],
+            arrays: vec![
+                ("choosing".into(), 2),
+                ("number".into(), 2),
+                ("d".into(), 1),
+            ],
             threads: vec![],
             num_regs: 0,
         };

@@ -20,7 +20,9 @@ use smc_history::Label;
 pub fn bakery(n: usize, sync_label: Label) -> Program {
     assert!(n >= 2, "bakery needs at least two processors");
     let (choosing, number, d) = (0usize, 1usize, 2usize);
-    let threads = (0..n).map(|i| bakery_thread(n, i, sync_label, choosing, number, d)).collect();
+    let threads = (0..n)
+        .map(|i| bakery_thread(n, i, sync_label, choosing, number, d))
+        .collect();
     let p = Program {
         arrays: vec![
             ("choosing".into(), n),

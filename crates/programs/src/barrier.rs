@@ -113,8 +113,14 @@ mod tests {
 
     #[test]
     fn labeled_flags_restore_safety_on_rc_and_wo() {
-        assert_eq!(hunt(RcMem::new(SyncMode::Sc, 2, 4), Label::Labeled, 10), None);
-        assert_eq!(hunt(RcMem::new(SyncMode::Pc, 2, 4), Label::Labeled, 10), None);
+        assert_eq!(
+            hunt(RcMem::new(SyncMode::Sc, 2, 4), Label::Labeled, 10),
+            None
+        );
+        assert_eq!(
+            hunt(RcMem::new(SyncMode::Pc, 2, 4), Label::Labeled, 10),
+            None
+        );
         assert_eq!(hunt(WoMem::new(2, 4), Label::Labeled, 10), None);
     }
 

@@ -150,8 +150,7 @@ impl ProgramWorkload {
                 return true;
             }
             if fuel == 0 {
-                self.violation =
-                    Some(format!("thread {t}: local loop without shared accesses"));
+                self.violation = Some(format!("thread {t}: local loop without shared accesses"));
                 return false;
             }
             fuel -= 1;
@@ -433,15 +432,24 @@ mod tests {
         use crate::ast::Expr;
         let checks: Vec<(Expr, &str)> = vec![
             (E::eq(E::add(E::c(2), E::c(3)), E::c(5)), "add"),
-            (E::eq(Expr::Sub(Box::new(E::c(2)), Box::new(E::c(3))), E::c(-1)), "sub"),
+            (
+                E::eq(Expr::Sub(Box::new(E::c(2)), Box::new(E::c(3))), E::c(-1)),
+                "sub",
+            ),
             (E::eq(E::max(E::c(2), E::c(7)), E::c(7)), "max"),
             (E::lt(E::c(-1), E::c(0)), "lt"),
             (Expr::And(Box::new(E::c(1)), Box::new(E::c(2))), "and"),
             (E::or(E::c(0), E::c(5)), "or"),
             (E::not(E::c(0)), "not"),
-            (E::lex_lt(E::c(1), E::c(2), E::c(1), E::c(3)), "lex tie-break"),
+            (
+                E::lex_lt(E::c(1), E::c(2), E::c(1), E::c(3)),
+                "lex tie-break",
+            ),
             (E::lex_lt(E::c(1), E::c(9), E::c(2), E::c(0)), "lex major"),
-            (E::not(E::lex_lt(E::c(2), E::c(0), E::c(1), E::c(9))), "lex not"),
+            (
+                E::not(E::lex_lt(E::c(2), E::c(0), E::c(1), E::c(9))),
+                "lex not",
+            ),
         ];
         let code: Vec<I> = checks
             .into_iter()

@@ -104,7 +104,13 @@ mod tests {
 
     #[test]
     fn properly_labeled_is_safe_on_both_rc_variants() {
-        assert_eq!(check(RcMem::new(SyncMode::Sc, 2, 2), Label::Labeled, 8), None);
-        assert_eq!(check(RcMem::new(SyncMode::Pc, 2, 2), Label::Labeled, 8), None);
+        assert_eq!(
+            check(RcMem::new(SyncMode::Sc, 2, 2), Label::Labeled, 8),
+            None
+        );
+        assert_eq!(
+            check(RcMem::new(SyncMode::Pc, 2, 2), Label::Labeled, 8),
+            None
+        );
     }
 }

@@ -42,13 +42,21 @@ pub fn instr_to_string(p: &Program, i: &Instr) -> String {
         Instr::Read { loc, reg, label } => format!(
             "r{reg} := {}{}",
             loc_to_string(p, loc),
-            if label.is_labeled() { "   (labeled)" } else { "" }
+            if label.is_labeled() {
+                "   (labeled)"
+            } else {
+                ""
+            }
         ),
         Instr::Write { loc, value, label } => format!(
             "{} := {}{}",
             loc_to_string(p, loc),
             expr_to_string(value),
-            if label.is_labeled() { "   (labeled)" } else { "" }
+            if label.is_labeled() {
+                "   (labeled)"
+            } else {
+                ""
+            }
         ),
         Instr::Assign { reg, value } => format!("r{reg} := {}", expr_to_string(value)),
         Instr::BranchIf { cond, target } => {
@@ -95,11 +103,11 @@ mod tests {
 
     #[test]
     fn expressions_render_infix() {
-        let e = E::or(E::eq(E::r(1), E::c(0)), E::lex_lt(E::r(0), E::c(1), E::r(1), E::c(0)));
-        assert_eq!(
-            expr_to_string(&e),
-            "((r1 == 0) || ((r0, 1) <lex (r1, 0)))"
+        let e = E::or(
+            E::eq(E::r(1), E::c(0)),
+            E::lex_lt(E::r(0), E::c(1), E::r(1), E::c(0)),
         );
+        assert_eq!(expr_to_string(&e), "((r1 == 0) || ((r0, 1) <lex (r1, 0)))");
         assert_eq!(expr_to_string(&E::max(E::r(0), E::c(3))), "max(r0, 3)");
         assert_eq!(expr_to_string(&E::not(E::c(0))), "!0");
     }
@@ -119,7 +127,9 @@ mod tests {
             .lines()
             .filter(|l| {
                 let t = l.trim_start();
-                t.split(':').next().is_some_and(|n| n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty())
+                t.split(':')
+                    .next()
+                    .is_some_and(|n| n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty())
             })
             .count();
         assert_eq!(lines, p.threads[0].len() + p.threads[1].len());

@@ -120,7 +120,10 @@ impl BitSet {
     #[inline]
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` if `self ∩ other = ∅`.

@@ -81,11 +81,7 @@ pub fn for_each_linear_extension<B>(
 /// Collect every linear extension of `rel` restricted to `subset`, up to
 /// `limit` extensions. Returns `(extensions, truncated)` where `truncated`
 /// reports whether the limit cut the enumeration short.
-pub fn linear_extensions(
-    rel: &Relation,
-    subset: &BitSet,
-    limit: usize,
-) -> (Vec<Vec<usize>>, bool) {
+pub fn linear_extensions(rel: &Relation, subset: &BitSet, limit: usize) -> (Vec<Vec<usize>>, bool) {
     let mut out = Vec::new();
     let flow = for_each_linear_extension(rel, subset, |ext| {
         if out.len() == limit {
@@ -180,7 +176,10 @@ mod tests {
         let (some, truncated) = linear_extensions(&rel, &BitSet::full(4), 5);
         assert_eq!(some.len(), 5);
         assert!(truncated);
-        assert_eq!(count_linear_extensions(&rel, &BitSet::full(4), usize::MAX), 24);
+        assert_eq!(
+            count_linear_extensions(&rel, &BitSet::full(4), usize::MAX),
+            24
+        );
         assert_eq!(count_linear_extensions(&rel, &BitSet::full(4), 7), 7);
     }
 }

@@ -295,7 +295,9 @@ mod tests {
         assert!(r.respects(&t));
         // Ties broken ascending: 2 (free) comes as early as allowed.
         assert_eq!(t, vec![2, 3, 1, 4, 0]);
-        assert!(Relation::from_edges(2, [(0, 1), (1, 0)]).topo_sort().is_none());
+        assert!(Relation::from_edges(2, [(0, 1), (1, 0)])
+            .topo_sort()
+            .is_none());
     }
 
     #[test]

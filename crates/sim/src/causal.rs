@@ -85,14 +85,7 @@ impl MemorySystem for CausalMem {
         let n = self.n();
         for dst in 0..n {
             if dst != pi {
-                self.queues[pi * n + dst].push_back((
-                    Update {
-                        loc,
-                        value,
-                        seq: 0,
-                    },
-                    stamp.clone(),
-                ));
+                self.queues[pi * n + dst].push_back((Update { loc, value, seq: 0 }, stamp.clone()));
             }
         }
     }
@@ -102,11 +95,13 @@ impl MemorySystem for CausalMem {
     }
 
     fn fire(&mut self, i: usize) {
-        let (src, dst) = self.ready()[i];
+        let Some(&(src, dst)) = self.ready().get(i) else {
+            return;
+        };
         let n = self.n();
-        let (u, vc) = self.queues[src * n + dst]
-            .pop_front()
-            .expect("ready channel head");
+        let Some((u, vc)) = self.queues[src * n + dst].pop_front() else {
+            return;
+        };
         self.replicas[dst][u.loc.index()] = u.value;
         self.clocks[dst].merge(&vc);
     }
@@ -142,7 +137,11 @@ mod tests {
         let (x, y) = (Location(0), Location(1));
         m.write(ProcId(0), x, Value(1), ORD);
         // Deliver x to p1 (find the (0,1) ready transition).
-        let i = m.ready().iter().position(|&(s, d)| (s, d) == (0, 1)).unwrap();
+        let i = m
+            .ready()
+            .iter()
+            .position(|&(s, d)| (s, d) == (0, 1))
+            .unwrap();
         m.fire(i);
         assert_eq!(m.read(ProcId(1), x, ORD), Value(1));
         m.write(ProcId(1), y, Value(1), ORD);
@@ -151,7 +150,11 @@ mod tests {
         assert!(ready.contains(&(0, 2)));
         assert!(!ready.contains(&(1, 2)));
         // After x arrives, y becomes deliverable.
-        let i = m.ready().iter().position(|&(s, d)| (s, d) == (0, 2)).unwrap();
+        let i = m
+            .ready()
+            .iter()
+            .position(|&(s, d)| (s, d) == (0, 2))
+            .unwrap();
         m.fire(i);
         assert!(m.ready().contains(&(1, 2)));
     }

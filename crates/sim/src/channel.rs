@@ -88,25 +88,19 @@ impl Channels {
         out
     }
 
-    /// Pop the front of channel `(src, dst)`.
-    ///
-    /// # Panics
-    /// Panics if the channel is empty.
-    pub fn pop_head(&mut self, src: usize, dst: usize) -> Update {
+    /// Pop the front of channel `(src, dst)`; `None` if the channel is
+    /// empty (e.g. a stale transition index after the mesh changed).
+    pub fn pop_head(&mut self, src: usize, dst: usize) -> Option<Update> {
         let i = self.idx(src, dst);
-        self.queues[i].pop_front().expect("pop from empty channel")
+        self.queues[i].pop_front()
     }
 
     /// Remove the message at `position` in channel `(src, dst)`
-    /// (arbitrary-order delivery).
-    ///
-    /// # Panics
-    /// Panics if the position is out of range.
-    pub fn remove_at(&mut self, src: usize, dst: usize, position: usize) -> Update {
+    /// (arbitrary-order delivery); `None` if the position is out of
+    /// range.
+    pub fn remove_at(&mut self, src: usize, dst: usize, position: usize) -> Option<Update> {
         let i = self.idx(src, dst);
-        self.queues[i]
-            .remove(position)
-            .expect("remove from invalid channel position")
+        self.queues[i].remove(position)
     }
 
     /// Total number of queued messages.
@@ -156,8 +150,8 @@ mod tests {
         let mut ch = Channels::new(2);
         ch.broadcast(0, u(0, 1, 0));
         ch.broadcast(0, u(1, 2, 0));
-        assert_eq!(ch.pop_head(0, 1).value, Value(1));
-        assert_eq!(ch.pop_head(0, 1).value, Value(2));
+        assert_eq!(ch.pop_head(0, 1).map(|u| u.value), Some(Value(1)));
+        assert_eq!(ch.pop_head(0, 1).map(|u| u.value), Some(Value(2)));
         assert!(ch.is_empty());
     }
 
@@ -171,9 +165,10 @@ mod tests {
         assert_eq!(pend.len(), 3);
         // Remove the middle one first.
         let got = ch.remove_at(0, 1, 1);
-        assert_eq!(got.value, Value(2));
-        assert_eq!(ch.pop_head(0, 1).value, Value(1));
-        assert_eq!(ch.pop_head(0, 1).value, Value(3));
+        assert_eq!(got.map(|u| u.value), Some(Value(2)));
+        assert_eq!(ch.remove_at(0, 1, 9), None);
+        assert_eq!(ch.pop_head(0, 1).map(|u| u.value), Some(Value(1)));
+        assert_eq!(ch.pop_head(0, 1).map(|u| u.value), Some(Value(3)));
     }
 
     #[test]
@@ -182,7 +177,8 @@ mod tests {
         ch.broadcast(1, u(0, 5, 0));
         assert_eq!(ch.pending_from(1), 2);
         assert_eq!(ch.pending_from(0), 0);
-        ch.pop_head(1, 0);
+        assert!(ch.pop_head(1, 0).is_some());
         assert_eq!(ch.pending_from(1), 1);
+        assert_eq!(ch.pop_head(0, 1), None);
     }
 }

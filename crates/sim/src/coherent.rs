@@ -63,8 +63,12 @@ impl MemorySystem for CoherentMem {
     }
 
     fn fire(&mut self, i: usize) {
-        let (src, dst, pos, _) = self.channels.all_pending()[i];
-        let u = self.channels.remove_at(src, dst, pos);
+        let Some(&(src, dst, pos, _)) = self.channels.all_pending().get(i) else {
+            return;
+        };
+        let Some(u) = self.channels.remove_at(src, dst, pos) else {
+            return;
+        };
         if u.seq > self.applied_seq[dst][u.loc.index()] {
             self.replicas[dst][u.loc.index()] = u.value;
             self.applied_seq[dst][u.loc.index()] = u.seq;
@@ -88,7 +92,7 @@ mod tests {
         let mut m = CoherentMem::new(2, 2);
         m.write(ProcId(0), Location(0), Value(1), ORD); // data
         m.write(ProcId(0), Location(1), Value(1), ORD); // flag
-        // Both messages are deliverable, in either order.
+                                                        // Both messages are deliverable, in either order.
         assert_eq!(m.num_internal(), 2);
         // Deliver the flag first.
         let pending = m.channels.all_pending();
@@ -106,7 +110,7 @@ mod tests {
         let mut m = CoherentMem::new(2, 1);
         m.write(ProcId(0), Location(0), Value(1), ORD); // seq 1
         m.write(ProcId(0), Location(0), Value(2), ORD); // seq 2
-        // Deliver out of order: seq 2 first, then seq 1 (absorbed).
+                                                        // Deliver out of order: seq 2 first, then seq 1 (absorbed).
         let pending = m.channels.all_pending();
         let newer = pending.iter().position(|&(_, _, _, u)| u.seq == 2).unwrap();
         m.fire(newer);

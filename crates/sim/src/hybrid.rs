@@ -48,7 +48,9 @@ impl HybridMem {
     }
 
     fn pending_from(&self, src: usize) -> usize {
-        (0..self.n()).map(|dst| self.queues[src * self.n() + dst].len()).sum()
+        (0..self.n())
+            .map(|dst| self.queues[src * self.n() + dst].len())
+            .sum()
     }
 
     /// Deliverable weak updates: `(src, dst, position)` whose fence stamp
@@ -135,9 +137,9 @@ impl MemorySystem for HybridMem {
         if i < deliverable.len() {
             let (src, dst, pos) = deliverable[i];
             let n = self.n();
-            let (loc, value, _) = self.queues[src * n + dst]
-                .remove(pos)
-                .expect("deliverable position");
+            let Some((loc, value, _)) = self.queues[src * n + dst].remove(pos) else {
+                return;
+            };
             // Last arrival wins: no coherence.
             self.replicas[dst][loc.index()] = value;
             return;
@@ -201,8 +203,8 @@ mod tests {
         let (q, p, s, d) = (ProcId(0), ProcId(1), Location(0), Location(1));
         m.write(q, s, Value(1), LBL); // log entry 0
         m.write(q, d, Value(1), ORD); // stamped with log length 1
-        // p has not applied the strong write: the weak update is not
-        // deliverable yet.
+                                      // p has not applied the strong write: the weak update is not
+                                      // deliverable yet.
         assert!(m.deliverable().is_empty());
         assert_eq!(m.lagging(), vec![p.index()]);
         m.fire(0); // p applies the strong write

@@ -55,8 +55,8 @@ pub mod wo;
 pub mod workload;
 
 pub use causal::CausalMem;
-pub use hybrid::HybridMem;
 pub use coherent::CoherentMem;
+pub use hybrid::HybridMem;
 pub use mem::MemorySystem;
 pub use pc::PcMem;
 pub use pram::PramMem;

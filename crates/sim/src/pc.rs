@@ -72,8 +72,12 @@ impl MemorySystem for PcMem {
     }
 
     fn fire(&mut self, i: usize) {
-        let (src, dst, _) = self.channels.heads()[i];
-        let u = self.channels.pop_head(src, dst);
+        let Some(&(src, dst, _)) = self.channels.heads().get(i) else {
+            return;
+        };
+        let Some(u) = self.channels.pop_head(src, dst) else {
+            return;
+        };
         // Coherence: apply only if newer than what this replica already
         // holds for the location; otherwise absorb.
         if u.seq > self.applied_seq[dst][u.loc.index()] {
@@ -122,9 +126,12 @@ mod tests {
         let mut m = PcMem::new(2, 1);
         m.write(ProcId(0), Location(0), Value(1), ORD); // seq 1 → queued to p1
         m.write(ProcId(1), Location(0), Value(2), ORD); // seq 2, applied at p1
-        // Deliver p0's (older) update to p1: must be absorbed.
+                                                        // Deliver p0's (older) update to p1: must be absorbed.
         let heads = m.channels.heads();
-        let i = heads.iter().position(|&(s, d, _)| (s, d) == (0, 1)).unwrap();
+        let i = heads
+            .iter()
+            .position(|&(s, d, _)| (s, d) == (0, 1))
+            .unwrap();
         m.fire(i);
         assert_eq!(m.replica(ProcId(1))[0], Value(2));
     }

@@ -46,14 +46,8 @@ impl MemorySystem for PramMem {
 
     fn write(&mut self, p: ProcId, loc: Location, value: Value, _label: Label) {
         self.replicas[p.index()][loc.index()] = value;
-        self.channels.broadcast(
-            p.index(),
-            Update {
-                loc,
-                value,
-                seq: 0,
-            },
-        );
+        self.channels
+            .broadcast(p.index(), Update { loc, value, seq: 0 });
     }
 
     fn num_internal(&self) -> usize {
@@ -61,8 +55,12 @@ impl MemorySystem for PramMem {
     }
 
     fn fire(&mut self, i: usize) {
-        let (src, dst, _) = self.channels.heads()[i];
-        let u = self.channels.pop_head(src, dst);
+        let Some(&(src, dst, _)) = self.channels.heads().get(i) else {
+            return;
+        };
+        let Some(u) = self.channels.pop_head(src, dst) else {
+            return;
+        };
         self.replicas[dst][u.loc.index()] = u.value;
     }
 
@@ -93,7 +91,7 @@ mod tests {
         let mut m = PramMem::new(2, 2);
         m.write(ProcId(0), Location(0), Value(1), ORD); // data
         m.write(ProcId(0), Location(1), Value(1), ORD); // flag
-        // Only the head (the data write) is deliverable to p1.
+                                                        // Only the head (the data write) is deliverable to p1.
         assert_eq!(m.num_internal(), 1);
         m.fire(0);
         assert_eq!(m.replica(ProcId(1))[0], Value(1));

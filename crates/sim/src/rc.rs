@@ -186,7 +186,9 @@ impl MemorySystem for RcMem {
         let ordinary = self.ordinary_pending();
         if i < ordinary.len() {
             let (src, dst, pos, _) = ordinary[i];
-            let u = self.ordinary.remove_at(src, dst, pos);
+            let Some(u) = self.ordinary.remove_at(src, dst, pos) else {
+                return;
+            };
             if u.seq > self.applied_seq[dst][u.loc.index()] {
                 self.replicas[dst][u.loc.index()] = u.value;
                 self.applied_seq[dst][u.loc.index()] = u.seq;
@@ -197,7 +199,9 @@ impl MemorySystem for RcMem {
         let heads = self.sync_heads();
         if i < heads.len() {
             let (src, dst, _) = heads[i];
-            let u = self.sync_channels.pop_head(src, dst);
+            let Some(u) = self.sync_channels.pop_head(src, dst) else {
+                return;
+            };
             if u.seq > self.sync_applied_seq[dst][u.loc.index()] {
                 self.sync_replicas[dst][u.loc.index()] = u.value;
                 self.sync_applied_seq[dst][u.loc.index()] = u.seq;

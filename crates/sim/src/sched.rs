@@ -3,9 +3,8 @@
 use crate::mem::MemorySystem;
 use crate::record::Recorder;
 use crate::workload::Workload;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use smc_history::History;
+use smc_prng::SmallRng;
 
 /// The result of one random run.
 #[derive(Debug, Clone)]
@@ -92,7 +91,12 @@ pub fn sample_histories<M: MemorySystem + Clone, W: Workload<M>>(
     let mut out = Vec::new();
     let mut violation = None;
     for i in 0..runs {
-        let r = run_random(mem.clone(), workload.clone(), base_seed ^ (i as u64), max_steps);
+        let r = run_random(
+            mem.clone(),
+            workload.clone(),
+            base_seed ^ (i as u64),
+            max_steps,
+        );
         if r.completed || r.violation.is_some() {
             let key = r.history.to_string();
             if seen.insert(key) {

@@ -67,8 +67,7 @@ impl MemorySystem for TsoMem {
     }
 
     fn can_read(&self, p: ProcId, loc: Location, _label: Label) -> bool {
-        self.forwarding
-            || !self.buffers[p.index()].iter().any(|&(l, _)| l == loc)
+        self.forwarding || !self.buffers[p.index()].iter().any(|&(l, _)| l == loc)
     }
 
     fn read(&mut self, p: ProcId, loc: Location, _label: Label) -> Value {
@@ -98,8 +97,12 @@ impl MemorySystem for TsoMem {
     }
 
     fn fire(&mut self, i: usize) {
-        let p = self.drainable()[i];
-        let (loc, value) = self.buffers[p].pop_front().expect("drainable buffer");
+        let Some(&p) = self.drainable().get(i) else {
+            return;
+        };
+        let Some((loc, value)) = self.buffers[p].pop_front() else {
+            return;
+        };
         self.memory[loc.index()] = value;
     }
 

@@ -15,9 +15,7 @@ pub struct VClock {
 impl VClock {
     /// The zero clock for `n` processors.
     pub fn new(n: usize) -> Self {
-        VClock {
-            counts: vec![0; n],
-        }
+        VClock { counts: vec![0; n] }
     }
 
     /// Number of processor entries.
@@ -51,10 +49,7 @@ impl VClock {
 
     /// `true` if `self ≤ other` pointwise.
     pub fn le(&self, other: &VClock) -> bool {
-        self.counts
-            .iter()
-            .zip(&other.counts)
-            .all(|(a, b)| a <= b)
+        self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
     }
 
     /// `true` if `self < other` (≤ and ≠).

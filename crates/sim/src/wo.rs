@@ -86,8 +86,12 @@ impl MemorySystem for WoMem {
     }
 
     fn fire(&mut self, i: usize) {
-        let (src, dst, pos, _) = self.ordinary.all_pending()[i];
-        let u = self.ordinary.remove_at(src, dst, pos);
+        let Some(&(src, dst, pos, _)) = self.ordinary.all_pending().get(i) else {
+            return;
+        };
+        let Some(u) = self.ordinary.remove_at(src, dst, pos) else {
+            return;
+        };
         if u.seq > self.applied_seq[dst][u.loc.index()] {
             self.replicas[dst][u.loc.index()] = u.value;
             self.applied_seq[dst][u.loc.index()] = u.seq;

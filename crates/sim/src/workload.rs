@@ -208,10 +208,7 @@ mod tests {
     fn runnable_respects_memory_blocking() {
         use crate::tso::TsoMem;
         // Paper TSO: a read of a buffered location stalls.
-        let script = OpScript::new(
-            vec![vec![Access::write(0, 1), Access::read(0)]],
-            1,
-        );
+        let script = OpScript::new(vec![vec![Access::write(0, 1), Access::read(0)]], 1);
         let mut mem = TsoMem::new(1, 1);
         let mut w = script;
         let mut rec = Workload::<TsoMem>::recorder(&w);

@@ -19,7 +19,10 @@ use smc_sim::rc::{RcMem, SyncMode};
 use smc_sim::sched::run_random;
 use smc_sim::{ScMem, TsoMem};
 
-fn trial<M: MemorySystem>(mem_of: impl Fn() -> M, program: &smc_programs::Program) -> (usize, usize) {
+fn trial<M: MemorySystem>(
+    mem_of: impl Fn() -> M,
+    program: &smc_programs::Program,
+) -> (usize, usize) {
     let runs = 1_000;
     let mut violations = 0;
     for seed in 0..runs {
@@ -51,7 +54,10 @@ fn main() {
     assert!(v > 0, "TSO should break the unlabeled Bakery");
 
     let (v, r) = trial(|| RcMem::new(SyncMode::Sc, n, locs), &labeled);
-    println!("{:<44} {v}/{r}", "RC_sc (labeled ops sequentially consistent)");
+    println!(
+        "{:<44} {v}/{r}",
+        "RC_sc (labeled ops sequentially consistent)"
+    );
     assert_eq!(v, 0);
 
     let (v, r) = trial(|| RcMem::new(SyncMode::Pc, n, locs), &labeled);

@@ -31,7 +31,11 @@ fn report(name: &str, histories: &[History], model: &ModelSpec) {
         "  {name:<8} machine: {:>3} distinct histories, {admitted:>3} admitted by the {} model {}",
         histories.len(),
         model.name,
-        if admitted == histories.len() { "✓" } else { "✗ SOUNDNESS BUG" }
+        if admitted == histories.len() {
+            "✓"
+        } else {
+            "✗ SOUNDNESS BUG"
+        }
     );
     assert_eq!(admitted, histories.len());
 }

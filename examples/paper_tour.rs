@@ -83,10 +83,8 @@ fn main() {
         verdict(&fig3, &models::pram()),
         verdict(&fig3, &models::causal())
     );
-    let fig4 = parse_history(
-        "p: w(x)1 w(y)1\nq: r(y)1 w(z)1 r(x)2\nr: w(x)2 r(x)1 r(z)1 r(y)1",
-    )
-    .unwrap();
+    let fig4 =
+        parse_history("p: w(x)1 w(y)1\nq: r(y)1 w(z)1 r(x)2\nr: w(x)2 r(x)1 r(z)1 r(y)1").unwrap();
     show(&fig4);
     println!(
         "      TSO: {}   Causal: {}   PC: {}   (Figure 4)\n",
@@ -97,7 +95,12 @@ fn main() {
 
     println!("§4  RELATING MEMORIES (Figure 5)");
     println!("    Set inclusion of admitted histories — checked on the figures:");
-    for (name, h) in [("fig1", &fig1), ("fig2", &fig2), ("fig3", &fig3), ("fig4", &fig4)] {
+    for (name, h) in [
+        ("fig1", &fig1),
+        ("fig2", &fig2),
+        ("fig3", &fig3),
+        ("fig4", &fig4),
+    ] {
         println!(
             "      {name}:  SC {:<9} TSO {:<9} PC {:<9} Causal {:<9} PRAM {}",
             verdict(h, &models::sc()),

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Quality gate: formatting + lints + the full test suite.
+#
+# Usage: scripts/check.sh [--no-test]
+#   --no-test   run only the fast static checks (fmt + clippy)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${1:-}" != "--no-test" ]; then
+    echo "==> cargo test -q"
+    cargo test -q
+fi
+
+echo "==> OK"

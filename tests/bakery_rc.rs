@@ -24,20 +24,31 @@ fn explore_cfg() -> ExploreConfig {
 fn bakery_correct_on_rc_sc_exhaustive() {
     let program = bakery(2, Label::Labeled);
     let w = ProgramWorkload::new(program.clone(), 12);
-    let out = explore(&RcMem::new(SyncMode::Sc, 2, program.num_locs()), &w, &explore_cfg());
+    let out = explore(
+        &RcMem::new(SyncMode::Sc, 2, program.num_locs()),
+        &w,
+        &explore_cfg(),
+    );
     assert!(
         out.violation.is_none(),
         "RC_sc broke the Bakery: {:?}",
         out.violation
     );
-    assert!(!out.truncated, "state cap hit; result would be inconclusive");
+    assert!(
+        !out.truncated,
+        "state cap hit; result would be inconclusive"
+    );
 }
 
 #[test]
 fn bakery_violated_on_rc_pc() {
     let program = bakery(2, Label::Labeled);
     let w = ProgramWorkload::new(program.clone(), 12);
-    let out = explore(&RcMem::new(SyncMode::Pc, 2, program.num_locs()), &w, &explore_cfg());
+    let out = explore(
+        &RcMem::new(SyncMode::Pc, 2, program.num_locs()),
+        &w,
+        &explore_cfg(),
+    );
     let (msg, history) = out.violation.expect("RC_pc must break the Bakery");
     assert!(
         msg.contains("mutual exclusion") || msg.contains("overwritten"),
@@ -92,7 +103,10 @@ fn unlabeled_bakery_breaks_even_on_tso() {
     let program = bakery(2, Label::Ordinary);
     let w = ProgramWorkload::new(program.clone(), 12);
     let out = explore(&TsoMem::new(2, program.num_locs()), &w, &explore_cfg());
-    assert!(out.violation.is_some(), "TSO should break the unlabeled Bakery");
+    assert!(
+        out.violation.is_some(),
+        "TSO should break the unlabeled Bakery"
+    );
 
     let w = ProgramWorkload::new(program.clone(), 12);
     let out = explore(&ScMem::new(2, program.num_locs()), &w, &explore_cfg());
@@ -115,7 +129,11 @@ fn violating_rc_pc_history_is_admitted_by_rc_pc_model() {
     // discipline, which holds here by construction).
     let program = bakery(2, Label::Labeled);
     let w = ProgramWorkload::new(program.clone(), 12);
-    let out = explore(&RcMem::new(SyncMode::Pc, 2, program.num_locs()), &w, &explore_cfg());
+    let out = explore(
+        &RcMem::new(SyncMode::Pc, 2, program.num_locs()),
+        &w,
+        &explore_cfg(),
+    );
     let (_, history) = out.violation.expect("violation exists");
     let v = check(&history, &models::rc_pc());
     assert!(
@@ -139,7 +157,11 @@ fn three_processor_bakery_random_schedules() {
             seed,
             300_000,
         );
-        assert!(r.violation.is_none(), "RC_sc n=3 seed {seed}: {:?}", r.violation);
+        assert!(
+            r.violation.is_none(),
+            "RC_sc n=3 seed {seed}: {:?}",
+            r.violation
+        );
         let w = ProgramWorkload::new(program.clone(), 300);
         let r = run_random(
             RcMem::new(SyncMode::Pc, 3, program.num_locs()),
@@ -175,8 +197,16 @@ fn bakery_safe_on_wo_and_hybrid_machines_exhaustive() {
     // the doorway needs.
     let program = bakery(2, Label::Labeled);
     let w = ProgramWorkload::new(program.clone(), 12);
-    let out = explore(&smc_sim::WoMem::new(2, program.num_locs()), &w, &explore_cfg());
-    assert!(out.violation.is_none(), "WO broke the Bakery: {:?}", out.violation);
+    let out = explore(
+        &smc_sim::WoMem::new(2, program.num_locs()),
+        &w,
+        &explore_cfg(),
+    );
+    assert!(
+        out.violation.is_none(),
+        "WO broke the Bakery: {:?}",
+        out.violation
+    );
     assert!(!out.truncated);
 
     let w = ProgramWorkload::new(program.clone(), 12);
@@ -185,7 +215,11 @@ fn bakery_safe_on_wo_and_hybrid_machines_exhaustive() {
         &w,
         &explore_cfg(),
     );
-    assert!(out.violation.is_none(), "Hybrid broke the Bakery: {:?}", out.violation);
+    assert!(
+        out.violation.is_none(),
+        "Hybrid broke the Bakery: {:?}",
+        out.violation
+    );
     assert!(!out.truncated);
 }
 

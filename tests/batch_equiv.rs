@@ -1,0 +1,137 @@
+//! Equivalence of the sequential checker and the parallel batch engine.
+//!
+//! Properties, over random histories and the embedded litmus corpus:
+//!
+//! * wherever both the sequential check and a parallel check *decide*
+//!   (Allowed/Disallowed), they agree;
+//! * every `Allowed` the parallel engine produces carries a witness that
+//!   the independent verifier accepts;
+//! * `check_batch` results are positionally identical to checking each
+//!   pair sequentially, for any worker count.
+
+use smc_core::batch::{check_batch, check_matrix, check_parallel};
+use smc_core::checker::{check_with_config, CheckConfig, Verdict};
+use smc_core::models;
+use smc_core::verify::verify_witness;
+use smc_core::ModelSpec;
+use smc_history::{History, HistoryBuilder};
+use smc_prng::SmallRng;
+use smc_programs::corpus::litmus_suite;
+
+const PROCS: [&str; 3] = ["p", "q", "r"];
+const LOCS: [&str; 2] = ["x", "y"];
+
+fn random_history(rng: &mut SmallRng) -> History {
+    let mut b = HistoryBuilder::new();
+    for proc in PROCS.iter().take(rng.gen_range(1..4usize)) {
+        b.add_proc(proc);
+        for _ in 0..rng.gen_range(0..4usize) {
+            let is_write = rng.gen_bool(0.5);
+            let loc = LOCS[rng.gen_range(0..LOCS.len())];
+            let v = rng.gen_range(0..3i64);
+            if is_write {
+                b.write(proc, loc, v.clamp(1, 2));
+            } else {
+                b.read(proc, loc, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Sequential `check` and `check_parallel` agree on every decided verdict,
+/// and parallel witnesses verify independently.
+#[test]
+fn parallel_check_agrees_with_sequential() {
+    let cfg = CheckConfig::default();
+    for case in 0..64u64 {
+        let h = random_history(&mut SmallRng::seed_from_u64(case));
+        for spec in models::all_models() {
+            let seq = check_with_config(&h, &spec, &cfg);
+            for jobs in [2usize, 4] {
+                let (par, _stats) = check_parallel(&h, &spec, &cfg, jobs);
+                if let (Some(a), Some(b)) = (seq.decided(), par.decided()) {
+                    assert_eq!(
+                        a, b,
+                        "case {case} {} jobs={jobs}: sequential {seq:?} vs parallel {par:?}\n{h}",
+                        spec.name
+                    );
+                }
+                if let Verdict::Allowed(w) = &par {
+                    verify_witness(&h, &spec, w).unwrap_or_else(|e| {
+                        panic!(
+                            "case {case} {} jobs={jobs}: bad parallel witness: {e}\n{h}",
+                            spec.name
+                        )
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `check_batch` is positionally identical to the sequential per-pair
+/// checker, for several worker counts.
+#[test]
+fn batch_matches_sequential_positionally() {
+    let cfg = CheckConfig::default();
+    let histories: Vec<History> = (100..116u64)
+        .map(|seed| random_history(&mut SmallRng::seed_from_u64(seed)))
+        .collect();
+    let model_list = models::all_models();
+    let pairs: Vec<(&History, &ModelSpec)> = histories
+        .iter()
+        .flat_map(|h| model_list.iter().map(move |m| (h, m)))
+        .collect();
+    let sequential: Vec<Verdict> = pairs
+        .iter()
+        .map(|(h, m)| check_with_config(h, m, &cfg))
+        .collect();
+    for jobs in [1usize, 3, 8] {
+        let batch = check_batch(&pairs, &cfg, jobs);
+        assert_eq!(batch.len(), pairs.len());
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(
+                r.verdict, sequential[i],
+                "pair {i} jobs={jobs}: batch verdict diverged"
+            );
+            if let Verdict::Allowed(w) = &r.verdict {
+                let (h, m) = pairs[i];
+                verify_witness(h, m, w)
+                    .unwrap_or_else(|e| panic!("pair {i}: bad batch witness: {e}"));
+            }
+        }
+    }
+}
+
+/// The embedded litmus corpus classifies identically under sequential and
+/// parallel batch checking, and satisfies its recorded expectations both
+/// ways.
+#[test]
+fn corpus_verdicts_identical_across_job_counts() {
+    let cfg = CheckConfig::default();
+    let suite = litmus_suite();
+    let histories: Vec<History> = suite.iter().map(|t| t.history.clone()).collect();
+    let model_list = models::all_models();
+    let seq = check_matrix(&histories, &model_list, &cfg, 1);
+    let par = check_matrix(&histories, &model_list, &cfg, 4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.verdict, b.verdict, "pair {} diverged", a.index);
+    }
+    for (ti, t) in suite.iter().enumerate() {
+        for (mi, m) in model_list.iter().enumerate() {
+            if let Some(expected) = t.expectation(&m.name) {
+                let got = par[ti * model_list.len() + mi].verdict.decided();
+                assert_eq!(
+                    got,
+                    Some(expected),
+                    "corpus test {} model {}",
+                    t.name,
+                    m.name
+                );
+            }
+        }
+    }
+}

@@ -65,11 +65,7 @@ fn weak_ordering_is_strictly_stronger_than_rc_sc() {
         let wo = check(&t.history, &models::weak_ordering());
         let rcsc = check(&t.history, &models::rc_sc());
         if wo.is_allowed() {
-            assert!(
-                rcsc.is_allowed(),
-                "{}: WO admits but RC_sc forbids",
-                t.name
-            );
+            assert!(rcsc.is_allowed(), "{}: WO admits but RC_sc forbids", t.name);
         }
     }
     // Strictness witness: an ordinary write overtaking its preceding
@@ -102,21 +98,15 @@ fn hybrid_is_very_weak_on_ordinary_operations() {
 fn hybrid_witnesses_verify() {
     let cfg = CheckConfig::default();
     for t in litmus_suite() {
-        if let Verdict::Allowed(w) =
-            check_with_config(&t.history, &models::hybrid(), &cfg)
-        {
+        if let Verdict::Allowed(w) = check_with_config(&t.history, &models::hybrid(), &cfg) {
             verify_witness(&t.history, &models::hybrid(), &w)
                 .unwrap_or_else(|e| panic!("{}: hybrid witness invalid: {e}", t.name));
         }
-        if let Verdict::Allowed(w) =
-            check_with_config(&t.history, &models::weak_ordering(), &cfg)
-        {
+        if let Verdict::Allowed(w) = check_with_config(&t.history, &models::weak_ordering(), &cfg) {
             verify_witness(&t.history, &models::weak_ordering(), &w)
                 .unwrap_or_else(|e| panic!("{}: WO witness invalid: {e}", t.name));
         }
-        if let Verdict::Allowed(w) =
-            check_with_config(&t.history, &models::pc_goodman(), &cfg)
-        {
+        if let Verdict::Allowed(w) = check_with_config(&t.history, &models::pc_goodman(), &cfg) {
             verify_witness(&t.history, &models::pc_goodman(), &w)
                 .unwrap_or_else(|e| panic!("{}: PCG witness invalid: {e}", t.name));
         }

@@ -20,7 +20,10 @@ fn all_corpus_expectations_hold() {
             match &verdict {
                 Verdict::Allowed(w) => {
                     verify_witness(&t.history, &spec, w).unwrap_or_else(|e| {
-                        panic!("{} × {}: witness failed verification: {e}", t.name, spec.name)
+                        panic!(
+                            "{} × {}: witness failed verification: {e}",
+                            t.name, spec.name
+                        )
                     });
                 }
                 Verdict::Disallowed => {}

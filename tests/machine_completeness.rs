@@ -12,8 +12,8 @@
 //! necessarily incomplete and excluded here.
 
 use smc_core::checker::{check_with_config, CheckConfig};
-use smc_core::spec::ModelSpec;
 use smc_core::models;
+use smc_core::spec::ModelSpec;
 use smc_history::{History, HistoryBuilder, Label, OpKind, Value};
 use smc_sim::explore::{explore, ExploreConfig};
 use smc_sim::mem::MemorySystem;
@@ -253,5 +253,8 @@ fn pc_machine_is_necessarily_incomplete() {
     let lb = "p0: r(x0)1 w(x1)1\np1: r(x1)1 w(x0)1\n";
     let h = smc_history::litmus::parse_history("p0: r(x0)1 w(x1)1\np1: r(x1)1 w(x0)1").unwrap();
     assert!(check_with_config(&h, &models::pc(), &CheckConfig::default()).is_allowed());
-    assert!(!reached.contains(lb), "a machine read a value from the future");
+    assert!(
+        !reached.contains(lb),
+        "a machine read a value from the future"
+    );
 }

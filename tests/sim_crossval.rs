@@ -152,7 +152,9 @@ fn machine_strength_matches_lattice() {
     // SC ⊆ TSO ⊆ PC ⊆ PRAM and SC ⊆ Causal ⊆ PRAM.
     for (name, script) in shapes() {
         let keys = |hs: &[History]| {
-            hs.iter().map(History::to_string).collect::<std::collections::HashSet<_>>()
+            hs.iter()
+                .map(History::to_string)
+                .collect::<std::collections::HashSet<_>>()
         };
         let sc = keys(&machine_histories(ScMem::new(3, 2), &script));
         let tso = keys(&machine_histories(TsoMem::new(3, 2), &script));
@@ -222,7 +224,10 @@ fn pram_machine_exceeds_causal_and_pc() {
             }
         }
     }
-    assert!(causal_rejected > 0, "PRAM machine stayed within causal memory");
+    assert!(
+        causal_rejected > 0,
+        "PRAM machine stayed within causal memory"
+    );
     assert!(pc_rejected > 0, "PRAM machine stayed within PC");
 }
 
@@ -254,7 +259,11 @@ fn rc_shapes() -> Vec<(&'static str, OpScript)> {
             "release then ordinary data",
             OpScript::new(
                 vec![
-                    vec![Access::write(0, 1), Access::release(1, 1), Access::write(0, 2)],
+                    vec![
+                        Access::write(0, 1),
+                        Access::release(1, 1),
+                        Access::write(0, 2),
+                    ],
                     vec![Access::acquire(1), Access::read(0), Access::read(0)],
                 ],
                 2,
@@ -320,7 +329,10 @@ fn wo_machine_sound() {
     for (name, script) in rc_shapes() {
         for h in machine_histories(smc_sim::WoMem::new(2, 2), &script) {
             let v = check_with_config(&h, &wo, &cfg);
-            assert!(v.is_allowed(), "WO machine escaped WO ({v:?}) on `{name}`:\n{h}");
+            assert!(
+                v.is_allowed(),
+                "WO machine escaped WO ({v:?}) on `{name}`:\n{h}"
+            );
             assert!(check_with_config(&h, &rcsc, &cfg).is_allowed());
         }
     }
@@ -362,10 +374,7 @@ fn lazy_rc_sc_machine_escapes_weak_ordering() {
         histories.iter().any(|h| h.to_string() == target),
         "lazy RC_sc machine no longer reaches the overtaking history"
     );
-    let h = histories
-        .iter()
-        .find(|h| h.to_string() == target)
-        .unwrap();
+    let h = histories.iter().find(|h| h.to_string() == target).unwrap();
     assert!(check_with_config(h, &models::rc_sc(), &cfg).is_allowed());
     assert!(check_with_config(h, &models::weak_ordering(), &cfg).is_disallowed());
     // And the WO machine cannot reach it.
