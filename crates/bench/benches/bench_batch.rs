@@ -87,8 +87,84 @@ fn bench_single_check(harness: &mut Harness) {
     }
 }
 
+/// An isomorphic copy of `h`: processors rotated by `r`, locations and
+/// processors renamed with an `r`-tagged prefix, and every non-initial
+/// value shifted by `3r` (a bijection on the non-zero values that fixes
+/// the initial value 0). Verdicts are invariant under all of these, so
+/// the canonical key — and hence the memo slot — is shared with `h`.
+fn isomorphic_copy(h: &History, r: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    let np = h.num_procs();
+    for i in 0..np {
+        let p = smc_history::ProcId(((i + r) % np) as u32);
+        let name = format!("c{r}_{}", h.proc_name(p));
+        b.add_proc(&name);
+        for o in h.proc_ops(p) {
+            let loc = format!("c{r}_{}", h.loc_name(o.loc));
+            let v = if o.value.is_initial() {
+                0
+            } else {
+                o.value.0 + 3 * r as i64
+            };
+            b.push(&name, o.kind, &loc, v, o.label);
+        }
+    }
+    b.build()
+}
+
+/// The corpus crossed with every model, duplicated 8× under relabelings:
+/// without the memo every copy pays the full search; with a (fresh,
+/// per-iteration) memo the 7 later copies rehydrate from the first.
+fn bench_memoized_sweep(harness: &mut Harness) {
+    let base: Vec<History> = litmus_suite().into_iter().map(|t| t.history).collect();
+    let histories: Vec<History> = (0..8usize)
+        .flat_map(|r| base.iter().map(move |h| isomorphic_copy(h, r)))
+        .collect();
+    let model_list = models::all_models();
+    let pairs = corpus_pairs(&histories, &model_list);
+    let mut g = harness.group(&format!("batch/memoized_sweep_{}_pairs", pairs.len()));
+    let plain = CheckConfig::default();
+    g.bench("memo_off", || {
+        let results = check_batch(&pairs, &plain, 1);
+        let n = results.iter().filter(|r| r.verdict.is_allowed()).count();
+        black_box(n);
+    });
+    g.bench("memo_on", || {
+        let cfg = CheckConfig::default().with_memo();
+        let results = check_batch(&pairs, &cfg, 1);
+        let n = results.iter().filter(|r| r.verdict.is_allowed()).count();
+        black_box(n);
+    });
+}
+
+/// One SC refutation whose single-rf extension search dominates: the
+/// prefix-split path lets `check_parallel` partition that search. On a
+/// single-core host the parallel rows measure split overhead, not
+/// speedup. The shape matters: symmetric multi-reader refutations like
+/// this one partition into near-disjoint subtrees, while shapes whose
+/// pruning relies heavily on the shared failed-state memo (deep
+/// single-funnel contradictions) duplicate that pruning across workers
+/// and are better left sequential.
+fn bench_split_dfs(harness: &mut Harness) {
+    let h = reversed_reads(10, 3);
+    let spec = models::sc();
+    let cfg = CheckConfig::default();
+    let mut g = harness.group("batch/split_dfs_sc_reversed");
+    g.bench("sequential", || {
+        black_box(check_with_config(&h, &spec, &cfg));
+    });
+    for jobs in [2usize, 4] {
+        g.bench(&format!("check_parallel_j{jobs}"), || {
+            let (v, stats) = check_parallel(&h, &spec, &cfg, jobs);
+            black_box((v, stats.nodes_spent));
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::from_env();
     bench_corpus(&mut h);
     bench_single_check(&mut h);
+    bench_memoized_sweep(&mut h);
+    bench_split_dfs(&mut h);
 }

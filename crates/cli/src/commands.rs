@@ -1,7 +1,9 @@
 //! Subcommand implementations for the `smc` binary.
 
+use crate::json::JsonObject;
 use smc_core::batch::{check_batch, BatchResult};
 use smc_core::checker::{format_view, CheckConfig, CheckStats, Verdict};
+use smc_core::memo::MemoStats;
 use smc_core::models;
 use smc_core::spec::ModelSpec;
 use smc_history::litmus::{parse_history, parse_suite, LitmusTest};
@@ -22,9 +24,16 @@ pub const USAGE: &str = "\
 usage:
   smc check <file> [--model NAME] [--jobs N] [--stats]
                                     check a litmus history or suite
-  smc corpus [--jobs N] [--stats]   check the embedded litmus corpus
-                                    against its recorded expectations
-  smc matrix <file> [--jobs N]      classification matrix for a suite
+  smc corpus [--jobs N] [--stats] [--json PATH] [--exhaustive]
+                                    check the embedded litmus corpus
+                                    against its recorded expectations;
+                                    --json writes machine-readable per-case
+                                    stats + memo counters; --exhaustive
+                                    sweeps the full small-history universe
+                                    instead (Figure 5 models, with memoized
+                                    + lattice-propagated verdicts)
+  smc matrix <file> [--jobs N] [--stats]
+                                    classification matrix for a suite
   smc explore <file> --memory NAME [--check] [--model NAME] [--jobs N]
                                     enumerate every history a machine
                                     produces for the file's program shape;
@@ -219,20 +228,59 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn memo_json(memo: &MemoStats) -> String {
+    JsonObject::new()
+        .num("hits", memo.hits)
+        .num("misses", memo.misses)
+        .num("inserts", memo.inserts)
+        .num("evictions", memo.evictions)
+        .finish()
+}
+
+fn verdict_word(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Allowed(_) => "allowed",
+        Verdict::Disallowed => "forbidden",
+        Verdict::Exhausted => "exhausted",
+        Verdict::Unsupported(_) => "unsupported",
+    }
+}
+
 fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
     let jobs = jobs_flag(args)?;
     let show_stats = args.iter().any(|a| a == "--stats");
-    let cfg = CheckConfig::default();
+    let json_path = flag_value(args, "--json");
+    if args.iter().any(|a| a == "--exhaustive") {
+        return corpus_exhaustive(jobs, show_stats, json_path);
+    }
+    // Decided verdicts are renaming-invariant, so the memo is safe here:
+    // expectations compare only allowed/forbidden, never the witness.
+    let cfg = CheckConfig::default().with_memo();
+    let memo = cfg.memo.clone().expect("with_memo attaches a cache");
     let suite = smc_programs::corpus::litmus_suite();
     let model_list = models::all_models();
     let results = check_suite(&suite, &model_list, &cfg, jobs);
     let mut failures = 0;
     let mut checked = 0;
     let mut nodes = 0u64;
+    let mut json_lines: Vec<String> = Vec::new();
     for (ti, t) in suite.iter().enumerate() {
         for (mi, m) in model_list.iter().enumerate() {
             let r = &results[ti * model_list.len() + mi];
             nodes += r.stats.nodes_spent;
+            if json_path.is_some() {
+                json_lines.push(
+                    JsonObject::new()
+                        .str("test", &t.name)
+                        .str("model", &m.name)
+                        .str("verdict", verdict_word(&r.verdict))
+                        .num("nodes", r.stats.nodes_spent)
+                        .num("rf_tried", r.stats.rf_assignments_tried as u64)
+                        .num("wall_us", r.stats.wall.as_micros() as u64)
+                        .bool("memo_hit", r.stats.memo_hit)
+                        .finish(),
+                );
+            }
             let Some(expected) = t.expectation(&m.name) else {
                 continue;
             };
@@ -261,6 +309,22 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
+    let memo_stats = memo.stats();
+    if let Some(path) = json_path {
+        json_lines.push(
+            JsonObject::new()
+                .num("tests", suite.len() as u64)
+                .num("models", model_list.len() as u64)
+                .num("checked", checked as u64)
+                .num("failures", failures as u64)
+                .num("total_nodes", nodes)
+                .raw("memo", &memo_json(&memo_stats))
+                .finish(),
+        );
+        let mut text = json_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
     println!(
         "corpus: {} tests × {} models, {} expectation(s) checked, {} failure(s){}",
         suite.len(),
@@ -275,8 +339,108 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
     );
     if show_stats {
         println!("total search nodes: {nodes}");
+        println!(
+            "memo: {} hits, {} misses, {} inserts, {} evictions",
+            memo_stats.hits, memo_stats.misses, memo_stats.inserts, memo_stats.evictions
+        );
     }
     Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `smc corpus --exhaustive`: classify the full universe of small
+/// histories (2 processors × 2 ops × 2 locations × 1 value) against the
+/// Figure 5 models, with the memo table and lattice propagation on. One
+/// JSON line per history carries the verdict row, so a checked-in golden
+/// file can detect verdict drift between revisions.
+fn corpus_exhaustive(
+    jobs: usize,
+    show_stats: bool,
+    json_path: Option<&str>,
+) -> Result<ExitCode, String> {
+    let params = smc_core::histgen::GenParams {
+        procs: 2,
+        ops_per_proc: 2,
+        locs: 2,
+        values: 1,
+    };
+    let corpus = smc_core::histgen::all_histories(&params);
+    let model_list = models::figure5_models();
+    let cfg = CheckConfig::default().with_memo();
+    let memo = cfg.memo.clone().expect("with_memo attaches a cache");
+    let (classifications, prop) =
+        smc_core::lattice::classify_all_propagating(&corpus, &model_list, &cfg, jobs);
+
+    let mut undecided = 0usize;
+    let mut json_lines: Vec<String> = Vec::new();
+    for (hi, c) in classifications.iter().enumerate() {
+        if c.allowed.iter().any(Option::is_none) {
+            undecided += 1;
+        }
+        if json_path.is_some() {
+            let row: Vec<String> = model_list
+                .iter()
+                .zip(&c.allowed)
+                .map(|(m, a)| {
+                    format!(
+                        "{}:{}",
+                        m.name,
+                        match a {
+                            Some(true) => "y",
+                            Some(false) => "n",
+                            None => "?",
+                        }
+                    )
+                })
+                .collect();
+            json_lines.push(
+                JsonObject::new()
+                    .num("index", hi as u64)
+                    .str("history", &corpus[hi].to_string().replace('\n', "; "))
+                    .str("verdicts", &row.join(" "))
+                    .finish(),
+            );
+        }
+    }
+    let memo_stats = memo.stats();
+    if let Some(path) = json_path {
+        json_lines.push(
+            JsonObject::new()
+                .num("histories", corpus.len() as u64)
+                .num("models", model_list.len() as u64)
+                .num("undecided", undecided as u64)
+                .num("checked", prop.checked)
+                .num("propagated", prop.propagated)
+                .raw("memo", &memo_json(&memo_stats))
+                .finish(),
+        );
+        let mut text = json_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    println!(
+        "exhaustive: {} histories × {} models, {} checked, {} propagated, {} undecided{}",
+        corpus.len(),
+        model_list.len(),
+        prop.checked,
+        prop.propagated,
+        undecided,
+        if jobs > 1 {
+            format!(" [{jobs} jobs]")
+        } else {
+            String::new()
+        }
+    );
+    if show_stats {
+        println!(
+            "memo: {} hits, {} misses, {} inserts, {} evictions",
+            memo_stats.hits, memo_stats.misses, memo_stats.inserts, memo_stats.evictions
+        );
+    }
+    Ok(if undecided == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -287,20 +451,32 @@ fn cmd_matrix(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("matrix: missing <file>")?;
     let jobs = jobs_flag(args)?;
+    let show_stats = args.iter().any(|a| a == "--stats");
     let suite = load(path)?;
     let model_list = models::all_models();
-    let cfg = CheckConfig::default();
+    let cfg = if show_stats {
+        CheckConfig::default().with_memo()
+    } else {
+        CheckConfig::default()
+    };
     let results = check_suite(&suite, &model_list, &cfg, jobs);
     let name_w = suite.iter().map(|t| t.name.len()).max().unwrap_or(7).max(7);
     print!("{:<name_w$}", "history");
     for m in &model_list {
         print!(" {:>14}", m.name);
     }
+    if show_stats {
+        print!(" {:>12}", "nodes");
+    }
     println!();
+    let mut nodes = 0u64;
     for (ti, t) in suite.iter().enumerate() {
         print!("{:<name_w$}", t.name);
+        let mut row_nodes = 0u64;
         for mi in 0..model_list.len() {
-            let cell = match &results[ti * model_list.len() + mi].verdict {
+            let r = &results[ti * model_list.len() + mi];
+            row_nodes += r.stats.nodes_spent;
+            let cell = match &r.verdict {
                 Verdict::Allowed(_) => "yes",
                 Verdict::Disallowed => "no",
                 Verdict::Exhausted => "?",
@@ -308,7 +484,21 @@ fn cmd_matrix(args: &[String]) -> Result<ExitCode, String> {
             };
             print!(" {cell:>14}");
         }
+        if show_stats {
+            print!(" {row_nodes:>12}");
+        }
+        nodes += row_nodes;
         println!();
+    }
+    if show_stats {
+        println!("total search nodes: {nodes}");
+        if let Some(memo) = &cfg.memo {
+            let s = memo.stats();
+            println!(
+                "memo: {} hits, {} misses, {} inserts, {} evictions",
+                s.hits, s.misses, s.inserts, s.evictions
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -15,6 +15,7 @@
 use std::process::ExitCode;
 
 mod commands;
+mod json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -26,15 +26,22 @@
 //! [`crate::verify::verify_witness`] accepts.
 
 use crate::budget::SharedBudget;
+use crate::canon::canonicalize;
 use crate::checker::{
-    check_with_budget, check_with_rf, check_with_stats, proc_constraints, view_op_sets,
-    CheckConfig, CheckStats, Stage, Step, Verdict, Witness,
+    check_with_budget, check_with_rf, check_with_stats, check_with_store_order, proc_constraints,
+    view_op_sets, CheckConfig, CheckStats, Stage, Step, Verdict, Witness,
 };
 use crate::constraints::{assemble_global, BaseOrders, Candidates};
+use crate::memo::MemoCache;
 use crate::rf::{enumerate_reads_from, ReadsFrom};
 use crate::spec::ModelSpec;
-use crate::view::{find_legal_extension, LegalityMode, SearchOutcome, ViewProblem};
-use smc_history::History;
+use crate::view::{
+    find_legal_extension, find_legal_extension_from, split_prefixes, LegalityMode, PrefixSplit,
+    SearchOutcome, ViewProblem,
+};
+use smc_history::{History, OpId};
+use smc_relation::BitSet;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -144,12 +151,17 @@ fn views_decouple(spec: &ModelSpec) -> bool {
 /// Run a single check on up to `jobs` threads sharing one pool of
 /// `cfg.node_budget` search nodes.
 ///
-/// Parallelism comes from two sources, chosen by the model's shape:
-/// reads-from assignments fan out across workers (causal, PC, RC — any
-/// model that enumerates explanations), and for models with no shared
-/// orders (PRAM-like) the per-processor view searches run concurrently.
-/// Models that are sequential-only under this scheme (e.g. SC's single
-/// global search) fall back to [`check_with_stats`].
+/// Parallelism is chosen by the model's shape: reads-from assignments fan
+/// out across workers (causal, PC, RC — any model that enumerates
+/// explanations); for models with no shared orders (PRAM-like) the
+/// per-processor view searches run concurrently; identical-views models
+/// (SC) prefix-partition the single global view search into work-stealing
+/// subtrees; and global-write-order models (TSO) fan the store orders out
+/// (up to `cfg.store_order_cap`, beyond which they stream sequentially).
+/// Coherence and labeled-order enumerations fall back to
+/// [`check_with_stats`]. All sub-searches inherit the caller's
+/// `CheckConfig` (budget, split factor, caps) rather than re-deriving
+/// defaults.
 pub fn check_parallel(
     h: &History,
     spec: &ModelSpec,
@@ -158,8 +170,40 @@ pub fn check_parallel(
 ) -> (Verdict, CheckStats) {
     let jobs = jobs.max(1);
     if jobs == 1 {
+        // The sequential checker consults the memo itself.
         return check_with_stats(h, spec, cfg);
     }
+    // Memoized path: consult and update the cache here, and run the
+    // parallel engine below with the memo detached so the inner
+    // sub-checks don't re-canonicalize.
+    if let Some(memo) = &cfg.memo {
+        let start = Instant::now();
+        let canon = canonicalize(h);
+        if let Some(hit) = memo.lookup(canon.key, spec.param_key()) {
+            let stats = CheckStats {
+                memo_hit: true,
+                wall: start.elapsed(),
+                ..CheckStats::default()
+            };
+            return (MemoCache::rehydrate(&canon, hit), stats);
+        }
+        let inner = CheckConfig {
+            memo: None,
+            ..cfg.clone()
+        };
+        let (verdict, stats) = check_parallel_inner(h, spec, &inner, jobs);
+        memo.record(&canon, spec.param_key(), &verdict);
+        return (verdict, stats);
+    }
+    check_parallel_inner(h, spec, cfg, jobs)
+}
+
+fn check_parallel_inner(
+    h: &History,
+    spec: &ModelSpec,
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> (Verdict, CheckStats) {
     if let Err(e) = spec.validate() {
         return (Verdict::Unsupported(e), CheckStats::default());
     }
@@ -185,9 +229,19 @@ pub fn check_parallel(
         }
     } else if views_decouple(spec) {
         parallel_views(h, spec, &base, None, cfg, jobs)
+    } else if spec.identical_views {
+        // SC-like: prefix-partition the single global view search and
+        // hand the subtrees to workers over one shared pool.
+        parallel_identical_views(h, spec, &base, cfg, jobs)
+    } else if spec.global_write_order {
+        // TSO-like: collect the store orders up front and fan them out.
+        match parallel_store_orders(h, spec, &base, cfg, jobs) {
+            Some(r) => r,
+            // Too many store orders to collect: stream them sequentially.
+            None => return check_with_stats(h, spec, cfg),
+        }
     } else {
-        // Shared-order enumerations (SC's single global search, TSO's
-        // store orders, coherence, labeled orders) are inherently
+        // Coherence and labeled-order enumerations are inherently
         // sequential in this engine; use the plain checker.
         return check_with_stats(h, spec, cfg);
     };
@@ -402,6 +456,243 @@ fn parallel_views(
     )
 }
 
+/// Parallelize an identical-views (SC-like) check: prefix-partition the
+/// single global legal-extension search ([`split_prefixes`]) and hand each
+/// subtree to a worker over one shared node pool. The first worker to
+/// complete a legal order cancels the rest; the prefix set partitions the
+/// search space, so all-`NotFound` refutes the history exactly as the
+/// sequential DFS would.
+fn parallel_identical_views(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> (Verdict, CheckStats) {
+    let cand = Candidates::default();
+    let g = match assemble_global(h, spec, base, None, &cand, None) {
+        Ok(g) => g,
+        Err(e) => return (Verdict::Unsupported(e), CheckStats::default()),
+    };
+    let mut stats = CheckStats::default();
+    if !g.is_acyclic() {
+        return (Verdict::Disallowed, stats);
+    }
+    let problem = ViewProblem {
+        history: h,
+        ops: BitSet::full(h.num_ops()),
+        constraints: &g,
+        legality: LegalityMode::ByValue,
+    };
+    let witness = |order: Vec<OpId>| {
+        Verdict::Allowed(Box::new(Witness {
+            views: vec![order; h.num_procs()],
+            store_order: None,
+            coherence: None,
+            labeled_order: None,
+            reads_from: None,
+        }))
+    };
+
+    let pool = SharedBudget::new(cfg.node_budget);
+    let seed = pool.attach();
+    let split = split_prefixes(&problem, jobs * cfg.split_prefix_factor.max(1), &seed);
+    seed.release();
+    let seed_spent = seed.spent();
+    let prefixes = match split {
+        PrefixSplit::Found(order) => {
+            stats.nodes_spent = seed_spent;
+            return (witness(order), stats);
+        }
+        PrefixSplit::NoExtension => {
+            stats.nodes_spent = seed_spent;
+            return (Verdict::Disallowed, stats);
+        }
+        PrefixSplit::Split(p) => p,
+    };
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<SearchOutcome>>> =
+        Mutex::new((0..prefixes.len()).map(|_| None).collect());
+    let nodes = Mutex::new(seed_spent);
+    let workers = jobs.min(prefixes.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let budget = pool.attach();
+                loop {
+                    if pool.is_cancelled() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= prefixes.len() {
+                        break;
+                    }
+                    let out = find_legal_extension_from(&problem, &prefixes[i], &budget);
+                    if matches!(out, SearchOutcome::Found(_)) {
+                        pool.cancel();
+                    }
+                    if let Ok(mut slots) = slots.lock() {
+                        slots[i] = Some(out);
+                    } else {
+                        break;
+                    }
+                }
+                budget.release();
+                if let Ok(mut nodes) = nodes.lock() {
+                    *nodes += budget.spent();
+                }
+            });
+        }
+    });
+
+    let slots = match slots.into_inner() {
+        Ok(s) => s,
+        Err(p) => p.into_inner(),
+    };
+    stats.nodes_spent = match nodes.into_inner() {
+        Ok(n) => n,
+        Err(p) => p.into_inner(),
+    };
+    let mut exhausted = false;
+    for slot in slots {
+        match slot {
+            Some(SearchOutcome::Found(order)) => return (witness(order), stats),
+            Some(SearchOutcome::NotFound) => {}
+            // A `None` slot means a worker was cancelled (or died) before
+            // recording; without a decided outcome that subtree is
+            // unexplored, so the honest answer is exhaustion.
+            Some(SearchOutcome::Exhausted) | None => exhausted = true,
+        }
+    }
+    if exhausted {
+        stats.exhausted_stage = Some(Stage::ViewSearch);
+        return (Verdict::Exhausted, stats);
+    }
+    (Verdict::Disallowed, stats)
+}
+
+/// Parallelize a global-write-order (TSO-like) check: collect the store
+/// orders up front (bounded by `cfg.store_order_cap`) and fan them across
+/// workers sharing one node pool. Returns `None` when the enumeration
+/// exceeds the cap, in which case the caller streams them sequentially.
+fn parallel_store_orders(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> Option<(Verdict, CheckStats)> {
+    let writes = BitSet::from_iter(
+        h.num_ops(),
+        h.ops()
+            .iter()
+            .filter(|o| o.is_write())
+            .map(|o| o.id.index()),
+    );
+    let pool = SharedBudget::new(cfg.node_budget);
+    let seed = pool.attach();
+    let mut stores: Vec<Vec<OpId>> = Vec::new();
+    let mut over_cap = false;
+    let mut collect_exhausted = false;
+    let _ = smc_relation::linext::for_each_linear_extension(&base.ppo, &writes, |ext| {
+        if stores.len() >= cfg.store_order_cap {
+            over_cap = true;
+            return ControlFlow::Break(());
+        }
+        // Mirror the sequential loop's cost: one budget unit per order.
+        if !seed.try_spend() {
+            collect_exhausted = true;
+            return ControlFlow::Break(());
+        }
+        stores.push(ext.iter().map(|&i| OpId(i as u32)).collect());
+        ControlFlow::Continue(())
+    });
+    seed.release();
+    let seed_spent = seed.spent();
+    if over_cap {
+        return None;
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Step>>> = Mutex::new((0..stores.len()).map(|_| None).collect());
+    let nodes = Mutex::new(seed_spent);
+    let workers = jobs.min(stores.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let budget = pool.attach();
+                loop {
+                    if pool.is_cancelled() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= stores.len() {
+                        break;
+                    }
+                    let step = check_with_store_order(
+                        h,
+                        spec,
+                        base,
+                        None,
+                        LegalityMode::ByValue,
+                        &stores[i],
+                        &budget,
+                    );
+                    if matches!(step, Step::Allowed(_) | Step::Unsupported(_)) {
+                        pool.cancel();
+                    }
+                    if let Ok(mut slots) = slots.lock() {
+                        slots[i] = Some(step);
+                    } else {
+                        break;
+                    }
+                }
+                budget.release();
+                if let Ok(mut nodes) = nodes.lock() {
+                    *nodes += budget.spent();
+                }
+            });
+        }
+    });
+
+    let slots = match slots.into_inner() {
+        Ok(s) => s,
+        Err(p) => p.into_inner(),
+    };
+    let mut stats = CheckStats {
+        nodes_spent: match nodes.into_inner() {
+            Ok(n) => n,
+            Err(p) => p.into_inner(),
+        },
+        ..CheckStats::default()
+    };
+    let mut exhausted: Option<Stage> = None;
+    let mut skipped = false;
+    for slot in slots {
+        match slot {
+            Some(Step::Allowed(w)) => return Some((Verdict::Allowed(w), stats)),
+            Some(Step::Unsupported(e)) => return Some((Verdict::Unsupported(e), stats)),
+            Some(Step::Disallowed) => {}
+            Some(Step::Exhausted(stage)) => exhausted = exhausted.or(Some(stage)),
+            None => skipped = true,
+        }
+    }
+    if collect_exhausted {
+        exhausted = exhausted.or(Some(Stage::StoreOrders));
+    }
+    if skipped {
+        exhausted = exhausted.or(Some(Stage::ViewSearch));
+    }
+    Some(match exhausted {
+        Some(stage) => {
+            stats.exhausted_stage = Some(stage);
+            (Verdict::Exhausted, stats)
+        }
+        None => (Verdict::Disallowed, stats),
+    })
+}
+
 /// Run a whole batch against one shared node pool (used by callers that
 /// want a global ceiling across many checks rather than a per-check
 /// budget; verdicts may then differ from per-check budgeting by
@@ -537,6 +828,48 @@ mod tests {
         let (v, _) = check_parallel(&h, &models::pram(), &cfg, 4);
         assert!(v.is_disallowed());
         assert!(check_with_config(&h, &models::pram(), &cfg).is_disallowed());
+    }
+
+    #[test]
+    fn split_dfs_agrees_with_sequential_on_sc_and_tso() {
+        let cfg = CheckConfig::default();
+        for h in figures() {
+            for m in [models::sc(), models::tso()] {
+                let seq = check_with_config(&h, &m, &cfg);
+                for jobs in [2, 4] {
+                    let (par, _) = check_parallel(&h, &m, &cfg, jobs);
+                    assert_eq!(
+                        par.decided(),
+                        seq.decided(),
+                        "{} at jobs={jobs} disagrees",
+                        m.name
+                    );
+                    if let Verdict::Allowed(w) = &par {
+                        verify_witness(&h, &m, w).expect("split witness verifies");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_parallel_hits_across_renamings() {
+        // The same history under a processor/location/value renaming must
+        // hit the cache and still return a verifying witness.
+        let a = parse_history("p: w(x)1\nq: r(x)1 w(y)1\nr: r(y)1 r(x)0").unwrap();
+        let b = parse_history("u: w(c)7\nv: r(c)7 w(d)3\nw: r(d)3 r(c)0").unwrap();
+        let cfg = CheckConfig::default().with_memo();
+        let memo = cfg.memo.clone().unwrap();
+        for m in [models::causal(), models::sc(), models::tso()] {
+            let (va, _) = check_parallel(&a, &m, &cfg, 4);
+            let (vb, sb) = check_parallel(&b, &m, &cfg, 4);
+            assert_eq!(va.decided(), vb.decided(), "{} memo disagrees", m.name);
+            assert!(sb.memo_hit, "{} second check missed the memo", m.name);
+            if let Verdict::Allowed(w) = &vb {
+                verify_witness(&b, &m, w).expect("rehydrated witness verifies");
+            }
+        }
+        assert!(memo.stats().hits >= 3);
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! Canonical forms of histories under symmetry.
+//!
+//! Admission verdicts are invariant under bijective renamings of
+//! processors, locations, and (per location) written/read values: renaming
+//! carries legal views to legal views and derived orders to derived
+//! orders, so two histories that differ only by such a renaming are
+//! admitted by exactly the same models. This module computes a
+//! deterministic *canonical form* — processors, locations, and values
+//! relabeled by first-occurrence order, with processors tie-broken by a
+//! stable fingerprint of their operation sequences — plus a 128-bit
+//! [`HistoryKey`] hash of that form. Canonically-equal histories can then
+//! share one cached verdict ([`crate::memo`]), and a cached witness can be
+//! translated through the recorded permutations so it remains valid for
+//! every history in the symmetry class.
+//!
+//! Value renaming is sound *per location*: the legality of a view only
+//! ever compares a read's value against the most recent write to the same
+//! location, so a bijection on the values used at each location (fixing
+//! the initial value `0`) preserves legality. Processor renaming permutes
+//! the views; location renaming permutes the per-location coherence
+//! orders. None of the model parameters mention concrete names.
+//!
+//! Processor tie groups (processors whose local fingerprints coincide) are
+//! resolved by trying every permutation within the groups and keeping the
+//! lexicographically least global encoding, capped at [`TIE_CAP`]
+//! candidate orders. Exceeding the cap falls back to the fingerprint
+//! order, which is still deterministic — it can only *miss* symmetries
+//! (fewer cache hits), never conflate non-isomorphic histories.
+
+use smc_history::{History, HistoryBuilder, Label, Location, OpId, OpKind, ProcId};
+
+/// Maximum candidate processor orders tried when resolving fingerprint
+/// ties (6! — every history with at most 6 mutually-tied processors is
+/// canonicalized exactly).
+pub const TIE_CAP: usize = 720;
+
+/// Separator token between per-processor blocks in the canonical
+/// encoding.
+const SEP: u64 = u64::MAX;
+
+/// A 128-bit hash of a history's canonical encoding. Equal keys mean the
+/// canonical encodings collided under FNV-1a, which for equal-length
+/// streams in this domain means the encodings — and hence the canonical
+/// histories — are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HistoryKey(pub u128);
+
+impl std::fmt::Debug for HistoryKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HistoryKey({:032x})", self.0)
+    }
+}
+
+impl std::fmt::Display for HistoryKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// FNV-1a over a token stream, widened to 128 bits.
+fn fnv128(tokens: &[u64]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for t in tokens {
+        for b in t.to_le_bytes() {
+            h ^= b as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// A history's canonical form: the relabeled history, its key, and the
+/// permutations needed to translate witnesses between the original and
+/// canonical coordinates.
+#[derive(Debug, Clone)]
+pub struct Canon {
+    /// Hash of the canonical encoding.
+    pub key: HistoryKey,
+    /// The canonical history itself (processors `p0, p1, ...`, locations
+    /// `x0, x1, ...`, values renumbered per location).
+    pub history: History,
+    op_to_canon: Vec<OpId>,
+    op_from_canon: Vec<OpId>,
+    proc_to_canon: Vec<ProcId>,
+    loc_to_canon: Vec<Option<Location>>,
+    loc_from_canon: Vec<Location>,
+    orig_procs: usize,
+    orig_locs: usize,
+}
+
+/// Per-processor fingerprint: the operation sequence with locations and
+/// values relabeled by first occurrence *within this processor*. Invariant
+/// under any global renaming, so it gives a renaming-independent sort key
+/// for processors.
+fn local_fingerprint(h: &History, p: usize) -> Vec<u64> {
+    let mut locs: Vec<u32> = Vec::new();
+    // Per local-location value tables; values keyed by original i64.
+    let mut vals: Vec<Vec<i64>> = Vec::new();
+    let mut out = Vec::new();
+    for o in h.proc_ops(ProcId(p as u32)) {
+        let l = match locs.iter().position(|&x| x == o.loc.0) {
+            Some(i) => i,
+            None => {
+                locs.push(o.loc.0);
+                vals.push(Vec::new());
+                locs.len() - 1
+            }
+        };
+        let v = if o.value.is_initial() {
+            0
+        } else {
+            match vals[l].iter().position(|&x| x == o.value.0) {
+                Some(i) => (i + 1) as u64,
+                None => {
+                    vals[l].push(o.value.0);
+                    vals[l].len() as u64
+                }
+            }
+        };
+        out.push(op_tag(o.kind, o.label));
+        out.push(l as u64);
+        out.push(v);
+    }
+    out
+}
+
+fn op_tag(kind: OpKind, label: Label) -> u64 {
+    (matches!(kind, OpKind::Write) as u64) | ((matches!(label, Label::Labeled) as u64) << 1)
+}
+
+/// Encode the history under a candidate processor order with global
+/// first-occurrence relabeling of locations and per-location values.
+fn encode_order(h: &History, order: &[usize]) -> Vec<u64> {
+    let mut loc_map: Vec<Option<u64>> = vec![None; h.num_locs()];
+    let mut next_loc = 0u64;
+    let mut vals: Vec<Vec<i64>> = Vec::new();
+    let mut out = Vec::with_capacity(3 * h.num_ops() + h.num_procs() + 1);
+    out.push(h.num_procs() as u64);
+    for &p in order {
+        out.push(SEP);
+        for o in h.proc_ops(ProcId(p as u32)) {
+            let l = match loc_map[o.loc.index()] {
+                Some(l) => l,
+                None => {
+                    loc_map[o.loc.index()] = Some(next_loc);
+                    vals.push(Vec::new());
+                    next_loc += 1;
+                    next_loc - 1
+                }
+            };
+            let v = if o.value.is_initial() {
+                0
+            } else {
+                let table = &mut vals[l as usize];
+                match table.iter().position(|&x| x == o.value.0) {
+                    Some(i) => (i + 1) as u64,
+                    None => {
+                        table.push(o.value.0);
+                        table.len() as u64
+                    }
+                }
+            };
+            out.push(op_tag(o.kind, o.label));
+            out.push(l);
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Enumerate candidate processor orders: the fingerprint-sorted base
+/// order, with every permutation inside each tie group — unless the
+/// combination count exceeds [`TIE_CAP`], in which case only the base
+/// order is tried.
+fn candidate_orders(base: &[usize], groups: &[std::ops::Range<usize>]) -> Vec<Vec<usize>> {
+    let mut combos: usize = 1;
+    for g in groups {
+        let k = g.len();
+        let fact: usize = (1..=k).product();
+        combos = combos.saturating_mul(fact);
+        if combos > TIE_CAP {
+            return vec![base.to_vec()];
+        }
+    }
+    let mut out = vec![base.to_vec()];
+    for g in groups {
+        if g.len() < 2 {
+            continue;
+        }
+        let mut next = Vec::new();
+        for prefix in &out {
+            let members: Vec<usize> = prefix[g.clone()].to_vec();
+            for perm in permutations(&members) {
+                let mut cand = prefix.clone();
+                cand[g.clone()].copy_from_slice(&perm);
+                next.push(cand);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// All permutations of `items`, in a deterministic order.
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Compute the canonical form of `h`.
+pub fn canonicalize(h: &History) -> Canon {
+    // 1. Fingerprint-sort the processors (stable, so the base order is
+    //    deterministic; ties are resolved by encoding minimization below).
+    let fingerprints: Vec<Vec<u64>> = (0..h.num_procs())
+        .map(|p| local_fingerprint(h, p))
+        .collect();
+    let mut base: Vec<usize> = (0..h.num_procs()).collect();
+    base.sort_by(|&a, &b| fingerprints[a].cmp(&fingerprints[b]));
+
+    // 2. Tie groups: maximal runs of equal fingerprints in the base order.
+    let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut start = 0;
+    for i in 1..=base.len() {
+        if i == base.len() || fingerprints[base[i]] != fingerprints[base[start]] {
+            if i - start > 1 {
+                groups.push(start..i);
+            }
+            start = i;
+        }
+    }
+
+    // 3. Lexicographically least encoding over the candidate orders.
+    let mut best_order = base.clone();
+    let mut best_enc = encode_order(h, &base);
+    for cand in candidate_orders(&base, &groups) {
+        if cand == base {
+            continue;
+        }
+        let enc = encode_order(h, &cand);
+        if enc < best_enc {
+            best_enc = enc;
+            best_order = cand;
+        }
+    }
+
+    // 4. Materialize the maps and the canonical history for the winner.
+    let mut proc_to_canon = vec![ProcId(0); h.num_procs()];
+    for (c, &p) in best_order.iter().enumerate() {
+        proc_to_canon[p] = ProcId(c as u32);
+    }
+    let mut loc_to_canon: Vec<Option<Location>> = vec![None; h.num_locs()];
+    let mut loc_from_canon: Vec<Location> = Vec::new();
+    let mut vals: Vec<Vec<i64>> = Vec::new();
+    let mut op_to_canon = vec![OpId(0); h.num_ops()];
+    let mut op_from_canon = Vec::with_capacity(h.num_ops());
+    let mut b = HistoryBuilder::new();
+    for (c, &p) in best_order.iter().enumerate() {
+        let pname = format!("p{c}");
+        b.add_proc(&pname);
+        for o in h.proc_ops(ProcId(p as u32)) {
+            let l = match loc_to_canon[o.loc.index()] {
+                Some(l) => l,
+                None => {
+                    let l = Location(loc_from_canon.len() as u32);
+                    loc_to_canon[o.loc.index()] = Some(l);
+                    loc_from_canon.push(o.loc);
+                    vals.push(Vec::new());
+                    l
+                }
+            };
+            let v: i64 = if o.value.is_initial() {
+                0
+            } else {
+                let table = &mut vals[l.index()];
+                match table.iter().position(|&x| x == o.value.0) {
+                    Some(i) => (i + 1) as i64,
+                    None => {
+                        table.push(o.value.0);
+                        table.len() as i64
+                    }
+                }
+            };
+            op_to_canon[o.id.index()] = OpId(op_from_canon.len() as u32);
+            op_from_canon.push(o.id);
+            b.push(&pname, o.kind, &format!("x{}", l.index()), v, o.label);
+        }
+    }
+    let history = b.build();
+    debug_assert_eq!(history.num_ops(), h.num_ops());
+
+    Canon {
+        key: HistoryKey(fnv128(&best_enc)),
+        history,
+        op_to_canon,
+        op_from_canon,
+        proc_to_canon,
+        loc_to_canon,
+        loc_from_canon,
+        orig_procs: h.num_procs(),
+        orig_locs: h.num_locs(),
+    }
+}
+
+impl Canon {
+    /// Map an original operation id into canonical coordinates.
+    pub fn op_to_canon(&self, o: OpId) -> OpId {
+        self.op_to_canon[o.index()]
+    }
+
+    /// Map a canonical operation id back to original coordinates.
+    pub fn op_from_canon(&self, o: OpId) -> OpId {
+        self.op_from_canon[o.index()]
+    }
+
+    fn map_ops(&self, ops: &[OpId]) -> Vec<OpId> {
+        ops.iter().map(|&o| self.op_to_canon[o.index()]).collect()
+    }
+
+    fn unmap_ops(&self, ops: &[OpId]) -> Vec<OpId> {
+        ops.iter().map(|&o| self.op_from_canon[o.index()]).collect()
+    }
+
+    /// Translate a witness for the *original* history into canonical
+    /// coordinates (valid for [`Canon::history`] by the renaming-symmetry
+    /// of all witness components).
+    pub fn witness_to_canon(&self, w: &crate::checker::Witness) -> crate::checker::Witness {
+        let mut views = vec![Vec::new(); self.orig_procs];
+        for (p, view) in w.views.iter().enumerate() {
+            views[self.proc_to_canon[p].index()] = self.map_ops(view);
+        }
+        let coherence = w.coherence.as_ref().map(|coh| {
+            self.loc_from_canon
+                .iter()
+                .map(|lo| self.map_ops(&coh[lo.index()]))
+                .collect()
+        });
+        let reads_from = w.reads_from.as_ref().map(|rf| {
+            let mut out = vec![None; rf.len()];
+            for (i, src) in rf.iter().enumerate() {
+                out[self.op_to_canon[i].index()] = src.map(|s| self.op_to_canon[s.index()]);
+            }
+            out
+        });
+        crate::checker::Witness {
+            views,
+            store_order: w.store_order.as_deref().map(|s| self.map_ops(s)),
+            coherence,
+            labeled_order: w.labeled_order.as_deref().map(|t| self.map_ops(t)),
+            reads_from,
+        }
+    }
+
+    /// Translate a witness in canonical coordinates back into a witness
+    /// for the original history.
+    pub fn witness_from_canon(&self, w: &crate::checker::Witness) -> crate::checker::Witness {
+        let views = (0..self.orig_procs)
+            .map(|p| self.unmap_ops(&w.views[self.proc_to_canon[p].index()]))
+            .collect();
+        let coherence = w.coherence.as_ref().map(|coh| {
+            (0..self.orig_locs)
+                .map(|l| match self.loc_to_canon[l] {
+                    Some(lc) => self.unmap_ops(&coh[lc.index()]),
+                    // A location the history never touches has no writes.
+                    None => Vec::new(),
+                })
+                .collect()
+        });
+        let reads_from = w.reads_from.as_ref().map(|rf| {
+            let mut out = vec![None; rf.len()];
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = rf[self.op_to_canon[i].index()].map(|s| self.op_from_canon[s.index()]);
+            }
+            out
+        });
+        crate::checker::Witness {
+            views,
+            store_order: w.store_order.as_deref().map(|s| self.unmap_ops(s)),
+            coherence,
+            labeled_order: w.labeled_order.as_deref().map(|t| self.unmap_ops(t)),
+            reads_from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_history::litmus::parse_history;
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        for text in [
+            "p: w(x)1 r(y)0\nq: w(y)1 r(x)0",
+            "p: w(x)5\nq: w(x)5\nr: r(x)5 r(x)5",
+            "a: w(m)3 wl(s)1\nb: rl(s)1 r(m)3",
+        ] {
+            let h = parse_history(text).unwrap();
+            let c1 = canonicalize(&h);
+            let c2 = canonicalize(&c1.history);
+            assert_eq!(c1.key, c2.key, "{text}");
+            assert_eq!(c1.history, c2.history, "{text}");
+        }
+    }
+
+    #[test]
+    fn renamed_histories_share_a_key() {
+        // Same history with processors swapped, locations renamed, and
+        // values shifted (7 ↔ 1, 9 ↔ 1 per location).
+        let a = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let b = parse_history("u: w(n)9 r(m)0\nt: w(m)7 r(n)0").unwrap();
+        assert_eq!(canonicalize(&a).key, canonicalize(&b).key);
+        assert_eq!(canonicalize(&a).history, canonicalize(&b).history);
+    }
+
+    #[test]
+    fn different_histories_get_different_keys() {
+        let a = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let b = parse_history("p: w(x)1 r(y)1\nq: w(y)1 r(x)0").unwrap();
+        let c = parse_history("p: w(x)1\nq: r(x)1").unwrap();
+        assert_ne!(canonicalize(&a).key, canonicalize(&b).key);
+        assert_ne!(canonicalize(&a).key, canonicalize(&c).key);
+    }
+
+    #[test]
+    fn value_renaming_is_per_location() {
+        // Values are renamed per location, so cross-location value
+        // equality must NOT be canonicalized away: these two differ (the
+        // first reuses 1 across locations, the second doesn't) yet both
+        // canonicalize to the same form because value identity only
+        // matters within a location.
+        let a = parse_history("p: w(x)1 w(y)1").unwrap();
+        let b = parse_history("p: w(x)1 w(y)2").unwrap();
+        assert_eq!(canonicalize(&a).key, canonicalize(&b).key);
+        // ...but reusing a value at the SAME location is structural.
+        let c = parse_history("p: w(x)1 w(x)1").unwrap();
+        let d = parse_history("p: w(x)1 w(x)2").unwrap();
+        assert_ne!(canonicalize(&c).key, canonicalize(&d).key);
+    }
+
+    #[test]
+    fn empty_and_tiny_histories() {
+        let empty = smc_history::HistoryBuilder::new().build();
+        let c = canonicalize(&empty);
+        assert_eq!(c.history.num_ops(), 0);
+        let single = parse_history("p: w(x)1").unwrap();
+        let c = canonicalize(&single);
+        assert_eq!(c.history.num_ops(), 1);
+        assert_eq!(canonicalize(&c.history).key, c.key);
+    }
+
+    #[test]
+    fn tie_broken_processors_are_invariant() {
+        // Three processors with identical shapes; any listing order must
+        // canonicalize identically.
+        let a = parse_history("p: w(x)1\nq: w(x)2\nr: r(x)1").unwrap();
+        let b = parse_history("p: r(x)7\nq: w(x)7\nr: w(x)3").unwrap();
+        // a: procs write/write/read; b: read/write/write with renamed
+        // values. Isomorphic via p↔r swap and value bijection.
+        assert_eq!(canonicalize(&a).key, canonicalize(&b).key);
+    }
+
+    #[test]
+    fn witness_round_trip() {
+        let h = parse_history("q: w(y)1\np: r(y)1").unwrap();
+        let c = canonicalize(&h);
+        let w = crate::checker::Witness {
+            views: vec![vec![OpId(0), OpId(1)], vec![OpId(0), OpId(1)]],
+            store_order: Some(vec![OpId(0)]),
+            coherence: Some(vec![vec![OpId(0)]]),
+            labeled_order: None,
+            reads_from: Some(vec![None, Some(OpId(0))]),
+        };
+        let back = c.witness_from_canon(&c.witness_to_canon(&w));
+        assert_eq!(back, w);
+    }
+}

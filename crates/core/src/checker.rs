@@ -21,10 +21,12 @@
 //! shared pool by the parallel drivers in [`crate::batch`].
 
 use crate::budget::Budget;
+use crate::canon::canonicalize;
 use crate::coherence::{enumerate_coherence, CoherenceOrders};
 use crate::constraints::{
     assemble_global, owner_edges, BaseOrders, Candidates, LabeledCtx, RcError,
 };
+use crate::memo::MemoCache;
 use crate::rf::{enumerate_reads_from, ReadsFrom};
 use crate::spec::{LabeledModel, ModelSpec, OperationSet};
 use crate::view::{
@@ -34,6 +36,7 @@ use crate::view::{
 use smc_history::{History, OpId, ProcId};
 use smc_relation::BitSet;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Resource limits for a check.
@@ -44,6 +47,22 @@ pub struct CheckConfig {
     /// Search-node budget shared across the whole check (view searches,
     /// candidate enumeration).
     pub node_budget: u64,
+    /// An optional memo table consulted before (and updated after) each
+    /// check: decided verdicts are shared across every history in the
+    /// same renaming-symmetry class ([`crate::canon`]). `None` (the
+    /// default) keeps the checker's output bit-identical to the
+    /// unmemoized search — cached `Allowed` verdicts carry a *translated*
+    /// witness, which verifies but need not be the same witness the
+    /// search would find.
+    pub memo: Option<Arc<MemoCache>>,
+    /// Work-stealing split granularity for [`crate::batch::check_parallel`]:
+    /// a single view search is prefix-partitioned into about
+    /// `jobs × split_prefix_factor` subtrees.
+    pub split_prefix_factor: usize,
+    /// Maximum store orders [`crate::batch::check_parallel`] collects
+    /// up-front when fanning a TSO-style check across workers; above the
+    /// cap it falls back to the sequential streaming enumeration.
+    pub store_order_cap: usize,
 }
 
 impl Default for CheckConfig {
@@ -51,6 +70,20 @@ impl Default for CheckConfig {
         CheckConfig {
             max_rf: 4096,
             node_budget: 20_000_000,
+            memo: None,
+            split_prefix_factor: 4,
+            store_order_cap: 16_384,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// This configuration with a fresh memo table of the default
+    /// capacity attached.
+    pub fn with_memo(self) -> Self {
+        CheckConfig {
+            memo: Some(Arc::new(MemoCache::default())),
+            ..self
         }
     }
 }
@@ -96,6 +129,9 @@ pub struct CheckStats {
     pub wall: Duration,
     /// Where the budget ran out, for `Exhausted` verdicts.
     pub exhausted_stage: Option<Stage>,
+    /// `true` if the verdict came from the memo table rather than a
+    /// search.
+    pub memo_hit: bool,
 }
 
 /// A certificate that a history is admitted: the per-processor views plus
@@ -176,6 +212,20 @@ pub(crate) fn check_with_budget(
     budget: &Budget,
 ) -> (Verdict, CheckStats) {
     let start = Instant::now();
+    // Memoized path: consult the cache under the canonical history key;
+    // a hit costs one canonicalization and a witness translation, no
+    // search nodes.
+    let canon = cfg.memo.as_ref().map(|memo| (memo, canonicalize(h)));
+    if let Some((memo, canon)) = &canon {
+        if let Some(hit) = memo.lookup(canon.key, spec.param_key()) {
+            let stats = CheckStats {
+                memo_hit: true,
+                wall: start.elapsed(),
+                ..CheckStats::default()
+            };
+            return (MemoCache::rehydrate(canon, hit), stats);
+        }
+    }
     let spent_before = budget.spent();
     let mut stats = CheckStats::default();
     let verdict = run_check(h, spec, cfg, budget, &mut stats);
@@ -183,6 +233,9 @@ pub(crate) fn check_with_budget(
     stats.wall = start.elapsed();
     if !matches!(verdict, Verdict::Exhausted) {
         stats.exhausted_stage = None;
+    }
+    if let Some((memo, canon)) = &canon {
+        memo.record(canon, spec.param_key(), &verdict);
     }
     (verdict, stats)
 }
@@ -351,14 +404,10 @@ pub(crate) fn check_with_rf(
                 return ControlFlow::Break(());
             }
             let store: Vec<OpId> = ext.iter().map(|&i| OpId(i as u32)).collect();
-            let cand = Candidates {
-                store_order: Some(&store),
-                ..Default::default()
-            };
-            match with_candidates(h, spec, base, rf, legality, &cand, None, budget) {
+            match check_with_store_order(h, spec, base, rf, legality, &store, budget) {
                 Step::Disallowed => ControlFlow::Continue(()),
                 done => {
-                    result = attach_store(done, &store);
+                    result = done;
                     ControlFlow::Break(())
                 }
             }
@@ -456,6 +505,28 @@ fn with_labeled_agreement(
         (r, None) => r,
         (r, Some(coh)) => attach_coherence(r, coh),
     }
+}
+
+/// Check the per-view searches under one fixed TSO store order. Shared by
+/// the sequential store-order enumeration above and the parallel
+/// store-order fan-out in [`crate::batch`].
+pub(crate) fn check_with_store_order(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    rf: Option<&ReadsFrom>,
+    legality: LegalityMode<'_>,
+    store: &[OpId],
+    budget: &Budget,
+) -> Step {
+    let cand = Candidates {
+        store_order: Some(store),
+        ..Default::default()
+    };
+    attach_store(
+        with_candidates(h, spec, base, rf, legality, &cand, None, budget),
+        store,
+    )
 }
 
 fn attach_store(step: Step, store: &[OpId]) -> Step {
@@ -675,6 +746,7 @@ mod tests {
         let cfg = CheckConfig {
             max_rf: 1,
             node_budget: 1,
+            ..CheckConfig::default()
         };
         assert_eq!(
             check_with_config(&h, &models::sc(), &cfg),
@@ -688,6 +760,7 @@ mod tests {
         let cfg = CheckConfig {
             max_rf: 1,
             node_budget: 1,
+            ..CheckConfig::default()
         };
         let (v, stats) = check_with_stats(&h, &models::sc(), &cfg);
         assert_eq!(v, Verdict::Exhausted);

@@ -24,6 +24,8 @@
 use crate::checker::{check_with_config, CheckConfig};
 use crate::spec::ModelSpec;
 use smc_history::History;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Classification of one history against every model in a list:
 /// `allowed[m]` is `Some(true/false)` if decided, `None` if the budget ran
@@ -60,6 +62,149 @@ pub fn classify_all(
             allowed: row.iter().map(|r| r.verdict.decided()).collect(),
         })
         .collect()
+}
+
+/// Sound admitted-set inclusions among the registered models, as
+/// `(stronger, weaker)` display-name pairs: every history the stronger
+/// model admits, the weaker model admits too. These are the inclusions of
+/// the paper's Figure 5 (restricted to models registered in
+/// [`crate::models`]); [`classify_all_propagating`] uses their transitive
+/// closure to skip checks whose answer is already forced.
+pub fn known_inclusions() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("SC", "TSO"),
+        ("SC", "CausalCoherent"),
+        ("TSO", "PC"),
+        ("TSO", "Causal"),
+        ("PC", "PRAM"),
+        ("PC", "Coherent"),
+        ("Causal", "PRAM"),
+        ("CausalCoherent", "Causal"),
+        ("CausalCoherent", "Coherent"),
+        ("CausalCoherent", "PCG"),
+        ("PCG", "PRAM"),
+        ("PCG", "Coherent"),
+    ]
+}
+
+/// `stronger[i][j]` = admitted by `models[i]` implies admitted by
+/// `models[j]`, per the transitive closure of [`known_inclusions`]
+/// (matched by display name, case-insensitively).
+fn inclusion_closure(models: &[ModelSpec]) -> Vec<Vec<bool>> {
+    let n = models.len();
+    let mut m = vec![vec![false; n]; n];
+    let idx = |name: &str| {
+        models
+            .iter()
+            .position(|s| s.name.eq_ignore_ascii_case(name))
+    };
+    for (s, w) in known_inclusions() {
+        if let (Some(a), Some(b)) = (idx(s), idx(w)) {
+            m[a][b] = true;
+        }
+    }
+    for k in 0..n {
+        let row_k = m[k].clone();
+        for row in m.iter_mut() {
+            if !row[k] {
+                continue;
+            }
+            for (j, &through_k) in row_k.iter().enumerate() {
+                if through_k {
+                    row[j] = true;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// How much checking a propagating sweep actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagationStats {
+    /// (history, model) pairs decided by running the checker.
+    pub checked: u64,
+    /// Pairs decided for free along Figure 5 inclusions.
+    pub propagated: u64,
+}
+
+/// [`classify_all`] with lattice-aware propagation: within each history,
+/// a verdict already decided for one model forces the verdict for every
+/// model related to it by [`known_inclusions`] — admitted by a stronger
+/// model ⇒ admitted by the weaker, refuted by a weaker model ⇒ refuted by
+/// the stronger — so whole rows of the sweep are skipped. Undecided
+/// verdicts (`None`) never propagate. Histories fan out across `jobs`
+/// worker threads; each check runs under the caller's `cfg` exactly as in
+/// [`classify`].
+pub fn classify_all_propagating(
+    corpus: &[History],
+    models: &[ModelSpec],
+    cfg: &CheckConfig,
+    jobs: usize,
+) -> (Vec<Classification>, PropagationStats) {
+    let stronger = inclusion_closure(models);
+    let n = models.len();
+    let checked = AtomicU64::new(0);
+    let propagated = AtomicU64::new(0);
+    let classify_one = |h: &History| -> Classification {
+        let mut allowed: Vec<Option<bool>> = vec![None; n];
+        for j in 0..n {
+            if (0..n).any(|i| stronger[i][j] && allowed[i] == Some(true)) {
+                allowed[j] = Some(true);
+                propagated.fetch_add(1, Ordering::Relaxed);
+            } else if (0..n).any(|k| stronger[j][k] && allowed[k] == Some(false)) {
+                allowed[j] = Some(false);
+                propagated.fetch_add(1, Ordering::Relaxed);
+            } else {
+                allowed[j] = check_with_config(h, &models[j], cfg).decided();
+                checked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Classification { allowed }
+    };
+
+    let jobs = jobs.max(1).min(corpus.len().max(1));
+    let classifications = if jobs <= 1 {
+        corpus.iter().map(classify_one).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Classification>>> =
+            Mutex::new((0..corpus.len()).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= corpus.len() {
+                        break;
+                    }
+                    let c = classify_one(&corpus[i]);
+                    match slots.lock() {
+                        Ok(mut slots) => slots[i] = Some(c),
+                        Err(_) => break,
+                    }
+                });
+            }
+        });
+        let slots = match slots.into_inner() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        slots
+            .into_iter()
+            .map(|c| {
+                c.unwrap_or(Classification {
+                    allowed: vec![None; n],
+                })
+            })
+            .collect()
+    };
+    (
+        classifications,
+        PropagationStats {
+            checked: checked.load(Ordering::Relaxed),
+            propagated: propagated.load(Ordering::Relaxed),
+        },
+    )
 }
 
 /// The empirical comparison of a model list over a history corpus.
@@ -296,6 +441,67 @@ q: r(x)1",
         assert_eq!(classes.len(), 1);
         assert_eq!(r.class_name(&classes[0]), "SC ≡ TSO");
         assert!(r.hasse_edges().is_empty());
+    }
+
+    #[test]
+    fn known_inclusions_hold_exhaustively_on_small_universe() {
+        // Empirically validate every claimed Figure 5 inclusion over the
+        // full universe of 2-proc, 2-ops, 2-loc, 1-value histories: no
+        // history may be admitted by the stronger model and refuted by
+        // the weaker one.
+        let params = crate::histgen::GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        };
+        let corpus = crate::histgen::all_histories(&params);
+        let ms = models::all_models();
+        let cfg = CheckConfig::default();
+        let classifications = classify_all(&corpus, &ms, &cfg, 2);
+        let idx = |name: &str| ms.iter().position(|m| m.name == name);
+        for (s, w) in known_inclusions() {
+            let (a, b) = (idx(s).unwrap(), idx(w).unwrap());
+            for (hi, c) in classifications.iter().enumerate() {
+                if c.allowed[a] == Some(true) {
+                    assert_ne!(
+                        c.allowed[b],
+                        Some(false),
+                        "{s} admits history {hi} but {w} refutes it: inclusion {s} ⊆ {w} is wrong"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagating_sweep_matches_plain_sweep() {
+        let params = crate::histgen::GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        };
+        let corpus = crate::histgen::all_histories(&params);
+        let ms = models::figure5_models();
+        let cfg = CheckConfig::default();
+        let plain = classify_all(&corpus, &ms, &cfg, 2);
+        let (prop, stats) = classify_all_propagating(&corpus, &ms, &cfg, 2);
+        assert_eq!(plain.len(), prop.len());
+        for (hi, (a, b)) in plain.iter().zip(&prop).enumerate() {
+            assert_eq!(
+                a.allowed, b.allowed,
+                "history {hi} diverges under propagation"
+            );
+        }
+        assert!(
+            stats.propagated > 0,
+            "no propagation on an exhaustive sweep"
+        );
+        assert_eq!(
+            stats.checked + stats.propagated,
+            (corpus.len() * ms.len()) as u64
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`batch`] — the parallel engine: [`batch::check_batch`] fans
 //!   (history, model) pairs across a thread pool; [`batch::check_parallel`]
 //!   parallelizes a single check's inner enumerations.
+//! * [`canon`] — a canonical normal form for histories under
+//!   processor/location/value renamings, with a 128-bit [`canon::HistoryKey`].
+//! * [`memo`] — a sharded concurrent memo table of decided verdicts keyed
+//!   by `(HistoryKey, model parameter key)`, shared across sweeps.
 //! * [`explain`] — best-effort cycle certificates for refutations.
 //! * [`verify`] — independent validation of witnesses (used heavily by
 //!   the test suite: every `Allowed` must verify).
@@ -54,12 +58,14 @@
 
 pub mod batch;
 pub mod budget;
+pub mod canon;
 pub mod checker;
 pub mod coherence;
 pub mod constraints;
 pub mod explain;
 pub mod histgen;
 pub mod lattice;
+pub mod memo;
 pub mod models;
 pub mod orders;
 pub mod rf;
@@ -69,7 +75,9 @@ pub mod view;
 
 pub use batch::{check_batch, check_batch_shared, check_matrix, check_parallel, BatchResult};
 pub use budget::{Budget, SharedBudget};
+pub use canon::{canonicalize, Canon, HistoryKey};
 pub use checker::{
     check, check_with_config, check_with_stats, CheckConfig, CheckStats, Stage, Verdict, Witness,
 };
+pub use memo::{MemoCache, MemoStats};
 pub use spec::ModelSpec;

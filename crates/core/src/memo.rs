@@ -1,0 +1,262 @@
+//! A sweep-wide concurrent memo table for admission verdicts.
+//!
+//! Lattice sweeps and batch checks re-decide the same question many
+//! times: the same (history, model) pair shows up under processor,
+//! location, and value renamings, and `check_matrix` revisits identical
+//! histories across models. [`MemoCache`] caches *decided* verdicts keyed
+//! by `(`[`HistoryKey`]`, model parameter key)` — the canonical form of
+//! the history ([`crate::canon`]) and a hash of the model's parameter
+//! point ([`crate::spec::ModelSpec::param_key`]) — so every member of a
+//! symmetry class is decided once per model.
+//!
+//! * `Allowed` entries store their witness in *canonical* coordinates;
+//!   on a hit the witness is translated through the querying history's
+//!   own permutation maps, so it verifies against that history.
+//! * `Exhausted` verdicts are never cached: they depend on the budget
+//!   the particular check ran under, not on the question.
+//! * `Unsupported` verdicts are never cached: they are cheap to
+//!   recompute and their messages embed the model's display name, which
+//!   is not part of the parameter key.
+//!
+//! The table is sharded: 16 shards, each a `Mutex<HashMap>` with FIFO
+//! eviction at a fixed per-shard capacity, so concurrent workers rarely
+//! contend and the table's memory is bounded. Hit/miss/insert/eviction
+//! counters are atomic and surface through `smc corpus --stats`/`--json`.
+
+use crate::canon::{Canon, HistoryKey};
+use crate::checker::{Verdict, Witness};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NUM_SHARDS: usize = 16;
+
+/// Default total capacity (entries across all shards).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A cached decided verdict, with any witness kept in canonical
+/// coordinates.
+#[derive(Debug, Clone)]
+pub enum CachedVerdict {
+    /// Admitted; the canonical-coordinate witness is attached.
+    Allowed(Witness),
+    /// Not admitted.
+    Disallowed,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<(u128, u64), CachedVerdict>,
+    order: VecDeque<(u128, u64)>,
+}
+
+/// Concurrent sharded cache of decided verdicts, keyed by
+/// `(canonical history, model parameters)`.
+pub struct MemoCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups that found a cached verdict.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted (FIFO, at capacity).
+    pub evictions: u64,
+}
+
+impl std::fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("MemoCache")
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("inserts", &s.inserts)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl MemoCache {
+    /// A cache bounded to roughly `capacity` entries (rounded up to a
+    /// multiple of the shard count).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemoCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(NUM_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: HistoryKey, model: u64) -> &Mutex<Shard> {
+        let mix = (key.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_right(17)
+            ^ model;
+        &self.shards[(mix as usize) % NUM_SHARDS]
+    }
+
+    /// Look up the cached verdict for `(key, model)`, counting the hit or
+    /// miss.
+    pub fn lookup(&self, key: HistoryKey, model: u64) -> Option<CachedVerdict> {
+        let shard = match self.shard_of(key, model).lock() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        match shard.map.get(&(key.0, model)) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a decided verdict for `(key, model)`, evicting the oldest
+    /// entry of the shard if it is at capacity. Re-inserting an existing
+    /// key replaces the value in place.
+    pub fn insert(&self, key: HistoryKey, model: u64, verdict: CachedVerdict) {
+        let mut shard = match self.shard_of(key, model).lock() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        let k = (key.0, model);
+        if shard.map.insert(k, verdict).is_none() {
+            shard.order.push_back(k);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            while shard.map.len() > self.shard_capacity {
+                if let Some(old) = shard.order.pop_front() {
+                    shard.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Record a checker verdict if it is cacheable (decided), translating
+    /// any witness into canonical coordinates first.
+    pub fn record(&self, canon: &Canon, model: u64, verdict: &Verdict) {
+        match verdict {
+            Verdict::Allowed(w) => self.insert(
+                canon.key,
+                model,
+                CachedVerdict::Allowed(canon.witness_to_canon(w)),
+            ),
+            Verdict::Disallowed => self.insert(canon.key, model, CachedVerdict::Disallowed),
+            Verdict::Exhausted | Verdict::Unsupported(_) => {}
+        }
+    }
+
+    /// Turn a cached verdict into a [`Verdict`] for the querying history,
+    /// translating the witness out of canonical coordinates.
+    pub fn rehydrate(canon: &Canon, hit: CachedVerdict) -> Verdict {
+        match hit {
+            CachedVerdict::Allowed(w) => Verdict::Allowed(Box::new(canon.witness_from_canon(&w))),
+            CachedVerdict::Disallowed => Verdict::Disallowed,
+        }
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(s) => s.map.len(),
+                Err(p) => p.into_inner().map.len(),
+            })
+            .sum()
+    }
+
+    /// `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the hit/miss/insert/eviction counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u128) -> HistoryKey {
+        HistoryKey(n)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = MemoCache::with_capacity(64);
+        assert!(cache.lookup(key(1), 7).is_none());
+        cache.insert(key(1), 7, CachedVerdict::Disallowed);
+        assert!(matches!(
+            cache.lookup(key(1), 7),
+            Some(CachedVerdict::Disallowed)
+        ));
+        // Same history, different model: distinct entry.
+        assert!(cache.lookup(key(1), 8).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let cache = MemoCache::with_capacity(NUM_SHARDS); // 1 entry per shard
+        for i in 0..1000u64 {
+            cache.insert(key(i as u128), 0, CachedVerdict::Disallowed);
+        }
+        assert!(cache.len() <= NUM_SHARDS);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = MemoCache::with_capacity(1024);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        cache.insert(key((i % 64) as u128), t, CachedVerdict::Disallowed);
+                        let _ = cache.lookup(key((i % 64) as u128), t);
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 2000);
+        assert!(!cache.is_empty());
+    }
+}

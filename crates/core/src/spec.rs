@@ -152,6 +152,50 @@ impl ModelSpec {
         self.coherence
     }
 
+    /// A 64-bit hash of the model's *parameter point*, independent of its
+    /// display name: two specs get the same key iff every parameter field
+    /// matches, so a key identifies the admitted-set semantics. Used as
+    /// the model half of the memo-cache key ([`crate::memo`]).
+    pub fn param_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let fields: [u64; 9] = [
+            matches!(self.delta, OperationSet::AllOps) as u64,
+            self.identical_views as u64,
+            self.global_write_order as u64,
+            self.coherence as u64,
+            match self.labeled {
+                None => 0,
+                Some(LabeledModel::SequentiallyConsistent) => 1,
+                Some(LabeledModel::ProcessorConsistent) => 2,
+                Some(LabeledModel::AgreementOnly) => 3,
+            },
+            match self.global_order {
+                GlobalOrder::None => 0,
+                GlobalOrder::ProgramOrder => 1,
+                GlobalOrder::PartialProgramOrder => 2,
+                GlobalOrder::PerLocationProgramOrder => 3,
+                GlobalOrder::CausalOrder => 4,
+                GlobalOrder::SemiCausalOrder => 5,
+            },
+            match self.owner_order {
+                OwnerOrder::None => 0,
+                OwnerOrder::ProgramOrder => 1,
+                OwnerOrder::PartialProgramOrder => 2,
+            },
+            self.rc_bracketing as u64,
+            self.fence_bracketing as u64,
+        ];
+        let mut h = OFFSET;
+        for f in fields {
+            for b in f.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
     /// Basic well-formedness of the parameter combination.
     pub fn validate(&self) -> Result<(), String> {
         if matches!(
@@ -215,6 +259,19 @@ mod tests {
         assert!(models::pc().needs_reads_from());
         assert!(models::rc_sc().needs_reads_from());
         assert!(models::rc_pc().needs_reads_from());
+    }
+
+    #[test]
+    fn param_keys_distinguish_all_registered_models() {
+        let keys: Vec<u64> = models::all_models().iter().map(|m| m.param_key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "param_key collision");
+        // The key ignores the display name.
+        let mut renamed = models::sc();
+        renamed.name = "Lamport".into();
+        assert_eq!(renamed.param_key(), models::sc().param_key());
     }
 
     #[test]

@@ -116,6 +116,78 @@ test coww "same-processor same-location writes stay ordered everywhere" {
 } expect { SC: no, TSO: no, PC: no, PRAM: no, Causal: no, Coherent: no,
            PCG: no, CausalCoherent: no, Hybrid: yes, RCsc: no, RCpc: no }
 
+# ---- Section 7: the new combination models --------------------------------
+# Verdicts below were harvested by exhaustive search over small history
+# universes (smc-core's histgen) followed by running the checker itself;
+# each test pins a separation the combination models introduce.
+
+# Goodman's PC keeps the full program order but drops DASH PC's
+# semi-causal edges. Here q's program order pins the x-coherence order to
+# 2-then-1; DASH's rwb edge w(x)2 -> r(x)1 then drags w(y)1 behind both
+# x-writes in r's view, where r(x)0 has nowhere legal left. PCG has no
+# such edge: r may order w(y)1 r(y)1 r(x)0 before either x-write.
+test pcg_vs_pc "Goodman's PC admits what DASH's PC refutes (Section 3.3)" {
+    p: r(x)1 w(y)1
+    q: w(x)2 w(x)1
+    r: r(y)1 r(x)0
+} expect { SC: no, TSO: no, PC: no, PCG: yes, CausalCoherent: no,
+           Causal: no, PRAM: yes, Coherent: yes, RCsc: yes, RCpc: yes,
+           WO: yes, Hybrid: yes }
+
+# PRAM alone admits this history, coherent-only memory alone admits it,
+# yet their Section 7 combination (PCG) refutes it: coherence forces
+# p's w(y)1 before q's w(y)1 in every view, and then r's full program
+# order (r(y)1 before r(x)0 before the x-write that po-precedes p's
+# w(y)1) closes a cycle. The combination is strictly stronger than the
+# intersection of its parts.
+test pcg_strict "PCG refutes what PRAM and coherence each admit" {
+    p: w(x)1 w(y)1
+    q: r(y)1 w(y)1
+    r: r(y)1 r(x)0
+} expect { SC: no, TSO: no, PC: no, PCG: no, CausalCoherent: no,
+           Causal: no, PRAM: yes, Coherent: yes, RCsc: yes, RCpc: yes,
+           WO: yes, Hybrid: yes }
+
+# The same phenomenon for causal+coherent: causal memory admits it,
+# coherent memory admits it (TSO and even DASH PC do too), but the
+# combined model refutes it. Reading y=2 then y=1 needs the coherence
+# order w(y)2 before w(y)1; causality then routes r's w(y)1 after p's
+# w(x)1, and r's own r(x)0 has no legal slot.
+test cc_strict "CausalCoherent refutes what causal and coherence each admit" {
+    p: w(x)1 w(y)2
+    q: r(y)2 r(y)1
+    r: w(y)1 r(x)0
+} expect { SC: no, TSO: yes, PC: yes, PCG: no, CausalCoherent: no,
+           Causal: yes, PRAM: yes, Coherent: yes, RCsc: yes, RCpc: yes,
+           WO: yes, Hybrid: yes }
+
+# Each processor reads the value the OTHER will write, then writes it: a
+# future-read exchange. Every model with a mutual-consistency condition
+# on writes (coherence or a store order) refutes it; PRAM admits it, and
+# hybrid consistency — whose only cross-view condition is agreement on
+# LABELED operations, absent here — admits it too.
+test hybrid_uncoherent "mutual future reads: only PRAM-like views admit" {
+    p: r(x)1 w(x)1
+    q: r(x)1 w(x)1
+} expect { SC: no, TSO: no, PC: no, PCG: no, CausalCoherent: no,
+           Causal: no, PRAM: yes, Coherent: no, RCsc: no, RCpc: no,
+           WO: no, Hybrid: yes }
+
+# corr with every operation labeled. Unlabeled memory models treat this
+# exactly like corr (causal memory and PRAM admit it), but hybrid's
+# agreement condition on labeled operations now bites: c and d observe
+# the two labeled writes in opposite orders, so there is no common
+# relative order and hybrid refutes — as do all the SC/PC-labeled
+# bracketing models.
+test corr_labeled "labeled readers disagree on labeled write order" {
+    a: wl(s)1
+    b: wl(s)2
+    c: rl(s)1 rl(s)2
+    d: rl(s)2 rl(s)1
+} expect { SC: no, TSO: no, PC: no, PCG: no, CausalCoherent: no,
+           Causal: yes, PRAM: yes, Coherent: no, RCsc: no, RCpc: no,
+           WO: no, Hybrid: no }
+
 # ---- Release consistency (paper Section 3.4 / Section 5) ---------------
 
 test rc_mp_stale "labeled handshake with a stale read: bracketing forbids" {

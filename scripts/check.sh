@@ -16,6 +16,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "${1:-}" != "--no-test" ]; then
     echo "==> cargo test -q"
     cargo test -q
+
+    # Verdict drift gate: the exhaustive small-history sweep must classify
+    # every history exactly as the checked-in golden file records. A diff
+    # here means a checker change altered admitted sets — intended changes
+    # must regenerate tests/golden/exhaustive_verdicts.txt.
+    echo "==> smc corpus --exhaustive (golden verdicts)"
+    sweep_json=$(mktemp)
+    trap 'rm -f "$sweep_json"' EXIT
+    cargo run -q --release --bin smc -- corpus --exhaustive --json "$sweep_json" >/dev/null
+    if ! grep '"verdicts"' "$sweep_json" | diff -u tests/golden/exhaustive_verdicts.txt -; then
+        echo "verdict drift against tests/golden/exhaustive_verdicts.txt" >&2
+        exit 1
+    fi
 fi
 
 echo "==> OK"

@@ -105,6 +105,48 @@ fn batch_matches_sequential_positionally() {
     }
 }
 
+/// A memoized batch decides exactly like the plain sequential checker,
+/// its witnesses (including rehydrated cache hits) verify independently,
+/// and repeating the work actually hits the cache.
+#[test]
+fn memoized_batch_matches_sequential_and_hits() {
+    let plain = CheckConfig::default();
+    let memo_cfg = CheckConfig::default().with_memo();
+    let histories: Vec<History> = litmus_suite().iter().map(|t| t.history.clone()).collect();
+    let model_list = models::all_models();
+    let pairs: Vec<(&History, &ModelSpec)> = histories
+        .iter()
+        .flat_map(|h| model_list.iter().map(move |m| (h, m)))
+        .collect();
+    // Each pair appears twice: the second occurrence must be served from
+    // the memo table without changing any verdict.
+    let doubled: Vec<(&History, &ModelSpec)> = pairs.iter().chain(pairs.iter()).copied().collect();
+    let sequential: Vec<Verdict> = doubled
+        .iter()
+        .map(|(h, m)| check_with_config(h, m, &plain))
+        .collect();
+    for jobs in [1usize, 4] {
+        let batch = check_batch(&doubled, &memo_cfg, jobs);
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(
+                r.verdict.decided(),
+                sequential[i].decided(),
+                "pair {i} jobs={jobs}: memoized batch diverged"
+            );
+            if let Verdict::Allowed(w) = &r.verdict {
+                let (h, m) = doubled[i];
+                verify_witness(h, m, w)
+                    .unwrap_or_else(|e| panic!("pair {i}: bad memoized witness: {e}"));
+            }
+        }
+    }
+    let stats = memo_cfg.memo.as_ref().expect("with_memo set").stats();
+    assert!(
+        stats.hits > 0,
+        "doubled batch never hit the memo: {stats:?}"
+    );
+}
+
 /// The embedded litmus corpus classifies identically under sequential and
 /// parallel batch checking, and satisfies its recorded expectations both
 /// ways.
