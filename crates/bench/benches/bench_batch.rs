@@ -12,7 +12,7 @@
 
 use smc_bench::quickbench::{black_box, Harness};
 use smc_core::batch::{check_batch, check_parallel};
-use smc_core::checker::{check_with_config, CheckConfig};
+use smc_core::checker::{check_with_config, CheckConfig, SchedulerKind};
 use smc_core::{models, ModelSpec};
 use smc_history::{History, HistoryBuilder};
 use smc_programs::corpus::litmus_suite;
@@ -161,10 +161,60 @@ fn bench_split_dfs(harness: &mut Harness) {
     }
 }
 
+/// Store-buffering with `pad` private writes per processor ahead of the
+/// critical section: SC-refuted, but only at the final reads, so the
+/// `(pad+1)²`-state interleaving diamond of the padding writes must be
+/// covered. Failed-state memoization collapses its exponentially many
+/// paths to quadratic work — provided the memo is *shared*.
+fn padded_sb(pad: i64) -> History {
+    let mut b = HistoryBuilder::new();
+    for v in 1..=pad {
+        b.write("p", "a", v);
+    }
+    b.write("p", "x", 1);
+    b.read("p", "y", 0);
+    for v in 1..=pad {
+        b.write("q", "b", v);
+    }
+    b.write("q", "y", 1);
+    b.read("q", "x", 0);
+    b.build()
+}
+
+/// The deep-funnel refutation that separates the two parallel engines.
+/// The static-prefix engine hands every prefix a *private* failed-state
+/// memo, so each of its subtrees re-explores the shared diamond from
+/// scratch; the work-stealing engine's workers prune through one shared
+/// concurrent failed-state set. The j4 rows compare the engines at the
+/// same worker count (the stealing row also carries the scheduler's task
+/// and fingerprint overhead, which is why `sequential` is the floor).
+fn bench_split_dfs_deep_funnel(harness: &mut Harness) {
+    let h = padded_sb(48);
+    let spec = models::sc();
+    let stealing = CheckConfig::default();
+    let static_cfg = CheckConfig {
+        scheduler: SchedulerKind::StaticPrefix,
+        ..CheckConfig::default()
+    };
+    let mut g = harness.group("batch/split_dfs_deep_funnel");
+    g.bench("sequential", || {
+        black_box(check_with_config(&h, &spec, &stealing));
+    });
+    g.bench("static_prefix_j4", || {
+        let (v, stats) = check_parallel(&h, &spec, &static_cfg, 4);
+        black_box((v, stats.nodes_spent));
+    });
+    g.bench("stealing_j4", || {
+        let (v, stats) = check_parallel(&h, &spec, &stealing, 4);
+        black_box((v, stats.nodes_spent));
+    });
+}
+
 fn main() {
     let mut h = Harness::from_env();
     bench_corpus(&mut h);
     bench_single_check(&mut h);
     bench_memoized_sweep(&mut h);
     bench_split_dfs(&mut h);
+    bench_split_dfs_deep_funnel(&mut h);
 }

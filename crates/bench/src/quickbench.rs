@@ -6,7 +6,9 @@
 //! long enough to measure, then reported as ns/iter. Invoke through
 //! `cargo bench` (the bench targets set `harness = false`) with an
 //! optional substring filter, e.g. `cargo bench --bench bench_checker
-//! fig1`.
+//! fig1`, and an optional `--json PATH` that writes the measurements as
+//! machine-readable JSON (one `{"name", "ns_per_iter", "iters"}` record
+//! per benchmark) when the harness is dropped.
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -22,25 +24,56 @@ const MIN_BATCH: Duration = Duration::from_millis(100);
 /// Iteration-count ceiling for very fast bodies.
 const MAX_ITERS: u64 = 1 << 22;
 
-/// A benchmark runner: filters by substring and prints one line per
-/// benchmark.
+/// One reported measurement.
+struct Record {
+    name: String,
+    ns_per_iter: u128,
+    iters: u64,
+}
+
+/// A benchmark runner: filters by substring, prints one line per
+/// benchmark, and optionally dumps the measurements as JSON on drop.
 pub struct Harness {
     filter: Option<String>,
+    json: Option<String>,
+    results: Vec<Record>,
 }
 
 impl Harness {
-    /// Build from `cargo bench` CLI arguments (the first non-flag
-    /// argument is a substring filter).
+    /// Build from `cargo bench` CLI arguments: the first non-flag
+    /// argument is a substring filter, and `--json PATH` selects a JSON
+    /// output file.
     pub fn from_env() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with("--") && a != "bench");
-        Harness { filter }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut json = None;
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if a == "--json" {
+                json = args.get(i + 1).cloned();
+                i += 2;
+                continue;
+            }
+            if !a.starts_with("--") && a != "bench" && filter.is_none() {
+                filter = Some(a.clone());
+            }
+            i += 1;
+        }
+        Harness {
+            filter,
+            json,
+            results: Vec::new(),
+        }
     }
 
     /// A harness that runs everything (for tests).
     pub fn unfiltered() -> Self {
-        Harness { filter: None }
+        Harness {
+            filter: None,
+            json: None,
+            results: Vec::new(),
+        }
     }
 
     /// `true` if `name` passes the CLI filter.
@@ -64,6 +97,11 @@ impl Harness {
             if elapsed >= MIN_BATCH || iters >= MAX_ITERS {
                 let per = elapsed.as_nanos() / u128::from(iters);
                 println!("{name:<60} {per:>14} ns/iter  ({iters} iters)");
+                self.results.push(Record {
+                    name: name.to_owned(),
+                    ns_per_iter: per,
+                    iters,
+                });
                 return;
             }
             iters *= 2;
@@ -75,6 +113,36 @@ impl Harness {
         Group {
             harness: self,
             prefix: prefix.to_owned(),
+        }
+    }
+
+    /// The measurements as a JSON document (`{"results": [...]}`).
+    /// Benchmark names are the only strings and contain no characters
+    /// that need escaping beyond quotes and backslashes.
+    fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+                format!(
+                    "  {{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}}}",
+                    name, r.ns_per_iter, r.iters
+                )
+            })
+            .collect();
+        format!("{{\"results\": [\n{}\n]}}\n", rows.join(",\n"))
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if let Some(path) = &self.json {
+            if let Err(e) = std::fs::write(path, self.to_json()) {
+                eprintln!("warning: could not write `{path}`: {e}");
+            } else {
+                eprintln!("wrote {} measurement(s) to {path}", self.results.len());
+            }
         }
     }
 }
@@ -90,5 +158,24 @@ impl Group<'_> {
     pub fn bench(&mut self, name: &str, f: impl FnMut()) {
         let full = format!("{}/{}", self.prefix, name);
         self.harness.bench(&full, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_shape() {
+        let mut h = Harness::unfiltered();
+        h.results.push(Record {
+            name: "g/a".into(),
+            ns_per_iter: 12,
+            iters: 3,
+        });
+        let json = h.to_json();
+        assert!(json.contains("\"name\": \"g/a\""));
+        assert!(json.contains("\"ns_per_iter\": 12"));
+        assert!(json.starts_with("{\"results\": ["));
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::json::JsonObject;
 use smc_core::batch::{check_batch, BatchResult};
-use smc_core::checker::{format_view, CheckConfig, CheckStats, Verdict};
+use smc_core::checker::{format_view, CheckConfig, CheckStats, SchedulerKind, Verdict};
 use smc_core::memo::MemoStats;
 use smc_core::models;
 use smc_core::spec::ModelSpec;
@@ -23,8 +23,15 @@ use std::process::ExitCode;
 pub const USAGE: &str = "\
 usage:
   smc check <file> [--model NAME] [--jobs N] [--stats]
-                                    check a litmus history or suite
+            [--memo-file PATH] [--scheduler stealing|static]
+                                    check a litmus history or suite;
+                                    --memo-file persists decided verdicts
+                                    across runs (corrupt or mismatched
+                                    files are ignored with a warning);
+                                    --scheduler selects the parallel
+                                    search engine (default stealing)
   smc corpus [--jobs N] [--stats] [--json PATH] [--exhaustive]
+            [--memo-file PATH]
                                     check the embedded litmus corpus
                                     against its recorded expectations;
                                     --json writes machine-readable per-case
@@ -43,7 +50,9 @@ usage:
   smc models                        list available models and machines
 
 --jobs N runs checks on N worker threads (default 1; results are
-reported in the same order as sequential checking).
+reported in the same order as sequential checking). With more workers
+than (history, model) pairs, the workers move inside each check: the
+work-stealing scheduler splits the extension search itself.
 
 memories for --memory: sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybrid";
 
@@ -144,6 +153,13 @@ fn render_stats(stats: &CheckStats) -> String {
     if stats.rf_truncated {
         s.push_str(", rf truncated");
     }
+    let fs = stats.failed_set;
+    if fs.hits + fs.misses + fs.inserts > 0 {
+        s.push_str(&format!(
+            ", failed-set {} hits/{} misses/{} inserts/{} evictions",
+            fs.hits, fs.misses, fs.inserts, fs.evictions
+        ));
+    }
     if let Some(stage) = stats.exhausted_stage {
         s.push_str(&format!(", exhausted in {stage}"));
     }
@@ -152,6 +168,9 @@ fn render_stats(stats: &CheckStats) -> String {
 
 /// Check every (test × model) pair of a suite on `jobs` threads; results
 /// come back indexed test-major, matching the sequential print order.
+/// With more workers than pairs, batch-level fan-out would leave threads
+/// idle, so the workers move *inside* each check instead (the
+/// work-stealing scheduler splits the extension search itself).
 fn check_suite(
     suite: &[LitmusTest],
     model_list: &[ModelSpec],
@@ -162,7 +181,60 @@ fn check_suite(
         .iter()
         .flat_map(|t| model_list.iter().map(move |m| (&t.history, m)))
         .collect();
+    if jobs > 1 && pairs.len() < jobs {
+        return pairs
+            .iter()
+            .enumerate()
+            .map(|(index, (h, m))| {
+                let (verdict, stats) = smc_core::batch::check_parallel(h, m, cfg, jobs);
+                BatchResult {
+                    index,
+                    verdict,
+                    stats,
+                }
+            })
+            .collect();
+    }
     check_batch(&pairs, cfg, jobs)
+}
+
+/// Parse `--scheduler stealing|static` (default stealing).
+fn scheduler_flag(args: &[String]) -> Result<SchedulerKind, String> {
+    match flag_value(args, "--scheduler") {
+        None => Ok(SchedulerKind::WorkStealing),
+        Some("stealing") => Ok(SchedulerKind::WorkStealing),
+        Some("static") => Ok(SchedulerKind::StaticPrefix),
+        Some(other) => Err(format!(
+            "--scheduler: `{other}` is not `stealing` or `static`"
+        )),
+    }
+}
+
+/// Load `--memo-file` into `cfg`'s cache if the flag is present. A
+/// missing file is a cold start; a corrupt or mismatched file is ignored
+/// with a warning — persistence must never fail a check.
+fn memo_file_load(cfg: &CheckConfig, path: Option<&str>) {
+    let (Some(path), Some(memo)) = (path, &cfg.memo) else {
+        return;
+    };
+    if !std::path::Path::new(path).exists() {
+        return;
+    }
+    match memo.load(std::path::Path::new(path)) {
+        Ok(n) => eprintln!("memo: loaded {n} cached verdict(s) from {path}"),
+        Err(e) => eprintln!("warning: ignoring memo file: {e}"),
+    }
+}
+
+/// Save `cfg`'s cache back to `--memo-file`, if the flag is present.
+fn memo_file_save(cfg: &CheckConfig, path: Option<&str>) {
+    let (Some(path), Some(memo)) = (path, &cfg.memo) else {
+        return;
+    };
+    match memo.save(std::path::Path::new(path)) {
+        Ok(n) => eprintln!("memo: saved {n} cached verdict(s) to {path}"),
+        Err(e) => eprintln!("warning: could not save memo file `{path}`: {e}"),
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
@@ -171,9 +243,18 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let model_list = resolve_models(flag_value(args, "--model"))?;
     let jobs = jobs_flag(args)?;
     let show_stats = args.iter().any(|a| a == "--stats");
-    let cfg = CheckConfig::default();
+    let memo_file = flag_value(args, "--memo-file");
+    let mut cfg = CheckConfig {
+        scheduler: scheduler_flag(args)?,
+        ..CheckConfig::default()
+    };
+    if memo_file.is_some() {
+        cfg = cfg.with_memo();
+    }
+    memo_file_load(&cfg, memo_file);
     let suite = load(path)?;
     let results = check_suite(&suite, &model_list, &cfg, jobs);
+    memo_file_save(&cfg, memo_file);
     let mut failures = 0;
     for (ti, t) in suite.iter().enumerate() {
         println!("== {} ==", t.name);
@@ -257,9 +338,12 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
     // expectations compare only allowed/forbidden, never the witness.
     let cfg = CheckConfig::default().with_memo();
     let memo = cfg.memo.clone().expect("with_memo attaches a cache");
+    let memo_file = flag_value(args, "--memo-file");
+    memo_file_load(&cfg, memo_file);
     let suite = smc_programs::corpus::litmus_suite();
     let model_list = models::all_models();
     let results = check_suite(&suite, &model_list, &cfg, jobs);
+    memo_file_save(&cfg, memo_file);
     let mut failures = 0;
     let mut checked = 0;
     let mut nodes = 0u64;

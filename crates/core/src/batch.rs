@@ -29,12 +29,13 @@ use crate::budget::SharedBudget;
 use crate::canon::canonicalize;
 use crate::checker::{
     check_with_budget, check_with_rf, check_with_stats, check_with_store_order, proc_constraints,
-    view_op_sets, CheckConfig, CheckStats, Stage, Step, Verdict, Witness,
+    view_op_sets, CheckConfig, CheckStats, SchedulerKind, Stage, Step, Verdict, Witness,
 };
 use crate::constraints::{assemble_global, BaseOrders, Candidates};
 use crate::memo::MemoCache;
 use crate::rf::{enumerate_reads_from, ReadsFrom};
 use crate::spec::ModelSpec;
+use crate::steal::{run_units, steal_search, SharedFailedSet, StealDriver, Unit};
 use crate::view::{
     find_legal_extension, find_legal_extension_from, split_prefixes, LegalityMode, PrefixSplit,
     SearchOutcome, ViewProblem,
@@ -42,9 +43,21 @@ use crate::view::{
 use smc_history::{History, OpId};
 use smc_relation::BitSet;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Above this many (store order × processor) units, the work-stealing
+/// TSO fan-out would preprocess too many scheduling contexts up front;
+/// the coarse per-store fan-out takes over.
+const STEAL_UNIT_CAP: usize = 1024;
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
 
 /// Outcome of one (history, model) pair in a batch.
 #[derive(Debug, Clone)]
@@ -230,8 +243,9 @@ fn check_parallel_inner(
     } else if views_decouple(spec) {
         parallel_views(h, spec, &base, None, cfg, jobs)
     } else if spec.identical_views {
-        // SC-like: prefix-partition the single global view search and
-        // hand the subtrees to workers over one shared pool.
+        // SC-like: run the single global view search on the scheduler
+        // selected by `cfg.scheduler` (work-stealing frontier tasks, or
+        // static prefix partitions over one shared pool).
         parallel_identical_views(h, spec, &base, cfg, jobs)
     } else if spec.global_write_order {
         // TSO-like: collect the store orders up front and fan them out.
@@ -347,10 +361,41 @@ fn parallel_rf(
     }
 }
 
-/// Search each processor's view on its own thread (models with no shared
+/// Driver for independent per-processor view units: the history is
+/// admitted iff *every* unit finds a view, so the run is decided early
+/// either when the last missing view lands or when any unit is refuted.
+struct AllViewsDriver {
+    views: Mutex<Vec<Option<Vec<OpId>>>>,
+    missing: AtomicUsize,
+    refuted: AtomicBool,
+}
+
+impl StealDriver for AllViewsDriver {
+    fn found(&self, unit: usize, order: Vec<OpId>) -> bool {
+        let mut views = lock(&self.views);
+        if views[unit].is_none() {
+            views[unit] = Some(order);
+            return self.missing.fetch_sub(1, Ordering::SeqCst) == 1;
+        }
+        false
+    }
+
+    fn refuted(&self, _unit: usize) -> bool {
+        self.refuted.store(true, Ordering::SeqCst);
+        true
+    }
+
+    fn skip(&self, _unit: usize) -> bool {
+        false
+    }
+}
+
+/// Search each processor's view concurrently (models with no shared
 /// orders, so the views are independent once the reads-from assignment —
 /// if any — is fixed). Any processor with no legal view refutes the whole
-/// history and cancels the sibling searches.
+/// history and cancels the sibling searches. Under the work-stealing
+/// scheduler all processors' searches feed one task pool; under
+/// [`SchedulerKind::StaticPrefix`] each processor is one coarse task.
 fn parallel_views(
     h: &History,
     spec: &ModelSpec,
@@ -376,9 +421,47 @@ fn parallel_views(
         return (Verdict::Disallowed, stats);
     }
 
-    let pool = SharedBudget::new(cfg.node_budget);
     let op_sets = view_op_sets(h, spec.delta);
     let procs = h.num_procs();
+
+    if cfg.scheduler == SchedulerKind::WorkStealing {
+        let constraints: Vec<_> = (0..procs)
+            .map(|p| proc_constraints(h, spec, base, &g, p))
+            .collect();
+        let units: Vec<Unit<'_>> = (0..procs)
+            .map(|p| Unit::from_parts(h, &op_sets[p], &constraints[p], legality, p as u64 + 1))
+            .collect();
+        let driver = AllViewsDriver {
+            views: Mutex::new((0..procs).map(|_| None).collect()),
+            missing: AtomicUsize::new(procs),
+            refuted: AtomicBool::new(false),
+        };
+        let pool = SharedBudget::new(cfg.node_budget);
+        let failed = SharedFailedSet::with_capacity(cfg.failed_set_capacity);
+        let end = run_units(&units, &driver, jobs, &pool, &failed);
+        stats.nodes_spent = end.nodes;
+        stats.failed_set = failed.stats();
+        if driver.refuted.load(Ordering::SeqCst) {
+            return (Verdict::Disallowed, stats);
+        }
+        let views = std::mem::take(&mut *lock(&driver.views));
+        if end.exhausted || views.iter().any(Option::is_none) {
+            stats.exhausted_stage = Some(Stage::ViewSearch);
+            return (Verdict::Exhausted, stats);
+        }
+        return (
+            Verdict::Allowed(Box::new(Witness {
+                views: views.into_iter().flatten().collect(),
+                store_order: None,
+                coherence: None,
+                labeled_order: None,
+                reads_from: rf.map(|r| r.as_slice().to_vec()),
+            })),
+            stats,
+        );
+    }
+
+    let pool = SharedBudget::new(cfg.node_budget);
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<SearchOutcome>>> = Mutex::new((0..procs).map(|_| None).collect());
     let nodes = Mutex::new(0u64);
@@ -456,12 +539,16 @@ fn parallel_views(
     )
 }
 
-/// Parallelize an identical-views (SC-like) check: prefix-partition the
-/// single global legal-extension search ([`split_prefixes`]) and hand each
-/// subtree to a worker over one shared node pool. The first worker to
-/// complete a legal order cancels the rest; the prefix set partitions the
-/// search space, so all-`NotFound` refutes the history exactly as the
-/// sequential DFS would.
+/// Parallelize an identical-views (SC-like) check. Under the default
+/// [`SchedulerKind::WorkStealing`], the single global legal-extension
+/// search runs on the frontier scheduler in [`crate::steal`], with workers
+/// stealing subtrees from each other and sharing dead-state fingerprints
+/// through one [`SharedFailedSet`]. Under [`SchedulerKind::StaticPrefix`]
+/// (the pre-stealing engine, kept for comparison), the search space is
+/// prefix-partitioned up front ([`split_prefixes`]) and each subtree is
+/// handed to a worker over one shared node pool. Either way the first
+/// complete legal order cancels the rest, and all-`NotFound` refutes the
+/// history exactly as the sequential DFS would.
 fn parallel_identical_views(
     h: &History,
     spec: &ModelSpec,
@@ -493,6 +580,22 @@ fn parallel_identical_views(
             reads_from: None,
         }))
     };
+
+    if cfg.scheduler == SchedulerKind::WorkStealing {
+        let pool = SharedBudget::new(cfg.node_budget);
+        let failed = SharedFailedSet::with_capacity(cfg.failed_set_capacity);
+        let (out, nodes) = steal_search(&problem, jobs, &pool, &failed);
+        stats.nodes_spent = nodes;
+        stats.failed_set = failed.stats();
+        return match out {
+            SearchOutcome::Found(order) => (witness(order), stats),
+            SearchOutcome::NotFound => (Verdict::Disallowed, stats),
+            SearchOutcome::Exhausted => {
+                stats.exhausted_stage = Some(Stage::ViewSearch);
+                (Verdict::Exhausted, stats)
+            }
+        };
+    }
 
     let pool = SharedBudget::new(cfg.node_budget);
     let seed = pool.attach();
@@ -572,10 +675,192 @@ fn parallel_identical_views(
     (Verdict::Disallowed, stats)
 }
 
+/// Per-store-order state inside a [`StoreDriver`]: which processor views
+/// have landed, and whether some processor already refuted this order.
+struct StoreSlot {
+    refuted: AtomicBool,
+    missing: AtomicUsize,
+    views: Mutex<Vec<Option<Vec<OpId>>>>,
+}
+
+/// Driver for global-write-order (TSO-like) checks: an OR over store
+/// orders of an AND over processors. Unit `i` is processor `i % procs`
+/// under store order slot `i / procs`. A slot whose every processor finds
+/// a view decides the run (`Allowed`); a refuted unit kills only its own
+/// slot — sibling units of that slot become skippable, and the workers
+/// that were grinding on them steal subtrees from slots still alive.
+struct StoreDriver {
+    procs: usize,
+    slots: Vec<StoreSlot>,
+    /// Slot index of the first store order to complete, `usize::MAX` if
+    /// none has.
+    winner: AtomicUsize,
+}
+
+impl StealDriver for StoreDriver {
+    fn found(&self, unit: usize, order: Vec<OpId>) -> bool {
+        let slot = &self.slots[unit / self.procs];
+        if slot.refuted.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut views = lock(&slot.views);
+        if views[unit % self.procs].is_none() {
+            views[unit % self.procs] = Some(order);
+            if slot.missing.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _ = self.winner.compare_exchange(
+                    usize::MAX,
+                    unit / self.procs,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                return true;
+            }
+        }
+        false
+    }
+
+    fn refuted(&self, unit: usize) -> bool {
+        self.slots[unit / self.procs]
+            .refuted
+            .store(true, Ordering::SeqCst);
+        false
+    }
+
+    fn skip(&self, unit: usize) -> bool {
+        self.slots[unit / self.procs].refuted.load(Ordering::SeqCst)
+    }
+}
+
+/// Run the collected store orders on the work-stealing scheduler: one
+/// unit per (store order, processor), all feeding one task pool and one
+/// failed-state set, so a worker that finishes its store order steals
+/// extension subtrees from the others instead of idling.
+#[allow(clippy::too_many_arguments)]
+fn steal_store_orders(
+    h: &History,
+    spec: &ModelSpec,
+    base: &BaseOrders,
+    cfg: &CheckConfig,
+    jobs: usize,
+    pool: &Arc<SharedBudget>,
+    stores: &[Vec<OpId>],
+    seed_spent: u64,
+    collect_exhausted: bool,
+) -> (Verdict, CheckStats) {
+    let procs = h.num_procs();
+    let op_sets = view_op_sets(h, spec.delta);
+    let mut stats = CheckStats {
+        nodes_spent: seed_spent,
+        ..CheckStats::default()
+    };
+
+    // Preprocess each store order into per-processor units. A store order
+    // whose assembled global relation is cyclic is refuted without any
+    // search, exactly as the sequential per-order check rejects it early.
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    let mut kept: Vec<usize> = Vec::new();
+    let mut slots: Vec<StoreSlot> = Vec::new();
+    for (si, store) in stores.iter().enumerate() {
+        let cand = Candidates {
+            store_order: Some(store),
+            ..Candidates::default()
+        };
+        let g = match assemble_global(h, spec, base, None, &cand, None) {
+            Ok(g) => g,
+            Err(e) => return (Verdict::Unsupported(e), stats),
+        };
+        if !g.is_acyclic() {
+            continue;
+        }
+        kept.push(si);
+        slots.push(StoreSlot {
+            refuted: AtomicBool::new(false),
+            missing: AtomicUsize::new(procs),
+            views: Mutex::new((0..procs).map(|_| None).collect()),
+        });
+        for (p, ops) in op_sets.iter().enumerate() {
+            let constraints = proc_constraints(h, spec, base, &g, p);
+            let salt = units.len() as u64 + 1;
+            units.push(Unit::from_parts(
+                h,
+                ops,
+                &constraints,
+                LegalityMode::ByValue,
+                salt,
+            ));
+        }
+    }
+
+    // No processors: any store order that survived assembly admits the
+    // history vacuously (no views to find).
+    if procs == 0 {
+        return match kept.first() {
+            Some(&si) => (
+                Verdict::Allowed(Box::new(Witness {
+                    views: Vec::new(),
+                    store_order: Some(stores[si].clone()),
+                    coherence: None,
+                    labeled_order: None,
+                    reads_from: None,
+                })),
+                stats,
+            ),
+            None if collect_exhausted => {
+                stats.exhausted_stage = Some(Stage::StoreOrders);
+                (Verdict::Exhausted, stats)
+            }
+            None => (Verdict::Disallowed, stats),
+        };
+    }
+
+    let driver = StoreDriver {
+        procs,
+        slots,
+        winner: AtomicUsize::new(usize::MAX),
+    };
+    let failed = SharedFailedSet::with_capacity(cfg.failed_set_capacity);
+    let end = run_units(&units, &driver, jobs, pool, &failed);
+    stats.nodes_spent = seed_spent + end.nodes;
+    stats.failed_set = failed.stats();
+
+    let winner = driver.winner.load(Ordering::SeqCst);
+    if winner != usize::MAX {
+        let views = std::mem::take(&mut *lock(&driver.slots[winner].views));
+        let views: Vec<Vec<OpId>> = views.into_iter().flatten().collect();
+        // `winner` is only set once every processor's view landed.
+        debug_assert_eq!(views.len(), procs);
+        if views.len() == procs {
+            return (
+                Verdict::Allowed(Box::new(Witness {
+                    views,
+                    store_order: Some(stores[kept[winner]].clone()),
+                    coherence: None,
+                    labeled_order: None,
+                    reads_from: None,
+                })),
+                stats,
+            );
+        }
+    }
+    if end.exhausted || collect_exhausted {
+        stats.exhausted_stage = Some(if end.exhausted {
+            Stage::ViewSearch
+        } else {
+            Stage::StoreOrders
+        });
+        return (Verdict::Exhausted, stats);
+    }
+    (Verdict::Disallowed, stats)
+}
+
 /// Parallelize a global-write-order (TSO-like) check: collect the store
-/// orders up front (bounded by `cfg.store_order_cap`) and fan them across
-/// workers sharing one node pool. Returns `None` when the enumeration
-/// exceeds the cap, in which case the caller streams them sequentially.
+/// orders up front (bounded by `cfg.store_order_cap`), then fan them out.
+/// Under the work-stealing scheduler every (store order, processor) pair
+/// becomes a schedulable unit ([`steal_store_orders`]); under
+/// [`SchedulerKind::StaticPrefix`] — or when the unit grid would exceed
+/// [`STEAL_UNIT_CAP`] — each store order is one coarse task. Returns
+/// `None` when the enumeration exceeds the cap, in which case the caller
+/// streams the orders sequentially.
 fn parallel_store_orders(
     h: &History,
     spec: &ModelSpec,
@@ -612,6 +897,22 @@ fn parallel_store_orders(
     let seed_spent = seed.spent();
     if over_cap {
         return None;
+    }
+
+    if cfg.scheduler == SchedulerKind::WorkStealing
+        && stores.len().saturating_mul(h.num_procs().max(1)) <= STEAL_UNIT_CAP
+    {
+        return Some(steal_store_orders(
+            h,
+            spec,
+            base,
+            cfg,
+            jobs,
+            &pool,
+            &stores,
+            seed_spent,
+            collect_exhausted,
+        ));
     }
 
     let next = AtomicUsize::new(0);
@@ -846,6 +1147,43 @@ mod tests {
                     );
                     if let Verdict::Allowed(w) = &par {
                         verify_witness(&h, &m, w).expect("split witness verifies");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_schedulers_agree_with_sequential() {
+        // The pre-stealing static-prefix engine stays selectable (it is
+        // the benchmark baseline); both schedulers must match the
+        // sequential verdicts on every figure.
+        for scheduler in [SchedulerKind::WorkStealing, SchedulerKind::StaticPrefix] {
+            let cfg = CheckConfig {
+                scheduler,
+                ..CheckConfig::default()
+            };
+            for h in figures() {
+                for m in [
+                    models::sc(),
+                    models::tso(),
+                    models::pram(),
+                    models::causal(),
+                ] {
+                    let seq = check_with_config(&h, &m, &cfg);
+                    let (par, stats) = check_parallel(&h, &m, &cfg, 4);
+                    assert_eq!(
+                        par.decided(),
+                        seq.decided(),
+                        "{} under {scheduler:?} disagrees",
+                        m.name
+                    );
+                    if let Verdict::Allowed(w) = &par {
+                        verify_witness(&h, &m, w).expect("witness verifies");
+                    }
+                    if scheduler == SchedulerKind::StaticPrefix {
+                        let z = crate::steal::FailedSetStats::default();
+                        assert_eq!(stats.failed_set, z, "static path must not touch the set");
                     }
                 }
             }

@@ -40,10 +40,18 @@ impl SharedBudget {
 
     /// A thread-local [`Budget`] drawing from this pool in chunks.
     pub fn attach(self: &Arc<Self>) -> Budget {
+        self.attach_with_chunk(DEFAULT_CHUNK)
+    }
+
+    /// [`SharedBudget::attach`] with an explicit chunk size. Smaller
+    /// chunks cost more atomic traffic but share the pool more fairly —
+    /// the work-stealing scheduler in [`crate::steal`] runs many
+    /// short-lived tasks per worker and uses a fraction of the default.
+    pub fn attach_with_chunk(self: &Arc<Self>, chunk: u64) -> Budget {
         Budget {
             local: Cell::new(0),
             spent: Cell::new(0),
-            chunk: DEFAULT_CHUNK,
+            chunk: chunk.max(1),
             shared: Some(Arc::clone(self)),
         }
     }

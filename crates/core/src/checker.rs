@@ -63,6 +63,29 @@ pub struct CheckConfig {
     /// up-front when fanning a TSO-style check across workers; above the
     /// cap it falls back to the sequential streaming enumeration.
     pub store_order_cap: usize,
+    /// Which parallel engine [`crate::batch::check_parallel`] uses to
+    /// split a single view search across workers.
+    pub scheduler: SchedulerKind,
+    /// Capacity (fingerprint slots) of the shared failed-state set one
+    /// work-stealing check allocates; see
+    /// [`crate::steal::SharedFailedSet`].
+    pub failed_set_capacity: usize,
+}
+
+/// The engine [`crate::batch::check_parallel`] uses to split a single
+/// view search across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Work-stealing frontier scheduler over a shared concurrent
+    /// failed-state set ([`crate::steal`]): workers donate and steal
+    /// partially-explored subtrees, and every refuted state is pruned
+    /// for all workers at once.
+    #[default]
+    WorkStealing,
+    /// The legacy engine: statically prefix-partition the search via
+    /// [`crate::view::split_prefixes`], one private failed-state memo
+    /// per worker. Kept selectable for ablation benchmarks.
+    StaticPrefix,
 }
 
 impl Default for CheckConfig {
@@ -73,6 +96,8 @@ impl Default for CheckConfig {
             memo: None,
             split_prefix_factor: 4,
             store_order_cap: 16_384,
+            scheduler: SchedulerKind::WorkStealing,
+            failed_set_capacity: crate::steal::DEFAULT_FAILED_CAPACITY,
         }
     }
 }
@@ -132,6 +157,9 @@ pub struct CheckStats {
     /// `true` if the verdict came from the memo table rather than a
     /// search.
     pub memo_hit: bool,
+    /// Counters of the shared failed-state set, when the check ran under
+    /// the work-stealing scheduler (all zero otherwise).
+    pub failed_set: crate::steal::FailedSetStats,
 }
 
 /// A certificate that a history is admitted: the per-processor views plus

@@ -29,6 +29,8 @@
 //! * [`batch`] — the parallel engine: [`batch::check_batch`] fans
 //!   (history, model) pairs across a thread pool; [`batch::check_parallel`]
 //!   parallelizes a single check's inner enumerations.
+//! * [`steal`] — the work-stealing frontier scheduler and the shared
+//!   concurrent failed-state set behind `check_parallel`.
 //! * [`canon`] — a canonical normal form for histories under
 //!   processor/location/value renamings, with a 128-bit [`canon::HistoryKey`].
 //! * [`memo`] — a sharded concurrent memo table of decided verdicts keyed
@@ -70,6 +72,7 @@ pub mod models;
 pub mod orders;
 pub mod rf;
 pub mod spec;
+pub mod steal;
 pub mod verify;
 pub mod view;
 
@@ -77,7 +80,9 @@ pub use batch::{check_batch, check_batch_shared, check_matrix, check_parallel, B
 pub use budget::{Budget, SharedBudget};
 pub use canon::{canonicalize, Canon, HistoryKey};
 pub use checker::{
-    check, check_with_config, check_with_stats, CheckConfig, CheckStats, Stage, Verdict, Witness,
+    check, check_with_config, check_with_stats, CheckConfig, CheckStats, SchedulerKind, Stage,
+    Verdict, Witness,
 };
 pub use memo::{MemoCache, MemoStats};
 pub use spec::ModelSpec;
+pub use steal::{FailedSetStats, SharedFailedSet};

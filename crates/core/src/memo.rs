@@ -25,7 +25,10 @@
 
 use crate::canon::{Canon, HistoryKey};
 use crate::checker::{Verdict, Witness};
+use smc_history::OpId;
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -206,6 +209,274 @@ impl MemoCache {
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+
+    /// Write every cached entry to `path` in the versioned binary format
+    /// described at [`MAGIC`]. Returns the number of entries written.
+    ///
+    /// Entries are written in each shard's insertion (FIFO) order, so a
+    /// later [`MemoCache::load`] into a same-capacity cache evicts the
+    /// same entries a live cache would have.
+    pub fn save(&self, path: &Path) -> std::io::Result<usize> {
+        let mut entries: Vec<((u128, u64), CachedVerdict)> = Vec::new();
+        for shard in &self.shards {
+            let shard = match shard.lock() {
+                Ok(s) => s,
+                Err(p) => p.into_inner(),
+            };
+            for k in &shard.order {
+                if let Some(v) = shard.map.get(k) {
+                    entries.push((*k, v.clone()));
+                }
+            }
+        }
+        // Param-key table: verdicts reference their model by index, so the
+        // common case (thousands of histories, a handful of models) pays
+        // 4 bytes per record instead of 8.
+        let mut models: Vec<u64> = Vec::new();
+        for ((_, m), _) in &entries {
+            if !models.contains(m) {
+                models.push(*m);
+            }
+        }
+
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_u32(&mut buf, models.len() as u32);
+        for m in &models {
+            buf.extend_from_slice(&m.to_le_bytes());
+        }
+        write_u32(&mut buf, entries.len() as u32);
+        for ((key, model), verdict) in &entries {
+            buf.extend_from_slice(&key.to_le_bytes());
+            let idx = models.iter().position(|m| m == model).unwrap_or(0);
+            write_u32(&mut buf, idx as u32);
+            match verdict {
+                CachedVerdict::Disallowed => buf.push(0),
+                CachedVerdict::Allowed(w) => {
+                    buf.push(1);
+                    write_witness(&mut buf, w);
+                }
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&buf)?;
+        Ok(entries.len())
+    }
+
+    /// Load entries saved by [`MemoCache::save`] into this cache (on top
+    /// of whatever it already holds). Returns the number of entries
+    /// loaded, or a description of why the file was rejected — callers
+    /// are expected to warn and continue with a cold cache, never panic.
+    pub fn load(&self, path: &Path) -> Result<usize, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut r = Reader {
+            bytes: &bytes,
+            pos: 0,
+        };
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(format!(
+                "{}: not a memo file (bad magic or version)",
+                path.display()
+            ));
+        }
+        let num_models = r.u32()? as usize;
+        let mut models = Vec::new();
+        for _ in 0..num_models {
+            models.push(r.u64()?);
+        }
+        let num_entries = r.u32()? as usize;
+        let mut loaded = 0usize;
+        for _ in 0..num_entries {
+            let key = r.u128()?;
+            let idx = r.u32()? as usize;
+            let model = *models
+                .get(idx)
+                .ok_or_else(|| format!("model index {idx} out of range"))?;
+            let verdict = match r.u8()? {
+                0 => CachedVerdict::Disallowed,
+                1 => CachedVerdict::Allowed(read_witness(&mut r)?),
+                t => return Err(format!("unknown verdict tag {t}")),
+            };
+            self.insert(HistoryKey(key), model, verdict);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+/// File magic for [`MemoCache::save`]: `SMCMEMO` plus a format version
+/// byte. The payload is little-endian throughout: a `u32` count of model
+/// parameter keys followed by those keys as `u64`s, then a `u32` record
+/// count, then records of `(HistoryKey as u128, model index u32, tag u8,
+/// witness if tag = 1)`. Witnesses are length-prefixed vectors of `u32`
+/// operation ids in canonical coordinates.
+pub const MAGIC: &[u8; 8] = b"SMCMEMO\x01";
+
+fn write_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_ids(buf: &mut Vec<u8>, ids: &[OpId]) {
+    write_u32(buf, ids.len() as u32);
+    for id in ids {
+        write_u32(buf, id.0);
+    }
+}
+
+fn write_opt_ids(buf: &mut Vec<u8>, ids: Option<&Vec<OpId>>) {
+    match ids {
+        None => buf.push(0),
+        Some(ids) => {
+            buf.push(1);
+            write_ids(buf, ids);
+        }
+    }
+}
+
+fn write_witness(buf: &mut Vec<u8>, w: &Witness) {
+    write_u32(buf, w.views.len() as u32);
+    for view in &w.views {
+        write_ids(buf, view);
+    }
+    write_opt_ids(buf, w.store_order.as_ref());
+    match &w.coherence {
+        None => buf.push(0),
+        Some(orders) => {
+            buf.push(1);
+            write_u32(buf, orders.len() as u32);
+            for o in orders {
+                write_ids(buf, o);
+            }
+        }
+    }
+    write_opt_ids(buf, w.labeled_order.as_ref());
+    match &w.reads_from {
+        None => buf.push(0),
+        Some(rf) => {
+            buf.push(1);
+            write_u32(buf, rf.len() as u32);
+            for src in rf {
+                match src {
+                    None => buf.push(0),
+                    Some(id) => {
+                        buf.push(1);
+                        write_u32(buf, id.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Bounds-checked cursor over untrusted bytes: every read is validated
+/// against the remaining input, so truncated or garbage files surface as
+/// `Err`, never a panic or an oversized allocation.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated memo file at byte {}", self.pos))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// A length prefix for items of at least `item_bytes` each; rejected
+    /// when the remaining input is too short to hold that many, which
+    /// caps allocations by the file size.
+    fn len_prefix(&mut self, item_bytes: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(item_bytes) > self.bytes.len() - self.pos {
+            return Err(format!("length {n} exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    fn ids(&mut self) -> Result<Vec<OpId>, String> {
+        let n = self.len_prefix(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(OpId(self.u32()?));
+        }
+        Ok(v)
+    }
+
+    fn opt_ids(&mut self) -> Result<Option<Vec<OpId>>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.ids()?)),
+            t => Err(format!("unknown option tag {t}")),
+        }
+    }
+}
+
+fn read_witness(r: &mut Reader<'_>) -> Result<Witness, String> {
+    let num_views = r.len_prefix(4)?;
+    let mut views = Vec::with_capacity(num_views);
+    for _ in 0..num_views {
+        views.push(r.ids()?);
+    }
+    let store_order = r.opt_ids()?;
+    let coherence = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.len_prefix(4)?;
+            let mut orders = Vec::with_capacity(n);
+            for _ in 0..n {
+                orders.push(r.ids()?);
+            }
+            Some(orders)
+        }
+        t => return Err(format!("unknown option tag {t}")),
+    };
+    let labeled_order = r.opt_ids()?;
+    let reads_from = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.len_prefix(1)?;
+            let mut rf = Vec::with_capacity(n);
+            for _ in 0..n {
+                rf.push(match r.u8()? {
+                    0 => None,
+                    1 => Some(OpId(r.u32()?)),
+                    t => return Err(format!("unknown reads-from tag {t}")),
+                });
+            }
+            Some(rf)
+        }
+        t => return Err(format!("unknown option tag {t}")),
+    };
+    Ok(Witness {
+        views,
+        store_order,
+        coherence,
+        labeled_order,
+        reads_from,
+    })
 }
 
 #[cfg(test)]
@@ -239,6 +510,84 @@ mod tests {
         }
         assert!(cache.len() <= NUM_SHARDS);
         assert!(cache.stats().evictions > 0);
+    }
+
+    fn sample_witness() -> Witness {
+        Witness {
+            views: vec![vec![OpId(0), OpId(2)], vec![OpId(1)]],
+            store_order: Some(vec![OpId(0), OpId(1)]),
+            coherence: Some(vec![vec![OpId(0)], vec![OpId(1)]]),
+            labeled_order: None,
+            reads_from: Some(vec![None, Some(OpId(0)), None]),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("smc-memo-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.smcmemo");
+        let cache = MemoCache::with_capacity(64);
+        cache.insert(key(10), 3, CachedVerdict::Disallowed);
+        cache.insert(key(11), 3, CachedVerdict::Allowed(sample_witness()));
+        cache.insert(key(11), 9, CachedVerdict::Disallowed);
+        assert_eq!(cache.save(&path).unwrap(), 3);
+
+        let fresh = MemoCache::with_capacity(64);
+        assert_eq!(fresh.load(&path).unwrap(), 3);
+        assert_eq!(fresh.len(), 3);
+        assert!(matches!(
+            fresh.lookup(key(10), 3),
+            Some(CachedVerdict::Disallowed)
+        ));
+        match fresh.lookup(key(11), 3) {
+            Some(CachedVerdict::Allowed(w)) => assert_eq!(w, sample_witness()),
+            other => panic!("expected Allowed, got {other:?}"),
+        }
+        assert!(fresh.lookup(key(12), 3).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_are_rejected_not_panicked() {
+        let dir = std::env::temp_dir().join("smc-memo-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Wrong magic.
+        let bad = dir.join("bad.smcmemo");
+        std::fs::write(&bad, b"NOTMEMO\x01garbage").unwrap();
+        assert!(MemoCache::default().load(&bad).is_err());
+
+        // Wrong version byte.
+        let ver = dir.join("ver.smcmemo");
+        std::fs::write(&ver, b"SMCMEMO\x7f").unwrap();
+        assert!(MemoCache::default().load(&ver).is_err());
+
+        // Every truncation of a valid file must fail cleanly (or load a
+        // prefix of the records), never panic or over-allocate.
+        let good = dir.join("good.smcmemo");
+        let cache = MemoCache::with_capacity(64);
+        cache.insert(key(1), 5, CachedVerdict::Allowed(sample_witness()));
+        cache.insert(key(2), 5, CachedVerdict::Disallowed);
+        cache.save(&good).unwrap();
+        let bytes = std::fs::read(&good).unwrap();
+        let trunc = dir.join("trunc.smcmemo");
+        for cut in 0..bytes.len() {
+            std::fs::write(&trunc, &bytes[..cut]).unwrap();
+            assert!(MemoCache::default().load(&trunc).is_err(), "cut at {cut}");
+        }
+
+        // Flipping the declared record count far past the payload must be
+        // caught by bounds checks.
+        let mut huge = bytes.clone();
+        let counts_at = MAGIC.len() + 4 + 8; // one model key in the table
+        huge[counts_at..counts_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&trunc, &huge).unwrap();
+        assert!(MemoCache::default().load(&trunc).is_err());
+
+        for f in [bad, ver, good, trunc] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

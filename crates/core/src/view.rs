@@ -23,7 +23,7 @@ use crate::budget::Budget;
 use crate::rf::ReadsFrom;
 use smc_history::{History, OpId, Value};
 use smc_relation::{BitSet, Relation};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::ops::ControlFlow;
 
 /// How read legality is judged during the search.
@@ -96,31 +96,50 @@ impl Default for SearchOptions {
     }
 }
 
-const NO_WRITE: u32 = u32::MAX;
+pub(crate) const NO_WRITE: u32 = u32::MAX;
 
-struct Ctx<'a> {
+/// Preprocessed per-view scheduling context: local indexing, predecessor
+/// masks copied out of the constraint relation, and read/location
+/// metadata. Everything a DFS (recursive or explicit-stack) needs; the
+/// source `ViewProblem`'s constraint relation may be dropped once the
+/// context is built, which is what lets [`crate::steal`] keep many
+/// contexts alive at once.
+pub(crate) struct Ctx<'a> {
     /// Global op index per local index, ascending.
-    elems: Vec<usize>,
+    pub(crate) elems: Vec<usize>,
     h: &'a History,
     /// Local predecessor masks.
-    preds: Vec<BitSet>,
+    pub(crate) preds: Vec<BitSet>,
     legality: LegalityMode<'a>,
     /// Local indices of reads, for dead-state scans.
     reads: Vec<usize>,
-    num_locs: usize,
+    pub(crate) num_locs: usize,
 }
 
 impl<'a> Ctx<'a> {
-    fn new(p: &'a ViewProblem<'a>) -> Self {
-        let elems: Vec<usize> = p.ops.iter().collect();
+    fn new(p: &ViewProblem<'a>) -> Self {
+        Ctx::from_parts(p.history, &p.ops, p.constraints, p.legality)
+    }
+
+    /// Build a context directly from the problem's parts. Unlike
+    /// `ViewProblem`, the constraint relation is not tied to `'a`: it is
+    /// fully copied into the predecessor masks, so a caller may build it
+    /// in a short-lived scope (one relation per store order, say).
+    pub(crate) fn from_parts(
+        history: &'a History,
+        ops: &BitSet,
+        constraints: &Relation,
+        legality: LegalityMode<'a>,
+    ) -> Self {
+        let elems: Vec<usize> = ops.iter().collect();
         let m = elems.len();
-        let mut local_of = vec![usize::MAX; p.history.num_ops()];
+        let mut local_of = vec![usize::MAX; history.num_ops()];
         for (i, &e) in elems.iter().enumerate() {
             local_of[e] = i;
         }
         let mut preds: Vec<BitSet> = (0..m).map(|_| BitSet::new(m)).collect();
         for (i, &e) in elems.iter().enumerate() {
-            for s in p.constraints.successors(e).iter() {
+            for s in constraints.successors(e).iter() {
                 let j = local_of[s];
                 if j != usize::MAX && j != i {
                     preds[j].insert(i);
@@ -128,25 +147,25 @@ impl<'a> Ctx<'a> {
             }
         }
         let reads = (0..m)
-            .filter(|&i| p.history.ops()[elems[i]].is_read())
+            .filter(|&i| history.ops()[elems[i]].is_read())
             .collect();
         Ctx {
             elems,
-            h: p.history,
+            h: history,
             preds,
-            legality: p.legality,
+            legality,
             reads,
-            num_locs: p.history.num_locs(),
+            num_locs: history.num_locs(),
         }
     }
 
     #[inline]
-    fn op(&self, local: usize) -> &smc_history::Operation {
+    pub(crate) fn op(&self, local: usize) -> &smc_history::Operation {
         &self.h.ops()[self.elems[local]]
     }
 
     /// May `local` be scheduled now, given the per-location last writes?
-    fn schedulable(&self, local: usize, last_write: &[u32]) -> bool {
+    pub(crate) fn schedulable(&self, local: usize, last_write: &[u32]) -> bool {
         let o = self.op(local);
         if o.is_write() {
             return true;
@@ -168,7 +187,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// `true` if some unscheduled read can never become schedulable.
-    fn dead(&self, placed: &BitSet, last_write: &[u32]) -> bool {
+    pub(crate) fn dead(&self, placed: &BitSet, last_write: &[u32]) -> bool {
         for &r in &self.reads {
             if placed.contains(r) {
                 continue;
@@ -231,6 +250,57 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// 64-bit fingerprint of a search state `(scheduled set, last writes)`,
+/// salted so states from different search problems sharing one table
+/// never alias. FNV-1a over the bit-set words and last-write vector with
+/// a murmur-style finalizer so both the high bits (shard selection) and
+/// low bits (slot selection) are well mixed. Never returns `0`, which
+/// the concurrent table reserves for empty slots.
+pub(crate) fn state_hash(salt: u64, placed: &BitSet, last_write: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for &w in placed.words() {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for &lw in last_write {
+        h = (h ^ u64::from(lw)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    if h == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        h
+    }
+}
+
+/// Exact (collision-free) memo of failed states for the sequential DFS,
+/// bucketed by [`state_hash`] so the hot path probes by hash first and
+/// compares the full `(scheduled set, last writes)` key only within the
+/// (almost always singleton, usually empty) bucket. Unlike a plain
+/// `HashSet<(BitSet, Vec<u32>)>`, a lookup never clones the key.
+#[derive(Default)]
+struct LocalFailed {
+    buckets: HashMap<u64, Vec<(BitSet, Vec<u32>)>>,
+}
+
+impl LocalFailed {
+    fn contains(&self, hash: u64, placed: &BitSet, last_write: &[u32]) -> bool {
+        self.buckets
+            .get(&hash)
+            .is_some_and(|b| b.iter().any(|(p, lw)| p == placed && lw == last_write))
+    }
+
+    fn insert(&mut self, hash: u64, placed: &BitSet, last_write: &[u32]) {
+        self.buckets
+            .entry(hash)
+            .or_default()
+            .push((placed.clone(), last_write.to_vec()));
+    }
+}
+
 /// Search for one legal extension of the problem, charging one unit of
 /// `budget` per search node (the same budget can be shared across
 /// sub-searches, nested enumerations, and — via
@@ -250,28 +320,35 @@ pub fn find_legal_extension_with(
     let mut placed = BitSet::new(m);
     let mut last_write = vec![NO_WRITE; ctx.num_locs];
     let mut order: Vec<usize> = Vec::with_capacity(m);
-    let mut failed: HashSet<(BitSet, Vec<u32>)> = HashSet::new();
+    let mut memo = LocalFailed::default();
+    // `memoize == false` really bypasses the failed set: no hash is
+    // computed, no key is built, and the (unallocated, empty) table is
+    // never touched.
+    let failed = if opts.memoize { Some(&mut memo) } else { None };
     search_rec(
         &ctx,
         &mut placed,
         &mut last_write,
         &mut order,
-        &mut failed,
+        failed,
         budget,
         opts,
     )
 }
 
 /// The core DFS over schedulable operations, shared by the whole-problem
-/// search and the resume-from-prefix search used by the work-stealing
-/// splits in [`crate::batch`].
+/// search and the resume-from-prefix search used by the static-prefix
+/// splits in [`crate::batch`]. `failed` is `Some` iff failed-state
+/// memoization is on; the hash-first probe means a lookup costs one hash
+/// of the live state and (on the rare bucket hit) reference comparisons —
+/// the key is cloned only when a refuted state is inserted.
 #[allow(clippy::too_many_arguments)]
 fn search_rec(
     ctx: &Ctx<'_>,
     placed: &mut BitSet,
     last_write: &mut Vec<u32>,
     order: &mut Vec<usize>,
-    failed: &mut HashSet<(BitSet, Vec<u32>)>,
+    mut failed: Option<&mut LocalFailed>,
     budget: &Budget,
     opts: SearchOptions,
 ) -> SearchOutcome {
@@ -284,9 +361,12 @@ fn search_rec(
     if opts.dead_prune && ctx.dead(placed, last_write) {
         return SearchOutcome::NotFound;
     }
-    let key = (placed.clone(), last_write.clone());
-    if opts.memoize && failed.contains(&key) {
-        return SearchOutcome::NotFound;
+    let mut key_hash = 0;
+    if let Some(f) = failed.as_mut() {
+        key_hash = state_hash(0, placed, last_write);
+        if f.contains(key_hash, placed, last_write) {
+            return SearchOutcome::NotFound;
+        }
     }
     for i in 0..ctx.elems.len() {
         if placed.contains(i) || !ctx.preds[i].is_subset(placed) {
@@ -302,16 +382,25 @@ fn search_rec(
         }
         placed.insert(i);
         order.push(i);
-        match search_rec(ctx, placed, last_write, order, failed, budget, opts) {
-            SearchOutcome::NotFound => {}
-            done => return done,
-        }
+        let sub = search_rec(
+            ctx,
+            placed,
+            last_write,
+            order,
+            failed.as_deref_mut(),
+            budget,
+            opts,
+        );
         order.pop();
         placed.remove(i);
         last_write[o.loc.index()] = saved;
+        match sub {
+            SearchOutcome::NotFound => {}
+            done => return done,
+        }
     }
-    if opts.memoize {
-        failed.insert(key);
+    if let Some(f) = failed {
+        f.insert(key_hash, placed, last_write);
     }
     SearchOutcome::NotFound
 }
@@ -411,13 +500,13 @@ pub fn find_legal_extension_from(
         placed.insert(local);
         order.push(local);
     }
-    let mut failed: HashSet<(BitSet, Vec<u32>)> = HashSet::new();
+    let mut memo = LocalFailed::default();
     search_rec(
         &ctx,
         &mut placed,
         &mut last_write,
         &mut order,
-        &mut failed,
+        Some(&mut memo),
         budget,
         SearchOptions::default(),
     )

@@ -23,10 +23,21 @@ if [ "${1:-}" != "--no-test" ]; then
     # must regenerate tests/golden/exhaustive_verdicts.txt.
     echo "==> smc corpus --exhaustive (golden verdicts)"
     sweep_json=$(mktemp)
-    trap 'rm -f "$sweep_json"' EXIT
+    sweep_j4=$(mktemp)
+    trap 'rm -f "$sweep_json" "$sweep_j4"' EXIT
     cargo run -q --release --bin smc -- corpus --exhaustive --json "$sweep_json" >/dev/null
     if ! grep '"verdicts"' "$sweep_json" | diff -u tests/golden/exhaustive_verdicts.txt -; then
         echo "verdict drift against tests/golden/exhaustive_verdicts.txt" >&2
+        exit 1
+    fi
+
+    # Scheduler equivalence gate: the work-stealing parallel engine must
+    # classify the exhaustive sweep bit-identically to the sequential
+    # checker — same golden file, checked at 4 workers.
+    echo "==> smc corpus --exhaustive --jobs 4 (j1 vs j4 equivalence)"
+    cargo run -q --release --bin smc -- corpus --exhaustive --jobs 4 --json "$sweep_j4" >/dev/null
+    if ! grep '"verdicts"' "$sweep_j4" | diff -u tests/golden/exhaustive_verdicts.txt -; then
+        echo "parallel (jobs=4) verdicts drifted from tests/golden/exhaustive_verdicts.txt" >&2
         exit 1
     fi
 fi

@@ -177,3 +177,52 @@ fn corpus_verdicts_identical_across_job_counts() {
         }
     }
 }
+
+/// The work-stealing scheduler and the static-prefix baseline both match
+/// the sequential checker — same decided verdicts, and witnesses that
+/// verify independently — across every worker count, on the litmus corpus
+/// plus 200 random histories. This is the bit-identical-verdicts gate for
+/// the parallel engine.
+#[test]
+fn schedulers_agree_across_job_counts() {
+    use smc_core::checker::SchedulerKind;
+    let mut cases: Vec<History> = litmus_suite().iter().map(|t| t.history.clone()).collect();
+    cases.extend((1000..1200u64).map(|seed| random_history(&mut SmallRng::seed_from_u64(seed))));
+    // The models that exercise all three parallel drivers: the single
+    // shared view (SC), the store-order fan-out (TSO), and the
+    // independent per-processor views (PRAM, causal).
+    let model_list = [
+        models::sc(),
+        models::tso(),
+        models::pram(),
+        models::causal(),
+    ];
+    for scheduler in [SchedulerKind::WorkStealing, SchedulerKind::StaticPrefix] {
+        let cfg = CheckConfig {
+            scheduler,
+            ..CheckConfig::default()
+        };
+        for (ci, h) in cases.iter().enumerate() {
+            for spec in &model_list {
+                let seq = check_with_config(h, spec, &cfg);
+                for jobs in [1usize, 2, 4, 8] {
+                    let (par, _) = check_parallel(h, spec, &cfg, jobs);
+                    assert_eq!(
+                        par.decided(),
+                        seq.decided(),
+                        "case {ci} {} {scheduler:?} jobs={jobs}: {seq:?} vs {par:?}\n{h}",
+                        spec.name
+                    );
+                    if let Verdict::Allowed(w) = &par {
+                        verify_witness(h, spec, w).unwrap_or_else(|e| {
+                            panic!(
+                                "case {ci} {} {scheduler:?} jobs={jobs}: bad witness: {e}\n{h}",
+                                spec.name
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

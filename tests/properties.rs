@@ -410,3 +410,61 @@ fn labeled_random_runs_sound() {
         run_and_check(HybridMem::new(2, 4), &script, &models::hybrid(), seed);
     }
 }
+
+/// `SearchOptions` are pure tuning knobs: disabling failed-state
+/// memoization (which must then be truly bypassed, not allocated and
+/// ignored) or dead-state pruning changes the search's cost, never its
+/// outcome. Found orders must also be legal under every combination.
+#[test]
+fn search_options_do_not_change_outcomes() {
+    use smc_core::budget::Budget;
+    use smc_core::orders::program_order;
+    use smc_core::view::{
+        find_legal_extension_with, is_legal_sequence, LegalityMode, SearchOptions, SearchOutcome,
+        ViewProblem,
+    };
+    for seed in 400..500u64 {
+        let h = random_history(&mut SmallRng::seed_from_u64(seed));
+        let po = program_order(&h);
+        let p = ViewProblem {
+            history: &h,
+            ops: BitSet::full(h.num_ops()),
+            constraints: &po,
+            legality: LegalityMode::ByValue,
+        };
+        let mut found: Option<bool> = None;
+        for memoize in [true, false] {
+            for dead_prune in [true, false] {
+                let budget = Budget::local(1_000_000);
+                let out = find_legal_extension_with(
+                    &p,
+                    &budget,
+                    SearchOptions {
+                        memoize,
+                        dead_prune,
+                    },
+                );
+                let this = match &out {
+                    SearchOutcome::Found(order) => {
+                        assert!(
+                            is_legal_sequence(&h, order),
+                            "seed {seed} memoize={memoize} dead_prune={dead_prune}: illegal order\n{h}"
+                        );
+                        true
+                    }
+                    SearchOutcome::NotFound => false,
+                    SearchOutcome::Exhausted => {
+                        panic!("seed {seed}: tiny history exhausted a 1M-node budget")
+                    }
+                };
+                match found {
+                    None => found = Some(this),
+                    Some(prev) => assert_eq!(
+                        prev, this,
+                        "seed {seed} memoize={memoize} dead_prune={dead_prune}: outcome changed\n{h}"
+                    ),
+                }
+            }
+        }
+    }
+}
