@@ -47,6 +47,18 @@ usage:
                                     --check classifies each history
   smc bakery [--memory NAME] [--n N] [--runs R] [--show-program]
                                     run the Bakery algorithm (default rcpc)
+  smc separate <model-a> <model-b> [--jobs N] [--max-universe SPEC]
+            [--json PATH] [--memo-file PATH] [--emit-dir DIR]
+            [--no-minimize] [--scheduler stealing|static]
+                                    search universes of increasing size for
+                                    minimized witness histories one model
+                                    admits and the other refutes;
+                                    --max-universe is small|medium|large or
+                                    an explicit PxOxLxV cap like 3x2x2x2
+                                    (default medium); --emit-dir writes
+                                    each witness as a litmus test file
+  smc separate --all [...]          sweep every unlabeled model pair and
+                                    report the full witness table
   smc models                        list available models and machines
 
 --jobs N runs checks on N worker threads (default 1; results are
@@ -64,6 +76,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("matrix") => cmd_matrix(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
         Some("bakery") => cmd_bakery(&args[1..]),
+        Some("separate") => cmd_separate(&args[1..]),
         Some("models") => cmd_models(),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -742,6 +755,261 @@ fn cmd_bakery(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `smc separate`: search for model-separation witness histories.
+fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
+    use smc_core::separate::{DirectionStatus, Separator};
+
+    // `positional` treats the word after any `--flag` as its value, which
+    // would swallow a model name after the boolean `--all`/`--no-minimize`;
+    // collect positionals against the explicit value-flag list instead.
+    const VALUE_FLAGS: [&str; 6] = [
+        "--jobs",
+        "--max-universe",
+        "--json",
+        "--memo-file",
+        "--emit-dir",
+        "--scheduler",
+    ];
+    let mut pos: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            i += 1;
+            continue;
+        }
+        pos.push(a);
+        i += 1;
+    }
+    let all = args.iter().any(|a| a == "--all");
+    let model_list: Vec<ModelSpec> = if all {
+        if !pos.is_empty() {
+            return Err("separate: --all takes no model arguments".into());
+        }
+        models::lattice_models()
+    } else {
+        let [a, b] = pos[..] else {
+            return Err("separate: expected <model-a> <model-b>, or --all".into());
+        };
+        let ma =
+            models::by_name(a).ok_or_else(|| format!("unknown model `{a}` (try `smc models`)"))?;
+        let mb =
+            models::by_name(b).ok_or_else(|| format!("unknown model `{b}` (try `smc models`)"))?;
+        if ma.name == mb.name {
+            return Err(format!(
+                "`{a}` and `{b}` are both {} — nothing to separate",
+                ma.name
+            ));
+        }
+        vec![ma, mb]
+    };
+    let jobs = jobs_flag(args)?;
+    let spec = flag_value(args, "--max-universe").unwrap_or("medium");
+    let universes = smc_core::separate::ladder(spec).map_err(|e| format!("--max-universe: {e}"))?;
+    let json_path = flag_value(args, "--json");
+    let memo_file = flag_value(args, "--memo-file");
+    let minimize = !args.iter().any(|a| a == "--no-minimize");
+    let emit_dir = flag_value(args, "--emit-dir");
+    let cfg = CheckConfig {
+        scheduler: scheduler_flag(args)?,
+        ..CheckConfig::default()
+    }
+    .with_memo();
+    memo_file_load(&cfg, memo_file);
+
+    let t0 = std::time::Instant::now();
+    let mut sep = Separator::new(model_list.clone(), cfg.clone(), jobs);
+    let impossible = sep.directions().len() - sep.open_directions();
+    println!(
+        "separating {} model(s): {} direction(s) to decide, {} impossible by known inclusions",
+        model_list.len(),
+        sep.open_directions(),
+        impossible
+    );
+    for u in &universes {
+        if sep.open_directions() == 0 {
+            break;
+        }
+        println!(
+            "universe {:>7}: {} histories (~{} symmetry classes), {} direction(s) open",
+            u.label(),
+            u.universe_size(),
+            u.reduced_universe_estimate(),
+            sep.open_directions()
+        );
+        let resolved = sep.run_universe(u);
+        if resolved > 0 {
+            println!("    -> {resolved} direction(s) witnessed");
+        }
+    }
+    if minimize {
+        sep.minimize_found();
+    }
+    memo_file_save(&cfg, memo_file);
+    let wall = t0.elapsed();
+    let last_label = universes.last().map_or_else(String::new, |u| u.label());
+
+    println!();
+    let mut found = 0usize;
+    let mut json_lines: Vec<String> = Vec::new();
+    for d in sep.directions() {
+        let a = &model_list[d.admits].name;
+        let r = &model_list[d.refutes].name;
+        let mut line = JsonObject::new().str("admits", a).str("refutes", r);
+        match &d.status {
+            DirectionStatus::Impossible => {
+                println!(
+                    "{a} ⊆ {r} is a known inclusion — no {a}-admits/{r}-refutes witness can exist"
+                );
+                line = line.str("status", "impossible");
+            }
+            DirectionStatus::Open => {
+                println!(
+                    "{a} admits / {r} refutes: no witness up to {last_label} (consistent with {a} ⊆ {r})"
+                );
+                line = line.str("status", "open");
+            }
+            DirectionStatus::Found(w) => {
+                found += 1;
+                println!(
+                    "{a} admits / {r} refutes: witness in {} (index {}{}):",
+                    w.universe.label(),
+                    w.index,
+                    if w.minimized { ", minimized" } else { "" }
+                );
+                for l in w.history.to_string().lines() {
+                    println!("    {l}");
+                }
+                line = line
+                    .str("status", "found")
+                    .str("universe", &w.universe.label())
+                    .num("index", w.index)
+                    .num("ops", w.history.num_ops() as u64)
+                    .str("witness", &w.history.to_string());
+            }
+        }
+        json_lines.push(line.finish());
+    }
+    if model_list.len() == 2 {
+        let status = |admits: usize, refutes: usize| {
+            &sep.directions()
+                .iter()
+                .find(|d| d.admits == admits && d.refutes == refutes)
+                .expect("pair directions exist")
+                .status
+        };
+        let ab = matches!(status(0, 1), DirectionStatus::Found(_));
+        let ba = matches!(status(1, 0), DirectionStatus::Found(_));
+        let (a, b) = (&model_list[0].name, &model_list[1].name);
+        println!();
+        match (ab, ba) {
+            (true, true) => println!("=> {a} and {b} are incomparable: each admits a history the other refutes"),
+            (false, true) => println!("=> {a} is strictly stronger than {b} on the searched universes ({a} ⊆ {b}, and {b} admits a history {a} refutes)"),
+            (true, false) => println!("=> {b} is strictly stronger than {a} on the searched universes ({b} ⊆ {a}, and {a} admits a history {b} refutes)"),
+            (false, false) => println!("=> {a} and {b} are indistinguishable up to {last_label}"),
+        }
+    }
+
+    let st = sep.stats;
+    println!(
+        "\nscanned {} histories ({} skipped by form, {} unexplainable) -> {} classes ({} repeat encounters), {} checks + {} propagated, {} undecided in {:.1?}{}",
+        st.enumerated,
+        st.skipped_form,
+        st.skipped_unexplainable,
+        st.classes,
+        st.class_hits,
+        st.checked,
+        st.propagated,
+        st.undecided,
+        wall,
+        if jobs > 1 { format!(" [{jobs} jobs]") } else { String::new() }
+    );
+
+    if let Some(path) = json_path {
+        json_lines.push(
+            JsonObject::new()
+                .num("models", model_list.len() as u64)
+                .num("directions", sep.directions().len() as u64)
+                .num("found", found as u64)
+                .num("enumerated", st.enumerated)
+                .num("skipped_form", st.skipped_form)
+                .num("skipped_unexplainable", st.skipped_unexplainable)
+                .num("classes", st.classes)
+                .num("class_hits", st.class_hits)
+                .num("checked", st.checked)
+                .num("propagated", st.propagated)
+                .num("undecided", st.undecided)
+                .num("wall_ms", wall.as_millis() as u64)
+                .finish(),
+        );
+        let mut text = json_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+
+    if let Some(dir) = emit_dir {
+        emit_separation_files(dir, &model_list, &sep)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Write each separated pair's witnesses to `<dir>/<a>_vs_<b>.litmus` as
+/// litmus tests with `expect` lines for both models.
+fn emit_separation_files(
+    dir: &str,
+    model_list: &[ModelSpec],
+    sep: &smc_core::separate::Separator,
+) -> Result<(), String> {
+    use smc_core::separate::DirectionStatus;
+    use smc_history::litmus::emit_litmus_test;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    for a in 0..model_list.len() {
+        for b in a + 1..model_list.len() {
+            let mut text = String::new();
+            for d in sep.directions() {
+                let pair = (d.admits == a && d.refutes == b) || (d.admits == b && d.refutes == a);
+                let DirectionStatus::Found(w) = &d.status else {
+                    continue;
+                };
+                if !pair {
+                    continue;
+                }
+                let adm = &model_list[d.admits].name;
+                let rfu = &model_list[d.refutes].name;
+                let t = LitmusTest {
+                    name: format!("{}_not_{}", adm.to_lowercase(), rfu.to_lowercase()),
+                    description: format!(
+                        "{adm} admits, {rfu} refutes (found by smc separate in {})",
+                        w.universe.label()
+                    ),
+                    history: w.history.clone(),
+                    expectations: vec![(adm.clone(), true), (rfu.clone(), false)],
+                };
+                text.push_str(&emit_litmus_test(&t));
+                text.push('\n');
+            }
+            if text.is_empty() {
+                continue;
+            }
+            let path = format!(
+                "{dir}/{}_vs_{}.litmus",
+                model_list[a].name.to_lowercase(),
+                model_list[b].name.to_lowercase()
+            );
+            let header = "# Machine-found separation witnesses; regenerate with\n\
+                          #     smc separate --all --emit-dir litmus/separations\n\n";
+            std::fs::write(&path, format!("{header}{text}"))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
 }
 
 fn cmd_models() -> Result<ExitCode, String> {

@@ -5,6 +5,8 @@
 //! smc matrix <file>                   classification matrix for a suite
 //! smc explore <file> --memory NAME    enumerate an operational machine
 //! smc bakery [--memory NAME] [--n N] [--runs R]
+//! smc separate <model-a> <model-b>    search for a separating witness
+//! smc separate --all                  separate every unlabeled model pair
 //! smc models                          list the available models
 //! ```
 //!

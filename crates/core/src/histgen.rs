@@ -30,10 +30,38 @@ impl GenParams {
         self.locs * (self.values as usize + 1) + self.locs * self.values as usize
     }
 
-    /// Total number of histories in the universe.
+    /// Total number of histories in the universe, saturating at
+    /// `u128::MAX` for parameter sets too large to enumerate anyway.
     pub fn universe_size(&self) -> u128 {
         let slots = (self.procs * self.ops_per_proc) as u32;
-        (self.choices_per_slot() as u128).pow(slots)
+        (self.choices_per_slot() as u128)
+            .checked_pow(slots)
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Estimated number of renaming-symmetry classes in the universe: the
+    /// raw size divided by the order of the renaming group (`procs!` ×
+    /// `locs!` × per-location `values!`). Histories with repeated rows or
+    /// unused names have smaller orbits, so this is a lower bound, but it
+    /// is the right order of magnitude to report before a long
+    /// enumeration.
+    pub fn reduced_universe_estimate(&self) -> u128 {
+        fn fact(n: u128) -> u128 {
+            (2..=n).fold(1u128, u128::saturating_mul)
+        }
+        let mut denom = fact(self.procs as u128).saturating_mul(fact(self.locs as u128));
+        for _ in 0..self.locs {
+            denom = denom.saturating_mul(fact(self.values.max(0) as u128));
+        }
+        (self.universe_size() / denom.max(1)).max(1)
+    }
+
+    /// The conventional `PxOxLxV` label, e.g. `3x2x2x2`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{}x{}x{}",
+            self.procs, self.ops_per_proc, self.locs, self.values
+        )
     }
 }
 
@@ -55,6 +83,55 @@ fn decode_slot(params: &GenParams, mut code: usize) -> (bool, usize, i64) {
     }
 }
 
+/// Materialize the history encoded by a full slot-code vector.
+fn build_history(params: &GenParams, code: &[usize]) -> History {
+    let mut b = HistoryBuilder::new();
+    // Register processors and locations up-front so ids are stable
+    // across the enumeration.
+    for name in &PROC_NAMES[..params.procs] {
+        b.add_proc(name);
+    }
+    for name in &LOC_NAMES[..params.locs] {
+        b.add_loc(name);
+    }
+    for (slot, &c) in code.iter().enumerate() {
+        let p = slot / params.ops_per_proc;
+        let (is_write, loc, val) = decode_slot(params, c);
+        if is_write {
+            b.write(PROC_NAMES[p], LOC_NAMES[loc], val);
+        } else {
+            b.read(PROC_NAMES[p], LOC_NAMES[loc], val);
+        }
+    }
+    b.build()
+}
+
+/// The slot-code vector of the history at `index` in enumeration order.
+///
+/// The odometer of [`for_each_history`] increments slot 0 fastest, so the
+/// code vector is exactly the little-endian base-`choices_per_slot`
+/// representation of the index — which makes random access (and therefore
+/// chunked parallel scanning) O(slots).
+fn code_at(params: &GenParams, mut index: u128) -> Vec<usize> {
+    let choices = params.choices_per_slot() as u128;
+    let slots = params.procs * params.ops_per_proc;
+    let mut code = vec![0usize; slots];
+    for c in code.iter_mut() {
+        *c = (index % choices) as usize;
+        index /= choices;
+    }
+    debug_assert_eq!(index, 0, "index out of range for universe");
+    code
+}
+
+/// The history at `index` (0-based) in the order [`for_each_history`]
+/// visits; `index` must be below [`GenParams::universe_size`].
+pub fn history_at(params: &GenParams, index: u128) -> History {
+    assert!(params.procs <= PROC_NAMES.len(), "too many processors");
+    assert!(params.locs <= LOC_NAMES.len(), "too many locations");
+    build_history(params, &code_at(params, index))
+}
+
 /// Visit every history in the universe, in a fixed deterministic order.
 ///
 /// The visitor may break to stop early. Histories where some read's value
@@ -71,25 +148,7 @@ pub fn for_each_history<B>(
     let choices = params.choices_per_slot();
     let mut code = vec![0usize; slots];
     loop {
-        let mut b = HistoryBuilder::new();
-        // Register processors and locations up-front so ids are stable
-        // across the enumeration.
-        for name in &PROC_NAMES[..params.procs] {
-            b.add_proc(name);
-        }
-        for name in &LOC_NAMES[..params.locs] {
-            b.add_loc(name);
-        }
-        for (slot, &c) in code.iter().enumerate() {
-            let p = slot / params.ops_per_proc;
-            let (is_write, loc, val) = decode_slot(params, c);
-            if is_write {
-                b.write(PROC_NAMES[p], LOC_NAMES[loc], val);
-            } else {
-                b.read(PROC_NAMES[p], LOC_NAMES[loc], val);
-            }
-        }
-        visit(&b.build())?;
+        visit(&build_history(params, &code))?;
         // Odometer.
         let mut i = 0;
         loop {
@@ -104,6 +163,153 @@ pub fn for_each_history<B>(
             i += 1;
         }
     }
+}
+
+/// Counters from a (filtered) range enumeration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeStats {
+    /// Indices visited (i.e. `end - start`).
+    pub enumerated: u64,
+    /// Histories skipped because they are not the first-occurrence
+    /// representative of their location/value renaming orbit.
+    pub skipped_form: u64,
+    /// Histories skipped because some read returns a value no write
+    /// stores (refuted by every model, so useless for separation).
+    pub skipped_unexplainable: u64,
+    /// Histories actually handed to the visitor.
+    pub yielded: u64,
+}
+
+impl RangeStats {
+    /// Accumulate another range's counters into this one.
+    pub fn merge(&mut self, other: &RangeStats) {
+        self.enumerated += other.enumerated;
+        self.skipped_form += other.skipped_form;
+        self.skipped_unexplainable += other.skipped_unexplainable;
+        self.yielded += other.yielded;
+    }
+}
+
+/// Visit the histories at indices `start..end` of the enumeration order,
+/// unfiltered. The visitor receives each history's index.
+pub fn for_each_history_range(
+    params: &GenParams,
+    start: u64,
+    end: u64,
+    mut visit: impl FnMut(u64, &History),
+) -> RangeStats {
+    assert!(params.procs <= PROC_NAMES.len(), "too many processors");
+    assert!(params.locs <= LOC_NAMES.len(), "too many locations");
+    let choices = params.choices_per_slot();
+    let mut code = code_at(params, start as u128);
+    let mut stats = RangeStats::default();
+    for index in start..end {
+        stats.enumerated += 1;
+        stats.yielded += 1;
+        visit(index, &build_history(params, &code));
+        advance(&mut code, choices);
+    }
+    stats
+}
+
+/// Visit only the *representative* histories at indices `start..end`: the
+/// unique member of each location/value renaming orbit in first-occurrence
+/// form, with every read explainable by some write.
+///
+/// First-occurrence form means locations first appear in increasing id
+/// order, and at each location the distinct nonzero values first appear as
+/// `1, 2, ...` in order (reads and writes counted alike). Any history can
+/// be renamed into this form without leaving the universe, so skipping the
+/// rest loses no symmetry class; processor-permutation symmetry is *not*
+/// reduced here (callers dedup via [`crate::canon::HistoryKey`]).
+/// Histories with an unexplainable read are refuted by every model —
+/// renaming preserves that, so their whole orbit is useless as a
+/// separation witness and is skipped too.
+pub fn for_each_representative_range(
+    params: &GenParams,
+    start: u64,
+    end: u64,
+    mut visit: impl FnMut(u64, &History),
+) -> RangeStats {
+    assert!(params.procs <= PROC_NAMES.len(), "too many processors");
+    assert!(params.locs <= LOC_NAMES.len(), "too many locations");
+    assert!(params.values <= 60, "value-seen bitmasks hold ≤ 60 values");
+    let choices = params.choices_per_slot();
+    let mut code = code_at(params, start as u128);
+    let mut stats = RangeStats::default();
+    for index in start..end {
+        stats.enumerated += 1;
+        match classify_code(params, &code) {
+            CodeClass::NotRepresentative => stats.skipped_form += 1,
+            CodeClass::Unexplainable => stats.skipped_unexplainable += 1,
+            CodeClass::Representative => {
+                stats.yielded += 1;
+                visit(index, &build_history(params, &code));
+            }
+        }
+        advance(&mut code, choices);
+    }
+    stats
+}
+
+fn advance(code: &mut [usize], choices: usize) {
+    for c in code.iter_mut() {
+        *c += 1;
+        if *c < choices {
+            return;
+        }
+        *c = 0;
+    }
+}
+
+enum CodeClass {
+    Representative,
+    NotRepresentative,
+    Unexplainable,
+}
+
+/// Decide, on the raw slot codes (before any allocation), whether this
+/// history is the first-occurrence representative of its location/value
+/// renaming orbit and whether every read is explainable.
+fn classify_code(params: &GenParams, code: &[usize]) -> CodeClass {
+    let mut next_loc = 0usize;
+    let mut next_val = [0i64; 8];
+    let mut seen_vals = [0u64; 8];
+    let mut written = [0u64; 8];
+    let mut read = [0u64; 8];
+    for &c in code {
+        let (is_write, loc, val) = decode_slot(params, c);
+        // Locations must first appear as x, y, z, ... in order.
+        if loc > next_loc {
+            return CodeClass::NotRepresentative;
+        }
+        if loc == next_loc {
+            next_loc += 1;
+        }
+        if val > 0 {
+            let bit = 1u64 << val;
+            // Distinct nonzero values at a location must first appear as
+            // 1, 2, ... in order (reads and writes counted alike).
+            if seen_vals[loc] & bit == 0 {
+                if val != next_val[loc] + 1 {
+                    return CodeClass::NotRepresentative;
+                }
+                next_val[loc] = val;
+                seen_vals[loc] |= bit;
+            }
+            if is_write {
+                written[loc] |= bit;
+            } else {
+                read[loc] |= bit;
+            }
+        }
+    }
+    for l in 0..params.locs {
+        if read[l] & !written[l] != 0 {
+            return CodeClass::Unexplainable;
+        }
+    }
+    CodeClass::Representative
 }
 
 /// Collect every history of the universe into a vector (use only for
@@ -174,6 +380,108 @@ mod tests {
         });
         assert!(flow.is_break());
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn universe_size_saturates_instead_of_overflowing() {
+        let params = GenParams {
+            procs: 8,
+            ops_per_proc: 8,
+            locs: 8,
+            values: 8,
+        };
+        // 136^64 overflows u128 by a wide margin; the old `pow` panicked.
+        assert_eq!(params.universe_size(), u128::MAX);
+        assert!(params.reduced_universe_estimate() > 0);
+        assert_eq!(params.label(), "8x8x8x8");
+    }
+
+    #[test]
+    fn reduced_estimate_divides_out_renaming_group() {
+        let params = GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        };
+        // 6^4 = 1296 histories; group order 2! · 2! · (1!)^2 = 4.
+        assert_eq!(params.reduced_universe_estimate(), 1296 / 4);
+    }
+
+    #[test]
+    fn history_at_matches_enumeration_order() {
+        let params = GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 1,
+        };
+        let all = all_histories(&params);
+        for (i, h) in all.iter().enumerate().step_by(97) {
+            assert_eq!(&history_at(&params, i as u128), h, "index {i}");
+        }
+        assert_eq!(
+            &history_at(&params, all.len() as u128 - 1),
+            all.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn ranged_enumeration_covers_the_universe() {
+        let params = GenParams {
+            procs: 2,
+            ops_per_proc: 1,
+            locs: 2,
+            values: 1,
+        };
+        let all = all_histories(&params);
+        let mut got = Vec::new();
+        let total = all.len() as u64;
+        for chunk_start in (0..total).step_by(7) {
+            let end = (chunk_start + 7).min(total);
+            let stats = for_each_history_range(&params, chunk_start, end, |i, h| {
+                got.push((i, h.clone()));
+            });
+            assert_eq!(stats.enumerated, end - chunk_start);
+        }
+        assert_eq!(got.len(), all.len());
+        for (i, h) in got {
+            assert_eq!(&all[i as usize], &h, "index {i}");
+        }
+    }
+
+    #[test]
+    fn representatives_cover_every_loc_value_orbit() {
+        use crate::canon::canonicalize;
+        use std::collections::HashSet;
+        let params = GenParams {
+            procs: 2,
+            ops_per_proc: 2,
+            locs: 2,
+            values: 2,
+        };
+        let total = params.universe_size() as u64;
+        // Canonical keys of every explainable history in the universe...
+        let mut full_keys = HashSet::new();
+        let _ = for_each_history(&params, |h| {
+            let explainable =
+                h.ops().iter().filter(|o| o.is_read()).all(|r| {
+                    r.value.is_initial() || h.writes_to(r.loc).any(|w| w.value == r.value)
+                });
+            if explainable {
+                full_keys.insert(canonicalize(h).key);
+            }
+            ControlFlow::<()>::Continue(())
+        });
+        // ...must all be reachable through representatives alone.
+        let mut rep_keys = HashSet::new();
+        let mut stats = RangeStats::default();
+        stats.merge(&for_each_representative_range(&params, 0, total, |_, h| {
+            rep_keys.insert(canonicalize(h).key);
+        }));
+        assert_eq!(stats.enumerated, total);
+        assert!(stats.yielded < total / 4, "filter too weak: {stats:?}");
+        assert_eq!(rep_keys, full_keys);
     }
 
     #[test]

@@ -89,19 +89,32 @@ pub fn known_inclusions() -> &'static [(&'static str, &'static str)] {
 
 /// `stronger[i][j]` = admitted by `models[i]` implies admitted by
 /// `models[j]`, per the transitive closure of [`known_inclusions`]
-/// (matched by display name, case-insensitively).
-fn inclusion_closure(models: &[ModelSpec]) -> Vec<Vec<bool>> {
-    let n = models.len();
-    let mut m = vec![vec![false; n]; n];
-    let idx = |name: &str| {
-        models
-            .iter()
-            .position(|s| s.name.eq_ignore_ascii_case(name))
-    };
-    for (s, w) in known_inclusions() {
-        if let (Some(a), Some(b)) = (idx(s), idx(w)) {
-            m[a][b] = true;
+/// (matched by display name, case-insensitively). Besides the
+/// propagating sweep below, [`crate::separate`] uses this to rule out
+/// witness directions that known inclusions make impossible.
+pub fn inclusion_closure(models: &[ModelSpec]) -> Vec<Vec<bool>> {
+    // Close over every name the edge list mentions, not just the models
+    // provided: SC ⊆ Causal follows from SC ⊆ TSO ⊆ Causal even when TSO
+    // is absent from `models`.
+    let mut names: Vec<String> = models.iter().map(|m| m.name.to_ascii_lowercase()).collect();
+    let intern = |name: &str, names: &mut Vec<String>| -> usize {
+        let lower = name.to_ascii_lowercase();
+        match names.iter().position(|n| *n == lower) {
+            Some(i) => i,
+            None => {
+                names.push(lower);
+                names.len() - 1
+            }
         }
+    };
+    let edges: Vec<(usize, usize)> = known_inclusions()
+        .iter()
+        .map(|(s, w)| (intern(s, &mut names), intern(w, &mut names)))
+        .collect();
+    let n = names.len();
+    let mut m = vec![vec![false; n]; n];
+    for (a, b) in edges {
+        m[a][b] = true;
     }
     for k in 0..n {
         let row_k = m[k].clone();
@@ -115,6 +128,12 @@ fn inclusion_closure(models: &[ModelSpec]) -> Vec<Vec<bool>> {
                 }
             }
         }
+    }
+    // Project back onto the provided models (the first `models.len()`
+    // interned slots, in order).
+    m.truncate(models.len());
+    for row in &mut m {
+        row.truncate(models.len());
     }
     m
 }
@@ -362,6 +381,17 @@ mod tests {
     use super::*;
     use crate::models;
     use smc_history::litmus::parse_history;
+
+    #[test]
+    fn inclusion_closure_routes_through_absent_models() {
+        // SC ⊆ Causal follows from SC ⊆ TSO ⊆ Causal; the closure must
+        // find the hop even though TSO is not in the queried list.
+        let ms = vec![models::sc(), models::causal()];
+        let m = inclusion_closure(&ms);
+        assert!(m[0][1], "SC ⊆ Causal lost without TSO in the list");
+        assert!(!m[1][0]);
+        assert!(!m[0][0] && !m[1][1]);
+    }
 
     #[test]
     fn figure1_separates_sc_from_tso() {

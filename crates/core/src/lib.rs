@@ -71,6 +71,7 @@ pub mod memo;
 pub mod models;
 pub mod orders;
 pub mod rf;
+pub mod separate;
 pub mod spec;
 pub mod steal;
 pub mod verify;
@@ -84,5 +85,9 @@ pub use checker::{
     Verdict, Witness,
 };
 pub use memo::{MemoCache, MemoStats};
+pub use separate::{
+    minimize_witness, separates, Direction, DirectionStatus, SeparateStats, SeparationWitness,
+    Separator,
+};
 pub use spec::ModelSpec;
 pub use steal::{FailedSetStats, SharedFailedSet};

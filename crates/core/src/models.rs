@@ -195,6 +195,17 @@ pub fn figure5_models() -> Vec<ModelSpec> {
     vec![sc(), tso(), pc(), causal(), pram()]
 }
 
+/// The unlabeled models — everything
+/// [`crate::lattice::known_inclusions`] speaks about, and the model set
+/// `smc separate --all` sweeps (the generated universes contain no
+/// labeled operations, so the labeled models cannot be separated there).
+pub fn lattice_models() -> Vec<ModelSpec> {
+    all_models()
+        .into_iter()
+        .filter(|m| m.labeled.is_none())
+        .collect()
+}
+
 /// Look a model up by (case-insensitive) name; accepts the common
 /// spellings used in litmus expectations (`RC_sc`, `RCsc`, ...).
 pub fn by_name(name: &str) -> Option<ModelSpec> {
@@ -213,7 +224,10 @@ pub fn by_name(name: &str) -> Option<ModelSpec> {
         "causalcoherent" => causal_coherent(),
         "rcsc" => rc_sc(),
         "rcpc" => rc_pc(),
-        "pcg" | "pcgoodman" | "goodman" => pc_goodman(),
+        // DASH's processor consistency (Section 3.3) — distinct from
+        // Goodman's, hence the explicit aliases.
+        "dashpc" | "pcdash" => pc(),
+        "pcg" | "pcgoodman" | "goodman" | "goodmanpc" => pc_goodman(),
         "wo" | "weakordering" => weak_ordering(),
         "hybrid" => hybrid(),
         _ => return None,
@@ -241,7 +255,27 @@ mod tests {
         assert_eq!(by_name("RC_sc").unwrap().name, "RCsc");
         assert_eq!(by_name("rc-pc").unwrap().name, "RCpc");
         assert_eq!(by_name("Causal").unwrap().name, "Causal");
+        assert_eq!(by_name("dash_pc").unwrap().name, "PC");
+        assert_eq!(by_name("goodman_pc").unwrap().name, "PCG");
         assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn lattice_models_are_exactly_the_unlabeled_ones() {
+        let names: Vec<String> = lattice_models().iter().map(|m| m.name.clone()).collect();
+        assert_eq!(
+            names,
+            [
+                "SC",
+                "TSO",
+                "PC",
+                "PCG",
+                "CausalCoherent",
+                "Causal",
+                "PRAM",
+                "Coherent"
+            ]
+        );
     }
 
     #[test]

@@ -183,6 +183,53 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
     Ok(tests)
 }
 
+/// Render a history in the litmus notation this module parses. The text
+/// is the canonical serialization: `parse_history(emit_litmus(h))`
+/// reproduces `h` exactly (same processors, in order, with identical
+/// operation sequences), provided every processor name round-trips
+/// through the parser — which holds for all builder- or parser-produced
+/// histories.
+pub fn emit_litmus(h: &History) -> String {
+    h.to_string()
+}
+
+/// Render a [`LitmusTest`] as a `test <name> "<description>" { ... }
+/// expect { ... }` block that [`parse_suite`] reads back. The test name
+/// must be an identifier and the description must not contain `"`; both
+/// are debug-asserted.
+pub fn emit_litmus_test(t: &LitmusTest) -> String {
+    debug_assert!(
+        is_ident(&t.name),
+        "test name `{}` is not an identifier",
+        t.name
+    );
+    debug_assert!(
+        !t.description.contains('"'),
+        "description must not contain a quote"
+    );
+    let mut s = format!("test {}", t.name);
+    if !t.description.is_empty() {
+        s.push_str(&format!(" \"{}\"", t.description));
+    }
+    s.push_str(" {\n");
+    for line in emit_litmus(&t.history).lines() {
+        s.push_str("    ");
+        s.push_str(line.trim_start());
+        s.push('\n');
+    }
+    s.push('}');
+    if !t.expectations.is_empty() {
+        let items: Vec<String> = t
+            .expectations
+            .iter()
+            .map(|(m, v)| format!("{m}: {}", if *v { "yes" } else { "no" }))
+            .collect();
+        s.push_str(&format!(" expect {{ {} }}", items.join(", ")));
+    }
+    s.push('\n');
+    s
+}
+
 fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(i) => &line[..i],
@@ -536,6 +583,37 @@ mod tests {
         let e = parse_suite("test t {\n p: w(x)1\n} expect { SC: yes,\n TSO: yes").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.message.contains("unterminated expect block"), "{e}");
+    }
+
+    #[test]
+    fn emit_litmus_round_trips() {
+        let h = parse_history("p: w(x)1 rl(y)0\nq: W(y)2\nidle:").unwrap();
+        let back = parse_history(&emit_litmus(&h)).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn emit_litmus_test_round_trips() {
+        let t = LitmusTest {
+            name: "sep_tso_not_sc".into(),
+            description: "TSO admits, SC refutes".into(),
+            history: parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap(),
+            expectations: vec![("TSO".into(), true), ("SC".into(), false)],
+        };
+        let text = emit_litmus_test(&t);
+        let back = parse_suite(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, t.name);
+        assert_eq!(back[0].description, t.description);
+        assert_eq!(back[0].history, t.history);
+        assert_eq!(back[0].expectations, t.expectations);
+        // No expectations → no expect block, still parseable.
+        let bare = LitmusTest {
+            expectations: Vec::new(),
+            ..t
+        };
+        let back = parse_suite(&emit_litmus_test(&bare)).unwrap();
+        assert!(back[0].expectations.is_empty());
     }
 
     #[test]

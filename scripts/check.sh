@@ -40,6 +40,20 @@ if [ "${1:-}" != "--no-test" ]; then
         echo "parallel (jobs=4) verdicts drifted from tests/golden/exhaustive_verdicts.txt" >&2
         exit 1
     fi
+
+    # Separation drift gate: the witness search over the small universes
+    # must decide every model-pair direction exactly as recorded. A diff
+    # means a checker or search change moved a lattice edge — intended
+    # changes must regenerate tests/golden/separations_small.txt.
+    echo "==> smc separate --all --max-universe small (golden directions)"
+    sep_json=$(mktemp)
+    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json"' EXIT
+    cargo run -q --release --bin smc -- separate --all --max-universe small --jobs 4 \
+        --json "$sep_json" >/dev/null
+    if ! grep '"admits"' "$sep_json" | diff -u tests/golden/separations_small.txt -; then
+        echo "separation drift against tests/golden/separations_small.txt" >&2
+        exit 1
+    fi
 fi
 
 echo "==> OK"

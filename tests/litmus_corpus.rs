@@ -47,6 +47,58 @@ fn all_corpus_expectations_hold() {
 }
 
 #[test]
+fn separation_witness_files_check_out() {
+    // The machine-found witnesses committed by
+    // `smc separate --all --emit-dir litmus/separations` carry
+    // expectations for both models of each pair; every one must hold.
+    let dir = format!("{}/../../litmus/separations", env!("CARGO_MANIFEST_DIR"));
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("litmus/separations exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "litmus"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 20,
+        "only {} separation files",
+        entries.len()
+    );
+    let cfg = CheckConfig::default();
+    let mut checked = 0;
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let suite = smc_history::litmus::parse_suite(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!suite.is_empty(), "{}: empty suite", path.display());
+        for t in suite {
+            assert_eq!(t.expectations.len(), 2, "{}: {}", path.display(), t.name);
+            for (model_name, expected) in &t.expectations {
+                let spec = models::by_name(model_name).unwrap();
+                let verdict = check_with_config(&t.history, &spec, &cfg);
+                if let Verdict::Allowed(w) = &verdict {
+                    verify_witness(&t.history, &spec, w)
+                        .unwrap_or_else(|e| panic!("{} × {}: {e}", t.name, spec.name));
+                }
+                assert_eq!(
+                    verdict.decided(),
+                    Some(*expected),
+                    "{}: {} × {}\n{}",
+                    path.display(),
+                    t.name,
+                    spec.name,
+                    t.history
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 60,
+        "only {checked} separation expectations checked"
+    );
+}
+
+#[test]
 fn corpus_verdicts_respect_known_strength_order() {
     // If a model pair (stronger, weaker) is in Figure 5's lattice, then
     // every corpus history admitted by the stronger must be admitted by
