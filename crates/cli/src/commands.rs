@@ -59,6 +59,27 @@ usage:
                                     each witness as a litmus test file
   smc separate --all [...]          sweep every unlabeled model pair and
                                     report the full witness table
+  smc monitor [<file>|-] [--model NAME] [--jobs N] [--stats]
+            [--json PATH] [--max-states N]
+                                    stream a trace (stdin when `-` or no
+                                    file) through the incremental admission
+                                    monitor; malformed lines warn with
+                                    their byte offset and are skipped;
+                                    exits nonzero if any model's final
+                                    verdict is violated
+  smc monitor --corpus [--jobs N] [--json PATH]
+                                    replay every embedded litmus history
+                                    through the monitor event-by-event and
+                                    diff the final verdicts against the
+                                    batch checker (the monitor golden gate)
+  smc trace gen [--memory NAME] [--procs N] [--ops N] [--locs L]
+            [--values V] [--seed S] [--out PATH]
+                                    run a random program on an operational
+                                    machine and emit its arrival-order
+                                    event stream in the trace format
+  smc trace from <file> [--test NAME] [--out PATH]
+                                    linearize a litmus history into the
+                                    trace format (processor-major order)
   smc models                        list available models and machines
 
 --jobs N runs checks on N worker threads (default 1; results are
@@ -77,6 +98,8 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("explore") => cmd_explore(&args[1..]),
         Some("bakery") => cmd_bakery(&args[1..]),
         Some("separate") => cmd_separate(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("models") => cmd_models(),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
@@ -166,8 +189,11 @@ fn render_stats(stats: &CheckStats) -> String {
     if stats.rf_truncated {
         s.push_str(", rf truncated");
     }
-    let fs = stats.failed_set;
-    if fs.hits + fs.misses + fs.inserts > 0 {
+    // Failed-set counters only mean something when the work-stealing
+    // scheduler actually ran; the static and sequential paths never
+    // touch the set, and printing their zeros would imply it did.
+    if stats.work_stealing_ran {
+        let fs = stats.failed_set;
         s.push_str(&format!(
             ", failed-set {} hits/{} misses/{} inserts/{} evictions",
             fs.hits, fs.misses, fs.inserts, fs.evictions
@@ -772,21 +798,7 @@ fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
         "--emit-dir",
         "--scheduler",
     ];
-    let mut pos: Vec<&str> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = args[i].as_str();
-        if VALUE_FLAGS.contains(&a) {
-            i += 2;
-            continue;
-        }
-        if a.starts_with("--") {
-            i += 1;
-            continue;
-        }
-        pos.push(a);
-        i += 1;
-    }
+    let pos = positionals_with(args, &VALUE_FLAGS);
     let all = args.iter().any(|a| a == "--all");
     let model_list: Vec<ModelSpec> = if all {
         if !pos.is_empty() {
@@ -1010,6 +1022,440 @@ fn emit_separation_files(
         }
     }
     Ok(())
+}
+
+/// Split `args` into positionals given the flags that consume a value
+/// (the `positional` helper would swallow the word after a boolean flag).
+fn positionals_with<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            i += 1;
+            continue;
+        }
+        pos.push(a);
+        i += 1;
+    }
+    pos
+}
+
+/// Parse an optional numeric flag with a default.
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None if args.iter().any(|a| a == name) => Err(format!("{name} requires a value")),
+        None => Ok(default),
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|_| format!("{name}: `{v}` is not a valid number")),
+    }
+}
+
+/// `smc monitor`: stream a trace through the incremental admission
+/// monitor, reporting per-prefix verdicts as events arrive.
+fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
+    use smc_history::trace::{parse_trace_line, Trace};
+    use smc_monitor::{Monitor, MonitorConfig, TriVerdict};
+    use std::io::BufRead;
+
+    const VALUE_FLAGS: [&str; 4] = ["--model", "--jobs", "--json", "--max-states"];
+    let pos = positionals_with(args, &VALUE_FLAGS);
+    let jobs = jobs_flag(args)?;
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let json_path = flag_value(args, "--json");
+    if args.iter().any(|a| a == "--corpus") {
+        if !pos.is_empty() {
+            return Err("monitor: --corpus takes no file argument".into());
+        }
+        return monitor_corpus(jobs, json_path);
+    }
+
+    let model_list: Vec<ModelSpec> = match flag_value(args, "--model") {
+        // Lattice order keeps stronger models first, so one frontier
+        // verdict propagates to as many weaker models as possible.
+        None | Some("all") => models::lattice_models(),
+        Some(name) => vec![models::by_name(name)
+            .ok_or_else(|| format!("unknown model `{name}` (try `smc models`)"))?],
+    };
+    let mut cfg = MonitorConfig {
+        jobs,
+        ..MonitorConfig::default()
+    };
+    cfg.max_frontier_states = num_flag(args, "--max-states", cfg.max_frontier_states)?;
+    let mut mon = Monitor::new(model_list.clone(), cfg);
+
+    let path = pos.first().copied().unwrap_or("-");
+    let reader: Box<dyn BufRead> = if path == "-" {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    } else {
+        let f = std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        Box::new(std::io::BufReader::new(f))
+    };
+
+    // Events are parsed into a scratch trace line by line and fed to the
+    // monitor as they arrive; a malformed line warns (with its byte
+    // offset into the stream) and is skipped, keeping any events parsed
+    // before the offending token.
+    let mut scratch = Trace::new();
+    let mut fed = 0usize;
+    let (mut declared_procs, mut declared_locs) = (0usize, 0usize);
+    let (mut line_no, mut offset) = (0usize, 0usize);
+    let mut warnings = 0usize;
+    let mut prev: Vec<TriVerdict> = mon.verdicts().to_vec();
+    let mut json_lines: Vec<String> = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read error on `{path}`: {e}"))?;
+        line_no += 1;
+        if let Err(e) = parse_trace_line(&mut scratch, &line, line_no, offset) {
+            warnings += 1;
+            eprintln!("warning: skipping malformed trace input: {e}");
+        }
+        offset += line.len() + 1;
+        for p in declared_procs..scratch.num_procs() {
+            mon.declare_proc(&scratch.proc_names()[p]);
+        }
+        declared_procs = scratch.num_procs();
+        for l in declared_locs..scratch.num_locs() {
+            mon.declare_loc(&scratch.loc_names()[l]);
+        }
+        declared_locs = scratch.num_locs();
+        while fed < scratch.len() {
+            let ev = scratch.events()[fed];
+            fed += 1;
+            let rep = mon.feed(
+                scratch.proc_name(ev.proc),
+                ev.kind,
+                scratch.loc_name(ev.loc),
+                ev.value.0,
+                ev.label,
+            );
+            if show_stats {
+                println!(
+                    "#{} {}: frontier {}, created {}, expanded {}, reuse {}, rechecks {}, recheck-nodes {}, propagated {}",
+                    rep.events,
+                    scratch.format_event(&ev),
+                    rep.frontier_states,
+                    rep.created,
+                    rep.expanded,
+                    rep.reuse_hits,
+                    rep.rechecks,
+                    rep.recheck_nodes,
+                    rep.propagated
+                );
+            }
+            for (i, now) in mon.verdicts().iter().enumerate() {
+                if *now != prev[i] {
+                    println!(
+                        "event {}: {} {} -> {}",
+                        rep.events,
+                        model_list[i].name,
+                        prev[i].word(),
+                        now.word()
+                    );
+                    prev[i] = *now;
+                }
+            }
+            if json_path.is_some() {
+                json_lines.push(
+                    JsonObject::new()
+                        .num("event", rep.events as u64)
+                        .str("op", &scratch.format_event(&ev))
+                        .num("frontier_states", rep.frontier_states)
+                        .num("created", rep.created)
+                        .num("expanded", rep.expanded)
+                        .num("reuse_hits", rep.reuse_hits)
+                        .num("rechecks", rep.rechecks)
+                        .num("recheck_nodes", rep.recheck_nodes)
+                        .num("propagated", rep.propagated)
+                        .finish(),
+                );
+            }
+        }
+    }
+
+    println!();
+    let mut violated = 0usize;
+    for (i, m) in model_list.iter().enumerate() {
+        let v = mon.verdicts()[i];
+        let note = match (v, mon.first_violation(i)) {
+            (TriVerdict::Violated, Some(n)) => {
+                violated += 1;
+                format!("  (first violated at event {n})")
+            }
+            (_, Some(n)) => format!("  (transient violation at event {n}, healed)"),
+            _ => String::new(),
+        };
+        println!("  {:<16} {}{note}", m.name, v.word());
+        if json_path.is_some() {
+            let mut line = JsonObject::new()
+                .str("model", &m.name)
+                .str("verdict", v.word());
+            if let Some(n) = mon.first_violation(i) {
+                line = line.num("first_violation", n as u64);
+            }
+            json_lines.push(line.finish());
+        }
+    }
+    // Minimized counterexamples only for models that end violated; a
+    // healed transient is already noted above.
+    for (i, _) in model_list.iter().enumerate() {
+        if mon.verdicts()[i] != TriVerdict::Violated {
+            continue;
+        }
+        if let Some(rep) = mon.violation_report(i) {
+            println!(
+                "\n{} violated by the {}-event prefix; minimal counterexample:",
+                rep.model, rep.prefix_len
+            );
+            for l in rep.litmus.lines() {
+                println!("    {l}");
+            }
+        }
+    }
+    let totals = mon.totals();
+    println!(
+        "\n{fed} event(s), {warnings} malformed line(s) skipped; frontier: {} created, {} expanded, {} reuse; rechecks {} ({} nodes), propagated {}",
+        totals.created,
+        totals.expanded,
+        totals.reuse_hits,
+        totals.rechecks,
+        totals.recheck_nodes,
+        totals.propagated
+    );
+    if let Some(path) = json_path {
+        json_lines.push(
+            JsonObject::new()
+                .num("events", fed as u64)
+                .num("warnings", warnings as u64)
+                .num("models", model_list.len() as u64)
+                .num("violated", violated as u64)
+                .num("created", totals.created)
+                .num("expanded", totals.expanded)
+                .num("reuse_hits", totals.reuse_hits)
+                .num("rechecks", totals.rechecks)
+                .num("recheck_nodes", totals.recheck_nodes)
+                .num("propagated", totals.propagated)
+                .finish(),
+        );
+        let mut text = json_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(if violated == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `smc monitor --corpus`: the monitor golden gate. Every embedded
+/// litmus history is linearized to a trace, replayed event-by-event, and
+/// the final per-model verdicts are diffed against the batch checker.
+fn monitor_corpus(jobs: usize, json_path: Option<&str>) -> Result<ExitCode, String> {
+    use smc_history::trace::Trace;
+    use smc_monitor::{Monitor, MonitorConfig, TriVerdict};
+
+    let suite = smc_programs::corpus::litmus_suite();
+    let model_list = models::all_models();
+    let cfg = CheckConfig::default().with_memo();
+    let mut mismatches = 0usize;
+    let mut rechecks = 0u64;
+    let mut propagated = 0u64;
+    let mut json_lines: Vec<String> = Vec::new();
+    for t in &suite {
+        let trace = Trace::from_history(&t.history);
+        let mut mon = Monitor::new(
+            model_list.clone(),
+            MonitorConfig {
+                jobs,
+                ..MonitorConfig::default()
+            },
+        );
+        mon.feed_trace(&trace);
+        let totals = mon.totals();
+        rechecks += totals.rechecks;
+        propagated += totals.propagated;
+        for (mi, m) in model_list.iter().enumerate() {
+            let (batch, _) = smc_core::batch::check_parallel(&t.history, m, &cfg, jobs);
+            let v = mon.verdicts()[mi];
+            let mon_decided = match v {
+                TriVerdict::Admitted => Some(true),
+                TriVerdict::Violated => Some(false),
+                TriVerdict::Unknown => None,
+            };
+            if mon_decided != batch.decided() {
+                mismatches += 1;
+                println!(
+                    "MISMATCH {}: {} batch={}, monitor={}",
+                    t.name,
+                    m.name,
+                    verdict_word(&batch),
+                    v.word()
+                );
+            }
+            if json_path.is_some() {
+                json_lines.push(
+                    JsonObject::new()
+                        .str("test", &t.name)
+                        .str("model", &m.name)
+                        .str("verdict", v.word())
+                        .finish(),
+                );
+            }
+        }
+    }
+    println!(
+        "monitor corpus: {} tests × {} models replayed, {} mismatch(es) vs batch; rechecks {}, propagated {}{}",
+        suite.len(),
+        model_list.len(),
+        mismatches,
+        rechecks,
+        propagated,
+        if jobs > 1 {
+            format!(" [{jobs} jobs]")
+        } else {
+            String::new()
+        }
+    );
+    if let Some(path) = json_path {
+        json_lines.push(
+            JsonObject::new()
+                .num("tests", suite.len() as u64)
+                .num("models", model_list.len() as u64)
+                .num("mismatches", mismatches as u64)
+                .num("rechecks", rechecks)
+                .num("propagated", propagated)
+                .finish(),
+        );
+        let mut text = json_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(if mismatches == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `smc trace`: generate traces (`gen`) or linearize litmus files
+/// (`from`).
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    const VALUE_FLAGS: [&str; 8] = [
+        "--memory", "--procs", "--ops", "--locs", "--values", "--seed", "--out", "--test",
+    ];
+    let pos = positionals_with(args, &VALUE_FLAGS);
+    match pos.first().copied() {
+        Some("gen") => trace_gen(args),
+        Some("from") => trace_from(args, pos.get(1).copied()),
+        _ => Err("trace: expected `gen` or `from <file>`".into()),
+    }
+}
+
+fn write_out(path: Option<&str>, text: &str) -> Result<ExitCode, String> {
+    match path {
+        Some(p) => {
+            std::fs::write(p, text).map_err(|e| format!("cannot write `{p}`: {e}"))?;
+            eprintln!("wrote {p}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `smc trace from <file>`: linearize a litmus history in
+/// processor-major program order.
+fn trace_from(args: &[String], path: Option<&str>) -> Result<ExitCode, String> {
+    use smc_history::trace::{emit_trace, Trace};
+    let path = path.ok_or("trace from: missing <file>")?;
+    let suite = load(path)?;
+    let t = match flag_value(args, "--test") {
+        Some(name) => suite
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| format!("trace from: no test named `{name}` in `{path}`"))?,
+        None => {
+            let first = suite
+                .first()
+                .ok_or("trace from: file contains no history")?;
+            if suite.len() > 1 {
+                eprintln!(
+                    "note: `{path}` has {} tests; emitting `{}` (select with --test NAME)",
+                    suite.len(),
+                    first.name
+                );
+            }
+            first
+        }
+    };
+    let mut text = format!("# {}\n", t.name);
+    text.push_str(&emit_trace(&Trace::from_history(&t.history)));
+    write_out(flag_value(args, "--out"), &text)
+}
+
+/// `smc trace gen`: run a random program shape on an operational machine
+/// under a seeded random scheduler and emit the arrival-order stream.
+fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
+    use smc_history::trace::emit_trace;
+    use smc_prng::SmallRng;
+
+    let procs: usize = num_flag(args, "--procs", 3)?;
+    let ops: usize = num_flag(args, "--ops", 4)?;
+    let locs: usize = num_flag(args, "--locs", 2)?;
+    let values: i64 = num_flag(args, "--values", 2)?;
+    let seed: u64 = num_flag(args, "--seed", 0)?;
+    if procs == 0 || locs == 0 || values < 1 {
+        return Err("trace gen: --procs/--locs/--values must be at least 1".into());
+    }
+    let memory = flag_value(args, "--memory").unwrap_or("tso");
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let threads: Vec<Vec<Access>> = (0..procs)
+        .map(|_| {
+            (0..ops)
+                .map(|_| {
+                    let loc = rng.gen_range(0..locs) as u32;
+                    if rng.gen_range(0..2usize) == 0 {
+                        Access::write(loc, rng.gen_range(0..values as usize) as i64 + 1)
+                    } else {
+                        Access::read(loc)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let script = OpScript::new(threads, locs);
+
+    fn go<M: MemorySystem>(mem: M, script: &OpScript, seed: u64) -> smc_sim::sched::RunOutcome {
+        run_random(mem, script.clone(), seed, 200_000)
+    }
+    let out = match memory {
+        "sc" => go(ScMem::new(procs, locs), &script, seed),
+        "tso" => go(TsoMem::new(procs, locs), &script, seed),
+        "tso-fwd" => go(TsoMem::with_forwarding(procs, locs), &script, seed),
+        "pram" => go(PramMem::new(procs, locs), &script, seed),
+        "causal" => go(CausalMem::new(procs, locs), &script, seed),
+        "pc" => go(PcMem::new(procs, locs), &script, seed),
+        "coherent" => go(CoherentMem::new(procs, locs), &script, seed),
+        "rcsc" => go(RcMem::new(SyncMode::Sc, procs, locs), &script, seed),
+        "rcpc" => go(RcMem::new(SyncMode::Pc, procs, locs), &script, seed),
+        "wo" => go(WoMem::new(procs, locs), &script, seed),
+        "hybrid" => go(HybridMem::new(procs, locs), &script, seed),
+        other => return Err(format!("unknown memory `{other}`")),
+    };
+    let mut text = format!(
+        "# smc trace gen --memory {memory} --procs {procs} --ops {ops} --locs {locs} --values {values} --seed {seed}\n"
+    );
+    if !out.completed {
+        text.push_str("# note: run hit the step limit before draining\n");
+    }
+    text.push_str(&emit_trace(&out.trace));
+    write_out(flag_value(args, "--out"), &text)
 }
 
 fn cmd_models() -> Result<ExitCode, String> {

@@ -440,6 +440,7 @@ fn parallel_views(
         let failed = SharedFailedSet::with_capacity(cfg.failed_set_capacity);
         let end = run_units(&units, &driver, jobs, &pool, &failed);
         stats.nodes_spent = end.nodes;
+        stats.work_stealing_ran = true;
         stats.failed_set = failed.stats();
         if driver.refuted.load(Ordering::SeqCst) {
             return (Verdict::Disallowed, stats);
@@ -586,6 +587,7 @@ fn parallel_identical_views(
         let failed = SharedFailedSet::with_capacity(cfg.failed_set_capacity);
         let (out, nodes) = steal_search(&problem, jobs, &pool, &failed);
         stats.nodes_spent = nodes;
+        stats.work_stealing_ran = true;
         stats.failed_set = failed.stats();
         return match out {
             SearchOutcome::Found(order) => (witness(order), stats),
@@ -821,6 +823,7 @@ fn steal_store_orders(
     let failed = SharedFailedSet::with_capacity(cfg.failed_set_capacity);
     let end = run_units(&units, &driver, jobs, pool, &failed);
     stats.nodes_spent = seed_spent + end.nodes;
+    stats.work_stealing_ran = true;
     stats.failed_set = failed.stats();
 
     let winner = driver.winner.load(Ordering::SeqCst);
@@ -1184,6 +1187,10 @@ mod tests {
                     if scheduler == SchedulerKind::StaticPrefix {
                         let z = crate::steal::FailedSetStats::default();
                         assert_eq!(stats.failed_set, z, "static path must not touch the set");
+                        assert!(
+                            !stats.work_stealing_ran,
+                            "static path must not claim a stealing run"
+                        );
                     }
                 }
             }

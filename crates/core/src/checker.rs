@@ -157,6 +157,12 @@ pub struct CheckStats {
     /// `true` if the verdict came from the memo table rather than a
     /// search.
     pub memo_hit: bool,
+    /// `true` if the work-stealing scheduler actually ran for this
+    /// check (as opposed to the sequential or static-prefix paths).
+    /// Gates reporting of [`CheckStats::failed_set`]: all-zero counters
+    /// from a real stealing run are still meaningful, while counters
+    /// from a path that never touched the set are not.
+    pub work_stealing_ran: bool,
     /// Counters of the shared failed-state set, when the check ran under
     /// the work-stealing scheduler (all zero otherwise).
     pub failed_set: crate::steal::FailedSetStats,

@@ -1,0 +1,497 @@
+//! A resumable, incrementally-extendable view search for the streaming
+//! monitor.
+//!
+//! The batch checker ([`crate::view`]) answers "does a legal linear
+//! extension exist?" by depth-first search and throws the search tree
+//! away. A monitor that re-asks the question after every appended
+//! operation would pay for the whole prefix again each time. This module
+//! keeps the search *state* instead: a [`FrontierEngine`] maintains the
+//! set of all reachable scheduling states of one view and extends it by
+//! one operation at a time.
+//!
+//! # State abstraction
+//!
+//! The engine handles views whose required order is exactly program
+//! order and whose read legality is by value ([`crate::view::LegalityMode::ByValue`]) —
+//! the SC and PRAM shapes. Under program order, a schedulable set of
+//! operations is downward closed per processor, so a search state is
+//! fully described by
+//!
+//! * `counts[q]` — how many of processor `q`'s view operations have been
+//!   scheduled (a prefix of its sequence), and
+//! * `values[l]` — the value most recently written to location `l`
+//!   (initial `0` if none),
+//!
+//! because by-value legality of any future read depends only on the
+//! current values. Two states agreeing on both components have identical
+//! futures, so they are merged; the abstraction is exact.
+//!
+//! # Incremental closure
+//!
+//! Let `R_t` be the set of reachable states after `t` appended
+//! operations; `R_t` is closed under scheduling any of the first `t`
+//! operations. Appending operation `t+1` for processor `p` (its
+//! `idx`-th view operation) adds exactly one new transition source: a
+//! state can now schedule the new operation iff `counts[p] == idx`. The
+//! engine therefore keeps an index `waiting[p][i]` of all states with
+//! `counts[p] == i`, seeds the append from `waiting[p][idx]`, and closes
+//! the newly created states under *all* arrived operations. Every state
+//! discovered during the append has `counts[p] == idx + 1` or more,
+//! while every old state has `counts[p] <= idx` — so new states are
+//! genuinely new, each state is expanded exactly once over the whole
+//! stream, and the amortized per-append cost is the number of *new*
+//! states, not the size of `R_t`.
+//!
+//! The prefix is admitted iff some reachable state is *complete*
+//! (`counts[q]` equals the sequence length for every `q`). Note that
+//! admission over prefixes is not monotone — a refuted prefix can heal
+//! (`p: w(x)1` + `q: r(x)2` is refuted, appending `p: w(x)2` admits) —
+//! which is why the engine keeps every reachable state, not just the
+//! complete ones, and why the batch checker's dead-state pruning is
+//! unsound here: a read that can never again be scheduled *today* may be
+//! rescued by a write that arrives tomorrow.
+
+use smc_history::{Location, OpKind, ProcId, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// One view-relevant operation, as the engine sees it (processor and
+/// program-order position are implied by how it is appended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewOp {
+    /// Read or write.
+    pub kind: OpKind,
+    /// The accessed location.
+    pub loc: Location,
+    /// The value written (for writes) or required (for reads).
+    pub value: Value,
+}
+
+/// Lifetime counters of a [`FrontierEngine`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Reachable states discovered (including the root).
+    pub states: u64,
+    /// States expanded (popped from the closure queue).
+    pub expanded: u64,
+    /// Transitions that led to an already-known state.
+    pub reuse_hits: u64,
+}
+
+/// Work done by a single [`FrontierEngine::append`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// New states discovered by this append.
+    pub created: u64,
+    /// States expanded by this append.
+    pub expanded: u64,
+    /// Transitions of this append that hit an already-known state.
+    pub reuse_hits: u64,
+}
+
+impl AppendReport {
+    /// Accumulate another report into this one.
+    pub fn absorb(&mut self, other: AppendReport) {
+        self.created += other.created;
+        self.expanded += other.expanded;
+        self.reuse_hits += other.reuse_hits;
+    }
+}
+
+/// 64-bit fingerprint of a `(counts, values)` state (FNV-1a with a
+/// murmur-style finalizer, mirroring [`crate::view`]'s state hash).
+fn hash_state(counts: &[u32], values: &[i64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in counts {
+        h = (h ^ u64::from(c)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for &v in values {
+        h = (h ^ v as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+/// The resumable search: all reachable scheduling states of one view,
+/// extendable one operation at a time. See the module docs for the
+/// invariants.
+pub struct FrontierEngine {
+    num_procs: usize,
+    num_locs: usize,
+    max_states: usize,
+    /// Per processor, its view-relevant operations in program order.
+    seqs: Vec<Vec<ViewOp>>,
+    /// State arena: `counts` has stride `num_procs`, `values` stride
+    /// `num_locs`; state `s` owns rows `s` of both.
+    counts: Vec<u32>,
+    values: Vec<i64>,
+    /// Exact dedup: hash → state ids, compared in full on probe.
+    buckets: HashMap<u64, Vec<u32>>,
+    /// `waiting[p][i]` — ids of all states with `counts[p] == i`, the
+    /// seeds for `p`'s `i`-th appended operation.
+    waiting: Vec<Vec<Vec<u32>>>,
+    /// Reachable states that schedule everything appended so far.
+    num_complete: usize,
+    num_states: usize,
+    exhausted: bool,
+    stats: FrontierStats,
+}
+
+impl FrontierEngine {
+    /// An engine for a view over `num_procs` processor sequences and
+    /// `num_locs` locations, giving up (soundly reporting "unknown")
+    /// once more than `max_states` reachable states exist.
+    pub fn new(num_procs: usize, num_locs: usize, max_states: usize) -> Self {
+        let mut e = FrontierEngine {
+            num_procs,
+            num_locs,
+            max_states: max_states.max(1),
+            seqs: vec![Vec::new(); num_procs],
+            counts: Vec::new(),
+            values: Vec::new(),
+            buckets: HashMap::new(),
+            waiting: vec![vec![Vec::new()]; num_procs],
+            num_complete: 0,
+            num_states: 0,
+            exhausted: false,
+            stats: FrontierStats::default(),
+        };
+        // The root state: nothing scheduled, all locations initial. It
+        // is complete for the empty view (every model admits the empty
+        // history).
+        let root_counts = vec![0u32; num_procs];
+        let root_values = vec![Value::INITIAL.0; num_locs];
+        let h = hash_state(&root_counts, &root_values);
+        e.insert(h, root_counts, root_values);
+        e
+    }
+
+    /// Total view operations appended so far.
+    pub fn num_ops(&self) -> usize {
+        self.seqs.iter().map(Vec::len).sum()
+    }
+
+    /// Reachable states currently stored.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FrontierStats {
+        self.stats
+    }
+
+    /// `true` once the state budget was exceeded; [`FrontierEngine::admitted`]
+    /// returns `None` from then on.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Does the view of everything appended so far have a legal linear
+    /// extension? `None` if the state budget ran out.
+    pub fn admitted(&self) -> Option<bool> {
+        if self.exhausted {
+            None
+        } else {
+            Some(self.num_complete > 0)
+        }
+    }
+
+    fn counts_of(&self, sid: u32) -> &[u32] {
+        let s = sid as usize * self.num_procs;
+        &self.counts[s..s + self.num_procs]
+    }
+
+    fn values_of(&self, sid: u32) -> &[i64] {
+        let s = sid as usize * self.num_locs;
+        &self.values[s..s + self.num_locs]
+    }
+
+    fn lookup(&self, hash: u64, counts: &[u32], values: &[i64]) -> Option<u32> {
+        self.buckets
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&sid| self.counts_of(sid) == counts && self.values_of(sid) == values)
+    }
+
+    /// Store a new state and register it everywhere. The caller has
+    /// checked it is not a duplicate.
+    fn insert(&mut self, hash: u64, counts: Vec<u32>, values: Vec<i64>) -> u32 {
+        let sid = self.num_states as u32;
+        self.num_states += 1;
+        if counts
+            .iter()
+            .enumerate()
+            .all(|(q, &c)| c as usize == self.seqs[q].len())
+        {
+            self.num_complete += 1;
+        }
+        for (q, &c) in counts.iter().enumerate() {
+            self.waiting[q][c as usize].push(sid);
+        }
+        self.counts.extend_from_slice(&counts);
+        self.values.extend_from_slice(&values);
+        self.buckets.entry(hash).or_default().push(sid);
+        self.stats.states += 1;
+        sid
+    }
+
+    /// Try to schedule processor `q`'s next unscheduled view operation
+    /// from state `sid`; on success the successor state is created (if
+    /// new) and queued.
+    fn try_schedule(
+        &mut self,
+        sid: u32,
+        q: usize,
+        queue: &mut VecDeque<u32>,
+        report: &mut AppendReport,
+    ) {
+        let i = self.counts_of(sid)[q] as usize;
+        let op = self.seqs[q][i];
+        let loc = op.loc.index();
+        if op.kind.is_read() && Value(self.values_of(sid)[loc]) != op.value {
+            return;
+        }
+        let mut counts = self.counts_of(sid).to_vec();
+        counts[q] += 1;
+        let mut values = self.values_of(sid).to_vec();
+        if op.kind.is_write() {
+            values[loc] = op.value.0;
+        }
+        let hash = hash_state(&counts, &values);
+        if self.lookup(hash, &counts, &values).is_some() {
+            report.reuse_hits += 1;
+            self.stats.reuse_hits += 1;
+            return;
+        }
+        if self.num_states() >= self.max_states {
+            self.exhausted = true;
+            return;
+        }
+        let new_sid = self.insert(hash, counts, values);
+        queue.push_back(new_sid);
+        report.created += 1;
+    }
+
+    /// Extend processor `p`'s view sequence by one operation and close
+    /// the reachable set under it. Amortized cost is proportional to the
+    /// states *discovered* by this append, not to the size of the
+    /// reachable set.
+    pub fn append(&mut self, p: ProcId, op: ViewOp) -> AppendReport {
+        let p = p.index();
+        assert!(p < self.num_procs, "processor outside the engine's table");
+        let mut report = AppendReport::default();
+        let idx = self.seqs[p].len();
+        self.seqs[p].push(op);
+        self.waiting[p].push(Vec::new());
+        if self.exhausted {
+            // Keep the sequences in sync (a caller may still read
+            // `num_ops`), but do no state work: the reachable set is
+            // already incomplete.
+            return report;
+        }
+        // Old complete states all had counts[p] == idx; none of them is
+        // complete any more, and every newly complete state is created
+        // below.
+        self.num_complete = 0;
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        // Seed: exactly the states that were waiting on p's idx-th
+        // operation. The waiting list cannot grow during this append
+        // (every new state has counts[p] > idx), so the snapshot is
+        // complete.
+        let seeds = self.waiting[p][idx].clone();
+        for sid in seeds {
+            self.try_schedule(sid, p, &mut queue, &mut report);
+            if self.exhausted {
+                return report;
+            }
+        }
+        // Close the new states under all arrived operations.
+        while let Some(sid) = queue.pop_front() {
+            report.expanded += 1;
+            self.stats.expanded += 1;
+            for q in 0..self.num_procs {
+                if (self.counts_of(sid)[q] as usize) < self.seqs[q].len() {
+                    self.try_schedule(sid, q, &mut queue, &mut report);
+                    if self.exhausted {
+                        return report;
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::orders::program_order;
+    use crate::view::{find_legal_extension, LegalityMode, SearchOutcome, ViewProblem};
+    use smc_history::litmus::parse_history;
+    use smc_history::{History, HistoryBuilder};
+    use smc_prng::SmallRng;
+    use smc_relation::BitSet;
+
+    /// The batch answer the engine must agree with: does the history
+    /// have a legal extension of program order (the SC view question)?
+    fn batch_admits(h: &History) -> bool {
+        let po = program_order(h);
+        let p = ViewProblem {
+            history: h,
+            ops: BitSet::full(h.num_ops()),
+            constraints: &po,
+            legality: LegalityMode::ByValue,
+        };
+        match find_legal_extension(&p, &Budget::local(10_000_000)) {
+            SearchOutcome::Found(_) => true,
+            SearchOutcome::NotFound => false,
+            SearchOutcome::Exhausted => panic!("batch search exhausted"),
+        }
+    }
+
+    fn feed(engine: &mut FrontierEngine, h: &History, order: &[usize]) {
+        for &g in order {
+            let o = &h.ops()[g];
+            engine.append(
+                o.proc,
+                ViewOp {
+                    kind: o.kind,
+                    loc: o.loc,
+                    value: o.value,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn refuted_prefix_can_heal() {
+        // `p: w(x)1` + `q: r(x)2` is refuted; appending `p: w(x)2`
+        // admits (w1 w2 r2). The engine must keep the incomplete states
+        // that make the recovery reachable.
+        let mut e = FrontierEngine::new(2, 1, 1 << 16);
+        let w = |v: i64| ViewOp {
+            kind: OpKind::Write,
+            loc: Location(0),
+            value: Value(v),
+        };
+        let r = |v: i64| ViewOp {
+            kind: OpKind::Read,
+            loc: Location(0),
+            value: Value(v),
+        };
+        assert_eq!(e.admitted(), Some(true));
+        e.append(ProcId(0), w(1));
+        assert_eq!(e.admitted(), Some(true));
+        e.append(ProcId(1), r(2));
+        assert_eq!(e.admitted(), Some(false));
+        e.append(ProcId(0), w(2));
+        assert_eq!(e.admitted(), Some(true));
+    }
+
+    #[test]
+    fn agrees_with_batch_search_on_every_prefix() {
+        let mut rng = SmallRng::seed_from_u64(0xF00D);
+        for case in 0..120 {
+            let procs = rng.gen_range(1..4usize);
+            let locs = rng.gen_range(1..3usize);
+            let total = rng.gen_range(0..10usize);
+            // Random arrival order of random ops.
+            let mut events: Vec<(usize, ViewOp)> = Vec::new();
+            for _ in 0..total {
+                let p = rng.gen_range(0..procs);
+                let kind = if rng.gen_bool(0.5) {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                };
+                events.push((
+                    p,
+                    ViewOp {
+                        kind,
+                        loc: Location(rng.gen_range(0..locs) as u32),
+                        value: Value(rng.gen_range(0..3i64)),
+                    },
+                ));
+            }
+            let mut e = FrontierEngine::new(procs, locs, 1 << 18);
+            let mut b = HistoryBuilder::new();
+            let names = ["p", "q", "r", "s"];
+            for p in names.iter().take(procs) {
+                b.add_proc(p);
+            }
+            for l in ["x", "y"].iter().take(locs) {
+                b.add_loc(l);
+            }
+            for (n, &(p, op)) in events.iter().enumerate() {
+                e.append(ProcId(p as u32), op);
+                b.push(
+                    names[p],
+                    op.kind,
+                    ["x", "y"][op.loc.index()],
+                    op.value,
+                    smc_history::Label::Ordinary,
+                );
+                let h = b.clone().build();
+                assert_eq!(
+                    e.admitted(),
+                    Some(batch_admits(&h)),
+                    "case {case}, prefix {}:\n{h}",
+                    n + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_passing_stays_admitted_and_fig1_refutes() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let mut e = FrontierEngine::new(2, 2, 1 << 16);
+        // Arrival order = processor-major program order.
+        feed(&mut e, &h, &[0, 1, 2, 3]);
+        assert_eq!(e.admitted(), Some(false), "fig1 is not SC");
+
+        let h = parse_history("p: w(d)1 w(f)1\nq: r(f)1 r(d)1").unwrap();
+        let mut e = FrontierEngine::new(2, 2, 1 << 16);
+        feed(&mut e, &h, &[0, 1, 2, 3]);
+        assert_eq!(e.admitted(), Some(true));
+    }
+
+    #[test]
+    fn state_budget_reports_unknown() {
+        let mut e = FrontierEngine::new(2, 1, 2);
+        let w = |v: i64| ViewOp {
+            kind: OpKind::Write,
+            loc: Location(0),
+            value: Value(v),
+        };
+        e.append(ProcId(0), w(1));
+        e.append(ProcId(1), w(2));
+        assert!(e.is_exhausted());
+        assert_eq!(e.admitted(), None);
+        // Appends after exhaustion are harmless no-ops.
+        e.append(ProcId(0), w(3));
+        assert_eq!(e.num_ops(), 3);
+        assert_eq!(e.admitted(), None);
+    }
+
+    #[test]
+    fn states_are_shared_across_appends() {
+        // Two processors writing the same value to the same location:
+        // the diamond closes and the four interleavings share states.
+        let mut e = FrontierEngine::new(2, 1, 1 << 16);
+        let w = ViewOp {
+            kind: OpKind::Write,
+            loc: Location(0),
+            value: Value(7),
+        };
+        e.append(ProcId(0), w);
+        let rep = e.append(ProcId(1), w);
+        // (1,1) is reachable two ways; one of them is a reuse hit.
+        assert!(rep.reuse_hits > 0 || e.stats().reuse_hits > 0);
+        assert_eq!(e.admitted(), Some(true));
+    }
+}

@@ -84,6 +84,12 @@ pub fn known_inclusions() -> &'static [(&'static str, &'static str)] {
         ("CausalCoherent", "PCG"),
         ("PCG", "PRAM"),
         ("PCG", "Coherent"),
+        // CausalCoherent ⊆ PC is deliberately ABSENT: the conjecture is
+        // false. PC and CausalCoherent are incomparable — see
+        // litmus/separations/pc_vs_causalcoherent.litmus, whose
+        // `causalcoherent_not_pc` test is a CausalCoherent-admitted,
+        // PC-refuted history (checked mechanically by the corpus suite
+        // and the `pc_and_causalcoherent_are_incomparable` test below).
     ]
 }
 
@@ -391,6 +397,44 @@ mod tests {
         assert!(m[0][1], "SC ⊆ Causal lost without TSO in the list");
         assert!(!m[1][0]);
         assert!(!m[0][0] && !m[1][1]);
+    }
+
+    #[test]
+    fn pc_and_causalcoherent_are_incomparable() {
+        // Resolves the ROADMAP conjecture "CausalCoherent ⊆ PC?" by
+        // refutation: witnesses exist in BOTH directions, so neither
+        // inclusion may ever be added to `known_inclusions`.
+        let ms = vec![models::pc(), models::causal_coherent()];
+        let closure = inclusion_closure(&ms);
+        assert!(!closure[0][1], "PC ⊆ CausalCoherent must not be claimed");
+        assert!(!closure[1][0], "CausalCoherent ⊆ PC must not be claimed");
+
+        let cfg = CheckConfig::default();
+        // PC admits, CausalCoherent refutes (the machine-found witness).
+        let pc_only = parse_history("p: r(x)1 w(y)1\nq: r(y)1 w(x)1").unwrap();
+        assert_eq!(
+            check_with_config(&pc_only, &ms[0], &cfg).decided(),
+            Some(true)
+        );
+        assert_eq!(
+            check_with_config(&pc_only, &ms[1], &cfg).decided(),
+            Some(false)
+        );
+        // CausalCoherent admits, PC refutes: q sees D's writes to w in
+        // coherence order around A's causally-later write, while p's
+        // stale read of a rules out every processor-consistent view.
+        let cc_only = parse_history(
+            "A: w(a)1 w(v)1\nD: w(w)1 w(w)2 w(b)1\nq: r(v)1 r(w)1 r(w)2\np: r(b)1 r(a)0",
+        )
+        .unwrap();
+        assert_eq!(
+            check_with_config(&cc_only, &ms[0], &cfg).decided(),
+            Some(false)
+        );
+        assert_eq!(
+            check_with_config(&cc_only, &ms[1], &cfg).decided(),
+            Some(true)
+        );
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   collide).
 //! * [`coherence`] — per-location write orders and their enumeration.
 //! * [`view`] — the legal-extension search for a single view.
+//! * [`frontier`] — the same question as a resumable state machine: all
+//!   reachable scheduling states of a view, extendable one operation at
+//!   a time (the streaming monitor's engine).
 //! * [`checker`] — the full decision procedure: [`checker::check`]
 //!   returns [`checker::Verdict::Allowed`] with a [`checker::Witness`],
 //!   or `Disallowed`, under explicit resource budgets;
@@ -65,6 +68,7 @@ pub mod checker;
 pub mod coherence;
 pub mod constraints;
 pub mod explain;
+pub mod frontier;
 pub mod histgen;
 pub mod lattice;
 pub mod memo;
@@ -84,6 +88,7 @@ pub use checker::{
     check, check_with_config, check_with_stats, CheckConfig, CheckStats, SchedulerKind, Stage,
     Verdict, Witness,
 };
+pub use frontier::{AppendReport, FrontierEngine, FrontierStats, ViewOp};
 pub use memo::{MemoCache, MemoStats};
 pub use separate::{
     minimize_witness, separates, Direction, DirectionStatus, SeparateStats, SeparationWitness,

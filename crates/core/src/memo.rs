@@ -289,14 +289,16 @@ impl MemoCache {
         let mut loaded = 0usize;
         for _ in 0..num_entries {
             let key = r.u128()?;
+            let pos = r.pos;
             let idx = r.u32()? as usize;
             let model = *models
                 .get(idx)
-                .ok_or_else(|| format!("model index {idx} out of range"))?;
+                .ok_or_else(|| format!("model index {idx} out of range at byte {pos}"))?;
+            let pos = r.pos;
             let verdict = match r.u8()? {
                 0 => CachedVerdict::Disallowed,
                 1 => CachedVerdict::Allowed(read_witness(&mut r)?),
-                t => return Err(format!("unknown verdict tag {t}")),
+                t => return Err(format!("unknown verdict tag {t} at byte {pos}")),
             };
             self.insert(HistoryKey(key), model, verdict);
             loaded += 1;
@@ -409,9 +411,10 @@ impl<'a> Reader<'a> {
     /// when the remaining input is too short to hold that many, which
     /// caps allocations by the file size.
     fn len_prefix(&mut self, item_bytes: usize) -> Result<usize, String> {
+        let pos = self.pos;
         let n = self.u32()? as usize;
         if n.saturating_mul(item_bytes) > self.bytes.len() - self.pos {
-            return Err(format!("length {n} exceeds remaining input"));
+            return Err(format!("length {n} at byte {pos} exceeds remaining input"));
         }
         Ok(n)
     }
@@ -426,10 +429,11 @@ impl<'a> Reader<'a> {
     }
 
     fn opt_ids(&mut self) -> Result<Option<Vec<OpId>>, String> {
+        let pos = self.pos;
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.ids()?)),
-            t => Err(format!("unknown option tag {t}")),
+            t => Err(format!("unknown option tag {t} at byte {pos}")),
         }
     }
 }
@@ -441,6 +445,7 @@ fn read_witness(r: &mut Reader<'_>) -> Result<Witness, String> {
         views.push(r.ids()?);
     }
     let store_order = r.opt_ids()?;
+    let pos = r.pos;
     let coherence = match r.u8()? {
         0 => None,
         1 => {
@@ -451,24 +456,26 @@ fn read_witness(r: &mut Reader<'_>) -> Result<Witness, String> {
             }
             Some(orders)
         }
-        t => return Err(format!("unknown option tag {t}")),
+        t => return Err(format!("unknown option tag {t} at byte {pos}")),
     };
     let labeled_order = r.opt_ids()?;
+    let pos = r.pos;
     let reads_from = match r.u8()? {
         0 => None,
         1 => {
             let n = r.len_prefix(1)?;
             let mut rf = Vec::with_capacity(n);
             for _ in 0..n {
+                let pos = r.pos;
                 rf.push(match r.u8()? {
                     0 => None,
                     1 => Some(OpId(r.u32()?)),
-                    t => return Err(format!("unknown reads-from tag {t}")),
+                    t => return Err(format!("unknown reads-from tag {t} at byte {pos}")),
                 });
             }
             Some(rf)
         }
-        t => return Err(format!("unknown option tag {t}")),
+        t => return Err(format!("unknown option tag {t} at byte {pos}")),
     };
     Ok(Witness {
         views,
@@ -584,6 +591,19 @@ mod tests {
         huge[counts_at..counts_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&trunc, &huge).unwrap();
         assert!(MemoCache::default().load(&trunc).is_err());
+
+        // A bad structural tag is reported with the byte offset of the
+        // offending byte, so a warning can point into the file.
+        let mut tagged = bytes.clone();
+        let first_record = MAGIC.len() + 4 + 8 + 4; // model table + entry count
+        let tag_at = first_record + 16 + 4; // key + model index
+        tagged[tag_at] = 0x7e;
+        std::fs::write(&trunc, &tagged).unwrap();
+        let e = MemoCache::default().load(&trunc).unwrap_err();
+        assert!(
+            e.contains(&format!("at byte {tag_at}")),
+            "error should name byte {tag_at}: {e}"
+        );
 
         for f in [bad, ver, good, trunc] {
             let _ = std::fs::remove_file(f);

@@ -18,6 +18,8 @@
 //! * [`HistoryBuilder`] — an ergonomic way to construct histories in code,
 //! * [`litmus`] — a parser for the paper's `p: w(x)1 r(y)0` notation, plus a
 //!   small suite format carrying per-model expectations,
+//! * [`trace`] — a line-oriented arrival-order event stream (`p w(x)1`, one
+//!   event per line) consumed by the incremental monitor,
 //! * [`OpId`] — dense operation identifiers usable as bit-set indices by the
 //!   relation engine.
 //!
@@ -44,6 +46,7 @@ mod builder;
 mod history;
 pub mod litmus;
 mod op;
+pub mod trace;
 
 pub use builder::HistoryBuilder;
 pub use history::{History, ProcHistory};

@@ -353,45 +353,65 @@ fn parse_op<'a>(
     s: &'a str,
     line_no: usize,
 ) -> Result<&'a str, ParseError> {
-    let open = s.find('(').ok_or_else(|| ParseError {
+    let tok = parse_op_token(s).map_err(|message| ParseError {
         line: line_no,
-        message: format!("expected `(` in operation near `{s}`"),
+        message,
     })?;
+    b.push(proc, tok.kind, tok.loc, tok.value, tok.label);
+    Ok(tok.rest)
+}
+
+/// A `w(x)1`-style operation token parsed off the front of a line, shared
+/// between the litmus and trace formats.
+pub(crate) struct OpToken<'a> {
+    pub kind: OpKind,
+    pub label: Label,
+    pub loc: &'a str,
+    pub value: i64,
+    /// Unconsumed remainder of the input.
+    pub rest: &'a str,
+}
+
+/// Parse one operation token from the front of `s`. On failure the error
+/// is a bare message; callers attach their own position information.
+pub(crate) fn parse_op_token(s: &str) -> Result<OpToken<'_>, String> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| format!("expected `(` in operation near `{s}`"))?;
     let (kind, label) = match &s[..open] {
         "w" => (OpKind::Write, Label::Ordinary),
         "r" => (OpKind::Read, Label::Ordinary),
         "wl" | "W" => (OpKind::Write, Label::Labeled),
         "rl" | "R" => (OpKind::Read, Label::Labeled),
         other => {
-            return err(
-                line_no,
-                format!("unknown operation mnemonic `{other}` (use w/r/wl/rl)"),
-            )
+            return Err(format!(
+                "unknown operation mnemonic `{other}` (use w/r/wl/rl)"
+            ))
         }
     };
     let after_open = &s[open + 1..];
-    let close = after_open.find(')').ok_or_else(|| ParseError {
-        line: line_no,
-        message: format!("missing `)` in operation near `{s}`"),
-    })?;
+    let close = after_open
+        .find(')')
+        .ok_or_else(|| format!("missing `)` in operation near `{s}`"))?;
     let loc = after_open[..close].trim();
     if loc.is_empty() || !is_loc_name(loc) {
-        return err(line_no, format!("invalid location name `{loc}`"));
+        return Err(format!("invalid location name `{loc}`"));
     }
     let after_close = &after_open[close + 1..];
     let val_len = value_prefix_len(after_close);
     if val_len == 0 {
-        return err(
-            line_no,
-            format!("missing value after `)` near `{after_close}`"),
-        );
+        return Err(format!("missing value after `)` near `{after_close}`"));
     }
-    let value: i64 = after_close[..val_len].parse().map_err(|_| ParseError {
-        line: line_no,
-        message: format!("invalid value `{}`", &after_close[..val_len]),
-    })?;
-    b.push(proc, kind, loc, value, label);
-    Ok(&after_close[val_len..])
+    let value: i64 = after_close[..val_len]
+        .parse()
+        .map_err(|_| format!("invalid value `{}`", &after_close[..val_len]))?;
+    Ok(OpToken {
+        kind,
+        label,
+        loc,
+        value,
+        rest: &after_close[val_len..],
+    })
 }
 
 fn value_prefix_len(s: &str) -> usize {
@@ -410,13 +430,13 @@ fn value_prefix_len(s: &str) -> usize {
     }
 }
 
-fn is_ident(s: &str) -> bool {
+pub(crate) fn is_ident(s: &str) -> bool {
     let mut chars = s.chars();
     matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
         && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
-fn is_loc_name(s: &str) -> bool {
+pub(crate) fn is_loc_name(s: &str) -> bool {
     s.chars()
         .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '[' || c == ']')
         && s.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_')

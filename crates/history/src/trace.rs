@@ -1,0 +1,517 @@
+//! A line-oriented *trace* format: an append-only stream of
+//! `(processor, operation)` events in arrival order.
+//!
+//! Where the litmus notation (one line per processor) describes a
+//! complete history, a trace records the order in which operations
+//! arrived at the monitor — one event per line:
+//!
+//! ```text
+//! # header lines fix the processor and location tables
+//! procs p q
+//! locs x y
+//! p w(x)1
+//! q r(x)1
+//! q w(y)1
+//! ```
+//!
+//! Operation tokens use the litmus mnemonics (`w`/`r` ordinary,
+//! `wl`/`rl` or `W`/`R` labeled). `#` starts a comment that runs to end
+//! of line. The words `procs` and `locs` are reserved and cannot name a
+//! processor. The `procs`/`locs` headers are optional — names are also
+//! interned on first use — but [`emit_trace`] always writes them so that
+//! empty processors and location numbering survive a round trip:
+//! `parse_trace(emit_trace(t))` reproduces `t` exactly, and
+//! `Trace::from_history(h).history() == h` for every parser- or
+//! builder-produced history.
+
+use crate::builder::HistoryBuilder;
+use crate::history::History;
+use crate::litmus::{is_ident, is_loc_name, parse_op_token};
+use crate::op::{Label, Location, OpKind, ProcId, Value};
+use std::fmt;
+
+/// A parse failure, carrying a 1-based line number and the byte offset
+/// of the offending token within the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line on which the error was detected.
+    pub line: usize,
+    /// Byte offset (0-based, into the full input) of the offending token.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {} (byte {}): {}",
+            self.line, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One event of a trace: a processor performing a single operation.
+///
+/// The event does not carry a global operation id — its position in the
+/// owning [`Trace`] is the arrival order, and `(proc, arrival index
+/// among this proc's events)` gives its program-order position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// The issuing processor.
+    pub proc: ProcId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// The accessed location.
+    pub loc: Location,
+    /// The value written (for writes) or reported (for reads).
+    pub value: Value,
+    /// Ordinary or labeled (synchronization) operation.
+    pub label: Label,
+}
+
+/// An append-only stream of operation events in arrival order, with
+/// interned processor and location tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    proc_names: Vec<String>,
+    loc_names: Vec<String>,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern (or look up) a processor by name.
+    pub fn add_proc(&mut self, name: &str) -> ProcId {
+        if let Some(i) = self.proc_names.iter().position(|n| n == name) {
+            return ProcId(i as u32);
+        }
+        self.proc_names.push(name.to_owned());
+        ProcId((self.proc_names.len() - 1) as u32)
+    }
+
+    /// Intern (or look up) a location by name.
+    pub fn add_loc(&mut self, name: &str) -> Location {
+        if let Some(i) = self.loc_names.iter().position(|n| n == name) {
+            return Location(i as u32);
+        }
+        self.loc_names.push(name.to_owned());
+        Location((self.loc_names.len() - 1) as u32)
+    }
+
+    /// Append an event. `proc` and `loc` must have been interned.
+    pub fn push(&mut self, event: TraceEvent) {
+        assert!(event.proc.index() < self.proc_names.len(), "unknown proc");
+        assert!(event.loc.index() < self.loc_names.len(), "unknown loc");
+        self.events.push(event);
+    }
+
+    /// Append an event given by names, interning as needed.
+    pub fn push_named(&mut self, proc: &str, kind: OpKind, loc: &str, value: i64, label: Label) {
+        let proc = self.add_proc(proc);
+        let loc = self.add_loc(loc);
+        self.events.push(TraceEvent {
+            proc,
+            kind,
+            loc,
+            value: Value(value),
+            label,
+        });
+    }
+
+    /// The events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of interned processors.
+    pub fn num_procs(&self) -> usize {
+        self.proc_names.len()
+    }
+
+    /// Number of interned locations.
+    pub fn num_locs(&self) -> usize {
+        self.loc_names.len()
+    }
+
+    /// The interned processor names, in id order.
+    pub fn proc_names(&self) -> &[String] {
+        &self.proc_names
+    }
+
+    /// The interned location names, in id order.
+    pub fn loc_names(&self) -> &[String] {
+        &self.loc_names
+    }
+
+    /// The source name of processor `p`.
+    pub fn proc_name(&self, p: ProcId) -> &str {
+        &self.proc_names[p.index()]
+    }
+
+    /// The source name of location `l`.
+    pub fn loc_name(&self, l: Location) -> &str {
+        &self.loc_names[l.index()]
+    }
+
+    /// Serialize one event as it appears on a trace line (no newline).
+    pub fn format_event(&self, e: &TraceEvent) -> String {
+        let mnemonic = match (e.kind, e.label) {
+            (OpKind::Write, Label::Ordinary) => "w",
+            (OpKind::Read, Label::Ordinary) => "r",
+            (OpKind::Write, Label::Labeled) => "wl",
+            (OpKind::Read, Label::Labeled) => "rl",
+        };
+        format!(
+            "{} {}({}){}",
+            self.proc_name(e.proc),
+            mnemonic,
+            self.loc_name(e.loc),
+            e.value
+        )
+    }
+
+    /// Linearize a history into a trace in processor-major program order
+    /// (`P0`'s operations first, then `P1`'s, ...). The processor and
+    /// location tables are copied verbatim, so empty processors survive.
+    pub fn from_history(h: &History) -> Trace {
+        let mut t = Trace {
+            proc_names: (0..h.num_procs())
+                .map(|p| h.proc_name(ProcId(p as u32)).to_owned())
+                .collect(),
+            loc_names: (0..h.num_locs())
+                .map(|l| h.loc_name(Location(l as u32)).to_owned())
+                .collect(),
+            events: Vec::with_capacity(h.num_ops()),
+        };
+        for op in h.ops() {
+            t.events.push(TraceEvent {
+                proc: op.proc,
+                kind: op.kind,
+                loc: op.loc,
+                value: op.value,
+                label: op.label,
+            });
+        }
+        t
+    }
+
+    /// The complete history of the trace: every processor's events in
+    /// arrival order form its program order. Processor and location
+    /// tables are preserved exactly, including empty processors.
+    pub fn history(&self) -> History {
+        self.history_of_prefix(self.events.len())
+    }
+
+    /// The history of the first `n` events (same tables as the full
+    /// trace). Panics if `n > self.len()`.
+    pub fn history_of_prefix(&self, n: usize) -> History {
+        let mut b = HistoryBuilder::new();
+        for name in &self.proc_names {
+            b.add_proc(name);
+        }
+        for name in &self.loc_names {
+            b.add_loc(name);
+        }
+        for e in &self.events[..n] {
+            b.push(
+                &self.proc_names[e.proc.index()],
+                e.kind,
+                &self.loc_names[e.loc.index()],
+                e.value,
+                e.label,
+            );
+        }
+        b.build()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.proc_names.is_empty() {
+            writeln!(f, "procs {}", self.proc_names.join(" "))?;
+        }
+        if !self.loc_names.is_empty() {
+            writeln!(f, "locs {}", self.loc_names.join(" "))?;
+        }
+        for e in &self.events {
+            writeln!(f, "{}", self.format_event(e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a trace in the line format this module parses. The text is the
+/// canonical serialization: `parse_trace(emit_trace(t))` reproduces `t`
+/// exactly, provided every name round-trips through the parser — which
+/// holds for all parser- or builder-produced traces and histories.
+pub fn emit_trace(t: &Trace) -> String {
+    t.to_string()
+}
+
+fn err<T>(line: usize, offset: usize, message: impl Into<String>) -> Result<T, TraceError> {
+    Err(TraceError {
+        line,
+        offset,
+        message: message.into(),
+    })
+}
+
+/// Byte offset of the slice `part` within `whole` (both must come from
+/// the same allocation, which holds for everything the parser slices).
+fn offset_in(whole: &str, part: &str) -> usize {
+    part.as_ptr() as usize - whole.as_ptr() as usize
+}
+
+/// Parse one raw input line into `t`, returning how many events it
+/// appended (0 for blank lines, comments, and headers). `line_no` is the
+/// 1-based line number and `base_offset` the byte offset of the line
+/// start within the overall input; both are used only to position
+/// errors, so a streaming caller reading line-by-line (e.g. from stdin)
+/// can report offsets into the stream it has consumed so far.
+///
+/// On an error, events parsed from tokens *before* the offending one
+/// remain appended — a warn-and-skip caller keeps the valid prefix of
+/// the line (canonical emitted traces have one event per line, so the
+/// distinction only arises on hand-written input).
+pub fn parse_trace_line(
+    t: &mut Trace,
+    raw: &str,
+    line_no: usize,
+    base_offset: usize,
+) -> Result<usize, TraceError> {
+    let line = match raw.find('#') {
+        Some(c) => &raw[..c],
+        None => raw,
+    };
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(0);
+    }
+    let at = |part: &str| base_offset + offset_in(raw, part);
+    let (head, rest) = match line.split_once(char::is_whitespace) {
+        Some((h, r)) => (h, r.trim_start()),
+        None => (line, ""),
+    };
+    match head {
+        "procs" => {
+            for name in rest.split_whitespace() {
+                if !is_ident(name) || name == "procs" || name == "locs" {
+                    return err(
+                        line_no,
+                        at(name),
+                        format!("invalid processor name `{name}`"),
+                    );
+                }
+                t.add_proc(name);
+            }
+            Ok(0)
+        }
+        "locs" => {
+            for name in rest.split_whitespace() {
+                if !is_loc_name(name) {
+                    return err(line_no, at(name), format!("invalid location name `{name}`"));
+                }
+                t.add_loc(name);
+            }
+            Ok(0)
+        }
+        proc => {
+            if !is_ident(proc) {
+                return err(
+                    line_no,
+                    at(proc),
+                    format!("invalid processor name `{proc}`"),
+                );
+            }
+            if rest.is_empty() {
+                return err(
+                    line_no,
+                    at(proc),
+                    format!("expected an operation after processor `{proc}`"),
+                );
+            }
+            let mut ops = rest;
+            let mut appended = 0;
+            while !ops.is_empty() {
+                let tok = parse_op_token(ops).map_err(|message| TraceError {
+                    line: line_no,
+                    offset: at(ops),
+                    message,
+                })?;
+                t.push_named(proc, tok.kind, tok.loc, tok.value, tok.label);
+                appended += 1;
+                ops = tok.rest.trim_start();
+            }
+            Ok(appended)
+        }
+    }
+}
+
+/// Parse a trace from its line format. Errors carry both the 1-based
+/// line number and the byte offset of the offending token.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
+    let mut t = Trace::new();
+    for (i, raw) in text.lines().enumerate() {
+        parse_trace_line(&mut t, raw, i + 1, offset_in(text, raw))?;
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::parse_history;
+
+    #[test]
+    fn parses_events_and_headers() {
+        let t = parse_trace("procs p q\nlocs x y\np w(x)1\nq r(x)1\nq wl(y)2\n").unwrap();
+        assert_eq!(t.num_procs(), 2);
+        assert_eq!(t.num_locs(), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].proc, ProcId(0));
+        assert_eq!(t.events()[1].proc, ProcId(1));
+        assert!(t.events()[2].label.is_labeled());
+        assert_eq!(t.events()[2].value, Value(2));
+    }
+
+    #[test]
+    fn headers_are_optional_and_names_intern_on_first_use() {
+        let t = parse_trace("p w(x)1\nq r(x)1\n").unwrap();
+        assert_eq!(t.proc_names(), ["p", "q"]);
+        assert_eq!(t.loc_names(), ["x"]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = parse_trace("# hello\n\nprocs p # inline\np w(x)1 # trailing\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn multiple_ops_per_line_arrive_in_order() {
+        let t = parse_trace("p w(x)1 r(y)0\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.events()[0].kind.is_write());
+        assert!(t.events()[1].kind.is_read());
+    }
+
+    #[test]
+    fn history_respects_arrival_interleaving() {
+        let t = parse_trace("p w(x)1\nq w(x)2\np r(x)2\n").unwrap();
+        let h = t.history();
+        assert_eq!(h.num_procs(), 2);
+        assert_eq!(h.proc_ops(ProcId(0)).len(), 2);
+        assert_eq!(h.proc_ops(ProcId(1)).len(), 1);
+        // p's program order is its arrival order: w(x)1 then r(x)2.
+        assert!(h.proc_ops(ProcId(0))[0].is_write());
+        assert!(h.proc_ops(ProcId(0))[1].is_read());
+    }
+
+    #[test]
+    fn empty_procs_survive_round_trip() {
+        let t = parse_trace("procs p idle\nlocs x\np w(x)1\n").unwrap();
+        let back = parse_trace(&emit_trace(&t)).unwrap();
+        assert_eq!(back, t);
+        let h = t.history();
+        assert_eq!(h.num_procs(), 2);
+        assert!(h.proc_ops(ProcId(1)).is_empty());
+    }
+
+    #[test]
+    fn from_history_round_trips() {
+        let h = parse_history("p: w(x)1 rl(y)0\nq: W(y)2\nidle:").unwrap();
+        let t = Trace::from_history(&h);
+        assert_eq!(t.history(), h);
+        let back = parse_trace(&emit_trace(&t)).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.history(), h);
+    }
+
+    #[test]
+    fn prefix_histories_share_tables() {
+        let t = parse_trace("procs p q\nlocs x y\np w(x)1\nq r(y)0\n").unwrap();
+        let h0 = t.history_of_prefix(0);
+        assert_eq!(h0.num_ops(), 0);
+        assert_eq!(h0.num_procs(), 2);
+        assert_eq!(h0.num_locs(), 2);
+        let h1 = t.history_of_prefix(1);
+        assert_eq!(h1.num_ops(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_and_byte_offset() {
+        let text = "p w(x)1\nq z(x)1\n";
+        let e = parse_trace(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.offset, text.find("z(").unwrap());
+        assert!(e.message.contains("mnemonic"), "{e}");
+        assert!(e.to_string().contains("byte"), "{e}");
+
+        let text = "procs ok 7bad\n";
+        let e = parse_trace(text).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.offset, text.find("7bad").unwrap());
+
+        let e = parse_trace("p\n").unwrap_err();
+        assert!(e.message.contains("expected an operation"), "{e}");
+
+        let e = parse_trace("p w(x)\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("missing value"), "{e}");
+    }
+
+    #[test]
+    fn reserved_words_cannot_name_processors() {
+        // `procs`/`locs` at line start always parse as headers, so an
+        // event for a processor of that name cannot be expressed.
+        let e = parse_trace("procs procs\n").unwrap_err();
+        assert!(e.message.contains("invalid processor name"), "{e}");
+        let t = parse_trace("locs w(x)1\n").unwrap_err();
+        assert!(t.message.contains("invalid location name"), "{t}");
+    }
+
+    #[test]
+    fn line_at_a_time_parsing_matches_whole_text() {
+        let text = "procs p q\nlocs x\np w(x)1\n# note\nq r(x)1\n";
+        let mut t = Trace::new();
+        let mut offset = 0;
+        let mut events = 0;
+        for (i, line) in text.lines().enumerate() {
+            events += parse_trace_line(&mut t, line, i + 1, offset).unwrap();
+            offset += line.len() + 1;
+        }
+        assert_eq!(events, 2);
+        assert_eq!(t, parse_trace(text).unwrap());
+
+        // Errors position themselves relative to the caller's offset.
+        let mut t = Trace::new();
+        let e = parse_trace_line(&mut t, "p z(x)1", 7, 100).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert_eq!(e.offset, 102);
+    }
+
+    #[test]
+    fn emit_is_a_fixed_point() {
+        let t = parse_trace("procs p q\nlocs x\np w(x)1\nq r(x)1\n").unwrap();
+        let text = emit_trace(&t);
+        assert_eq!(emit_trace(&parse_trace(&text).unwrap()), text);
+    }
+}

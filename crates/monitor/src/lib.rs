@@ -1,0 +1,623 @@
+//! Streaming incremental admission monitoring over operation traces.
+//!
+//! The batch entry points (`check`, `corpus`, `matrix`) re-run the
+//! view-extension search from scratch on a complete history. A
+//! [`Monitor`] instead consumes `(processor, operation)` events one at a
+//! time and maintains, per model, the admission verdict of the *prefix
+//! seen so far*:
+//!
+//! * For models whose per-view question is "does a legal extension of
+//!   program order exist?" — the SC and PRAM parameter shapes — the
+//!   monitor checkpoints the full set of reachable scheduling states in
+//!   a [`smc_core::frontier::FrontierEngine`] and extends it by one
+//!   operation per event. Each state is discovered and expanded once
+//!   over the whole stream, so the amortized per-event cost stays
+//!   near-flat instead of growing with the prefix.
+//! * For every other model the monitor falls back to re-checking the
+//!   prefix with the batch checker (sharing one [`MemoCache`] across
+//!   appends), but first tries to *propagate* the verdict through the
+//!   known inclusion lattice: if a stronger model already admitted this
+//!   prefix the weaker one must too, and if a weaker model refuted it
+//!   the stronger one must too. With SC at the head of the model list,
+//!   an SC-admitted prefix decides every other lattice model for free.
+//!
+//! Admission over prefixes is **not** monotone — a refuted prefix can
+//! heal when a later write arrives — so the monitor keeps reporting
+//! per-prefix verdicts rather than latching the first refutation. It
+//! does *record* the first refuted prefix per model, and
+//! [`Monitor::violation_report`] shrinks that prefix to an op-deletion
+//! minimal counterexample (greedy [`smc_core::separate::without_op`]
+//! descent, the same move the separation minimizer uses) rendered in
+//! litmus notation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smc_core::checker::{CheckConfig, Verdict};
+use smc_core::frontier::{AppendReport, FrontierEngine, ViewOp};
+use smc_core::lattice::inclusion_closure;
+use smc_core::separate::without_op;
+use smc_core::spec::{GlobalOrder, ModelSpec, OperationSet, OwnerOrder};
+use smc_history::litmus::emit_litmus;
+use smc_history::trace::{Trace, TraceEvent};
+use smc_history::{History, Label, OpKind, ProcId};
+
+/// Tuning for a [`Monitor`].
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Configuration for restart-mode re-checks. A shared memo cache is
+    /// attached by [`MonitorConfig::default`].
+    pub check: CheckConfig,
+    /// Worker threads for restart-mode re-checks (1 = sequential).
+    pub jobs: usize,
+    /// Reachable-state cap per frontier engine; past it the engine
+    /// reports [`TriVerdict::Unknown`] instead of guessing.
+    pub max_frontier_states: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            check: CheckConfig::default().with_memo(),
+            jobs: 1,
+            max_frontier_states: 1 << 20,
+        }
+    }
+}
+
+/// A per-prefix, per-model verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriVerdict {
+    /// The prefix is admitted by the model.
+    Admitted,
+    /// The prefix is refuted by the model.
+    Violated,
+    /// A resource budget ran out; the verdict is undecided.
+    Unknown,
+}
+
+impl TriVerdict {
+    /// Lowercase word for reports (`admitted` / `violated` / `unknown`).
+    pub fn word(self) -> &'static str {
+        match self {
+            TriVerdict::Admitted => "admitted",
+            TriVerdict::Violated => "violated",
+            TriVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// Observability counters for one appended event.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Prefix length (events fed so far, including this one).
+    pub events: usize,
+    /// Total reachable states across all frontier engines.
+    pub frontier_states: u64,
+    /// Frontier states discovered by this event.
+    pub created: u64,
+    /// Frontier states expanded by this event.
+    pub expanded: u64,
+    /// Frontier transitions that hit an already-known state.
+    pub reuse_hits: u64,
+    /// Restart-mode re-checks actually run for this event.
+    pub rechecks: u64,
+    /// Search nodes those re-checks spent.
+    pub recheck_nodes: u64,
+    /// Verdicts decided by lattice propagation instead of a re-check.
+    pub propagated: u64,
+}
+
+impl StepReport {
+    fn absorb_frontier(&mut self, r: AppendReport) {
+        self.created += r.created;
+        self.expanded += r.expanded;
+        self.reuse_hits += r.reuse_hits;
+    }
+}
+
+/// Cumulative [`StepReport`] counters over the whole stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorTotals {
+    /// Frontier states discovered.
+    pub created: u64,
+    /// Frontier states expanded.
+    pub expanded: u64,
+    /// Frontier transitions that hit an already-known state.
+    pub reuse_hits: u64,
+    /// Restart-mode re-checks run.
+    pub rechecks: u64,
+    /// Search nodes those re-checks spent.
+    pub recheck_nodes: u64,
+    /// Verdicts decided by lattice propagation.
+    pub propagated: u64,
+}
+
+/// A minimal violating prefix, rendered for humans.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// Display name of the violated model.
+    pub model: String,
+    /// Length of the first refuted prefix (in events).
+    pub prefix_len: usize,
+    /// The first refuted prefix as a history.
+    pub prefix: History,
+    /// Op-deletion minimal sub-history that the model still refutes.
+    pub minimized: History,
+    /// `minimized` in litmus notation.
+    pub litmus: String,
+}
+
+/// How a model's incremental state is maintained.
+enum Engine {
+    /// One shared view over all operations (the SC shape:
+    /// `identical_views`, `δ = AllOps`, program order, by-value reads).
+    Identical(FrontierEngine),
+    /// One engine per processor view (the PRAM shape), indexed by
+    /// viewing processor; engine `v` sees `v`'s own operations plus the
+    /// remote operations `δ` selects.
+    PerProc(Vec<FrontierEngine>, OperationSet),
+    /// Re-check the whole prefix with the batch checker per event.
+    Restart,
+}
+
+/// Does this spec reduce to "a legal extension of program order exists",
+/// per view, with by-value read legality? Only then can the frontier
+/// engine stand in for the batch checker.
+fn frontier_shape(spec: &ModelSpec) -> Option<Engine> {
+    let plain = !spec.needs_reads_from()
+        && !spec.global_write_order
+        && !spec.coherence
+        && spec.labeled.is_none()
+        && spec.owner_order == OwnerOrder::None
+        && !spec.rc_bracketing
+        && !spec.fence_bracketing
+        && spec.global_order == GlobalOrder::ProgramOrder;
+    if !plain {
+        return None;
+    }
+    if spec.identical_views {
+        // Identical views collapse to a single view question only when
+        // every view ranges over the same operation set.
+        (spec.delta == OperationSet::AllOps)
+            .then(|| Engine::Identical(FrontierEngine::new(0, 0, 1)))
+    } else {
+        Some(Engine::PerProc(Vec::new(), spec.delta))
+    }
+}
+
+/// The streaming monitor: per-model incremental admission state over an
+/// append-only event stream.
+pub struct Monitor {
+    models: Vec<ModelSpec>,
+    /// `stronger[i][j]`: admitted by `models[i]` forces admitted by
+    /// `models[j]`.
+    stronger: Vec<Vec<bool>>,
+    cfg: MonitorConfig,
+    trace: Trace,
+    engines: Vec<Engine>,
+    /// Table sizes the frontier engines were built for; growth forces a
+    /// rebuild by replay.
+    built_procs: usize,
+    built_locs: usize,
+    verdicts: Vec<TriVerdict>,
+    first_violation: Vec<Option<usize>>,
+    totals: MonitorTotals,
+}
+
+impl Monitor {
+    /// A monitor for the given models. Keep stronger models first (as
+    /// [`smc_core::models::lattice_models`] does) so lattice propagation
+    /// can decide weaker models without re-checking.
+    pub fn new(models: Vec<ModelSpec>, cfg: MonitorConfig) -> Self {
+        let stronger = inclusion_closure(&models);
+        let engines = models
+            .iter()
+            .map(|m| frontier_shape(m).unwrap_or(Engine::Restart))
+            .collect();
+        let n = models.len();
+        Monitor {
+            models,
+            stronger,
+            cfg,
+            trace: Trace::new(),
+            engines,
+            built_procs: 0,
+            built_locs: 0,
+            // The empty history is admitted by every model.
+            verdicts: vec![TriVerdict::Admitted; n],
+            first_violation: vec![None; n],
+            totals: MonitorTotals::default(),
+        }
+    }
+
+    /// The monitored models, in construction order.
+    pub fn models(&self) -> &[ModelSpec] {
+        &self.models
+    }
+
+    /// Everything fed so far, as a trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current per-model verdicts (same order as [`Monitor::models`]).
+    pub fn verdicts(&self) -> &[TriVerdict] {
+        &self.verdicts
+    }
+
+    /// Cumulative counters.
+    pub fn totals(&self) -> MonitorTotals {
+        self.totals
+    }
+
+    /// Length of the first refuted prefix for `model_idx`, if any prefix
+    /// was refuted.
+    pub fn first_violation(&self, model_idx: usize) -> Option<usize> {
+        self.first_violation[model_idx]
+    }
+
+    /// Pre-declare a processor (a trace `procs` header). Declaring every
+    /// processor up front avoids frontier rebuilds mid-stream.
+    pub fn declare_proc(&mut self, name: &str) {
+        self.trace.add_proc(name);
+        self.ensure_tables();
+    }
+
+    /// Pre-declare a location (a trace `locs` header).
+    pub fn declare_loc(&mut self, name: &str) {
+        self.trace.add_loc(name);
+        self.ensure_tables();
+    }
+
+    /// Feed one event by names; returns the per-event counters and
+    /// updates [`Monitor::verdicts`].
+    pub fn feed(
+        &mut self,
+        proc: &str,
+        kind: OpKind,
+        loc: &str,
+        value: i64,
+        label: Label,
+    ) -> StepReport {
+        self.trace.push_named(proc, kind, loc, value, label);
+        self.step()
+    }
+
+    /// Feed a whole trace (declaring its tables first); returns one
+    /// report per event.
+    pub fn feed_trace(&mut self, t: &Trace) -> Vec<StepReport> {
+        for p in t.proc_names() {
+            self.declare_proc(p);
+        }
+        for l in t.loc_names() {
+            self.declare_loc(l);
+        }
+        t.events()
+            .iter()
+            .map(|e| {
+                self.feed(
+                    t.proc_name(e.proc),
+                    e.kind,
+                    t.loc_name(e.loc),
+                    e.value.0,
+                    e.label,
+                )
+            })
+            .collect()
+    }
+
+    /// The minimal violating prefix for `model_idx`: the first refuted
+    /// prefix, shrunk by greedy op deletion while the model still
+    /// refutes it. `None` if no prefix was ever refuted.
+    pub fn violation_report(&self, model_idx: usize) -> Option<ViolationReport> {
+        let prefix_len = self.first_violation[model_idx]?;
+        let spec = &self.models[model_idx];
+        let prefix = self.trace.history_of_prefix(prefix_len);
+        let refuted = |h: &History| {
+            smc_core::batch::check_parallel(h, spec, &self.cfg.check, self.cfg.jobs)
+                .0
+                .is_disallowed()
+        };
+        let mut minimized = prefix.clone();
+        loop {
+            let better = (0..minimized.num_ops())
+                .map(|idx| without_op(&minimized, idx))
+                .find(|smaller| refuted(smaller));
+            match better {
+                Some(smaller) => minimized = smaller,
+                None => break,
+            }
+        }
+        Some(ViolationReport {
+            model: spec.name.clone(),
+            prefix_len,
+            litmus: emit_litmus(&minimized),
+            prefix,
+            minimized,
+        })
+    }
+
+    /// Rebuild the frontier engines if the processor/location tables
+    /// outgrew what they were built for, replaying the stored events.
+    fn ensure_tables(&mut self) {
+        let procs = self.trace.num_procs();
+        let locs = self.trace.num_locs();
+        if procs <= self.built_procs && locs <= self.built_locs {
+            return;
+        }
+        self.built_procs = procs;
+        self.built_locs = locs;
+        let max_states = self.cfg.max_frontier_states;
+        for engine in self.engines.iter_mut() {
+            match engine {
+                Engine::Identical(e) => {
+                    let mut fresh = FrontierEngine::new(procs, locs, max_states);
+                    let mut rep = AppendReport::default();
+                    for ev in self.trace.events() {
+                        rep.absorb(fresh.append(ev.proc, view_op(ev)));
+                    }
+                    self.totals.created += rep.created;
+                    self.totals.expanded += rep.expanded;
+                    self.totals.reuse_hits += rep.reuse_hits;
+                    *e = fresh;
+                }
+                Engine::PerProc(list, delta) => {
+                    let delta = *delta;
+                    let mut fresh: Vec<FrontierEngine> = (0..procs)
+                        .map(|_| FrontierEngine::new(procs, locs, max_states))
+                        .collect();
+                    let mut rep = AppendReport::default();
+                    for ev in self.trace.events() {
+                        for (v, e) in fresh.iter_mut().enumerate() {
+                            if in_view(ev, ProcId(v as u32), delta) {
+                                rep.absorb(e.append(ev.proc, view_op(ev)));
+                            }
+                        }
+                    }
+                    self.totals.created += rep.created;
+                    self.totals.expanded += rep.expanded;
+                    self.totals.reuse_hits += rep.reuse_hits;
+                    *list = fresh;
+                }
+                Engine::Restart => {}
+            }
+        }
+    }
+
+    /// Process the most recently pushed event.
+    fn step(&mut self) -> StepReport {
+        self.ensure_tables();
+        let n = self.trace.len();
+        let ev = *self.trace.events().last().expect("step without an event");
+        let mut report = StepReport {
+            events: n,
+            ..StepReport::default()
+        };
+
+        // Phase 1: frontier-mode models — incremental, always first so
+        // their verdicts can propagate to the restart-mode models.
+        let mut decided: Vec<Option<TriVerdict>> = vec![None; self.models.len()];
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            match engine {
+                Engine::Identical(e) => {
+                    report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
+                    decided[i] = Some(tri_of(e.admitted()));
+                }
+                Engine::PerProc(list, delta) => {
+                    // Every relevant engine must see the event, even if
+                    // an earlier view already settled the verdict.
+                    let mut verdict = Some(true);
+                    for (v, e) in list.iter_mut().enumerate() {
+                        if in_view(&ev, ProcId(v as u32), *delta) {
+                            report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
+                        }
+                        match e.admitted() {
+                            Some(true) => {}
+                            Some(false) => verdict = Some(false),
+                            None => {
+                                if verdict != Some(false) {
+                                    verdict = None;
+                                }
+                            }
+                        }
+                    }
+                    decided[i] = Some(tri_of(verdict));
+                }
+                Engine::Restart => {}
+            }
+        }
+
+        // Phase 2: restart-mode models — propagate through the lattice
+        // where possible, re-check the prefix otherwise. Verdicts
+        // decided earlier in the pass propagate to later models.
+        let mut prefix: Option<History> = None;
+        for i in 0..self.models.len() {
+            if decided[i].is_some() {
+                continue;
+            }
+            if let Some(v) = self.propagate(i, &decided) {
+                decided[i] = Some(v);
+                report.propagated += 1;
+                continue;
+            }
+            let h = prefix.get_or_insert_with(|| self.trace.history_of_prefix(n));
+            let (verdict, stats) =
+                smc_core::batch::check_parallel(h, &self.models[i], &self.cfg.check, self.cfg.jobs);
+            report.rechecks += 1;
+            report.recheck_nodes += stats.nodes_spent;
+            decided[i] = Some(match verdict {
+                Verdict::Allowed(_) => TriVerdict::Admitted,
+                Verdict::Disallowed => TriVerdict::Violated,
+                Verdict::Exhausted | Verdict::Unsupported(_) => TriVerdict::Unknown,
+            });
+        }
+
+        for (i, v) in decided.into_iter().enumerate() {
+            let v = v.expect("every model decided");
+            self.verdicts[i] = v;
+            if v == TriVerdict::Violated && self.first_violation[i].is_none() {
+                self.first_violation[i] = Some(n);
+            }
+        }
+        for engine in &self.engines {
+            match engine {
+                Engine::Identical(e) => report.frontier_states += e.num_states() as u64,
+                Engine::PerProc(list, _) => {
+                    report.frontier_states +=
+                        list.iter().map(|e| e.num_states() as u64).sum::<u64>()
+                }
+                Engine::Restart => {}
+            }
+        }
+        self.totals.created += report.created;
+        self.totals.expanded += report.expanded;
+        self.totals.reuse_hits += report.reuse_hits;
+        self.totals.rechecks += report.rechecks;
+        self.totals.recheck_nodes += report.recheck_nodes;
+        self.totals.propagated += report.propagated;
+        report
+    }
+
+    /// A verdict for `i` forced by already-decided models through the
+    /// inclusion lattice, if any.
+    fn propagate(&self, i: usize, decided: &[Option<TriVerdict>]) -> Option<TriVerdict> {
+        for (j, v) in decided.iter().enumerate() {
+            match v {
+                Some(TriVerdict::Admitted) if self.stronger[j][i] => {
+                    return Some(TriVerdict::Admitted)
+                }
+                Some(TriVerdict::Violated) if self.stronger[i][j] => {
+                    return Some(TriVerdict::Violated)
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+fn view_op(ev: &TraceEvent) -> ViewOp {
+    ViewOp {
+        kind: ev.kind,
+        loc: ev.loc,
+        value: ev.value,
+    }
+}
+
+/// Does viewing processor `v` include this event, given the remote
+/// operation set `delta`? Own operations always; remote ones per `delta`.
+fn in_view(ev: &TraceEvent, v: ProcId, delta: OperationSet) -> bool {
+    ev.proc == v || delta == OperationSet::AllOps || ev.kind.is_write()
+}
+
+fn tri_of(v: Option<bool>) -> TriVerdict {
+    match v {
+        Some(true) => TriVerdict::Admitted,
+        Some(false) => TriVerdict::Violated,
+        None => TriVerdict::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_core::models;
+    use smc_history::trace::parse_trace;
+
+    fn monitor(models: Vec<ModelSpec>) -> Monitor {
+        Monitor::new(models, MonitorConfig::default())
+    }
+
+    #[test]
+    fn empty_stream_admits_everything() {
+        let m = monitor(models::lattice_models());
+        assert!(m.verdicts().iter().all(|&v| v == TriVerdict::Admitted));
+    }
+
+    #[test]
+    fn fig1_violates_sc_but_not_tso() {
+        let t = parse_trace("p w(x)1\nq w(y)1\np r(y)0\nq r(x)0\n").unwrap();
+        let mut m = monitor(vec![models::sc(), models::tso()]);
+        m.feed_trace(&t);
+        assert_eq!(m.verdicts()[0], TriVerdict::Violated);
+        assert_eq!(m.verdicts()[1], TriVerdict::Admitted);
+        // SC was fine until the last read arrived.
+        assert_eq!(m.first_violation(0), Some(4));
+        assert_eq!(m.first_violation(1), None);
+    }
+
+    #[test]
+    fn violation_can_heal_and_is_still_recorded() {
+        let mut m = monitor(vec![models::sc()]);
+        m.feed("p", OpKind::Write, "x", 1, Label::Ordinary);
+        m.feed("q", OpKind::Read, "x", 2, Label::Ordinary);
+        assert_eq!(m.verdicts()[0], TriVerdict::Violated);
+        m.feed("p", OpKind::Write, "x", 2, Label::Ordinary);
+        assert_eq!(m.verdicts()[0], TriVerdict::Admitted);
+        // The transient refutation is still on record.
+        assert_eq!(m.first_violation(0), Some(2));
+        let rep = m.violation_report(0).unwrap();
+        assert_eq!(rep.prefix_len, 2);
+        // Minimal counterexample: the lone stale read.
+        assert_eq!(rep.minimized.num_ops(), 1);
+        assert!(rep.litmus.contains("r(x)2"));
+    }
+
+    #[test]
+    fn admitted_prefixes_have_no_violation_report() {
+        let mut m = monitor(vec![models::sc()]);
+        m.feed("p", OpKind::Write, "x", 1, Label::Ordinary);
+        assert!(m.violation_report(0).is_none());
+    }
+
+    #[test]
+    fn sc_admission_propagates_to_restart_models() {
+        // Message passing read in order is SC; every weaker lattice
+        // model must be decided without a re-check.
+        let t = parse_trace("p w(d)1\np w(f)1\nq r(f)1\nq r(d)1\n").unwrap();
+        let mut m = monitor(models::lattice_models());
+        let reports = m.feed_trace(&t);
+        assert!(m.verdicts().iter().all(|&v| v == TriVerdict::Admitted));
+        // SC and PRAM run on frontier engines; everything else is
+        // propagated, never re-checked.
+        assert_eq!(reports.iter().map(|r| r.rechecks).sum::<u64>(), 0);
+        assert!(reports.iter().map(|r| r.propagated).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn pram_refutation_propagates_upward() {
+        // A PRAM violation (stale read of p's second write before its
+        // first) forces every stronger model to Violated without
+        // re-checking those that include PRAM.
+        let t = parse_trace("p w(d)1\np w(f)1\nq r(f)1\nq r(d)0\n").unwrap();
+        let mut m = monitor(models::lattice_models());
+        m.feed_trace(&t);
+        let names: Vec<&str> = m.models().iter().map(|s| s.name.as_str()).collect();
+        for strong in ["SC", "TSO", "PC", "PCG", "CausalCoherent", "Causal", "PRAM"] {
+            let i = names.iter().position(|n| *n == strong).unwrap();
+            assert_eq!(m.verdicts()[i], TriVerdict::Violated, "{strong}");
+        }
+        // Coherent-only memory has no pipelining requirement.
+        let i = names.iter().position(|n| *n == "Coherent").unwrap();
+        assert_eq!(m.verdicts()[i], TriVerdict::Admitted);
+    }
+
+    #[test]
+    fn mid_stream_processor_growth_rebuilds_consistently() {
+        // No headers: the second processor appears only at event 3.
+        let mut m = monitor(vec![models::sc(), models::pram()]);
+        m.feed("p", OpKind::Write, "x", 1, Label::Ordinary);
+        m.feed("p", OpKind::Write, "x", 2, Label::Ordinary);
+        m.feed("q", OpKind::Read, "x", 1, Label::Ordinary);
+        // q read the overwritten value: fine for PRAM (q's view may
+        // lag), refuted by SC? No — w1 w2 then r1 is not SC, but
+        // w1 r1 w2 is a legal SC order. Both admit.
+        assert_eq!(m.verdicts()[0], TriVerdict::Admitted);
+        assert_eq!(m.verdicts()[1], TriVerdict::Admitted);
+        m.feed("q", OpKind::Read, "x", 0, Label::Ordinary);
+        // ...but reading the initial value after value 1 breaks both.
+        assert_eq!(m.verdicts()[0], TriVerdict::Violated);
+        assert_eq!(m.verdicts()[1], TriVerdict::Violated);
+    }
+}

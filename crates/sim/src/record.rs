@@ -1,6 +1,8 @@
 //! Recording simulator runs as declarative histories.
 
+use smc_history::trace::{Trace, TraceEvent};
 use smc_history::{History, HistoryBuilder, Label, Location, OpKind, ProcId, Value};
+use std::hash::{Hash, Hasher};
 
 /// Accumulates the operations a workload issues and renders them as a
 /// [`History`] the declarative checker can classify.
@@ -10,12 +12,38 @@ use smc_history::{History, HistoryBuilder, Label, Location, OpKind, ProcId, Valu
 /// so two schedules that interleave the same per-processor operations
 /// differently produce *equal* recorders — which lets the exhaustive
 /// explorer's state deduplication collapse schedule prefixes that differ
-/// only in commuted steps.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// only in commuted steps. The global arrival order is logged on the
+/// side for [`Recorder::trace`] export and deliberately excluded from
+/// `Eq`/`Hash` (see the manual impls below).
+#[derive(Debug, Clone)]
 pub struct Recorder {
     proc_names: Vec<String>,
     loc_names: Vec<String>,
     logs: Vec<Vec<(OpKind, Location, Value, Label)>>,
+    /// Issuing processor of each recorded operation, in global arrival
+    /// order.
+    arrival: Vec<ProcId>,
+}
+
+/// Equality ignores the arrival log: the explorer's state dedup relies
+/// on recorders that interleave the same per-processor sequences
+/// differently comparing equal.
+impl PartialEq for Recorder {
+    fn eq(&self, other: &Self) -> bool {
+        self.proc_names == other.proc_names
+            && self.loc_names == other.loc_names
+            && self.logs == other.logs
+    }
+}
+
+impl Eq for Recorder {}
+
+impl Hash for Recorder {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.proc_names.hash(state);
+        self.loc_names.hash(state);
+        self.logs.hash(state);
+    }
 }
 
 impl Recorder {
@@ -27,6 +55,7 @@ impl Recorder {
             proc_names,
             loc_names,
             logs,
+            arrival: Vec::new(),
         }
     }
 
@@ -41,11 +70,13 @@ impl Recorder {
     /// Record a read that returned `value`.
     pub fn read(&mut self, p: ProcId, loc: Location, value: Value, label: Label) {
         self.logs[p.index()].push((OpKind::Read, loc, value, label));
+        self.arrival.push(p);
     }
 
     /// Record a write of `value`.
     pub fn write(&mut self, p: ProcId, loc: Location, value: Value, label: Label) {
         self.logs[p.index()].push((OpKind::Write, loc, value, label));
+        self.arrival.push(p);
     }
 
     /// Number of operations recorded so far (across all processors).
@@ -80,6 +111,33 @@ impl Recorder {
         }
         b.build()
     }
+
+    /// Export the log as a [`Trace`] in global arrival order — the
+    /// stream a monitor would have observed live. The trace's history
+    /// equals [`Recorder::history`] (per-processor sequences agree; only
+    /// the interleaving is extra information).
+    pub fn trace(&self) -> Trace {
+        let mut t = Trace::new();
+        for name in &self.proc_names {
+            t.add_proc(name);
+        }
+        for name in &self.loc_names {
+            t.add_loc(name);
+        }
+        let mut cursors = vec![0usize; self.logs.len()];
+        for &p in &self.arrival {
+            let (kind, loc, value, label) = self.logs[p.index()][cursors[p.index()]];
+            cursors[p.index()] += 1;
+            t.push(TraceEvent {
+                proc: p,
+                kind,
+                loc,
+                value,
+                label,
+            });
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +169,22 @@ mod tests {
         b.write(ProcId(0), Location(0), Value(1), Label::Ordinary);
         assert_eq!(a, b);
         assert_eq!(a.history(), b.history());
+        // ...while the traces keep the distinct arrival orders.
+        assert_ne!(a.trace(), b.trace());
+        assert_eq!(a.trace().history(), b.trace().history());
+    }
+
+    #[test]
+    fn trace_preserves_arrival_order_and_history() {
+        let mut r = Recorder::with_sizes(2, 2);
+        r.write(ProcId(0), Location(0), Value(1), Label::Ordinary);
+        r.read(ProcId(1), Location(0), Value(1), Label::Ordinary);
+        r.read(ProcId(0), Location(1), Value(0), Label::Ordinary);
+        let t = r.trace();
+        assert_eq!(t.len(), 3);
+        let procs: Vec<u32> = t.events().iter().map(|e| e.proc.0).collect();
+        assert_eq!(procs, [0, 1, 0]);
+        assert_eq!(t.history(), r.history());
     }
 
     #[test]

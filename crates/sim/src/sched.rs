@@ -3,6 +3,7 @@
 use crate::mem::MemorySystem;
 use crate::record::Recorder;
 use crate::workload::Workload;
+use smc_history::trace::Trace;
 use smc_history::History;
 use smc_prng::SmallRng;
 
@@ -11,6 +12,9 @@ use smc_prng::SmallRng;
 pub struct RunOutcome {
     /// The recorded system execution history.
     pub history: History,
+    /// The same run as an arrival-order event stream — the input a
+    /// streaming monitor would have observed live.
+    pub trace: Trace,
     /// The first violated workload assertion, if any.
     pub violation: Option<String>,
     /// `true` if the workload finished (and the memory drained) within
@@ -40,6 +44,7 @@ pub fn run_random<M: MemorySystem, W: Workload<M>>(
         if let Some(v) = workload.violation() {
             return RunOutcome {
                 history: rec.history(),
+                trace: rec.trace(),
                 violation: Some(v),
                 completed: false,
                 steps,
@@ -54,6 +59,7 @@ pub fn run_random<M: MemorySystem, W: Workload<M>>(
             let completed = workload.done() && mem.quiescent();
             return RunOutcome {
                 history: rec.history(),
+                trace: rec.trace(),
                 violation: workload.violation(),
                 completed,
                 steps,
@@ -62,6 +68,7 @@ pub fn run_random<M: MemorySystem, W: Workload<M>>(
         if steps >= max_steps {
             return RunOutcome {
                 history: rec.history(),
+                trace: rec.trace(),
                 violation: workload.violation(),
                 completed: false,
                 steps,

@@ -54,6 +54,13 @@ if [ "${1:-}" != "--no-test" ]; then
         echo "separation drift against tests/golden/separations_small.txt" >&2
         exit 1
     fi
+
+    # Monitor golden gate: replay the whole litmus corpus through the
+    # streaming monitor and diff its final verdicts against the batch
+    # checker's, per model. The command itself exits nonzero on any
+    # mismatch, printing the offending (test, model) pair.
+    echo "==> smc monitor --corpus (streaming vs batch verdicts)"
+    cargo run -q --release --bin smc -- monitor --corpus --jobs 4 >/dev/null
 fi
 
 echo "==> OK"
