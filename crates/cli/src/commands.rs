@@ -1219,10 +1219,11 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
     }
     let totals = mon.totals();
     println!(
-        "\n{fed} event(s), {warnings} malformed line(s) skipped; frontier: {} created, {} expanded, {} reuse; rechecks {} ({} nodes), propagated {}",
+        "\n{fed} event(s), {warnings} malformed line(s) skipped; frontier: {} created, {} expanded, {} reuse ({} rebuild); rechecks {} ({} nodes), propagated {}",
         totals.created,
         totals.expanded,
         totals.reuse_hits,
+        totals.rebuild_work,
         totals.rechecks,
         totals.recheck_nodes,
         totals.propagated
@@ -1237,6 +1238,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
                 .num("created", totals.created)
                 .num("expanded", totals.expanded)
                 .num("reuse_hits", totals.reuse_hits)
+                .num("rebuild_work", totals.rebuild_work)
                 .num("rechecks", totals.rechecks)
                 .num("recheck_nodes", totals.recheck_nodes)
                 .num("propagated", totals.propagated)

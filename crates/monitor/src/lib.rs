@@ -40,7 +40,7 @@ use smc_core::separate::without_op;
 use smc_core::spec::{GlobalOrder, ModelSpec, OperationSet, OwnerOrder};
 use smc_history::litmus::emit_litmus;
 use smc_history::trace::{Trace, TraceEvent};
-use smc_history::{History, Label, OpKind, ProcId};
+use smc_history::{History, Label, OpKind, ProcId, Value};
 
 /// Tuning for a [`Monitor`].
 #[derive(Debug, Clone)]
@@ -51,7 +51,8 @@ pub struct MonitorConfig {
     /// Worker threads for restart-mode re-checks (1 = sequential).
     pub jobs: usize,
     /// Reachable-state cap per frontier engine; past it the engine
-    /// reports [`TriVerdict::Unknown`] instead of guessing.
+    /// stops deciding and the model falls back to lattice propagation
+    /// or a per-event batch re-check.
     pub max_frontier_states: usize,
 }
 
@@ -131,6 +132,11 @@ pub struct MonitorTotals {
     pub recheck_nodes: u64,
     /// Verdicts decided by lattice propagation.
     pub propagated: u64,
+    /// Frontier states created + expanded by mid-stream table-rebuild
+    /// replays. Tracked apart from `created`/`expanded`/`reuse_hits` so
+    /// the cumulative frontier totals stay comparable to a restart
+    /// baseline instead of double-counting pre-rebuild work.
+    pub rebuild_work: u64,
 }
 
 /// A minimal violating prefix, rendered for humans.
@@ -280,7 +286,20 @@ impl Monitor {
         value: i64,
         label: Label,
     ) -> StepReport {
-        self.trace.push_named(proc, kind, loc, value, label);
+        // Intern names and grow the frontier tables *before* the event
+        // lands in the trace: a table rebuild replays only the events
+        // already incorporated, so step()'s own append of this event is
+        // never a duplicate.
+        let proc = self.trace.add_proc(proc);
+        let loc = self.trace.add_loc(loc);
+        self.ensure_tables();
+        self.trace.push(TraceEvent {
+            proc,
+            kind,
+            loc,
+            value: Value(value),
+            label,
+        });
         self.step()
     }
 
@@ -357,9 +376,7 @@ impl Monitor {
                     for ev in self.trace.events() {
                         rep.absorb(fresh.append(ev.proc, view_op(ev)));
                     }
-                    self.totals.created += rep.created;
-                    self.totals.expanded += rep.expanded;
-                    self.totals.reuse_hits += rep.reuse_hits;
+                    self.totals.rebuild_work += rep.created + rep.expanded;
                     *e = fresh;
                 }
                 Engine::PerProc(list, delta) => {
@@ -375,9 +392,7 @@ impl Monitor {
                             }
                         }
                     }
-                    self.totals.created += rep.created;
-                    self.totals.expanded += rep.expanded;
-                    self.totals.reuse_hits += rep.reuse_hits;
+                    self.totals.rebuild_work += rep.created + rep.expanded;
                     *list = fresh;
                 }
                 Engine::Restart => {}
@@ -385,9 +400,11 @@ impl Monitor {
         }
     }
 
-    /// Process the most recently pushed event.
+    /// Process the most recently pushed event. The caller ([`feed`])
+    /// has already grown the frontier tables for this event's names.
+    ///
+    /// [`feed`]: Monitor::feed
     fn step(&mut self) -> StepReport {
-        self.ensure_tables();
         let n = self.trace.len();
         let ev = *self.trace.events().last().expect("step without an event");
         let mut report = StepReport {
@@ -396,13 +413,16 @@ impl Monitor {
         };
 
         // Phase 1: frontier-mode models — incremental, always first so
-        // their verdicts can propagate to the restart-mode models.
+        // their verdicts can propagate to the restart-mode models. An
+        // exhausted engine (`admitted()` = None) leaves the model
+        // undecided here so phase 2 can still settle it by lattice
+        // propagation or a batch re-check.
         let mut decided: Vec<Option<TriVerdict>> = vec![None; self.models.len()];
         for (i, engine) in self.engines.iter_mut().enumerate() {
             match engine {
                 Engine::Identical(e) => {
                     report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
-                    decided[i] = Some(tri_of(e.admitted()));
+                    decided[i] = e.admitted().map(tri_of);
                 }
                 Engine::PerProc(list, delta) => {
                     // Every relevant engine must see the event, even if
@@ -422,7 +442,7 @@ impl Monitor {
                             }
                         }
                     }
-                    decided[i] = Some(tri_of(verdict));
+                    decided[i] = verdict.map(tri_of);
                 }
                 Engine::Restart => {}
             }
@@ -511,11 +531,11 @@ fn in_view(ev: &TraceEvent, v: ProcId, delta: OperationSet) -> bool {
     ev.proc == v || delta == OperationSet::AllOps || ev.kind.is_write()
 }
 
-fn tri_of(v: Option<bool>) -> TriVerdict {
-    match v {
-        Some(true) => TriVerdict::Admitted,
-        Some(false) => TriVerdict::Violated,
-        None => TriVerdict::Unknown,
+fn tri_of(admitted: bool) -> TriVerdict {
+    if admitted {
+        TriVerdict::Admitted
+    } else {
+        TriVerdict::Violated
     }
 }
 
@@ -601,6 +621,79 @@ mod tests {
         // Coherent-only memory has no pipelining requirement.
         let i = names.iter().position(|n| *n == "Coherent").unwrap();
         assert_eq!(m.verdicts()[i], TriVerdict::Admitted);
+    }
+
+    #[test]
+    fn mid_stream_growth_does_not_duplicate_the_new_event() {
+        // Headerless: `p` first appears at the last event, forcing a
+        // frontier rebuild. The rebuild must replay only the three
+        // events already incorporated — if it also replays the new
+        // `p w(x)1`, step()'s own append duplicates it and the doubled
+        // write admits the order w1 r1 w2 w1 r1, flipping the verdict.
+        let mut m = monitor(vec![models::sc()]);
+        m.feed("q", OpKind::Read, "x", 1, Label::Ordinary);
+        m.feed("q", OpKind::Write, "x", 2, Label::Ordinary);
+        m.feed("q", OpKind::Read, "x", 1, Label::Ordinary);
+        m.feed("p", OpKind::Write, "x", 1, Label::Ordinary);
+        // The lone w(x)1 cannot sit both before the first r(x)1 and
+        // after w(x)2 for the second, so SC refutes this prefix.
+        assert_eq!(m.verdicts()[0], TriVerdict::Violated);
+    }
+
+    #[test]
+    fn exhausted_frontier_falls_back_to_recheck() {
+        // A one-state budget exhausts the SC frontier engine
+        // immediately; the batch re-check fallback must still decide.
+        let mut m = Monitor::new(
+            vec![models::sc()],
+            MonitorConfig {
+                max_frontier_states: 1,
+                ..MonitorConfig::default()
+            },
+        );
+        m.feed("p", OpKind::Write, "x", 1, Label::Ordinary);
+        m.feed("p", OpKind::Write, "x", 2, Label::Ordinary);
+        m.feed("q", OpKind::Read, "x", 1, Label::Ordinary);
+        // After r(x)1 placed the write of 1, nothing restores 0: SC
+        // refutes this prefix, and only the re-check can say so.
+        let rep = m.feed("q", OpKind::Read, "x", 0, Label::Ordinary);
+        assert_eq!(m.verdicts()[0], TriVerdict::Violated);
+        assert!(rep.rechecks > 0, "fallback should have re-checked");
+        // A later w(x)0 heals the prefix (w1 r1 w2 w0 r0); the verdict
+        // must not stay latched at Unknown or Violated.
+        m.feed("p", OpKind::Write, "x", 0, Label::Ordinary);
+        assert_eq!(m.verdicts()[0], TriVerdict::Admitted);
+    }
+
+    #[test]
+    fn rebuild_replay_work_is_not_double_counted() {
+        // Cumulative frontier totals must equal the sum of the per-step
+        // reports even when mid-stream growth forces rebuilds — the
+        // replay overhead goes to `rebuild_work`, not created/expanded.
+        let mut declared = monitor(vec![models::sc(), models::pram()]);
+        declared.declare_proc("p");
+        declared.declare_proc("q");
+        declared.declare_loc("x");
+        let mut headerless = monitor(vec![models::sc(), models::pram()]);
+        let stream = [
+            ("p", OpKind::Write, 1i64),
+            ("p", OpKind::Write, 2),
+            ("q", OpKind::Read, 1),
+            ("q", OpKind::Read, 2),
+        ];
+        let (mut step_created, mut step_expanded) = (0u64, 0u64);
+        for (proc, kind, value) in stream {
+            declared.feed(proc, kind, "x", value, Label::Ordinary);
+            let rep = headerless.feed(proc, kind, "x", value, Label::Ordinary);
+            step_created += rep.created;
+            step_expanded += rep.expanded;
+        }
+        assert_eq!(declared.verdicts(), headerless.verdicts());
+        let h = headerless.totals();
+        assert_eq!(h.created, step_created);
+        assert_eq!(h.expanded, step_expanded);
+        assert_eq!(declared.totals().rebuild_work, 0);
+        assert!(h.rebuild_work > 0, "mid-stream growth should rebuild");
     }
 
     #[test]

@@ -126,6 +126,50 @@ fn random_histories_agree() {
     }
 }
 
+/// Headerless ingestion (the documented intern-on-first-use `feed`
+/// path): no `declare_proc`/`declare_loc`, so processors and locations
+/// appear mid-stream and force frontier rebuilds. After every event the
+/// monitor's verdicts must agree with the batch checker on the prefix —
+/// this is the regression gate for the rebuild-replay duplication bug,
+/// which only bites when a name first appears mid-stream.
+#[test]
+fn headerless_event_by_event_agrees_per_prefix() {
+    let models = models::lattice_models();
+    let cfg = CheckConfig::default().with_memo();
+    for case in 0..40u64 {
+        let h = random_history(&mut SmallRng::seed_from_u64(0xbeef_u64.wrapping_add(case)));
+        let trace = Trace::from_history(&h);
+        let mut mon = Monitor::new(models.clone(), MonitorConfig::default());
+        for (n, ev) in trace.events().iter().enumerate() {
+            mon.feed(
+                trace.proc_name(ev.proc),
+                ev.kind,
+                trace.loc_name(ev.loc),
+                ev.value.0,
+                ev.label,
+            );
+            let prefix = mon.trace().history_of_prefix(n + 1);
+            for (i, spec) in models.iter().enumerate() {
+                let Some(batch_admits) = check_parallel(&prefix, spec, &cfg, 1).0.decided() else {
+                    continue;
+                };
+                let expected = if batch_admits {
+                    TriVerdict::Admitted
+                } else {
+                    TriVerdict::Violated
+                };
+                assert_eq!(
+                    mon.verdicts()[i],
+                    expected,
+                    "case {case}, prefix {}: monitor disagrees with batch on {}\n{prefix}",
+                    n + 1,
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
 /// A machine-produced arrival-order trace (the live-monitoring input
 /// path): feed the simulator's event stream, then cross-check against
 /// the batch checker on the recorded history.
