@@ -138,17 +138,20 @@ fn bench_memoized_sweep(harness: &mut Harness) {
 }
 
 /// One SC refutation whose single-rf extension search dominates: the
-/// prefix-split path lets `check_parallel` partition that search. On a
-/// single-core host the parallel rows measure split overhead, not
-/// speedup. The shape matters: symmetric multi-reader refutations like
-/// this one partition into near-disjoint subtrees, while shapes whose
-/// pruning relies heavily on the shared failed-state memo (deep
-/// single-funnel contradictions) duplicate that pruning across workers
-/// and are better left sequential.
+/// prefix-split path lets `check_parallel` partition that search. The
+/// history is tiny (a handful of search nodes), so under the default
+/// config the adaptive cutover probe decides it sequentially and the
+/// `check_parallel_j*` rows should sit within noise of `sequential` —
+/// the `_nocutover` row keeps the old always-fan-out cost (thread spawn
+/// plus shared failed-set setup) measurable for comparison.
 fn bench_split_dfs(harness: &mut Harness) {
     let h = reversed_reads(10, 3);
     let spec = models::sc();
     let cfg = CheckConfig::default();
+    let nocutover = CheckConfig {
+        parallel_cutover: 0,
+        ..CheckConfig::default()
+    };
     let mut g = harness.group("batch/split_dfs_sc_reversed");
     g.bench("sequential", || {
         black_box(check_with_config(&h, &spec, &cfg));
@@ -159,6 +162,10 @@ fn bench_split_dfs(harness: &mut Harness) {
             black_box((v, stats.nodes_spent));
         });
     }
+    g.bench("check_parallel_j4_nocutover", || {
+        let (v, stats) = check_parallel(&h, &spec, &nocutover, 4);
+        black_box((v, stats.nodes_spent));
+    });
 }
 
 /// Store-buffering with `pad` private writes per processor ahead of the
@@ -191,9 +198,16 @@ fn padded_sb(pad: i64) -> History {
 fn bench_split_dfs_deep_funnel(harness: &mut Harness) {
     let h = padded_sb(48);
     let spec = models::sc();
-    let stealing = CheckConfig::default();
+    // Cutover disabled: this history's ~4.8k nodes would exhaust the
+    // default probe and the parallel rows would pay probe + fan-out,
+    // muddying the engine comparison these rows exist to make.
+    let stealing = CheckConfig {
+        parallel_cutover: 0,
+        ..CheckConfig::default()
+    };
     let static_cfg = CheckConfig {
         scheduler: SchedulerKind::StaticPrefix,
+        parallel_cutover: 0,
         ..CheckConfig::default()
     };
     let mut g = harness.group("batch/split_dfs_deep_funnel");

@@ -24,6 +24,7 @@ pub const USAGE: &str = "\
 usage:
   smc check <file> [--model NAME] [--jobs N] [--stats]
             [--memo-file PATH] [--scheduler stealing|static]
+            [--cutover N]
                                     check a litmus history or suite;
                                     --memo-file persists decided verdicts
                                     across runs (corrupt or mismatched
@@ -31,7 +32,7 @@ usage:
                                     --scheduler selects the parallel
                                     search engine (default stealing)
   smc corpus [--jobs N] [--stats] [--json PATH] [--exhaustive]
-            [--memo-file PATH]
+            [--memo-file PATH] [--cutover N]
                                     check the embedded litmus corpus
                                     against its recorded expectations;
                                     --json writes machine-readable per-case
@@ -39,7 +40,7 @@ usage:
                                     sweeps the full small-history universe
                                     instead (Figure 5 models, with memoized
                                     + lattice-propagated verdicts)
-  smc matrix <file> [--jobs N] [--stats]
+  smc matrix <file> [--jobs N] [--stats] [--cutover N]
                                     classification matrix for a suite
   smc explore <file> --memory NAME [--check] [--model NAME] [--jobs N]
                                     enumerate every history a machine
@@ -50,6 +51,7 @@ usage:
   smc separate <model-a> <model-b> [--jobs N] [--max-universe SPEC]
             [--json PATH] [--memo-file PATH] [--emit-dir DIR]
             [--no-minimize] [--scheduler stealing|static]
+            [--cutover N]
                                     search universes of increasing size for
                                     minimized witness histories one model
                                     admits and the other refutes;
@@ -60,7 +62,7 @@ usage:
   smc separate --all [...]          sweep every unlabeled model pair and
                                     report the full witness table
   smc monitor [<file>|-] [--model NAME] [--jobs N] [--stats]
-            [--json PATH] [--max-states N]
+            [--json PATH] [--max-states N] [--cutover N]
                                     stream a trace (stdin when `-` or no
                                     file) through the incremental admission
                                     monitor; malformed lines warn with
@@ -86,6 +88,11 @@ usage:
 reported in the same order as sequential checking). With more workers
 than (history, model) pairs, the workers move inside each check: the
 work-stealing scheduler splits the extension search itself.
+
+--cutover N bounds the sequential probe a parallel check (--jobs > 1)
+runs before spawning workers: if the probe decides within N search
+nodes the check never pays thread or shared-pool setup (default 4096;
+0 always fans out immediately).
 
 memories for --memory: sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybrid";
 
@@ -189,6 +196,26 @@ fn render_stats(stats: &CheckStats) -> String {
     if stats.rf_truncated {
         s.push_str(", rf truncated");
     }
+    // Cutover decision: `ran_sequential` means the check answered without
+    // spawning workers (jobs 1, or the bounded probe decided). A non-zero
+    // probe count without it means the probe exhausted and workers were
+    // spawned anyway. Plain sequential runs take no cutover decision, so
+    // print nothing for them.
+    if stats.ran_sequential {
+        if stats.probe_nodes > 0 {
+            s.push_str(&format!(
+                ", ran sequential (cutover probe: {} nodes)",
+                stats.probe_nodes
+            ));
+        } else {
+            s.push_str(", ran sequential");
+        }
+    } else if stats.probe_nodes > 0 {
+        s.push_str(&format!(
+            ", cutover probe exhausted ({} nodes), fanned out",
+            stats.probe_nodes
+        ));
+    }
     // Failed-set counters only mean something when the work-stealing
     // scheduler actually ran; the static and sequential paths never
     // touch the set, and printing their zeros would imply it did.
@@ -235,6 +262,20 @@ fn check_suite(
             .collect();
     }
     check_batch(&pairs, cfg, jobs)
+}
+
+/// Parse `--cutover N` (default: `CheckConfig`'s probe budget). 0 means
+/// parallel checks fan out immediately, skipping the sequential probe.
+fn cutover_flag(args: &[String], default: u64) -> Result<u64, String> {
+    match flag_value(args, "--cutover") {
+        None if args.iter().any(|a| a == "--cutover") => {
+            Err("--cutover requires a value".to_string())
+        }
+        None => Ok(default),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("--cutover: `{v}` is not a non-negative integer")),
+    }
 }
 
 /// Parse `--scheduler stealing|static` (default stealing).
@@ -287,6 +328,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         scheduler: scheduler_flag(args)?,
         ..CheckConfig::default()
     };
+    cfg.parallel_cutover = cutover_flag(args, cfg.parallel_cutover)?;
     if memo_file.is_some() {
         cfg = cfg.with_memo();
     }
@@ -370,12 +412,14 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
     let jobs = jobs_flag(args)?;
     let show_stats = args.iter().any(|a| a == "--stats");
     let json_path = flag_value(args, "--json");
+    let cutover = cutover_flag(args, CheckConfig::default().parallel_cutover)?;
     if args.iter().any(|a| a == "--exhaustive") {
-        return corpus_exhaustive(jobs, show_stats, json_path);
+        return corpus_exhaustive(jobs, show_stats, json_path, cutover);
     }
     // Decided verdicts are renaming-invariant, so the memo is safe here:
     // expectations compare only allowed/forbidden, never the witness.
-    let cfg = CheckConfig::default().with_memo();
+    let mut cfg = CheckConfig::default().with_memo();
+    cfg.parallel_cutover = cutover;
     let memo = cfg.memo.clone().expect("with_memo attaches a cache");
     let memo_file = flag_value(args, "--memo-file");
     memo_file_load(&cfg, memo_file);
@@ -401,6 +445,8 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
                         .num("rf_tried", r.stats.rf_assignments_tried as u64)
                         .num("wall_us", r.stats.wall.as_micros() as u64)
                         .bool("memo_hit", r.stats.memo_hit)
+                        .bool("ran_sequential", r.stats.ran_sequential)
+                        .num("probe_nodes", r.stats.probe_nodes)
                         .finish(),
                 );
             }
@@ -483,6 +529,7 @@ fn corpus_exhaustive(
     jobs: usize,
     show_stats: bool,
     json_path: Option<&str>,
+    cutover: u64,
 ) -> Result<ExitCode, String> {
     let params = smc_core::histgen::GenParams {
         procs: 2,
@@ -492,7 +539,8 @@ fn corpus_exhaustive(
     };
     let corpus = smc_core::histgen::all_histories(&params);
     let model_list = models::figure5_models();
-    let cfg = CheckConfig::default().with_memo();
+    let mut cfg = CheckConfig::default().with_memo();
+    cfg.parallel_cutover = cutover;
     let memo = cfg.memo.clone().expect("with_memo attaches a cache");
     let (classifications, prop) =
         smc_core::lattice::classify_all_propagating(&corpus, &model_list, &cfg, jobs);
@@ -577,11 +625,12 @@ fn cmd_matrix(args: &[String]) -> Result<ExitCode, String> {
     let show_stats = args.iter().any(|a| a == "--stats");
     let suite = load(path)?;
     let model_list = models::all_models();
-    let cfg = if show_stats {
+    let mut cfg = if show_stats {
         CheckConfig::default().with_memo()
     } else {
         CheckConfig::default()
     };
+    cfg.parallel_cutover = cutover_flag(args, cfg.parallel_cutover)?;
     let results = check_suite(&suite, &model_list, &cfg, jobs);
     let name_w = suite.iter().map(|t| t.name.len()).max().unwrap_or(7).max(7);
     print!("{:<name_w$}", "history");
@@ -790,13 +839,14 @@ fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
     // `positional` treats the word after any `--flag` as its value, which
     // would swallow a model name after the boolean `--all`/`--no-minimize`;
     // collect positionals against the explicit value-flag list instead.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--jobs",
         "--max-universe",
         "--json",
         "--memo-file",
         "--emit-dir",
         "--scheduler",
+        "--cutover",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
     let all = args.iter().any(|a| a == "--all");
@@ -828,11 +878,12 @@ fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
     let memo_file = flag_value(args, "--memo-file");
     let minimize = !args.iter().any(|a| a == "--no-minimize");
     let emit_dir = flag_value(args, "--emit-dir");
-    let cfg = CheckConfig {
+    let mut cfg = CheckConfig {
         scheduler: scheduler_flag(args)?,
         ..CheckConfig::default()
     }
     .with_memo();
+    cfg.parallel_cutover = cutover_flag(args, cfg.parallel_cutover)?;
     memo_file_load(&cfg, memo_file);
 
     let t0 = std::time::Instant::now();
@@ -1063,7 +1114,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
     use smc_monitor::{Monitor, MonitorConfig, TriVerdict};
     use std::io::BufRead;
 
-    const VALUE_FLAGS: [&str; 4] = ["--model", "--jobs", "--json", "--max-states"];
+    const VALUE_FLAGS: [&str; 5] = ["--model", "--jobs", "--json", "--max-states", "--cutover"];
     let pos = positionals_with(args, &VALUE_FLAGS);
     let jobs = jobs_flag(args)?;
     let show_stats = args.iter().any(|a| a == "--stats");
@@ -1087,6 +1138,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         ..MonitorConfig::default()
     };
     cfg.max_frontier_states = num_flag(args, "--max-states", cfg.max_frontier_states)?;
+    cfg.check.parallel_cutover = cutover_flag(args, cfg.check.parallel_cutover)?;
     let mut mon = Monitor::new(model_list.clone(), cfg);
 
     let path = pos.first().copied().unwrap_or("-");

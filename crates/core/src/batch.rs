@@ -25,7 +25,7 @@
 //! `Disallowed`, and every `Allowed` carries a witness that
 //! [`crate::verify::verify_witness`] accepts.
 
-use crate::budget::SharedBudget;
+use crate::budget::{Budget, SharedBudget};
 use crate::canon::canonicalize;
 use crate::checker::{
     check_with_budget, check_with_rf, check_with_stats, check_with_store_order, proc_constraints,
@@ -181,10 +181,17 @@ pub fn check_parallel(
     cfg: &CheckConfig,
     jobs: usize,
 ) -> (Verdict, CheckStats) {
+    // Worker-count sanity: like `check_batch`'s `jobs.min(pairs.len())`
+    // clamp above, every fan-out below caps its thread count by the work
+    // actually available (reads-from assignments, processors, store
+    // orders, view operations), so an oversubscribed `--jobs` never
+    // spawns workers that only pay pool/cancel setup.
     let jobs = jobs.max(1);
     if jobs == 1 {
         // The sequential checker consults the memo itself.
-        return check_with_stats(h, spec, cfg);
+        let (verdict, mut stats) = check_with_stats(h, spec, cfg);
+        stats.ran_sequential = !stats.memo_hit;
+        return (verdict, stats);
     }
     // Memoized path: consult and update the cache here, and run the
     // parallel engine below with the memo detached so the inner
@@ -221,6 +228,46 @@ fn check_parallel_inner(
         return (Verdict::Unsupported(e), CheckStats::default());
     }
     let start = Instant::now();
+    // Adaptive sequential cutover: most instances (every litmus-sized
+    // one) decide in far fewer nodes than the fixed cost of spawning
+    // workers and zeroing a shared failed-state set is worth, so run a
+    // budget-bounded sequential probe first and fan out only if it
+    // exhausts. The probe explores exactly like `--jobs 1`, so a probe
+    // decision (verdict and witness) is bit-identical to the sequential
+    // checker's; on fall-through the wasted work is bounded by
+    // `cfg.parallel_cutover` nodes.
+    if cfg.parallel_cutover > 0 {
+        let probe_budget = cfg.parallel_cutover.min(cfg.node_budget);
+        let probe = Budget::local(probe_budget);
+        let (verdict, mut stats) = check_with_budget(h, spec, cfg, &probe);
+        stats.probe_nodes = probe.spent();
+        if !matches!(verdict, Verdict::Exhausted) || probe_budget >= cfg.node_budget {
+            // Decided — or the probe already had the full node budget,
+            // in which case a parallel re-run could only re-cover the
+            // same exhausted space.
+            stats.ran_sequential = true;
+            return finish(verdict, stats, start);
+        }
+        let probe_nodes = probe.spent();
+        let (verdict, mut stats) = fan_out(h, spec, cfg, jobs, start);
+        stats.probe_nodes = probe_nodes;
+        stats.nodes_spent += probe_nodes;
+        stats.wall = start.elapsed();
+        return (verdict, stats);
+    }
+    fan_out(h, spec, cfg, jobs, start)
+}
+
+/// The parallel dispatch proper: pick a fan-out strategy from the
+/// model's shape and run it. Reached only when the cutover probe is
+/// disabled or has exhausted its node budget.
+fn fan_out(
+    h: &History,
+    spec: &ModelSpec,
+    cfg: &CheckConfig,
+    jobs: usize,
+    start: Instant,
+) -> (Verdict, CheckStats) {
     let base = BaseOrders::new(h);
 
     let (verdict, mut stats) = if spec.needs_reads_from() {

@@ -70,6 +70,16 @@ pub struct CheckConfig {
     /// work-stealing check allocates; see
     /// [`crate::steal::SharedFailedSet`].
     pub failed_set_capacity: usize,
+    /// Adaptive-cutover threshold for [`crate::batch::check_parallel`]:
+    /// before spawning any workers, a bounded sequential probe runs under
+    /// a budget of this many search nodes. If the probe decides, the
+    /// check is over — litmus-sized instances never pay thread-spawn or
+    /// shared-pool setup, so `--jobs 4` is never slower than `--jobs 1`
+    /// beyond noise. Only when the probe exhausts its budget does the
+    /// check fan out, and the wasted work is bounded by this threshold
+    /// (the Cilk rule: never parallelize below a measured work
+    /// threshold). `0` disables the probe and always fans out.
+    pub parallel_cutover: u64,
 }
 
 /// The engine [`crate::batch::check_parallel`] uses to split a single
@@ -98,6 +108,11 @@ impl Default for CheckConfig {
             store_order_cap: 16_384,
             scheduler: SchedulerKind::WorkStealing,
             failed_set_capacity: crate::steal::DEFAULT_FAILED_CAPACITY,
+            // ~1.2ms of sequential probing at measured search rates — a
+            // few times the thread-spawn + failed-set setup cost it can
+            // save, while the corpus's litmus-sized checks (tens to a few
+            // thousand nodes) always decide inside the probe.
+            parallel_cutover: 4096,
         }
     }
 }
@@ -166,6 +181,18 @@ pub struct CheckStats {
     /// Counters of the shared failed-state set, when the check ran under
     /// the work-stealing scheduler (all zero otherwise).
     pub failed_set: crate::steal::FailedSetStats,
+    /// `true` if [`crate::batch::check_parallel`] answered without
+    /// spawning workers: the `jobs == 1` path, or the adaptive cutover's
+    /// sequential probe deciding within
+    /// [`CheckConfig::parallel_cutover`] nodes. Mirrors the
+    /// [`CheckStats::work_stealing_ran`] gating: `false` from a plain
+    /// sequential entry point ([`check_with_stats`]) or a memo hit means
+    /// "no cutover decision was taken", not "workers ran".
+    pub ran_sequential: bool,
+    /// Search nodes the cutover probe spent before deciding (counted in
+    /// [`CheckStats::nodes_spent`] too), or before giving up and fanning
+    /// out. Zero when no probe ran.
+    pub probe_nodes: u64,
 }
 
 /// A certificate that a history is admitted: the per-processor views plus

@@ -51,8 +51,9 @@
 //! unsound here: a read that can never again be scheduled *today* may be
 //! rescued by a write that arrives tomorrow.
 
+use crate::kernel::{get_u32, hash_words, set_u32, StateSpace};
 use smc_history::{Location, OpKind, ProcId, Value};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One view-relevant operation, as the engine sees it (processor and
 /// program-order position are implied by how it is appended).
@@ -97,43 +98,34 @@ impl AppendReport {
     }
 }
 
-/// 64-bit fingerprint of a `(counts, values)` state (FNV-1a with a
-/// murmur-style finalizer, mirroring [`crate::view`]'s state hash).
-fn hash_state(counts: &[u32], values: &[i64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &c in counts {
-        h = (h ^ u64::from(c)).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    for &v in values {
-        h = (h ^ v as u64).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    h ^= h >> 33;
-    h
-}
-
 /// The resumable search: all reachable scheduling states of one view,
 /// extendable one operation at a time. See the module docs for the
 /// invariants.
+///
+/// States live in a [`StateSpace`] arena from the shared kernel: one
+/// fixed-stride packed `u64` row per state — the `counts` packed two per
+/// word, then one word per location value — deduplicated exactly via
+/// [`hash_words`] buckets. A scheduling transition copies the source row
+/// into a reusable scratch buffer and edits it in place, so the steady
+/// state allocates nothing per transition.
 pub struct FrontierEngine {
     num_procs: usize,
-    num_locs: usize,
     max_states: usize,
     /// Per processor, its view-relevant operations in program order.
     seqs: Vec<Vec<ViewOp>>,
-    /// State arena: `counts` has stride `num_procs`, `values` stride
-    /// `num_locs`; state `s` owns rows `s` of both.
-    counts: Vec<u32>,
-    values: Vec<i64>,
-    /// Exact dedup: hash → state ids, compared in full on probe.
-    buckets: HashMap<u64, Vec<u32>>,
+    /// Packed state arena + exact dedup. Row layout: `counts` in words
+    /// `0..counts_words` (two per word), `values[l]` in word
+    /// `counts_words + l` (the `i64` value's bits).
+    space: StateSpace,
+    /// Words occupied by the packed counts: `num_procs.div_ceil(2)`.
+    counts_words: usize,
+    /// Successor-row scratch, reused across transitions.
+    scratch: Vec<u64>,
     /// `waiting[p][i]` — ids of all states with `counts[p] == i`, the
     /// seeds for `p`'s `i`-th appended operation.
     waiting: Vec<Vec<Vec<u32>>>,
     /// Reachable states that schedule everything appended so far.
     num_complete: usize,
-    num_states: usize,
     exhausted: bool,
     stats: FrontierStats,
 }
@@ -143,27 +135,28 @@ impl FrontierEngine {
     /// `num_locs` locations, giving up (soundly reporting "unknown")
     /// once more than `max_states` reachable states exist.
     pub fn new(num_procs: usize, num_locs: usize, max_states: usize) -> Self {
+        let counts_words = num_procs.div_ceil(2);
         let mut e = FrontierEngine {
             num_procs,
-            num_locs,
             max_states: max_states.max(1),
             seqs: vec![Vec::new(); num_procs],
-            counts: Vec::new(),
-            values: Vec::new(),
-            buckets: HashMap::new(),
+            space: StateSpace::new(counts_words + num_locs),
+            counts_words,
+            scratch: Vec::new(),
             waiting: vec![vec![Vec::new()]; num_procs],
             num_complete: 0,
-            num_states: 0,
             exhausted: false,
             stats: FrontierStats::default(),
         };
         // The root state: nothing scheduled, all locations initial. It
         // is complete for the empty view (every model admits the empty
         // history).
-        let root_counts = vec![0u32; num_procs];
-        let root_values = vec![Value::INITIAL.0; num_locs];
-        let h = hash_state(&root_counts, &root_values);
-        e.insert(h, root_counts, root_values);
+        e.scratch = vec![0u64; e.space.stride()];
+        for l in 0..num_locs {
+            e.scratch[counts_words + l] = Value::INITIAL.0 as u64;
+        }
+        let h = hash_words(0, &e.scratch);
+        e.insert_scratch(h);
         e
     }
 
@@ -174,7 +167,7 @@ impl FrontierEngine {
 
     /// Reachable states currently stored.
     pub fn num_states(&self) -> usize {
-        self.num_states
+        self.space.len()
     }
 
     /// Lifetime counters.
@@ -198,42 +191,25 @@ impl FrontierEngine {
         }
     }
 
-    fn counts_of(&self, sid: u32) -> &[u32] {
-        let s = sid as usize * self.num_procs;
-        &self.counts[s..s + self.num_procs]
+    /// Scheduled-prefix length of processor `q` in state `sid`.
+    #[inline]
+    fn count_of(&self, sid: u32, q: usize) -> u32 {
+        get_u32(self.space.row(sid), q)
     }
 
-    fn values_of(&self, sid: u32) -> &[i64] {
-        let s = sid as usize * self.num_locs;
-        &self.values[s..s + self.num_locs]
-    }
-
-    fn lookup(&self, hash: u64, counts: &[u32], values: &[i64]) -> Option<u32> {
-        self.buckets
-            .get(&hash)?
-            .iter()
-            .copied()
-            .find(|&sid| self.counts_of(sid) == counts && self.values_of(sid) == values)
-    }
-
-    /// Store a new state and register it everywhere. The caller has
-    /// checked it is not a duplicate.
-    fn insert(&mut self, hash: u64, counts: Vec<u32>, values: Vec<i64>) -> u32 {
-        let sid = self.num_states as u32;
-        self.num_states += 1;
-        if counts
-            .iter()
-            .enumerate()
-            .all(|(q, &c)| c as usize == self.seqs[q].len())
-        {
-            self.num_complete += 1;
-        }
-        for (q, &c) in counts.iter().enumerate() {
+    /// Store the scratch row as a new state and register it everywhere.
+    /// The caller has checked it is not a duplicate.
+    fn insert_scratch(&mut self, hash: u64) -> u32 {
+        let sid = self.space.insert_new(hash, &self.scratch);
+        let mut complete = true;
+        for q in 0..self.num_procs {
+            let c = get_u32(&self.scratch, q);
+            complete &= c as usize == self.seqs[q].len();
             self.waiting[q][c as usize].push(sid);
         }
-        self.counts.extend_from_slice(&counts);
-        self.values.extend_from_slice(&values);
-        self.buckets.entry(hash).or_default().push(sid);
+        if complete {
+            self.num_complete += 1;
+        }
         self.stats.states += 1;
         sid
     }
@@ -248,29 +224,32 @@ impl FrontierEngine {
         queue: &mut VecDeque<u32>,
         report: &mut AppendReport,
     ) {
-        let i = self.counts_of(sid)[q] as usize;
+        let i = self.count_of(sid, q) as usize;
         let op = self.seqs[q][i];
-        let loc = op.loc.index();
-        if op.kind.is_read() && Value(self.values_of(sid)[loc]) != op.value {
+        let loc = self.counts_words + op.loc.index();
+        let row = self.space.row(sid);
+        if op.kind.is_read() && Value(row[loc] as i64) != op.value {
             return;
         }
-        let mut counts = self.counts_of(sid).to_vec();
-        counts[q] += 1;
-        let mut values = self.values_of(sid).to_vec();
+        // Successor row, in place: bump q's count; a write updates the
+        // location's value word.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(row);
+        set_u32(&mut self.scratch, q, i as u32 + 1);
         if op.kind.is_write() {
-            values[loc] = op.value.0;
+            self.scratch[loc] = op.value.0 as u64;
         }
-        let hash = hash_state(&counts, &values);
-        if self.lookup(hash, &counts, &values).is_some() {
+        let hash = hash_words(0, &self.scratch);
+        if self.space.find(hash, &self.scratch).is_some() {
             report.reuse_hits += 1;
             self.stats.reuse_hits += 1;
             return;
         }
-        if self.num_states() >= self.max_states {
+        if self.space.len() >= self.max_states {
             self.exhausted = true;
             return;
         }
-        let new_sid = self.insert(hash, counts, values);
+        let new_sid = self.insert_scratch(hash);
         queue.push_back(new_sid);
         report.created += 1;
     }
@@ -313,7 +292,7 @@ impl FrontierEngine {
             report.expanded += 1;
             self.stats.expanded += 1;
             for q in 0..self.num_procs {
-                if (self.counts_of(sid)[q] as usize) < self.seqs[q].len() {
+                if (self.count_of(sid, q) as usize) < self.seqs[q].len() {
                     self.try_schedule(sid, q, &mut queue, &mut report);
                     if self.exhausted {
                         return report;

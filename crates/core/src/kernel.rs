@@ -1,0 +1,483 @@
+//! The shared state-space kernel behind every explorer in this crate.
+//!
+//! Three engines walk the *same* state space — a view's scheduling state
+//! is fully captured by `(scheduled set, last write per location)`:
+//!
+//! * the sequential view-existence DFS ([`crate::view`]),
+//! * the work-stealing parallel engine ([`crate::steal`]), and
+//! * the incremental frontier closure ([`crate::frontier`]) that powers
+//!   the streaming monitor.
+//!
+//! Before this module each engine carried its own copy of the successor
+//! scan and its own ad-hoc state table (`HashSet`s of cloned bit sets,
+//! per-state `Vec` snapshots). The kernel centralizes:
+//!
+//! * [`Ctx`] — the preprocessed scheduling context, with
+//!   [`Ctx::next_ready`] as the *single* successor-generation function
+//!   every engine drives (so a scheduling-rule change lands in all of
+//!   them at once), plus [`Ctx::apply`]/[`Ctx::undo`] for in-place
+//!   state transitions;
+//! * [`StateSpace`] — a compact, arena-allocated set of visited states:
+//!   fixed-stride rows of packed `u64` words in one flat allocation,
+//!   deduplicated exactly via hash buckets (the hash preselects, the
+//!   packed row comparison decides);
+//! * the packing helpers ([`pack_state`], [`get_u32`], [`set_u32`]) and
+//!   hashes ([`state_hash`], [`hash_words`]) shared by the tables.
+
+use crate::view::{LegalityMode, ViewProblem};
+use smc_history::{OpId, Value};
+use smc_relation::{BitSet, Relation};
+use std::collections::HashMap;
+
+/// Sentinel for "no write to this location has been scheduled yet".
+pub(crate) const NO_WRITE: u32 = u32::MAX;
+
+/// Preprocessed per-view scheduling context: local indexing, predecessor
+/// masks copied out of the constraint relation, and read/location
+/// metadata. Everything a DFS (recursive or explicit-stack) or a
+/// breadth-first closure needs; the source `ViewProblem`'s constraint
+/// relation may be dropped once the context is built, which is what lets
+/// [`crate::steal`] keep many contexts alive at once.
+pub(crate) struct Ctx<'a> {
+    /// Global op index per local index, ascending.
+    pub(crate) elems: Vec<usize>,
+    h: &'a smc_history::History,
+    /// Local predecessor masks.
+    pub(crate) preds: Vec<BitSet>,
+    legality: LegalityMode<'a>,
+    /// Local indices of reads, for dead-state scans.
+    reads: Vec<usize>,
+    pub(crate) num_locs: usize,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(p: &ViewProblem<'a>) -> Self {
+        Ctx::from_parts(p.history, &p.ops, p.constraints, p.legality)
+    }
+
+    /// Build a context directly from the problem's parts. Unlike
+    /// `ViewProblem`, the constraint relation is not tied to `'a`: it is
+    /// fully copied into the predecessor masks, so a caller may build it
+    /// in a short-lived scope (one relation per store order, say).
+    pub(crate) fn from_parts(
+        history: &'a smc_history::History,
+        ops: &BitSet,
+        constraints: &Relation,
+        legality: LegalityMode<'a>,
+    ) -> Self {
+        let elems: Vec<usize> = ops.iter().collect();
+        let m = elems.len();
+        let mut local_of = vec![usize::MAX; history.num_ops()];
+        for (i, &e) in elems.iter().enumerate() {
+            local_of[e] = i;
+        }
+        let mut preds: Vec<BitSet> = (0..m).map(|_| BitSet::new(m)).collect();
+        for (i, &e) in elems.iter().enumerate() {
+            for s in constraints.successors(e).iter() {
+                let j = local_of[s];
+                if j != usize::MAX && j != i {
+                    preds[j].insert(i);
+                }
+            }
+        }
+        let reads = (0..m)
+            .filter(|&i| history.ops()[elems[i]].is_read())
+            .collect();
+        Ctx {
+            elems,
+            h: history,
+            preds,
+            legality,
+            reads,
+            num_locs: history.num_locs(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn op(&self, local: usize) -> &smc_history::Operation {
+        &self.h.ops()[self.elems[local]]
+    }
+
+    /// The single successor-generation function: the lowest ready local
+    /// index `>= from`, where *ready* means unscheduled, with all
+    /// predecessors scheduled, and currently legal to schedule. Every
+    /// engine enumerates successors by calling this with an advancing
+    /// cursor, so the scheduling rule lives in exactly one place.
+    #[inline]
+    pub(crate) fn next_ready(
+        &self,
+        placed: &BitSet,
+        last_write: &[u32],
+        from: usize,
+    ) -> Option<usize> {
+        (from..self.elems.len()).find(|&i| {
+            !placed.contains(i)
+                && self.preds[i].is_subset(placed)
+                && self.schedulable(i, last_write)
+        })
+    }
+
+    /// Schedule `local` in place. Returns the displaced last-write slot
+    /// for the location so [`Ctx::undo`] can restore it.
+    #[inline]
+    pub(crate) fn apply(&self, local: usize, placed: &mut BitSet, last_write: &mut [u32]) -> u32 {
+        let o = self.op(local);
+        let slot = o.loc.index();
+        let saved = last_write[slot];
+        if o.is_write() {
+            last_write[slot] = local as u32;
+        }
+        placed.insert(local);
+        saved
+    }
+
+    /// Undo a matching [`Ctx::apply`] (LIFO order).
+    #[inline]
+    pub(crate) fn undo(
+        &self,
+        local: usize,
+        saved: u32,
+        placed: &mut BitSet,
+        last_write: &mut [u32],
+    ) {
+        placed.remove(local);
+        let o = self.op(local);
+        if o.is_write() {
+            last_write[o.loc.index()] = saved;
+        }
+    }
+
+    /// May `local` be scheduled now, given the per-location last writes?
+    pub(crate) fn schedulable(&self, local: usize, last_write: &[u32]) -> bool {
+        let o = self.op(local);
+        if o.is_write() {
+            return true;
+        }
+        let lw = last_write[o.loc.index()];
+        match self.legality {
+            LegalityMode::ByValue => {
+                if lw == NO_WRITE {
+                    o.value == Value::INITIAL
+                } else {
+                    self.op(lw as usize).value == o.value
+                }
+            }
+            LegalityMode::ByReadsFrom(rf) => match rf.source(OpId(self.elems[local] as u32)) {
+                None => lw == NO_WRITE,
+                Some(src) => lw != NO_WRITE && self.elems[lw as usize] == src.index(),
+            },
+        }
+    }
+
+    /// `true` if some unscheduled read can never become schedulable.
+    pub(crate) fn dead(&self, placed: &BitSet, last_write: &[u32]) -> bool {
+        for &r in &self.reads {
+            if placed.contains(r) {
+                continue;
+            }
+            let o = self.op(r);
+            let lw = last_write[o.loc.index()];
+            match self.legality {
+                LegalityMode::ByReadsFrom(rf) => {
+                    match rf.source(OpId(self.elems[r] as u32)) {
+                        None => {
+                            // Needs the initial state: dead once any write
+                            // to the location has been scheduled.
+                            if lw != NO_WRITE {
+                                return true;
+                            }
+                        }
+                        Some(src) => {
+                            // Dead if the source has been scheduled but is
+                            // no longer the most recent write.
+                            if let Some(src_local) = self.local_of_global(src.index(), placed) {
+                                if lw != src_local as u32 {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+                LegalityMode::ByValue => {
+                    // Dead if the current value mismatches and no pending
+                    // write can ever produce the needed value.
+                    let current_ok = if lw == NO_WRITE {
+                        o.value == Value::INITIAL
+                    } else {
+                        self.op(lw as usize).value == o.value
+                    };
+                    if !current_ok {
+                        let rescue = (0..self.elems.len()).any(|i| {
+                            !placed.contains(i) && {
+                                let c = self.op(i);
+                                c.is_write() && c.loc == o.loc && c.value == o.value
+                            }
+                        });
+                        if !rescue {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Local index of a scheduled global op, if it is scheduled.
+    fn local_of_global(&self, global: usize, placed: &BitSet) -> Option<usize> {
+        // elems is ascending, so binary search.
+        match self.elems.binary_search(&global) {
+            Ok(local) if placed.contains(local) => Some(local),
+            _ => None,
+        }
+    }
+
+    /// Packed-row width (in `u64` words) of one `(scheduled set, last
+    /// writes)` state of this context, as produced by [`pack_state`].
+    pub(crate) fn packed_stride(&self) -> usize {
+        BitSet::new(self.elems.len()).words().len() + self.num_locs.div_ceil(2)
+    }
+}
+
+/// 64-bit fingerprint of a search state `(scheduled set, last writes)`,
+/// salted so states from different search problems sharing one table
+/// never alias. FNV-1a over the bit-set words and last-write vector with
+/// a murmur-style finalizer so both the high bits (shard selection) and
+/// low bits (slot selection) are well mixed. Never returns `0`, which
+/// the concurrent table reserves for empty slots.
+pub(crate) fn state_hash(salt: u64, placed: &BitSet, last_write: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for &w in placed.words() {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for &lw in last_write {
+        h = (h ^ u64::from(lw)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    finalize(h)
+}
+
+/// [`state_hash`]'s sibling over an already-packed row of `u64` words
+/// (same FNV-1a core and finalizer, same never-zero guarantee). Used by
+/// the packed tables, where the row *is* the canonical state.
+pub fn hash_words(salt: u64, words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for &w in words {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    finalize(h)
+}
+
+#[inline]
+fn finalize(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    if h == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        h
+    }
+}
+
+/// Read the `idx`-th `u32` of a row that packs two per `u64` word
+/// (low half first).
+#[inline]
+pub fn get_u32(words: &[u64], idx: usize) -> u32 {
+    (words[idx / 2] >> ((idx % 2) * 32)) as u32
+}
+
+/// Write the `idx`-th `u32` of a packed row (see [`get_u32`]).
+#[inline]
+pub fn set_u32(words: &mut [u64], idx: usize, v: u32) {
+    let shift = (idx % 2) * 32;
+    let w = &mut words[idx / 2];
+    *w = (*w & !(0xffff_ffff_u64 << shift)) | (u64::from(v) << shift);
+}
+
+/// Serialize a `(scheduled set, last writes)` state into `dst` as packed
+/// `u64` words: the bit-set words verbatim, then the last-write `u32`s
+/// two per word. The layout is canonical — equal states produce equal
+/// rows — so packed rows compare with `==` and hash with
+/// [`hash_words`].
+pub(crate) fn pack_state(dst: &mut Vec<u64>, placed: &BitSet, last_write: &[u32]) {
+    dst.clear();
+    dst.extend_from_slice(placed.words());
+    let base = dst.len();
+    dst.resize(base + last_write.len().div_ceil(2), 0);
+    for (i, &lw) in last_write.iter().enumerate() {
+        set_u32(&mut dst[base..], i, lw);
+    }
+}
+
+/// A compact, arena-allocated set of visited states.
+///
+/// Every state is one fixed-stride row of packed `u64` words, stored
+/// back-to-back in a single flat `Vec` — no per-state allocation, no
+/// cloned keys. Deduplication is *exact*: a `HashMap` from 64-bit state
+/// hash to the (almost always singleton) list of row ids with that hash
+/// preselects candidates, and the full row comparison decides. Row ids
+/// are dense `u32`s in insertion order, so callers can attach parallel
+/// per-state side tables (worklists, seed lists) indexed by id.
+///
+/// A `stride` of zero is legal and means every state is the empty row:
+/// the table then deduplicates everything to at most one state.
+#[derive(Debug, Default, Clone)]
+pub struct StateSpace {
+    stride: usize,
+    words: Vec<u64>,
+    buckets: HashMap<u64, Vec<u32>>,
+    len: usize,
+}
+
+impl StateSpace {
+    /// An empty table whose rows are `stride` words wide.
+    pub fn new(stride: usize) -> Self {
+        StateSpace {
+            stride,
+            words: Vec::new(),
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Row width in `u64` words.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of distinct states stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no state has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed row of state `id`.
+    pub fn row(&self, id: u32) -> &[u64] {
+        let start = id as usize * self.stride;
+        &self.words[start..start + self.stride]
+    }
+
+    /// Is any state stored under this hash? A cheap pre-test that lets
+    /// callers skip packing the probe row on the (common) miss path.
+    pub fn has_bucket(&self, hash: u64) -> bool {
+        self.buckets.contains_key(&hash)
+    }
+
+    /// Id of the state equal to `row`, if present. `hash` must be
+    /// `hash_words(salt, row)` under the caller's fixed salt.
+    pub fn find(&self, hash: u64, row: &[u64]) -> Option<u32> {
+        debug_assert_eq!(row.len(), self.stride);
+        self.buckets
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| self.row(id) == row)
+    }
+
+    /// Append `row` as a new state and return its id. The caller has
+    /// already established absence via [`StateSpace::find`].
+    pub fn insert_new(&mut self, hash: u64, row: &[u64]) -> u32 {
+        debug_assert_eq!(row.len(), self.stride);
+        debug_assert!(self.find(hash, row).is_none());
+        let id = u32::try_from(self.len).expect("state space overflow");
+        self.words.extend_from_slice(row);
+        self.buckets.entry(hash).or_default().push(id);
+        self.len += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_packing_round_trips() {
+        let mut words = vec![0u64; 3];
+        let vals = [7u32, NO_WRITE, 0, 0xdead_beef, 42];
+        for (i, &v) in vals.iter().enumerate() {
+            set_u32(&mut words, i, v);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(get_u32(&words, i), v);
+        }
+        // Overwriting one half leaves its neighbor intact.
+        set_u32(&mut words, 2, 99);
+        assert_eq!(get_u32(&words, 3), 0xdead_beef);
+        assert_eq!(get_u32(&words, 2), 99);
+    }
+
+    #[test]
+    fn pack_state_is_canonical() {
+        let mut a = BitSet::new(70);
+        a.insert(3);
+        a.insert(69);
+        let lw = [NO_WRITE, 5, 0];
+        let (mut r1, mut r2) = (Vec::new(), Vec::new());
+        pack_state(&mut r1, &a, &lw);
+        pack_state(&mut r2, &a.clone(), &lw);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.len(), a.words().len() + 2);
+        // Any component change changes the row.
+        let mut b = a.clone();
+        b.insert(0);
+        pack_state(&mut r2, &b, &lw);
+        assert_ne!(r1, r2);
+        pack_state(&mut r2, &a, &[NO_WRITE, 5, 1]);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn state_space_dedups_exactly() {
+        let mut s = StateSpace::new(2);
+        let rows: [&[u64]; 3] = [&[1, 2], &[1, 3], &[0, 2]];
+        let mut ids = Vec::new();
+        for r in rows {
+            let h = hash_words(0, r);
+            assert_eq!(s.find(h, r), None);
+            ids.push(s.insert_new(h, r));
+        }
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(s.len(), 3);
+        for (id, r) in ids.iter().zip(rows) {
+            assert_eq!(s.row(*id), r);
+            assert_eq!(s.find(hash_words(0, r), r), Some(*id));
+        }
+        // Colliding hashes still compare rows exactly.
+        let a: &[u64] = &[9, 9];
+        let b: &[u64] = &[9, 8];
+        let h = hash_words(0, a);
+        let id = s.insert_new(h, a);
+        assert_eq!(s.find(h, b), None);
+        assert_eq!(s.find(h, a), Some(id));
+    }
+
+    #[test]
+    fn zero_stride_collapses_to_one_state() {
+        let mut s = StateSpace::new(0);
+        let h = hash_words(0, &[]);
+        assert!(s.is_empty());
+        assert_eq!(s.find(h, &[]), None);
+        let id = s.insert_new(h, &[]);
+        assert_eq!(s.find(h, &[]), Some(id));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn hashes_never_zero_and_salt_separates() {
+        assert_ne!(hash_words(0, &[]), 0);
+        assert_ne!(hash_words(0, &[0, 0, 0]), 0);
+        assert_ne!(hash_words(1, &[7]), hash_words(2, &[7]));
+        let mut p = BitSet::new(4);
+        p.insert(1);
+        let lw = [NO_WRITE, 0];
+        assert_ne!(state_hash(0, &p, &lw), 0);
+        assert_ne!(state_hash(1, &p, &lw), state_hash(2, &p, &lw));
+    }
+}

@@ -20,6 +20,9 @@
 //!   collide).
 //! * [`coherence`] — per-location write orders and their enumeration.
 //! * [`view`] — the legal-extension search for a single view.
+//! * [`kernel`] — the shared state-space kernel under `view`, `steal`
+//!   and `frontier`: one successor-generation function and a packed,
+//!   arena-allocated visited-state table.
 //! * [`frontier`] — the same question as a resumable state machine: all
 //!   reachable scheduling states of a view, extendable one operation at
 //!   a time (the streaming monitor's engine).
@@ -70,6 +73,7 @@ pub mod constraints;
 pub mod explain;
 pub mod frontier;
 pub mod histgen;
+pub mod kernel;
 pub mod lattice;
 pub mod memo;
 pub mod models;

@@ -40,7 +40,8 @@
 //! from different constraint systems never alias within a run.
 
 use crate::budget::{Budget, SharedBudget};
-use crate::view::{state_hash, Ctx, LegalityMode, SearchOutcome, ViewProblem, NO_WRITE};
+use crate::kernel::{state_hash, Ctx, NO_WRITE};
+use crate::view::{LegalityMode, SearchOutcome, ViewProblem};
 use smc_history::{History, OpId};
 use smc_prng::SmallRng;
 use smc_relation::{BitSet, Relation};
@@ -358,7 +359,14 @@ pub(crate) fn run_units<D: StealDriver + ?Sized>(
             nodes: 0,
         };
     }
-    let jobs = jobs.max(1);
+    // Oversubscription clamp, the `check_parallel` sibling of
+    // `check_batch`'s `jobs.min(pairs.len())` (crates/core/src/batch.rs):
+    // never spawn more workers than the run has view operations. When the
+    // clamp bites, the whole search space has fewer ops than workers — a
+    // tree of at most `total_ops!` nodes — so surplus workers could only
+    // pay spawn + pool-attach + cancel overhead and then starve in `hunt`.
+    let total_ops: usize = units.iter().map(|u| u.ctx.elems.len()).sum();
+    let jobs = jobs.max(1).min(total_ops.max(1));
     let state = RunState {
         units,
         deques: (0..jobs).map(|_| Deque::new()).collect(),
@@ -599,22 +607,9 @@ fn run_task<D: StealDriver + ?Sized>(
             donate(state, unit, ctx, &mut stack, &order, root_len, id);
         }
         let mut advanced = false;
-        while (stack[top].cursor as usize) < m {
-            let i = stack[top].cursor as usize;
-            stack[top].cursor += 1;
-            if placed.contains(i)
-                || !ctx.preds[i].is_subset(&placed)
-                || !ctx.schedulable(i, &last_write)
-            {
-                continue;
-            }
-            let o = ctx.op(i);
-            let loc = o.loc.index();
-            let saved = last_write[loc];
-            if o.is_write() {
-                last_write[loc] = i as u32;
-            }
-            placed.insert(i);
+        while let Some(i) = ctx.next_ready(&placed, &last_write, stack[top].cursor as usize) {
+            stack[top].cursor = i as u32 + 1;
+            let saved = ctx.apply(i, &mut placed, &mut last_write);
             order.push(i as u32);
             if order.len() == m {
                 return report_found(state, driver, unit, ctx, &order);
@@ -624,15 +619,13 @@ fn run_task<D: StealDriver + ?Sized>(
             }
             if ctx.dead(&placed, &last_write) {
                 order.pop();
-                placed.remove(i);
-                last_write[loc] = saved;
+                ctx.undo(i, saved, &mut placed, &mut last_write);
                 continue;
             }
             let key = state_hash(u.salt, &placed, &last_write);
             if failed.contains(key) {
                 order.pop();
-                placed.remove(i);
-                last_write[loc] = saved;
+                ctx.undo(i, saved, &mut placed, &mut last_write);
                 continue;
             }
             stack.push(Frame {
@@ -722,13 +715,9 @@ fn donate(
             placed.insert(i);
         }
         let mut tasks: Vec<Task> = Vec::new();
-        for i in (frame.cursor as usize)..m {
-            if placed.contains(i)
-                || !ctx.preds[i].is_subset(&placed)
-                || !ctx.schedulable(i, &last_write)
-            {
-                continue;
-            }
+        let mut cursor = frame.cursor as usize;
+        while let Some(i) = ctx.next_ready(&placed, &last_write, cursor) {
+            cursor = i + 1;
             let mut prefix = Vec::with_capacity(plen + 1);
             prefix.extend_from_slice(&order[..plen]);
             prefix.push(i as u32);

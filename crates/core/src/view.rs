@@ -16,14 +16,20 @@
 //! * memoization of failed states, keyed by the scheduled-set bit mask and
 //!   the per-location last writes (the only state the future depends on).
 //!
+//! The scheduling state itself — context preprocessing, successor
+//! generation, state packing and hashing — lives in [`crate::kernel`] and
+//! is shared with the work-stealing engine and the frontier closure; this
+//! module owns only the DFS driving it.
+//!
 //! Deciding this question is NP-complete in general (it subsumes checking
 //! sequential consistency), but litmus-scale instances are instant.
 
 use crate::budget::Budget;
+use crate::kernel::{pack_state, state_hash, Ctx, StateSpace, NO_WRITE};
 use crate::rf::ReadsFrom;
 use smc_history::{History, OpId, Value};
 use smc_relation::{BitSet, Relation};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::ops::ControlFlow;
 
 /// How read legality is judged during the search.
@@ -96,208 +102,39 @@ impl Default for SearchOptions {
     }
 }
 
-pub(crate) const NO_WRITE: u32 = u32::MAX;
-
-/// Preprocessed per-view scheduling context: local indexing, predecessor
-/// masks copied out of the constraint relation, and read/location
-/// metadata. Everything a DFS (recursive or explicit-stack) needs; the
-/// source `ViewProblem`'s constraint relation may be dropped once the
-/// context is built, which is what lets [`crate::steal`] keep many
-/// contexts alive at once.
-pub(crate) struct Ctx<'a> {
-    /// Global op index per local index, ascending.
-    pub(crate) elems: Vec<usize>,
-    h: &'a History,
-    /// Local predecessor masks.
-    pub(crate) preds: Vec<BitSet>,
-    legality: LegalityMode<'a>,
-    /// Local indices of reads, for dead-state scans.
-    reads: Vec<usize>,
-    pub(crate) num_locs: usize,
-}
-
-impl<'a> Ctx<'a> {
-    fn new(p: &ViewProblem<'a>) -> Self {
-        Ctx::from_parts(p.history, &p.ops, p.constraints, p.legality)
-    }
-
-    /// Build a context directly from the problem's parts. Unlike
-    /// `ViewProblem`, the constraint relation is not tied to `'a`: it is
-    /// fully copied into the predecessor masks, so a caller may build it
-    /// in a short-lived scope (one relation per store order, say).
-    pub(crate) fn from_parts(
-        history: &'a History,
-        ops: &BitSet,
-        constraints: &Relation,
-        legality: LegalityMode<'a>,
-    ) -> Self {
-        let elems: Vec<usize> = ops.iter().collect();
-        let m = elems.len();
-        let mut local_of = vec![usize::MAX; history.num_ops()];
-        for (i, &e) in elems.iter().enumerate() {
-            local_of[e] = i;
-        }
-        let mut preds: Vec<BitSet> = (0..m).map(|_| BitSet::new(m)).collect();
-        for (i, &e) in elems.iter().enumerate() {
-            for s in constraints.successors(e).iter() {
-                let j = local_of[s];
-                if j != usize::MAX && j != i {
-                    preds[j].insert(i);
-                }
-            }
-        }
-        let reads = (0..m)
-            .filter(|&i| history.ops()[elems[i]].is_read())
-            .collect();
-        Ctx {
-            elems,
-            h: history,
-            preds,
-            legality,
-            reads,
-            num_locs: history.num_locs(),
-        }
-    }
-
-    #[inline]
-    pub(crate) fn op(&self, local: usize) -> &smc_history::Operation {
-        &self.h.ops()[self.elems[local]]
-    }
-
-    /// May `local` be scheduled now, given the per-location last writes?
-    pub(crate) fn schedulable(&self, local: usize, last_write: &[u32]) -> bool {
-        let o = self.op(local);
-        if o.is_write() {
-            return true;
-        }
-        let lw = last_write[o.loc.index()];
-        match self.legality {
-            LegalityMode::ByValue => {
-                if lw == NO_WRITE {
-                    o.value == Value::INITIAL
-                } else {
-                    self.op(lw as usize).value == o.value
-                }
-            }
-            LegalityMode::ByReadsFrom(rf) => match rf.source(OpId(self.elems[local] as u32)) {
-                None => lw == NO_WRITE,
-                Some(src) => lw != NO_WRITE && self.elems[lw as usize] == src.index(),
-            },
-        }
-    }
-
-    /// `true` if some unscheduled read can never become schedulable.
-    pub(crate) fn dead(&self, placed: &BitSet, last_write: &[u32]) -> bool {
-        for &r in &self.reads {
-            if placed.contains(r) {
-                continue;
-            }
-            let o = self.op(r);
-            let lw = last_write[o.loc.index()];
-            match self.legality {
-                LegalityMode::ByReadsFrom(rf) => {
-                    match rf.source(OpId(self.elems[r] as u32)) {
-                        None => {
-                            // Needs the initial state: dead once any write
-                            // to the location has been scheduled.
-                            if lw != NO_WRITE {
-                                return true;
-                            }
-                        }
-                        Some(src) => {
-                            // Dead if the source has been scheduled but is
-                            // no longer the most recent write.
-                            if let Some(src_local) = self.local_of_global(src.index(), placed) {
-                                if lw != src_local as u32 {
-                                    return true;
-                                }
-                            }
-                        }
-                    }
-                }
-                LegalityMode::ByValue => {
-                    // Dead if the current value mismatches and no pending
-                    // write can ever produce the needed value.
-                    let current_ok = if lw == NO_WRITE {
-                        o.value == Value::INITIAL
-                    } else {
-                        self.op(lw as usize).value == o.value
-                    };
-                    if !current_ok {
-                        let rescue = (0..self.elems.len()).any(|i| {
-                            !placed.contains(i) && {
-                                let c = self.op(i);
-                                c.is_write() && c.loc == o.loc && c.value == o.value
-                            }
-                        });
-                        if !rescue {
-                            return true;
-                        }
-                    }
-                }
-            }
-        }
-        false
-    }
-
-    /// Local index of a scheduled global op, if it is scheduled.
-    fn local_of_global(&self, global: usize, placed: &BitSet) -> Option<usize> {
-        // elems is ascending, so binary search.
-        match self.elems.binary_search(&global) {
-            Ok(local) if placed.contains(local) => Some(local),
-            _ => None,
-        }
-    }
-}
-
-/// 64-bit fingerprint of a search state `(scheduled set, last writes)`,
-/// salted so states from different search problems sharing one table
-/// never alias. FNV-1a over the bit-set words and last-write vector with
-/// a murmur-style finalizer so both the high bits (shard selection) and
-/// low bits (slot selection) are well mixed. Never returns `0`, which
-/// the concurrent table reserves for empty slots.
-pub(crate) fn state_hash(salt: u64, placed: &BitSet, last_write: &[u32]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
-    for &w in placed.words() {
-        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    for &lw in last_write {
-        h = (h ^ u64::from(lw)).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-    h ^= h >> 33;
-    if h == 0 {
-        0x9e37_79b9_7f4a_7c15
-    } else {
-        h
-    }
-}
-
-/// Exact (collision-free) memo of failed states for the sequential DFS,
-/// bucketed by [`state_hash`] so the hot path probes by hash first and
-/// compares the full `(scheduled set, last writes)` key only within the
-/// (almost always singleton, usually empty) bucket. Unlike a plain
-/// `HashSet<(BitSet, Vec<u32>)>`, a lookup never clones the key.
-#[derive(Default)]
+/// Exact (collision-free) memo of failed states for the sequential DFS:
+/// a packed [`StateSpace`] arena bucketed by [`state_hash`], so the hot
+/// path probes by hash first (computed straight off the live state, no
+/// packing) and packs the `(scheduled set, last writes)` key into the
+/// scratch row only on the rare bucket hit — or when a refuted state is
+/// inserted. Unlike a plain `HashSet<(BitSet, Vec<u32>)>`, a lookup
+/// never clones or allocates.
 struct LocalFailed {
-    buckets: HashMap<u64, Vec<(BitSet, Vec<u32>)>>,
+    space: StateSpace,
+    scratch: Vec<u64>,
 }
 
 impl LocalFailed {
-    fn contains(&self, hash: u64, placed: &BitSet, last_write: &[u32]) -> bool {
-        self.buckets
-            .get(&hash)
-            .is_some_and(|b| b.iter().any(|(p, lw)| p == placed && lw == last_write))
+    fn new(ctx: &Ctx<'_>) -> Self {
+        LocalFailed {
+            space: StateSpace::new(ctx.packed_stride()),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn contains(&mut self, hash: u64, placed: &BitSet, last_write: &[u32]) -> bool {
+        if !self.space.has_bucket(hash) {
+            return false;
+        }
+        pack_state(&mut self.scratch, placed, last_write);
+        self.space.find(hash, &self.scratch).is_some()
     }
 
     fn insert(&mut self, hash: u64, placed: &BitSet, last_write: &[u32]) {
-        self.buckets
-            .entry(hash)
-            .or_default()
-            .push((placed.clone(), last_write.to_vec()));
+        pack_state(&mut self.scratch, placed, last_write);
+        if self.space.find(hash, &self.scratch).is_none() {
+            self.space.insert_new(hash, &self.scratch);
+        }
     }
 }
 
@@ -320,7 +157,7 @@ pub fn find_legal_extension_with(
     let mut placed = BitSet::new(m);
     let mut last_write = vec![NO_WRITE; ctx.num_locs];
     let mut order: Vec<usize> = Vec::with_capacity(m);
-    let mut memo = LocalFailed::default();
+    let mut memo = LocalFailed::new(&ctx);
     // `memoize == false` really bypasses the failed set: no hash is
     // computed, no key is built, and the (unallocated, empty) table is
     // never touched.
@@ -368,19 +205,10 @@ fn search_rec(
             return SearchOutcome::NotFound;
         }
     }
-    for i in 0..ctx.elems.len() {
-        if placed.contains(i) || !ctx.preds[i].is_subset(placed) {
-            continue;
-        }
-        if !ctx.schedulable(i, last_write) {
-            continue;
-        }
-        let o = ctx.op(i);
-        let saved = last_write[o.loc.index()];
-        if o.is_write() {
-            last_write[o.loc.index()] = i as u32;
-        }
-        placed.insert(i);
+    let mut cursor = 0;
+    while let Some(i) = ctx.next_ready(placed, last_write, cursor) {
+        cursor = i + 1;
+        let saved = ctx.apply(i, placed, last_write);
         order.push(i);
         let sub = search_rec(
             ctx,
@@ -392,8 +220,7 @@ fn search_rec(
             opts,
         );
         order.pop();
-        placed.remove(i);
-        last_write[o.loc.index()] = saved;
+        ctx.undo(i, saved, placed, last_write);
         match sub {
             SearchOutcome::NotFound => {}
             done => return done,
@@ -455,13 +282,9 @@ pub fn split_prefixes(p: &ViewProblem<'_>, target: usize, budget: &Budget) -> Pr
         if ctx.dead(&placed, &last_write) {
             continue;
         }
-        for i in 0..m {
-            if placed.contains(i) || !ctx.preds[i].is_subset(&placed) {
-                continue;
-            }
-            if !ctx.schedulable(i, &last_write) {
-                continue;
-            }
+        let mut cursor = 0;
+        while let Some(i) = ctx.next_ready(&placed, &last_write, cursor) {
+            cursor = i + 1;
             let mut child = prefix.clone();
             child.push(i);
             frontier.push_back(child);
@@ -500,7 +323,7 @@ pub fn find_legal_extension_from(
         placed.insert(local);
         order.push(local);
     }
-    let mut memo = LocalFailed::default();
+    let mut memo = LocalFailed::new(&ctx);
     search_rec(
         &ctx,
         &mut placed,
@@ -545,24 +368,14 @@ pub fn for_each_legal_extension<B>(
         if ctx.dead(placed, last_write) {
             return SearchEnd::Completed;
         }
-        for i in 0..ctx.elems.len() {
-            if placed.contains(i) || !ctx.preds[i].is_subset(placed) {
-                continue;
-            }
-            if !ctx.schedulable(i, last_write) {
-                continue;
-            }
-            let o = ctx.op(i);
-            let saved = last_write[o.loc.index()];
-            if o.is_write() {
-                last_write[o.loc.index()] = i as u32;
-            }
-            placed.insert(i);
+        let mut cursor = 0;
+        while let Some(i) = ctx.next_ready(placed, last_write, cursor) {
+            cursor = i + 1;
+            let saved = ctx.apply(i, placed, last_write);
             order.push(OpId(ctx.elems[i] as u32));
             let end = rec(ctx, placed, last_write, order, budget, visit);
             order.pop();
-            placed.remove(i);
-            last_write[o.loc.index()] = saved;
+            ctx.undo(i, saved, placed, last_write);
             match end {
                 SearchEnd::Completed => {}
                 other => return other,

@@ -61,6 +61,30 @@ if [ "${1:-}" != "--no-test" ]; then
     # mismatch, printing the offending (test, model) pair.
     echo "==> smc monitor --corpus (streaming vs batch verdicts)"
     cargo run -q --release --bin smc -- monitor --corpus --jobs 4 >/dev/null
+
+    # Bench drift gate for the parallel small-history pessimization: on a
+    # litmus-sized check the adaptive cutover must keep `check_parallel`
+    # at 4 workers within 1.5x of the sequential checker. Before the
+    # cutover, j4 paid thread-spawn plus shared failed-set setup on a
+    # ~3-node search and ran 14-17x slower than sequential.
+    echo "==> bench drift gate (split_dfs_sc_reversed: j4 <= 1.5x sequential)"
+    bench_json=$(mktemp)
+    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$bench_json"' EXIT
+    cargo bench -q --bench bench_batch -- split_dfs_sc_reversed --json "$bench_json" >/dev/null
+    seq_ns=$(grep -o '"batch/split_dfs_sc_reversed/sequential", "ns_per_iter": [0-9]*' \
+        "$bench_json" | grep -o '[0-9]*$')
+    j4_ns=$(grep -o '"batch/split_dfs_sc_reversed/check_parallel_j4", "ns_per_iter": [0-9]*' \
+        "$bench_json" | grep -o '[0-9]*$')
+    if [ -z "$seq_ns" ] || [ -z "$j4_ns" ]; then
+        echo "bench gate: missing split_dfs_sc_reversed rows in $bench_json" >&2
+        exit 1
+    fi
+    if [ $((j4_ns * 10)) -gt $((seq_ns * 15)) ]; then
+        echo "bench gate: check_parallel_j4 (${j4_ns}ns) > 1.5x sequential (${seq_ns}ns)" >&2
+        echo "the parallel small-history pessimization is back — check the cutover probe" >&2
+        exit 1
+    fi
+    echo "    sequential ${seq_ns}ns, check_parallel_j4 ${j4_ns}ns (within 1.5x)"
 fi
 
 echo "==> OK"

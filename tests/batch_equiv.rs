@@ -178,6 +178,63 @@ fn corpus_verdicts_identical_across_job_counts() {
     }
 }
 
+/// Verdicts are independent of the adaptive cutover decision: with the
+/// probe forced off (`parallel_cutover: 0`, every parallel check fans
+/// out immediately) and forced always-on (`u64::MAX`, every parallel
+/// check is answered by the sequential probe), `check_parallel` decides
+/// exactly like the sequential checker at every worker count, and its
+/// witnesses verify independently. Together the two forced settings
+/// straddle the default cutover from both sides, so the adaptive path
+/// can never change an answer — only where it is computed.
+#[test]
+fn cutover_extremes_agree_with_sequential() {
+    let mut cases: Vec<History> = litmus_suite().iter().map(|t| t.history.clone()).collect();
+    cases.extend((2000..2200u64).map(|seed| random_history(&mut SmallRng::seed_from_u64(seed))));
+    let model_list = [
+        models::sc(),
+        models::tso(),
+        models::pram(),
+        models::causal(),
+    ];
+    for cutover in [0u64, u64::MAX] {
+        let cfg = CheckConfig {
+            parallel_cutover: cutover,
+            ..CheckConfig::default()
+        };
+        for (ci, h) in cases.iter().enumerate() {
+            for spec in &model_list {
+                let seq = check_with_config(h, spec, &cfg);
+                for jobs in [1usize, 2, 4, 8] {
+                    let (par, stats) = check_parallel(h, spec, &cfg, jobs);
+                    assert_eq!(
+                        par.decided(),
+                        seq.decided(),
+                        "case {ci} {} cutover={cutover} jobs={jobs}: {seq:?} vs {par:?}\n{h}",
+                        spec.name
+                    );
+                    // The forced settings pin the cutover decision: with
+                    // the probe disabled only jobs=1 runs sequentially;
+                    // with an unbounded probe no check ever fans out.
+                    if cutover == 0 {
+                        assert_eq!(stats.ran_sequential, jobs == 1);
+                        assert_eq!(stats.probe_nodes, 0);
+                    } else {
+                        assert!(stats.ran_sequential);
+                    }
+                    if let Verdict::Allowed(w) = &par {
+                        verify_witness(h, spec, w).unwrap_or_else(|e| {
+                            panic!(
+                                "case {ci} {} cutover={cutover} jobs={jobs}: bad witness: {e}\n{h}",
+                                spec.name
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The work-stealing scheduler and the static-prefix baseline both match
 /// the sequential checker — same decided verdicts, and witnesses that
 /// verify independently — across every worker count, on the litmus corpus
