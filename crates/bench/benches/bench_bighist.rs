@@ -1,0 +1,68 @@
+//! Scaling of the constraint-saturation engine vs the exhaustive
+//! checker on 16–1024-operation SC-simulated traces.
+//!
+//! The exhaustive checker enumerates interleavings, so its cost is
+//! exponential in history length; past a few dozen operations it can
+//! only burn its node budget and report `Exhausted`. The saturation
+//! engine works on the order-constraint graph instead and stays
+//! polynomial on these traces. The exhaustive rows are budget-capped so
+//! the benchmark terminates — they measure the cost of *giving up*,
+//! which is the honest baseline for a history it cannot decide.
+
+use smc_bench::bighist::sc_run;
+use smc_bench::quickbench::{black_box, Harness};
+use smc_core::checker::{check_with_stats, CheckConfig, EngineKind, Verdict};
+use smc_core::models;
+use smc_core::ModelSpec;
+
+/// Node budget for the exhaustive rows. Big enough that 16-op traces
+/// still decide, small enough that 1024-op rows fail fast.
+const EXHAUSTIVE_CAP: u64 = 200_000;
+
+fn saturate_cfg() -> CheckConfig {
+    CheckConfig {
+        engine: EngineKind::Saturate,
+        ..CheckConfig::default()
+    }
+}
+
+fn capped_exhaustive_cfg() -> CheckConfig {
+    CheckConfig {
+        engine: EngineKind::Exhaustive,
+        node_budget: EXHAUSTIVE_CAP,
+        ..CheckConfig::default()
+    }
+}
+
+fn bench_scaling(harness: &mut Harness) {
+    let specs: Vec<ModelSpec> = vec![models::sc(), models::tso(), models::pram()];
+    for ops in [16usize, 64, 256, 1024] {
+        let h = sc_run(0xb16_u64 + ops as u64, 4, 4, ops);
+        for spec in &specs {
+            let mut g = harness.group(&format!("bighist/{}_ops_{}", spec.name, ops));
+            g.bench("saturate", || {
+                let (v, _) = check_with_stats(black_box(&h), spec, &saturate_cfg());
+                assert!(
+                    v.is_allowed(),
+                    "{} {ops} ops: saturate must admit",
+                    spec.name
+                );
+            });
+            g.bench("exhaustive_capped", || {
+                let (v, _) = check_with_stats(black_box(&h), spec, &capped_exhaustive_cfg());
+                // Small traces decide; big ones exhaust the cap. Either
+                // way the run must not be silently Unsupported.
+                assert!(
+                    !matches!(v, Verdict::Unsupported(_)),
+                    "{} {ops} ops: exhaustive unsupported",
+                    spec.name
+                );
+            });
+        }
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    bench_scaling(&mut h);
+}

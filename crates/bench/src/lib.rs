@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bighist;
 pub mod quickbench;
 
 use smc_core::checker::{check_with_config, format_view, CheckConfig, Verdict};

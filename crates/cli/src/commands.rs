@@ -2,7 +2,9 @@
 
 use crate::json::JsonObject;
 use smc_core::batch::{check_batch, BatchResult};
-use smc_core::checker::{format_view, CheckConfig, CheckStats, SchedulerKind, Verdict};
+use smc_core::checker::{
+    format_view, CheckConfig, CheckStats, Engine, EngineKind, SchedulerKind, Verdict,
+};
 use smc_core::memo::MemoStats;
 use smc_core::models;
 use smc_core::spec::ModelSpec;
@@ -24,7 +26,7 @@ pub const USAGE: &str = "\
 usage:
   smc check <file> [--model NAME] [--jobs N] [--stats]
             [--memo-file PATH] [--scheduler stealing|static]
-            [--cutover N]
+            [--cutover N] [--engine exhaustive|saturate|auto]
                                     check a litmus history or suite;
                                     --memo-file persists decided verdicts
                                     across runs (corrupt or mismatched
@@ -32,15 +34,20 @@ usage:
                                     --scheduler selects the parallel
                                     search engine (default stealing)
   smc corpus [--jobs N] [--stats] [--json PATH] [--exhaustive]
-            [--memo-file PATH] [--cutover N]
+            [--engine-equiv] [--memo-file PATH] [--cutover N]
+            [--engine exhaustive|saturate|auto]
                                     check the embedded litmus corpus
                                     against its recorded expectations;
                                     --json writes machine-readable per-case
                                     stats + memo counters; --exhaustive
                                     sweeps the full small-history universe
                                     instead (Figure 5 models, with memoized
-                                    + lattice-propagated verdicts)
+                                    + lattice-propagated verdicts);
+                                    --engine-equiv runs both engines on
+                                    every saturate-supporting model and
+                                    exits nonzero on any divergence
   smc matrix <file> [--jobs N] [--stats] [--cutover N]
+            [--memo-file PATH] [--engine exhaustive|saturate|auto]
                                     classification matrix for a suite
   smc explore <file> --memory NAME [--check] [--model NAME] [--jobs N]
                                     enumerate every history a machine
@@ -51,7 +58,7 @@ usage:
   smc separate <model-a> <model-b> [--jobs N] [--max-universe SPEC]
             [--json PATH] [--memo-file PATH] [--emit-dir DIR]
             [--no-minimize] [--scheduler stealing|static]
-            [--cutover N]
+            [--cutover N] [--engine exhaustive|saturate|auto]
                                     search universes of increasing size for
                                     minimized witness histories one model
                                     admits and the other refutes;
@@ -63,6 +70,7 @@ usage:
                                     report the full witness table
   smc monitor [<file>|-] [--model NAME] [--jobs N] [--stats]
             [--json PATH] [--max-states N] [--cutover N]
+            [--memo-file PATH] [--engine exhaustive|saturate|auto]
                                     stream a trace (stdin when `-` or no
                                     file) through the incremental admission
                                     monitor; malformed lines warn with
@@ -74,11 +82,14 @@ usage:
                                     through the monitor event-by-event and
                                     diff the final verdicts against the
                                     batch checker (the monitor golden gate)
-  smc trace gen [--memory NAME] [--procs N] [--ops N] [--locs L]
-            [--values V] [--seed S] [--out PATH]
+  smc trace gen [--memory NAME] [--procs N] [--ops N | --events N]
+            [--locs L] [--values V] [--seed S] [--out PATH]
                                     run a random program on an operational
                                     machine and emit its arrival-order
-                                    event stream in the trace format
+                                    event stream in the trace format;
+                                    --ops sizes per processor, --events
+                                    fixes the total event count (the
+                                    stream is cut to exactly N events)
   smc trace from <file> [--test NAME] [--out PATH]
                                     linearize a litmus history into the
                                     trace format (processor-major order)
@@ -93,6 +104,13 @@ work-stealing scheduler splits the extension search itself.
 runs before spawning workers: if the probe decides within N search
 nodes the check never pays thread or shared-pool setup (default 4096;
 0 always fans out immediately).
+
+--engine picks the checking backend: `exhaustive` enumerates schedules,
+`saturate` decides by order-constraint propagation (no enumeration; it
+handles unlabeled models without release-consistency or fence structure
+and scales to 100-1000-op histories), `auto` (the default) saturates
+when the model is supported and the history is larger than 16
+operations, else stays exhaustive.
 
 memories for --memory: sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybrid";
 
@@ -226,6 +244,15 @@ fn render_stats(stats: &CheckStats) -> String {
             fs.hits, fs.misses, fs.inserts, fs.evictions
         ));
     }
+    // The engine line only matters when the saturation backend ran; the
+    // exhaustive engine is the default and its saturation counters are
+    // structurally zero.
+    if stats.engine_used == Engine::Saturate {
+        s.push_str(&format!(
+            ", engine saturate ({} closure steps, {} branches)",
+            stats.saturation_steps, stats.saturation_branches
+        ));
+    }
     if let Some(stage) = stats.exhausted_stage {
         s.push_str(&format!(", exhausted in {stage}"));
     }
@@ -290,6 +317,64 @@ fn scheduler_flag(args: &[String]) -> Result<SchedulerKind, String> {
     }
 }
 
+/// Parse `--engine exhaustive|saturate|auto` (default auto).
+fn engine_flag(args: &[String]) -> Result<EngineKind, String> {
+    match flag_value(args, "--engine") {
+        None if args.iter().any(|a| a == "--engine") => Err("--engine requires a value".into()),
+        None | Some("auto") => Ok(EngineKind::Auto),
+        Some("exhaustive") => Ok(EngineKind::Exhaustive),
+        Some("saturate") => Ok(EngineKind::Saturate),
+        Some(other) => Err(format!(
+            "--engine: `{other}` is not `exhaustive`, `saturate` or `auto`"
+        )),
+    }
+}
+
+/// The checking flags every checking subcommand (`check`, `corpus`,
+/// `matrix`, `separate`, `monitor`) accepts. Parsed in one place so the
+/// commands cannot drift apart in spelling, defaults or error messages.
+struct CheckFlags {
+    jobs: usize,
+    scheduler: SchedulerKind,
+    cutover: u64,
+    engine: EngineKind,
+    memo_file: Option<String>,
+}
+
+impl CheckFlags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        Ok(CheckFlags {
+            jobs: jobs_flag(args)?,
+            scheduler: scheduler_flag(args)?,
+            cutover: cutover_flag(args, CheckConfig::default().parallel_cutover)?,
+            engine: engine_flag(args)?,
+            memo_file: flag_value(args, "--memo-file").map(str::to_owned),
+        })
+    }
+
+    /// Copy the parsed flags into a config (memo attachment stays the
+    /// caller's decision — see [`CheckFlags::with_memo_if_requested`]).
+    fn configure(&self, cfg: &mut CheckConfig) {
+        cfg.scheduler = self.scheduler;
+        cfg.parallel_cutover = self.cutover;
+        cfg.engine = self.engine;
+    }
+
+    /// Attach a memo cache when `--memo-file` was given (commands that
+    /// always memoize call `.with_memo()` themselves).
+    fn with_memo_if_requested(&self, cfg: CheckConfig) -> CheckConfig {
+        if self.memo_file.is_some() {
+            cfg.with_memo()
+        } else {
+            cfg
+        }
+    }
+
+    fn memo_file(&self) -> Option<&str> {
+        self.memo_file.as_deref()
+    }
+}
+
 /// Load `--memo-file` into `cfg`'s cache if the flag is present. A
 /// missing file is a cold start; a corrupt or mismatched file is ignored
 /// with a warning — persistence must never fail a check.
@@ -321,21 +406,15 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("check: missing <file>")?;
     let model_list = resolve_models(flag_value(args, "--model"))?;
-    let jobs = jobs_flag(args)?;
+    let flags = CheckFlags::parse(args)?;
+    let jobs = flags.jobs;
     let show_stats = args.iter().any(|a| a == "--stats");
-    let memo_file = flag_value(args, "--memo-file");
-    let mut cfg = CheckConfig {
-        scheduler: scheduler_flag(args)?,
-        ..CheckConfig::default()
-    };
-    cfg.parallel_cutover = cutover_flag(args, cfg.parallel_cutover)?;
-    if memo_file.is_some() {
-        cfg = cfg.with_memo();
-    }
-    memo_file_load(&cfg, memo_file);
+    let mut cfg = flags.with_memo_if_requested(CheckConfig::default());
+    flags.configure(&mut cfg);
+    memo_file_load(&cfg, flags.memo_file());
     let suite = load(path)?;
     let results = check_suite(&suite, &model_list, &cfg, jobs);
-    memo_file_save(&cfg, memo_file);
+    memo_file_save(&cfg, flags.memo_file());
     let mut failures = 0;
     for (ti, t) in suite.iter().enumerate() {
         println!("== {} ==", t.name);
@@ -409,24 +488,26 @@ fn verdict_word(v: &Verdict) -> &'static str {
 }
 
 fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
-    let jobs = jobs_flag(args)?;
+    let flags = CheckFlags::parse(args)?;
+    let jobs = flags.jobs;
     let show_stats = args.iter().any(|a| a == "--stats");
     let json_path = flag_value(args, "--json");
-    let cutover = cutover_flag(args, CheckConfig::default().parallel_cutover)?;
+    if args.iter().any(|a| a == "--engine-equiv") {
+        return corpus_engine_equiv(&flags, json_path);
+    }
     if args.iter().any(|a| a == "--exhaustive") {
-        return corpus_exhaustive(jobs, show_stats, json_path, cutover);
+        return corpus_exhaustive(jobs, show_stats, json_path, flags.cutover);
     }
     // Decided verdicts are renaming-invariant, so the memo is safe here:
     // expectations compare only allowed/forbidden, never the witness.
     let mut cfg = CheckConfig::default().with_memo();
-    cfg.parallel_cutover = cutover;
+    flags.configure(&mut cfg);
     let memo = cfg.memo.clone().expect("with_memo attaches a cache");
-    let memo_file = flag_value(args, "--memo-file");
-    memo_file_load(&cfg, memo_file);
+    memo_file_load(&cfg, flags.memo_file());
     let suite = smc_programs::corpus::litmus_suite();
     let model_list = models::all_models();
     let results = check_suite(&suite, &model_list, &cfg, jobs);
-    memo_file_save(&cfg, memo_file);
+    memo_file_save(&cfg, flags.memo_file());
     let mut failures = 0;
     let mut checked = 0;
     let mut nodes = 0u64;
@@ -447,6 +528,9 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
                         .bool("memo_hit", r.stats.memo_hit)
                         .bool("ran_sequential", r.stats.ran_sequential)
                         .num("probe_nodes", r.stats.probe_nodes)
+                        .str("engine", &r.stats.engine_used.to_string())
+                        .num("saturation_steps", r.stats.saturation_steps)
+                        .num("saturation_branches", r.stats.saturation_branches)
                         .finish(),
                 );
             }
@@ -514,6 +598,108 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `smc corpus --engine-equiv`: the engine drift gate. Every embedded
+/// litmus history is checked by both the exhaustive checker and the
+/// saturation engine on every model that advertises saturate support;
+/// wherever both decide they must agree, saturate must never report
+/// `Unsupported` there, and every saturate `Allowed` witness must pass
+/// the independent verifier. Exits nonzero on any divergence.
+fn corpus_engine_equiv(flags: &CheckFlags, json_path: Option<&str>) -> Result<ExitCode, String> {
+    use smc_core::verify::verify_witness;
+
+    let mut ex_cfg = CheckConfig {
+        engine: EngineKind::Exhaustive,
+        ..CheckConfig::default()
+    };
+    let mut sat_cfg = CheckConfig {
+        engine: EngineKind::Saturate,
+        ..CheckConfig::default()
+    };
+    for cfg in [&mut ex_cfg, &mut sat_cfg] {
+        cfg.scheduler = flags.scheduler;
+        cfg.parallel_cutover = flags.cutover;
+    }
+    let suite = smc_programs::corpus::litmus_suite();
+    let model_list = models::saturating_models();
+    let ex = check_suite(&suite, &model_list, &ex_cfg, flags.jobs);
+    let sat = check_suite(&suite, &model_list, &sat_cfg, flags.jobs);
+
+    let mut pairs = 0usize;
+    let mut divergences = 0usize;
+    let mut json_lines: Vec<String> = Vec::new();
+    for (ti, t) in suite.iter().enumerate() {
+        for (mi, m) in model_list.iter().enumerate() {
+            let e = &ex[ti * model_list.len() + mi];
+            let s = &sat[ti * model_list.len() + mi];
+            pairs += 1;
+            let mut problem: Option<String> = None;
+            if let Verdict::Unsupported(msg) = &s.verdict {
+                problem = Some(format!("saturate refused a supported model: {msg}"));
+            } else if let (Some(a), Some(b)) = (e.verdict.decided(), s.verdict.decided()) {
+                if a != b {
+                    problem = Some(format!(
+                        "exhaustive says {}, saturate says {}",
+                        verdict_word(&e.verdict),
+                        verdict_word(&s.verdict)
+                    ));
+                }
+            }
+            if problem.is_none() {
+                if let Verdict::Allowed(w) = &s.verdict {
+                    if let Err(err) = verify_witness(&t.history, m, w) {
+                        problem = Some(format!("saturate witness rejected: {err}"));
+                    }
+                }
+            }
+            if let Some(msg) = &problem {
+                divergences += 1;
+                println!("DIVERGENCE {}: {}: {msg}", t.name, m.name);
+            }
+            if json_path.is_some() {
+                json_lines.push(
+                    JsonObject::new()
+                        .str("test", &t.name)
+                        .str("model", &m.name)
+                        .str("exhaustive", verdict_word(&e.verdict))
+                        .str("saturate", verdict_word(&s.verdict))
+                        .num("saturation_steps", s.stats.saturation_steps)
+                        .num("saturation_branches", s.stats.saturation_branches)
+                        .bool("diverged", problem.is_some())
+                        .finish(),
+                );
+            }
+        }
+    }
+    println!(
+        "engine-equiv: {} tests × {} saturating models = {} pairs, {} divergence(s){}",
+        suite.len(),
+        model_list.len(),
+        pairs,
+        divergences,
+        if flags.jobs > 1 {
+            format!(" [{} jobs]", flags.jobs)
+        } else {
+            String::new()
+        }
+    );
+    if let Some(path) = json_path {
+        json_lines.push(
+            JsonObject::new()
+                .num("pairs", pairs as u64)
+                .num("divergences", divergences as u64)
+                .finish(),
+        );
+        let mut text = json_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(if divergences == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -621,17 +807,20 @@ fn corpus_exhaustive(
 fn cmd_matrix(args: &[String]) -> Result<ExitCode, String> {
     let pos = positional(args);
     let path = pos.first().ok_or("matrix: missing <file>")?;
-    let jobs = jobs_flag(args)?;
+    let flags = CheckFlags::parse(args)?;
+    let jobs = flags.jobs;
     let show_stats = args.iter().any(|a| a == "--stats");
     let suite = load(path)?;
     let model_list = models::all_models();
-    let mut cfg = if show_stats {
+    let mut cfg = if show_stats || flags.memo_file.is_some() {
         CheckConfig::default().with_memo()
     } else {
         CheckConfig::default()
     };
-    cfg.parallel_cutover = cutover_flag(args, cfg.parallel_cutover)?;
+    flags.configure(&mut cfg);
+    memo_file_load(&cfg, flags.memo_file());
     let results = check_suite(&suite, &model_list, &cfg, jobs);
+    memo_file_save(&cfg, flags.memo_file());
     let name_w = suite.iter().map(|t| t.name.len()).max().unwrap_or(7).max(7);
     print!("{:<name_w$}", "history");
     for m in &model_list {
@@ -839,7 +1028,7 @@ fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
     // `positional` treats the word after any `--flag` as its value, which
     // would swallow a model name after the boolean `--all`/`--no-minimize`;
     // collect positionals against the explicit value-flag list instead.
-    const VALUE_FLAGS: [&str; 7] = [
+    const VALUE_FLAGS: [&str; 8] = [
         "--jobs",
         "--max-universe",
         "--json",
@@ -847,6 +1036,7 @@ fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
         "--emit-dir",
         "--scheduler",
         "--cutover",
+        "--engine",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
     let all = args.iter().any(|a| a == "--all");
@@ -871,20 +1061,16 @@ fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
         }
         vec![ma, mb]
     };
-    let jobs = jobs_flag(args)?;
+    let flags = CheckFlags::parse(args)?;
+    let jobs = flags.jobs;
     let spec = flag_value(args, "--max-universe").unwrap_or("medium");
     let universes = smc_core::separate::ladder(spec).map_err(|e| format!("--max-universe: {e}"))?;
     let json_path = flag_value(args, "--json");
-    let memo_file = flag_value(args, "--memo-file");
     let minimize = !args.iter().any(|a| a == "--no-minimize");
     let emit_dir = flag_value(args, "--emit-dir");
-    let mut cfg = CheckConfig {
-        scheduler: scheduler_flag(args)?,
-        ..CheckConfig::default()
-    }
-    .with_memo();
-    cfg.parallel_cutover = cutover_flag(args, cfg.parallel_cutover)?;
-    memo_file_load(&cfg, memo_file);
+    let mut cfg = CheckConfig::default().with_memo();
+    flags.configure(&mut cfg);
+    memo_file_load(&cfg, flags.memo_file());
 
     let t0 = std::time::Instant::now();
     let mut sep = Separator::new(model_list.clone(), cfg.clone(), jobs);
@@ -914,7 +1100,7 @@ fn cmd_separate(args: &[String]) -> Result<ExitCode, String> {
     if minimize {
         sep.minimize_found();
     }
-    memo_file_save(&cfg, memo_file);
+    memo_file_save(&cfg, flags.memo_file());
     let wall = t0.elapsed();
     let last_label = universes.last().map_or_else(String::new, |u| u.label());
 
@@ -1114,9 +1300,19 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
     use smc_monitor::{Monitor, MonitorConfig, TriVerdict};
     use std::io::BufRead;
 
-    const VALUE_FLAGS: [&str; 5] = ["--model", "--jobs", "--json", "--max-states", "--cutover"];
+    const VALUE_FLAGS: [&str; 8] = [
+        "--model",
+        "--jobs",
+        "--json",
+        "--max-states",
+        "--cutover",
+        "--scheduler",
+        "--engine",
+        "--memo-file",
+    ];
     let pos = positionals_with(args, &VALUE_FLAGS);
-    let jobs = jobs_flag(args)?;
+    let flags = CheckFlags::parse(args)?;
+    let jobs = flags.jobs;
     let show_stats = args.iter().any(|a| a == "--stats");
     let json_path = flag_value(args, "--json");
     if args.iter().any(|a| a == "--corpus") {
@@ -1138,7 +1334,12 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         ..MonitorConfig::default()
     };
     cfg.max_frontier_states = num_flag(args, "--max-states", cfg.max_frontier_states)?;
-    cfg.check.parallel_cutover = cutover_flag(args, cfg.check.parallel_cutover)?;
+    cfg.check = flags.with_memo_if_requested(cfg.check);
+    flags.configure(&mut cfg.check);
+    memo_file_load(&cfg.check, flags.memo_file());
+    // The memo cache is shared by Arc, so this clone saves the verdicts
+    // the monitor's rechecks insert while it owns `cfg`.
+    let memo_cfg = cfg.check.clone();
     let mut mon = Monitor::new(model_list.clone(), cfg);
 
     let path = pos.first().copied().unwrap_or("-");
@@ -1300,6 +1501,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         text.push('\n');
         std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
+    memo_file_save(&memo_cfg, flags.memo_file());
     Ok(if violated == 0 {
         ExitCode::SUCCESS
     } else {
@@ -1400,8 +1602,9 @@ fn monitor_corpus(jobs: usize, json_path: Option<&str>) -> Result<ExitCode, Stri
 /// `smc trace`: generate traces (`gen`) or linearize litmus files
 /// (`from`).
 fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
-    const VALUE_FLAGS: [&str; 8] = [
+    const VALUE_FLAGS: [&str; 9] = [
         "--memory", "--procs", "--ops", "--locs", "--values", "--seed", "--out", "--test",
+        "--events",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
     match pos.first().copied() {
@@ -1454,12 +1657,33 @@ fn trace_from(args: &[String], path: Option<&str>) -> Result<ExitCode, String> {
 
 /// `smc trace gen`: run a random program shape on an operational machine
 /// under a seeded random scheduler and emit the arrival-order stream.
+/// `--events N` fixes the *total* event count instead of `--ops`
+/// (per-processor): the program is sized to cover N and the emitted
+/// stream is cut to exactly N events, so generating a 1000-op trace
+/// costs one run and one emission.
 fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
-    use smc_history::trace::emit_trace;
+    use smc_history::trace::{emit_trace, Trace};
     use smc_prng::SmallRng;
 
     let procs: usize = num_flag(args, "--procs", 3)?;
-    let ops: usize = num_flag(args, "--ops", 4)?;
+    let events: Option<usize> = match flag_value(args, "--events") {
+        None if args.iter().any(|a| a == "--events") => {
+            return Err("--events requires a value".into())
+        }
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--events: `{v}` is not a positive integer"))?,
+        ),
+    };
+    let ops: usize = match events {
+        // Cover the requested total even when it does not divide evenly;
+        // the surplus is trimmed from the emitted stream below.
+        Some(n) => n.div_ceil(procs.max(1)),
+        None => num_flag(args, "--ops", 4)?,
+    };
     let locs: usize = num_flag(args, "--locs", 2)?;
     let values: i64 = num_flag(args, "--values", 2)?;
     let seed: u64 = num_flag(args, "--seed", 0)?;
@@ -1502,13 +1726,41 @@ fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
         "hybrid" => go(HybridMem::new(procs, locs), &script, seed),
         other => return Err(format!("unknown memory `{other}`")),
     };
+    let trace = match events {
+        Some(n) if out.trace.len() > n => {
+            // One linear pass over the first n events; re-emitting or
+            // re-running per prefix length would be quadratic in n.
+            let mut cut = Trace::new();
+            for p in out.trace.proc_names() {
+                cut.add_proc(p);
+            }
+            for l in out.trace.loc_names() {
+                cut.add_loc(l);
+            }
+            for ev in &out.trace.events()[..n] {
+                cut.push(*ev);
+            }
+            cut
+        }
+        Some(n) if out.trace.len() < n => {
+            return Err(format!(
+                "trace gen: machine produced only {} of {n} requested events (step limit)",
+                out.trace.len()
+            ));
+        }
+        _ => out.trace,
+    };
+    let sizing = match events {
+        Some(n) => format!("--events {n}"),
+        None => format!("--ops {ops}"),
+    };
     let mut text = format!(
-        "# smc trace gen --memory {memory} --procs {procs} --ops {ops} --locs {locs} --values {values} --seed {seed}\n"
+        "# smc trace gen --memory {memory} --procs {procs} {sizing} --locs {locs} --values {values} --seed {seed}\n"
     );
     if !out.completed {
         text.push_str("# note: run hit the step limit before draining\n");
     }
-    text.push_str(&emit_trace(&out.trace));
+    text.push_str(&emit_trace(&trace));
     write_out(flag_value(args, "--out"), &text)
 }
 
@@ -1565,6 +1817,58 @@ mod tests {
         assert_eq!(flag_value(&args, "--runs"), Some("5"));
         assert_eq!(flag_value(&args, "--nope"), None);
         assert_eq!(positional(&args), vec!["x.litmus"]);
+    }
+
+    #[test]
+    fn engine_flag_parsing() {
+        let to_args = |s: &[&str]| -> Vec<String> { s.iter().map(|x| x.to_string()).collect() };
+        assert_eq!(engine_flag(&to_args(&[])).unwrap(), EngineKind::Auto);
+        assert_eq!(
+            engine_flag(&to_args(&["--engine", "saturate"])).unwrap(),
+            EngineKind::Saturate
+        );
+        assert_eq!(
+            engine_flag(&to_args(&["--engine", "exhaustive"])).unwrap(),
+            EngineKind::Exhaustive
+        );
+        assert_eq!(
+            engine_flag(&to_args(&["--engine", "auto"])).unwrap(),
+            EngineKind::Auto
+        );
+        assert!(engine_flag(&to_args(&["--engine"])).is_err());
+        assert!(engine_flag(&to_args(&["--engine", "warp"])).is_err());
+    }
+
+    #[test]
+    fn check_flags_parse_and_configure() {
+        let args: Vec<String> = [
+            "--jobs",
+            "3",
+            "--cutover",
+            "7",
+            "--engine",
+            "saturate",
+            "--scheduler",
+            "static",
+            "--memo-file",
+            "m.bin",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let flags = CheckFlags::parse(&args).unwrap();
+        assert_eq!(flags.jobs, 3);
+        assert_eq!(flags.memo_file(), Some("m.bin"));
+        let mut cfg = CheckConfig::default();
+        flags.configure(&mut cfg);
+        assert_eq!(cfg.parallel_cutover, 7);
+        assert_eq!(cfg.engine, EngineKind::Saturate);
+        assert_eq!(cfg.scheduler, SchedulerKind::StaticPrefix);
+        // Defaults when no flags are given.
+        let flags = CheckFlags::parse(&[]).unwrap();
+        assert_eq!(flags.jobs, 1);
+        assert_eq!(flags.engine, EngineKind::Auto);
+        assert!(flags.memo_file().is_none());
     }
 
     #[test]

@@ -228,6 +228,16 @@ fn check_parallel_inner(
         return (Verdict::Unsupported(e), CheckStats::default());
     }
     let start = Instant::now();
+    // The saturation engine never enumerates, so there is no fan-out to
+    // parallelize; run it directly under the full node budget. This is
+    // how big-history checks reach the engine through `check_parallel`
+    // (and through the monitor's batch fallback) without every caller
+    // re-implementing the routing.
+    if cfg.resolve_engine(h, spec) == crate::checker::Engine::Saturate {
+        let (verdict, mut stats) = check_with_stats(h, spec, cfg);
+        stats.ran_sequential = !stats.memo_hit;
+        return finish(verdict, stats, start);
+    }
     // Adaptive sequential cutover: most instances (every litmus-sized
     // one) decide in far fewer nodes than the fixed cost of spawning
     // workers and zeroing a shared failed-state set is worth, so run a

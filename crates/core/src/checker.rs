@@ -80,6 +80,54 @@ pub struct CheckConfig {
     /// (the Cilk rule: never parallelize below a measured work
     /// threshold). `0` disables the probe and always fans out.
     pub parallel_cutover: u64,
+    /// Which checking backend decides: the exhaustive enumerating
+    /// search, the order-constraint saturation engine
+    /// ([`crate::saturate`]), or an automatic choice by model support
+    /// and history size.
+    pub engine: EngineKind,
+    /// The `engine: Auto` size threshold: histories with more than this
+    /// many operations route to the saturation engine when the model
+    /// supports it, mirroring [`CheckConfig::parallel_cutover`]'s
+    /// never-pessimize rule — litmus-sized checks keep the exhaustive
+    /// path (and its bit-identical verdicts/witnesses), big histories
+    /// get the engine that can actually decide them.
+    pub engine_cutover: usize,
+}
+
+/// Which checking backend [`check_with_config`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Always the exhaustive enumerating checker.
+    Exhaustive,
+    /// Always the order-constraint saturation engine
+    /// ([`crate::saturate`]); models it does not support return
+    /// [`Verdict::Unsupported`].
+    Saturate,
+    /// Saturate when [`crate::saturate::supports`] the model and the
+    /// history has more than [`CheckConfig::engine_cutover`] operations;
+    /// exhaustive otherwise.
+    #[default]
+    Auto,
+}
+
+/// The backend that actually ran a check (reported in
+/// [`CheckStats::engine_used`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The exhaustive enumerating checker.
+    #[default]
+    Exhaustive,
+    /// The order-constraint saturation engine.
+    Saturate,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Exhaustive => "exhaustive",
+            Engine::Saturate => "saturate",
+        })
+    }
 }
 
 /// The engine [`crate::batch::check_parallel`] uses to split a single
@@ -113,6 +161,11 @@ impl Default for CheckConfig {
             // save, while the corpus's litmus-sized checks (tens to a few
             // thousand nodes) always decide inside the probe.
             parallel_cutover: 4096,
+            engine: EngineKind::Auto,
+            // Corpus litmus tests top out around a dozen operations;
+            // above that the exhaustive enumerations start losing to the
+            // polynomial-per-decision saturation engine.
+            engine_cutover: 16,
         }
     }
 }
@@ -124,6 +177,21 @@ impl CheckConfig {
         CheckConfig {
             memo: Some(Arc::new(MemoCache::default())),
             ..self
+        }
+    }
+
+    /// The backend this configuration selects for `(h, spec)`.
+    pub fn resolve_engine(&self, h: &History, spec: &ModelSpec) -> Engine {
+        match self.engine {
+            EngineKind::Exhaustive => Engine::Exhaustive,
+            EngineKind::Saturate => Engine::Saturate,
+            EngineKind::Auto => {
+                if crate::saturate::supports(spec) && h.num_ops() > self.engine_cutover {
+                    Engine::Saturate
+                } else {
+                    Engine::Exhaustive
+                }
+            }
         }
     }
 }
@@ -141,6 +209,9 @@ pub enum Stage {
     LabeledOrders,
     /// Searching a per-processor legal view.
     ViewSearch,
+    /// Propagating order constraints in the saturation engine
+    /// ([`crate::saturate`]).
+    Saturation,
 }
 
 impl std::fmt::Display for Stage {
@@ -151,6 +222,7 @@ impl std::fmt::Display for Stage {
             Stage::CoherenceOrders => "coherence-order enumeration",
             Stage::LabeledOrders => "labeled-order enumeration",
             Stage::ViewSearch => "view search",
+            Stage::Saturation => "constraint saturation",
         })
     }
 }
@@ -193,6 +265,16 @@ pub struct CheckStats {
     /// [`CheckStats::nodes_spent`] too), or before giving up and fanning
     /// out. Zero when no probe ran.
     pub probe_nodes: u64,
+    /// The backend that produced the verdict. Stays at the default
+    /// ([`Engine::Exhaustive`]) on a memo hit, where no engine ran —
+    /// [`CheckStats::memo_hit`] disambiguates.
+    pub engine_used: Engine,
+    /// Closure edges the saturation engine inserted (each also charged
+    /// one budget node). Zero under the exhaustive engine.
+    pub saturation_steps: u64,
+    /// Decisions (reads-from picks, recency-triple orientations, write
+    /// pair orderings) the saturation engine's backtracking solver made.
+    pub saturation_branches: u64,
 }
 
 /// A certificate that a history is admitted: the per-processor views plus
@@ -289,7 +371,13 @@ pub(crate) fn check_with_budget(
     }
     let spent_before = budget.spent();
     let mut stats = CheckStats::default();
-    let verdict = run_check(h, spec, cfg, budget, &mut stats);
+    let verdict = match cfg.resolve_engine(h, spec) {
+        Engine::Saturate => {
+            stats.engine_used = Engine::Saturate;
+            crate::saturate::check_saturate(h, spec, budget, &mut stats)
+        }
+        Engine::Exhaustive => run_check(h, spec, cfg, budget, &mut stats),
+    };
     stats.nodes_spent = budget.spent() - spent_before;
     stats.wall = start.elapsed();
     if !matches!(verdict, Verdict::Exhausted) {
@@ -483,7 +571,7 @@ pub(crate) fn check_with_rf(
         // to same-location writes (every view contains all writes and
         // respects at least the owner's ppo there).
         let mut result = Step::Disallowed;
-        let _ = enumerate_coherence(h, &base.ppo, |coh| {
+        let flow = enumerate_coherence(h, &base.ppo, budget, |coh| {
             if !budget.try_spend() {
                 result = Step::Exhausted(Stage::CoherenceOrders);
                 return ControlFlow::Break(());
@@ -505,6 +593,11 @@ pub(crate) fn check_with_rf(
                 }
             }
         });
+        if flow.is_none() {
+            // The budget died while *generating* coherence orders; the
+            // unvisited combinations mean `Disallowed` would be a lie.
+            return Step::Exhausted(Stage::CoherenceOrders);
+        }
         return result;
     }
 

@@ -7,6 +7,7 @@
 //! [`CoherenceOrders`] is one such candidate; [`enumerate_coherence`]
 //! visits all candidates consistent with a base constraint relation.
 
+use crate::budget::Budget;
 use smc_history::{History, Location, OpId};
 use smc_relation::{linext, BitSet, Relation};
 use std::ops::ControlFlow;
@@ -87,61 +88,97 @@ impl CoherenceOrders {
 /// to the same location constrain the enumeration).
 ///
 /// The visitor may break to stop early (e.g. once a witness is found).
+///
+/// The product is streamed — no candidate list is ever materialized, so
+/// memory stays flat no matter how many extensions a location admits.
+/// Every generated extension charges one node to `budget`; `None` means
+/// the budget died mid-enumeration and the remaining combinations were
+/// never visited (the caller must treat the result as undecided, not
+/// refuted).
 pub fn enumerate_coherence<B>(
     h: &History,
     base: &Relation,
+    budget: &Budget,
     mut visit: impl FnMut(&CoherenceOrders) -> ControlFlow<B>,
-) -> ControlFlow<B> {
-    // Collect per-location candidate orders up front; locations with 0 or
-    // 1 write have exactly one order and cost nothing.
-    let mut per_loc: Vec<Vec<Vec<OpId>>> = Vec::with_capacity(h.num_locs());
-    for l in 0..h.num_locs() {
-        let loc = Location(l as u32);
-        let writes = BitSet::from_iter(h.num_ops(), h.writes_to(loc).map(|o| o.id.index()));
-        let mut cands = Vec::new();
-        let flow = linext::for_each_linear_extension(base, &writes, |ext| {
-            cands.push(ext.iter().map(|&i| OpId(i as u32)).collect::<Vec<_>>());
-            ControlFlow::<()>::Continue(())
+) -> Option<ControlFlow<B>> {
+    let write_sets: Vec<BitSet> = (0..h.num_locs())
+        .map(|l| {
+            let loc = Location(l as u32);
+            BitSet::from_iter(h.num_ops(), h.writes_to(loc).map(|o| o.id.index()))
+        })
+        .collect();
+    // A location whose writes are cyclically constrained admits no order
+    // at all; detect that up front instead of rediscovering it once per
+    // prefix of the product.
+    for ws in &write_sets {
+        let mut any = false;
+        let _ = linext::for_each_linear_extension(base, ws, |_| {
+            any = true;
+            ControlFlow::Break(())
         });
-        debug_assert!(flow.is_continue());
-        if cands.is_empty() {
-            // Base constraints are cyclic among this location's writes:
-            // no coherence order exists at all.
-            return ControlFlow::Continue(());
+        if !any {
+            return Some(ControlFlow::Continue(()));
         }
-        per_loc.push(cands);
     }
+    let mut chosen: Vec<Vec<OpId>> = Vec::with_capacity(write_sets.len());
+    match product(h, base, budget, &write_sets, &mut chosen, &mut visit) {
+        ProductStep::Done => Some(ControlFlow::Continue(())),
+        ProductStep::Stop(b) => Some(ControlFlow::Break(b)),
+        ProductStep::Exhausted => None,
+    }
+}
 
-    // Cartesian product over locations.
-    let mut choice = vec![0usize; per_loc.len()];
-    loop {
-        let orders: Vec<Vec<OpId>> = choice
-            .iter()
-            .zip(&per_loc)
-            .map(|(&c, cands)| cands[c].clone())
-            .collect();
-        visit(&CoherenceOrders::new(h, orders))?;
-        // Odometer increment.
-        let mut i = 0;
-        loop {
-            if i == choice.len() {
-                return ControlFlow::Continue(());
-            }
-            choice[i] += 1;
-            if choice[i] < per_loc[i].len() {
-                break;
-            }
-            choice[i] = 0;
-            i += 1;
+enum ProductStep<B> {
+    /// Every combination under this prefix was visited.
+    Done,
+    /// The visitor broke.
+    Stop(B),
+    /// The budget ran out mid-generation.
+    Exhausted,
+}
+
+/// Depth-first product over the locations' linear extensions: one
+/// recursion level per location, each level streaming its extensions
+/// from [`linext::for_each_linear_extension`].
+fn product<B>(
+    h: &History,
+    base: &Relation,
+    budget: &Budget,
+    write_sets: &[BitSet],
+    chosen: &mut Vec<Vec<OpId>>,
+    visit: &mut impl FnMut(&CoherenceOrders) -> ControlFlow<B>,
+) -> ProductStep<B> {
+    let Some(ws) = write_sets.get(chosen.len()) else {
+        return match visit(&CoherenceOrders::new(h, chosen.clone())) {
+            ControlFlow::Continue(()) => ProductStep::Done,
+            ControlFlow::Break(b) => ProductStep::Stop(b),
+        };
+    };
+    let mut out = ProductStep::Done;
+    let _ = linext::for_each_linear_extension(base, ws, |ext| {
+        if !budget.try_spend() {
+            out = ProductStep::Exhausted;
+            return ControlFlow::Break(());
         }
-    }
+        chosen.push(ext.iter().map(|&i| OpId(i as u32)).collect());
+        let step = product(h, base, budget, write_sets, chosen, visit);
+        chosen.pop();
+        match step {
+            ProductStep::Done => ControlFlow::Continue(()),
+            other => {
+                out = other;
+                ControlFlow::Break(())
+            }
+        }
+    });
+    out
 }
 
 /// Count the coherence-order combinations consistent with `base`, up to
 /// `cap`.
 pub fn count_coherence(h: &History, base: &Relation, cap: usize) -> usize {
     let mut n = 0;
-    let _ = enumerate_coherence(h, base, |_| {
+    let _ = enumerate_coherence(h, base, &Budget::local(u64::MAX), |_| {
         n += 1;
         if n >= cap {
             ControlFlow::Break(())
@@ -180,7 +217,7 @@ mod tests {
         // Force w(x)2 before w(x)1.
         let base = Relation::from_edges(h.num_ops(), [(1, 0)]);
         let mut seen = Vec::new();
-        let _ = enumerate_coherence(&h, &base, |c| {
+        let _ = enumerate_coherence(&h, &base, &Budget::local(u64::MAX), |c| {
             seen.push(c.order_of(Location(0)).to_vec());
             ControlFlow::<()>::Continue(())
         });
@@ -217,11 +254,26 @@ mod tests {
         let h = parse_history("p: w(x)1 w(y)1\nq: w(x)2 w(y)2").unwrap();
         let base = Relation::new(h.num_ops());
         let mut n = 0;
-        let flow = enumerate_coherence(&h, &base, |_| {
+        let flow = enumerate_coherence(&h, &base, &Budget::local(u64::MAX), |_| {
             n += 1;
             ControlFlow::Break("stop")
         });
         assert_eq!(n, 1);
-        assert!(matches!(flow, ControlFlow::Break("stop")));
+        assert!(matches!(flow, Some(ControlFlow::Break("stop"))));
+    }
+
+    #[test]
+    fn exhausted_budget_reports_none() {
+        // 3 + 3 same-location write pairs => more extensions than the
+        // budget grants; the enumeration must stop and say so rather
+        // than visit a truncated set as if it were complete.
+        let h = parse_history("p: w(x)1 w(y)1\nq: w(x)2 w(y)2\nr: w(x)3 w(y)3").unwrap();
+        let base = Relation::new(h.num_ops());
+        let mut n = 0;
+        let flow = enumerate_coherence(&h, &base, &Budget::local(3), |_| {
+            n += 1;
+            ControlFlow::<()>::Continue(())
+        });
+        assert!(flow.is_none());
     }
 }

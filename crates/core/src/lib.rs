@@ -30,6 +30,10 @@
 //!   returns [`checker::Verdict::Allowed`] with a [`checker::Witness`],
 //!   or `Disallowed`, under explicit resource budgets;
 //!   [`checker::check_with_stats`] also reports [`checker::CheckStats`].
+//! * [`saturate`] — the order-constraint saturation engine: a second
+//!   backend that never enumerates schedules, deciding 100–1000-op
+//!   histories by incremental closure + cycle detection over per-view
+//!   constraint graphs (`--engine {exhaustive,saturate,auto}`).
 //! * [`budget`] — the search-node budget: a thread-local fast path over
 //!   an optional shared atomic pool with early cancellation.
 //! * [`batch`] — the parallel engine: [`batch::check_batch`] fans
@@ -79,6 +83,7 @@ pub mod memo;
 pub mod models;
 pub mod orders;
 pub mod rf;
+pub mod saturate;
 pub mod separate;
 pub mod spec;
 pub mod steal;
@@ -89,8 +94,8 @@ pub use batch::{check_batch, check_batch_shared, check_matrix, check_parallel, B
 pub use budget::{Budget, SharedBudget};
 pub use canon::{canonicalize, Canon, HistoryKey};
 pub use checker::{
-    check, check_with_config, check_with_stats, CheckConfig, CheckStats, SchedulerKind, Stage,
-    Verdict, Witness,
+    check, check_with_config, check_with_stats, CheckConfig, CheckStats, Engine, EngineKind,
+    SchedulerKind, Stage, Verdict, Witness,
 };
 pub use frontier::{AppendReport, FrontierEngine, FrontierStats, ViewOp};
 pub use memo::{MemoCache, MemoStats};

@@ -206,6 +206,16 @@ pub fn lattice_models() -> Vec<ModelSpec> {
         .collect()
 }
 
+/// The models the order-constraint saturation engine can decide
+/// ([`crate::saturate::supports`]) — the capability flag the `--engine
+/// auto` routing and the engine-equivalence harness consult.
+pub fn saturating_models() -> Vec<ModelSpec> {
+    all_models()
+        .into_iter()
+        .filter(crate::saturate::supports)
+        .collect()
+}
+
 /// Look a model up by (case-insensitive) name; accepts the common
 /// spellings used in litmus expectations (`RC_sc`, `RCsc`, ...).
 pub fn by_name(name: &str) -> Option<ModelSpec> {

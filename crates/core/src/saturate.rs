@@ -1,0 +1,961 @@
+//! The order-constraint saturation engine: a second checking backend
+//! that never enumerates schedules.
+//!
+//! The exhaustive checker ([`crate::checker`]) realizes the paper's
+//! existential quantifiers literally — it enumerates reads-from
+//! assignments, store orders, coherence orders and view interleavings.
+//! That is exact but exponential, which caps it at litmus scale. This
+//! module decides the same question by *constraint saturation*, in the
+//! spirit of Qadeer's order-constraint encoding for SC model checking
+//! (arXiv:cs/0108016) and the per-model polynomial procedures of Chini &
+//! Saivasan (arXiv:2007.11398):
+//!
+//! * Each processor view becomes a **context**: a transitively-closed
+//!   [`Relation`] over the history's operations, confined to the view's
+//!   operation set and seeded with the model's derived base order
+//!   (`po`, `ppo`, or per-location `po`).
+//! * Mutual-consistency parameters become **shared edges**: TSO's global
+//!   write order broadcasts every write/write edge to every context;
+//!   coherence broadcasts same-location write/write edges; causal models
+//!   maintain one global `(po ∪ wb)+` closure whose edges flow into every
+//!   context that contains both endpoints.
+//! * Read legality becomes **recency triples**: if read `r` returns write
+//!   `w`, every other same-location write `w'` in the view must satisfy
+//!   `w' ≺ w ∨ r ≺ w'`. Triples whose disjunct is forced by the current
+//!   closure propagate immediately; genuinely open triples and ambiguous
+//!   reads-from choices are the only residual choice points, handled by a
+//!   small backtracking solver with replay-based state restoration and a
+//!   packed failed-state memo reusing the [`crate::kernel`] machinery.
+//!
+//! The engine handles every model whose mutual-consistency requirements
+//! are expressible as edge broadcasting ([`supports`]); the labeled /
+//! bracketing / semi-causal models stay with the exhaustive checker. On
+//! every history where both engines decide, the verdicts agree and the
+//! saturation witness re-checks under [`crate::verify::verify_witness`]
+//! (property-tested in `tests/engine_equiv.rs`); unlike the exhaustive
+//! search the work here is polynomial in the history size per decision,
+//! which moves the practical ceiling from ~12-op litmus tests into the
+//! 100–1000-op regime.
+
+use crate::budget::Budget;
+use crate::checker::{view_op_sets, CheckStats, Stage, Verdict, Witness};
+use crate::kernel::{hash_words, set_u32, StateSpace};
+use crate::orders;
+use crate::spec::{GlobalOrder, ModelSpec, OwnerOrder};
+use smc_history::{History, OpId};
+use smc_relation::{BitSet, Relation};
+
+/// Reads-from value: not yet decided.
+const UNASSIGNED: u32 = u32::MAX;
+/// Reads-from value: the read returns the location's initial value.
+const FROM_INITIAL: u32 = u32::MAX - 1;
+
+/// Snapshot the pre-decision state for the failed-state memo only at
+/// depths below this (shallow subtrees are the ones worth deduplicating,
+/// and packing is linear in the state size).
+const SNAPSHOT_DEPTH: usize = 6;
+/// Skip failed-state snapshots entirely when a packed row would exceed
+/// this many `u64` words (large histories would pay more for packing
+/// than the dedup saves).
+const SNAPSHOT_MAX_STRIDE: usize = 4096;
+/// Upper bound on failed-state rows (bounds arena memory at
+/// `SNAPSHOT_MAX_STRIDE × 8` bytes each).
+const SNAPSHOT_MAX_ROWS: usize = 4096;
+
+/// Whether the saturation engine can decide `spec`.
+///
+/// Supported: every model whose mutual-consistency requirements reduce to
+/// edge broadcasting between per-processor constraint contexts — SC, TSO,
+/// PRAM, causal, coherent, causal+coherent and Goodman's PC. Unsupported:
+/// labeled submodels (RC, WO, hybrid), owner-only orders, and the
+/// semi-causal order (DASH PC), whose derived order depends on the
+/// enumerated coherence order in a way that is not a per-edge rule.
+pub fn supports(spec: &ModelSpec) -> bool {
+    spec.labeled.is_none()
+        && !spec.rc_bracketing
+        && !spec.fence_bracketing
+        && matches!(spec.owner_order, OwnerOrder::None)
+        && !matches!(spec.global_order, GlobalOrder::SemiCausalOrder)
+        && spec.validate().is_ok()
+}
+
+/// How write/write edges discovered in one context bind the others.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Share {
+    /// No cross-view write agreement (PRAM, causal).
+    None,
+    /// All views order all writes identically (TSO).
+    AllWrites,
+    /// All views order same-location writes identically (coherence).
+    SameLoc,
+}
+
+enum Fail {
+    /// The current partial assignment is contradictory.
+    Conflict,
+    /// The budget ran out mid-propagation.
+    Budget,
+}
+
+/// A residual choice point.
+enum Choice {
+    /// An ambiguous read: which write (or the initial value) it returns.
+    /// `options` is the candidate list as filtered at decision time.
+    Rf { slot: usize, options: Vec<u32> },
+    /// An open recency triple for read `read` (whose source is already
+    /// assigned) against same-location write `wprime`: option 0 orders
+    /// `wprime` before the source, option 1 orders `read` before
+    /// `wprime`.
+    Triple { ctx: u32, read: u32, wprime: u32 },
+    /// A same-location write pair still unordered by the shared
+    /// coherence order (coherence models only): option 0 orders
+    /// `a` before `b`, option 1 the reverse. These must be decided
+    /// *inside* the search because an orientation broadcast to every
+    /// context can conflict with a context's private cross-location
+    /// edges only jointly with other orientations — extraction-time
+    /// totalization would be incomplete.
+    WritePair { a: u32, b: u32 },
+}
+
+impl Choice {
+    fn arity(&self) -> usize {
+        match self {
+            Choice::Rf { options, .. } => options.len(),
+            Choice::Triple { .. } | Choice::WritePair { .. } => 2,
+        }
+    }
+}
+
+struct Frame {
+    choice: Choice,
+    /// Index of the currently-applied option.
+    next: usize,
+    /// Packed pre-decision state, kept at shallow depths for the
+    /// failed-state memo.
+    packed: Option<Vec<u64>>,
+}
+
+/// The mutable solver state: rebuilt by replay on backtracking, so the
+/// solver never clones it per decision.
+struct State {
+    /// Per-context transitively-closed constraint relation, confined to
+    /// the context's view operations.
+    ctx: Vec<Relation>,
+    /// The global `(po ∪ wb)+` closure for causal models.
+    global: Option<Relation>,
+    /// Accumulated shared write/write edges (the store order or the
+    /// per-location coherence orders, as a partial order).
+    shared: Relation,
+    /// Per read slot: `UNASSIGNED`, `FROM_INITIAL`, or a write op index.
+    rf: Vec<u32>,
+    /// Per read slot: same-location writes whose recency triple is
+    /// already satisfied by the closure (monotone — edges are only
+    /// added, so a resolved triple stays resolved).
+    resolved: Vec<BitSet>,
+    /// Newly-inserted context edges pending share/broadcast processing.
+    queue: Vec<(u32, u32, u32)>,
+}
+
+/// The immutable problem description plus solver counters.
+struct Solver<'a> {
+    h: &'a History,
+    spec: &'a ModelSpec,
+    n: usize,
+    /// View operation set per context (one per processor; a single full
+    /// context for identical-view models).
+    views: Vec<BitSet>,
+    /// The reads-from-independent base order, transitively closed, over
+    /// all operations.
+    base: Relation,
+    share: Share,
+    causal: bool,
+    /// Op indices of all reads, ascending.
+    reads: Vec<u32>,
+    /// Op index → read slot (`u32::MAX` for writes).
+    read_slot: Vec<u32>,
+    /// Context owning each read slot.
+    home: Vec<u32>,
+    /// Per read slot: reads-from candidates (`FROM_INITIAL` and/or write
+    /// op indices), mirroring [`crate::rf`]'s candidate rule.
+    cands: Vec<Vec<u32>>,
+    /// Location index → write op indices, ascending.
+    writes_by_loc: Vec<Vec<u32>>,
+    is_write: BitSet,
+    budget: &'a Budget,
+    steps: u64,
+    branches: u64,
+    /// True while rebuilding state in [`Solver::replay`]: replayed edge
+    /// insertions were already charged when first derived, so they do
+    /// not draw from the budget again (replay work stays bounded — at
+    /// most one replay per charged branch, each at most the state size).
+    replaying: bool,
+    /// Packed unsatisfiable pre-decision states ([`StateSpace`] reuse);
+    /// `None` when the packed row would be too wide to pay off.
+    failed: Option<StateSpace>,
+    scratch: Vec<u64>,
+}
+
+/// Decide `h` against `spec` by constraint saturation.
+///
+/// Returns [`Verdict::Unsupported`] when [`supports`] is false. Respects
+/// `budget` (each inserted closure edge and each decision charges one
+/// node); exhaustion reports [`Stage::Saturation`].
+pub(crate) fn check_saturate(
+    h: &History,
+    spec: &ModelSpec,
+    budget: &Budget,
+    stats: &mut CheckStats,
+) -> Verdict {
+    if let Err(e) = spec.validate() {
+        return Verdict::Unsupported(e);
+    }
+    if !supports(spec) {
+        return Verdict::Unsupported(format!(
+            "{}: the saturation engine does not handle labeled, owner-ordered or \
+             semi-causal models; use the exhaustive engine",
+            spec.name
+        ));
+    }
+    let mut solver = Solver::new(h, spec, budget);
+    let verdict = solver.run(stats);
+    stats.saturation_steps = solver.steps;
+    stats.saturation_branches = solver.branches;
+    verdict
+}
+
+impl<'a> Solver<'a> {
+    fn new(h: &'a History, spec: &'a ModelSpec, budget: &'a Budget) -> Self {
+        let n = h.num_ops();
+        let views = if spec.identical_views {
+            vec![BitSet::full(n)]
+        } else {
+            view_op_sets(h, spec.delta)
+        };
+        let causal = matches!(spec.global_order, GlobalOrder::CausalOrder);
+        let base = match spec.global_order {
+            GlobalOrder::ProgramOrder | GlobalOrder::CausalOrder => orders::program_order(h),
+            GlobalOrder::PartialProgramOrder => orders::partial_program_order(h),
+            GlobalOrder::PerLocationProgramOrder => orders::per_location_program_order(h),
+            GlobalOrder::None => Relation::new(n),
+            GlobalOrder::SemiCausalOrder => unreachable!("rejected by supports()"),
+        };
+        let share = if spec.global_write_order {
+            Share::AllWrites
+        } else if spec.coherence {
+            Share::SameLoc
+        } else {
+            Share::None
+        };
+        let mut reads = Vec::new();
+        let mut read_slot = vec![u32::MAX; n];
+        let mut writes_by_loc = vec![Vec::new(); h.num_locs()];
+        let mut is_write = BitSet::new(n);
+        for op in h.ops() {
+            let i = op.id.index();
+            if op.is_write() {
+                is_write.insert(i);
+                writes_by_loc[op.loc.index()].push(i as u32);
+            } else {
+                read_slot[i] = reads.len() as u32;
+                reads.push(i as u32);
+            }
+        }
+        let home = reads
+            .iter()
+            .map(|&r| {
+                if spec.identical_views {
+                    0
+                } else {
+                    h.op(OpId(r)).proc.index() as u32
+                }
+            })
+            .collect();
+        // Reads-from candidates, mirroring crate::rf: the initial value
+        // if the read returns it, plus every same-location write of the
+        // same value. All writes are present in every view, so the
+        // candidate set needs no per-view filtering.
+        let cands = reads
+            .iter()
+            .map(|&r| {
+                let read = h.op(OpId(r));
+                let mut out = Vec::new();
+                if read.value == smc_history::Value::INITIAL {
+                    out.push(FROM_INITIAL);
+                }
+                for &w in &writes_by_loc[read.loc.index()] {
+                    if h.op(OpId(w)).value == read.value {
+                        out.push(w);
+                    }
+                }
+                out
+            })
+            .collect();
+        let ctxs = views.len();
+        let stride = ctxs * n * n.div_ceil(64) + reads.len().div_ceil(2);
+        let failed = (stride <= SNAPSHOT_MAX_STRIDE && stride > 0).then(|| StateSpace::new(stride));
+        Solver {
+            h,
+            spec,
+            n,
+            views,
+            base,
+            share,
+            causal,
+            reads,
+            read_slot,
+            home,
+            cands,
+            writes_by_loc,
+            is_write,
+            budget,
+            steps: 0,
+            branches: 0,
+            replaying: false,
+            failed,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn init_state(&mut self) -> State {
+        let n = self.n;
+        let mut ctx = Vec::with_capacity(self.views.len());
+        let mut queue = Vec::new();
+        for (c, view) in self.views.iter().enumerate() {
+            let mut rel = Relation::new(n);
+            for a in view.iter() {
+                let mut row = self.base.successors(a).clone();
+                row.intersect_with(view);
+                for b in row.iter() {
+                    rel.add(a, b);
+                    // Seed the share queue so the base's write/write
+                    // edges reach `shared` (the final store/coherence
+                    // orders must extend them).
+                    if self.share != Share::None {
+                        queue.push((c as u32, a as u32, b as u32));
+                    }
+                }
+            }
+            ctx.push(rel);
+        }
+        State {
+            ctx,
+            global: self.causal.then(|| self.base.clone()),
+            shared: Relation::new(n),
+            rf: vec![UNASSIGNED; self.reads.len()],
+            resolved: vec![BitSet::new(n); self.reads.len()],
+            queue,
+        }
+    }
+
+    fn run(&mut self, stats: &mut CheckStats) -> Verdict {
+        let mut st = self.init_state();
+        match self.propagate(&mut st) {
+            Ok(()) => {}
+            Err(Fail::Conflict) => return Verdict::Disallowed,
+            Err(Fail::Budget) => return self.exhausted(stats),
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+        loop {
+            let Some(choice) = self.pick(&st) else {
+                return self.extract(&mut st);
+            };
+            let packed = self.snapshot(frames.len(), &st);
+            if let Some(row) = &packed {
+                if let Some(space) = &self.failed {
+                    if space.find(hash_words(0, row), row).is_some() {
+                        // This exact state already exhausted every
+                        // option on an earlier branch.
+                        match self.backtrack(&mut frames, &mut st) {
+                            Ok(()) => continue,
+                            Err(Fail::Conflict) => return Verdict::Disallowed,
+                            Err(Fail::Budget) => return self.exhausted(stats),
+                        }
+                    }
+                }
+            }
+            self.branches += 1;
+            if !self.budget.try_spend() {
+                return self.exhausted(stats);
+            }
+            frames.push(Frame {
+                choice,
+                next: 0,
+                packed,
+            });
+            let frame = frames.last().unwrap();
+            let mut applied = self.apply(&mut st, frame);
+            if applied.is_ok() {
+                applied = self.propagate(&mut st);
+            }
+            match applied {
+                Ok(()) => {}
+                Err(Fail::Budget) => return self.exhausted(stats),
+                Err(Fail::Conflict) => match self.backtrack(&mut frames, &mut st) {
+                    Ok(()) => {}
+                    Err(Fail::Conflict) => return Verdict::Disallowed,
+                    Err(Fail::Budget) => return self.exhausted(stats),
+                },
+            }
+        }
+    }
+
+    fn exhausted(&self, stats: &mut CheckStats) -> Verdict {
+        stats.exhausted_stage = Some(Stage::Saturation);
+        Verdict::Exhausted
+    }
+
+    /// Pack the current state for the failed-state memo, when enabled
+    /// and shallow enough. The row is the per-context closure rows plus
+    /// the reads-from vector; `resolved` is a derived cache and `shared`
+    /// / `global` are determined by the rest, so they are omitted.
+    fn snapshot(&mut self, depth: usize, st: &State) -> Option<Vec<u64>> {
+        let space = self.failed.as_ref()?;
+        if depth >= SNAPSHOT_DEPTH || space.len() >= SNAPSHOT_MAX_ROWS {
+            return None;
+        }
+        let stride = space.stride();
+        self.scratch.clear();
+        for rel in &st.ctx {
+            for a in 0..self.n {
+                self.scratch.extend_from_slice(rel.successors(a).words());
+            }
+        }
+        let rf_base = self.scratch.len();
+        self.scratch.resize(stride, 0);
+        for (i, &v) in st.rf.iter().enumerate() {
+            set_u32(&mut self.scratch[rf_base..], i, v);
+        }
+        Some(std::mem::take(&mut self.scratch))
+    }
+
+    /// Advance the deepest frame to its next option and rebuild the
+    /// state by replaying the decision prefix. Frames that run out of
+    /// options are popped (recording their pre-decision state as
+    /// unsatisfiable); an empty stack means the whole search space is
+    /// refuted.
+    fn backtrack(&mut self, frames: &mut Vec<Frame>, st: &mut State) -> Result<(), Fail> {
+        loop {
+            let Some(top) = frames.last_mut() else {
+                return Err(Fail::Conflict);
+            };
+            top.next += 1;
+            if top.next >= top.choice.arity() {
+                let dead = frames.pop().unwrap();
+                if let (Some(row), Some(space)) = (dead.packed, self.failed.as_mut()) {
+                    let hash = hash_words(0, &row);
+                    if space.len() < SNAPSHOT_MAX_ROWS && space.find(hash, &row).is_none() {
+                        space.insert_new(hash, &row);
+                    }
+                }
+                continue;
+            }
+            match self.replay(frames) {
+                Ok(next) => {
+                    *st = next;
+                    return Ok(());
+                }
+                Err(Fail::Conflict) => continue,
+                Err(Fail::Budget) => return Err(Fail::Budget),
+            }
+        }
+    }
+
+    /// Rebuild the solver state from scratch under the frames' current
+    /// option indices. Propagation is a monotone closure operator, so
+    /// replaying the same decisions reaches the same fixpoint the
+    /// incremental path would have.
+    fn replay(&mut self, frames: &[Frame]) -> Result<State, Fail> {
+        self.replaying = true;
+        let result = (|| {
+            let mut st = self.init_state();
+            self.propagate(&mut st)?;
+            for f in frames {
+                self.apply(&mut st, f)?;
+                self.propagate(&mut st)?;
+            }
+            Ok(st)
+        })();
+        self.replaying = false;
+        result
+    }
+
+    fn apply(&mut self, st: &mut State, frame: &Frame) -> Result<(), Fail> {
+        match &frame.choice {
+            Choice::Rf { slot, options } => self.assign(st, *slot, options[frame.next]),
+            Choice::Triple { ctx, read, wprime } => {
+                let slot = self.read_slot[*read as usize] as usize;
+                let src = st.rf[slot];
+                debug_assert!(src != UNASSIGNED && src != FROM_INITIAL);
+                st.resolved[slot].insert(*wprime as usize);
+                if frame.next == 0 {
+                    self.add_edge(st, *ctx as usize, *wprime as usize, src as usize)
+                } else {
+                    self.add_edge(st, *ctx as usize, *read as usize, *wprime as usize)
+                }
+            }
+            Choice::WritePair { a, b } => {
+                let (x, y) = if frame.next == 0 { (*a, *b) } else { (*b, *a) };
+                for c in 0..st.ctx.len() {
+                    self.add_edge(st, c, x as usize, y as usize)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, st: &mut State, slot: usize, val: u32) -> Result<(), Fail> {
+        debug_assert_eq!(st.rf[slot], UNASSIGNED);
+        st.rf[slot] = val;
+        let r = self.reads[slot] as usize;
+        let c = self.home[slot] as usize;
+        if val == FROM_INITIAL {
+            // The read precedes every same-location write in its view;
+            // that resolves all its recency triples at once.
+            let loc = self.h.op(OpId(r as u32)).loc.index();
+            for i in 0..self.writes_by_loc[loc].len() {
+                let w = self.writes_by_loc[loc][i] as usize;
+                st.resolved[slot].insert(w);
+                self.add_edge(st, c, r, w)?;
+            }
+        } else {
+            let w = val as usize;
+            st.resolved[slot].insert(w);
+            self.add_edge(st, c, w, r)?;
+            if self.causal {
+                self.global_insert(st, w, r)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run unit propagation to a fixpoint: drain the share queue, force
+    /// single-candidate reads, and orient every recency triple with only
+    /// one open disjunct.
+    fn propagate(&mut self, st: &mut State) -> Result<(), Fail> {
+        loop {
+            self.drain_queue(st)?;
+            let mut changed = false;
+            for slot in 0..self.reads.len() {
+                match st.rf[slot] {
+                    UNASSIGNED => {
+                        let mut count = 0usize;
+                        let mut only = UNASSIGNED;
+                        for i in 0..self.cands[slot].len() {
+                            let cand = self.cands[slot][i];
+                            if self.viable(st, slot, cand) {
+                                count += 1;
+                                only = cand;
+                            }
+                        }
+                        match count {
+                            0 => return Err(Fail::Conflict),
+                            1 => {
+                                self.assign(st, slot, only)?;
+                                changed = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    FROM_INITIAL => {}
+                    src => changed |= self.enforce_recency(st, slot, src)?,
+                }
+            }
+            if !changed && st.queue.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Whether candidate `cand` is still consistent with the read's home
+    /// context.
+    fn viable(&self, st: &State, slot: usize, cand: u32) -> bool {
+        let r = self.reads[slot] as usize;
+        let c = self.home[slot] as usize;
+        if cand == FROM_INITIAL {
+            let loc = self.h.op(OpId(r as u32)).loc.index();
+            self.writes_by_loc[loc]
+                .iter()
+                .all(|&w| !st.ctx[c].has(w as usize, r))
+        } else {
+            !st.ctx[c].has(r, cand as usize)
+        }
+    }
+
+    /// Enforce the recency triples of an assigned read: for its source
+    /// `w` and every other same-location write `w'`, require
+    /// `w' ≺ w ∨ r ≺ w'`; orient the pair when only one disjunct is
+    /// open, fail when neither is.
+    fn enforce_recency(&mut self, st: &mut State, slot: usize, src: u32) -> Result<bool, Fail> {
+        let r = self.reads[slot] as usize;
+        let c = self.home[slot] as usize;
+        let w = src as usize;
+        let loc = self.h.op(OpId(r as u32)).loc.index();
+        let mut changed = false;
+        for i in 0..self.writes_by_loc[loc].len() {
+            let wp = self.writes_by_loc[loc][i] as usize;
+            if wp == w || st.resolved[slot].contains(wp) {
+                continue;
+            }
+            if st.ctx[c].has(wp, w) || st.ctx[c].has(r, wp) {
+                st.resolved[slot].insert(wp);
+                continue;
+            }
+            let before_ok = !st.ctx[c].has(w, wp);
+            let after_ok = !st.ctx[c].has(wp, r);
+            match (before_ok, after_ok) {
+                (false, false) => return Err(Fail::Conflict),
+                (true, false) => {
+                    st.resolved[slot].insert(wp);
+                    self.add_edge(st, c, wp, w)?;
+                    changed = true;
+                }
+                (false, true) => {
+                    st.resolved[slot].insert(wp);
+                    self.add_edge(st, c, r, wp)?;
+                    changed = true;
+                }
+                (true, true) => {}
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Process pending context edges: write/write edges matching the
+    /// share mode enter `shared` and broadcast into every sibling
+    /// context.
+    fn drain_queue(&mut self, st: &mut State) -> Result<(), Fail> {
+        while let Some((c, a, b)) = st.queue.pop() {
+            let (a, b) = (a as usize, b as usize);
+            let hit = match self.share {
+                Share::None => false,
+                Share::AllWrites => self.is_write.contains(a) && self.is_write.contains(b),
+                Share::SameLoc => {
+                    self.is_write.contains(a)
+                        && self.is_write.contains(b)
+                        && self.h.op(OpId(a as u32)).loc == self.h.op(OpId(b as u32)).loc
+                }
+            };
+            if hit && st.shared.add(a, b) {
+                for c2 in 0..st.ctx.len() {
+                    if c2 != c as usize {
+                        self.add_edge(st, c2, a, b)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert `a → b` into context `c` and restore transitive closure
+    /// incrementally; every newly-created edge is queued for share
+    /// processing. Fails on a cycle or on budget exhaustion.
+    fn add_edge(&mut self, st: &mut State, c: usize, a: usize, b: usize) -> Result<(), Fail> {
+        let rel = &mut st.ctx[c];
+        if a == b || rel.has(b, a) {
+            return Err(Fail::Conflict);
+        }
+        if rel.has(a, b) {
+            return Ok(());
+        }
+        debug_assert!(self.views[c].contains(a) && self.views[c].contains(b));
+        let mut sources = rel.predecessors(a);
+        sources.insert(a);
+        let mut targets = rel.successors(b).clone();
+        targets.insert(b);
+        for x in sources.iter() {
+            for y in targets.iter() {
+                if st.ctx[c].add(x, y) {
+                    self.steps += 1;
+                    if !self.replaying && !self.budget.try_spend() {
+                        return Err(Fail::Budget);
+                    }
+                    st.queue.push((c as u32, x as u32, y as u32));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a writes-before edge into the global causal closure and
+    /// push every newly-derived edge into the contexts containing both
+    /// endpoints. A causal cycle refutes the current assignment.
+    fn global_insert(&mut self, st: &mut State, a: usize, b: usize) -> Result<(), Fail> {
+        let global = st.global.as_mut().expect("causal models only");
+        if a == b || global.has(b, a) {
+            return Err(Fail::Conflict);
+        }
+        if global.has(a, b) {
+            return Ok(());
+        }
+        let mut sources = global.predecessors(a);
+        sources.insert(a);
+        let mut targets = global.successors(b).clone();
+        targets.insert(b);
+        let mut fresh = Vec::new();
+        for x in sources.iter() {
+            for y in targets.iter() {
+                if global.add(x, y) {
+                    self.steps += 1;
+                    if !self.replaying && !self.budget.try_spend() {
+                        return Err(Fail::Budget);
+                    }
+                    fresh.push((x, y));
+                }
+            }
+        }
+        for (x, y) in fresh {
+            for c in 0..st.ctx.len() {
+                if self.views[c].contains(x) && self.views[c].contains(y) {
+                    self.add_edge(st, c, x, y)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministically select the next choice point: the unassigned
+    /// read with the fewest surviving candidates, else the first open
+    /// recency triple. `None` means the state is a solution.
+    fn pick(&self, st: &State) -> Option<Choice> {
+        let mut best: Option<(usize, Vec<u32>)> = None;
+        for slot in 0..self.reads.len() {
+            if st.rf[slot] != UNASSIGNED {
+                continue;
+            }
+            let options: Vec<u32> = self.cands[slot]
+                .iter()
+                .copied()
+                .filter(|&cand| self.viable(st, slot, cand))
+                .collect();
+            debug_assert!(options.len() >= 2, "propagate left a unit read");
+            let better = best.as_ref().is_none_or(|(_, b)| options.len() < b.len());
+            if better {
+                let decided = options.len() == 2;
+                best = Some((slot, options));
+                if decided {
+                    break;
+                }
+            }
+        }
+        if let Some((slot, options)) = best {
+            return Some(Choice::Rf { slot, options });
+        }
+        for slot in 0..self.reads.len() {
+            let src = st.rf[slot];
+            if src == FROM_INITIAL {
+                continue;
+            }
+            let r = self.reads[slot] as usize;
+            let c = self.home[slot] as usize;
+            let loc = self.h.op(OpId(r as u32)).loc.index();
+            for &wp in &self.writes_by_loc[loc] {
+                let wp = wp as usize;
+                if wp == src as usize || st.resolved[slot].contains(wp) {
+                    continue;
+                }
+                if st.ctx[c].has(wp, src as usize) || st.ctx[c].has(r, wp) {
+                    continue;
+                }
+                return Some(Choice::Triple {
+                    ctx: c as u32,
+                    read: r as u32,
+                    wprime: wp as u32,
+                });
+            }
+        }
+        if self.share == Share::SameLoc {
+            // Coherence must be a *total* per-location order; orient the
+            // leftover same-location write pairs as first-class
+            // decisions so conflicts with context-private edges
+            // backtrack instead of failing at extraction.
+            for ws in &self.writes_by_loc {
+                for (i, &a) in ws.iter().enumerate() {
+                    for &b in &ws[i + 1..] {
+                        if !st.shared.has(a as usize, b as usize)
+                            && !st.shared.has(b as usize, a as usize)
+                        {
+                            return Some(Choice::WritePair { a, b });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Turn a solved state into a witness: linearize the shared order
+    /// into the store / coherence certificate, then topologically sort
+    /// each context. Every recency triple is resolved, so any linear
+    /// extension of a context is a legal view.
+    fn extract(&mut self, st: &mut State) -> Verdict {
+        let internal = |what: &str| {
+            Verdict::Unsupported(format!(
+                "saturate: internal error — {what} (please report; \
+                 --engine exhaustive is unaffected)"
+            ))
+        };
+        let mut store_order = None;
+        let mut coherence = None;
+        match self.share {
+            Share::None => {}
+            Share::AllWrites => {
+                let Some(topo) = st.shared.topo_sort() else {
+                    return internal("shared store order is cyclic");
+                };
+                let seq: Vec<usize> = topo
+                    .into_iter()
+                    .filter(|&i| self.is_write.contains(i))
+                    .collect();
+                for rel in &mut st.ctx {
+                    rel.add_total_order(&seq);
+                }
+                store_order = Some(seq.into_iter().map(|i| OpId(i as u32)).collect());
+            }
+            Share::SameLoc => {
+                let Some(topo) = st.shared.topo_sort() else {
+                    return internal("shared coherence order is cyclic");
+                };
+                let mut per_loc: Vec<Vec<usize>> = vec![Vec::new(); self.h.num_locs()];
+                for i in topo {
+                    if self.is_write.contains(i) {
+                        per_loc[self.h.op(OpId(i as u32)).loc.index()].push(i);
+                    }
+                }
+                for rel in &mut st.ctx {
+                    for seq in &per_loc {
+                        rel.add_total_order(seq);
+                    }
+                }
+                coherence = Some(
+                    per_loc
+                        .into_iter()
+                        .map(|seq| seq.into_iter().map(|i| OpId(i as u32)).collect())
+                        .collect(),
+                );
+            }
+        }
+        let mut views = Vec::with_capacity(self.h.num_procs());
+        for p in 0..self.h.num_procs() {
+            let c = if self.spec.identical_views { 0 } else { p };
+            let Some(topo) = st.ctx[c].topo_sort() else {
+                return internal("context became cyclic during linearization");
+            };
+            views.push(
+                topo.into_iter()
+                    .filter(|&i| self.views[c].contains(i))
+                    .map(|i| OpId(i as u32))
+                    .collect::<Vec<OpId>>(),
+            );
+        }
+        let reads_from = self.spec.needs_reads_from().then(|| {
+            let mut v: Vec<Option<OpId>> = vec![None; self.n];
+            for (slot, &r) in self.reads.iter().enumerate() {
+                let src = st.rf[slot];
+                debug_assert!(src != UNASSIGNED);
+                if src != FROM_INITIAL {
+                    v[r as usize] = Some(OpId(src));
+                }
+            }
+            v
+        });
+        let witness = Witness {
+            views,
+            store_order,
+            coherence,
+            labeled_order: None,
+            reads_from,
+        };
+        // Belt and braces: a saturation bug must never surface as a bogus
+        // `Allowed`. Verification is linear-ish in the witness size —
+        // negligible next to the search that produced it.
+        if let Err(e) = crate::verify::verify_witness(self.h, self.spec, &witness) {
+            return internal(&format!("witness failed self-verification: {e}"));
+        }
+        Verdict::Allowed(Box::new(witness))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckConfig, EngineKind};
+    use crate::models;
+    use smc_history::litmus::parse_history;
+
+    fn saturate_cfg() -> CheckConfig {
+        CheckConfig {
+            engine: EngineKind::Saturate,
+            ..CheckConfig::default()
+        }
+    }
+
+    fn run(h: &smc_history::History, spec: &ModelSpec) -> (Verdict, CheckStats) {
+        crate::checker::check_with_stats(h, spec, &saturate_cfg())
+    }
+
+    #[test]
+    fn supports_matches_model_zoo() {
+        let names: Vec<String> = models::all_models()
+            .iter()
+            .filter(|m| supports(m))
+            .map(|m| m.name.clone())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "SC",
+                "TSO",
+                "PCG",
+                "CausalCoherent",
+                "Causal",
+                "PRAM",
+                "Coherent"
+            ]
+        );
+        let sat: Vec<String> = models::saturating_models()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        assert_eq!(names, sat);
+    }
+
+    #[test]
+    fn figure1_verdicts_match_exhaustive() {
+        let h = parse_history("p: w(x)1 r(y)0\nq: w(y)1 r(x)0").unwrap();
+        let (sc, stats) = run(&h, &models::sc());
+        assert!(sc.is_disallowed());
+        assert_eq!(stats.engine_used, crate::checker::Engine::Saturate);
+        let (tso, _) = run(&h, &models::tso());
+        assert!(tso.is_allowed());
+    }
+
+    #[test]
+    fn witnesses_verify_across_supported_models() {
+        let h = parse_history("p: w(x)1 w(y)1\nq: r(y)1 r(x)0").unwrap();
+        for m in models::all_models().iter().filter(|m| supports(m)) {
+            let (v, _) = run(&h, m);
+            let e = check(&h, m);
+            assert_eq!(v.decided(), e.decided(), "model {}", m.name);
+        }
+    }
+
+    #[test]
+    fn unsupported_model_is_loud() {
+        let h = parse_history("p: w(x)1").unwrap();
+        let (v, _) = run(&h, &models::pc());
+        assert!(matches!(v, Verdict::Unsupported(_)));
+    }
+
+    #[test]
+    fn tiny_budget_reports_saturation_stage() {
+        let h = parse_history("p: w(x)1 w(x)2 r(x)1\nq: w(x)3 r(x)2 r(x)3").unwrap();
+        let cfg = CheckConfig {
+            engine: EngineKind::Saturate,
+            node_budget: 1,
+            ..CheckConfig::default()
+        };
+        let (v, stats) = crate::checker::check_with_stats(&h, &models::sc(), &cfg);
+        assert_eq!(v, Verdict::Exhausted);
+        assert_eq!(stats.exhausted_stage, Some(Stage::Saturation));
+    }
+}

@@ -55,6 +55,14 @@ if [ "${1:-}" != "--no-test" ]; then
         exit 1
     fi
 
+    # Engine equivalence gate: the order-constraint saturation engine
+    # must agree with the exhaustive checker on every corpus history for
+    # every model that advertises saturate support, and every saturate
+    # witness must pass the independent verifier. The command exits
+    # nonzero on any divergence, printing the offending (test, model).
+    echo "==> smc corpus --engine-equiv (exhaustive vs saturate)"
+    cargo run -q --release --bin smc -- corpus --engine-equiv --jobs 4 >/dev/null
+
     # Monitor golden gate: replay the whole litmus corpus through the
     # streaming monitor and diff its final verdicts against the batch
     # checker's, per model. The command itself exits nonzero on any
