@@ -9,7 +9,7 @@
 //! the benchmark terminates — they measure the cost of *giving up*,
 //! which is the honest baseline for a history it cannot decide.
 
-use smc_bench::bighist::sc_run;
+use smc_bench::bighist::{sc_run, sc_run_aliased};
 use smc_bench::quickbench::{black_box, Harness};
 use smc_core::checker::{check_with_stats, CheckConfig, EngineKind, Verdict};
 use smc_core::models;
@@ -62,7 +62,31 @@ fn bench_scaling(harness: &mut Harness) {
     }
 }
 
+/// Adversarial aliasing family: same SC-simulated traces, but write
+/// values drawn from a 3-symbol alphabet so most reads have many
+/// reads-from candidates (the 256-op row does ~27x the closure work of
+/// its forced-rf sibling and resolves hundreds of genuine conflicts).
+/// This is where eager saturation used to branch hardest; watched
+/// propagation + learned cuts must decide every row within the default
+/// node budget. Past ~256 ops the per-retry closure cascade outgrows
+/// any fixed budget — pushing that wall is a ROADMAP item.
+fn bench_aliasing(harness: &mut Harness) {
+    let tso = models::tso();
+    for ops in [64usize, 192, 256] {
+        let h = sc_run_aliased(0xa11a5_u64 + ops as u64, 4, 8, ops, 3);
+        let mut g = harness.group(&format!("bighist/TSO_alias_ops_{}", ops));
+        g.bench("saturate", || {
+            let (v, _) = check_with_stats(black_box(&h), &tso, &saturate_cfg());
+            assert!(
+                v.is_allowed(),
+                "TSO alias {ops} ops: saturate must decide within the default budget"
+            );
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::from_env();
     bench_scaling(&mut h);
+    bench_aliasing(&mut h);
 }

@@ -83,13 +83,16 @@ usage:
                                     diff the final verdicts against the
                                     batch checker (the monitor golden gate)
   smc trace gen [--memory NAME] [--procs N] [--ops N | --events N]
-            [--locs L] [--values V] [--seed S] [--out PATH]
+            [--locs L] [--values V | --alias-values K] [--seed S] [--out PATH]
                                     run a random program on an operational
                                     machine and emit its arrival-order
                                     event stream in the trace format;
                                     --ops sizes per processor, --events
                                     fixes the total event count (the
-                                    stream is cut to exactly N events)
+                                    stream is cut to exactly N events);
+                                    --alias-values folds fresh write
+                                    values into a K-letter alphabet so
+                                    reads-from stays heavily ambiguous
   smc trace from <file> [--test NAME] [--out PATH]
                                     linearize a litmus history into the
                                     trace format (processor-major order)
@@ -109,8 +112,10 @@ nodes the check never pays thread or shared-pool setup (default 4096;
 `saturate` decides by order-constraint propagation (no enumeration; it
 handles unlabeled models without release-consistency or fence structure
 and scales to 100-1000-op histories), `auto` (the default) saturates
-when the model is supported and the history is larger than 16
-operations, else stays exhaustive.
+when the model is supported and the history is big enough to repay it
+(more than 16 operations for models with a global store order or
+coherence, more than 32 for structure-free models like SC and PRAM),
+else stays exhaustive.
 
 memories for --memory: sc tso tso-fwd pram causal pc coherent rcsc rcpc wo hybrid";
 
@@ -249,8 +254,14 @@ fn render_stats(stats: &CheckStats) -> String {
     // structurally zero.
     if stats.engine_used == Engine::Saturate {
         s.push_str(&format!(
-            ", engine saturate ({} closure steps, {} branches)",
-            stats.saturation_steps, stats.saturation_branches
+            ", engine saturate ({} closure steps, {} branches, {} wakeups, \
+             {} conflicts, {} learned, {} restarts)",
+            stats.saturation_steps,
+            stats.saturation_branches,
+            stats.saturation_wakeups,
+            stats.saturation_conflicts,
+            stats.saturation_learned,
+            stats.saturation_restarts
         ));
     }
     if let Some(stage) = stats.exhausted_stage {
@@ -531,6 +542,10 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, String> {
                         .str("engine", &r.stats.engine_used.to_string())
                         .num("saturation_steps", r.stats.saturation_steps)
                         .num("saturation_branches", r.stats.saturation_branches)
+                        .num("saturation_wakeups", r.stats.saturation_wakeups)
+                        .num("saturation_conflicts", r.stats.saturation_conflicts)
+                        .num("saturation_learned", r.stats.saturation_learned)
+                        .num("saturation_restarts", r.stats.saturation_restarts)
                         .finish(),
                 );
             }
@@ -670,6 +685,10 @@ fn corpus_engine_equiv(flags: &CheckFlags, json_path: Option<&str>) -> Result<Ex
                         .str("saturate", verdict_word(&s.verdict))
                         .num("saturation_steps", s.stats.saturation_steps)
                         .num("saturation_branches", s.stats.saturation_branches)
+                        .num("saturation_wakeups", s.stats.saturation_wakeups)
+                        .num("saturation_conflicts", s.stats.saturation_conflicts)
+                        .num("saturation_learned", s.stats.saturation_learned)
+                        .num("saturation_restarts", s.stats.saturation_restarts)
                         .bool("diverged", problem.is_some())
                         .finish(),
                 );
@@ -1602,8 +1621,16 @@ fn monitor_corpus(jobs: usize, json_path: Option<&str>) -> Result<ExitCode, Stri
 /// `smc trace`: generate traces (`gen`) or linearize litmus files
 /// (`from`).
 fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
-    const VALUE_FLAGS: [&str; 9] = [
-        "--memory", "--procs", "--ops", "--locs", "--values", "--seed", "--out", "--test",
+    const VALUE_FLAGS: [&str; 10] = [
+        "--memory",
+        "--procs",
+        "--ops",
+        "--locs",
+        "--values",
+        "--alias-values",
+        "--seed",
+        "--out",
+        "--test",
         "--events",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
@@ -1686,6 +1713,27 @@ fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
     };
     let locs: usize = num_flag(args, "--locs", 2)?;
     let values: i64 = num_flag(args, "--values", 2)?;
+    // Aliasing-heavy mode: write values come from a fresh counter folded
+    // into a K-letter alphabet, so the emitted trace has the *structure*
+    // of a fresh-value execution but every read ends up with many
+    // same-value reads-from candidates — the adversarial regime for
+    // checkers. Mutually exclusive with --values (it replaces the value
+    // pool, it does not sample from one).
+    let alias_values: Option<i64> = match flag_value(args, "--alias-values") {
+        None if args.iter().any(|a| a == "--alias-values") => {
+            return Err("--alias-values requires a value".into())
+        }
+        None => None,
+        Some(v) => Some(
+            v.parse::<i64>()
+                .ok()
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| format!("--alias-values: `{v}` is not a positive integer"))?,
+        ),
+    };
+    if alias_values.is_some() && flag_value(args, "--values").is_some() {
+        return Err("trace gen: --alias-values and --values are mutually exclusive".into());
+    }
     let seed: u64 = num_flag(args, "--seed", 0)?;
     if procs == 0 || locs == 0 || values < 1 {
         return Err("trace gen: --procs/--locs/--values must be at least 1".into());
@@ -1693,20 +1741,27 @@ fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
     let memory = flag_value(args, "--memory").unwrap_or("tso");
 
     let mut rng = SmallRng::seed_from_u64(seed);
-    let threads: Vec<Vec<Access>> = (0..procs)
-        .map(|_| {
-            (0..ops)
-                .map(|_| {
-                    let loc = rng.gen_range(0..locs) as u32;
-                    if rng.gen_range(0..2usize) == 0 {
-                        Access::write(loc, rng.gen_range(0..values as usize) as i64 + 1)
-                    } else {
-                        Access::read(loc)
+    let mut fresh = 0i64;
+    let mut threads: Vec<Vec<Access>> = Vec::with_capacity(procs);
+    for _ in 0..procs {
+        let mut thread = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let loc = rng.gen_range(0..locs) as u32;
+            if rng.gen_range(0..2usize) == 0 {
+                let v = match alias_values {
+                    Some(k) => {
+                        fresh += 1;
+                        (fresh - 1) % k + 1
                     }
-                })
-                .collect()
-        })
-        .collect();
+                    None => rng.gen_range(0..values as usize) as i64 + 1,
+                };
+                thread.push(Access::write(loc, v));
+            } else {
+                thread.push(Access::read(loc));
+            }
+        }
+        threads.push(thread);
+    }
     let script = OpScript::new(threads, locs);
 
     fn go<M: MemorySystem>(mem: M, script: &OpScript, seed: u64) -> smc_sim::sched::RunOutcome {
@@ -1754,8 +1809,12 @@ fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
         Some(n) => format!("--events {n}"),
         None => format!("--ops {ops}"),
     };
+    let valuing = match alias_values {
+        Some(k) => format!("--alias-values {k}"),
+        None => format!("--values {values}"),
+    };
     let mut text = format!(
-        "# smc trace gen --memory {memory} --procs {procs} {sizing} --locs {locs} --values {values} --seed {seed}\n"
+        "# smc trace gen --memory {memory} --procs {procs} {sizing} --locs {locs} {valuing} --seed {seed}\n"
     );
     if !out.completed {
         text.push_str("# note: run hit the step limit before draining\n");

@@ -92,6 +92,24 @@ pub struct CheckConfig {
     /// path (and its bit-identical verdicts/witnesses), big histories
     /// get the engine that can actually decide them.
     pub engine_cutover: usize,
+    /// The `engine: Auto` size threshold for models with *no* shared
+    /// write structure (no global write order, no coherence — SC, PRAM,
+    /// causal). Their exhaustive searches have no factorial store-order
+    /// enumeration to fall into, so the crossover point sits higher
+    /// than [`CheckConfig::engine_cutover`]: benchmarks show the
+    /// saturation engine ~2.7× slower on 16-op structure-free traces.
+    pub engine_cutover_unstructured: usize,
+    /// Conflict-driven learning in the saturation engine: derive a
+    /// reason cut from every conflict, backjump over unblamed decisions,
+    /// and memoize exhausted decision sets in a nogood store so
+    /// aliasing-symmetric subtrees are pruned. Disabling falls back to
+    /// chronological backtracking (kept as a soundness ablation knob,
+    /// property-tested in `tests/saturate_learning.rs`).
+    pub saturate_learning: bool,
+    /// Luby restart unit for the saturation engine: restart after
+    /// `unit × luby(i)` conflicts, keeping learned nogoods and activity
+    /// scores. `0` disables restarts.
+    pub saturate_restart_unit: u64,
 }
 
 /// Which checking backend [`check_with_config`] uses.
@@ -166,6 +184,16 @@ impl Default for CheckConfig {
             // above that the exhaustive enumerations start losing to the
             // polynomial-per-decision saturation engine.
             engine_cutover: 16,
+            // Without a store order or coherence to enumerate, the
+            // exhaustive engine stays competitive to roughly twice that
+            // size (BENCH_bighist.json: SC_ops_16 exhaustive beats
+            // saturate 2.7×).
+            engine_cutover_unstructured: 32,
+            saturate_learning: true,
+            // Conservative Luby unit: long enough that litmus-sized
+            // searches finish inside the first window, short enough to
+            // escape heavy-tailed subtrees on 1000-op aliased traces.
+            saturate_restart_unit: 256,
         }
     }
 }
@@ -186,7 +214,16 @@ impl CheckConfig {
             EngineKind::Exhaustive => Engine::Exhaustive,
             EngineKind::Saturate => Engine::Saturate,
             EngineKind::Auto => {
-                if crate::saturate::supports(spec) && h.num_ops() > self.engine_cutover {
+                // Model-aware cutover: models whose exhaustive search
+                // enumerates a shared write structure (store orders,
+                // coherence orders) blow up earliest; structure-free
+                // models keep the exhaustive engine longer.
+                let cutover = if spec.global_write_order || spec.coherence {
+                    self.engine_cutover
+                } else {
+                    self.engine_cutover_unstructured
+                };
+                if crate::saturate::supports(spec) && h.num_ops() > cutover {
                     Engine::Saturate
                 } else {
                     Engine::Exhaustive
@@ -275,6 +312,18 @@ pub struct CheckStats {
     /// Decisions (reads-from picks, recency-triple orientations, write
     /// pair orderings) the saturation engine's backtracking solver made.
     pub saturation_branches: u64,
+    /// Watched-constraint wakeups: reads-from candidates killed plus
+    /// recency triples re-examined, each triggered by one inserted edge
+    /// (never by a rescan).
+    pub saturation_wakeups: u64,
+    /// Conflicts the saturation engine's solver hit (including learned
+    /// nogood hits).
+    pub saturation_conflicts: u64,
+    /// Nogoods (exhausted decision prefixes and conflict reason cuts)
+    /// learned into the saturation engine's store.
+    pub saturation_learned: u64,
+    /// Luby restarts the saturation engine performed.
+    pub saturation_restarts: u64,
 }
 
 /// A certificate that a history is admitted: the per-processor views plus
@@ -374,7 +423,7 @@ pub(crate) fn check_with_budget(
     let verdict = match cfg.resolve_engine(h, spec) {
         Engine::Saturate => {
             stats.engine_used = Engine::Saturate;
-            crate::saturate::check_saturate(h, spec, budget, &mut stats)
+            crate::saturate::check_saturate(h, spec, cfg, budget, &mut stats)
         }
         Engine::Exhaustive => run_check(h, spec, cfg, budget, &mut stats),
     };

@@ -393,6 +393,71 @@ impl StateSpace {
     }
 }
 
+/// Hash salt for [`NogoodStore`] rows, distinct from the scheduling
+/// tables' salts so a no-good row and a scheduling state never share a
+/// bucket by construction.
+const NOGOOD_SALT: u64 = 0x6e6f_676f_6f64;
+
+/// A capacity-bounded, deduplicating store of *no-goods*: fixed-stride
+/// packed rows (canonicalized decision sets) that some search has proved
+/// unsatisfiable. This is the failed-store face of [`StateSpace`] the
+/// saturation engine ([`crate::saturate`]) uses for conflict-driven
+/// learning: exhausted decision prefixes and learned reason cuts are
+/// stored once and recognized on any later branch that reassembles the
+/// same set — including permuted (aliasing-symmetric) orderings, because
+/// callers canonicalize rows by sorting before insertion.
+#[derive(Debug, Clone)]
+pub struct NogoodStore {
+    space: StateSpace,
+    cap_rows: usize,
+}
+
+impl NogoodStore {
+    /// An empty store of `stride`-word rows holding at most `cap_rows`
+    /// entries (bounding arena memory at `cap_rows × stride × 8` bytes).
+    pub fn new(stride: usize, cap_rows: usize) -> Self {
+        NogoodStore {
+            space: StateSpace::new(stride),
+            cap_rows,
+        }
+    }
+
+    /// Row width in `u64` words.
+    pub fn stride(&self) -> usize {
+        self.space.stride()
+    }
+
+    /// Number of distinct no-goods stored.
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// `true` if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+
+    /// Whether `row` (already canonicalized by the caller) is a known
+    /// no-good.
+    pub fn contains(&self, row: &[u64]) -> bool {
+        self.space.find(hash_words(NOGOOD_SALT, row), row).is_some()
+    }
+
+    /// Insert `row` unless it is already present or the store is at
+    /// capacity; `true` means a new row was actually stored.
+    pub fn insert(&mut self, row: &[u64]) -> bool {
+        if self.space.len() >= self.cap_rows {
+            return false;
+        }
+        let hash = hash_words(NOGOOD_SALT, row);
+        if self.space.find(hash, row).is_some() {
+            return false;
+        }
+        self.space.insert_new(hash, row);
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +532,29 @@ mod tests {
         let id = s.insert_new(h, &[]);
         assert_eq!(s.find(h, &[]), Some(id));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn nogood_store_dedups_and_caps() {
+        let mut s = NogoodStore::new(3, 2);
+        assert!(s.is_empty());
+        assert_eq!(s.stride(), 3);
+        let a: &[u64] = &[1, 2, 3];
+        let b: &[u64] = &[1, 2, 4];
+        let c: &[u64] = &[5, 0, 0];
+        assert!(!s.contains(a));
+        assert!(s.insert(a));
+        assert!(s.contains(a));
+        assert!(!s.contains(b));
+        // Duplicates are rejected without consuming capacity.
+        assert!(!s.insert(a));
+        assert_eq!(s.len(), 1);
+        assert!(s.insert(b));
+        // At capacity: further inserts are dropped, lookups still work.
+        assert!(!s.insert(c));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(b));
+        assert!(!s.contains(c));
     }
 
     #[test]

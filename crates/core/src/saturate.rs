@@ -21,46 +21,103 @@
 //!   context that contains both endpoints.
 //! * Read legality becomes **recency triples**: if read `r` returns write
 //!   `w`, every other same-location write `w'` in the view must satisfy
-//!   `w' ≺ w ∨ r ≺ w'`. Triples whose disjunct is forced by the current
-//!   closure propagate immediately; genuinely open triples and ambiguous
-//!   reads-from choices are the only residual choice points, handled by a
-//!   small backtracking solver with replay-based state restoration and a
-//!   packed failed-state memo reusing the [`crate::kernel`] machinery.
+//!   `w' ≺ w ∨ r ≺ w'`.
+//!
+//! Propagation is *watched*, SAT-solver style: every inserted closure
+//! edge flows through one queue, and the only work done per edge is (a)
+//! the share broadcast, (b) killing the reads-from candidates the edge
+//! refutes, and (c) waking the recency triples that registered a watch
+//! on that edge — there are no per-round rescans. The residual choice
+//! points (ambiguous reads-from, open triples, unordered write pairs)
+//! are handled by a conflict-driven solver: every edge carries a bitmask
+//! of the decision levels it was derived from, a conflict's mask drives
+//! conflict-directed backjumping, exhausted decision prefixes and
+//! bit-exact reason cuts are learned into a [`crate::kernel::NogoodStore`]
+//! so aliasing-symmetric subtrees are never re-explored, and branching
+//! follows a VSIDS-style activity score under a Luby restart schedule
+//! that keeps the learned cuts. Backtracking is chronological trail
+//! undo, not replay.
 //!
 //! The engine handles every model whose mutual-consistency requirements
 //! are expressible as edge broadcasting ([`supports`]); the labeled /
 //! bracketing / semi-causal models stay with the exhaustive checker. On
 //! every history where both engines decide, the verdicts agree and the
 //! saturation witness re-checks under [`crate::verify::verify_witness`]
-//! (property-tested in `tests/engine_equiv.rs`); unlike the exhaustive
-//! search the work here is polynomial in the history size per decision,
-//! which moves the practical ceiling from ~12-op litmus tests into the
-//! 100–1000-op regime.
+//! (property-tested in `tests/engine_equiv.rs` and
+//! `tests/saturate_learning.rs`).
 
 use crate::budget::Budget;
-use crate::checker::{view_op_sets, CheckStats, Stage, Verdict, Witness};
-use crate::kernel::{hash_words, set_u32, StateSpace};
+use crate::checker::{view_op_sets, CheckConfig, CheckStats, Stage, Verdict, Witness};
+use crate::kernel::NogoodStore;
 use crate::orders;
 use crate::spec::{GlobalOrder, ModelSpec, OwnerOrder};
 use smc_history::{History, OpId};
 use smc_relation::{BitSet, Relation};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Reads-from value: not yet decided.
 const UNASSIGNED: u32 = u32::MAX;
 /// Reads-from value: the read returns the location's initial value.
 const FROM_INITIAL: u32 = u32::MAX - 1;
 
-/// Snapshot the pre-decision state for the failed-state memo only at
-/// depths below this (shallow subtrees are the ones worth deduplicating,
-/// and packing is linear in the state size).
-const SNAPSHOT_DEPTH: usize = 6;
-/// Skip failed-state snapshots entirely when a packed row would exceed
-/// this many `u64` words (large histories would pay more for packing
-/// than the dedup saves).
-const SNAPSHOT_MAX_STRIDE: usize = 4096;
-/// Upper bound on failed-state rows (bounds arena memory at
-/// `SNAPSHOT_MAX_STRIDE × 8` bytes each).
-const SNAPSHOT_MAX_ROWS: usize = 4096;
+/// Words per learned-nogood row — also the largest decision-set size
+/// (sorted codes, zero-padded) the store can represent.
+const NOGOOD_STRIDE: usize = 32;
+/// Upper bound on learned rows (bounds arena memory).
+const NOGOOD_MAX_ROWS: usize = 16_384;
+/// VSIDS bump growth per conflict (MiniSat's 1/0.95).
+const ACT_DECAY: f64 = 1.0 / 0.95;
+/// Rescale threshold for activity scores.
+const ACT_RESCALE: f64 = 1e100;
+
+/// Decision-code tags (high nibble of the packed `u64`).
+const CODE_RF: u64 = 1 << 60;
+const CODE_EDGE: u64 = 2 << 60;
+const CODE_PAIR: u64 = 3 << 60;
+
+/// Pack a context edge into a watch/code key.
+#[inline]
+fn ekey(c: usize, a: usize, b: usize) -> u64 {
+    ((c as u64) << 48) | ((a as u64) << 24) | b as u64
+}
+
+/// The `i`-th Luby restart multiplier (0-indexed): 1,1,2,1,1,2,4,…
+fn luby(mut x: u64) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// A fast multiply-xor hasher for the watch map's small integer keys
+/// (SipHash is measurable on the hot propagation path).
+#[derive(Default)]
+struct FxHash(u64);
+
+impl Hasher for FxHash {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0.rotate_left(5) ^ x).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type WatchMap = HashMap<u64, Vec<(u32, u32)>, BuildHasherDefault<FxHash>>;
 
 /// Whether the saturation engine can decide `spec`.
 ///
@@ -91,8 +148,10 @@ enum Share {
 }
 
 enum Fail {
-    /// The current partial assignment is contradictory.
-    Conflict,
+    /// The current partial assignment is contradictory; the mask is the
+    /// union of the decision levels the contradiction was derived from
+    /// (bit `min(level, 63)`; zero means base-implied).
+    Conflict(u64),
     /// The budget ran out mid-propagation.
     Budget,
 }
@@ -100,7 +159,7 @@ enum Fail {
 /// A residual choice point.
 enum Choice {
     /// An ambiguous read: which write (or the initial value) it returns.
-    /// `options` is the candidate list as filtered at decision time.
+    /// `options` is the candidate list as alive at decision time.
     Rf { slot: usize, options: Vec<u32> },
     /// An open recency triple for read `read` (whose source is already
     /// assigned) against same-location write `wprime`: option 0 orders
@@ -130,30 +189,81 @@ struct Frame {
     choice: Choice,
     /// Index of the currently-applied option.
     next: usize,
-    /// Packed pre-decision state, kept at shallow depths for the
-    /// failed-state memo.
-    packed: Option<Vec<u64>>,
+    /// Trail length before this frame's option was applied.
+    trail_mark: usize,
+    /// Union of the conflict masks seen under this frame's options
+    /// (own level bit removed) — the CBJ conflict set.
+    blame: u64,
+    /// Packed code of the currently-applied option, for nogood rows.
+    code: u64,
 }
 
-/// The mutable solver state: rebuilt by replay on backtracking, so the
-/// solver never clones it per decision.
+/// One reversible state mutation, for chronological trail undo.
+enum Change {
+    /// Context edge `a → b` in context `c`.
+    Edge(u32, u32, u32),
+    /// Shared store/coherence edge `a → b`.
+    SEdge(u32, u32),
+    /// Global causal edge `a → b`.
+    GEdge(u32, u32),
+    /// Reads-from slot assigned.
+    Rf(u32),
+    /// `(slot, wprime)` recency triple marked resolved.
+    Resolved(u32, u32),
+    /// `(slot, cand_idx)` reads-from candidate killed.
+    Dead(u32, u32),
+    /// Triple watch registered under `key`.
+    Watch(u64),
+}
+
+/// A relation kept closed under transitivity, with predecessor rows
+/// maintained alongside the successor rows so incremental closure never
+/// pays a column scan.
+struct Dir {
+    rel: Relation,
+    pred: Vec<BitSet>,
+}
+
+/// The mutable solver state, restored by trail undo on backtracking.
 struct State {
     /// Per-context transitively-closed constraint relation, confined to
     /// the context's view operations.
-    ctx: Vec<Relation>,
+    ctx: Vec<Dir>,
+    /// Per-context edge reason masks, `n × n` flattened (decision-level
+    /// bits the edge was derived from; base edges stay zero).
+    emask: Vec<Vec<u64>>,
     /// The global `(po ∪ wb)+` closure for causal models.
-    global: Option<Relation>,
+    global: Option<Dir>,
+    /// Reason masks for `global` (empty unless causal).
+    gmask: Vec<u64>,
     /// Accumulated shared write/write edges (the store order or the
     /// per-location coherence orders, as a partial order).
     shared: Relation,
+    /// Reason masks for `shared` (empty when `Share::None`).
+    smask: Vec<u64>,
     /// Per read slot: `UNASSIGNED`, `FROM_INITIAL`, or a write op index.
     rf: Vec<u32>,
+    /// Per read slot: reason mask of its assignment (level bit for a
+    /// decision, union of killer masks for a propagated unit).
+    assign_mask: Vec<u64>,
     /// Per read slot: same-location writes whose recency triple is
-    /// already satisfied by the closure (monotone — edges are only
-    /// added, so a resolved triple stays resolved).
+    /// already satisfied or oriented.
     resolved: Vec<BitSet>,
-    /// Newly-inserted context edges pending share/broadcast processing.
+    /// Flattened per-candidate kill flags (indexed by `slot_off`).
+    dead: Vec<bool>,
+    /// Reason mask for each killed candidate (read only while dead).
+    killer: Vec<u64>,
+    /// Surviving candidate count per read slot.
+    alive: Vec<u32>,
+    /// Newly-inserted context edges pending share/kill/wake processing.
     queue: Vec<(u32, u32, u32)>,
+    /// Read slots reduced to a single candidate, pending assignment.
+    units: Vec<u32>,
+    /// The undo trail.
+    trail: Vec<Change>,
+    /// Watches registered by open recency triples: edge key → list of
+    /// `(slot, wprime)` triples to wake when that edge appears.
+    twatch: WatchMap,
 }
 
 /// The immutable problem description plus solver counters.
@@ -175,24 +285,42 @@ struct Solver<'a> {
     read_slot: Vec<u32>,
     /// Context owning each read slot.
     home: Vec<u32>,
-    /// Per read slot: reads-from candidates (`FROM_INITIAL` and/or write
-    /// op indices), mirroring [`crate::rf`]'s candidate rule.
+    /// Per read slot: reads-from candidates (`FROM_INITIAL` first when
+    /// present, then write op indices ascending), mirroring
+    /// [`crate::rf`]'s candidate rule.
     cands: Vec<Vec<u32>>,
+    /// Prefix sums of `cands` lengths (flattened candidate indexing).
+    slot_off: Vec<usize>,
+    /// Whether `cands[slot][0]` is `FROM_INITIAL`.
+    has_initial: Vec<bool>,
     /// Location index → write op indices, ascending.
     writes_by_loc: Vec<Vec<u32>>,
     is_write: BitSet,
     budget: &'a Budget,
+    /// Conflict-driven learning enabled ([`CheckConfig::saturate_learning`]).
+    learn: bool,
+    /// Conflicts per Luby unit between restarts; 0 disables restarts.
+    restart_unit: u64,
+    /// Learned nogoods: canonicalized decision sets (exhausted prefixes
+    /// and conflict cuts) that admit no solution. Survives restarts.
+    nogoods: NogoodStore,
+    /// VSIDS activity per read slot.
+    act: Vec<f64>,
+    act_inc: f64,
+    since_restart: u64,
+    restart_idx: u64,
     steps: u64,
     branches: u64,
-    /// True while rebuilding state in [`Solver::replay`]: replayed edge
-    /// insertions were already charged when first derived, so they do
-    /// not draw from the budget again (replay work stays bounded — at
-    /// most one replay per charged branch, each at most the state size).
-    replaying: bool,
-    /// Packed unsatisfiable pre-decision states ([`StateSpace`] reuse);
-    /// `None` when the packed row would be too wide to pay off.
-    failed: Option<StateSpace>,
-    scratch: Vec<u64>,
+    wakeups: u64,
+    conflicts: u64,
+    learned: u64,
+    restarts: u64,
+    /// Reusable buffers (closure target/source words, triple wake list,
+    /// nogood row assembly).
+    tbuf: Vec<u64>,
+    pbuf: Vec<u64>,
+    wake_buf: Vec<(u32, u32)>,
+    code_buf: Vec<u64>,
 }
 
 /// Decide `h` against `spec` by constraint saturation.
@@ -203,6 +331,7 @@ struct Solver<'a> {
 pub(crate) fn check_saturate(
     h: &History,
     spec: &ModelSpec,
+    cfg: &CheckConfig,
     budget: &Budget,
     stats: &mut CheckStats,
 ) -> Verdict {
@@ -216,15 +345,19 @@ pub(crate) fn check_saturate(
             spec.name
         ));
     }
-    let mut solver = Solver::new(h, spec, budget);
+    let mut solver = Solver::new(h, spec, cfg, budget);
     let verdict = solver.run(stats);
     stats.saturation_steps = solver.steps;
     stats.saturation_branches = solver.branches;
+    stats.saturation_wakeups = solver.wakeups;
+    stats.saturation_conflicts = solver.conflicts;
+    stats.saturation_learned = solver.learned;
+    stats.saturation_restarts = solver.restarts;
     verdict
 }
 
 impl<'a> Solver<'a> {
-    fn new(h: &'a History, spec: &'a ModelSpec, budget: &'a Budget) -> Self {
+    fn new(h: &'a History, spec: &'a ModelSpec, cfg: &CheckConfig, budget: &'a Budget) -> Self {
         let n = h.num_ops();
         let views = if spec.identical_views {
             vec![BitSet::full(n)]
@@ -274,7 +407,8 @@ impl<'a> Solver<'a> {
         // if the read returns it, plus every same-location write of the
         // same value. All writes are present in every view, so the
         // candidate set needs no per-view filtering.
-        let cands = reads
+        let mut has_initial = Vec::with_capacity(reads.len());
+        let cands: Vec<Vec<u32>> = reads
             .iter()
             .map(|&r| {
                 let read = h.op(OpId(r));
@@ -282,6 +416,7 @@ impl<'a> Solver<'a> {
                 if read.value == smc_history::Value::INITIAL {
                     out.push(FROM_INITIAL);
                 }
+                has_initial.push(!out.is_empty());
                 for &w in &writes_by_loc[read.loc.index()] {
                     if h.op(OpId(w)).value == read.value {
                         out.push(w);
@@ -290,9 +425,14 @@ impl<'a> Solver<'a> {
                 out
             })
             .collect();
-        let ctxs = views.len();
-        let stride = ctxs * n * n.div_ceil(64) + reads.len().div_ceil(2);
-        let failed = (stride <= SNAPSHOT_MAX_STRIDE && stride > 0).then(|| StateSpace::new(stride));
+        let mut slot_off = Vec::with_capacity(reads.len() + 1);
+        let mut off = 0usize;
+        for c in &cands {
+            slot_off.push(off);
+            off += c.len();
+        }
+        slot_off.push(off);
+        let act = vec![0.0; reads.len()];
         Solver {
             h,
             spec,
@@ -305,96 +445,172 @@ impl<'a> Solver<'a> {
             read_slot,
             home,
             cands,
+            slot_off,
+            has_initial,
             writes_by_loc,
             is_write,
             budget,
+            learn: cfg.saturate_learning,
+            restart_unit: cfg.saturate_restart_unit,
+            nogoods: NogoodStore::new(NOGOOD_STRIDE, NOGOOD_MAX_ROWS),
+            act,
+            act_inc: 1.0,
+            since_restart: 0,
+            restart_idx: 0,
             steps: 0,
             branches: 0,
-            replaying: false,
-            failed,
-            scratch: Vec::new(),
+            wakeups: 0,
+            conflicts: 0,
+            learned: 0,
+            restarts: 0,
+            tbuf: Vec::new(),
+            pbuf: Vec::new(),
+            wake_buf: Vec::new(),
+            code_buf: Vec::new(),
         }
     }
 
     fn init_state(&mut self) -> State {
         let n = self.n;
         let mut ctx = Vec::with_capacity(self.views.len());
+        let mut emask = Vec::with_capacity(self.views.len());
         let mut queue = Vec::new();
         for (c, view) in self.views.iter().enumerate() {
             let mut rel = Relation::new(n);
+            let mut pred = vec![BitSet::new(n); n];
             for a in view.iter() {
                 let mut row = self.base.successors(a).clone();
                 row.intersect_with(view);
                 for b in row.iter() {
                     rel.add(a, b);
-                    // Seed the share queue so the base's write/write
-                    // edges reach `shared` (the final store/coherence
-                    // orders must extend them).
-                    if self.share != Share::None {
-                        queue.push((c as u32, a as u32, b as u32));
-                    }
+                    pred[b].insert(a);
+                    // Seed the queue with every base edge so root-level
+                    // propagation (share broadcast, candidate kills)
+                    // sees them uniformly.
+                    queue.push((c as u32, a as u32, b as u32));
                 }
             }
-            ctx.push(rel);
+            ctx.push(Dir { rel, pred });
+            emask.push(vec![0u64; n * n]);
         }
+        let global = self.causal.then(|| {
+            let rel = self.base.clone();
+            let mut pred = vec![BitSet::new(n); n];
+            for a in 0..n {
+                for b in rel.successors(a).iter() {
+                    pred[b].insert(a);
+                }
+            }
+            Dir { rel, pred }
+        });
+        let mut units = Vec::new();
+        let mut alive = Vec::with_capacity(self.cands.len());
+        for (slot, cs) in self.cands.iter().enumerate() {
+            alive.push(cs.len() as u32);
+            if cs.len() == 1 {
+                units.push(slot as u32);
+            }
+        }
+        let total = *self.slot_off.last().unwrap_or(&0);
         State {
             ctx,
-            global: self.causal.then(|| self.base.clone()),
+            emask,
+            global,
+            gmask: if self.causal {
+                vec![0u64; n * n]
+            } else {
+                Vec::new()
+            },
             shared: Relation::new(n),
+            smask: if self.share != Share::None {
+                vec![0u64; n * n]
+            } else {
+                Vec::new()
+            },
             rf: vec![UNASSIGNED; self.reads.len()],
+            assign_mask: vec![0u64; self.reads.len()],
             resolved: vec![BitSet::new(n); self.reads.len()],
+            dead: vec![false; total],
+            killer: vec![0u64; total],
+            alive,
             queue,
+            units,
+            trail: Vec::new(),
+            twatch: WatchMap::default(),
         }
     }
 
     fn run(&mut self, stats: &mut CheckStats) -> Verdict {
+        // A read with an empty candidate list is unsatisfiable under
+        // every model the engine supports.
+        if self.cands.iter().any(|c| c.is_empty()) {
+            return Verdict::Disallowed;
+        }
         let mut st = self.init_state();
         match self.propagate(&mut st) {
             Ok(()) => {}
-            Err(Fail::Conflict) => return Verdict::Disallowed,
+            Err(Fail::Conflict(_)) => return Verdict::Disallowed,
             Err(Fail::Budget) => return self.exhausted(stats),
         }
         let mut frames: Vec<Frame> = Vec::new();
         loop {
+            if self.restart_unit > 0
+                && !frames.is_empty()
+                && self.since_restart >= self.restart_unit * luby(self.restart_idx)
+            {
+                // Luby restart: rewind to the root, keep the learned
+                // nogoods and activity scores.
+                self.restarts += 1;
+                self.restart_idx += 1;
+                self.since_restart = 0;
+                let mark = frames[0].trail_mark;
+                frames.clear();
+                self.undo_to(&mut st, mark);
+                continue;
+            }
+            if self.nogood_probe(&frames) {
+                // The current decision set is a known nogood (reached
+                // here in a different order): conflict on every level.
+                let mask = if frames.len() >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << frames.len()) - 1
+                };
+                self.note_conflict(&frames, mask);
+                match self.resolve(&mut frames, &mut st, mask) {
+                    Ok(()) => continue,
+                    Err(Fail::Conflict(_)) => return Verdict::Disallowed,
+                    Err(Fail::Budget) => return self.exhausted(stats),
+                }
+            }
             let Some(choice) = self.pick(&st) else {
                 return self.extract(&mut st);
             };
-            let packed = self.snapshot(frames.len(), &st);
-            if let Some(row) = &packed {
-                if let Some(space) = &self.failed {
-                    if space.find(hash_words(0, row), row).is_some() {
-                        // This exact state already exhausted every
-                        // option on an earlier branch.
-                        match self.backtrack(&mut frames, &mut st) {
-                            Ok(()) => continue,
-                            Err(Fail::Conflict) => return Verdict::Disallowed,
-                            Err(Fail::Budget) => return self.exhausted(stats),
-                        }
-                    }
-                }
-            }
+            frames.push(Frame {
+                choice,
+                next: 0,
+                trail_mark: st.trail.len(),
+                blame: 0,
+                code: 0,
+            });
             self.branches += 1;
             if !self.budget.try_spend() {
                 return self.exhausted(stats);
             }
-            frames.push(Frame {
-                choice,
-                next: 0,
-                packed,
-            });
-            let frame = frames.last().unwrap();
-            let mut applied = self.apply(&mut st, frame);
-            if applied.is_ok() {
-                applied = self.propagate(&mut st);
-            }
+            let applied = self
+                .apply_frame(&mut st, &mut frames)
+                .and_then(|()| self.propagate(&mut st));
             match applied {
                 Ok(()) => {}
                 Err(Fail::Budget) => return self.exhausted(stats),
-                Err(Fail::Conflict) => match self.backtrack(&mut frames, &mut st) {
-                    Ok(()) => {}
-                    Err(Fail::Conflict) => return Verdict::Disallowed,
-                    Err(Fail::Budget) => return self.exhausted(stats),
-                },
+                Err(Fail::Conflict(m)) => {
+                    self.note_conflict(&frames, m);
+                    match self.resolve(&mut frames, &mut st, m) {
+                        Ok(()) => {}
+                        Err(Fail::Conflict(_)) => return Verdict::Disallowed,
+                        Err(Fail::Budget) => return self.exhausted(stats),
+                    }
+                }
             }
         }
     }
@@ -404,110 +620,227 @@ impl<'a> Solver<'a> {
         Verdict::Exhausted
     }
 
-    /// Pack the current state for the failed-state memo, when enabled
-    /// and shallow enough. The row is the per-context closure rows plus
-    /// the reads-from vector; `resolved` is a derived cache and `shared`
-    /// / `global` are determined by the rest, so they are omitted.
-    fn snapshot(&mut self, depth: usize, st: &State) -> Option<Vec<u64>> {
-        let space = self.failed.as_ref()?;
-        if depth >= SNAPSHOT_DEPTH || space.len() >= SNAPSHOT_MAX_ROWS {
-            return None;
-        }
-        let stride = space.stride();
-        self.scratch.clear();
-        for rel in &st.ctx {
-            for a in 0..self.n {
-                self.scratch.extend_from_slice(rel.successors(a).words());
-            }
-        }
-        let rf_base = self.scratch.len();
-        self.scratch.resize(stride, 0);
-        for (i, &v) in st.rf.iter().enumerate() {
-            set_u32(&mut self.scratch[rf_base..], i, v);
-        }
-        Some(std::mem::take(&mut self.scratch))
-    }
-
-    /// Advance the deepest frame to its next option and rebuild the
-    /// state by replaying the decision prefix. Frames that run out of
-    /// options are popped (recording their pre-decision state as
-    /// unsatisfiable); an empty stack means the whole search space is
-    /// refuted.
-    fn backtrack(&mut self, frames: &mut Vec<Frame>, st: &mut State) -> Result<(), Fail> {
-        loop {
-            let Some(top) = frames.last_mut() else {
-                return Err(Fail::Conflict);
-            };
-            top.next += 1;
-            if top.next >= top.choice.arity() {
-                let dead = frames.pop().unwrap();
-                if let (Some(row), Some(space)) = (dead.packed, self.failed.as_mut()) {
-                    let hash = hash_words(0, &row);
-                    if space.len() < SNAPSHOT_MAX_ROWS && space.find(hash, &row).is_none() {
-                        space.insert_new(hash, &row);
-                    }
-                }
+    /// Conflict bookkeeping: count it, advance the restart clock, and
+    /// bump the activity of every decision slot the conflict blames.
+    fn note_conflict(&mut self, frames: &[Frame], mask: u64) {
+        self.conflicts += 1;
+        self.since_restart += 1;
+        self.act_inc *= ACT_DECAY;
+        let mut rescale = false;
+        for (i, f) in frames.iter().enumerate() {
+            if mask & (1u64 << i.min(63)) == 0 {
                 continue;
             }
-            match self.replay(frames) {
-                Ok(next) => {
-                    *st = next;
-                    return Ok(());
+            let slot = match f.choice {
+                Choice::Rf { slot, .. } => slot,
+                Choice::Triple { read, .. } => self.read_slot[read as usize] as usize,
+                Choice::WritePair { .. } => continue,
+            };
+            self.act[slot] += self.act_inc;
+            rescale |= self.act[slot] > ACT_RESCALE;
+        }
+        if rescale {
+            for a in &mut self.act {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// Conflict-directed backjumping: rewind to the deepest decision
+    /// level the conflict mask blames, advance that frame's option, and
+    /// keep resolving until an option survives propagation. Frames that
+    /// exhaust every option are popped, their exhaustion reason is
+    /// learned ([`Solver::record_nogoods`]), and the reason becomes the
+    /// conflict mask one level up. `Err(Conflict)` here means the whole
+    /// search space is refuted.
+    fn resolve(&mut self, frames: &mut Vec<Frame>, st: &mut State, mask: u64) -> Result<(), Fail> {
+        let mut mask = if self.learn { mask } else { u64::MAX };
+        loop {
+            if frames.is_empty() || mask == 0 {
+                // Either no decision to revise or a base-implied
+                // contradiction: the history is refuted outright.
+                return Err(Fail::Conflict(0));
+            }
+            let target = if mask & (1u64 << 63) != 0 {
+                // Levels ≥ 63 share the conservative bit: rewind
+                // chronologically.
+                frames.len() - 1
+            } else {
+                ((63 - mask.leading_zeros()) as usize).min(frames.len() - 1)
+            };
+            frames.truncate(target + 1);
+            let mark = frames[target].trail_mark;
+            self.undo_to(st, mark);
+            let f = &mut frames[target];
+            f.blame |= if target < 63 {
+                mask & !(1u64 << target)
+            } else {
+                // The shared bit may blame other deep frames: keep it.
+                mask
+            };
+            f.next += 1;
+            if f.next >= f.choice.arity() {
+                // Every option failed: the exhaustion reason is the
+                // accumulated blame plus whatever made the option list
+                // itself exhaustive.
+                let mut em = f.blame;
+                match &f.choice {
+                    Choice::Rf { slot, .. } => {
+                        // Candidates already dead at decision time were
+                        // excluded for their killers' reasons.
+                        let off = self.slot_off[*slot];
+                        for i in 0..self.cands[*slot].len() {
+                            if st.dead[off + i] {
+                                em |= st.killer[off + i];
+                            }
+                        }
+                    }
+                    Choice::Triple { read, .. } => {
+                        // The triple's dichotomy presumes the read's
+                        // source assignment.
+                        let slot = self.read_slot[*read as usize] as usize;
+                        em |= st.assign_mask[slot];
+                    }
+                    // A write pair must be ordered one way or the other
+                    // unconditionally.
+                    Choice::WritePair { .. } => {}
                 }
-                Err(Fail::Conflict) => continue,
+                if self.learn {
+                    self.record_nogoods(frames, em);
+                }
+                frames.pop();
+                mask = if self.learn { em } else { u64::MAX };
+                continue;
+            }
+            self.branches += 1;
+            if !self.budget.try_spend() {
+                return Err(Fail::Budget);
+            }
+            match self
+                .apply_frame(st, frames)
+                .and_then(|()| self.propagate(st))
+            {
+                Ok(()) => return Ok(()),
                 Err(Fail::Budget) => return Err(Fail::Budget),
+                Err(Fail::Conflict(m)) => {
+                    self.note_conflict(frames, m);
+                    mask = if self.learn { m } else { u64::MAX };
+                }
             }
         }
     }
 
-    /// Rebuild the solver state from scratch under the frames' current
-    /// option indices. Propagation is a monotone closure operator, so
-    /// replaying the same decisions reaches the same fixpoint the
-    /// incremental path would have.
-    fn replay(&mut self, frames: &[Frame]) -> Result<State, Fail> {
-        self.replaying = true;
-        let result = (|| {
-            let mut st = self.init_state();
-            self.propagate(&mut st)?;
-            for f in frames {
-                self.apply(&mut st, f)?;
-                self.propagate(&mut st)?;
-            }
-            Ok(st)
-        })();
-        self.replaying = false;
-        result
+    /// Whether the current decision set (order-independent) is a learned
+    /// nogood. Propagation is a confluent closure operator, so the state
+    /// is a function of the decision *set* — any permutation of an
+    /// exhausted prefix is equally unsatisfiable.
+    fn nogood_probe(&mut self, frames: &[Frame]) -> bool {
+        if !self.learn
+            || frames.is_empty()
+            || frames.len() > NOGOOD_STRIDE
+            || self.nogoods.is_empty()
+        {
+            return false;
+        }
+        let mut row = std::mem::take(&mut self.code_buf);
+        row.clear();
+        row.extend(frames.iter().map(|f| f.code));
+        row.sort_unstable();
+        row.dedup();
+        row.resize(NOGOOD_STRIDE, 0);
+        let hit = self.nogoods.contains(&row);
+        self.code_buf = row;
+        hit
     }
 
-    fn apply(&mut self, st: &mut State, frame: &Frame) -> Result<(), Fail> {
-        match &frame.choice {
-            Choice::Rf { slot, options } => self.assign(st, *slot, options[frame.next]),
-            Choice::Triple { ctx, read, wprime } => {
-                let slot = self.read_slot[*read as usize] as usize;
-                let src = st.rf[slot];
-                debug_assert!(src != UNASSIGNED && src != FROM_INITIAL);
-                st.resolved[slot].insert(*wprime as usize);
-                if frame.next == 0 {
-                    self.add_edge(st, *ctx as usize, *wprime as usize, src as usize)
-                } else {
-                    self.add_edge(st, *ctx as usize, *read as usize, *wprime as usize)
+    /// Learn from an exhausted frame (the last of `frames`): its
+    /// decision prefix is a nogood, and so is the subset of decisions at
+    /// the levels in `em` (the reason cut) when `em` is exact (no
+    /// conservative bit).
+    fn record_nogoods(&mut self, frames: &[Frame], em: u64) {
+        let d = frames.len() - 1;
+        let mut row = std::mem::take(&mut self.code_buf);
+        if (1..=NOGOOD_STRIDE).contains(&d) {
+            row.clear();
+            row.extend(frames[..d].iter().map(|f| f.code));
+            row.sort_unstable();
+            row.dedup();
+            row.resize(NOGOOD_STRIDE, 0);
+            if self.nogoods.insert(&row) {
+                self.learned += 1;
+            }
+        }
+        if em & (1u64 << 63) == 0 {
+            let bits = em.count_ones() as usize;
+            if bits > 0 && bits < d && bits <= NOGOOD_STRIDE {
+                row.clear();
+                let mut m = em;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if i < d {
+                        row.push(frames[i].code);
+                    }
+                }
+                row.sort_unstable();
+                row.dedup();
+                row.resize(NOGOOD_STRIDE, 0);
+                if self.nogoods.insert(&row) {
+                    self.learned += 1;
                 }
             }
+        }
+        self.code_buf = row;
+    }
+
+    /// Apply the deepest frame's current option.
+    fn apply_frame(&mut self, st: &mut State, frames: &mut [Frame]) -> Result<(), Fail> {
+        let i = frames.len() - 1;
+        let level_mask = 1u64 << i.min(63);
+        let f = &mut frames[i];
+        match f.choice {
+            Choice::Rf { slot, ref options } => {
+                let val = options[f.next];
+                f.code = CODE_RF | ((slot as u64) << 32) | val as u64;
+                self.assign(st, slot, val, level_mask)
+            }
+            Choice::Triple { ctx, read, wprime } => {
+                let slot = self.read_slot[read as usize] as usize;
+                let src = st.rf[slot];
+                debug_assert!(src != UNASSIGNED && src != FROM_INITIAL);
+                let (from, to) = if f.next == 0 {
+                    (wprime, src)
+                } else {
+                    (read, wprime)
+                };
+                f.code = CODE_EDGE | ekey(ctx as usize, from as usize, to as usize);
+                st.resolved[slot].insert(wprime as usize);
+                st.trail.push(Change::Resolved(slot as u32, wprime));
+                self.add_edge(st, ctx as usize, from as usize, to as usize, level_mask)
+            }
             Choice::WritePair { a, b } => {
-                let (x, y) = if frame.next == 0 { (*a, *b) } else { (*b, *a) };
+                let (x, y) = if f.next == 0 { (a, b) } else { (b, a) };
+                f.code = CODE_PAIR | ((x as u64) << 24) | y as u64;
                 for c in 0..st.ctx.len() {
-                    self.add_edge(st, c, x as usize, y as usize)?;
+                    self.add_edge(st, c, x as usize, y as usize, level_mask)?;
                 }
                 Ok(())
             }
         }
     }
 
-    fn assign(&mut self, st: &mut State, slot: usize, val: u32) -> Result<(), Fail> {
+    /// Assign read `slot` to `val` with reason `mask`, derive the
+    /// consequences, and register watches for the recency triples the
+    /// closure leaves open.
+    fn assign(&mut self, st: &mut State, slot: usize, val: u32, mask: u64) -> Result<(), Fail> {
         debug_assert_eq!(st.rf[slot], UNASSIGNED);
         st.rf[slot] = val;
+        st.assign_mask[slot] = mask;
+        st.trail.push(Change::Rf(slot as u32));
         let r = self.reads[slot] as usize;
         let c = self.home[slot] as usize;
+        let n = self.n;
         if val == FROM_INITIAL {
             // The read precedes every same-location write in its view;
             // that resolves all its recency triples at once.
@@ -515,130 +848,66 @@ impl<'a> Solver<'a> {
             for i in 0..self.writes_by_loc[loc].len() {
                 let w = self.writes_by_loc[loc][i] as usize;
                 st.resolved[slot].insert(w);
-                self.add_edge(st, c, r, w)?;
+                st.trail.push(Change::Resolved(slot as u32, w as u32));
+                self.add_edge(st, c, r, w, mask)?;
             }
-        } else {
-            let w = val as usize;
-            st.resolved[slot].insert(w);
-            self.add_edge(st, c, w, r)?;
-            if self.causal {
-                self.global_insert(st, w, r)?;
-            }
+            return Ok(());
         }
-        Ok(())
-    }
-
-    /// Run unit propagation to a fixpoint: drain the share queue, force
-    /// single-candidate reads, and orient every recency triple with only
-    /// one open disjunct.
-    fn propagate(&mut self, st: &mut State) -> Result<(), Fail> {
-        loop {
-            self.drain_queue(st)?;
-            let mut changed = false;
-            for slot in 0..self.reads.len() {
-                match st.rf[slot] {
-                    UNASSIGNED => {
-                        let mut count = 0usize;
-                        let mut only = UNASSIGNED;
-                        for i in 0..self.cands[slot].len() {
-                            let cand = self.cands[slot][i];
-                            if self.viable(st, slot, cand) {
-                                count += 1;
-                                only = cand;
-                            }
-                        }
-                        match count {
-                            0 => return Err(Fail::Conflict),
-                            1 => {
-                                self.assign(st, slot, only)?;
-                                changed = true;
-                            }
-                            _ => {}
-                        }
-                    }
-                    FROM_INITIAL => {}
-                    src => changed |= self.enforce_recency(st, slot, src)?,
-                }
-            }
-            if !changed && st.queue.is_empty() {
-                return Ok(());
-            }
+        let w = val as usize;
+        st.resolved[slot].insert(w);
+        st.trail.push(Change::Resolved(slot as u32, w as u32));
+        self.add_edge(st, c, w, r, mask)?;
+        if self.causal {
+            self.global_insert(st, w, r, mask)?;
         }
-    }
-
-    /// Whether candidate `cand` is still consistent with the read's home
-    /// context.
-    fn viable(&self, st: &State, slot: usize, cand: u32) -> bool {
-        let r = self.reads[slot] as usize;
-        let c = self.home[slot] as usize;
-        if cand == FROM_INITIAL {
-            let loc = self.h.op(OpId(r as u32)).loc.index();
-            self.writes_by_loc[loc]
-                .iter()
-                .all(|&w| !st.ctx[c].has(w as usize, r))
-        } else {
-            !st.ctx[c].has(r, cand as usize)
-        }
-    }
-
-    /// Enforce the recency triples of an assigned read: for its source
-    /// `w` and every other same-location write `w'`, require
-    /// `w' ≺ w ∨ r ≺ w'`; orient the pair when only one disjunct is
-    /// open, fail when neither is.
-    fn enforce_recency(&mut self, st: &mut State, slot: usize, src: u32) -> Result<bool, Fail> {
-        let r = self.reads[slot] as usize;
-        let c = self.home[slot] as usize;
-        let w = src as usize;
+        // Recency triples: orient the ones the closure already forces,
+        // watch the rest.
         let loc = self.h.op(OpId(r as u32)).loc.index();
-        let mut changed = false;
         for i in 0..self.writes_by_loc[loc].len() {
             let wp = self.writes_by_loc[loc][i] as usize;
             if wp == w || st.resolved[slot].contains(wp) {
                 continue;
             }
-            if st.ctx[c].has(wp, w) || st.ctx[c].has(r, wp) {
+            let rel = &st.ctx[c].rel;
+            if rel.has(wp, w) || rel.has(r, wp) {
                 st.resolved[slot].insert(wp);
+                st.trail.push(Change::Resolved(slot as u32, wp as u32));
                 continue;
             }
-            let before_ok = !st.ctx[c].has(w, wp);
-            let after_ok = !st.ctx[c].has(wp, r);
-            match (before_ok, after_ok) {
-                (false, false) => return Err(Fail::Conflict),
+            let blocked_before = rel.has(w, wp);
+            let blocked_after = rel.has(wp, r);
+            match (blocked_before, blocked_after) {
+                (true, true) => {
+                    return Err(Fail::Conflict(
+                        mask | st.emask[c][w * n + wp] | st.emask[c][wp * n + r],
+                    ))
+                }
                 (true, false) => {
+                    let m = mask | st.emask[c][w * n + wp];
                     st.resolved[slot].insert(wp);
-                    self.add_edge(st, c, wp, w)?;
-                    changed = true;
+                    st.trail.push(Change::Resolved(slot as u32, wp as u32));
+                    self.add_edge(st, c, r, wp, m)?;
                 }
                 (false, true) => {
+                    let m = mask | st.emask[c][wp * n + r];
                     st.resolved[slot].insert(wp);
-                    self.add_edge(st, c, r, wp)?;
-                    changed = true;
+                    st.trail.push(Change::Resolved(slot as u32, wp as u32));
+                    self.add_edge(st, c, wp, w, m)?;
                 }
-                (true, true) => {}
-            }
-        }
-        Ok(changed)
-    }
-
-    /// Process pending context edges: write/write edges matching the
-    /// share mode enter `shared` and broadcast into every sibling
-    /// context.
-    fn drain_queue(&mut self, st: &mut State) -> Result<(), Fail> {
-        while let Some((c, a, b)) = st.queue.pop() {
-            let (a, b) = (a as usize, b as usize);
-            let hit = match self.share {
-                Share::None => false,
-                Share::AllWrites => self.is_write.contains(a) && self.is_write.contains(b),
-                Share::SameLoc => {
-                    self.is_write.contains(a)
-                        && self.is_write.contains(b)
-                        && self.h.op(OpId(a as u32)).loc == self.h.op(OpId(b as u32)).loc
-                }
-            };
-            if hit && st.shared.add(a, b) {
-                for c2 in 0..st.ctx.len() {
-                    if c2 != c as usize {
-                        self.add_edge(st, c2, a, b)?;
+                (false, false) => {
+                    // Genuinely open: wake on any of the four edges that
+                    // could decide or satisfy the triple.
+                    for key in [
+                        ekey(c, w, wp),
+                        ekey(c, wp, r),
+                        ekey(c, wp, w),
+                        ekey(c, r, wp),
+                    ] {
+                        st.twatch
+                            .entry(key)
+                            .or_default()
+                            .push((slot as u32, wp as u32));
+                        st.trail.push(Change::Watch(key));
                     }
                 }
             }
@@ -646,30 +915,247 @@ impl<'a> Solver<'a> {
         Ok(())
     }
 
-    /// Insert `a → b` into context `c` and restore transitive closure
-    /// incrementally; every newly-created edge is queued for share
-    /// processing. Fails on a cycle or on budget exhaustion.
-    fn add_edge(&mut self, st: &mut State, c: usize, a: usize, b: usize) -> Result<(), Fail> {
-        let rel = &mut st.ctx[c];
-        if a == b || rel.has(b, a) {
-            return Err(Fail::Conflict);
+    /// Run propagation to a fixpoint: every inserted edge flows through
+    /// the queue exactly once (share broadcast, candidate kills, triple
+    /// wakes), and slots reduced to one candidate are assigned.
+    fn propagate(&mut self, st: &mut State) -> Result<(), Fail> {
+        loop {
+            if let Some((c, a, b)) = st.queue.pop() {
+                self.process_edge(st, c as usize, a as usize, b as usize)?;
+                continue;
+            }
+            if let Some(slot) = st.units.pop() {
+                let slot = slot as usize;
+                if st.rf[slot] != UNASSIGNED {
+                    continue;
+                }
+                debug_assert_eq!(st.alive[slot], 1);
+                // The forced value's reason is the union of the reasons
+                // every sibling candidate died.
+                let off = self.slot_off[slot];
+                let mut m = 0u64;
+                let mut val = UNASSIGNED;
+                for i in 0..self.cands[slot].len() {
+                    if st.dead[off + i] {
+                        m |= st.killer[off + i];
+                    } else {
+                        val = self.cands[slot][i];
+                    }
+                }
+                debug_assert_ne!(val, UNASSIGNED);
+                self.assign(st, slot, val, m)?;
+                continue;
+            }
+            return Ok(());
         }
-        if rel.has(a, b) {
+    }
+
+    /// React to context edge `a → b` in context `c`: broadcast it if the
+    /// share mode claims it, kill the reads-from candidates it refutes,
+    /// and wake the recency triples watching it.
+    fn process_edge(&mut self, st: &mut State, c: usize, a: usize, b: usize) -> Result<(), Fail> {
+        let n = self.n;
+        let mask = st.emask[c][a * n + b];
+        let hit = match self.share {
+            Share::None => false,
+            Share::AllWrites => self.is_write.contains(a) && self.is_write.contains(b),
+            Share::SameLoc => {
+                self.is_write.contains(a)
+                    && self.is_write.contains(b)
+                    && self.h.op(OpId(a as u32)).loc == self.h.op(OpId(b as u32)).loc
+            }
+        };
+        if hit && !st.shared.has(a, b) {
+            st.shared.add(a, b);
+            st.smask[a * n + b] = mask;
+            st.trail.push(Change::SEdge(a as u32, b as u32));
+            for c2 in 0..st.ctx.len() {
+                if c2 != c {
+                    self.add_edge(st, c2, a, b, mask)?;
+                }
+            }
+        }
+        // Candidate kills need no watch lists: an edge touching a read
+        // in its home context names the only slot it can constrain.
+        let ra = self.read_slot[a];
+        let rb = self.read_slot[b];
+        if ra != u32::MAX && rb == u32::MAX {
+            // read → write: reading `b` would need `b ≺ a`, a cycle.
+            let slot = ra as usize;
+            if self.home[slot] as usize == c && st.rf[slot] == UNASSIGNED {
+                if let Some(idx) = self.cand_index(slot, b as u32) {
+                    self.kill(st, slot, idx, mask)?;
+                }
+            }
+        } else if rb != u32::MAX && ra == u32::MAX {
+            // write → read, same location: the read cannot return the
+            // initial value any more.
+            let slot = rb as usize;
+            if self.home[slot] as usize == c
+                && st.rf[slot] == UNASSIGNED
+                && self.has_initial[slot]
+                && self.h.op(OpId(a as u32)).loc == self.h.op(OpId(b as u32)).loc
+            {
+                self.kill(st, slot, 0, mask)?;
+            }
+        }
+        if !st.twatch.is_empty() {
+            let key = ekey(c, a, b);
+            if st.twatch.contains_key(&key) {
+                let mut buf = std::mem::take(&mut self.wake_buf);
+                buf.clear();
+                buf.extend_from_slice(&st.twatch[&key]);
+                let mut res = Ok(());
+                for &(slot, wp) in &buf {
+                    if let Err(e) = self.wake_triple(st, slot as usize, wp as usize) {
+                        res = Err(e);
+                        break;
+                    }
+                }
+                self.wake_buf = buf;
+                return res;
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of write `w` in `cands[slot]`, if it is a candidate.
+    fn cand_index(&self, slot: usize, w: u32) -> Option<usize> {
+        let start = self.has_initial[slot] as usize;
+        self.cands[slot][start..]
+            .binary_search(&w)
+            .ok()
+            .map(|i| start + i)
+    }
+
+    /// Kill candidate `idx` of `slot` for reason `mask`; a slot left
+    /// with one candidate becomes a unit, with none a conflict.
+    fn kill(&mut self, st: &mut State, slot: usize, idx: usize, mask: u64) -> Result<(), Fail> {
+        let off = self.slot_off[slot];
+        if st.dead[off + idx] {
+            return Ok(());
+        }
+        self.wakeups += 1;
+        st.dead[off + idx] = true;
+        st.killer[off + idx] = mask;
+        st.alive[slot] -= 1;
+        st.trail.push(Change::Dead(slot as u32, idx as u32));
+        match st.alive[slot] {
+            0 => {
+                let mut m = 0u64;
+                for i in 0..self.cands[slot].len() {
+                    m |= st.killer[off + i];
+                }
+                Err(Fail::Conflict(m))
+            }
+            1 => {
+                st.units.push(slot as u32);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Re-examine a watched recency triple after one of its four edges
+    /// appeared: satisfied triples resolve, half-blocked triples force
+    /// the surviving disjunct, fully-blocked triples conflict.
+    fn wake_triple(&mut self, st: &mut State, slot: usize, wp: usize) -> Result<(), Fail> {
+        self.wakeups += 1;
+        if st.resolved[slot].contains(wp) {
+            return Ok(());
+        }
+        let src = st.rf[slot];
+        debug_assert!(src != UNASSIGNED && src != FROM_INITIAL);
+        let w = src as usize;
+        let r = self.reads[slot] as usize;
+        let c = self.home[slot] as usize;
+        let n = self.n;
+        let rel = &st.ctx[c].rel;
+        if rel.has(wp, w) || rel.has(r, wp) {
+            st.resolved[slot].insert(wp);
+            st.trail.push(Change::Resolved(slot as u32, wp as u32));
+            return Ok(());
+        }
+        let am = st.assign_mask[slot];
+        let blocked_before = rel.has(w, wp);
+        let blocked_after = rel.has(wp, r);
+        match (blocked_before, blocked_after) {
+            (true, true) => Err(Fail::Conflict(
+                am | st.emask[c][w * n + wp] | st.emask[c][wp * n + r],
+            )),
+            (true, false) => {
+                let m = am | st.emask[c][w * n + wp];
+                st.resolved[slot].insert(wp);
+                st.trail.push(Change::Resolved(slot as u32, wp as u32));
+                self.add_edge(st, c, r, wp, m)
+            }
+            (false, true) => {
+                let m = am | st.emask[c][wp * n + r];
+                st.resolved[slot].insert(wp);
+                st.trail.push(Change::Resolved(slot as u32, wp as u32));
+                self.add_edge(st, c, wp, w, m)
+            }
+            (false, false) => Ok(()),
+        }
+    }
+
+    /// Insert `a → b` into context `c` with reason `mask` and restore
+    /// transitive closure incrementally, word-parallel: the derived edge
+    /// `x → y` exists for `x ∈ pred(a) ∪ {a}`, `y ∈ succ(b) ∪ {b}`, and
+    /// a source already reaching `b` is skipped whole (closure says it
+    /// has every target). Every new edge is charged, masked with the
+    /// composition of its constituents, trailed, and queued. Fails on a
+    /// cycle or on budget exhaustion.
+    fn add_edge(
+        &mut self,
+        st: &mut State,
+        c: usize,
+        a: usize,
+        b: usize,
+        mask: u64,
+    ) -> Result<(), Fail> {
+        let n = self.n;
+        if a == b || st.ctx[c].rel.has(b, a) {
+            let back = if a == b { 0 } else { st.emask[c][b * n + a] };
+            return Err(Fail::Conflict(mask | back));
+        }
+        if st.ctx[c].rel.has(a, b) {
             return Ok(());
         }
         debug_assert!(self.views[c].contains(a) && self.views[c].contains(b));
-        let mut sources = rel.predecessors(a);
-        sources.insert(a);
-        let mut targets = rel.successors(b).clone();
-        targets.insert(b);
-        for x in sources.iter() {
-            for y in targets.iter() {
-                if st.ctx[c].add(x, y) {
-                    self.steps += 1;
-                    if !self.replaying && !self.budget.try_spend() {
-                        return Err(Fail::Budget);
+        let words = n.div_ceil(64);
+        self.tbuf.clear();
+        self.tbuf
+            .extend_from_slice(st.ctx[c].rel.successors(b).words());
+        self.tbuf[b / 64] |= 1u64 << (b % 64);
+        self.pbuf.clear();
+        self.pbuf.extend_from_slice(st.ctx[c].pred[a].words());
+        self.pbuf[a / 64] |= 1u64 << (a % 64);
+        for wi in 0..words {
+            let mut pw = self.pbuf[wi];
+            while pw != 0 {
+                let x = wi * 64 + pw.trailing_zeros() as usize;
+                pw &= pw - 1;
+                if st.ctx[c].rel.has(x, b) {
+                    continue;
+                }
+                let mx = if x == a { 0 } else { st.emask[c][x * n + a] };
+                for wj in 0..words {
+                    let mut new = self.tbuf[wj] & !st.ctx[c].rel.successors(x).words()[wj];
+                    while new != 0 {
+                        let y = wj * 64 + new.trailing_zeros() as usize;
+                        new &= new - 1;
+                        let my = if y == b { 0 } else { st.emask[c][b * n + y] };
+                        st.ctx[c].rel.add(x, y);
+                        st.ctx[c].pred[y].insert(x);
+                        st.emask[c][x * n + y] = mask | mx | my;
+                        st.trail.push(Change::Edge(c as u32, x as u32, y as u32));
+                        st.queue.push((c as u32, x as u32, y as u32));
+                        self.steps += 1;
+                        if !self.budget.try_spend() {
+                            return Err(Fail::Budget);
+                        }
                     }
-                    st.queue.push((c as u32, x as u32, y as u32));
                 }
             }
         }
@@ -679,65 +1165,154 @@ impl<'a> Solver<'a> {
     /// Insert a writes-before edge into the global causal closure and
     /// push every newly-derived edge into the contexts containing both
     /// endpoints. A causal cycle refutes the current assignment.
-    fn global_insert(&mut self, st: &mut State, a: usize, b: usize) -> Result<(), Fail> {
-        let global = st.global.as_mut().expect("causal models only");
-        if a == b || global.has(b, a) {
-            return Err(Fail::Conflict);
+    fn global_insert(&mut self, st: &mut State, a: usize, b: usize, mask: u64) -> Result<(), Fail> {
+        let n = self.n;
+        {
+            let g = st.global.as_ref().expect("causal models only");
+            if a == b || g.rel.has(b, a) {
+                let back = if a == b { 0 } else { st.gmask[b * n + a] };
+                return Err(Fail::Conflict(mask | back));
+            }
+            if g.rel.has(a, b) {
+                return Ok(());
+            }
         }
-        if global.has(a, b) {
-            return Ok(());
-        }
-        let mut sources = global.predecessors(a);
-        sources.insert(a);
-        let mut targets = global.successors(b).clone();
-        targets.insert(b);
-        let mut fresh = Vec::new();
-        for x in sources.iter() {
-            for y in targets.iter() {
-                if global.add(x, y) {
-                    self.steps += 1;
-                    if !self.replaying && !self.budget.try_spend() {
-                        return Err(Fail::Budget);
+        let words = n.div_ceil(64);
+        let mut fresh: Vec<(u32, u32)> = Vec::new();
+        {
+            let g = st.global.as_mut().expect("causal models only");
+            self.tbuf.clear();
+            self.tbuf.extend_from_slice(g.rel.successors(b).words());
+            self.tbuf[b / 64] |= 1u64 << (b % 64);
+            self.pbuf.clear();
+            self.pbuf.extend_from_slice(g.pred[a].words());
+            self.pbuf[a / 64] |= 1u64 << (a % 64);
+            for wi in 0..words {
+                let mut pw = self.pbuf[wi];
+                while pw != 0 {
+                    let x = wi * 64 + pw.trailing_zeros() as usize;
+                    pw &= pw - 1;
+                    if g.rel.has(x, b) {
+                        continue;
                     }
-                    fresh.push((x, y));
+                    let mx = if x == a { 0 } else { st.gmask[x * n + a] };
+                    for wj in 0..words {
+                        let mut new = self.tbuf[wj] & !g.rel.successors(x).words()[wj];
+                        while new != 0 {
+                            let y = wj * 64 + new.trailing_zeros() as usize;
+                            new &= new - 1;
+                            let my = if y == b { 0 } else { st.gmask[b * n + y] };
+                            g.rel.add(x, y);
+                            g.pred[y].insert(x);
+                            st.gmask[x * n + y] = mask | mx | my;
+                            st.trail.push(Change::GEdge(x as u32, y as u32));
+                            fresh.push((x as u32, y as u32));
+                            self.steps += 1;
+                            if !self.budget.try_spend() {
+                                return Err(Fail::Budget);
+                            }
+                        }
+                    }
                 }
             }
         }
         for (x, y) in fresh {
+            let (x, y) = (x as usize, y as usize);
+            let m = st.gmask[x * n + y];
             for c in 0..st.ctx.len() {
                 if self.views[c].contains(x) && self.views[c].contains(y) {
-                    self.add_edge(st, c, x, y)?;
+                    self.add_edge(st, c, x, y, m)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Deterministically select the next choice point: the unassigned
-    /// read with the fewest surviving candidates, else the first open
-    /// recency triple. `None` means the state is a solution.
+    /// Rewind the trail to `mark` and discard pending work (anything
+    /// queued above a decision fixpoint is re-derivable only from the
+    /// undone edges, so dropping it is exact).
+    fn undo_to(&mut self, st: &mut State, mark: usize) {
+        while st.trail.len() > mark {
+            match st.trail.pop().unwrap() {
+                Change::Edge(c, a, b) => {
+                    let (c, a, b) = (c as usize, a as usize, b as usize);
+                    st.ctx[c].rel.remove(a, b);
+                    st.ctx[c].pred[b].remove(a);
+                }
+                Change::SEdge(a, b) => {
+                    st.shared.remove(a as usize, b as usize);
+                }
+                Change::GEdge(a, b) => {
+                    let g = st.global.as_mut().expect("causal models only");
+                    g.rel.remove(a as usize, b as usize);
+                    g.pred[b as usize].remove(a as usize);
+                }
+                Change::Rf(slot) => {
+                    st.rf[slot as usize] = UNASSIGNED;
+                }
+                Change::Resolved(slot, wp) => {
+                    st.resolved[slot as usize].remove(wp as usize);
+                }
+                Change::Dead(slot, idx) => {
+                    let slot = slot as usize;
+                    st.dead[self.slot_off[slot] + idx as usize] = false;
+                    st.alive[slot] += 1;
+                }
+                Change::Watch(key) => {
+                    st.twatch.get_mut(&key).expect("trailed watch key").pop();
+                }
+            }
+        }
+        st.queue.clear();
+        st.units.clear();
+    }
+
+    /// Select the next choice point: the unassigned read with the
+    /// highest conflict activity (ties to the fewest surviving
+    /// candidates), else the first open recency triple, else an
+    /// unordered write pair. `None` means the state is a solution.
     fn pick(&self, st: &State) -> Option<Choice> {
-        let mut best: Option<(usize, Vec<u32>)> = None;
+        let mut best: Option<(f64, u32, usize)> = None;
         for slot in 0..self.reads.len() {
             if st.rf[slot] != UNASSIGNED {
                 continue;
             }
-            let options: Vec<u32> = self.cands[slot]
-                .iter()
-                .copied()
-                .filter(|&cand| self.viable(st, slot, cand))
-                .collect();
-            debug_assert!(options.len() >= 2, "propagate left a unit read");
-            let better = best.as_ref().is_none_or(|(_, b)| options.len() < b.len());
+            let a = self.act[slot];
+            let alive = st.alive[slot];
+            let better = match &best {
+                None => true,
+                Some((ba, balive, _)) => a > *ba || (a == *ba && alive < *balive),
+            };
             if better {
-                let decided = options.len() == 2;
-                best = Some((slot, options));
-                if decided {
-                    break;
-                }
+                best = Some((a, alive, slot));
             }
         }
-        if let Some((slot, options)) = best {
+        if let Some((_, _, slot)) = best {
+            let off = self.slot_off[slot];
+            let mut options: Vec<u32> = self.cands[slot]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !st.dead[off + i])
+                .map(|(_, &cand)| cand)
+                .collect();
+            // Recency-first value ordering: on real traces a read almost
+            // always returns the *nearest preceding* same-value write, so
+            // try candidates before the read in descending op order, then
+            // later writes, then the initial value. Pure branching order —
+            // completeness and verdicts are unaffected, but on aliased
+            // SC-simulated traces the first descent is near conflict-free
+            // instead of refuting every stale candidate bottom-up.
+            let r_id = self.reads[slot];
+            options.sort_by_key(|&c| {
+                if c == FROM_INITIAL {
+                    (2u8, 0i64)
+                } else if c < r_id {
+                    (0, -i64::from(c))
+                } else {
+                    (1, i64::from(c))
+                }
+            });
+            debug_assert!(options.len() >= 2, "propagate left a unit read");
             return Some(Choice::Rf { slot, options });
         }
         for slot in 0..self.reads.len() {
@@ -753,7 +1328,7 @@ impl<'a> Solver<'a> {
                 if wp == src as usize || st.resolved[slot].contains(wp) {
                     continue;
                 }
-                if st.ctx[c].has(wp, src as usize) || st.ctx[c].has(r, wp) {
+                if st.ctx[c].rel.has(wp, src as usize) || st.ctx[c].rel.has(r, wp) {
                     continue;
                 }
                 return Some(Choice::Triple {
@@ -806,8 +1381,8 @@ impl<'a> Solver<'a> {
                     .into_iter()
                     .filter(|&i| self.is_write.contains(i))
                     .collect();
-                for rel in &mut st.ctx {
-                    rel.add_total_order(&seq);
+                for dir in &mut st.ctx {
+                    dir.rel.add_total_order(&seq);
                 }
                 store_order = Some(seq.into_iter().map(|i| OpId(i as u32)).collect());
             }
@@ -821,9 +1396,9 @@ impl<'a> Solver<'a> {
                         per_loc[self.h.op(OpId(i as u32)).loc.index()].push(i);
                     }
                 }
-                for rel in &mut st.ctx {
+                for dir in &mut st.ctx {
                     for seq in &per_loc {
-                        rel.add_total_order(seq);
+                        dir.rel.add_total_order(seq);
                     }
                 }
                 coherence = Some(
@@ -837,7 +1412,7 @@ impl<'a> Solver<'a> {
         let mut views = Vec::with_capacity(self.h.num_procs());
         for p in 0..self.h.num_procs() {
             let c = if self.spec.identical_views { 0 } else { p };
-            let Some(topo) = st.ctx[c].topo_sort() else {
+            let Some(topo) = st.ctx[c].rel.topo_sort() else {
                 return internal("context became cyclic during linearization");
             };
             views.push(
@@ -957,5 +1532,36 @@ mod tests {
         let (v, stats) = crate::checker::check_with_stats(&h, &models::sc(), &cfg);
         assert_eq!(v, Verdict::Exhausted);
         assert_eq!(stats.exhausted_stage, Some(Stage::Saturation));
+    }
+
+    #[test]
+    fn luby_sequence_is_standard() {
+        let seq: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(seq, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn learning_and_restart_knobs_do_not_change_verdicts() {
+        let h =
+            parse_history("p: w(x)1 w(x)1 r(x)1 w(y)1\nq: w(x)1 r(x)1 r(y)1 w(y)1\nr: r(y)1 r(x)1")
+                .unwrap();
+        for spec in models::saturating_models() {
+            let base = crate::checker::check_with_stats(&h, &spec, &saturate_cfg()).0;
+            for (learning, unit) in [(false, 0), (true, 0), (true, 1)] {
+                let cfg = CheckConfig {
+                    engine: EngineKind::Saturate,
+                    saturate_learning: learning,
+                    saturate_restart_unit: unit,
+                    ..CheckConfig::default()
+                };
+                let (v, _) = crate::checker::check_with_stats(&h, &spec, &cfg);
+                assert_eq!(
+                    v.decided(),
+                    base.decided(),
+                    "{}: learning={learning} restart_unit={unit}",
+                    spec.name
+                );
+            }
+        }
     }
 }

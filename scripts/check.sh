@@ -93,6 +93,30 @@ if [ "${1:-}" != "--no-test" ]; then
         exit 1
     fi
     echo "    sequential ${seq_ns}ns, check_parallel_j4 ${j4_ns}ns (within 1.5x)"
+
+    # Saturation bench drift gate: the conflict-driven solver must keep
+    # `bighist/TSO_ops_256/saturate` within 1.5x of the committed
+    # BENCH_bighist.json baseline. A regression here means watched
+    # propagation, learning, or the branching heuristic lost its edge —
+    # intended perf changes must regenerate BENCH_bighist.json.
+    echo "==> bench drift gate (TSO_ops_256/saturate <= 1.5x committed baseline)"
+    sat_json=$(mktemp)
+    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$bench_json" "$sat_json"' EXIT
+    cargo bench -q --bench bench_bighist -- TSO_ops_256 --json "$sat_json" >/dev/null
+    sat_base=$(grep -o '"bighist/TSO_ops_256/saturate", "ns_per_iter": [0-9]*' \
+        BENCH_bighist.json | grep -o '[0-9]*$')
+    sat_now=$(grep -o '"bighist/TSO_ops_256/saturate", "ns_per_iter": [0-9]*' \
+        "$sat_json" | grep -o '[0-9]*$')
+    if [ -z "$sat_base" ] || [ -z "$sat_now" ]; then
+        echo "bench gate: missing bighist/TSO_ops_256/saturate row" >&2
+        exit 1
+    fi
+    if [ $((sat_now * 10)) -gt $((sat_base * 15)) ]; then
+        echo "bench gate: TSO_ops_256/saturate (${sat_now}ns) > 1.5x baseline (${sat_base}ns)" >&2
+        echo "saturation engine regressed — check watched propagation and learning" >&2
+        exit 1
+    fi
+    echo "    baseline ${sat_base}ns, current ${sat_now}ns (within 1.5x)"
 fi
 
 echo "==> OK"

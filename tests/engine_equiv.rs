@@ -244,6 +244,40 @@ fn auto_routing_small_stays_exhaustive() {
     assert_eq!(stats.engine_used, Engine::Exhaustive);
 }
 
+/// The auto cutover is model-aware: models with shared write structure
+/// (a global store order or per-location coherence) saturate well even
+/// on small traces, while structure-free models (SC, PRAM) pay
+/// saturation overhead without the pruning payoff below ~32 ops and
+/// stay exhaustive there.
+#[test]
+fn auto_routing_cutover_is_model_aware() {
+    // Routing is decided before any search, so a small budget keeps the
+    // exhaustive legs cheap without changing the decision under test.
+    let capped = CheckConfig {
+        node_budget: 20_000,
+        ..CheckConfig::default()
+    };
+    let mid = sc_run(46, 3, 3, 24);
+    assert_eq!(mid.num_ops(), 24);
+    // 24 ops, structured model (TSO: global write order): saturate.
+    let (_, stats) = check_with_stats(&mid, &models::tso(), &capped);
+    assert_eq!(stats.engine_used, Engine::Saturate);
+    // 24 ops, structure-free models: exhaustive below the higher cutoff.
+    for spec in [models::sc(), models::pram()] {
+        let (_, stats) = check_with_stats(&mid, &spec, &capped);
+        assert_eq!(
+            stats.engine_used,
+            Engine::Exhaustive,
+            "{}: structure-free model must stay exhaustive at 24 ops",
+            spec.name
+        );
+    }
+    // Past the structure-free cutoff even SC routes to saturation.
+    let big = sc_run(46, 3, 3, 40);
+    let (_, stats) = check_with_stats(&big, &models::sc(), &capped);
+    assert_eq!(stats.engine_used, Engine::Saturate);
+}
+
 #[test]
 fn auto_routing_big_supported_saturates() {
     let big = sc_run(44, 3, 3, 128);
