@@ -69,12 +69,14 @@ usage:
   smc separate --all [...]          sweep every unlabeled model pair and
                                     report the full witness table
   smc monitor [<file>|-] [--model NAME] [--jobs N] [--stats]
-            [--json PATH] [--max-states N] [--cutover N]
+            [--json PATH] [--max-states N] [--batch N] [--cutover N]
             [--memo-file PATH] [--engine exhaustive|saturate|auto]
                                     stream a trace (stdin when `-` or no
                                     file) through the incremental admission
                                     monitor; malformed lines warn with
-                                    their byte offset and are skipped;
+                                    their byte offset and are skipped
+                                    (counted in --stats/--json); --batch N
+                                    feeds N events per monitor step;
                                     exits nonzero if any model's final
                                     verdict is violated
   smc monitor --corpus [--jobs N] [--json PATH]
@@ -82,8 +84,35 @@ usage:
                                     through the monitor event-by-event and
                                     diff the final verdicts against the
                                     batch checker (the monitor golden gate)
+  smc serve [--listen ADDR] [--workers N] [--max-sessions N]
+            [--max-conns N] [--queue N] [--model NAME] [--jobs N]
+            [--max-states N]
+                                    run the multi-session streaming
+                                    admission server: line-oriented TCP
+                                    (OPEN/EV/QUERY/CLOSE, `@sid <event>`
+                                    shorthand), one incremental monitor
+                                    per session, bounded per-session
+                                    queues (BUSY backpressure), verdicts
+                                    on QUERY; stops on SHUTDOWN
+  smc serve --bench [--sessions N] [--events N] [--conns C]
+            [--query-every K] [--memory NAME] [--seed S] [--json PATH]
+                                    start an ephemeral server, drive it
+                                    with the in-tree load generator over
+                                    loopback, diff every final verdict
+                                    against the offline monitor, and
+                                    report sustained events/sec + QUERY
+                                    latency percentiles
+  smc loadgen --addr HOST:PORT [--sessions N] [--events N] [--conns C]
+            [--query-every K] [--memory NAME] [--seed S] [--verify]
+            [--max-states N] [--shutdown] [--json PATH]
+                                    drive a running `smc serve` with
+                                    generated multi-session traffic;
+                                    --verify diffs final verdicts
+                                    against the offline monitor,
+                                    --shutdown stops the server after
   smc trace gen [--memory NAME] [--procs N] [--ops N | --events N]
-            [--locs L] [--values V | --alias-values K] [--seed S] [--out PATH]
+            [--locs L] [--values V | --alias-values K] [--seed S]
+            [--sessions N] [--out PATH]
                                     run a random program on an operational
                                     machine and emit its arrival-order
                                     event stream in the trace format;
@@ -92,7 +121,10 @@ usage:
                                     stream is cut to exactly N events);
                                     --alias-values folds fresh write
                                     values into a K-letter alphabet so
-                                    reads-from stays heavily ambiguous
+                                    reads-from stays heavily ambiguous;
+                                    --sessions N interleaves N
+                                    independent streams with @sid
+                                    prefixes (the `smc serve` format)
   smc trace from <file> [--test NAME] [--out PATH]
                                     linearize a litmus history into the
                                     trace format (processor-major order)
@@ -129,6 +161,8 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("bakery") => cmd_bakery(&args[1..]),
         Some("separate") => cmd_separate(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("models") => cmd_models(),
         Some("help") | Some("--help") | Some("-h") => {
@@ -1319,7 +1353,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
     use smc_monitor::{Monitor, MonitorConfig, TriVerdict};
     use std::io::BufRead;
 
-    const VALUE_FLAGS: [&str; 8] = [
+    const VALUE_FLAGS: [&str; 9] = [
         "--model",
         "--jobs",
         "--json",
@@ -1328,12 +1362,21 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         "--scheduler",
         "--engine",
         "--memo-file",
+        "--batch",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
     let flags = CheckFlags::parse(args)?;
     let jobs = flags.jobs;
     let show_stats = args.iter().any(|a| a == "--stats");
     let json_path = flag_value(args, "--json");
+    // Feed granularity: --batch N amortizes interning, table growth and
+    // restart-model settling over N events per feed_batch call. Verdict
+    // transitions and per-step stats then report at batch granularity;
+    // final verdicts are identical to per-event feeding.
+    let batch: usize = num_flag(args, "--batch", 1)?;
+    if batch == 0 {
+        return Err("monitor: --batch must be at least 1".into());
+    }
     if args.iter().any(|a| a == "--corpus") {
         if !pos.is_empty() {
             return Err("monitor: --corpus takes no file argument".into());
@@ -1386,6 +1429,14 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         if let Err(e) = parse_trace_line(&mut scratch, &line, line_no, offset) {
             warnings += 1;
             eprintln!("warning: skipping malformed trace input: {e}");
+            if json_path.is_some() {
+                json_lines.push(
+                    JsonObject::new()
+                        .num("skipped_line", line_no as u64)
+                        .str("error", &e.to_string())
+                        .finish(),
+                );
+            }
         }
         offset += line.len() + 1;
         for p in declared_procs..scratch.num_procs() {
@@ -1397,20 +1448,31 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         }
         declared_locs = scratch.num_locs();
         while fed < scratch.len() {
-            let ev = scratch.events()[fed];
-            fed += 1;
-            let rep = mon.feed(
-                scratch.proc_name(ev.proc),
-                ev.kind,
-                scratch.loc_name(ev.loc),
-                ev.value.0,
-                ev.label,
-            );
+            let take = (scratch.len() - fed).min(batch);
+            let events: Vec<smc_monitor::BatchEvent<'_>> = scratch.events()[fed..fed + take]
+                .iter()
+                .map(|ev| {
+                    (
+                        scratch.proc_name(ev.proc),
+                        ev.kind,
+                        scratch.loc_name(ev.loc),
+                        ev.value.0,
+                        ev.label,
+                    )
+                })
+                .collect();
+            let rep = mon.feed_batch(&events);
+            let what = if take == 1 {
+                scratch.format_event(&scratch.events()[fed])
+            } else {
+                format!("+{take} events")
+            };
+            fed += take;
             if show_stats {
                 println!(
                     "#{} {}: frontier {}, created {}, expanded {}, reuse {}, rechecks {}, recheck-nodes {}, propagated {}",
                     rep.events,
-                    scratch.format_event(&ev),
+                    what,
                     rep.frontier_states,
                     rep.created,
                     rep.expanded,
@@ -1436,7 +1498,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
                 json_lines.push(
                     JsonObject::new()
                         .num("event", rep.events as u64)
-                        .str("op", &scratch.format_event(&ev))
+                        .str("op", &what)
                         .num("frontier_states", rep.frontier_states)
                         .num("created", rep.created)
                         .num("expanded", rep.expanded)
@@ -1505,6 +1567,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
             JsonObject::new()
                 .num("events", fed as u64)
                 .num("warnings", warnings as u64)
+                .num("skipped_lines", warnings as u64)
                 .num("models", model_list.len() as u64)
                 .num("violated", violated as u64)
                 .num("created", totals.created)
@@ -1618,10 +1681,189 @@ fn monitor_corpus(jobs: usize, json_path: Option<&str>) -> Result<ExitCode, Stri
     })
 }
 
+/// Resolve the models a server (or its offline verification twin)
+/// monitors per session, in lattice order so frontier verdicts
+/// propagate maximally.
+fn serve_models(selector: Option<&str>) -> Result<Vec<ModelSpec>, String> {
+    match selector {
+        None | Some("all") => Ok(models::lattice_models()),
+        Some(name) => models::by_name(name)
+            .map(|m| vec![m])
+            .ok_or_else(|| format!("unknown model `{name}` (try `smc models`)")),
+    }
+}
+
+fn serve_config(args: &[String]) -> Result<smc_serve::ServeConfig, String> {
+    let mut cfg = smc_serve::ServeConfig::default();
+    if let Some(a) = flag_value(args, "--listen") {
+        cfg.addr = a.to_owned();
+    }
+    cfg.workers = num_flag(args, "--workers", cfg.workers)?;
+    cfg.max_sessions = num_flag(args, "--max-sessions", cfg.max_sessions)?;
+    cfg.max_conns = num_flag(args, "--max-conns", cfg.max_conns)?;
+    cfg.queue_cap = num_flag(args, "--queue", cfg.queue_cap)?;
+    if cfg.queue_cap == 0 {
+        return Err("serve: --queue must be at least 1".into());
+    }
+    cfg.models = serve_models(flag_value(args, "--model"))?;
+    cfg.monitor.jobs = jobs_flag(args)?;
+    cfg.monitor.max_frontier_states =
+        num_flag(args, "--max-states", cfg.monitor.max_frontier_states)?;
+    Ok(cfg)
+}
+
+/// `smc serve`: run the multi-session streaming admission server until
+/// a client sends `SHUTDOWN`. With `--bench`, instead start an
+/// ephemeral in-process server, drive it with the in-tree load
+/// generator over loopback, verify every session's final verdict
+/// against the offline monitor, and report sustained events/sec plus
+/// query-latency percentiles (machine-readable via `--json`).
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let cfg = serve_config(args)?;
+    if args.iter().any(|a| a == "--bench") {
+        return serve_bench(args, cfg);
+    }
+    let server = smc_serve::Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    println!("listening on {}", server.addr());
+    // Scripts wait for this line before connecting; a redirected stdout
+    // is block-buffered, so push it out now.
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+    server.wait();
+    println!("server stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn loadgen_flags(args: &[String]) -> Result<(smc_serve::loadgen::LoadgenConfig, usize), String> {
+    let sessions: usize = num_flag(args, "--sessions", 1024)?;
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+    let cfg = smc_serve::loadgen::LoadgenConfig {
+        addr: String::new(),
+        conns: num_flag(args, "--conns", 8)?,
+        query_every: num_flag(args, "--query-every", 32)?,
+        shutdown: args.iter().any(|a| a == "--shutdown"),
+    };
+    if cfg.conns == 0 {
+        return Err("--conns must be at least 1".into());
+    }
+    Ok((cfg, sessions))
+}
+
+fn loadgen_report_lines(
+    report: &smc_serve::loadgen::LoadgenReport,
+    verified: Option<usize>,
+) -> (String, String) {
+    let human = format!(
+        "{} session(s), {} event(s) in {:.2}s: {:.0} events/sec; {} quer{} p50 {}us p99 {}us; {} busy{}",
+        report.sessions,
+        report.events,
+        report.elapsed_ns as f64 / 1e9,
+        report.events_per_sec,
+        report.queries,
+        if report.queries == 1 { "y" } else { "ies" },
+        report.query_p50_us,
+        report.query_p99_us,
+        report.busy,
+        match verified {
+            Some(0) => "; all verdicts match offline monitor".to_owned(),
+            Some(n) => format!("; {n} VERDICT MISMATCH(ES)"),
+            None => String::new(),
+        }
+    );
+    let mut json = JsonObject::new()
+        .str("bench", "serve")
+        .num("sessions", report.sessions as u64)
+        .num("events", report.events)
+        .num("elapsed_ns", report.elapsed_ns)
+        .num("events_per_sec", report.events_per_sec as u64)
+        .num("queries", report.queries)
+        .num("query_p50_us", report.query_p50_us)
+        .num("query_p99_us", report.query_p99_us)
+        .num("busy", report.busy);
+    if let Some(n) = verified {
+        json = json.bool("verified", n == 0).num("mismatches", n as u64);
+    }
+    (human, json.finish())
+}
+
+fn serve_bench(args: &[String], mut cfg: smc_serve::ServeConfig) -> Result<ExitCode, String> {
+    let (mut lg, sessions) = loadgen_flags(args)?;
+    let spec = GenSpec::parse(args)?.with_total_events(num_flag(args, "--events", 64)?);
+    let work = gen_session_work(&spec, sessions)?;
+    cfg.addr = "127.0.0.1:0".into();
+    cfg.max_sessions = cfg.max_sessions.max(sessions);
+    let model_list = cfg.models.clone();
+    let mon_cfg = cfg.monitor.clone();
+    let server = smc_serve::Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    lg.addr = server.addr().to_string();
+    lg.shutdown = false;
+    let report = smc_serve::loadgen::run(&lg, &work)?;
+    let mismatches = smc_serve::loadgen::verify(&work, &report, &model_list, &mon_cfg);
+    println!("{}", server.stats_line());
+    server.shutdown();
+    for m in mismatches.iter().take(5) {
+        eprintln!("mismatch: {m}");
+    }
+    let (human, json) = loadgen_report_lines(&report, Some(mismatches.len()));
+    println!("{human}");
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(if mismatches.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `smc loadgen`: drive a *running* server (see `smc serve`) with
+/// generated multi-session traffic and report throughput, latency
+/// percentiles and (with `--verify`) a diff of every session's final
+/// verdict against the offline monitor.
+fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
+    let addr = flag_value(args, "--addr").ok_or("loadgen: missing --addr HOST:PORT")?;
+    let (mut lg, sessions) = loadgen_flags(args)?;
+    lg.addr = addr.to_owned();
+    let spec = GenSpec::parse(args)?.with_total_events(num_flag(args, "--events", 64)?);
+    let work = gen_session_work(&spec, sessions)?;
+    let report = smc_serve::loadgen::run(&lg, &work)?;
+    let verified = if args.iter().any(|a| a == "--verify") {
+        // The offline twin assumes the server monitors the same models
+        // (its default set, or the matching --model) under the same
+        // per-session frontier budget (the serve default, or the
+        // matching --max-states).
+        let model_list = serve_models(flag_value(args, "--model"))?;
+        let mut mon_cfg = smc_serve::ServeConfig::default().monitor;
+        mon_cfg.max_frontier_states = num_flag(args, "--max-states", mon_cfg.max_frontier_states)?;
+        let mismatches = smc_serve::loadgen::verify(&work, &report, &model_list, &mon_cfg);
+        for m in mismatches.iter().take(5) {
+            eprintln!("mismatch: {m}");
+        }
+        Some(mismatches.len())
+    } else {
+        None
+    };
+    let (human, json) = loadgen_report_lines(&report, verified);
+    println!("{human}");
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(if verified.unwrap_or(0) == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// `smc trace`: generate traces (`gen`) or linearize litmus files
 /// (`from`).
 fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 11] = [
         "--memory",
         "--procs",
         "--ops",
@@ -1632,6 +1874,7 @@ fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
         "--out",
         "--test",
         "--events",
+        "--sessions",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
     match pos.first().copied() {
@@ -1682,144 +1925,258 @@ fn trace_from(args: &[String], path: Option<&str>) -> Result<ExitCode, String> {
     write_out(flag_value(args, "--out"), &text)
 }
 
+/// Random-trace generation parameters, shared by `smc trace gen`, the
+/// load generator and `smc serve --bench` so every consumer of "random
+/// machine traffic" draws from one seeded well.
+#[derive(Debug, Clone)]
+struct GenSpec {
+    memory: String,
+    procs: usize,
+    events: Option<usize>,
+    ops: usize,
+    locs: usize,
+    values: i64,
+    alias_values: Option<i64>,
+    seed: u64,
+}
+
+impl GenSpec {
+    fn parse(args: &[String]) -> Result<GenSpec, String> {
+        let procs: usize = num_flag(args, "--procs", 3)?;
+        let events: Option<usize> = match flag_value(args, "--events") {
+            None if args.iter().any(|a| a == "--events") => {
+                return Err("--events requires a value".into())
+            }
+            None => None,
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--events: `{v}` is not a positive integer"))?,
+            ),
+        };
+        let ops: usize = match events {
+            // Cover the requested total even when it does not divide
+            // evenly; the surplus is trimmed from the emitted stream.
+            Some(n) => n.div_ceil(procs.max(1)),
+            None => num_flag(args, "--ops", 4)?,
+        };
+        let locs: usize = num_flag(args, "--locs", 2)?;
+        let values: i64 = num_flag(args, "--values", 2)?;
+        // Aliasing-heavy mode: write values come from a fresh counter
+        // folded into a K-letter alphabet, so the emitted trace has the
+        // *structure* of a fresh-value execution but every read ends up
+        // with many same-value reads-from candidates — the adversarial
+        // regime for checkers. Mutually exclusive with --values (it
+        // replaces the value pool, it does not sample from one).
+        let alias_values: Option<i64> = match flag_value(args, "--alias-values") {
+            None if args.iter().any(|a| a == "--alias-values") => {
+                return Err("--alias-values requires a value".into())
+            }
+            None => None,
+            Some(v) => Some(
+                v.parse::<i64>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| format!("--alias-values: `{v}` is not a positive integer"))?,
+            ),
+        };
+        if alias_values.is_some() && flag_value(args, "--values").is_some() {
+            return Err("trace gen: --alias-values and --values are mutually exclusive".into());
+        }
+        let seed: u64 = num_flag(args, "--seed", 0)?;
+        if procs == 0 || locs == 0 || values < 1 {
+            return Err("trace gen: --procs/--locs/--values must be at least 1".into());
+        }
+        Ok(GenSpec {
+            memory: flag_value(args, "--memory").unwrap_or("tso").to_owned(),
+            procs,
+            events,
+            ops,
+            locs,
+            values,
+            alias_values,
+            seed,
+        })
+    }
+
+    /// Resize to exactly `n` total events (re-deriving the per-processor
+    /// op count the program is sized with).
+    fn with_total_events(mut self, n: usize) -> GenSpec {
+        self.events = Some(n);
+        self.ops = n.div_ceil(self.procs.max(1));
+        self
+    }
+
+    /// The provenance comment line `smc trace gen` writes above a
+    /// generated stream.
+    fn comment(&self) -> String {
+        let sizing = match self.events {
+            Some(n) => format!("--events {n}"),
+            None => format!("--ops {}", self.ops),
+        };
+        let valuing = match self.alias_values {
+            Some(k) => format!("--alias-values {k}"),
+            None => format!("--values {}", self.values),
+        };
+        format!(
+            "# smc trace gen --memory {} --procs {} {sizing} --locs {} {valuing} --seed {}\n",
+            self.memory, self.procs, self.locs, self.seed
+        )
+    }
+
+    /// Run the random program on the operational machine under a seeded
+    /// random scheduler; returns the (possibly cut) arrival-order trace
+    /// and whether the run drained before the step limit.
+    fn generate(&self) -> Result<(smc_history::trace::Trace, bool), String> {
+        use smc_history::trace::Trace;
+        use smc_prng::SmallRng;
+
+        let (procs, ops, locs, seed) = (self.procs, self.ops, self.locs, self.seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fresh = 0i64;
+        let mut threads: Vec<Vec<Access>> = Vec::with_capacity(procs);
+        for _ in 0..procs {
+            let mut thread = Vec::with_capacity(ops);
+            for _ in 0..ops {
+                let loc = rng.gen_range(0..locs) as u32;
+                if rng.gen_range(0..2usize) == 0 {
+                    let v = match self.alias_values {
+                        Some(k) => {
+                            fresh += 1;
+                            (fresh - 1) % k + 1
+                        }
+                        None => rng.gen_range(0..self.values as usize) as i64 + 1,
+                    };
+                    thread.push(Access::write(loc, v));
+                } else {
+                    thread.push(Access::read(loc));
+                }
+            }
+            threads.push(thread);
+        }
+        let script = OpScript::new(threads, locs);
+
+        fn go<M: MemorySystem>(mem: M, script: &OpScript, seed: u64) -> smc_sim::sched::RunOutcome {
+            run_random(mem, script.clone(), seed, 200_000)
+        }
+        let out = match self.memory.as_str() {
+            "sc" => go(ScMem::new(procs, locs), &script, seed),
+            "tso" => go(TsoMem::new(procs, locs), &script, seed),
+            "tso-fwd" => go(TsoMem::with_forwarding(procs, locs), &script, seed),
+            "pram" => go(PramMem::new(procs, locs), &script, seed),
+            "causal" => go(CausalMem::new(procs, locs), &script, seed),
+            "pc" => go(PcMem::new(procs, locs), &script, seed),
+            "coherent" => go(CoherentMem::new(procs, locs), &script, seed),
+            "rcsc" => go(RcMem::new(SyncMode::Sc, procs, locs), &script, seed),
+            "rcpc" => go(RcMem::new(SyncMode::Pc, procs, locs), &script, seed),
+            "wo" => go(WoMem::new(procs, locs), &script, seed),
+            "hybrid" => go(HybridMem::new(procs, locs), &script, seed),
+            other => return Err(format!("unknown memory `{other}`")),
+        };
+        let trace = match self.events {
+            Some(n) if out.trace.len() > n => {
+                // One linear pass over the first n events; re-emitting or
+                // re-running per prefix length would be quadratic in n.
+                let mut cut = Trace::new();
+                for p in out.trace.proc_names() {
+                    cut.add_proc(p);
+                }
+                for l in out.trace.loc_names() {
+                    cut.add_loc(l);
+                }
+                for ev in &out.trace.events()[..n] {
+                    cut.push(*ev);
+                }
+                cut
+            }
+            Some(n) if out.trace.len() < n => {
+                return Err(format!(
+                    "trace gen: machine produced only {} of {n} requested events (step limit)",
+                    out.trace.len()
+                ));
+            }
+            _ => out.trace,
+        };
+        Ok((trace, out.completed))
+    }
+}
+
+/// `sessions` independent random traces, one per session id `s0..`,
+/// derived from `spec` with per-session seeds `seed + i`. Shared by
+/// `smc trace gen --sessions`, `smc loadgen` and `smc serve --bench`.
+fn gen_session_work(
+    spec: &GenSpec,
+    sessions: usize,
+) -> Result<Vec<(String, smc_history::trace::Trace)>, String> {
+    (0..sessions)
+        .map(|i| {
+            let mut s = spec.clone();
+            s.seed = spec.seed.wrapping_add(i as u64);
+            let (t, _) = s.generate()?;
+            Ok((format!("s{i}"), t))
+        })
+        .collect()
+}
+
 /// `smc trace gen`: run a random program shape on an operational machine
 /// under a seeded random scheduler and emit the arrival-order stream.
 /// `--events N` fixes the *total* event count instead of `--ops`
 /// (per-processor): the program is sized to cover N and the emitted
 /// stream is cut to exactly N events, so generating a 1000-op trace
-/// costs one run and one emission.
+/// costs one run and one emission. `--sessions N` instead emits N
+/// independent streams (per-session seeds `S..S+N-1`) interleaved
+/// line-by-line under a seeded shuffle, each line `@sid`-prefixed — the
+/// multi-session wire format `smc serve` ingests and
+/// `parse_multi_trace` demultiplexes.
 fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
-    use smc_history::trace::{emit_trace, Trace};
+    use smc_history::trace::{emit_trace, session_line};
     use smc_prng::SmallRng;
 
-    let procs: usize = num_flag(args, "--procs", 3)?;
-    let events: Option<usize> = match flag_value(args, "--events") {
-        None if args.iter().any(|a| a == "--events") => {
-            return Err("--events requires a value".into())
+    let spec = GenSpec::parse(args)?;
+    let sessions: usize = num_flag(args, "--sessions", 0)?;
+    if sessions == 0 {
+        let (trace, completed) = spec.generate()?;
+        let mut text = spec.comment();
+        if !completed {
+            text.push_str("# note: run hit the step limit before draining\n");
         }
-        None => None,
-        Some(v) => Some(
-            v.parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| format!("--events: `{v}` is not a positive integer"))?,
-        ),
-    };
-    let ops: usize = match events {
-        // Cover the requested total even when it does not divide evenly;
-        // the surplus is trimmed from the emitted stream below.
-        Some(n) => n.div_ceil(procs.max(1)),
-        None => num_flag(args, "--ops", 4)?,
-    };
-    let locs: usize = num_flag(args, "--locs", 2)?;
-    let values: i64 = num_flag(args, "--values", 2)?;
-    // Aliasing-heavy mode: write values come from a fresh counter folded
-    // into a K-letter alphabet, so the emitted trace has the *structure*
-    // of a fresh-value execution but every read ends up with many
-    // same-value reads-from candidates — the adversarial regime for
-    // checkers. Mutually exclusive with --values (it replaces the value
-    // pool, it does not sample from one).
-    let alias_values: Option<i64> = match flag_value(args, "--alias-values") {
-        None if args.iter().any(|a| a == "--alias-values") => {
-            return Err("--alias-values requires a value".into())
-        }
-        None => None,
-        Some(v) => Some(
-            v.parse::<i64>()
-                .ok()
-                .filter(|&k| k >= 1)
-                .ok_or_else(|| format!("--alias-values: `{v}` is not a positive integer"))?,
-        ),
-    };
-    if alias_values.is_some() && flag_value(args, "--values").is_some() {
-        return Err("trace gen: --alias-values and --values are mutually exclusive".into());
+        text.push_str(&emit_trace(&trace));
+        return write_out(flag_value(args, "--out"), &text);
     }
-    let seed: u64 = num_flag(args, "--seed", 0)?;
-    if procs == 0 || locs == 0 || values < 1 {
-        return Err("trace gen: --procs/--locs/--values must be at least 1".into());
-    }
-    let memory = flag_value(args, "--memory").unwrap_or("tso");
 
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut fresh = 0i64;
-    let mut threads: Vec<Vec<Access>> = Vec::with_capacity(procs);
-    for _ in 0..procs {
-        let mut thread = Vec::with_capacity(ops);
-        for _ in 0..ops {
-            let loc = rng.gen_range(0..locs) as u32;
-            if rng.gen_range(0..2usize) == 0 {
-                let v = match alias_values {
-                    Some(k) => {
-                        fresh += 1;
-                        (fresh - 1) % k + 1
-                    }
-                    None => rng.gen_range(0..values as usize) as i64 + 1,
-                };
-                thread.push(Access::write(loc, v));
-            } else {
-                thread.push(Access::read(loc));
-            }
-        }
-        threads.push(thread);
-    }
-    let script = OpScript::new(threads, locs);
-
-    fn go<M: MemorySystem>(mem: M, script: &OpScript, seed: u64) -> smc_sim::sched::RunOutcome {
-        run_random(mem, script.clone(), seed, 200_000)
-    }
-    let out = match memory {
-        "sc" => go(ScMem::new(procs, locs), &script, seed),
-        "tso" => go(TsoMem::new(procs, locs), &script, seed),
-        "tso-fwd" => go(TsoMem::with_forwarding(procs, locs), &script, seed),
-        "pram" => go(PramMem::new(procs, locs), &script, seed),
-        "causal" => go(CausalMem::new(procs, locs), &script, seed),
-        "pc" => go(PcMem::new(procs, locs), &script, seed),
-        "coherent" => go(CoherentMem::new(procs, locs), &script, seed),
-        "rcsc" => go(RcMem::new(SyncMode::Sc, procs, locs), &script, seed),
-        "rcpc" => go(RcMem::new(SyncMode::Pc, procs, locs), &script, seed),
-        "wo" => go(WoMem::new(procs, locs), &script, seed),
-        "hybrid" => go(HybridMem::new(procs, locs), &script, seed),
-        other => return Err(format!("unknown memory `{other}`")),
-    };
-    let trace = match events {
-        Some(n) if out.trace.len() > n => {
-            // One linear pass over the first n events; re-emitting or
-            // re-running per prefix length would be quadratic in n.
-            let mut cut = Trace::new();
-            for p in out.trace.proc_names() {
-                cut.add_proc(p);
-            }
-            for l in out.trace.loc_names() {
-                cut.add_loc(l);
-            }
-            for ev in &out.trace.events()[..n] {
-                cut.push(*ev);
-            }
-            cut
-        }
-        Some(n) if out.trace.len() < n => {
-            return Err(format!(
-                "trace gen: machine produced only {} of {n} requested events (step limit)",
-                out.trace.len()
-            ));
-        }
-        _ => out.trace,
-    };
-    let sizing = match events {
-        Some(n) => format!("--events {n}"),
-        None => format!("--ops {ops}"),
-    };
-    let valuing = match alias_values {
-        Some(k) => format!("--alias-values {k}"),
-        None => format!("--values {values}"),
-    };
-    let mut text = format!(
-        "# smc trace gen --memory {memory} --procs {procs} {sizing} --locs {locs} {valuing} --seed {seed}\n"
+    let work = gen_session_work(&spec, sessions)?;
+    let mut text = format!("# smc trace gen --sessions {sessions}\n");
+    text.push_str(
+        &spec
+            .comment()
+            .replacen("# smc trace gen", "# per-session base:", 1),
     );
-    if !out.completed {
-        text.push_str("# note: run hit the step limit before draining\n");
+    let lines: Vec<Vec<String>> = work
+        .iter()
+        .map(|(sid, t)| {
+            emit_trace(t)
+                .lines()
+                .map(|l| session_line(sid, l))
+                .collect()
+        })
+        .collect();
+    // Seeded interleave: each step hands the next line of a randomly
+    // chosen still-live session, so the emitted stream exercises
+    // demultiplexing the way genuinely concurrent clients would.
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5e55_1011);
+    let mut cursor = vec![0usize; lines.len()];
+    let mut live: Vec<usize> = (0..lines.len()).collect();
+    while !live.is_empty() {
+        let k = rng.gen_range(0..live.len());
+        let s = live[k];
+        text.push_str(&lines[s][cursor[s]]);
+        text.push('\n');
+        cursor[s] += 1;
+        if cursor[s] == lines[s].len() {
+            live.swap_remove(k);
+        }
     }
-    text.push_str(&emit_trace(&trace));
     write_out(flag_value(args, "--out"), &text)
 }
 

@@ -375,6 +375,80 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
     Ok(t)
 }
 
+/// Split a *session-prefixed* trace line: `@<sid> <rest>` names the
+/// session the rest of the line belongs to. Returns `None` when the
+/// line carries no prefix (a plain trace line, comment, or blank). The
+/// prefix marker must be the first non-whitespace character; the
+/// session id runs to the next whitespace and may be empty only in a
+/// malformed line, which the caller rejects via [`parse_multi_trace`].
+///
+/// This is the framing shared by `smc trace gen --sessions`, the
+/// multi-session admission server's `@sid` event shorthand, and the
+/// loopback load generator: one interleaved stream, one session per
+/// monitored history.
+pub fn split_session_line(raw: &str) -> Option<(&str, &str)> {
+    let line = raw.trim_start();
+    let tagged = line.strip_prefix('@')?;
+    match tagged.split_once(char::is_whitespace) {
+        Some((sid, rest)) => Some((sid, rest)),
+        // Keep the empty rest inside `raw`'s allocation so callers can
+        // still compute byte offsets against the original line.
+        None => Some((tagged, &tagged[tagged.len()..])),
+    }
+}
+
+/// Render a trace line under a session prefix (the inverse of
+/// [`split_session_line`]).
+pub fn session_line(sid: &str, line: &str) -> String {
+    format!("@{sid} {line}")
+}
+
+/// `true` if `sid` is usable as a session id on the wire: nonempty,
+/// at most 64 bytes, no whitespace or control characters, and not
+/// starting with the prefix marker itself.
+pub fn is_session_id(sid: &str) -> bool {
+    !sid.is_empty()
+        && sid.len() <= 64
+        && !sid.starts_with('@')
+        && sid.chars().all(|c| !c.is_whitespace() && !c.is_control())
+}
+
+/// Demultiplex a session-prefixed stream into one trace per session,
+/// in order of first appearance. Unprefixed lines must be blank or
+/// comments — a bare event line in a multi-session stream is ambiguous
+/// and rejected. Within a session, events keep their interleaved
+/// arrival order.
+pub fn parse_multi_trace(text: &str) -> Result<Vec<(String, Trace)>, TraceError> {
+    let mut out: Vec<(String, Trace)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let base = offset_in(text, raw);
+        let Some((sid, rest)) = split_session_line(raw) else {
+            // Only structure-free lines may go unprefixed.
+            let stripped = match raw.find('#') {
+                Some(c) => &raw[..c],
+                None => raw,
+            };
+            if !stripped.trim().is_empty() {
+                return err(line_no, base, "expected a `@session` prefix");
+            }
+            continue;
+        };
+        if !is_session_id(sid) {
+            return err(line_no, base, format!("invalid session id `@{sid}`"));
+        }
+        let t = match out.iter_mut().find(|(s, _)| s == sid) {
+            Some((_, t)) => t,
+            None => {
+                out.push((sid.to_owned(), Trace::new()));
+                &mut out.last_mut().expect("just pushed").1
+            }
+        };
+        parse_trace_line(t, rest, line_no, base + offset_in(raw, rest))?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,5 +587,71 @@ mod tests {
         let t = parse_trace("procs p q\nlocs x\np w(x)1\nq r(x)1\n").unwrap();
         let text = emit_trace(&t);
         assert_eq!(emit_trace(&parse_trace(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn session_prefix_splits_and_rejoins() {
+        assert_eq!(split_session_line("@s0 p w(x)1"), Some(("s0", "p w(x)1")));
+        assert_eq!(
+            split_session_line("  @s1 procs p q"),
+            Some(("s1", "procs p q"))
+        );
+        assert_eq!(split_session_line("@lone"), Some(("lone", "")));
+        assert_eq!(split_session_line("p w(x)1"), None);
+        assert_eq!(split_session_line("# comment"), None);
+        assert_eq!(split_session_line(""), None);
+        assert_eq!(session_line("s0", "p w(x)1"), "@s0 p w(x)1");
+        let joined = session_line("abc", "q r(y)0");
+        assert_eq!(split_session_line(&joined), Some(("abc", "q r(y)0")));
+    }
+
+    #[test]
+    fn session_id_validity() {
+        assert!(is_session_id("s0"));
+        assert!(is_session_id("client-7.shard_3"));
+        assert!(!is_session_id(""));
+        assert!(!is_session_id("has space"));
+        assert!(!is_session_id("@at"));
+        assert!(!is_session_id(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn multi_trace_demultiplexes_in_first_appearance_order() {
+        let text = "# interleaved\n@b procs p q\n@a locs x\n@b p w(x)1\n@a p w(x)2\n@b q r(x)1\n";
+        let parts = parse_multi_trace(text).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, "b");
+        assert_eq!(parts[1].0, "a");
+        assert_eq!(parts[0].1.len(), 2);
+        assert_eq!(parts[1].1.len(), 1);
+        assert_eq!(parts[0].1.num_procs(), 2);
+        // Session b's events keep their interleaved arrival order.
+        assert!(parts[0].1.events()[0].kind.is_write());
+        assert!(parts[0].1.events()[1].kind.is_read());
+    }
+
+    #[test]
+    fn multi_trace_rejects_bare_and_malformed_lines() {
+        let e = parse_multi_trace("@a p w(x)1\np w(x)2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("prefix"), "{e}");
+
+        let e = parse_multi_trace("@ p w(x)1\n").unwrap_err();
+        assert!(e.message.contains("invalid session id"), "{e}");
+
+        // Errors inside a session line carry the global byte offset.
+        let text = "@a p w(x)1\n@a q z(x)1\n";
+        let e = parse_multi_trace(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.offset, text.find("z(").unwrap());
+    }
+
+    #[test]
+    fn multi_trace_sessions_match_their_unprefixed_parses() {
+        let solo = parse_trace("procs p q\np w(x)1\nq r(x)1\n").unwrap();
+        let text = "@s procs p q\n@s p w(x)1\n@s q r(x)1\n";
+        let parts = parse_multi_trace(text).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].1, solo);
     }
 }

@@ -88,10 +88,16 @@ impl TriVerdict {
     }
 }
 
-/// Observability counters for one appended event.
+/// One event of a batch, by names: `(processor, kind, location, value,
+/// label)`. The tuple shape keeps call sites free of a builder when
+/// they already hold parsed trace lines.
+pub type BatchEvent<'a> = (&'a str, OpKind, &'a str, i64, Label);
+
+/// Observability counters for one appended event (or one batch — see
+/// [`Monitor::feed_batch`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StepReport {
-    /// Prefix length (events fed so far, including this one).
+    /// Prefix length (events fed so far, including this batch).
     pub events: usize,
     /// Total reachable states across all frontier engines.
     pub frontier_states: u64,
@@ -263,6 +269,29 @@ impl Monitor {
         self.first_violation[model_idx]
     }
 
+    /// Number of events fed so far (the current prefix length).
+    pub fn num_events(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether `model_idx`'s verdict and [`Monitor::first_violation`]
+    /// are event-exact even under batched feeding. True for models on a
+    /// live frontier engine: engines consume every event individually,
+    /// so their state — and any violation they record — lands on the
+    /// same event no matter how the stream was cut into batches.
+    /// Restart-mode models and exhausted engines settle once per batch
+    /// instead, so their first-refuted-prefix depends on where batch
+    /// boundaries fall. Exhaustion is itself event-exact, so two
+    /// monitors fed the same prefix agree on this answer regardless of
+    /// batching.
+    pub fn is_event_exact(&self, model_idx: usize) -> bool {
+        match &self.engines[model_idx] {
+            Engine::Identical(e) => !e.is_exhausted(),
+            Engine::PerProc(list, _) => list.iter().all(|e| !e.is_exhausted()),
+            Engine::Restart => false,
+        }
+    }
+
     /// Pre-declare a processor (a trace `procs` header). Declaring every
     /// processor up front avoids frontier rebuilds mid-stream.
     pub fn declare_proc(&mut self, name: &str) {
@@ -286,36 +315,178 @@ impl Monitor {
         value: i64,
         label: Label,
     ) -> StepReport {
-        // Intern names and grow the frontier tables *before* the event
-        // lands in the trace: a table rebuild replays only the events
-        // already incorporated, so step()'s own append of this event is
-        // never a duplicate.
-        let proc = self.trace.add_proc(proc);
-        let loc = self.trace.add_loc(loc);
-        self.ensure_tables();
-        self.trace.push(TraceEvent {
-            proc,
-            kind,
-            loc,
-            value: Value(value),
-            label,
-        });
-        self.step()
+        self.feed_batch(&[(proc, kind, loc, value, label)])
     }
 
-    /// Feed a whole trace (declaring its tables first); returns one
-    /// report per event.
-    pub fn feed_trace(&mut self, t: &Trace) -> Vec<StepReport> {
+    /// Feed a batch of events at once. Semantically this appends every
+    /// event in order; operationally the batch amortizes the per-event
+    /// bookkeeping that [`Monitor::feed`] pays on each call:
+    ///
+    /// * names are interned and the frontier tables grown **once per
+    ///   batch** (at most one rebuild-by-replay, instead of one per
+    ///   newly appearing name);
+    /// * frontier-mode engines still see every event individually — the
+    ///   per-prefix verdict and first-refuted-prefix of SC/PRAM-shaped
+    ///   models stay event-exact;
+    /// * restart-mode models are settled **once at the batch end** (by
+    ///   lattice propagation or a batch re-check of the final prefix),
+    ///   so their verdicts and `first_violation` are recorded at batch
+    ///   granularity. Final verdicts are identical to per-event feeding
+    ///   — only the granularity of intermediate restart-model verdicts
+    ///   differs.
+    ///
+    /// Returns one aggregated report (`events` is the prefix length
+    /// after the batch).
+    pub fn feed_batch(&mut self, events: &[BatchEvent<'_>]) -> StepReport {
+        let mut report = StepReport {
+            events: self.trace.len() + events.len(),
+            ..StepReport::default()
+        };
+        if events.is_empty() {
+            report.frontier_states = self.frontier_states();
+            return report;
+        }
+        // Intern every name and grow the frontier tables *before* any
+        // event of the batch lands in the trace: a table rebuild
+        // replays only the events already incorporated, so the appends
+        // below never duplicate an event.
+        for &(proc, _, loc, _, _) in events {
+            self.trace.add_proc(proc);
+            self.trace.add_loc(loc);
+        }
+        self.ensure_tables();
+
+        // Phase 1: frontier-mode models consume the batch one event at
+        // a time (their per-event cost is what the engine amortizes),
+        // keeping per-prefix verdicts and first violations event-exact.
+        for &(proc, kind, loc, value, label) in events {
+            let ev = TraceEvent {
+                proc: self.trace.add_proc(proc),
+                kind,
+                loc: self.trace.add_loc(loc),
+                value: Value(value),
+                label,
+            };
+            self.trace.push(ev);
+            let n = self.trace.len();
+            for (i, engine) in self.engines.iter_mut().enumerate() {
+                let verdict = match engine {
+                    Engine::Identical(e) => {
+                        report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
+                        e.admitted()
+                    }
+                    Engine::PerProc(list, delta) => {
+                        // Every relevant engine must see the event, even
+                        // if an earlier view already settled the verdict.
+                        let mut verdict = Some(true);
+                        for (v, e) in list.iter_mut().enumerate() {
+                            if in_view(&ev, ProcId(v as u32), *delta) {
+                                report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
+                            }
+                            match e.admitted() {
+                                Some(true) => {}
+                                Some(false) => verdict = Some(false),
+                                None => {
+                                    if verdict != Some(false) {
+                                        verdict = None;
+                                    }
+                                }
+                            }
+                        }
+                        verdict
+                    }
+                    Engine::Restart => continue,
+                };
+                if let Some(adm) = verdict {
+                    let v = tri_of(adm);
+                    self.verdicts[i] = v;
+                    if v == TriVerdict::Violated && self.first_violation[i].is_none() {
+                        self.first_violation[i] = Some(n);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: settle every model on the batch-end prefix — frontier
+        // verdicts stand as computed (an exhausted engine leaves its
+        // model undecided here), everything else propagates through the
+        // lattice or falls back to a batch re-check.
+        let n = self.trace.len();
+        let mut decided: Vec<Option<TriVerdict>> = self
+            .engines
+            .iter()
+            .map(|engine| match engine {
+                Engine::Identical(e) => e.admitted().map(tri_of),
+                Engine::PerProc(list, _) => {
+                    let mut verdict = Some(true);
+                    for e in list {
+                        match e.admitted() {
+                            Some(true) => {}
+                            Some(false) => verdict = Some(false),
+                            None => {
+                                if verdict != Some(false) {
+                                    verdict = None;
+                                }
+                            }
+                        }
+                    }
+                    verdict.map(tri_of)
+                }
+                Engine::Restart => None,
+            })
+            .collect();
+        let mut prefix: Option<History> = None;
+        for i in 0..self.models.len() {
+            if decided[i].is_some() {
+                continue;
+            }
+            if let Some(v) = self.propagate(i, &decided) {
+                decided[i] = Some(v);
+                report.propagated += 1;
+                continue;
+            }
+            let h = prefix.get_or_insert_with(|| self.trace.history_of_prefix(n));
+            let (verdict, stats) =
+                smc_core::batch::check_parallel(h, &self.models[i], &self.cfg.check, self.cfg.jobs);
+            report.rechecks += 1;
+            report.recheck_nodes += stats.nodes_spent;
+            decided[i] = Some(match verdict {
+                Verdict::Allowed(_) => TriVerdict::Admitted,
+                Verdict::Disallowed => TriVerdict::Violated,
+                Verdict::Exhausted | Verdict::Unsupported(_) => TriVerdict::Unknown,
+            });
+        }
+        for (i, v) in decided.into_iter().enumerate() {
+            let v = v.expect("every model decided");
+            self.verdicts[i] = v;
+            if v == TriVerdict::Violated && self.first_violation[i].is_none() {
+                self.first_violation[i] = Some(n);
+            }
+        }
+        report.frontier_states = self.frontier_states();
+        self.totals.created += report.created;
+        self.totals.expanded += report.expanded;
+        self.totals.reuse_hits += report.reuse_hits;
+        self.totals.rechecks += report.rechecks;
+        self.totals.recheck_nodes += report.recheck_nodes;
+        self.totals.propagated += report.propagated;
+        report
+    }
+
+    /// Feed a whole trace (declaring its tables first) as one batch;
+    /// returns the aggregated report.
+    pub fn feed_trace(&mut self, t: &Trace) -> StepReport {
         for p in t.proc_names() {
             self.declare_proc(p);
         }
         for l in t.loc_names() {
             self.declare_loc(l);
         }
-        t.events()
+        let batch: Vec<BatchEvent<'_>> = t
+            .events()
             .iter()
             .map(|e| {
-                self.feed(
+                (
                     t.proc_name(e.proc),
                     e.kind,
                     t.loc_name(e.loc),
@@ -323,7 +494,20 @@ impl Monitor {
                     e.label,
                 )
             })
-            .collect()
+            .collect();
+        self.feed_batch(&batch)
+    }
+
+    /// Total reachable states across all frontier engines.
+    fn frontier_states(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(|engine| match engine {
+                Engine::Identical(e) => e.num_states() as u64,
+                Engine::PerProc(list, _) => list.iter().map(|e| e.num_states() as u64).sum::<u64>(),
+                Engine::Restart => 0,
+            })
+            .sum()
     }
 
     /// The minimal violating prefix for `model_idx`: the first refuted
@@ -398,105 +582,6 @@ impl Monitor {
                 Engine::Restart => {}
             }
         }
-    }
-
-    /// Process the most recently pushed event. The caller ([`feed`])
-    /// has already grown the frontier tables for this event's names.
-    ///
-    /// [`feed`]: Monitor::feed
-    fn step(&mut self) -> StepReport {
-        let n = self.trace.len();
-        let ev = *self.trace.events().last().expect("step without an event");
-        let mut report = StepReport {
-            events: n,
-            ..StepReport::default()
-        };
-
-        // Phase 1: frontier-mode models — incremental, always first so
-        // their verdicts can propagate to the restart-mode models. An
-        // exhausted engine (`admitted()` = None) leaves the model
-        // undecided here so phase 2 can still settle it by lattice
-        // propagation or a batch re-check.
-        let mut decided: Vec<Option<TriVerdict>> = vec![None; self.models.len()];
-        for (i, engine) in self.engines.iter_mut().enumerate() {
-            match engine {
-                Engine::Identical(e) => {
-                    report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
-                    decided[i] = e.admitted().map(tri_of);
-                }
-                Engine::PerProc(list, delta) => {
-                    // Every relevant engine must see the event, even if
-                    // an earlier view already settled the verdict.
-                    let mut verdict = Some(true);
-                    for (v, e) in list.iter_mut().enumerate() {
-                        if in_view(&ev, ProcId(v as u32), *delta) {
-                            report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
-                        }
-                        match e.admitted() {
-                            Some(true) => {}
-                            Some(false) => verdict = Some(false),
-                            None => {
-                                if verdict != Some(false) {
-                                    verdict = None;
-                                }
-                            }
-                        }
-                    }
-                    decided[i] = verdict.map(tri_of);
-                }
-                Engine::Restart => {}
-            }
-        }
-
-        // Phase 2: restart-mode models — propagate through the lattice
-        // where possible, re-check the prefix otherwise. Verdicts
-        // decided earlier in the pass propagate to later models.
-        let mut prefix: Option<History> = None;
-        for i in 0..self.models.len() {
-            if decided[i].is_some() {
-                continue;
-            }
-            if let Some(v) = self.propagate(i, &decided) {
-                decided[i] = Some(v);
-                report.propagated += 1;
-                continue;
-            }
-            let h = prefix.get_or_insert_with(|| self.trace.history_of_prefix(n));
-            let (verdict, stats) =
-                smc_core::batch::check_parallel(h, &self.models[i], &self.cfg.check, self.cfg.jobs);
-            report.rechecks += 1;
-            report.recheck_nodes += stats.nodes_spent;
-            decided[i] = Some(match verdict {
-                Verdict::Allowed(_) => TriVerdict::Admitted,
-                Verdict::Disallowed => TriVerdict::Violated,
-                Verdict::Exhausted | Verdict::Unsupported(_) => TriVerdict::Unknown,
-            });
-        }
-
-        for (i, v) in decided.into_iter().enumerate() {
-            let v = v.expect("every model decided");
-            self.verdicts[i] = v;
-            if v == TriVerdict::Violated && self.first_violation[i].is_none() {
-                self.first_violation[i] = Some(n);
-            }
-        }
-        for engine in &self.engines {
-            match engine {
-                Engine::Identical(e) => report.frontier_states += e.num_states() as u64,
-                Engine::PerProc(list, _) => {
-                    report.frontier_states +=
-                        list.iter().map(|e| e.num_states() as u64).sum::<u64>()
-                }
-                Engine::Restart => {}
-            }
-        }
-        self.totals.created += report.created;
-        self.totals.expanded += report.expanded;
-        self.totals.reuse_hits += report.reuse_hits;
-        self.totals.rechecks += report.rechecks;
-        self.totals.recheck_nodes += report.recheck_nodes;
-        self.totals.propagated += report.propagated;
-        report
     }
 
     /// A verdict for `i` forced by already-decided models through the
@@ -597,12 +682,12 @@ mod tests {
         // model must be decided without a re-check.
         let t = parse_trace("p w(d)1\np w(f)1\nq r(f)1\nq r(d)1\n").unwrap();
         let mut m = monitor(models::lattice_models());
-        let reports = m.feed_trace(&t);
+        let report = m.feed_trace(&t);
         assert!(m.verdicts().iter().all(|&v| v == TriVerdict::Admitted));
         // SC and PRAM run on frontier engines; everything else is
         // propagated, never re-checked.
-        assert_eq!(reports.iter().map(|r| r.rechecks).sum::<u64>(), 0);
-        assert!(reports.iter().map(|r| r.propagated).sum::<u64>() > 0);
+        assert_eq!(report.rechecks, 0);
+        assert!(report.propagated > 0);
     }
 
     #[test]
@@ -694,6 +779,78 @@ mod tests {
         assert_eq!(h.expanded, step_expanded);
         assert_eq!(declared.totals().rebuild_work, 0);
         assert!(h.rebuild_work > 0, "mid-stream growth should rebuild");
+    }
+
+    #[test]
+    fn feed_batch_matches_per_event_feeding() {
+        // Batched feeding must land on the same final verdicts and
+        // first-violation prefixes as one-event-at-a-time feeding, for
+        // every way of cutting the stream into batches.
+        let traces = [
+            "p w(x)1\nq w(y)1\np r(y)0\nq r(x)0\n",
+            "p w(d)1\np w(f)1\nq r(f)1\nq r(d)1\n",
+            "p w(d)1\np w(f)1\nq r(f)1\nq r(d)0\n",
+            // Mid-stream growth: `r` and `z` first appear late.
+            "p w(x)1\nq r(x)1\nr w(z)2\np r(z)2\nq r(z)0\n",
+        ];
+        for text in traces {
+            let t = parse_trace(text).unwrap();
+            let mut by_event = monitor(models::lattice_models());
+            for ev in t.events() {
+                by_event.feed(
+                    t.proc_name(ev.proc),
+                    ev.kind,
+                    t.loc_name(ev.loc),
+                    ev.value.0,
+                    ev.label,
+                );
+            }
+            for batch in [1usize, 2, 3, t.len().max(1)] {
+                let events: Vec<BatchEvent<'_>> = t
+                    .events()
+                    .iter()
+                    .map(|ev| {
+                        (
+                            t.proc_name(ev.proc),
+                            ev.kind,
+                            t.loc_name(ev.loc),
+                            ev.value.0,
+                            ev.label,
+                        )
+                    })
+                    .collect();
+                let mut batched = monitor(models::lattice_models());
+                for chunk in events.chunks(batch) {
+                    batched.feed_batch(chunk);
+                }
+                assert_eq!(
+                    batched.verdicts(),
+                    by_event.verdicts(),
+                    "batch={batch} trace={text:?}"
+                );
+                // Frontier-engine models keep event-exact first_violation
+                // even inside a batch; fig1's SC refutation at prefix 4
+                // must not be reported as "somewhere in the batch".
+                for (i, first) in by_event.first_violation.iter().enumerate() {
+                    if matches!(
+                        batched.engines[i],
+                        Engine::Identical(_) | Engine::PerProc(..)
+                    ) {
+                        assert_eq!(batched.first_violation(i), *first, "model {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feed_batch_empty_is_a_no_op() {
+        let mut m = monitor(vec![models::sc()]);
+        m.feed("p", OpKind::Write, "x", 1, Label::Ordinary);
+        let rep = m.feed_batch(&[]);
+        assert_eq!(rep.events, 1);
+        assert_eq!(rep.rechecks, 0);
+        assert_eq!(m.verdicts()[0], TriVerdict::Admitted);
     }
 
     #[test]

@@ -1,0 +1,820 @@
+//! Multi-session streaming admission server.
+//!
+//! `smc serve` turns the streaming [`Monitor`] into an always-on
+//! network service: a TCP listener accepts line-oriented connections,
+//! each carrying events for any number of independent *sessions*, and
+//! every session is backed by its own incremental monitor over its own
+//! trace. The protocol is plain text, one command per line:
+//!
+//! ```text
+//! OPEN <sid> [model]     -> OK <sid> | ERR ...
+//! EV <sid> <trace line>  -> (silent) | BUSY <sid> | ERR ...
+//! @<sid> <trace line>    -> shorthand for EV
+//! QUERY <sid>            -> VERDICT <sid> <events> SC=admitted ...
+//! CLOSE <sid>            -> CLOSED <sid> <events> SC=admitted ...
+//! PING                   -> PONG
+//! STATS                  -> STATS sessions=.. events=.. ...
+//! SHUTDOWN               -> BYE (server stops)
+//! ```
+//!
+//! Event lines reuse the `smc trace` grammar verbatim (headers
+//! included), parsed by [`smc_history::trace::parse_trace_line`]; the
+//! `@sid` framing is [`smc_history::trace::split_session_line`].
+//!
+//! # Architecture
+//!
+//! * **Acceptor + connection readers.** One acceptor thread accepts
+//!   connections (bounded by `max_conns`); each connection gets a
+//!   reader thread that parses command lines and replies inline.
+//!   Sessions are server-scoped, not connection-scoped: any connection
+//!   may feed or query any session, and dropping a connection leaves
+//!   its sessions running (a second connection can issue out-of-band
+//!   `QUERY`s while the first streams events).
+//! * **Sharded session map.** Session ids hash into 16 independently
+//!   locked shards (the same shape as the checker's `MemoCache`), so
+//!   thousands of concurrent sessions never serialize on one lock.
+//! * **Batched draining.** `EV` only parses the line into the
+//!   session's inbox — a scratch [`Trace`] — and schedules the session
+//!   on a run queue. A fixed pool of `workers` drain threads feeds
+//!   whatever has accumulated to the session's monitor with one
+//!   [`Monitor::feed_batch`] call, so batch size adapts to load: an
+//!   idle server feeds per-event, a saturated one amortizes interning,
+//!   table growth and restart-model settling over hundreds of events.
+//! * **Backpressure.** A session's inbox holds at most `queue_cap`
+//!   unfed events. Past that, `EV` replies `BUSY <sid>` and drops the
+//!   event — a slow session costs bounded memory, never an unbounded
+//!   queue. `QUERY`/`CLOSE` drain synchronously, so a client that
+//!   paces a query every `queue_cap` events can never be refused.
+//! * **Poisoning.** A malformed event line poisons only its session:
+//!   the parse error is recorded, later events for that session are
+//!   discarded, and `QUERY`/`CLOSE` report `error: <msg>` instead of
+//!   verdicts. The connection — and every other session — stays up.
+//!
+//! Verdict payloads list one `model=verdict` token per monitored
+//! model, with `,first=N` appended for models whose first refuted
+//! prefix is event-exact under batching (see
+//! [`Monitor::is_event_exact`]); [`offline_payload`] computes the
+//! byte-identical payload for a complete trace without a server, which
+//! is what the load generator's verify mode and the integration tests
+//! diff against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use smc_core::models;
+use smc_core::spec::ModelSpec;
+use smc_history::trace::{is_session_id, parse_trace_line, split_session_line, Trace};
+use smc_history::{Label, OpKind};
+use smc_monitor::{BatchEvent, Monitor, MonitorConfig};
+
+/// Number of shards in the session map. Power of two; sixteen matches
+/// the checker's `MemoCache`/`SharedFailedSet` sharding.
+const SHARDS: usize = 16;
+
+/// Poll interval for the non-blocking acceptor and the connection
+/// readers' timeout, bounding shutdown latency.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Tuning for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Drain worker threads. `0` disables asynchronous draining —
+    /// events sit in the inbox until a `QUERY`/`CLOSE` drains them
+    /// synchronously (deterministic, used to test backpressure).
+    pub workers: usize,
+    /// Admission cap: `OPEN` beyond this many live sessions is refused.
+    pub max_sessions: usize,
+    /// Concurrent connection cap; excess connections are refused.
+    pub max_conns: usize,
+    /// Per-session inbox bound in unfed events; `EV` past it gets
+    /// `BUSY`.
+    pub queue_cap: usize,
+    /// Models monitored by a session when `OPEN` names none.
+    pub models: Vec<ModelSpec>,
+    /// Monitor tuning template, cloned per session. The clone shares
+    /// the template's memo cache, so restart-model re-checks memoize
+    /// across sessions.
+    pub monitor: MonitorConfig,
+}
+
+/// Default per-engine frontier state budget for server sessions.
+///
+/// The offline monitor defaults to `1 << 20` states — fine for one
+/// trace, ruinous for thousands of concurrent sessions (a 64-event
+/// aliased trace can reach ~24k frontier states ≈ 5 MB *per session*,
+/// and per-event append cost grows with the state count). Capping at
+/// 1024 keeps typical litmus-scale sessions fully event-exact while an
+/// engine that overflows falls back to batch-end rechecks: bounded
+/// memory, and measured ~20× higher sustained throughput at 1024
+/// sessions. Override with `--max-states`.
+pub const DEFAULT_SESSION_MAX_STATES: usize = 1024;
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(2).max(1))
+                .unwrap_or(2),
+            max_sessions: 4096,
+            max_conns: 256,
+            queue_cap: 1024,
+            models: models::lattice_models(),
+            monitor: MonitorConfig {
+                max_frontier_states: DEFAULT_SESSION_MAX_STATES,
+                ..MonitorConfig::default()
+            },
+        }
+    }
+}
+
+/// Parsed-but-unfed events plus the session's stream bookkeeping.
+/// Guarded by its own lock so `EV` (parse + append) never waits on a
+/// drain in progress; lock order is monitor before inbox.
+struct Inbox {
+    /// Scratch trace the wire lines parse into; `fed..len` is the
+    /// pending queue.
+    scratch: Trace,
+    /// Events of `scratch` already fed to the monitor.
+    fed: usize,
+    /// Procs of `scratch` already declared to the monitor.
+    declared_procs: usize,
+    /// Locs of `scratch` already declared to the monitor.
+    declared_locs: usize,
+    /// Session is queued on the run queue or mid-drain.
+    scheduled: bool,
+    /// First parse error; set once, never cleared.
+    poisoned: Option<String>,
+    /// `CLOSE` ran; late `EV`s racing the map removal get an error.
+    closed: bool,
+    /// Per-session line number for parse-error messages.
+    line_no: usize,
+    /// Per-session byte offset for parse-error messages.
+    offset: usize,
+}
+
+/// One monitored session. The id lives in the shard map key; replies
+/// echo the id the client sent.
+struct Session {
+    inbox: Mutex<Inbox>,
+    mon: Mutex<Monitor>,
+}
+
+impl Session {
+    fn new(models: Vec<ModelSpec>, cfg: MonitorConfig) -> Arc<Session> {
+        Arc::new(Session {
+            inbox: Mutex::new(Inbox {
+                scratch: Trace::new(),
+                fed: 0,
+                declared_procs: 0,
+                declared_locs: 0,
+                scheduled: false,
+                poisoned: None,
+                closed: false,
+                line_no: 0,
+                offset: 0,
+            }),
+            mon: Mutex::new(Monitor::new(models, cfg)),
+        })
+    }
+}
+
+/// State shared by the acceptor, connection readers and drain workers.
+struct Shared {
+    cfg: ServeConfig,
+    shards: Vec<Mutex<HashMap<String, Arc<Session>>>>,
+    runq: Mutex<VecDeque<Arc<Session>>>,
+    runq_cv: Condvar,
+    shutdown: AtomicBool,
+    open_sessions: AtomicUsize,
+    peak_sessions: AtomicUsize,
+    conns: AtomicUsize,
+    events_fed: AtomicU64,
+    busy: AtomicU64,
+    poisoned: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl Shared {
+    fn shard(&self, sid: &str) -> &Mutex<HashMap<String, Arc<Session>>> {
+        // FNV-1a; only distribution matters.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in sid.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    fn session(&self, sid: &str) -> Option<Arc<Session>> {
+        self.shard(sid).lock().unwrap().get(sid).cloned()
+    }
+
+    fn stats_line(&self) -> String {
+        format!(
+            "STATS sessions={} peak={} conns={} events={} busy={} poisoned={} queries={}",
+            self.open_sessions.load(Ordering::Relaxed),
+            self.peak_sessions.load(Ordering::Relaxed),
+            self.conns.load(Ordering::Relaxed),
+            self.events_fed.load(Ordering::Relaxed),
+            self.busy.load(Ordering::Relaxed),
+            self.poisoned.load(Ordering::Relaxed),
+            self.queries.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Verdict payload for the monitor's current prefix: the event count
+/// followed by one `model=verdict` token per model, with `,first=N`
+/// for models whose first refuted prefix is event-exact.
+pub fn verdict_payload(mon: &Monitor) -> String {
+    use std::fmt::Write;
+    let mut s = mon.num_events().to_string();
+    for (i, m) in mon.models().iter().enumerate() {
+        let _ = write!(s, " {}={}", m.name, mon.verdicts()[i].word());
+        if mon.is_event_exact(i) {
+            if let Some(n) = mon.first_violation(i) {
+                let _ = write!(s, ",first={n}");
+            }
+        }
+    }
+    s
+}
+
+/// The payload a server session would report after ingesting `t`
+/// whole: feed offline, format with [`verdict_payload`]. The serve
+/// equivalence tests and the load generator's verify mode diff server
+/// payloads against this.
+pub fn offline_payload(models: &[ModelSpec], cfg: &MonitorConfig, t: &Trace) -> String {
+    let mut mon = Monitor::new(models.to_vec(), cfg.clone());
+    mon.feed_trace(t);
+    verdict_payload(&mon)
+}
+
+/// Feed everything pending in the session's inbox to its monitor and
+/// return the monitor guard (still locked, so the caller can read
+/// verdicts of exactly the drained prefix). Safe to race with other
+/// drains: the monitor lock serializes them and `fed` marks events as
+/// taken under the inbox lock.
+fn drain_locked<'a>(s: &'a Session, shared: &Shared) -> MutexGuard<'a, Monitor> {
+    let mut mon = s.mon.lock().unwrap();
+    loop {
+        // Take the pending slice out under the inbox lock, feed it
+        // after release: EV keeps appending while the batch feeds.
+        let batch: Vec<(String, OpKind, String, i64, Label)> = {
+            let mut inbox = s.inbox.lock().unwrap();
+            for i in inbox.declared_procs..inbox.scratch.num_procs() {
+                mon.declare_proc(&inbox.scratch.proc_names()[i]);
+            }
+            inbox.declared_procs = inbox.scratch.num_procs();
+            for i in inbox.declared_locs..inbox.scratch.num_locs() {
+                mon.declare_loc(&inbox.scratch.loc_names()[i]);
+            }
+            inbox.declared_locs = inbox.scratch.num_locs();
+            if inbox.fed == inbox.scratch.len() {
+                inbox.scheduled = false;
+                return mon;
+            }
+            let from = inbox.fed;
+            inbox.fed = inbox.scratch.len();
+            inbox.scratch.events()[from..]
+                .iter()
+                .map(|e| {
+                    (
+                        inbox.scratch.proc_name(e.proc).to_owned(),
+                        e.kind,
+                        inbox.scratch.loc_name(e.loc).to_owned(),
+                        e.value.0,
+                        e.label,
+                    )
+                })
+                .collect()
+        };
+        let refs: Vec<BatchEvent<'_>> = batch
+            .iter()
+            .map(|(p, k, l, v, lab)| (p.as_str(), *k, l.as_str(), *v, *lab))
+            .collect();
+        mon.feed_batch(&refs);
+        shared
+            .events_fed
+            .fetch_add(refs.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// What a command line asks the connection loop to do.
+enum Action {
+    /// No reply (successful `EV`, blank line, comment).
+    Silent,
+    /// Write this line back.
+    Reply(String),
+    /// Write the line, then stop the whole server.
+    Shutdown(String),
+}
+
+fn cmd_open(shared: &Shared, sid: &str, selector: Option<&str>) -> Action {
+    if !is_session_id(sid) {
+        return Action::Reply(format!("ERR invalid session id `{sid}`"));
+    }
+    let session_models = match selector {
+        None | Some("all") => shared.cfg.models.clone(),
+        Some(name) => match models::by_name(name) {
+            Some(m) => vec![m],
+            None => return Action::Reply(format!("ERR unknown model `{name}`")),
+        },
+    };
+    // Reserve a slot before touching the map so concurrent OPENs on
+    // different shards cannot overshoot the cap.
+    let live = shared.open_sessions.fetch_add(1, Ordering::Relaxed);
+    if live >= shared.cfg.max_sessions {
+        shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+        return Action::Reply(format!("ERR full max-sessions={}", shared.cfg.max_sessions));
+    }
+    shared.peak_sessions.fetch_max(live + 1, Ordering::Relaxed);
+    let mut shard = shared.shard(sid).lock().unwrap();
+    if shard.contains_key(sid) {
+        drop(shard);
+        shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+        return Action::Reply(format!("ERR session exists `{sid}`"));
+    }
+    shard.insert(
+        sid.to_owned(),
+        Session::new(session_models, shared.cfg.monitor.clone()),
+    );
+    Action::Reply(format!("OK {sid}"))
+}
+
+fn cmd_ev(shared: &Arc<Shared>, sid: &str, rest: &str) -> Action {
+    let Some(s) = shared.session(sid) else {
+        return Action::Reply(format!("ERR unknown session `{sid}`"));
+    };
+    let schedule = {
+        let mut inbox = s.inbox.lock().unwrap();
+        if inbox.closed {
+            return Action::Reply(format!("ERR unknown session `{sid}`"));
+        }
+        if inbox.poisoned.is_some() {
+            // The session is already failed; swallow the rest of its
+            // stream so the connection (and its other sessions) go on.
+            return Action::Silent;
+        }
+        if inbox.scratch.len() - inbox.fed >= shared.cfg.queue_cap {
+            shared.busy.fetch_add(1, Ordering::Relaxed);
+            return Action::Reply(format!("BUSY {sid}"));
+        }
+        inbox.line_no += 1;
+        let (line_no, offset) = (inbox.line_no, inbox.offset);
+        if let Err(e) = parse_trace_line(&mut inbox.scratch, rest, line_no, offset) {
+            inbox.poisoned = Some(e.to_string());
+            shared.poisoned.fetch_add(1, Ordering::Relaxed);
+        }
+        inbox.offset += rest.len() + 1;
+        let pending = inbox.scratch.len() - inbox.fed;
+        if pending > 0 && !inbox.scheduled && shared.cfg.workers > 0 {
+            inbox.scheduled = true;
+            true
+        } else {
+            false
+        }
+    };
+    if schedule {
+        shared.runq.lock().unwrap().push_back(s);
+        shared.runq_cv.notify_one();
+    }
+    Action::Silent
+}
+
+fn cmd_query(shared: &Shared, sid: &str) -> Action {
+    let Some(s) = shared.session(sid) else {
+        return Action::Reply(format!("ERR unknown session `{sid}`"));
+    };
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    let mon = drain_locked(&s, shared);
+    let poisoned = s.inbox.lock().unwrap().poisoned.clone();
+    let payload = match poisoned {
+        Some(msg) => format!("{} error: {msg}", mon.num_events()),
+        None => verdict_payload(&mon),
+    };
+    Action::Reply(format!("VERDICT {sid} {payload}"))
+}
+
+fn cmd_close(shared: &Shared, sid: &str) -> Action {
+    let Some(s) = shared.shard(sid).lock().unwrap().remove(sid) else {
+        return Action::Reply(format!("ERR unknown session `{sid}`"));
+    };
+    let mon = drain_locked(&s, shared);
+    let poisoned = {
+        let mut inbox = s.inbox.lock().unwrap();
+        inbox.closed = true;
+        inbox.poisoned.clone()
+    };
+    shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+    let payload = match poisoned {
+        Some(msg) => format!("{} error: {msg}", mon.num_events()),
+        None => verdict_payload(&mon),
+    };
+    Action::Reply(format!("CLOSED {sid} {payload}"))
+}
+
+/// Dispatch one protocol line.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> Action {
+    let line = line.trim_end_matches('\r');
+    // `@sid <event>` shorthand outranks keyword parsing so session ids
+    // can never collide with command words.
+    if let Some((sid, rest)) = split_session_line(line) {
+        return cmd_ev(shared, sid, rest);
+    }
+    let trimmed = line.trim_start();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Action::Silent;
+    }
+    let (word, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((w, r)) => (w, r.trim_start()),
+        None => (trimmed, ""),
+    };
+    match word {
+        "OPEN" => {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(sid), sel, None) => cmd_open(shared, sid, sel),
+                _ => Action::Reply("ERR usage: OPEN <sid> [model]".into()),
+            }
+        }
+        "EV" => match rest.split_once(char::is_whitespace) {
+            Some((sid, ev)) => cmd_ev(shared, sid, ev),
+            None if !rest.is_empty() => cmd_ev(shared, rest, ""),
+            None => Action::Reply("ERR usage: EV <sid> <event>".into()),
+        },
+        "QUERY" => match rest.split_whitespace().next() {
+            Some(sid) => cmd_query(shared, sid),
+            None => Action::Reply("ERR usage: QUERY <sid>".into()),
+        },
+        "CLOSE" => match rest.split_whitespace().next() {
+            Some(sid) => cmd_close(shared, sid),
+            None => Action::Reply("ERR usage: CLOSE <sid>".into()),
+        },
+        "PING" => Action::Reply("PONG".into()),
+        "STATS" => Action::Reply(shared.stats_line()),
+        "SHUTDOWN" => Action::Shutdown("BYE".into()),
+        _ => Action::Reply(format!("ERR unknown command `{word}`")),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let next = {
+            let mut q = shared.runq.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared.runq_cv.wait(q).unwrap();
+            }
+        };
+        match next {
+            Some(s) => drop(drain_locked(&s, shared)),
+            None => return,
+        }
+    }
+}
+
+fn conn_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        shared.conns.fetch_sub(1, Ordering::Relaxed);
+        return;
+    };
+    let mut out = std::io::BufWriter::new(write_half);
+    let mut stream = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    'conn: loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        pending.extend_from_slice(&buf[..n]);
+        let mut start = 0usize;
+        while let Some(nl) = pending[start..].iter().position(|&b| b == b'\n') {
+            let line = &pending[start..start + nl];
+            start += nl + 1;
+            let action = match std::str::from_utf8(line) {
+                Ok(text) => handle_line(&shared, text),
+                Err(_) => Action::Reply("ERR invalid utf-8".into()),
+            };
+            match action {
+                Action::Silent => {}
+                Action::Reply(r) => {
+                    if out.write_all(r.as_bytes()).is_err()
+                        || out.write_all(b"\n").is_err()
+                        || out.flush().is_err()
+                    {
+                        break 'conn;
+                    }
+                }
+                Action::Shutdown(r) => {
+                    let _ = out.write_all(r.as_bytes());
+                    let _ = out.write_all(b"\n");
+                    let _ = out.flush();
+                    shared.shutdown.store(true, Ordering::Release);
+                    shared.runq_cv.notify_all();
+                    break 'conn;
+                }
+            }
+        }
+        pending.drain(..start);
+    }
+    shared.conns.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// A running admission server. Dropping the handle does **not** stop
+/// it — call [`Server::shutdown`] (or send `SHUTDOWN` over a
+/// connection and [`Server::wait`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind and start accepting. Returns once the listener is live.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers_n = cfg.workers;
+        let shared = Arc::new(Shared {
+            cfg,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            runq: Mutex::new(VecDeque::new()),
+            runq_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            open_sessions: AtomicUsize::new(0),
+            peak_sessions: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
+            events_fed: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        });
+        let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..workers_n)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::spawn(move || loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        // Reap finished readers so the handle list stays
+                        // proportional to live connections.
+                        let mut threads = conn_threads.lock().unwrap();
+                        threads.retain(|t| !t.is_finished());
+                        if shared.conns.load(Ordering::Relaxed) >= shared.cfg.max_conns {
+                            let _ = stream.write_all(b"ERR too many connections\n");
+                            continue;
+                        }
+                        shared.conns.fetch_add(1, Ordering::Relaxed);
+                        let shared = Arc::clone(&shared);
+                        threads.push(std::thread::spawn(move || conn_loop(stream, shared)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            })
+        };
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            conn_threads,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One-line server counters, same shape as the `STATS` reply.
+    pub fn stats_line(&self) -> String {
+        self.shared.stats_line()
+    }
+
+    /// True until `SHUTDOWN` arrives or [`Server::shutdown`] runs.
+    pub fn running(&self) -> bool {
+        !self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    fn join_all(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.runq_cv.notify_all();
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.conn_threads.lock().unwrap().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting, finish queued drains, join every thread.
+    pub fn shutdown(mut self) {
+        self.join_all();
+    }
+
+    /// Block until a client sends `SHUTDOWN`, then join every thread.
+    pub fn wait(mut self) {
+        while self.running() {
+            std::thread::sleep(POLL);
+        }
+        self.join_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_history::trace::{emit_trace, parse_trace};
+    use std::io::{BufRead, BufReader, Write};
+
+    fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    fn roundtrip(r: &mut BufReader<TcpStream>, w: &mut TcpStream, line: &str) -> String {
+        writeln!(w, "{line}").unwrap();
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        reply.trim_end().to_owned()
+    }
+
+    fn test_server(workers: usize, queue_cap: usize) -> Server {
+        Server::start(ServeConfig {
+            workers,
+            queue_cap,
+            models: vec![models::sc(), models::causal()],
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn open_feed_query_close_matches_offline() {
+        let server = test_server(2, 1024);
+        let (mut r, mut w) = connect(server.addr());
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN s1"), "OK s1");
+        let t = parse_trace("p w(x)1\nq w(y)1\np r(y)0\nq r(x)0\n").unwrap();
+        for line in emit_trace(&t).lines() {
+            writeln!(w, "@s1 {line}").unwrap();
+        }
+        let cfg = ServeConfig::default();
+        let want = offline_payload(&[models::sc(), models::causal()], &cfg.monitor, &t);
+        let got = roundtrip(&mut r, &mut w, "QUERY s1");
+        assert_eq!(got, format!("VERDICT s1 {want}"));
+        let got = roundtrip(&mut r, &mut w, "CLOSE s1");
+        assert_eq!(got, format!("CLOSED s1 {want}"));
+        // Closed sessions are gone, and their slot is reusable.
+        assert!(roundtrip(&mut r, &mut w, "QUERY s1").starts_with("ERR unknown session"));
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN s1"), "OK s1");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_line_poisons_only_its_session() {
+        let server = test_server(2, 1024);
+        let (mut r, mut w) = connect(server.addr());
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN good"), "OK good");
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN bad"), "OK bad");
+        writeln!(w, "@good p w(x)1").unwrap();
+        writeln!(w, "@bad p w(x)1").unwrap();
+        writeln!(w, "@bad p frobnicate").unwrap();
+        writeln!(w, "@bad p w(x)2").unwrap();
+        let got = roundtrip(&mut r, &mut w, "QUERY bad");
+        assert!(got.starts_with("VERDICT bad 1 error:"), "{got}");
+        // The poisoned session keeps failing, the connection and the
+        // healthy session are untouched.
+        let got = roundtrip(&mut r, &mut w, "QUERY good");
+        assert!(got.starts_with("VERDICT good 1 SC=admitted"), "{got}");
+        assert_eq!(roundtrip(&mut r, &mut w, "PING"), "PONG");
+        server.shutdown();
+    }
+
+    #[test]
+    fn backpressure_is_busy_not_unbounded() {
+        // workers: 0 makes draining purely synchronous, so the third
+        // event must find the two-slot inbox full.
+        let server = test_server(0, 2);
+        let (mut r, mut w) = connect(server.addr());
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN s"), "OK s");
+        writeln!(w, "@s p w(x)1").unwrap();
+        writeln!(w, "@s p w(x)2").unwrap();
+        let got = roundtrip(&mut r, &mut w, "@s p w(x)3");
+        assert_eq!(got, "BUSY s");
+        // QUERY drains synchronously and frees the queue again.
+        let got = roundtrip(&mut r, &mut w, "QUERY s");
+        assert!(got.starts_with("VERDICT s 2 "), "{got}");
+        writeln!(w, "@s p w(x)3").unwrap();
+        let got = roundtrip(&mut r, &mut w, "QUERY s");
+        assert!(got.starts_with("VERDICT s 3 "), "{got}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_sessions_caps_admission() {
+        let server = Server::start(ServeConfig {
+            max_sessions: 2,
+            models: vec![models::sc()],
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN a"), "OK a");
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN b"), "OK b");
+        assert!(roundtrip(&mut r, &mut w, "OPEN c").starts_with("ERR full"));
+        // Closing one session frees its slot.
+        assert!(roundtrip(&mut r, &mut w, "CLOSE a").starts_with("CLOSED a"));
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN c"), "OK c");
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_band_query_from_second_connection() {
+        let server = test_server(2, 1024);
+        let (mut r1, mut w1) = connect(server.addr());
+        assert_eq!(roundtrip(&mut r1, &mut w1, "OPEN s"), "OK s");
+        writeln!(w1, "@s p w(x)1").unwrap();
+        w1.flush().unwrap();
+        // A different connection sees the same session.
+        let (mut r2, mut w2) = connect(server.addr());
+        let got = roundtrip(&mut r2, &mut w2, "QUERY s");
+        assert!(got.starts_with("VERDICT s 1 "), "{got}");
+        // Dropping the feeder connection leaves the session alive.
+        drop((r1, w1));
+        let got = roundtrip(&mut r2, &mut w2, "QUERY s");
+        assert!(got.starts_with("VERDICT s 1 "), "{got}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_and_stats() {
+        let server = test_server(1, 1024);
+        let (mut r, mut w) = connect(server.addr());
+        assert!(roundtrip(&mut r, &mut w, "FROB x").starts_with("ERR unknown command"));
+        assert!(roundtrip(&mut r, &mut w, "OPEN @bad").starts_with("ERR invalid session id"));
+        assert!(roundtrip(&mut r, &mut w, "OPEN s nosuchmodel").starts_with("ERR unknown model"));
+        assert!(roundtrip(&mut r, &mut w, "@ghost p w(x)1").starts_with("ERR unknown session"));
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN s sc"), "OK s");
+        assert!(roundtrip(&mut r, &mut w, "OPEN s").starts_with("ERR session exists"));
+        let stats = roundtrip(&mut r, &mut w, "STATS");
+        assert!(stats.starts_with("STATS sessions=1 "), "{stats}");
+        assert_eq!(roundtrip(&mut r, &mut w, "SHUTDOWN"), "BYE");
+        server.wait();
+    }
+}

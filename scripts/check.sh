@@ -70,6 +70,56 @@ if [ "${1:-}" != "--no-test" ]; then
     echo "==> smc monitor --corpus (streaming vs batch verdicts)"
     cargo run -q --release --bin smc -- monitor --corpus --jobs 4 >/dev/null
 
+    # Serve smoke gate: boot the real `smc serve` binary, drive it over
+    # loopback with `smc loadgen --verify`, and require every session's
+    # final verdict to match the offline monitor (the loadgen exits
+    # nonzero on any mismatch). --shutdown stops the server afterwards.
+    echo "==> smc serve + loadgen --verify (loopback smoke)"
+    serve_log=$(mktemp)
+    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log"' EXIT
+    ./target/release/smc serve --listen 127.0.0.1:0 >"$serve_log" &
+    serve_pid=$!
+    serve_addr=""
+    for _ in $(seq 1 100); do
+        serve_addr=$(sed -n 's/^listening on //p' "$serve_log")
+        [ -n "$serve_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$serve_addr" ]; then
+        echo "serve gate: server never reported its address" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    ./target/release/smc loadgen --addr "$serve_addr" --sessions 64 --events 16 \
+        --conns 4 --query-every 8 --seed 42 --verify --shutdown >/dev/null
+    wait "$serve_pid"
+
+    # Serve bench drift gate: the default throughput bench (1024
+    # sessions over loopback) must stay within 1.5x of the committed
+    # BENCH_serve.json events/sec baseline, with every verdict verified
+    # against the offline monitor. Intended perf changes must
+    # regenerate BENCH_serve.json.
+    echo "==> bench drift gate (serve --bench events/sec >= baseline/1.5)"
+    serve_json=$(mktemp)
+    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$serve_json"' EXIT
+    ./target/release/smc serve --bench --json "$serve_json" >/dev/null
+    if ! grep -q '"verified":true' "$serve_json"; then
+        echo "serve bench gate: verdict mismatch against the offline monitor" >&2
+        exit 1
+    fi
+    eps_base=$(grep -o '"events_per_sec":[0-9]*' BENCH_serve.json | grep -o '[0-9]*$')
+    eps_now=$(grep -o '"events_per_sec":[0-9]*' "$serve_json" | grep -o '[0-9]*$')
+    if [ -z "$eps_base" ] || [ -z "$eps_now" ]; then
+        echo "serve bench gate: missing events_per_sec rows" >&2
+        exit 1
+    fi
+    if [ $((eps_now * 15)) -lt $((eps_base * 10)) ]; then
+        echo "serve bench gate: ${eps_now} events/sec < baseline ${eps_base}/1.5" >&2
+        echo "server ingest throughput regressed — check batching and the worker pool" >&2
+        exit 1
+    fi
+    echo "    baseline ${eps_base} events/sec, current ${eps_now} (within 1.5x)"
+
     # Bench drift gate for the parallel small-history pessimization: on a
     # litmus-sized check the adaptive cutover must keep `check_parallel`
     # at 4 workers within 1.5x of the sequential checker. Before the
@@ -77,7 +127,7 @@ if [ "${1:-}" != "--no-test" ]; then
     # ~3-node search and ran 14-17x slower than sequential.
     echo "==> bench drift gate (split_dfs_sc_reversed: j4 <= 1.5x sequential)"
     bench_json=$(mktemp)
-    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$bench_json"' EXIT
+    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$serve_json" "$bench_json"' EXIT
     cargo bench -q --bench bench_batch -- split_dfs_sc_reversed --json "$bench_json" >/dev/null
     seq_ns=$(grep -o '"batch/split_dfs_sc_reversed/sequential", "ns_per_iter": [0-9]*' \
         "$bench_json" | grep -o '[0-9]*$')
@@ -101,7 +151,7 @@ if [ "${1:-}" != "--no-test" ]; then
     # intended perf changes must regenerate BENCH_bighist.json.
     echo "==> bench drift gate (TSO_ops_256/saturate <= 1.5x committed baseline)"
     sat_json=$(mktemp)
-    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$bench_json" "$sat_json"' EXIT
+    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$serve_json" "$bench_json" "$sat_json"' EXIT
     cargo bench -q --bench bench_bighist -- TSO_ops_256 --json "$sat_json" >/dev/null
     sat_base=$(grep -o '"bighist/TSO_ops_256/saturate", "ns_per_iter": [0-9]*' \
         BENCH_bighist.json | grep -o '[0-9]*$')

@@ -1,0 +1,155 @@
+//! The admission server agrees with the offline monitor.
+//!
+//! Serve analogue of `monitor_equiv.rs`: drive many concurrent
+//! sessions over loopback with the load generator, collect each
+//! session's end-of-stream verdict payload from its `CLOSED` reply,
+//! and require byte equality with [`smc_serve::offline_payload`] on
+//! the same trace under the same monitor configuration. This pins the
+//! whole wire path — line parsing, shard routing, worker-pool batch
+//! draining, query interleaving — to the single-session semantics.
+
+use smc_history::trace::Trace;
+use smc_monitor::MonitorConfig;
+use smc_programs::corpus::litmus_suite;
+use smc_serve::loadgen::{self, LoadgenConfig};
+use smc_serve::{ServeConfig, Server};
+use smc_sim::sched::run_random;
+use smc_sim::workload::{Access, OpScript};
+use smc_sim::TsoMem;
+
+/// Start an in-process server on an ephemeral port and run `work`
+/// through it; panic on any payload mismatch against the offline
+/// monitor.
+fn assert_serve_matches_offline(work: &[(String, Trace)], cfg: ServeConfig, query_every: usize) {
+    let models = cfg.models.clone();
+    let mon_cfg = cfg.monitor.clone();
+    let server = Server::start(cfg).expect("server start");
+    let lg = LoadgenConfig {
+        addr: server.addr().to_string(),
+        conns: 8,
+        query_every,
+        shutdown: false,
+    };
+    let report = loadgen::run(&lg, work).expect("loadgen run");
+    assert_eq!(report.sessions, work.len());
+    let mismatches = loadgen::verify(work, &report, &models, &mon_cfg);
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} sessions disagree with the offline monitor:\n{}",
+        mismatches.len(),
+        work.len(),
+        mismatches.join("\n")
+    );
+    server.shutdown();
+}
+
+/// Every litmus history as a session, replicated to 64+ concurrent
+/// sessions so each shard holds several.
+fn corpus_work(copies: usize) -> Vec<(String, Trace)> {
+    let suite = litmus_suite();
+    let mut work = Vec::new();
+    for copy in 0..copies {
+        for (i, t) in suite.iter().enumerate() {
+            work.push((format!("s{copy}x{i}"), Trace::from_history(&t.history)));
+        }
+        if work.len() >= 64 && copy + 1 >= 2 {
+            break;
+        }
+    }
+    work
+}
+
+#[test]
+fn corpus_sessions_agree_with_offline() {
+    let work = corpus_work(4);
+    assert!(work.len() >= 64, "need >= 64 sessions, got {}", work.len());
+    assert_serve_matches_offline(&work, ServeConfig::default(), 4);
+}
+
+/// Machine-produced arrival-order traces: the live-monitoring input
+/// path, across enough seeds for 64+ concurrent sessions.
+fn simulator_work(sessions: usize) -> Vec<(String, Trace)> {
+    let script = OpScript::new(
+        vec![
+            vec![Access::write(0, 1), Access::read(1)],
+            vec![Access::write(1, 1), Access::read(0)],
+            vec![Access::read(0), Access::read(1)],
+        ],
+        2,
+    );
+    (0..sessions)
+        .map(|seed| {
+            let out = run_random(TsoMem::new(3, 2), script.clone(), seed as u64, 200_000);
+            assert!(out.completed, "seed {seed}: run did not drain");
+            (format!("sim{seed}"), out.trace)
+        })
+        .collect()
+}
+
+#[test]
+fn simulator_sessions_agree_with_offline() {
+    let work = simulator_work(64);
+    assert_serve_matches_offline(&work, ServeConfig::default(), 3);
+}
+
+/// A tight frontier budget exhausts every engine almost immediately,
+/// forcing the batch-end recheck/propagation path. The server drains
+/// events in whatever batches the worker pool happens to form, the
+/// offline monitor sees one batch — final verdicts must not care.
+#[test]
+fn exhausted_engines_agree_under_arbitrary_batching() {
+    let work = simulator_work(32);
+    let cfg = ServeConfig {
+        monitor: MonitorConfig {
+            max_frontier_states: 4,
+            ..MonitorConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    assert_serve_matches_offline(&work, cfg, 2);
+}
+
+/// 1000+ concurrent sessions on loopback (the acceptance floor), each
+/// a small litmus trace so the debug-build run stays quick. All
+/// sessions are opened before any closes, so the peak session count is
+/// the full thousand.
+#[test]
+fn thousand_sessions_agree_with_offline() {
+    let suite = litmus_suite();
+    let work: Vec<(String, Trace)> = (0..1024)
+        .map(|i| {
+            let t = &suite[i % suite.len()];
+            (format!("k{i}"), Trace::from_history(&t.history))
+        })
+        .collect();
+    let cfg = ServeConfig {
+        max_sessions: 2048,
+        ..ServeConfig::default()
+    };
+    let models = cfg.models.clone();
+    let mon_cfg = cfg.monitor.clone();
+    let server = Server::start(cfg).expect("server start");
+    // A single connection opens all 1024 sessions before streaming any
+    // events, so the peak concurrent-session count is deterministic
+    // (multiple connections race OPENs against CLOSEs).
+    let lg = LoadgenConfig {
+        addr: server.addr().to_string(),
+        conns: 1,
+        query_every: 4,
+        shutdown: false,
+    };
+    let report = loadgen::run(&lg, &work).expect("loadgen run");
+    let stats = server.stats_line();
+    assert!(
+        stats.contains("peak=1024"),
+        "expected peak=1024 concurrent sessions in `{stats}`"
+    );
+    let mismatches = loadgen::verify(&work, &report, &models, &mon_cfg);
+    assert!(
+        mismatches.is_empty(),
+        "{} of 1024 sessions disagree:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+    server.shutdown();
+}
