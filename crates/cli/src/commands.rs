@@ -71,14 +71,30 @@ usage:
   smc monitor [<file>|-] [--model NAME] [--jobs N] [--stats]
             [--json PATH] [--max-states N] [--batch N] [--cutover N]
             [--memo-file PATH] [--engine exhaustive|saturate|auto]
+            [--window N] [--checkpoint-file PATH] [--restore-from PATH]
                                     stream a trace (stdin when `-` or no
                                     file) through the incremental admission
                                     monitor; malformed lines warn with
                                     their byte offset and are skipped
                                     (counted in --stats/--json); --batch N
                                     feeds N events per monitor step;
-                                    exits nonzero if any model's final
-                                    verdict is violated
+                                    `join p`/`retire p` lines move
+                                    processors in and out of the active
+                                    set (retired processors fold into a
+                                    summarized prefix); `@sid`-prefixed
+                                    lines replay a multi-session stream,
+                                    one monitor per session (warnings
+                                    then name the session); --window N
+                                    seals the decided prefix every N
+                                    events to bound frontier memory;
+                                    --checkpoint-file saves the monitor
+                                    state at end of input and
+                                    --restore-from resumes warm from
+                                    such a file (same models required;
+                                    cap and window are inherited unless
+                                    overridden); exits nonzero if
+                                    any model's final verdict is
+                                    violated
   smc monitor --corpus [--jobs N] [--json PATH]
                                     replay every embedded litmus history
                                     through the monitor event-by-event and
@@ -86,14 +102,23 @@ usage:
                                     batch checker (the monitor golden gate)
   smc serve [--listen ADDR] [--workers N] [--max-sessions N]
             [--max-conns N] [--queue N] [--model NAME] [--jobs N]
-            [--max-states N]
+            [--max-states N] [--window N] [--evict-dir DIR]
                                     run the multi-session streaming
                                     admission server: line-oriented TCP
                                     (OPEN/EV/QUERY/CLOSE, `@sid <event>`
                                     shorthand), one incremental monitor
                                     per session, bounded per-session
                                     queues (BUSY backpressure), verdicts
-                                    on QUERY; stops on SHUTDOWN
+                                    on QUERY; SNAPSHOT/RESUME checkpoint
+                                    a session to a file and resume it
+                                    warm; --evict-dir spills the least
+                                    recently active idle session to disk
+                                    instead of refusing OPEN when
+                                    --max-sessions is reached (evicted
+                                    sessions resume transparently on
+                                    next use); --window N bounds each
+                                    session's frontier memory; stops on
+                                    SHUTDOWN
   smc serve --bench [--sessions N] [--events N] [--conns C]
             [--query-every K] [--memory NAME] [--seed S] [--json PATH]
                                     start an ephemeral server, drive it
@@ -112,7 +137,7 @@ usage:
                                     --shutdown stops the server after
   smc trace gen [--memory NAME] [--procs N] [--ops N | --events N]
             [--locs L] [--values V | --alias-values K] [--seed S]
-            [--sessions N] [--out PATH]
+            [--sessions N] [--churn K] [--out PATH]
                                     run a random program on an operational
                                     machine and emit its arrival-order
                                     event stream in the trace format;
@@ -124,7 +149,11 @@ usage:
                                     reads-from stays heavily ambiguous;
                                     --sessions N interleaves N
                                     independent streams with @sid
-                                    prefixes (the `smc serve` format)
+                                    prefixes (the `smc serve` format);
+                                    --churn K runs K+1 processor
+                                    generations joined and retired over
+                                    one stream (`join`/`retire` lines,
+                                    for the monitor's churn folding)
   smc trace from <file> [--test NAME] [--out PATH]
                                     linearize a litmus history into the
                                     trace format (processor-major order)
@@ -1346,14 +1375,165 @@ fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Re
     }
 }
 
+/// Per-stream monitoring state for `smc monitor`: one incremental
+/// monitor plus the cursors tracking how much of its parsed input has
+/// been applied. A plain replay uses one stream; a `@sid`-prefixed
+/// multi-session trace (the `smc serve` wire format) gets one per
+/// session id.
+struct MonitorStream {
+    /// Session id for `@sid` streams; `None` for the unprefixed stream.
+    label: Option<String>,
+    mon: smc_monitor::Monitor,
+    scratch: smc_history::trace::Trace,
+    fed: usize,
+    declared_procs: usize,
+    declared_locs: usize,
+    applied_lifecycle: usize,
+    prev: Vec<smc_monitor::TriVerdict>,
+    warnings: usize,
+}
+
+impl MonitorStream {
+    fn new(label: Option<String>, mon: smc_monitor::Monitor) -> MonitorStream {
+        MonitorStream {
+            label,
+            prev: mon.verdicts().to_vec(),
+            mon,
+            scratch: smc_history::trace::Trace::new(),
+            fed: 0,
+            declared_procs: 0,
+            declared_locs: 0,
+            applied_lifecycle: 0,
+            warnings: 0,
+        }
+    }
+
+    /// Printed-line prefix identifying the session in a multi-session
+    /// replay (empty for the default stream).
+    fn tag(&self) -> String {
+        match &self.label {
+            Some(sid) => format!("[session {sid}] "),
+            None => String::new(),
+        }
+    }
+
+    /// Feed everything parsed but not yet applied: new names are
+    /// declared, `join`/`retire` transitions apply at their recorded
+    /// stream positions, and events go down in `batch`-sized chunks.
+    fn pump(
+        &mut self,
+        models: &[ModelSpec],
+        batch: usize,
+        show_stats: bool,
+        want_json: bool,
+        json_lines: &mut Vec<String>,
+    ) {
+        use smc_history::trace::Lifecycle;
+        for p in self.declared_procs..self.scratch.num_procs() {
+            self.mon.declare_proc(&self.scratch.proc_names()[p]);
+        }
+        self.declared_procs = self.scratch.num_procs();
+        for l in self.declared_locs..self.scratch.num_locs() {
+            self.mon.declare_loc(&self.scratch.loc_names()[l]);
+        }
+        self.declared_locs = self.scratch.num_locs();
+        loop {
+            let next_lc = self
+                .scratch
+                .lifecycle()
+                .get(self.applied_lifecycle)
+                .copied();
+            // Events run up to the next lifecycle transition (or the
+            // end of the parsed stream), then the transition applies.
+            let limit = next_lc.map_or(self.scratch.len(), |(pos, _)| pos as usize);
+            if self.fed < limit {
+                let take = (limit - self.fed).min(batch);
+                let events: Vec<smc_monitor::BatchEvent<'_>> = self.scratch.events()
+                    [self.fed..self.fed + take]
+                    .iter()
+                    .map(|ev| {
+                        (
+                            self.scratch.proc_name(ev.proc),
+                            ev.kind,
+                            self.scratch.loc_name(ev.loc),
+                            ev.value.0,
+                            ev.label,
+                        )
+                    })
+                    .collect();
+                let rep = self.mon.feed_batch(&events);
+                let what = if take == 1 {
+                    self.scratch.format_event(&self.scratch.events()[self.fed])
+                } else {
+                    format!("+{take} events")
+                };
+                self.fed += take;
+                let tag = self.tag();
+                if show_stats {
+                    println!(
+                        "{tag}#{} {}: frontier {}, created {}, expanded {}, reuse {}, rechecks {}, recheck-nodes {}, propagated {}",
+                        rep.events,
+                        what,
+                        rep.frontier_states,
+                        rep.created,
+                        rep.expanded,
+                        rep.reuse_hits,
+                        rep.rechecks,
+                        rep.recheck_nodes,
+                        rep.propagated
+                    );
+                }
+                for (i, now) in self.mon.verdicts().iter().enumerate() {
+                    if *now != self.prev[i] {
+                        println!(
+                            "{tag}event {}: {} {} -> {}",
+                            rep.events,
+                            models[i].name,
+                            self.prev[i].word(),
+                            now.word()
+                        );
+                        self.prev[i] = *now;
+                    }
+                }
+                if want_json {
+                    let mut line = JsonObject::new();
+                    if let Some(sid) = &self.label {
+                        line = line.str("session", sid);
+                    }
+                    json_lines.push(
+                        line.num("event", rep.events as u64)
+                            .str("op", &what)
+                            .num("frontier_states", rep.frontier_states)
+                            .num("created", rep.created)
+                            .num("expanded", rep.expanded)
+                            .num("reuse_hits", rep.reuse_hits)
+                            .num("rechecks", rep.rechecks)
+                            .num("recheck_nodes", rep.recheck_nodes)
+                            .num("propagated", rep.propagated)
+                            .finish(),
+                    );
+                }
+                continue;
+            }
+            let Some((_, l)) = next_lc else { break };
+            let name = self.scratch.proc_name(l.proc()).to_owned();
+            match l {
+                Lifecycle::Join(_) => self.mon.join(&name),
+                Lifecycle::Retire(_) => self.mon.retire(&name),
+            }
+            self.applied_lifecycle += 1;
+        }
+    }
+}
+
 /// `smc monitor`: stream a trace through the incremental admission
 /// monitor, reporting per-prefix verdicts as events arrive.
 fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
-    use smc_history::trace::{parse_trace_line, Trace};
+    use smc_history::trace::{is_session_id, parse_trace_line, split_session_line};
     use smc_monitor::{Monitor, MonitorConfig, TriVerdict};
     use std::io::BufRead;
 
-    const VALUE_FLAGS: [&str; 9] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--model",
         "--jobs",
         "--json",
@@ -1363,6 +1543,9 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         "--engine",
         "--memo-file",
         "--batch",
+        "--window",
+        "--checkpoint-file",
+        "--restore-from",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
     let flags = CheckFlags::parse(args)?;
@@ -1396,13 +1579,41 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         ..MonitorConfig::default()
     };
     cfg.max_frontier_states = num_flag(args, "--max-states", cfg.max_frontier_states)?;
+    // --window N seals the decided prefix every N events, bounding
+    // frontier memory (0 = unwindowed, the default).
+    let window: usize = num_flag(args, "--window", 0)?;
+    cfg.window = (window > 0).then_some(window);
     cfg.check = flags.with_memo_if_requested(cfg.check);
     flags.configure(&mut cfg.check);
     memo_file_load(&cfg.check, flags.memo_file());
     // The memo cache is shared by Arc, so this clone saves the verdicts
     // the monitor's rechecks insert while it owns `cfg`.
     let memo_cfg = cfg.check.clone();
-    let mut mon = Monitor::new(model_list.clone(), cfg);
+    let checkpoint_file = flag_value(args, "--checkpoint-file");
+    let restore_from = flag_value(args, "--restore-from");
+    // A restore must resume under the exact configuration the
+    // checkpoint was cut with; `Monitor::restore` rejects mismatched
+    // models, frontier caps and window sizes with a byte-offset error.
+    // Limits not picked explicitly on this command line inherit the
+    // checkpoint's, so `--restore-from` alone resumes any session.
+    let base_mon = match restore_from {
+        Some(p) => {
+            let bytes = std::fs::read(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
+            let (cap, win) = smc_monitor::ckpt::peek_limits(&bytes)
+                .map_err(|e| format!("monitor: cannot restore `{p}`: {e}"))?;
+            if !args.iter().any(|a| a == "--max-states") {
+                cfg.max_frontier_states = cap;
+            }
+            if !args.iter().any(|a| a == "--window") {
+                cfg.window = (win > 0).then_some(win);
+            }
+            let mon = Monitor::restore_bytes(&bytes, model_list.clone(), cfg.clone())
+                .map_err(|e| format!("monitor: cannot restore `{p}`: {e}"))?;
+            eprintln!("restored {} event(s) from {p}", mon.num_events());
+            mon
+        }
+        None => Monitor::new(model_list.clone(), cfg.clone()),
+    };
 
     let path = pos.first().copied().unwrap_or("-");
     let reader: Box<dyn BufRead> = if path == "-" {
@@ -1412,146 +1623,189 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         Box::new(std::io::BufReader::new(f))
     };
 
-    // Events are parsed into a scratch trace line by line and fed to the
-    // monitor as they arrive; a malformed line warns (with its byte
-    // offset into the stream) and is skipped, keeping any events parsed
-    // before the offending token.
-    let mut scratch = Trace::new();
-    let mut fed = 0usize;
-    let (mut declared_procs, mut declared_locs) = (0usize, 0usize);
+    // Events are parsed into a scratch trace line by line and fed to
+    // the owning stream's monitor as they arrive; a malformed line
+    // warns (with its byte offset into the stream, and its session id
+    // in a `@sid` multi-session replay) and is skipped, keeping any
+    // events parsed before the offending token.
+    let want_json = json_path.is_some();
+    let mut streams: Vec<MonitorStream> = vec![MonitorStream::new(None, base_mon)];
     let (mut line_no, mut offset) = (0usize, 0usize);
-    let mut warnings = 0usize;
-    let mut prev: Vec<TriVerdict> = mon.verdicts().to_vec();
     let mut json_lines: Vec<String> = Vec::new();
     for line in reader.lines() {
         let line = line.map_err(|e| format!("read error on `{path}`: {e}"))?;
         line_no += 1;
-        if let Err(e) = parse_trace_line(&mut scratch, &line, line_no, offset) {
-            warnings += 1;
-            eprintln!("warning: skipping malformed trace input: {e}");
-            if json_path.is_some() {
+        // Route `@sid` lines to their session's monitor; everything
+        // else belongs to the default (unprefixed) stream.
+        let (idx, content, content_off) = match split_session_line(&line) {
+            Some((sid, rest)) if is_session_id(sid) => {
+                if checkpoint_file.is_some() || restore_from.is_some() {
+                    return Err(
+                        "monitor: --checkpoint-file/--restore-from work on single-session \
+                         streams (no `@sid` prefixes)"
+                            .into(),
+                    );
+                }
+                let idx = match streams.iter().position(|s| s.label.as_deref() == Some(sid)) {
+                    Some(i) => i,
+                    None => {
+                        streams.push(MonitorStream::new(
+                            Some(sid.to_owned()),
+                            Monitor::new(model_list.clone(), cfg.clone()),
+                        ));
+                        streams.len() - 1
+                    }
+                };
+                // `rest` slices `line`, so pointer distance is the
+                // prefix width the reported byte offset must skip.
+                let skip = rest.as_ptr() as usize - line.as_ptr() as usize;
+                (idx, rest, offset + skip)
+            }
+            _ => (0, line.as_str(), offset),
+        };
+        let s = &mut streams[idx];
+        if let Err(e) = parse_trace_line(&mut s.scratch, content, line_no, content_off) {
+            s.warnings += 1;
+            eprintln!("warning: {}skipping malformed trace input: {e}", s.tag());
+            if want_json {
+                let mut jl = JsonObject::new();
+                if let Some(sid) = &s.label {
+                    jl = jl.str("session", sid);
+                }
                 json_lines.push(
-                    JsonObject::new()
-                        .num("skipped_line", line_no as u64)
+                    jl.num("skipped_line", line_no as u64)
                         .str("error", &e.to_string())
                         .finish(),
                 );
             }
         }
         offset += line.len() + 1;
-        for p in declared_procs..scratch.num_procs() {
-            mon.declare_proc(&scratch.proc_names()[p]);
+        s.pump(&model_list, batch, show_stats, want_json, &mut json_lines);
+    }
+
+    if let Some(p) = checkpoint_file {
+        let s = &streams[0];
+        smc_core::binfmt::write_file(std::path::Path::new(p), &s.mon.checkpoint_bytes())
+            .map_err(|e| format!("cannot write `{p}`: {e}"))?;
+        eprintln!("checkpointed {} event(s) to {p}", s.mon.num_events());
+    }
+
+    // In a multi-session replay an untouched default stream is just an
+    // artifact of pre-creating it; don't report an empty block for it.
+    let multi = streams.len() > 1;
+    let report: Vec<&MonitorStream> = streams
+        .iter()
+        .filter(|s| !multi || s.label.is_some() || s.mon.num_events() > 0 || s.warnings > 0)
+        .collect();
+    let mut violated = 0usize;
+    for s in &report {
+        println!();
+        if let Some(sid) = &s.label {
+            println!("== session {sid} ==");
         }
-        declared_procs = scratch.num_procs();
-        for l in declared_locs..scratch.num_locs() {
-            mon.declare_loc(&scratch.loc_names()[l]);
-        }
-        declared_locs = scratch.num_locs();
-        while fed < scratch.len() {
-            let take = (scratch.len() - fed).min(batch);
-            let events: Vec<smc_monitor::BatchEvent<'_>> = scratch.events()[fed..fed + take]
-                .iter()
-                .map(|ev| {
-                    (
-                        scratch.proc_name(ev.proc),
-                        ev.kind,
-                        scratch.loc_name(ev.loc),
-                        ev.value.0,
-                        ev.label,
-                    )
-                })
-                .collect();
-            let rep = mon.feed_batch(&events);
-            let what = if take == 1 {
-                scratch.format_event(&scratch.events()[fed])
-            } else {
-                format!("+{take} events")
+        for (i, m) in model_list.iter().enumerate() {
+            let v = s.mon.verdicts()[i];
+            let note = match (v, s.mon.first_violation(i)) {
+                (TriVerdict::Violated, Some(n)) => {
+                    violated += 1;
+                    format!("  (first violated at event {n})")
+                }
+                (_, Some(n)) => format!("  (transient violation at event {n}, healed)"),
+                _ => String::new(),
             };
-            fed += take;
-            if show_stats {
-                println!(
-                    "#{} {}: frontier {}, created {}, expanded {}, reuse {}, rechecks {}, recheck-nodes {}, propagated {}",
-                    rep.events,
-                    what,
-                    rep.frontier_states,
-                    rep.created,
-                    rep.expanded,
-                    rep.reuse_hits,
-                    rep.rechecks,
-                    rep.recheck_nodes,
-                    rep.propagated
-                );
+            println!("  {:<16} {}{note}", m.name, v.word());
+            if want_json {
+                let mut line = JsonObject::new();
+                if let Some(sid) = &s.label {
+                    line = line.str("session", sid);
+                }
+                let mut line = line.str("model", &m.name).str("verdict", v.word());
+                if let Some(n) = s.mon.first_violation(i) {
+                    line = line.num("first_violation", n as u64);
+                }
+                json_lines.push(line.finish());
             }
-            for (i, now) in mon.verdicts().iter().enumerate() {
-                if *now != prev[i] {
+        }
+        if let Some(w) = s.mon.windows() {
+            println!(
+                "  windows: {} sealed ({} frontier states retired)",
+                w.windows_sealed, w.states_sealed
+            );
+            if show_stats {
+                for (wi, rec) in w.records().iter().enumerate() {
+                    let row: Vec<String> = model_list
+                        .iter()
+                        .zip(&rec.verdicts)
+                        .map(|(m, v)| format!("{} {}", m.name, v.word()))
+                        .collect();
                     println!(
-                        "event {}: {} {} -> {}",
-                        rep.events,
-                        model_list[i].name,
-                        prev[i].word(),
-                        now.word()
+                        "    window {} @ event {}: {}",
+                        wi + 1,
+                        rec.end,
+                        row.join(", ")
                     );
-                    prev[i] = *now;
                 }
             }
-            if json_path.is_some() {
-                json_lines.push(
-                    JsonObject::new()
-                        .num("event", rep.events as u64)
-                        .str("op", &what)
-                        .num("frontier_states", rep.frontier_states)
-                        .num("created", rep.created)
-                        .num("expanded", rep.expanded)
-                        .num("reuse_hits", rep.reuse_hits)
-                        .num("rechecks", rep.rechecks)
-                        .num("recheck_nodes", rep.recheck_nodes)
-                        .num("propagated", rep.propagated)
-                        .finish(),
+            if want_json {
+                for (wi, rec) in w.records().iter().enumerate() {
+                    let mut line = JsonObject::new();
+                    if let Some(sid) = &s.label {
+                        line = line.str("session", sid);
+                    }
+                    let row: Vec<String> = model_list
+                        .iter()
+                        .zip(&rec.verdicts)
+                        .map(|(m, v)| format!("{}:{}", m.name, v.word()))
+                        .collect();
+                    json_lines.push(
+                        line.num("window", (wi + 1) as u64)
+                            .num("end", rec.end as u64)
+                            .str("verdicts", &row.join(" "))
+                            .finish(),
+                    );
+                }
+            }
+        }
+        // Minimized counterexamples only for models that end violated;
+        // a healed transient is already noted above.
+        for (i, _) in model_list.iter().enumerate() {
+            if s.mon.verdicts()[i] != TriVerdict::Violated {
+                continue;
+            }
+            if let Some(rep) = s.mon.violation_report(i) {
+                println!(
+                    "\n{}{} violated by the {}-event prefix; minimal counterexample:",
+                    s.tag(),
+                    rep.model,
+                    rep.prefix_len
                 );
+                for l in rep.litmus.lines() {
+                    println!("    {l}");
+                }
             }
         }
     }
 
-    println!();
-    let mut violated = 0usize;
-    for (i, m) in model_list.iter().enumerate() {
-        let v = mon.verdicts()[i];
-        let note = match (v, mon.first_violation(i)) {
-            (TriVerdict::Violated, Some(n)) => {
-                violated += 1;
-                format!("  (first violated at event {n})")
-            }
-            (_, Some(n)) => format!("  (transient violation at event {n}, healed)"),
-            _ => String::new(),
-        };
-        println!("  {:<16} {}{note}", m.name, v.word());
-        if json_path.is_some() {
-            let mut line = JsonObject::new()
-                .str("model", &m.name)
-                .str("verdict", v.word());
-            if let Some(n) = mon.first_violation(i) {
-                line = line.num("first_violation", n as u64);
-            }
-            json_lines.push(line.finish());
-        }
+    let mut fed = 0usize;
+    let mut warnings = 0usize;
+    let mut totals = smc_monitor::MonitorTotals::default();
+    for s in &report {
+        fed += s.fed;
+        warnings += s.warnings;
+        let t = s.mon.totals();
+        totals.created += t.created;
+        totals.expanded += t.expanded;
+        totals.reuse_hits += t.reuse_hits;
+        totals.rebuild_work += t.rebuild_work;
+        totals.rechecks += t.rechecks;
+        totals.recheck_nodes += t.recheck_nodes;
+        totals.propagated += t.propagated;
+        totals.joins += t.joins;
+        totals.retires += t.retires;
+        totals.folds += t.folds;
+        totals.windows_sealed += t.windows_sealed;
+        totals.states_sealed += t.states_sealed;
     }
-    // Minimized counterexamples only for models that end violated; a
-    // healed transient is already noted above.
-    for (i, _) in model_list.iter().enumerate() {
-        if mon.verdicts()[i] != TriVerdict::Violated {
-            continue;
-        }
-        if let Some(rep) = mon.violation_report(i) {
-            println!(
-                "\n{} violated by the {}-event prefix; minimal counterexample:",
-                rep.model, rep.prefix_len
-            );
-            for l in rep.litmus.lines() {
-                println!("    {l}");
-            }
-        }
-    }
-    let totals = mon.totals();
     println!(
         "\n{fed} event(s), {warnings} malformed line(s) skipped; frontier: {} created, {} expanded, {} reuse ({} rebuild); rechecks {} ({} nodes), propagated {}",
         totals.created,
@@ -1562,6 +1816,12 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
         totals.recheck_nodes,
         totals.propagated
     );
+    if totals.joins + totals.retires + totals.folds > 0 {
+        println!(
+            "lifecycle: {} join(s), {} retire(s), {} fold(s)",
+            totals.joins, totals.retires, totals.folds
+        );
+    }
     if let Some(path) = json_path {
         json_lines.push(
             JsonObject::new()
@@ -1569,6 +1829,7 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
                 .num("warnings", warnings as u64)
                 .num("skipped_lines", warnings as u64)
                 .num("models", model_list.len() as u64)
+                .num("sessions", report.len() as u64)
                 .num("violated", violated as u64)
                 .num("created", totals.created)
                 .num("expanded", totals.expanded)
@@ -1577,6 +1838,11 @@ fn cmd_monitor(args: &[String]) -> Result<ExitCode, String> {
                 .num("rechecks", totals.rechecks)
                 .num("recheck_nodes", totals.recheck_nodes)
                 .num("propagated", totals.propagated)
+                .num("joins", totals.joins)
+                .num("retires", totals.retires)
+                .num("folds", totals.folds)
+                .num("windows_sealed", totals.windows_sealed)
+                .num("states_sealed", totals.states_sealed)
                 .finish(),
         );
         let mut text = json_lines.join("\n");
@@ -1709,6 +1975,11 @@ fn serve_config(args: &[String]) -> Result<smc_serve::ServeConfig, String> {
     cfg.monitor.jobs = jobs_flag(args)?;
     cfg.monitor.max_frontier_states =
         num_flag(args, "--max-states", cfg.monitor.max_frontier_states)?;
+    let window: usize = num_flag(args, "--window", 0)?;
+    cfg.monitor.window = (window > 0).then_some(window);
+    if let Some(d) = flag_value(args, "--evict-dir") {
+        cfg.evict_dir = Some(std::path::PathBuf::from(d));
+    }
     Ok(cfg)
 }
 
@@ -1753,6 +2024,7 @@ fn loadgen_flags(args: &[String]) -> Result<(smc_serve::loadgen::LoadgenConfig, 
 fn loadgen_report_lines(
     report: &smc_serve::loadgen::LoadgenReport,
     verified: Option<usize>,
+    memo: Option<MemoStats>,
 ) -> (String, String) {
     let human = format!(
         "{} session(s), {} event(s) in {:.2}s: {:.0} events/sec; {} quer{} p50 {}us p99 {}us; {} busy{}",
@@ -1784,6 +2056,11 @@ fn loadgen_report_lines(
     if let Some(n) = verified {
         json = json.bool("verified", n == 0).num("mismatches", n as u64);
     }
+    // Cross-session memo traffic (the server's sessions share one
+    // cache, so hits here are verdicts one session proved for another).
+    if let Some(m) = memo {
+        json = json.num("memo_hits", m.hits).num("memo_misses", m.misses);
+    }
     (human, json.finish())
 }
 
@@ -1795,17 +2072,23 @@ fn serve_bench(args: &[String], mut cfg: smc_serve::ServeConfig) -> Result<ExitC
     cfg.max_sessions = cfg.max_sessions.max(sessions);
     let model_list = cfg.models.clone();
     let mon_cfg = cfg.monitor.clone();
+    // The memo cache is shared by Arc; hold a handle so the report can
+    // include the cross-session hit counters after the server stops.
+    let memo = cfg.monitor.check.memo.clone();
     let server = smc_serve::Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
     lg.addr = server.addr().to_string();
     lg.shutdown = false;
     let report = smc_serve::loadgen::run(&lg, &work)?;
-    let mismatches = smc_serve::loadgen::verify(&work, &report, &model_list, &mon_cfg);
+    // Snapshot before `verify`: the offline twin shares the cache Arc,
+    // and its replay traffic must not count as server memo activity.
+    let memo_stats = memo.as_ref().map(|m| m.stats());
     println!("{}", server.stats_line());
+    let mismatches = smc_serve::loadgen::verify(&work, &report, &model_list, &mon_cfg);
     server.shutdown();
     for m in mismatches.iter().take(5) {
         eprintln!("mismatch: {m}");
     }
-    let (human, json) = loadgen_report_lines(&report, Some(mismatches.len()));
+    let (human, json) = loadgen_report_lines(&report, Some(mismatches.len()), memo_stats);
     println!("{human}");
     if let Some(path) = flag_value(args, "--json") {
         std::fs::write(path, format!("{json}\n"))
@@ -1846,7 +2129,7 @@ fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
     } else {
         None
     };
-    let (human, json) = loadgen_report_lines(&report, verified);
+    let (human, json) = loadgen_report_lines(&report, verified, None);
     println!("{human}");
     if let Some(path) = flag_value(args, "--json") {
         std::fs::write(path, format!("{json}\n"))
@@ -1863,7 +2146,7 @@ fn cmd_loadgen(args: &[String]) -> Result<ExitCode, String> {
 /// `smc trace`: generate traces (`gen`) or linearize litmus files
 /// (`from`).
 fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
-    const VALUE_FLAGS: [&str; 11] = [
+    const VALUE_FLAGS: [&str; 12] = [
         "--memory",
         "--procs",
         "--ops",
@@ -1875,6 +2158,7 @@ fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
         "--test",
         "--events",
         "--sessions",
+        "--churn",
     ];
     let pos = positionals_with(args, &VALUE_FLAGS);
     match pos.first().copied() {
@@ -2102,6 +2386,65 @@ impl GenSpec {
     }
 }
 
+/// `--churn K`: K+1 processor generations over one stream. Each
+/// generation is an independent machine run (seed `S+g`) whose
+/// processors are renamed `g<g>p<i>`, introduced by `join` lines and —
+/// except the last generation — removed by `retire` lines before the
+/// next generation starts. Locations are shared across generations, so
+/// a retired generation's final writes stay visible: the regime the
+/// monitor's churn folding (summarize-and-forget) is built for. No
+/// `procs` header is emitted on purpose — processors must enter via
+/// `join` for the monitor's frontier width to stay O(active).
+///
+/// Each machine runs from zero-initialized memory, but generation `g+1`
+/// inherits generation `g`'s final memory in the emitted stream. Written
+/// values are always >= 1, so a read of 0 is exactly a read of the
+/// machine's initial memory — those are rewritten to the inherited
+/// contents (last write per location in stream order, which is what the
+/// monitor's fold commits). Without the rewrite the stream contradicts
+/// the generating model the moment a new generation reads a location an
+/// old one wrote.
+fn gen_churn_text(spec: &GenSpec, churn: usize) -> Result<String, String> {
+    let mut out = String::new();
+    let mut mem: std::collections::HashMap<String, i64> = std::collections::HashMap::new();
+    for g in 0..=churn {
+        let mut s = spec.clone();
+        s.seed = spec.seed.wrapping_add(g as u64);
+        let (t, _) = s.generate()?;
+        if g == 0 {
+            out.push_str(&format!("locs {}\n", t.loc_names().join(" ")));
+        }
+        for p in t.proc_names() {
+            out.push_str(&format!("join g{g}{p}\n"));
+        }
+        // Initial-memory reads are rewritten against the snapshot at the
+        // generation boundary: a stale read of initial memory later in
+        // the generation must still see the *inherited* value, not a
+        // write from its own generation.
+        let inherit = mem.clone();
+        for ev in t.events() {
+            let mut e = *ev;
+            let loc = t.loc_name(e.loc);
+            if e.kind.is_write() {
+                mem.insert(loc.to_string(), e.value.0);
+            } else if e.value.0 == 0 {
+                if let Some(&v) = inherit.get(loc) {
+                    e.value.0 = v;
+                }
+            }
+            // `format_event` leads with the processor name, so the
+            // generation prefix renames it in place.
+            out.push_str(&format!("g{g}{}\n", t.format_event(&e)));
+        }
+        if g < churn {
+            for p in t.proc_names() {
+                out.push_str(&format!("retire g{g}{p}\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// `sessions` independent random traces, one per session id `s0..`,
 /// derived from `spec` with per-session seeds `seed + i`. Shared by
 /// `smc trace gen --sessions`, `smc loadgen` and `smc serve --bench`.
@@ -2135,6 +2478,19 @@ fn trace_gen(args: &[String]) -> Result<ExitCode, String> {
 
     let spec = GenSpec::parse(args)?;
     let sessions: usize = num_flag(args, "--sessions", 0)?;
+    let churn: usize = num_flag(args, "--churn", 0)?;
+    if churn > 0 && sessions > 0 {
+        return Err("trace gen: --churn and --sessions are mutually exclusive".into());
+    }
+    if churn > 0 {
+        let mut text = spec.comment().replacen(
+            "# smc trace gen",
+            &format!("# smc trace gen --churn {churn}"),
+            1,
+        );
+        text.push_str(&gen_churn_text(&spec, churn)?);
+        return write_out(flag_value(args, "--out"), &text);
+    }
     if sessions == 0 {
         let (trace, completed) = spec.generate()?;
         let mut text = spec.comment();

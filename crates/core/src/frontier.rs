@@ -51,6 +51,7 @@
 //! unsound here: a read that can never again be scheduled *today* may be
 //! rescued by a write that arrives tomorrow.
 
+use crate::binfmt::{write_i64, write_u32, write_u64, Reader};
 use crate::kernel::{get_u32, hash_words, set_u32, StateSpace};
 use smc_history::{Location, OpKind, ProcId, Value};
 use std::collections::VecDeque;
@@ -96,6 +97,15 @@ impl AppendReport {
         self.expanded += other.expanded;
         self.reuse_hits += other.reuse_hits;
     }
+}
+
+/// What a [`FrontierEngine::seal`] did to the reachable set.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SealReport {
+    /// Distinct states surviving the seal (after rebasing and merging).
+    pub kept: usize,
+    /// States dropped because they lagged behind the sealed base.
+    pub dropped: usize,
 }
 
 /// The resumable search: all reachable scheduling states of one view,
@@ -198,8 +208,10 @@ impl FrontierEngine {
     }
 
     /// Store the scratch row as a new state and register it everywhere.
-    /// The caller has checked it is not a duplicate.
-    fn insert_scratch(&mut self, hash: u64) -> u32 {
+    /// The caller has checked it is not a duplicate. Does not touch the
+    /// lifetime counters — rebuilds (seal, fold, restore) re-register
+    /// existing states without re-counting them as discoveries.
+    fn insert_scratch_inner(&mut self, hash: u64) -> u32 {
         let sid = self.space.insert_new(hash, &self.scratch);
         let mut complete = true;
         for q in 0..self.num_procs {
@@ -210,8 +222,13 @@ impl FrontierEngine {
         if complete {
             self.num_complete += 1;
         }
-        self.stats.states += 1;
         sid
+    }
+
+    /// [`FrontierEngine::insert_scratch_inner`], counted as a discovery.
+    fn insert_scratch(&mut self, hash: u64) -> u32 {
+        self.stats.states += 1;
+        self.insert_scratch_inner(hash)
     }
 
     /// Try to schedule processor `q`'s next unscheduled view operation
@@ -301,6 +318,237 @@ impl FrontierEngine {
             }
         }
         report
+    }
+
+    /// Processor slots this engine was built for.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// View operations appended for processor `q` so far.
+    pub fn seq_len(&self, q: usize) -> usize {
+        self.seqs[q].len()
+    }
+
+    /// Has every reachable state scheduled all of `q`'s view operations?
+    /// A quiesced processor's column is constant, so sealing it away
+    /// ([`FrontierEngine::seal`]) loses nothing.
+    pub fn quiesced(&self, q: usize) -> bool {
+        let len = self.seqs[q].len();
+        self.waiting[q][..len].iter().all(Vec::is_empty)
+    }
+
+    /// Per-processor minimum scheduled-prefix length over all reachable
+    /// states: the longest per-processor base that *every* state has
+    /// already scheduled. Sealing to this base is always lossless.
+    pub fn min_counts(&self) -> Vec<u32> {
+        (0..self.num_procs)
+            .map(|q| {
+                (0..self.seqs[q].len() as u32)
+                    .find(|&i| !self.waiting[q][i as usize].is_empty())
+                    .unwrap_or(self.seqs[q].len() as u32)
+            })
+            .collect()
+    }
+
+    /// Commit a per-processor prefix `base` as decided: drop every state
+    /// that has not scheduled at least `base[q]` of each processor `q`'s
+    /// operations, rebase the survivors' counts by subtracting `base`,
+    /// and forget the sealed operations. Afterwards the engine is
+    /// exactly the engine of the *suffix* streams, started from the
+    /// surviving value vectors.
+    ///
+    /// The seal is lossless iff `base[q] <= min_counts()[q]` for all `q`
+    /// (nothing is dropped). A larger base — e.g. the full sequence
+    /// lengths when the prefix is admitted — commits to the interpreted
+    /// states that reached it and discards laggards, which is how the
+    /// windowed monitor bounds memory: per-window verdicts are exact for
+    /// the committed interpretation. No-op while exhausted.
+    pub fn seal(&mut self, base: &[u32]) -> SealReport {
+        assert_eq!(base.len(), self.num_procs, "seal base has wrong arity");
+        let mut report = SealReport::default();
+        if self.exhausted {
+            return report;
+        }
+        for (q, &b) in base.iter().enumerate() {
+            assert!(b as usize <= self.seqs[q].len(), "seal base past sequence");
+            self.seqs[q].drain(..b as usize);
+        }
+        let stride = self.space.stride();
+        let old = std::mem::replace(&mut self.space, StateSpace::new(stride));
+        for q in 0..self.num_procs {
+            self.waiting[q].clear();
+            self.waiting[q].resize(self.seqs[q].len() + 1, Vec::new());
+        }
+        self.num_complete = 0;
+        for sid in 0..old.len() as u32 {
+            let row = old.row(sid);
+            if (0..self.num_procs).any(|q| get_u32(row, q) < base[q]) {
+                report.dropped += 1;
+                continue;
+            }
+            self.scratch.clear();
+            self.scratch.extend_from_slice(row);
+            for (q, &b) in base.iter().enumerate() {
+                set_u32(&mut self.scratch, q, get_u32(row, q) - b);
+            }
+            let hash = hash_words(0, &self.scratch);
+            if self.space.find(hash, &self.scratch).is_none() {
+                self.insert_scratch_inner(hash);
+                report.kept += 1;
+            }
+        }
+        report
+    }
+
+    /// Overwrite location `loc`'s value word in every reachable state,
+    /// merging states that coincide afterwards. Folding a retired
+    /// processor replays its summarized last-writes through this, so
+    /// surviving states deterministically adopt the summary values.
+    pub fn force_write(&mut self, loc: Location, value: Value) {
+        if self.exhausted {
+            return;
+        }
+        let stride = self.space.stride();
+        let word = self.counts_words + loc.index();
+        assert!(word < stride, "location outside the engine's table");
+        let old = std::mem::replace(&mut self.space, StateSpace::new(stride));
+        for q in 0..self.num_procs {
+            self.waiting[q].clear();
+            self.waiting[q].resize(self.seqs[q].len() + 1, Vec::new());
+        }
+        self.num_complete = 0;
+        for sid in 0..old.len() as u32 {
+            self.scratch.clear();
+            self.scratch.extend_from_slice(old.row(sid));
+            self.scratch[word] = value.0 as u64;
+            let hash = hash_words(0, &self.scratch);
+            if self.space.find(hash, &self.scratch).is_none() {
+                self.insert_scratch_inner(hash);
+            }
+        }
+    }
+
+    /// Serialize the complete engine — sequences, state arena, counters —
+    /// under the [`crate::binfmt`] contract. [`FrontierEngine::load_from`]
+    /// reconstructs an engine whose future behaviour is identical.
+    pub fn save_into(&self, buf: &mut Vec<u8>) {
+        write_u32(buf, self.num_procs as u32);
+        write_u32(buf, (self.space.stride() - self.counts_words) as u32);
+        write_u64(buf, self.max_states as u64);
+        buf.push(self.exhausted as u8);
+        write_u64(buf, self.stats.states);
+        write_u64(buf, self.stats.expanded);
+        write_u64(buf, self.stats.reuse_hits);
+        for seq in &self.seqs {
+            write_u32(buf, seq.len() as u32);
+            for op in seq {
+                buf.push(if op.kind.is_write() { 1 } else { 0 });
+                write_u32(buf, op.loc.0);
+                write_i64(buf, op.value.0);
+            }
+        }
+        write_u32(buf, self.space.len() as u32);
+        for sid in 0..self.space.len() as u32 {
+            for &w in self.space.row(sid) {
+                write_u64(buf, w);
+            }
+        }
+    }
+
+    /// Rebuild an engine from [`FrontierEngine::save_into`] bytes. The
+    /// dedup buckets, waiting lists and completeness count are derived by
+    /// re-inserting the rows; every declared length and index is
+    /// validated, so corrupt input yields `Err` with a byte offset.
+    pub fn load_from(r: &mut Reader<'_>) -> Result<FrontierEngine, String> {
+        let at = r.pos();
+        let num_procs = r.u32()? as usize;
+        if num_procs.saturating_mul(4) > r.remaining() {
+            return Err(format!(
+                "processor count {num_procs} at byte {at} exceeds remaining input"
+            ));
+        }
+        let at = r.pos();
+        let num_locs = r.u32()? as usize;
+        if num_locs > r.remaining() {
+            return Err(format!(
+                "location count {num_locs} at byte {at} exceeds remaining input"
+            ));
+        }
+        let max_states = r.u64()? as usize;
+        let exhausted = r.u8()? != 0;
+        let stats = FrontierStats {
+            states: r.u64()?,
+            expanded: r.u64()?,
+            reuse_hits: r.u64()?,
+        };
+        let counts_words = num_procs.div_ceil(2);
+        let mut e = FrontierEngine {
+            num_procs,
+            max_states: max_states.max(1),
+            seqs: Vec::with_capacity(num_procs),
+            space: StateSpace::new(counts_words + num_locs),
+            counts_words,
+            scratch: Vec::new(),
+            waiting: Vec::with_capacity(num_procs),
+            num_complete: 0,
+            exhausted,
+            stats,
+        };
+        for _ in 0..num_procs {
+            // Each serialized op is 1 (kind) + 4 (loc) + 8 (value) bytes.
+            let n = r.len_prefix(13)?;
+            let mut seq = Vec::with_capacity(n);
+            for _ in 0..n {
+                let at = r.pos();
+                let kind = match r.u8()? {
+                    0 => OpKind::Read,
+                    1 => OpKind::Write,
+                    k => return Err(format!("unknown operation kind {k} at byte {at}")),
+                };
+                let at = r.pos();
+                let loc = r.u32()?;
+                if loc as usize >= num_locs {
+                    return Err(format!(
+                        "location {loc} at byte {at} outside the engine's table"
+                    ));
+                }
+                seq.push(ViewOp {
+                    kind,
+                    loc: Location(loc),
+                    value: Value(r.i64()?),
+                });
+            }
+            e.waiting.push(vec![Vec::new(); seq.len() + 1]);
+            e.seqs.push(seq);
+        }
+        let stride = e.space.stride();
+        let n_states = r.len_prefix(stride * 8)?;
+        for _ in 0..n_states {
+            let at = r.pos();
+            e.scratch.clear();
+            for _ in 0..stride {
+                e.scratch.push(r.u64()?);
+            }
+            for q in 0..num_procs {
+                let c = get_u32(&e.scratch, q) as usize;
+                if c > e.seqs[q].len() {
+                    return Err(format!(
+                        "state row at byte {at} schedules {c} of processor {q}'s {} operations",
+                        e.seqs[q].len()
+                    ));
+                }
+            }
+            let hash = hash_words(0, &e.scratch);
+            if e.space.find(hash, &e.scratch).is_some() {
+                return Err(format!("duplicate state row at byte {at}"));
+            }
+            e.insert_scratch_inner(hash);
+        }
+        if !exhausted && e.space.is_empty() {
+            return Err(format!("engine with no states at byte {}", r.pos()));
+        }
+        Ok(e)
     }
 }
 
@@ -455,6 +703,166 @@ mod tests {
         e.append(ProcId(0), w(3));
         assert_eq!(e.num_ops(), 3);
         assert_eq!(e.admitted(), None);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_future_behaviour() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for _case in 0..60 {
+            let procs = rng.gen_range(1..4usize);
+            let locs = rng.gen_range(1..3usize);
+            let total = rng.gen_range(0..12usize);
+            let split = if total == 0 {
+                0
+            } else {
+                rng.gen_range(0..total)
+            };
+            let mut ops: Vec<(usize, ViewOp)> = Vec::new();
+            for _ in 0..total {
+                let kind = if rng.gen_bool(0.5) {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                };
+                ops.push((
+                    rng.gen_range(0..procs),
+                    ViewOp {
+                        kind,
+                        loc: Location(rng.gen_range(0..locs) as u32),
+                        value: Value(rng.gen_range(0..3i64)),
+                    },
+                ));
+            }
+            let mut cold = FrontierEngine::new(procs, locs, 1 << 16);
+            for &(p, op) in &ops[..split] {
+                cold.append(ProcId(p as u32), op);
+            }
+            let mut buf = Vec::new();
+            cold.save_into(&mut buf);
+            let mut r = Reader::new(&buf);
+            let mut warm = FrontierEngine::load_from(&mut r).expect("round trip");
+            assert!(r.is_at_end());
+            assert_eq!(warm.admitted(), cold.admitted());
+            assert_eq!(warm.num_states(), cold.num_states());
+            assert_eq!(warm.stats(), cold.stats());
+            for &(p, op) in &ops[split..] {
+                cold.append(ProcId(p as u32), op);
+                warm.append(ProcId(p as u32), op);
+                assert_eq!(warm.admitted(), cold.admitted());
+            }
+            assert_eq!(warm.stats(), cold.stats());
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_engine_bytes_are_rejected() {
+        let mut e = FrontierEngine::new(2, 2, 1 << 10);
+        e.append(
+            ProcId(0),
+            ViewOp {
+                kind: OpKind::Write,
+                loc: Location(1),
+                value: Value(5),
+            },
+        );
+        let mut buf = Vec::new();
+        e.save_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(FrontierEngine::load_from(&mut r).is_err(), "cut {cut}");
+        }
+        // An out-of-table location in a sequence entry is caught.
+        let mut bad = buf.clone();
+        // Header is 4+4+8+1+24 = 41 bytes; proc 0's seq len follows,
+        // then kind (1 byte), then the loc u32.
+        bad[46..50].copy_from_slice(&9u32.to_le_bytes());
+        let mut r = Reader::new(&bad);
+        let e = match FrontierEngine::load_from(&mut r) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt location accepted"),
+        };
+        assert!(e.contains("outside the engine's table"), "{e}");
+    }
+
+    #[test]
+    fn lossless_seal_preserves_verdicts() {
+        // Sealing to min_counts never drops a state, and the sealed
+        // engine keeps answering exactly like the unsealed one.
+        let h = parse_history("p: w(d)1 w(f)1\nq: r(f)1 r(d)1").unwrap();
+        let mut e = FrontierEngine::new(2, 2, 1 << 16);
+        feed(&mut e, &h, &[0, 1, 2, 3]);
+        assert_eq!(e.admitted(), Some(true));
+        let min = e.min_counts();
+        let before = e.num_states();
+        let rep = e.seal(&min);
+        assert_eq!(rep.dropped, 0, "min-counts seal drops nothing");
+        assert!(e.num_states() <= before);
+        assert_eq!(e.admitted(), Some(true));
+        // The sealed engine still refutes a stale read of d.
+        e.append(
+            ProcId(1),
+            ViewOp {
+                kind: OpKind::Read,
+                loc: Location(0),
+                value: Value(0),
+            },
+        );
+        assert_eq!(e.admitted(), Some(false));
+    }
+
+    #[test]
+    fn quiesced_column_seals_to_fresh_slot() {
+        let mut e = FrontierEngine::new(2, 1, 1 << 16);
+        let w = |v: i64| ViewOp {
+            kind: OpKind::Write,
+            loc: Location(0),
+            value: Value(v),
+        };
+        e.append(ProcId(0), w(1));
+        // q reads 1: every surviving schedule has p's write first.
+        e.append(
+            ProcId(1),
+            ViewOp {
+                kind: OpKind::Read,
+                loc: Location(0),
+                value: Value(1),
+            },
+        );
+        assert_eq!(e.admitted(), Some(true));
+        assert!(!e.quiesced(0), "a state with p unscheduled is reachable");
+        // Seal to the complete states only: p's column becomes empty.
+        e.seal(&[1, 1]);
+        assert!(e.quiesced(0));
+        assert_eq!(e.seq_len(0), 0);
+        assert_eq!(e.admitted(), Some(true));
+        // The slot is indistinguishable from a fresh processor.
+        e.append(ProcId(0), w(2));
+        assert_eq!(e.admitted(), Some(true));
+    }
+
+    #[test]
+    fn force_write_merges_states() {
+        let mut e = FrontierEngine::new(2, 1, 1 << 16);
+        let w = |v: i64| ViewOp {
+            kind: OpKind::Write,
+            loc: Location(0),
+            value: Value(v),
+        };
+        e.append(ProcId(0), w(1));
+        e.append(ProcId(1), w(2));
+        let before = e.num_states();
+        e.force_write(Location(0), Value(9));
+        assert!(e.num_states() <= before);
+        // Every state now reads 9.
+        e.append(
+            ProcId(0),
+            ViewOp {
+                kind: OpKind::Read,
+                loc: Location(0),
+                value: Value(9),
+            },
+        );
+        assert_eq!(e.admitted(), Some(true));
     }
 
     #[test]

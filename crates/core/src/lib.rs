@@ -45,6 +45,9 @@
 //!   processor/location/value renamings, with a 128-bit [`canon::HistoryKey`].
 //! * [`memo`] — a sharded concurrent memo table of decided verdicts keyed
 //!   by `(HistoryKey, model parameter key)`, shared across sweeps.
+//! * [`binfmt`] — the shared binary-format helpers (bounds-checked
+//!   reader, little-endian writers) behind memo files and monitor
+//!   checkpoints.
 //! * [`explain`] — best-effort cycle certificates for refutations.
 //! * [`verify`] — independent validation of witnesses (used heavily by
 //!   the test suite: every `Allowed` must verify).
@@ -69,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod binfmt;
 pub mod budget;
 pub mod canon;
 pub mod checker;
@@ -97,7 +101,7 @@ pub use checker::{
     check, check_with_config, check_with_stats, CheckConfig, CheckStats, Engine, EngineKind,
     SchedulerKind, Stage, Verdict, Witness,
 };
-pub use frontier::{AppendReport, FrontierEngine, FrontierStats, ViewOp};
+pub use frontier::{AppendReport, FrontierEngine, FrontierStats, SealReport, ViewOp};
 pub use memo::{MemoCache, MemoStats};
 pub use separate::{
     minimize_witness, separates, Direction, DirectionStatus, SeparateStats, SeparationWitness,

@@ -23,11 +23,11 @@
 //! contend and the table's memory is bounded. Hit/miss/insert/eviction
 //! counters are atomic and surface through `smc corpus --stats`/`--json`.
 
+use crate::binfmt::{write_u32, Reader};
 use crate::canon::{Canon, HistoryKey};
 use crate::checker::{Verdict, Witness};
 use smc_history::OpId;
 use std::collections::{HashMap, VecDeque};
-use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -258,8 +258,7 @@ impl MemoCache {
                 }
             }
         }
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(&buf)?;
+        crate::binfmt::write_file(path, &buf)?;
         Ok(entries.len())
     }
 
@@ -269,10 +268,7 @@ impl MemoCache {
     /// are expected to warn and continue with a cold cache, never panic.
     pub fn load(&self, path: &Path) -> Result<usize, String> {
         let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let mut r = Reader {
-            bytes: &bytes,
-            pos: 0,
-        };
+        let mut r = Reader::new(&bytes);
         let magic = r.take(MAGIC.len())?;
         if magic != MAGIC {
             return Err(format!(
@@ -289,12 +285,12 @@ impl MemoCache {
         let mut loaded = 0usize;
         for _ in 0..num_entries {
             let key = r.u128()?;
-            let pos = r.pos;
+            let pos = r.pos();
             let idx = r.u32()? as usize;
             let model = *models
                 .get(idx)
                 .ok_or_else(|| format!("model index {idx} out of range at byte {pos}"))?;
-            let pos = r.pos;
+            let pos = r.pos();
             let verdict = match r.u8()? {
                 0 => CachedVerdict::Disallowed,
                 1 => CachedVerdict::Allowed(read_witness(&mut r)?),
@@ -314,10 +310,6 @@ impl MemoCache {
 /// witness if tag = 1)`. Witnesses are length-prefixed vectors of `u32`
 /// operation ids in canonical coordinates.
 pub const MAGIC: &[u8; 8] = b"SMCMEMO\x01";
-
-fn write_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
 
 fn write_ids(buf: &mut Vec<u8>, ids: &[OpId]) {
     write_u32(buf, ids.len() as u32);
@@ -371,70 +363,21 @@ fn write_witness(buf: &mut Vec<u8>, w: &Witness) {
     }
 }
 
-/// Bounds-checked cursor over untrusted bytes: every read is validated
-/// against the remaining input, so truncated or garbage files surface as
-/// `Err`, never a panic or an oversized allocation.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+fn read_ids(r: &mut Reader<'_>) -> Result<Vec<OpId>, String> {
+    let n = r.len_prefix(4)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(OpId(r.u32()?));
+    }
+    Ok(v)
 }
 
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| format!("truncated memo file at byte {}", self.pos))?;
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn u128(&mut self) -> Result<u128, String> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
-    }
-
-    /// A length prefix for items of at least `item_bytes` each; rejected
-    /// when the remaining input is too short to hold that many, which
-    /// caps allocations by the file size.
-    fn len_prefix(&mut self, item_bytes: usize) -> Result<usize, String> {
-        let pos = self.pos;
-        let n = self.u32()? as usize;
-        if n.saturating_mul(item_bytes) > self.bytes.len() - self.pos {
-            return Err(format!("length {n} at byte {pos} exceeds remaining input"));
-        }
-        Ok(n)
-    }
-
-    fn ids(&mut self) -> Result<Vec<OpId>, String> {
-        let n = self.len_prefix(4)?;
-        let mut v = Vec::with_capacity(n);
-        for _ in 0..n {
-            v.push(OpId(self.u32()?));
-        }
-        Ok(v)
-    }
-
-    fn opt_ids(&mut self) -> Result<Option<Vec<OpId>>, String> {
-        let pos = self.pos;
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(self.ids()?)),
-            t => Err(format!("unknown option tag {t} at byte {pos}")),
-        }
+fn read_opt_ids(r: &mut Reader<'_>) -> Result<Option<Vec<OpId>>, String> {
+    let pos = r.pos();
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(read_ids(r)?)),
+        t => Err(format!("unknown option tag {t} at byte {pos}")),
     }
 }
 
@@ -442,31 +385,31 @@ fn read_witness(r: &mut Reader<'_>) -> Result<Witness, String> {
     let num_views = r.len_prefix(4)?;
     let mut views = Vec::with_capacity(num_views);
     for _ in 0..num_views {
-        views.push(r.ids()?);
+        views.push(read_ids(r)?);
     }
-    let store_order = r.opt_ids()?;
-    let pos = r.pos;
+    let store_order = read_opt_ids(r)?;
+    let pos = r.pos();
     let coherence = match r.u8()? {
         0 => None,
         1 => {
             let n = r.len_prefix(4)?;
             let mut orders = Vec::with_capacity(n);
             for _ in 0..n {
-                orders.push(r.ids()?);
+                orders.push(read_ids(r)?);
             }
             Some(orders)
         }
         t => return Err(format!("unknown option tag {t} at byte {pos}")),
     };
-    let labeled_order = r.opt_ids()?;
-    let pos = r.pos;
+    let labeled_order = read_opt_ids(r)?;
+    let pos = r.pos();
     let reads_from = match r.u8()? {
         0 => None,
         1 => {
             let n = r.len_prefix(1)?;
             let mut rf = Vec::with_capacity(n);
             for _ in 0..n {
-                let pos = r.pos;
+                let pos = r.pos();
                 rf.push(match r.u8()? {
                     0 => None,
                     1 => Some(OpId(r.u32()?)),

@@ -16,13 +16,20 @@
 //!
 //! Operation tokens use the litmus mnemonics (`w`/`r` ordinary,
 //! `wl`/`rl` or `W`/`R` labeled). `#` starts a comment that runs to end
-//! of line. The words `procs` and `locs` are reserved and cannot name a
-//! processor. The `procs`/`locs` headers are optional — names are also
-//! interned on first use — but [`emit_trace`] always writes them so that
-//! empty processors and location numbering survive a round trip:
-//! `parse_trace(emit_trace(t))` reproduces `t` exactly, and
-//! `Trace::from_history(h).history() == h` for every parser- or
+//! of line. The words `procs`, `locs`, `join` and `retire` are reserved
+//! and cannot name a processor. The `procs`/`locs` headers are optional
+//! — names are also interned on first use — but [`emit_trace`] always
+//! writes them so that empty processors and location numbering survive
+//! a round trip: `parse_trace(emit_trace(t))` reproduces `t` exactly,
+//! and `Trace::from_history(h).history() == h` for every parser- or
 //! builder-produced history.
+//!
+//! Long-lived streams additionally carry processor *lifecycle* lines —
+//! `join p` / `retire p` — recording membership churn at a position in
+//! the event stream. Lifecycle lines do not affect the [`Trace::history`]
+//! projection (a history has a fixed processor table); the streaming
+//! monitor consumes them to fold retired processors and reuse their
+//! slots.
 
 use crate::builder::HistoryBuilder;
 use crate::history::History;
@@ -73,6 +80,26 @@ pub struct TraceEvent {
     pub label: Label,
 }
 
+/// A processor lifecycle transition (`join p` / `retire p`), recorded
+/// at a position in the owning trace's event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lifecycle {
+    /// The processor enters (or re-enters) the active set.
+    Join(ProcId),
+    /// The processor leaves the active set; no further events of its
+    /// are expected until a matching `join`.
+    Retire(ProcId),
+}
+
+impl Lifecycle {
+    /// The processor undergoing the transition.
+    pub fn proc(&self) -> ProcId {
+        match *self {
+            Lifecycle::Join(p) | Lifecycle::Retire(p) => p,
+        }
+    }
+}
+
 /// An append-only stream of operation events in arrival order, with
 /// interned processor and location tables.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -80,6 +107,9 @@ pub struct Trace {
     proc_names: Vec<String>,
     loc_names: Vec<String>,
     events: Vec<TraceEvent>,
+    /// Lifecycle transitions, each tagged with the number of events
+    /// that preceded it (so `(k, l)` happened before `events[k]`).
+    lifecycle: Vec<(u32, Lifecycle)>,
 }
 
 impl Trace {
@@ -124,6 +154,19 @@ impl Trace {
             value: Value(value),
             label,
         });
+    }
+
+    /// Record a lifecycle transition at the current stream position.
+    /// The processor must have been interned.
+    pub fn push_lifecycle(&mut self, l: Lifecycle) {
+        assert!(l.proc().index() < self.proc_names.len(), "unknown proc");
+        self.lifecycle.push((self.events.len() as u32, l));
+    }
+
+    /// The lifecycle transitions, each paired with the number of events
+    /// preceding it, in recorded order.
+    pub fn lifecycle(&self) -> &[(u32, Lifecycle)] {
+        &self.lifecycle
     }
 
     /// The events, in arrival order.
@@ -200,6 +243,7 @@ impl Trace {
                 .map(|l| h.loc_name(Location(l as u32)).to_owned())
                 .collect(),
             events: Vec::with_capacity(h.num_ops()),
+            lifecycle: Vec::new(),
         };
         for op in h.ops() {
             t.events.push(TraceEvent {
@@ -251,9 +295,28 @@ impl fmt::Display for Trace {
         if !self.loc_names.is_empty() {
             writeln!(f, "locs {}", self.loc_names.join(" "))?;
         }
-        for e in &self.events {
+        // Lifecycle lines interleave at their recorded positions: an
+        // entry at position `k` prints before `events[k]`.
+        let mut lc = self.lifecycle.iter().peekable();
+        let mut write_lc = |f: &mut fmt::Formatter<'_>, upto: usize| -> fmt::Result {
+            while let Some(&&(pos, l)) = lc.peek() {
+                if pos as usize > upto {
+                    break;
+                }
+                let (verb, p) = match l {
+                    Lifecycle::Join(p) => ("join", p),
+                    Lifecycle::Retire(p) => ("retire", p),
+                };
+                writeln!(f, "{verb} {}", self.proc_name(p))?;
+                lc.next();
+            }
+            Ok(())
+        };
+        for (i, e) in self.events.iter().enumerate() {
+            write_lc(f, i)?;
             writeln!(f, "{}", self.format_event(e))?;
         }
+        write_lc(f, self.events.len())?;
         Ok(())
     }
 }
@@ -265,6 +328,10 @@ impl fmt::Display for Trace {
 pub fn emit_trace(t: &Trace) -> String {
     t.to_string()
 }
+
+/// Words with structural meaning at line start; none may name a
+/// processor (an event for it could not be expressed).
+const RESERVED: [&str; 4] = ["procs", "locs", "join", "retire"];
 
 fn err<T>(line: usize, offset: usize, message: impl Into<String>) -> Result<T, TraceError> {
     Err(TraceError {
@@ -313,7 +380,7 @@ pub fn parse_trace_line(
     match head {
         "procs" => {
             for name in rest.split_whitespace() {
-                if !is_ident(name) || name == "procs" || name == "locs" {
+                if !is_ident(name) || RESERVED.contains(&name) {
                     return err(
                         line_no,
                         at(name),
@@ -322,6 +389,30 @@ pub fn parse_trace_line(
                 }
                 t.add_proc(name);
             }
+            Ok(0)
+        }
+        "join" | "retire" => {
+            let name = rest.trim();
+            if name.is_empty() {
+                return err(
+                    line_no,
+                    at(head),
+                    format!("expected a processor name after `{head}`"),
+                );
+            }
+            if !is_ident(name) || RESERVED.contains(&name) {
+                return err(
+                    line_no,
+                    at(name),
+                    format!("invalid processor name `{name}`"),
+                );
+            }
+            let p = t.add_proc(name);
+            t.push_lifecycle(if head == "join" {
+                Lifecycle::Join(p)
+            } else {
+                Lifecycle::Retire(p)
+            });
             Ok(0)
         }
         "locs" => {
@@ -587,6 +678,53 @@ mod tests {
         let t = parse_trace("procs p q\nlocs x\np w(x)1\nq r(x)1\n").unwrap();
         let text = emit_trace(&t);
         assert_eq!(emit_trace(&parse_trace(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn lifecycle_lines_parse_and_round_trip() {
+        let text = "procs p q\nlocs x\njoin p\np w(x)1\nretire p\njoin q\nq r(x)1\nretire q\n";
+        let t = parse_trace(text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.lifecycle(),
+            [
+                (0, Lifecycle::Join(ProcId(0))),
+                (1, Lifecycle::Retire(ProcId(0))),
+                (1, Lifecycle::Join(ProcId(1))),
+                (2, Lifecycle::Retire(ProcId(1))),
+            ]
+        );
+        // Emission interleaves the lines back at their positions.
+        assert_eq!(emit_trace(&t), text);
+        let back = parse_trace(&emit_trace(&t)).unwrap();
+        assert_eq!(back, t);
+        // The history projection ignores lifecycle lines.
+        assert_eq!(
+            t.history(),
+            parse_trace("procs p q\nlocs x\np w(x)1\nq r(x)1\n")
+                .unwrap()
+                .history()
+        );
+    }
+
+    #[test]
+    fn lifecycle_interns_new_processors() {
+        let t = parse_trace("join late\nlate w(x)1\n").unwrap();
+        assert_eq!(t.proc_names(), ["late"]);
+        assert_eq!(t.lifecycle(), [(0, Lifecycle::Join(ProcId(0)))]);
+    }
+
+    #[test]
+    fn lifecycle_lines_reject_bad_names() {
+        let e = parse_trace("join\n").unwrap_err();
+        assert!(e.message.contains("expected a processor name"), "{e}");
+        let e = parse_trace("retire 7bad\n").unwrap_err();
+        assert!(e.message.contains("invalid processor name"), "{e}");
+        let e = parse_trace("join retire\n").unwrap_err();
+        assert!(e.message.contains("invalid processor name"), "{e}");
+        // `join`/`retire` are reserved in the procs header too.
+        let e = parse_trace("procs p join\n").unwrap_err();
+        assert!(e.message.contains("invalid processor name"), "{e}");
     }
 
     #[test]

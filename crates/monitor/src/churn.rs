@@ -1,0 +1,438 @@
+//! Processor membership churn: slot allocation, retirement, and folding.
+//!
+//! A long-lived monitored system rotates its processor set — clients
+//! join, do work, and retire. Without churn handling, every processor
+//! ever seen widens the frontier engines forever (each state row carries
+//! one count per processor), so a week of rotating membership makes the
+//! monitor pay for thousands of columns of which a handful are active.
+//!
+//! [`ChurnState`] maps interned processors to *engine slots*. A retired
+//! processor whose column has **quiesced** — every reachable frontier
+//! state has scheduled all of its operations — is *folded*: its column
+//! is sealed out of every engine (exact, nothing is dropped), its slot
+//! returns to a free list for the next joiner, and a [`FoldSummary`]
+//! (per-location last write + operation count) records what it left
+//! behind. Frontier width therefore tracks the number of *concurrently
+//! active* processors, not the lifetime total.
+//!
+//! Folding commits the already-explored interleavings of the retired
+//! processor. When an engine must later be rebuilt (table growth) or a
+//! viewer seeded for a reused slot, the folded processor's writes are
+//! force-applied at their original stream positions during the replay
+//! (the bounded-staleness summarization DESIGN §12 describes): each
+//! write is committed at its issue point instead of being left
+//! schedulable, so verdicts remain a deterministic function of the
+//! event + lifecycle stream.
+
+use smc_history::trace::Trace;
+use smc_history::{Location, ProcId, Value};
+
+/// The bookkeeping record of a folded processor: its fold position,
+/// operation count, and final memory effect (for reporting and for
+/// validating restored checkpoints; rebuilds replay the folded writes
+/// straight from the stored trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldSummary {
+    /// The folded processor.
+    pub proc: ProcId,
+    /// Events of the stream covered by this summary (the fold position);
+    /// the processor's events before it are represented by the summary.
+    pub upto: u32,
+    /// Operations of the processor the summary covers.
+    pub ops: u64,
+    /// Its last write per location, in location order.
+    pub last_writes: Vec<(Location, Value)>,
+}
+
+impl FoldSummary {
+    /// Summarize `p`'s events in `t` up to the current stream position.
+    pub fn compute(t: &Trace, p: ProcId) -> FoldSummary {
+        let mut last: Vec<Option<Value>> = vec![None; t.num_locs()];
+        let mut ops = 0u64;
+        for e in t.events() {
+            if e.proc != p {
+                continue;
+            }
+            ops += 1;
+            if e.kind.is_write() {
+                last[e.loc.index()] = Some(e.value);
+            }
+        }
+        FoldSummary {
+            proc: p,
+            upto: t.len() as u32,
+            ops,
+            last_writes: last
+                .into_iter()
+                .enumerate()
+                .filter_map(|(l, v)| v.map(|v| (Location(l as u32), v)))
+                .collect(),
+        }
+    }
+}
+
+/// The processor ↔ slot bookkeeping of one monitor. Slots are engine
+/// column indices; `width()` is the number of columns every frontier
+/// engine must have.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ChurnState {
+    /// Per interned processor, its current slot (`None` = folded away,
+    /// or never active).
+    slot_of: Vec<Option<u32>>,
+    /// Per slot, the processor currently holding it.
+    proc_of: Vec<Option<ProcId>>,
+    /// Slots freed by folds, reusable by the next joiner.
+    free_slots: Vec<u32>,
+    /// Per processor: retired (a `retire` arrived with no later `join`
+    /// or event).
+    retired: Vec<bool>,
+    /// Retired processors awaiting quiescence, in retirement order.
+    pending_fold: Vec<ProcId>,
+    /// Per processor, the stream position its last fold covered
+    /// (events of it before this position live in a summary).
+    folded_upto: Vec<u32>,
+    /// Every fold taken, in fold order (rebuilds re-apply these).
+    summaries: Vec<FoldSummary>,
+    /// `join` lifecycle events observed.
+    pub joins: u64,
+    /// `retire` lifecycle events observed.
+    pub retires: u64,
+    /// Retired processors folded out of the engines.
+    pub folds: u64,
+}
+
+/// How [`ChurnState::activate`] satisfied the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// The processor already held a slot (possibly clearing a pending
+    /// retirement).
+    Already,
+    /// A freed slot was reused; per-processor viewers for the slot must
+    /// be re-seeded.
+    Reused(u32),
+    /// A brand-new slot was allocated; the engine width grew.
+    Grew(u32),
+}
+
+impl ChurnState {
+    /// Fresh state: no processors, no slots.
+    pub fn new() -> Self {
+        ChurnState::default()
+    }
+
+    /// Extend the per-processor tables to `n` interned processors.
+    pub fn grow(&mut self, n: usize) {
+        if self.slot_of.len() < n {
+            self.slot_of.resize(n, None);
+            self.retired.resize(n, false);
+            self.folded_upto.resize(n, 0);
+        }
+    }
+
+    /// Engine columns required: every slot ever allocated.
+    pub fn width(&self) -> usize {
+        self.proc_of.len()
+    }
+
+    /// The slot processor `p` holds, if it is active or retired-unfolded.
+    pub fn slot(&self, p: ProcId) -> Option<u32> {
+        self.slot_of.get(p.index()).copied().flatten()
+    }
+
+    /// The processor holding slot `s`, if any.
+    pub fn proc_of_slot(&self, s: usize) -> Option<ProcId> {
+        self.proc_of.get(s).copied().flatten()
+    }
+
+    /// Is `p` currently retired (and not since reactivated)?
+    pub fn is_retired(&self, p: ProcId) -> bool {
+        self.retired.get(p.index()).copied().unwrap_or(false)
+    }
+
+    /// Events of `p` at stream positions before this are covered by a
+    /// fold summary; replays must skip them.
+    pub fn folded_upto(&self, p: ProcId) -> u32 {
+        self.folded_upto.get(p.index()).copied().unwrap_or(0)
+    }
+
+    /// The folds taken so far, in fold order.
+    pub fn summaries(&self) -> &[FoldSummary] {
+        &self.summaries
+    }
+
+    /// Retired processors whose folds are still pending quiescence.
+    pub fn pending_folds(&self) -> &[ProcId] {
+        &self.pending_fold
+    }
+
+    /// Ensure `p` holds a slot (joining, or issuing an event). Clears
+    /// any pending retirement — an event from a "retired" processor
+    /// reactivates it.
+    pub fn activate(&mut self, p: ProcId) -> Activation {
+        self.grow(p.index() + 1);
+        if self.retired[p.index()] {
+            self.retired[p.index()] = false;
+            self.pending_fold.retain(|&q| q != p);
+        }
+        if self.slot_of[p.index()].is_some() {
+            return Activation::Already;
+        }
+        match self.free_slots.pop() {
+            Some(s) => {
+                self.slot_of[p.index()] = Some(s);
+                self.proc_of[s as usize] = Some(p);
+                Activation::Reused(s)
+            }
+            None => {
+                let s = self.proc_of.len() as u32;
+                self.proc_of.push(Some(p));
+                self.slot_of[p.index()] = Some(s);
+                Activation::Grew(s)
+            }
+        }
+    }
+
+    /// Mark `p` retired; its fold waits until every engine column for it
+    /// has quiesced. A retire for a processor with no slot is a no-op.
+    pub fn retire(&mut self, p: ProcId) {
+        self.grow(p.index() + 1);
+        self.retires += 1;
+        if self.slot_of[p.index()].is_none() || self.retired[p.index()] {
+            return;
+        }
+        self.retired[p.index()] = true;
+        self.pending_fold.push(p);
+    }
+
+    /// Commit a fold: `p` releases slot `s`, `summary` stands in for its
+    /// operations from now on.
+    pub fn apply_fold(&mut self, p: ProcId, s: u32, summary: FoldSummary) {
+        debug_assert_eq!(self.slot_of[p.index()], Some(s));
+        self.folded_upto[p.index()] = summary.upto;
+        self.summaries.push(summary);
+        self.slot_of[p.index()] = None;
+        self.proc_of[s as usize] = None;
+        self.retired[p.index()] = false;
+        self.pending_fold.retain(|&q| q != p);
+        self.free_slots.push(s);
+        self.folds += 1;
+    }
+
+    /// Serialize under the [`smc_core::binfmt`] contract.
+    pub fn save_into(&self, buf: &mut Vec<u8>) {
+        use smc_core::binfmt::{write_i64, write_u32, write_u64};
+        write_u32(buf, self.slot_of.len() as u32);
+        for i in 0..self.slot_of.len() {
+            write_u32(buf, self.slot_of[i].unwrap_or(u32::MAX));
+            buf.push(self.retired[i] as u8);
+            write_u32(buf, self.folded_upto[i]);
+        }
+        write_u32(buf, self.proc_of.len() as u32);
+        for p in &self.proc_of {
+            write_u32(buf, p.map(|p| p.0).unwrap_or(u32::MAX));
+        }
+        write_u32(buf, self.free_slots.len() as u32);
+        for &s in &self.free_slots {
+            write_u32(buf, s);
+        }
+        write_u32(buf, self.pending_fold.len() as u32);
+        for &p in &self.pending_fold {
+            write_u32(buf, p.0);
+        }
+        write_u32(buf, self.summaries.len() as u32);
+        for s in &self.summaries {
+            write_u32(buf, s.proc.0);
+            write_u32(buf, s.upto);
+            write_u64(buf, s.ops);
+            write_u32(buf, s.last_writes.len() as u32);
+            for &(loc, v) in &s.last_writes {
+                write_u32(buf, loc.0);
+                write_i64(buf, v.0);
+            }
+        }
+        write_u64(buf, self.joins);
+        write_u64(buf, self.retires);
+        write_u64(buf, self.folds);
+    }
+
+    /// Rebuild from [`ChurnState::save_into`] bytes, validating every
+    /// index against `num_procs`/`num_locs`.
+    pub fn load_from(
+        r: &mut smc_core::binfmt::Reader<'_>,
+        num_procs: usize,
+        num_locs: usize,
+    ) -> Result<ChurnState, String> {
+        let mut c = ChurnState::new();
+        let n = r.len_prefix(9)?;
+        if n != num_procs {
+            return Err(format!(
+                "churn table covers {n} processors, trace has {num_procs}"
+            ));
+        }
+        for _ in 0..n {
+            let s = r.u32()?;
+            c.slot_of.push((s != u32::MAX).then_some(s));
+            c.retired.push(r.u8()? != 0);
+            c.folded_upto.push(r.u32()?);
+        }
+        let slots = r.len_prefix(4)?;
+        for _ in 0..slots {
+            let at = r.pos();
+            let p = r.u32()?;
+            if p == u32::MAX {
+                c.proc_of.push(None);
+            } else {
+                if p as usize >= num_procs {
+                    return Err(format!("slot holder {p} at byte {at} out of range"));
+                }
+                c.proc_of.push(Some(ProcId(p)));
+            }
+        }
+        for (p, s) in c.slot_of.iter().enumerate() {
+            if let Some(s) = s {
+                if c.proc_of.get(*s as usize).copied().flatten() != Some(ProcId(p as u32)) {
+                    return Err(format!("slot map for processor {p} is not its inverse"));
+                }
+            }
+        }
+        let n = r.len_prefix(4)?;
+        for _ in 0..n {
+            let at = r.pos();
+            let s = r.u32()?;
+            if s as usize >= slots || c.proc_of[s as usize].is_some() {
+                return Err(format!("free slot {s} at byte {at} is not free"));
+            }
+            c.free_slots.push(s);
+        }
+        let n = r.len_prefix(4)?;
+        for _ in 0..n {
+            let at = r.pos();
+            let p = r.u32()?;
+            if p as usize >= num_procs {
+                return Err(format!(
+                    "pending fold of processor {p} at byte {at} out of range"
+                ));
+            }
+            c.pending_fold.push(ProcId(p));
+        }
+        let n = r.len_prefix(20)?;
+        for _ in 0..n {
+            let at = r.pos();
+            let p = r.u32()?;
+            if p as usize >= num_procs {
+                return Err(format!(
+                    "fold summary for processor {p} at byte {at} out of range"
+                ));
+            }
+            let upto = r.u32()?;
+            let ops = r.u64()?;
+            let writes = r.len_prefix(12)?;
+            let mut last_writes = Vec::with_capacity(writes);
+            for _ in 0..writes {
+                let at = r.pos();
+                let loc = r.u32()?;
+                if loc as usize >= num_locs {
+                    return Err(format!(
+                        "fold summary location {loc} at byte {at} out of range"
+                    ));
+                }
+                last_writes.push((Location(loc), Value(r.i64()?)));
+            }
+            c.summaries.push(FoldSummary {
+                proc: ProcId(p),
+                upto,
+                ops,
+                last_writes,
+            });
+        }
+        c.joins = r.u64()?;
+        c.retires = r.u64()?;
+        c.folds = r.u64()?;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_history::trace::parse_trace;
+
+    #[test]
+    fn slots_are_reused_after_folds() {
+        let mut c = ChurnState::new();
+        assert_eq!(c.activate(ProcId(0)), Activation::Grew(0));
+        assert_eq!(c.activate(ProcId(1)), Activation::Grew(1));
+        assert_eq!(c.activate(ProcId(0)), Activation::Already);
+        c.retire(ProcId(0));
+        assert!(c.is_retired(ProcId(0)));
+        assert_eq!(c.pending_folds(), [ProcId(0)]);
+        c.apply_fold(
+            ProcId(0),
+            0,
+            FoldSummary {
+                proc: ProcId(0),
+                upto: 3,
+                ops: 3,
+                last_writes: vec![],
+            },
+        );
+        assert_eq!(c.slot(ProcId(0)), None);
+        assert_eq!(c.folded_upto(ProcId(0)), 3);
+        // A new processor takes the freed slot; width stays 2.
+        assert_eq!(c.activate(ProcId(2)), Activation::Reused(0));
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.proc_of_slot(0), Some(ProcId(2)));
+    }
+
+    #[test]
+    fn events_reactivate_retired_processors() {
+        let mut c = ChurnState::new();
+        c.activate(ProcId(0));
+        c.retire(ProcId(0));
+        assert_eq!(c.activate(ProcId(0)), Activation::Already);
+        assert!(!c.is_retired(ProcId(0)));
+        assert!(c.pending_folds().is_empty());
+    }
+
+    #[test]
+    fn summaries_capture_last_writes() {
+        let t = parse_trace("p w(x)1\nq w(x)5\np w(y)2\np w(x)3\np r(y)2\n").unwrap();
+        let s = FoldSummary::compute(&t, ProcId(0));
+        assert_eq!(s.ops, 4);
+        assert_eq!(
+            s.last_writes,
+            [(Location(0), Value(3)), (Location(1), Value(2))]
+        );
+        assert_eq!(s.upto, 5);
+    }
+
+    #[test]
+    fn churn_state_round_trips() {
+        let mut c = ChurnState::new();
+        c.activate(ProcId(0));
+        c.activate(ProcId(1));
+        c.joins = 2;
+        c.retire(ProcId(0));
+        c.apply_fold(
+            ProcId(0),
+            0,
+            FoldSummary {
+                proc: ProcId(0),
+                upto: 7,
+                ops: 4,
+                last_writes: vec![(Location(0), Value(3))],
+            },
+        );
+        let mut buf = Vec::new();
+        c.save_into(&mut buf);
+        let mut r = smc_core::binfmt::Reader::new(&buf);
+        let back = ChurnState::load_from(&mut r, 2, 1).unwrap();
+        assert!(r.is_at_end());
+        assert_eq!(back, c);
+        // Truncations are rejected, never panic.
+        for cut in 0..buf.len() {
+            let mut r = smc_core::binfmt::Reader::new(&buf[..cut]);
+            assert!(ChurnState::load_from(&mut r, 2, 1).is_err(), "cut {cut}");
+        }
+    }
+}

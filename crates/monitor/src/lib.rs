@@ -29,18 +29,47 @@
 //! minimal counterexample (greedy [`smc_core::separate::without_op`]
 //! descent, the same move the separation minimizer uses) rendered in
 //! litmus notation.
+//!
+//! # Session lifecycle
+//!
+//! A monitor session that lives for days needs three things the core
+//! loop above does not give it, provided by the module family
+//! [`ckpt`] / [`churn`] / [`window`]:
+//!
+//! * **Checkpoint/restore** — [`Monitor::checkpoint`] serializes the
+//!   complete session (interned names, frontier state arenas, verdicts,
+//!   churn and window state) to a versioned binary format;
+//!   [`Monitor::restore`] resumes warm, with byte-identical verdicts
+//!   thereafter. Corrupt or truncated checkpoints return `Err` naming a
+//!   byte offset; they never panic.
+//! * **Processor churn** — explicit [`Monitor::join`] /
+//!   [`Monitor::retire`] events (trace lines `join p` / `retire p`). A
+//!   retired processor whose engine columns have quiesced is *folded*:
+//!   sealed out of every engine and summarized per-location, its slot
+//!   reused by the next joiner, keeping frontier width O(active
+//!   processors).
+//! * **Windowed monitoring** — with [`MonitorConfig::window`] set, every
+//!   N events the engines seal the decided prefix and restart from the
+//!   surviving memory contents, bounding frontier memory on unbounded
+//!   streams; [`Monitor::windows`] reports the per-window verdicts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
+pub mod ckpt;
+pub mod window;
+
+use churn::{Activation, ChurnState, FoldSummary};
 use smc_core::checker::{CheckConfig, Verdict};
 use smc_core::frontier::{AppendReport, FrontierEngine, ViewOp};
 use smc_core::lattice::inclusion_closure;
 use smc_core::separate::without_op;
 use smc_core::spec::{GlobalOrder, ModelSpec, OperationSet, OwnerOrder};
 use smc_history::litmus::emit_litmus;
-use smc_history::trace::{Trace, TraceEvent};
+use smc_history::trace::{Lifecycle, Trace, TraceEvent};
 use smc_history::{History, Label, OpKind, ProcId, Value};
+use window::WindowState;
 
 /// Tuning for a [`Monitor`].
 #[derive(Debug, Clone)]
@@ -54,6 +83,10 @@ pub struct MonitorConfig {
     /// stops deciding and the model falls back to lattice propagation
     /// or a per-event batch re-check.
     pub max_frontier_states: usize,
+    /// Seal the frontier every this many events (`--window N`),
+    /// bounding steady-state frontier memory; `None` monitors the
+    /// unbounded prefix exactly.
+    pub window: Option<usize>,
 }
 
 impl Default for MonitorConfig {
@@ -62,6 +95,7 @@ impl Default for MonitorConfig {
             check: CheckConfig::default().with_memo(),
             jobs: 1,
             max_frontier_states: 1 << 20,
+            window: None,
         }
     }
 }
@@ -143,6 +177,31 @@ pub struct MonitorTotals {
     /// the cumulative frontier totals stay comparable to a restart
     /// baseline instead of double-counting pre-rebuild work.
     pub rebuild_work: u64,
+    /// `join` lifecycle events observed.
+    pub joins: u64,
+    /// `retire` lifecycle events observed.
+    pub retires: u64,
+    /// Retired processors folded out of the engines.
+    pub folds: u64,
+    /// Windows sealed (zero unless [`MonitorConfig::window`] is set).
+    pub windows_sealed: u64,
+    /// Frontier states dropped or merged away by window seals.
+    pub states_sealed: u64,
+}
+
+impl StepReport {
+    /// Accumulate another report (`events`/`frontier_states` take the
+    /// later report's values, counters add).
+    pub fn absorb(&mut self, other: StepReport) {
+        self.events = other.events;
+        self.frontier_states = other.frontier_states;
+        self.created += other.created;
+        self.expanded += other.expanded;
+        self.reuse_hits += other.reuse_hits;
+        self.rechecks += other.rechecks;
+        self.recheck_nodes += other.recheck_nodes;
+        self.propagated += other.propagated;
+    }
 }
 
 /// A minimal violating prefix, rendered for humans.
@@ -161,16 +220,46 @@ pub struct ViolationReport {
 }
 
 /// How a model's incremental state is maintained.
-enum Engine {
+pub(crate) enum Engine {
     /// One shared view over all operations (the SC shape:
     /// `identical_views`, `δ = AllOps`, program order, by-value reads).
     Identical(FrontierEngine),
     /// One engine per processor view (the PRAM shape), indexed by
-    /// viewing processor; engine `v` sees `v`'s own operations plus the
-    /// remote operations `δ` selects.
-    PerProc(Vec<FrontierEngine>, OperationSet),
+    /// engine *slot*; the viewer holding slot `s` sees its own
+    /// operations plus the remote operations `δ` selects. A `None`
+    /// entry is a freed slot (its viewer folded away or never joined).
+    PerProc {
+        /// Per slot, the live viewer engine.
+        viewers: Vec<Option<FrontierEngine>>,
+        /// Remote operations each view includes.
+        delta: OperationSet,
+        /// Folded viewers whose verdict was lost to exhaustion; while
+        /// nonzero the model can never settle back to `Admitted` on the
+        /// engines alone.
+        latched_unknown: usize,
+    },
     /// Re-check the whole prefix with the batch checker per event.
     Restart,
+}
+
+/// Conjoin the per-viewer admission answers of a `PerProc` engine.
+fn perproc_verdict(viewers: &[Option<FrontierEngine>], latched_unknown: usize) -> Option<bool> {
+    let mut verdict = Some(true);
+    for e in viewers.iter().flatten() {
+        match e.admitted() {
+            Some(true) => {}
+            Some(false) => verdict = Some(false),
+            None => {
+                if verdict != Some(false) {
+                    verdict = None;
+                }
+            }
+        }
+    }
+    if latched_unknown > 0 && verdict == Some(true) {
+        verdict = None;
+    }
+    verdict
 }
 
 /// Does this spec reduce to "a legal extension of program order exists",
@@ -194,27 +283,38 @@ fn frontier_shape(spec: &ModelSpec) -> Option<Engine> {
         (spec.delta == OperationSet::AllOps)
             .then(|| Engine::Identical(FrontierEngine::new(0, 0, 1)))
     } else {
-        Some(Engine::PerProc(Vec::new(), spec.delta))
+        Some(Engine::PerProc {
+            viewers: Vec::new(),
+            delta: spec.delta,
+            latched_unknown: 0,
+        })
     }
 }
 
 /// The streaming monitor: per-model incremental admission state over an
 /// append-only event stream.
 pub struct Monitor {
-    models: Vec<ModelSpec>,
+    pub(crate) models: Vec<ModelSpec>,
     /// `stronger[i][j]`: admitted by `models[i]` forces admitted by
     /// `models[j]`.
-    stronger: Vec<Vec<bool>>,
-    cfg: MonitorConfig,
-    trace: Trace,
-    engines: Vec<Engine>,
-    /// Table sizes the frontier engines were built for; growth forces a
-    /// rebuild by replay.
-    built_procs: usize,
-    built_locs: usize,
-    verdicts: Vec<TriVerdict>,
-    first_violation: Vec<Option<usize>>,
-    totals: MonitorTotals,
+    pub(crate) stronger: Vec<Vec<bool>>,
+    pub(crate) cfg: MonitorConfig,
+    pub(crate) trace: Trace,
+    pub(crate) engines: Vec<Engine>,
+    /// Table sizes the frontier engines were built for (engine width in
+    /// slots, locations); growth forces a rebuild by replay.
+    pub(crate) built_procs: usize,
+    pub(crate) built_locs: usize,
+    pub(crate) verdicts: Vec<TriVerdict>,
+    pub(crate) first_violation: Vec<Option<usize>>,
+    pub(crate) totals: MonitorTotals,
+    /// Processor ↔ slot bookkeeping (joins, retirements, folds).
+    pub(crate) churn: ChurnState,
+    /// Window bookkeeping, when [`MonitorConfig::window`] is set.
+    pub(crate) window: Option<WindowState>,
+    /// Reused slots whose per-processor viewers await seeding (drained
+    /// by [`Monitor::ensure_tables`]).
+    pending_seeds: Vec<(ProcId, u32)>,
 }
 
 impl Monitor {
@@ -228,6 +328,7 @@ impl Monitor {
             .map(|m| frontier_shape(m).unwrap_or(Engine::Restart))
             .collect();
         let n = models.len();
+        let window = cfg.window.map(WindowState::new);
         Monitor {
             models,
             stronger,
@@ -240,6 +341,9 @@ impl Monitor {
             verdicts: vec![TriVerdict::Admitted; n],
             first_violation: vec![None; n],
             totals: MonitorTotals::default(),
+            churn: ChurnState::new(),
+            window,
+            pending_seeds: Vec::new(),
         }
     }
 
@@ -258,9 +362,29 @@ impl Monitor {
         &self.verdicts
     }
 
-    /// Cumulative counters.
+    /// Cumulative counters (lifecycle counters derive from the churn
+    /// and window state).
     pub fn totals(&self) -> MonitorTotals {
-        self.totals
+        let mut t = self.totals;
+        t.joins = self.churn.joins;
+        t.retires = self.churn.retires;
+        t.folds = self.churn.folds;
+        if let Some(w) = &self.window {
+            t.windows_sealed = w.windows_sealed;
+            t.states_sealed = w.states_sealed;
+        }
+        t
+    }
+
+    /// The churn bookkeeping (slot map, fold summaries, counters).
+    pub fn churn(&self) -> &ChurnState {
+        &self.churn
+    }
+
+    /// The window bookkeeping and per-window verdicts, when windowing
+    /// is on.
+    pub fn windows(&self) -> Option<&WindowState> {
+        self.window.as_ref()
     }
 
     /// Length of the first refuted prefix for `model_idx`, if any prefix
@@ -287,7 +411,11 @@ impl Monitor {
     pub fn is_event_exact(&self, model_idx: usize) -> bool {
         match &self.engines[model_idx] {
             Engine::Identical(e) => !e.is_exhausted(),
-            Engine::PerProc(list, _) => list.iter().all(|e| !e.is_exhausted()),
+            Engine::PerProc {
+                viewers,
+                latched_unknown,
+                ..
+            } => *latched_unknown == 0 && viewers.iter().flatten().all(|e| !e.is_exhausted()),
             Engine::Restart => false,
         }
     }
@@ -295,8 +423,40 @@ impl Monitor {
     /// Pre-declare a processor (a trace `procs` header). Declaring every
     /// processor up front avoids frontier rebuilds mid-stream.
     pub fn declare_proc(&mut self, name: &str) {
-        self.trace.add_proc(name);
+        let p = self.trace.add_proc(name);
+        self.activate_proc(p);
         self.ensure_tables();
+    }
+
+    /// Record a `join p` lifecycle event: `p` (re-)enters the active
+    /// set, reusing a folded slot when one is free.
+    pub fn join(&mut self, name: &str) {
+        let p = self.trace.add_proc(name);
+        self.trace.push_lifecycle(Lifecycle::Join(p));
+        self.churn.joins += 1;
+        self.activate_proc(p);
+        self.ensure_tables();
+    }
+
+    /// Record a `retire p` lifecycle event: `p` leaves the active set.
+    /// Its engine columns fold away — freeing its slot — as soon as
+    /// every reachable frontier state has scheduled all of its
+    /// operations (often immediately, otherwise after a later batch or
+    /// window seal quiesces them).
+    pub fn retire(&mut self, name: &str) {
+        let p = self.trace.add_proc(name);
+        self.trace.push_lifecycle(Lifecycle::Retire(p));
+        self.churn.retire(p);
+        self.try_folds();
+    }
+
+    /// Give `p` a slot (on join or first event); a reused slot's
+    /// per-processor viewers are seeded by the next `ensure_tables`.
+    fn activate_proc(&mut self, p: ProcId) {
+        match self.churn.activate(p) {
+            Activation::Already | Activation::Grew(_) => {}
+            Activation::Reused(s) => self.pending_seeds.push((p, s)),
+        }
     }
 
     /// Pre-declare a location (a trace `locs` header).
@@ -346,13 +506,14 @@ impl Monitor {
             report.frontier_states = self.frontier_states();
             return report;
         }
-        // Intern every name and grow the frontier tables *before* any
-        // event of the batch lands in the trace: a table rebuild
-        // replays only the events already incorporated, so the appends
-        // below never duplicate an event.
+        // Intern every name, assign slots, and grow the frontier tables
+        // *before* any event of the batch lands in the trace: a table
+        // rebuild replays only the events already incorporated, so the
+        // appends below never duplicate an event.
         for &(proc, _, loc, _, _) in events {
-            self.trace.add_proc(proc);
+            let p = self.trace.add_proc(proc);
             self.trace.add_loc(loc);
+            self.activate_proc(p);
         }
         self.ensure_tables();
 
@@ -369,19 +530,29 @@ impl Monitor {
             };
             self.trace.push(ev);
             let n = self.trace.len();
+            let ev_slot = ProcId(self.churn.slot(ev.proc).expect("active proc has a slot"));
+            let churn = &self.churn;
             for (i, engine) in self.engines.iter_mut().enumerate() {
                 let verdict = match engine {
                     Engine::Identical(e) => {
-                        report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
+                        report.absorb_frontier(e.append(ev_slot, view_op(&ev)));
                         e.admitted()
                     }
-                    Engine::PerProc(list, delta) => {
-                        // Every relevant engine must see the event, even
+                    Engine::PerProc {
+                        viewers,
+                        delta,
+                        latched_unknown,
+                    } => {
+                        // Every relevant viewer must see the event, even
                         // if an earlier view already settled the verdict.
                         let mut verdict = Some(true);
-                        for (v, e) in list.iter_mut().enumerate() {
-                            if in_view(&ev, ProcId(v as u32), *delta) {
-                                report.absorb_frontier(e.append(ev.proc, view_op(&ev)));
+                        for (s, v) in viewers.iter_mut().enumerate() {
+                            let Some(e) = v else { continue };
+                            let Some(vp) = churn.proc_of_slot(s) else {
+                                continue;
+                            };
+                            if in_view(&ev, vp, *delta) {
+                                report.absorb_frontier(e.append(ev_slot, view_op(&ev)));
                             }
                             match e.admitted() {
                                 Some(true) => {}
@@ -392,6 +563,9 @@ impl Monitor {
                                     }
                                 }
                             }
+                        }
+                        if *latched_unknown > 0 && verdict == Some(true) {
+                            verdict = None;
                         }
                         verdict
                     }
@@ -417,21 +591,11 @@ impl Monitor {
             .iter()
             .map(|engine| match engine {
                 Engine::Identical(e) => e.admitted().map(tri_of),
-                Engine::PerProc(list, _) => {
-                    let mut verdict = Some(true);
-                    for e in list {
-                        match e.admitted() {
-                            Some(true) => {}
-                            Some(false) => verdict = Some(false),
-                            None => {
-                                if verdict != Some(false) {
-                                    verdict = None;
-                                }
-                            }
-                        }
-                    }
-                    verdict.map(tri_of)
-                }
+                Engine::PerProc {
+                    viewers,
+                    latched_unknown,
+                    ..
+                } => perproc_verdict(viewers, *latched_unknown).map(tri_of),
                 Engine::Restart => None,
             })
             .collect();
@@ -463,6 +627,11 @@ impl Monitor {
                 self.first_violation[i] = Some(n);
             }
         }
+        // Lifecycle housekeeping: seal the window if one is due, then
+        // fold any retired processors the seal (or the batch itself)
+        // quiesced.
+        self.maybe_seal_window();
+        self.try_folds();
         report.frontier_states = self.frontier_states();
         self.totals.created += report.created;
         self.totals.expanded += report.expanded;
@@ -474,28 +643,59 @@ impl Monitor {
     }
 
     /// Feed a whole trace (declaring its tables first) as one batch;
-    /// returns the aggregated report.
+    /// returns the aggregated report. A trace carrying lifecycle lines
+    /// is fed in segments, applying each `join`/`retire` at its
+    /// recorded stream position — processors are then *not* declared up
+    /// front, so folded slots stay reusable.
     pub fn feed_trace(&mut self, t: &Trace) -> StepReport {
-        for p in t.proc_names() {
-            self.declare_proc(p);
+        let to_batch = |e: &TraceEvent| {
+            (
+                t.proc_name(e.proc),
+                e.kind,
+                t.loc_name(e.loc),
+                e.value.0,
+                e.label,
+            )
+        };
+        if t.lifecycle().is_empty() {
+            for p in t.proc_names() {
+                self.declare_proc(p);
+            }
+            for l in t.loc_names() {
+                self.declare_loc(l);
+            }
+            let batch: Vec<BatchEvent<'_>> = t.events().iter().map(to_batch).collect();
+            return self.feed_batch(&batch);
         }
         for l in t.loc_names() {
             self.declare_loc(l);
         }
-        let batch: Vec<BatchEvent<'_>> = t
-            .events()
-            .iter()
-            .map(|e| {
-                (
-                    t.proc_name(e.proc),
-                    e.kind,
-                    t.loc_name(e.loc),
-                    e.value.0,
-                    e.label,
-                )
-            })
-            .collect();
-        self.feed_batch(&batch)
+        let events = t.events();
+        let lcs = t.lifecycle();
+        let mut report = StepReport::default();
+        let (mut pos, mut li) = (0usize, 0usize);
+        while pos < events.len() || li < lcs.len() {
+            while li < lcs.len() && lcs[li].0 as usize <= pos {
+                match lcs[li].1 {
+                    Lifecycle::Join(p) => self.join(t.proc_name(p)),
+                    Lifecycle::Retire(p) => self.retire(t.proc_name(p)),
+                }
+                li += 1;
+            }
+            let next = if li < lcs.len() {
+                (lcs[li].0 as usize).min(events.len())
+            } else {
+                events.len()
+            };
+            if next > pos {
+                let batch: Vec<BatchEvent<'_>> = events[pos..next].iter().map(to_batch).collect();
+                report.absorb(self.feed_batch(&batch));
+                pos = next;
+            }
+        }
+        report.events = self.trace.len();
+        report.frontier_states = self.frontier_states();
+        report
     }
 
     /// Total reachable states across all frontier engines.
@@ -504,7 +704,11 @@ impl Monitor {
             .iter()
             .map(|engine| match engine {
                 Engine::Identical(e) => e.num_states() as u64,
-                Engine::PerProc(list, _) => list.iter().map(|e| e.num_states() as u64).sum::<u64>(),
+                Engine::PerProc { viewers, .. } => viewers
+                    .iter()
+                    .flatten()
+                    .map(|e| e.num_states() as u64)
+                    .sum::<u64>(),
                 Engine::Restart => 0,
             })
             .sum()
@@ -541,47 +745,252 @@ impl Monitor {
         })
     }
 
-    /// Rebuild the frontier engines if the processor/location tables
-    /// outgrew what they were built for, replaying the stored events.
+    /// Rebuild the frontier engines if the slot width or location table
+    /// outgrew what they were built for (replaying the stored events and
+    /// re-applying fold summaries), and seed viewers for reused slots.
     fn ensure_tables(&mut self) {
-        let procs = self.trace.num_procs();
+        let width = self.churn.width().max(self.built_procs);
         let locs = self.trace.num_locs();
-        if procs <= self.built_procs && locs <= self.built_locs {
+        if width <= self.built_procs && locs <= self.built_locs {
+            self.seed_pending();
             return;
         }
-        self.built_procs = procs;
+        self.pending_seeds.clear();
+        self.built_procs = width;
         self.built_locs = locs;
         let max_states = self.cfg.max_frontier_states;
+        let seals = self.seal_positions();
+        let trace = &self.trace;
+        let churn = &self.churn;
+        let mut rebuild = 0u64;
         for engine in self.engines.iter_mut() {
             match engine {
                 Engine::Identical(e) => {
-                    let mut fresh = FrontierEngine::new(procs, locs, max_states);
-                    let mut rep = AppendReport::default();
-                    for ev in self.trace.events() {
-                        rep.absorb(fresh.append(ev.proc, view_op(ev)));
-                    }
-                    self.totals.rebuild_work += rep.created + rep.expanded;
-                    *e = fresh;
+                    *e = replay_identical(
+                        trace,
+                        churn,
+                        width,
+                        locs,
+                        max_states,
+                        &seals,
+                        &mut rebuild,
+                    );
                 }
-                Engine::PerProc(list, delta) => {
-                    let delta = *delta;
-                    let mut fresh: Vec<FrontierEngine> = (0..procs)
-                        .map(|_| FrontierEngine::new(procs, locs, max_states))
-                        .collect();
-                    let mut rep = AppendReport::default();
-                    for ev in self.trace.events() {
-                        for (v, e) in fresh.iter_mut().enumerate() {
-                            if in_view(ev, ProcId(v as u32), delta) {
-                                rep.absorb(e.append(ev.proc, view_op(ev)));
-                            }
+                Engine::PerProc { viewers, delta, .. } => {
+                    let mut fresh: Vec<Option<FrontierEngine>> = (0..width).map(|_| None).collect();
+                    for (s, slot) in fresh.iter_mut().enumerate() {
+                        if let Some(p) = churn.proc_of_slot(s) {
+                            *slot = Some(seed_viewer(
+                                trace,
+                                churn,
+                                p,
+                                *delta,
+                                width,
+                                locs,
+                                max_states,
+                                &seals,
+                                &mut rebuild,
+                            ));
                         }
                     }
-                    self.totals.rebuild_work += rep.created + rep.expanded;
-                    *list = fresh;
+                    *viewers = fresh;
                 }
                 Engine::Restart => {}
             }
         }
+        self.totals.rebuild_work += rebuild;
+    }
+
+    /// Stream positions of every window seal so far, in order — a
+    /// rebuild-by-replay must re-apply them at the same points, or the
+    /// replayed frontier re-explores the unwindowed state space the live
+    /// engine already sealed away.
+    fn seal_positions(&self) -> Vec<usize> {
+        self.window
+            .as_ref()
+            .map(|w| w.records().iter().map(|r| r.end).collect())
+            .unwrap_or_default()
+    }
+
+    /// Seed per-processor viewers for slots reused by joiners since the
+    /// last call (the `Identical` engine needs nothing: a folded slot's
+    /// column is already empty).
+    fn seed_pending(&mut self) {
+        if self.pending_seeds.is_empty() {
+            return;
+        }
+        let seeds = std::mem::take(&mut self.pending_seeds);
+        let (width, locs) = (self.built_procs, self.built_locs);
+        let max_states = self.cfg.max_frontier_states;
+        let seals = self.seal_positions();
+        let trace = &self.trace;
+        let churn = &self.churn;
+        let mut rebuild = 0u64;
+        for engine in self.engines.iter_mut() {
+            if let Engine::PerProc { viewers, delta, .. } = engine {
+                for &(p, s) in &seeds {
+                    viewers[s as usize] = Some(seed_viewer(
+                        trace,
+                        churn,
+                        p,
+                        *delta,
+                        width,
+                        locs,
+                        max_states,
+                        &seals,
+                        &mut rebuild,
+                    ));
+                }
+            }
+        }
+        self.totals.rebuild_work += rebuild;
+    }
+
+    /// Fold every pending retiree whose engine columns have quiesced.
+    fn try_folds(&mut self) {
+        for p in self.churn.pending_folds().to_vec() {
+            self.try_fold_one(p);
+        }
+    }
+
+    /// Fold retiree `p` out of every engine if all of them can do so
+    /// losslessly; returns whether the fold happened.
+    fn try_fold_one(&mut self, p: ProcId) -> bool {
+        let Some(slot) = self.churn.slot(p) else {
+            return false;
+        };
+        let s = slot as usize;
+        // Check first, mutate only if every engine agrees: the retiree's
+        // column must have quiesced everywhere, and its own view (if it
+        // has one) must be settled-admitted — appended remote operations
+        // can only extend an admitted view, never refute it, because a
+        // retired processor issues no further reads.
+        for engine in &self.engines {
+            match engine {
+                Engine::Identical(e) => {
+                    if !e.is_exhausted() && !e.quiesced(s) {
+                        return false;
+                    }
+                }
+                Engine::PerProc { viewers, .. } => {
+                    for (s2, v) in viewers.iter().enumerate() {
+                        let Some(e) = v else { continue };
+                        if e.is_exhausted() {
+                            continue;
+                        }
+                        if s2 == s {
+                            if e.admitted() != Some(true) {
+                                return false;
+                            }
+                        } else if !e.quiesced(s) {
+                            return false;
+                        }
+                    }
+                }
+                Engine::Restart => {}
+            }
+        }
+        let summary = FoldSummary::compute(&self.trace, p);
+        for engine in &mut self.engines {
+            match engine {
+                Engine::Identical(e) => {
+                    if !e.is_exhausted() {
+                        let mut base = vec![0u32; e.num_procs()];
+                        base[s] = e.seq_len(s) as u32;
+                        e.seal(&base);
+                    }
+                }
+                Engine::PerProc {
+                    viewers,
+                    latched_unknown,
+                    ..
+                } => {
+                    for (s2, v) in viewers.iter_mut().enumerate() {
+                        if s2 == s {
+                            if let Some(e) = v {
+                                if e.is_exhausted() {
+                                    // The viewer's verdict is lost for
+                                    // good; remember that.
+                                    *latched_unknown += 1;
+                                }
+                            }
+                            *v = None;
+                        } else if let Some(e) = v {
+                            if !e.is_exhausted() {
+                                let mut base = vec![0u32; e.num_procs()];
+                                base[s] = e.seq_len(s) as u32;
+                                e.seal(&base);
+                            }
+                        }
+                    }
+                }
+                Engine::Restart => {}
+            }
+        }
+        self.churn.apply_fold(p, slot, summary);
+        true
+    }
+
+    /// Seal the current window if one is due: record the boundary
+    /// verdicts and restart every engine from its surviving states.
+    fn maybe_seal_window(&mut self) {
+        let n = self.trace.len();
+        let due = matches!(&self.window, Some(w) if w.due(n));
+        if !due {
+            return;
+        }
+        let verdicts = self.verdicts.clone();
+        let mut sealed = 0u64;
+        for engine in &mut self.engines {
+            match engine {
+                Engine::Identical(e) => sealed += seal_engine(e),
+                Engine::PerProc { viewers, .. } => {
+                    for e in viewers.iter_mut().flatten() {
+                        sealed += seal_engine(e);
+                    }
+                }
+                Engine::Restart => {}
+            }
+        }
+        let w = self.window.as_mut().expect("window checked above");
+        w.states_sealed += sealed;
+        w.record(n, verdicts);
+    }
+
+    /// Serialize the complete session state — interned names, frontier
+    /// engine arenas, verdicts, churn and window bookkeeping — to `w` in
+    /// the versioned [`ckpt`] binary format.
+    pub fn checkpoint(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        w.write_all(&ckpt::save(self))
+    }
+
+    /// [`Monitor::checkpoint`] into a fresh buffer.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        ckpt::save(self)
+    }
+
+    /// Resume a session from a [`Monitor::checkpoint`] stream. The
+    /// caller supplies the same models (in order) and a compatible
+    /// configuration; mismatches, corruption, and truncation return
+    /// `Err` naming the problem (with a byte offset where one applies).
+    pub fn restore(
+        r: &mut dyn std::io::Read,
+        models: Vec<ModelSpec>,
+        cfg: MonitorConfig,
+    ) -> Result<Monitor, String> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)
+            .map_err(|e| format!("reading checkpoint: {e}"))?;
+        ckpt::load(&bytes, models, cfg)
+    }
+
+    /// [`Monitor::restore`] from an in-memory slice.
+    pub fn restore_bytes(
+        bytes: &[u8],
+        models: Vec<ModelSpec>,
+        cfg: MonitorConfig,
+    ) -> Result<Monitor, String> {
+        ckpt::load(bytes, models, cfg)
     }
 
     /// A verdict for `i` forced by already-decided models through the
@@ -614,6 +1023,115 @@ fn view_op(ev: &TraceEvent) -> ViewOp {
 /// operation set `delta`? Own operations always; remote ones per `delta`.
 fn in_view(ev: &TraceEvent, v: ProcId, delta: OperationSet) -> bool {
     ev.proc == v || delta == OperationSet::AllOps || ev.kind.is_write()
+}
+
+/// Replay the incorporated stream into a fresh shared-view engine. A
+/// folded processor's events are not appended (its column is gone);
+/// instead its writes are force-applied at their original stream
+/// positions, so every later event replays against the same memory
+/// sequence it originally saw. Forcing commits each folded write at its
+/// issue point — the bounded-staleness summarization DESIGN §12
+/// describes — rather than leaving it schedulable. Window seals are
+/// re-applied at their recorded positions (`seals`, ascending): without
+/// them the replay re-explores the unwindowed state space the live
+/// engine sealed away, and a single rebuild can dwarf the whole stream.
+#[allow(clippy::too_many_arguments)]
+fn replay_identical(
+    trace: &Trace,
+    churn: &ChurnState,
+    width: usize,
+    locs: usize,
+    max_states: usize,
+    seals: &[usize],
+    rebuild: &mut u64,
+) -> FrontierEngine {
+    let mut e = FrontierEngine::new(width, locs, max_states);
+    let mut rep = AppendReport::default();
+    let mut next_seal = 0usize;
+    for (i, ev) in trace.events().iter().enumerate() {
+        if next_seal < seals.len() && seals[next_seal] == i {
+            seal_engine(&mut e);
+            next_seal += 1;
+        }
+        if (i as u32) < churn.folded_upto(ev.proc) {
+            if ev.kind.is_write() {
+                e.force_write(ev.loc, ev.value);
+            }
+            continue;
+        }
+        let Some(s) = churn.slot(ev.proc) else {
+            continue;
+        };
+        rep.absorb(e.append(ProcId(s), view_op(ev)));
+    }
+    if next_seal < seals.len() && seals[next_seal] == trace.events().len() {
+        seal_engine(&mut e);
+    }
+    *rebuild += rep.created + rep.expanded;
+    e
+}
+
+/// Build viewer `p`'s engine from scratch: every incorporated event
+/// `p`'s view includes, with folded processors' writes force-applied at
+/// their original stream positions and window seals re-applied at their
+/// recorded positions (both as in [`replay_identical`]).
+#[allow(clippy::too_many_arguments)]
+fn seed_viewer(
+    trace: &Trace,
+    churn: &ChurnState,
+    p: ProcId,
+    delta: OperationSet,
+    width: usize,
+    locs: usize,
+    max_states: usize,
+    seals: &[usize],
+    rebuild: &mut u64,
+) -> FrontierEngine {
+    let mut e = FrontierEngine::new(width, locs, max_states);
+    let mut rep = AppendReport::default();
+    let mut next_seal = 0usize;
+    for (i, ev) in trace.events().iter().enumerate() {
+        if next_seal < seals.len() && seals[next_seal] == i {
+            seal_engine(&mut e);
+            next_seal += 1;
+        }
+        if (i as u32) < churn.folded_upto(ev.proc) {
+            // Writes are in every view, so a folded write lands here
+            // regardless of `delta`; folded reads constrain nothing.
+            if ev.kind.is_write() {
+                e.force_write(ev.loc, ev.value);
+            }
+            continue;
+        }
+        let Some(s) = churn.slot(ev.proc) else {
+            continue;
+        };
+        if in_view(ev, p, delta) {
+            rep.absorb(e.append(ProcId(s), view_op(ev)));
+        }
+    }
+    if next_seal < seals.len() && seals[next_seal] == trace.events().len() {
+        seal_engine(&mut e);
+    }
+    *rebuild += rep.created + rep.expanded;
+    e
+}
+
+/// Seal `e` at its decided boundary: an admitted engine keeps only its
+/// complete states (committing to the prefix, restarting from the
+/// surviving memory contents); an undecided or refuted one rebases
+/// losslessly to the per-processor minimum already scheduled everywhere
+/// (a refutation may still heal). Returns the states dropped.
+fn seal_engine(e: &mut FrontierEngine) -> u64 {
+    if e.is_exhausted() {
+        return 0;
+    }
+    let base: Vec<u32> = if e.admitted() == Some(true) {
+        (0..e.num_procs()).map(|q| e.seq_len(q) as u32).collect()
+    } else {
+        e.min_counts()
+    };
+    e.seal(&base).dropped as u64
 }
 
 fn tri_of(admitted: bool) -> TriVerdict {
@@ -834,13 +1352,96 @@ mod tests {
                 for (i, first) in by_event.first_violation.iter().enumerate() {
                     if matches!(
                         batched.engines[i],
-                        Engine::Identical(_) | Engine::PerProc(..)
+                        Engine::Identical(_) | Engine::PerProc { .. }
                     ) {
                         assert_eq!(batched.first_violation(i), *first, "model {i}");
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn retired_processors_fold_and_slots_are_reused() {
+        let mut m = Monitor::new(
+            vec![models::sc(), models::pram()],
+            MonitorConfig {
+                window: Some(1),
+                ..MonitorConfig::default()
+            },
+        );
+        m.feed("p", OpKind::Write, "x", 1, Label::Ordinary);
+        m.feed("q", OpKind::Read, "x", 1, Label::Ordinary);
+        // The window seal quiesced every column, so the retirement
+        // folds immediately.
+        m.retire("p");
+        assert_eq!(m.totals().retires, 1);
+        assert_eq!(m.totals().folds, 1);
+        // The freed slot goes to the next joiner; engine width stays 2.
+        m.join("r");
+        assert_eq!(m.totals().joins, 1);
+        assert_eq!(m.churn().width(), 2);
+        m.feed("r", OpKind::Write, "x", 2, Label::Ordinary);
+        m.feed("q", OpKind::Read, "x", 2, Label::Ordinary);
+        assert_eq!(m.verdicts()[0], TriVerdict::Admitted);
+        assert_eq!(m.verdicts()[1], TriVerdict::Admitted);
+    }
+
+    #[test]
+    fn windowing_bounds_frontier_states() {
+        // Three processors writing disjoint locations: the exact
+        // frontier holds every count vector — (n/3 + 1)^3 states —
+        // while a sealed window restarts from the lone surviving
+        // memory-contents state every four events.
+        let mut plain = monitor(vec![models::sc()]);
+        let mut windowed = Monitor::new(
+            vec![models::sc()],
+            MonitorConfig {
+                window: Some(4),
+                ..MonitorConfig::default()
+            },
+        );
+        let (mut peak_plain, mut peak_windowed) = (0u64, 0u64);
+        for i in 0..30 {
+            let pname = ["p", "q", "r"][i % 3];
+            let loc = ["x", "y", "z"][i % 3];
+            let rp = plain.feed(pname, OpKind::Write, loc, i as i64, Label::Ordinary);
+            let rw = windowed.feed(pname, OpKind::Write, loc, i as i64, Label::Ordinary);
+            peak_plain = peak_plain.max(rp.frontier_states);
+            peak_windowed = peak_windowed.max(rw.frontier_states);
+            assert_eq!(plain.verdicts(), windowed.verdicts(), "event {i}");
+        }
+        assert_eq!(windowed.totals().windows_sealed, 7);
+        assert!(windowed.totals().states_sealed > 0);
+        assert!(
+            peak_windowed * 10 < peak_plain,
+            "windowed peak {peak_windowed} should be far below exact peak {peak_plain}"
+        );
+        let recs = windowed.windows().unwrap().records();
+        assert_eq!(recs.len(), 7);
+        assert!(recs.iter().all(|r| r.verdicts == [TriVerdict::Admitted]));
+    }
+
+    #[test]
+    fn lifecycle_traces_apply_joins_and_retires_in_stream_order() {
+        let text = "join p\np w(x)1\njoin q\nq r(x)1\nretire p\nq w(x)2\nq r(x)2\n";
+        let t = parse_trace(text).unwrap();
+        let mut m = Monitor::new(
+            vec![models::sc(), models::pram()],
+            MonitorConfig {
+                window: Some(1),
+                ..MonitorConfig::default()
+            },
+        );
+        m.feed_trace(&t);
+        assert_eq!(m.totals().joins, 2);
+        assert_eq!(m.totals().retires, 1);
+        assert_eq!(m.totals().folds, 1);
+        assert!(m.verdicts().iter().all(|&v| v == TriVerdict::Admitted));
+        // The fold summary carries p's last write forward.
+        let s = &m.churn().summaries()[0];
+        assert_eq!(s.last_writes.len(), 1);
+        assert_eq!(s.last_writes[0].1, Value(1));
     }
 
     #[test]

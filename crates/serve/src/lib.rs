@@ -12,6 +12,8 @@
 //! @<sid> <trace line>    -> shorthand for EV
 //! QUERY <sid>            -> VERDICT <sid> <events> SC=admitted ...
 //! CLOSE <sid>            -> CLOSED <sid> <events> SC=admitted ...
+//! SNAPSHOT <sid> <path>  -> SNAPSHOTTED <sid> <events> (session stays open)
+//! RESUME <sid> <path>    -> RESUMED <sid> <events> (session resumes warm)
 //! PING                   -> PONG
 //! STATS                  -> STATS sessions=.. events=.. ...
 //! SHUTDOWN               -> BYE (server stops)
@@ -49,6 +51,13 @@
 //!   the parse error is recorded, later events for that session are
 //!   discarded, and `QUERY`/`CLOSE` report `error: <msg>` instead of
 //!   verdicts. The connection — and every other session — stays up.
+//! * **Lifecycle.** `SNAPSHOT` drains a session and writes its
+//!   [`Monitor::checkpoint`] to a file; `RESUME` rebuilds a session
+//!   from one, warm — its verdict stream continues byte-identically.
+//!   With `--evict-dir` set, an `OPEN` that hits `max_sessions`
+//!   checkpoints the least-recently-active idle session to disk and
+//!   evicts it instead of refusing; a later command addressed to an
+//!   evicted session resumes it transparently from the same directory.
 //!
 //! Verdict payloads list one `model=verdict` token per monitored
 //! model, with `,first=N` appended for models whose first refuted
@@ -66,6 +75,7 @@ pub mod loadgen;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -107,6 +117,12 @@ pub struct ServeConfig {
     /// the template's memo cache, so restart-model re-checks memoize
     /// across sessions.
     pub monitor: MonitorConfig,
+    /// Directory for checkpoint-to-disk eviction. When set, an `OPEN`
+    /// (or transparent resume) that finds the server full evicts the
+    /// least-recently-active idle session to `<dir>/<sid>-<hash>.ckpt`
+    /// instead of refusing, and a command addressed to an evicted
+    /// session resumes it from the same file. `None` disables eviction.
+    pub evict_dir: Option<PathBuf>,
 }
 
 /// Default per-engine frontier state budget for server sessions.
@@ -136,6 +152,7 @@ impl Default for ServeConfig {
                 max_frontier_states: DEFAULT_SESSION_MAX_STATES,
                 ..MonitorConfig::default()
             },
+            evict_dir: None,
         }
     }
 }
@@ -170,10 +187,18 @@ struct Inbox {
 struct Session {
     inbox: Mutex<Inbox>,
     mon: Mutex<Monitor>,
+    /// Logical activity tick (from [`Shared::tick`]); the eviction scan
+    /// picks the smallest.
+    last_active: AtomicU64,
 }
 
 impl Session {
     fn new(models: Vec<ModelSpec>, cfg: MonitorConfig) -> Arc<Session> {
+        Session::with_monitor(Monitor::new(models, cfg))
+    }
+
+    /// Wrap an already-built monitor (the `RESUME` path).
+    fn with_monitor(mon: Monitor) -> Arc<Session> {
         Arc::new(Session {
             inbox: Mutex::new(Inbox {
                 scratch: Trace::new(),
@@ -186,7 +211,8 @@ impl Session {
                 line_no: 0,
                 offset: 0,
             }),
-            mon: Mutex::new(Monitor::new(models, cfg)),
+            mon: Mutex::new(mon),
+            last_active: AtomicU64::new(0),
         })
     }
 }
@@ -205,6 +231,17 @@ struct Shared {
     busy: AtomicU64,
     poisoned: AtomicU64,
     queries: AtomicU64,
+    /// Logical clock stamping session activity for LRU eviction.
+    tick: AtomicU64,
+    snapshots: AtomicU64,
+    resumes: AtomicU64,
+    evictions: AtomicU64,
+    /// Lifecycle counters of already-closed sessions; live sessions are
+    /// summed on demand by [`Shared::lifecycle_totals`].
+    closed_joins: AtomicU64,
+    closed_retires: AtomicU64,
+    closed_folds: AtomicU64,
+    closed_windows: AtomicU64,
 }
 
 impl Shared {
@@ -222,9 +259,63 @@ impl Shared {
         self.shard(sid).lock().unwrap().get(sid).cloned()
     }
 
+    /// Stamp `s` as the most recently active session.
+    fn touch(&self, s: &Session) {
+        s.last_active.store(
+            self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Fold a closing session's lifecycle counters into the totals.
+    fn absorb_closed(&self, mon: &Monitor) {
+        let t = mon.totals();
+        self.closed_joins.fetch_add(t.joins, Ordering::Relaxed);
+        self.closed_retires.fetch_add(t.retires, Ordering::Relaxed);
+        self.closed_folds.fetch_add(t.folds, Ordering::Relaxed);
+        self.closed_windows
+            .fetch_add(t.windows_sealed, Ordering::Relaxed);
+    }
+
+    /// `(joins, retires, folds, windows_sealed)` over closed and live
+    /// sessions. Locks each live monitor briefly.
+    fn lifecycle_totals(&self) -> (u64, u64, u64, u64) {
+        let (mut j, mut r, mut f, mut w) = (
+            self.closed_joins.load(Ordering::Relaxed),
+            self.closed_retires.load(Ordering::Relaxed),
+            self.closed_folds.load(Ordering::Relaxed),
+            self.closed_windows.load(Ordering::Relaxed),
+        );
+        for shard in &self.shards {
+            let sessions: Vec<Arc<Session>> = shard.lock().unwrap().values().cloned().collect();
+            for s in sessions {
+                let t = s.mon.lock().unwrap().totals();
+                j += t.joins;
+                r += t.retires;
+                f += t.folds;
+                w += t.windows_sealed;
+            }
+        }
+        (j, r, f, w)
+    }
+
     fn stats_line(&self) -> String {
+        let (hits, misses) = self
+            .cfg
+            .monitor
+            .check
+            .memo
+            .as_ref()
+            .map(|m| {
+                let s = m.stats();
+                (s.hits, s.misses)
+            })
+            .unwrap_or((0, 0));
+        let (joins, retires, folds, windows) = self.lifecycle_totals();
         format!(
-            "STATS sessions={} peak={} conns={} events={} busy={} poisoned={} queries={}",
+            "STATS sessions={} peak={} conns={} events={} busy={} poisoned={} queries={} \
+             memo_hits={hits} memo_misses={misses} snapshots={} resumes={} evictions={} \
+             joins={joins} retires={retires} folds={folds} windows={windows}",
             self.open_sessions.load(Ordering::Relaxed),
             self.peak_sessions.load(Ordering::Relaxed),
             self.conns.load(Ordering::Relaxed),
@@ -232,6 +323,9 @@ impl Shared {
             self.busy.load(Ordering::Relaxed),
             self.poisoned.load(Ordering::Relaxed),
             self.queries.load(Ordering::Relaxed),
+            self.snapshots.load(Ordering::Relaxed),
+            self.resumes.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
         )
     }
 }
@@ -323,6 +417,149 @@ enum Action {
     Shutdown(String),
 }
 
+/// Checkpoint file an evicted session `sid` lives in: the id sanitized
+/// for the filesystem plus an FNV-1a hash so distinct ids never share a
+/// file.
+fn evict_path(dir: &Path, sid: &str) -> PathBuf {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sid.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let safe: String = sid
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{safe}-{h:016x}.ckpt"))
+}
+
+/// Reserve one session slot against `max_sessions`, evicting an idle
+/// session to disk if the server is full and eviction is enabled.
+/// Returns `false` (with the reservation released) when no capacity can
+/// be made.
+fn reserve_slot(shared: &Shared) -> bool {
+    loop {
+        let live = shared.open_sessions.fetch_add(1, Ordering::Relaxed);
+        if live < shared.cfg.max_sessions {
+            shared.peak_sessions.fetch_max(live + 1, Ordering::Relaxed);
+            return true;
+        }
+        shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+        if !try_evict(shared) {
+            return false;
+        }
+    }
+}
+
+/// Evict the least-recently-active idle session to the eviction
+/// directory, freeing one slot. Returns whether a session was evicted.
+fn try_evict(shared: &Shared) -> bool {
+    let Some(dir) = shared.cfg.evict_dir.as_deref() else {
+        return false;
+    };
+    // Scan for the oldest idle candidate: fully drained, unscheduled,
+    // healthy. try_lock so a busy session never blocks the scan.
+    let mut best: Option<(u64, String, Arc<Session>)> = None;
+    for shard in &shared.shards {
+        for (sid, s) in shard.lock().unwrap().iter() {
+            let Ok(inbox) = s.inbox.try_lock() else {
+                continue;
+            };
+            let idle = !inbox.scheduled
+                && inbox.fed == inbox.scratch.len()
+                && inbox.poisoned.is_none()
+                && !inbox.closed;
+            drop(inbox);
+            if !idle {
+                continue;
+            }
+            let t = s.last_active.load(Ordering::Relaxed);
+            if best.as_ref().is_none_or(|(bt, _, _)| t < *bt) {
+                best = Some((t, sid.clone(), Arc::clone(s)));
+            }
+        }
+    }
+    let Some((_, sid, s)) = best else {
+        return false;
+    };
+    // Claim it by removing it from the map; new commands for the id now
+    // miss and go down the transparent-resume path.
+    if shared.shard(&sid).lock().unwrap().remove(&sid).is_none() {
+        return false;
+    }
+    let mon = drain_locked(&s, shared);
+    s.inbox.lock().unwrap().closed = true;
+    let written = std::fs::create_dir_all(dir).is_ok()
+        && smc_core::binfmt::write_file(&evict_path(dir, &sid), &mon.checkpoint_bytes()).is_ok();
+    drop(mon);
+    if !written {
+        // Undo: the session stays resident rather than losing state.
+        s.inbox.lock().unwrap().closed = false;
+        shared.shard(&sid).lock().unwrap().insert(sid, s);
+        return false;
+    }
+    shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+    shared.evictions.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// Rebuild a session from checkpoint bytes and insert it under `sid`.
+/// Returns the restored event count.
+fn resume_session(shared: &Shared, sid: &str, bytes: &[u8]) -> Result<usize, String> {
+    // The checkpoint names its models; resolve them by name so a
+    // single-model session resumes as itself. Unresolvable names fall
+    // back to the server's default set — `restore` still validates.
+    let specs = smc_monitor::ckpt::peek_models(bytes)
+        .ok()
+        .and_then(|names| {
+            names
+                .iter()
+                .map(|n| models::by_name(n))
+                .collect::<Option<Vec<ModelSpec>>>()
+        })
+        .unwrap_or_else(|| shared.cfg.models.clone());
+    let mon = Monitor::restore_bytes(bytes, specs, shared.cfg.monitor.clone())?;
+    if !reserve_slot(shared) {
+        return Err(format!("full max-sessions={}", shared.cfg.max_sessions));
+    }
+    let mut shard = shared.shard(sid).lock().unwrap();
+    if shard.contains_key(sid) {
+        drop(shard);
+        shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+        return Err(format!("session exists `{sid}`"));
+    }
+    let events = mon.num_events();
+    let s = Session::with_monitor(mon);
+    shared.touch(&s);
+    shard.insert(sid.to_owned(), s);
+    shared.resumes.fetch_add(1, Ordering::Relaxed);
+    Ok(events)
+}
+
+/// Look up a session, transparently resuming it from the eviction
+/// directory on a miss.
+fn find_session(shared: &Shared, sid: &str) -> Option<Arc<Session>> {
+    if let Some(s) = shared.session(sid) {
+        return Some(s);
+    }
+    let dir = shared.cfg.evict_dir.as_deref()?;
+    let path = evict_path(dir, sid);
+    let bytes = std::fs::read(&path).ok()?;
+    match resume_session(shared, sid, &bytes) {
+        Ok(_) => {
+            let _ = std::fs::remove_file(&path);
+            shared.session(sid)
+        }
+        Err(_) => None,
+    }
+}
+
 fn cmd_open(shared: &Shared, sid: &str, selector: Option<&str>) -> Action {
     if !is_session_id(sid) {
         return Action::Reply(format!("ERR invalid session id `{sid}`"));
@@ -336,29 +573,63 @@ fn cmd_open(shared: &Shared, sid: &str, selector: Option<&str>) -> Action {
     };
     // Reserve a slot before touching the map so concurrent OPENs on
     // different shards cannot overshoot the cap.
-    let live = shared.open_sessions.fetch_add(1, Ordering::Relaxed);
-    if live >= shared.cfg.max_sessions {
-        shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+    if !reserve_slot(shared) {
         return Action::Reply(format!("ERR full max-sessions={}", shared.cfg.max_sessions));
     }
-    shared.peak_sessions.fetch_max(live + 1, Ordering::Relaxed);
     let mut shard = shared.shard(sid).lock().unwrap();
     if shard.contains_key(sid) {
         drop(shard);
         shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
         return Action::Reply(format!("ERR session exists `{sid}`"));
     }
-    shard.insert(
-        sid.to_owned(),
-        Session::new(session_models, shared.cfg.monitor.clone()),
-    );
+    let s = Session::new(session_models, shared.cfg.monitor.clone());
+    shared.touch(&s);
+    shard.insert(sid.to_owned(), s);
+    drop(shard);
+    // A fresh OPEN supersedes any stale evicted checkpoint of the id.
+    if let Some(dir) = shared.cfg.evict_dir.as_deref() {
+        let _ = std::fs::remove_file(evict_path(dir, sid));
+    }
     Action::Reply(format!("OK {sid}"))
 }
 
-fn cmd_ev(shared: &Arc<Shared>, sid: &str, rest: &str) -> Action {
-    let Some(s) = shared.session(sid) else {
+fn cmd_snapshot(shared: &Shared, sid: &str, path: &str) -> Action {
+    let Some(s) = find_session(shared, sid) else {
         return Action::Reply(format!("ERR unknown session `{sid}`"));
     };
+    shared.touch(&s);
+    let mon = drain_locked(&s, shared);
+    if let Some(msg) = s.inbox.lock().unwrap().poisoned.clone() {
+        return Action::Reply(format!("ERR session `{sid}` poisoned: {msg}"));
+    }
+    match smc_core::binfmt::write_file(Path::new(path), &mon.checkpoint_bytes()) {
+        Ok(()) => {
+            shared.snapshots.fetch_add(1, Ordering::Relaxed);
+            Action::Reply(format!("SNAPSHOTTED {sid} {}", mon.num_events()))
+        }
+        Err(e) => Action::Reply(format!("ERR snapshot `{path}`: {e}")),
+    }
+}
+
+fn cmd_resume(shared: &Shared, sid: &str, path: &str) -> Action {
+    if !is_session_id(sid) {
+        return Action::Reply(format!("ERR invalid session id `{sid}`"));
+    }
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return Action::Reply(format!("ERR resume `{path}`: {e}")),
+    };
+    match resume_session(shared, sid, &bytes) {
+        Ok(events) => Action::Reply(format!("RESUMED {sid} {events}")),
+        Err(e) => Action::Reply(format!("ERR {e}")),
+    }
+}
+
+fn cmd_ev(shared: &Arc<Shared>, sid: &str, rest: &str) -> Action {
+    let Some(s) = find_session(shared, sid) else {
+        return Action::Reply(format!("ERR unknown session `{sid}`"));
+    };
+    shared.touch(&s);
     let schedule = {
         let mut inbox = s.inbox.lock().unwrap();
         if inbox.closed {
@@ -396,9 +667,10 @@ fn cmd_ev(shared: &Arc<Shared>, sid: &str, rest: &str) -> Action {
 }
 
 fn cmd_query(shared: &Shared, sid: &str) -> Action {
-    let Some(s) = shared.session(sid) else {
+    let Some(s) = find_session(shared, sid) else {
         return Action::Reply(format!("ERR unknown session `{sid}`"));
     };
+    shared.touch(&s);
     shared.queries.fetch_add(1, Ordering::Relaxed);
     let mon = drain_locked(&s, shared);
     let poisoned = s.inbox.lock().unwrap().poisoned.clone();
@@ -410,8 +682,18 @@ fn cmd_query(shared: &Shared, sid: &str) -> Action {
 }
 
 fn cmd_close(shared: &Shared, sid: &str) -> Action {
-    let Some(s) = shared.shard(sid).lock().unwrap().remove(sid) else {
-        return Action::Reply(format!("ERR unknown session `{sid}`"));
+    let removed = shared.shard(sid).lock().unwrap().remove(sid);
+    let s = match removed {
+        Some(s) => s,
+        // An evicted session can still be closed: resume, then retry
+        // the removal (find_session inserted it into the map).
+        None => match find_session(shared, sid) {
+            Some(_) => match shared.shard(sid).lock().unwrap().remove(sid) {
+                Some(s) => s,
+                None => return Action::Reply(format!("ERR unknown session `{sid}`")),
+            },
+            None => return Action::Reply(format!("ERR unknown session `{sid}`")),
+        },
     };
     let mon = drain_locked(&s, shared);
     let poisoned = {
@@ -419,6 +701,7 @@ fn cmd_close(shared: &Shared, sid: &str) -> Action {
         inbox.closed = true;
         inbox.poisoned.clone()
     };
+    shared.absorb_closed(&mon);
     shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
     let payload = match poisoned {
         Some(msg) => format!("{} error: {msg}", mon.num_events()),
@@ -464,6 +747,20 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> Action {
             Some(sid) => cmd_close(shared, sid),
             None => Action::Reply("ERR usage: CLOSE <sid>".into()),
         },
+        "SNAPSHOT" => {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(sid), Some(path), None) => cmd_snapshot(shared, sid, path),
+                _ => Action::Reply("ERR usage: SNAPSHOT <sid> <path>".into()),
+            }
+        }
+        "RESUME" => {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(sid), Some(path), None) => cmd_resume(shared, sid, path),
+                _ => Action::Reply("ERR usage: RESUME <sid> <path>".into()),
+            }
+        }
         "PING" => Action::Reply("PONG".into()),
         "STATS" => Action::Reply(shared.stats_line()),
         "SHUTDOWN" => Action::Shutdown("BYE".into()),
@@ -586,6 +883,14 @@ impl Server {
             busy: AtomicU64::new(0),
             poisoned: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            closed_joins: AtomicU64::new(0),
+            closed_retires: AtomicU64::new(0),
+            closed_folds: AtomicU64::new(0),
+            closed_windows: AtomicU64::new(0),
         });
         let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -799,6 +1104,88 @@ mod tests {
         drop((r1, w1));
         let got = roundtrip(&mut r2, &mut w2, "QUERY s");
         assert!(got.starts_with("VERDICT s 1 "), "{got}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_and_resume_continue_byte_identically() {
+        let server = test_server(2, 1024);
+        let (mut r, mut w) = connect(server.addr());
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN s1"), "OK s1");
+        writeln!(w, "@s1 p w(x)1").unwrap();
+        writeln!(w, "@s1 q r(x)1").unwrap();
+        let dir = std::env::temp_dir().join(format!("smc-serve-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s1.ckpt");
+        let got = roundtrip(&mut r, &mut w, &format!("SNAPSHOT s1 {}", path.display()));
+        assert_eq!(got, "SNAPSHOTTED s1 2");
+        // The snapshot leaves the session open; close it, resume the
+        // checkpoint under a new id, and keep streaming.
+        assert!(roundtrip(&mut r, &mut w, "CLOSE s1").starts_with("CLOSED s1 2 "));
+        let got = roundtrip(&mut r, &mut w, &format!("RESUME s2 {}", path.display()));
+        assert_eq!(got, "RESUMED s2 2");
+        writeln!(w, "@s2 q r(x)0").unwrap();
+        // The resumed stream must report exactly what an uninterrupted
+        // offline monitor reports for the whole trace.
+        let t = parse_trace("p w(x)1\nq r(x)1\nq r(x)0\n").unwrap();
+        let cfg = ServeConfig::default();
+        let want = offline_payload(&[models::sc(), models::causal()], &cfg.monitor, &t);
+        let got = roundtrip(&mut r, &mut w, "QUERY s2");
+        assert_eq!(got, format!("VERDICT s2 {want}"));
+        let stats = roundtrip(&mut r, &mut w, "STATS");
+        assert!(stats.contains("snapshots=1"), "{stats}");
+        assert!(stats.contains("resumes=1"), "{stats}");
+        std::fs::remove_dir_all(&dir).ok();
+        server.shutdown();
+    }
+
+    #[test]
+    fn resume_rejects_garbage_and_bad_paths() {
+        let server = test_server(1, 1024);
+        let (mut r, mut w) = connect(server.addr());
+        let got = roundtrip(&mut r, &mut w, "RESUME s /nonexistent/path.ckpt");
+        assert!(got.starts_with("ERR resume"), "{got}");
+        let dir = std::env::temp_dir().join(format!("smc-serve-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ckpt");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let got = roundtrip(&mut r, &mut w, &format!("RESUME s {}", path.display()));
+        assert!(got.starts_with("ERR"), "{got}");
+        std::fs::remove_dir_all(&dir).ok();
+        server.shutdown();
+    }
+
+    #[test]
+    fn eviction_spills_idle_sessions_and_resumes_transparently() {
+        let dir = std::env::temp_dir().join(format!("smc-serve-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let server = Server::start(ServeConfig {
+            max_sessions: 2,
+            models: vec![models::sc()],
+            evict_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (mut r, mut w) = connect(server.addr());
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN a"), "OK a");
+        writeln!(w, "@a p w(x)1").unwrap();
+        // QUERY drains `a` so it is idle (and the LRU once b/c arrive).
+        assert!(roundtrip(&mut r, &mut w, "QUERY a").starts_with("VERDICT a 1 "));
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN b"), "OK b");
+        // The server is full, but eviction spills `a` to disk instead
+        // of refusing the third session.
+        assert_eq!(roundtrip(&mut r, &mut w, "OPEN c"), "OK c");
+        let stats = roundtrip(&mut r, &mut w, "STATS");
+        assert!(stats.contains("evictions=1"), "{stats}");
+        assert!(stats.contains("sessions=2"), "{stats}");
+        // Addressing the evicted session resumes it transparently —
+        // with its one event intact — evicting another idle session to
+        // make room.
+        let got = roundtrip(&mut r, &mut w, "QUERY a");
+        assert!(got.starts_with("VERDICT a 1 "), "{got}");
+        let stats = roundtrip(&mut r, &mut w, "STATS");
+        assert!(stats.contains("resumes=1"), "{stats}");
+        std::fs::remove_dir_all(&dir).ok();
         server.shutdown();
     }
 

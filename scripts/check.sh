@@ -94,6 +94,42 @@ if [ "${1:-}" != "--no-test" ]; then
         --conns 4 --query-every 8 --seed 42 --verify --shutdown >/dev/null
     wait "$serve_pid"
 
+    # Session lifecycle smoke: a live session checkpointed over the wire
+    # with SNAPSHOT must come back under a new id with RESUME carrying
+    # its event count, keep accepting events, and STATS must count both.
+    echo "==> serve SNAPSHOT/RESUME smoke"
+    life_log=$(mktemp)
+    ckpt_dir=$(mktemp -d)
+    trap 'rm -rf "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$life_log" "$ckpt_dir"' EXIT
+    ./target/release/smc serve --listen 127.0.0.1:0 >"$life_log" &
+    life_pid=$!
+    life_addr=""
+    for _ in $(seq 1 100); do
+        life_addr=$(sed -n 's/^listening on //p' "$life_log")
+        [ -n "$life_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$life_addr" ]; then
+        echo "lifecycle smoke: server never reported its address" >&2
+        kill "$life_pid" 2>/dev/null || true
+        exit 1
+    fi
+    life_out=$(bash -c '
+        addr=$1; dir=$2
+        exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+        printf "OPEN a\n@a p w(x)1\n@a q r(x)1\nSNAPSHOT a %s\nCLOSE a\nRESUME b %s\n@b q r(x)1\nQUERY b\nSTATS\nSHUTDOWN\n" \
+            "$dir/a.ckpt" "$dir/a.ckpt" >&3
+        cat <&3
+    ' smoke "$life_addr" "$ckpt_dir")
+    wait "$life_pid"
+    for want in "SNAPSHOTTED a 2" "RESUMED b 2" "VERDICT b 3" "snapshots=1" "resumes=1"; do
+        if ! printf '%s\n' "$life_out" | grep -q "$want"; then
+            echo "lifecycle smoke: missing \`$want\` in server replies:" >&2
+            printf '%s\n' "$life_out" >&2
+            exit 1
+        fi
+    done
+
     # Serve bench drift gate: the default throughput bench (1024
     # sessions over loopback) must stay within 1.5x of the committed
     # BENCH_serve.json events/sec baseline, with every verdict verified
@@ -101,7 +137,7 @@ if [ "${1:-}" != "--no-test" ]; then
     # regenerate BENCH_serve.json.
     echo "==> bench drift gate (serve --bench events/sec >= baseline/1.5)"
     serve_json=$(mktemp)
-    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$serve_json"' EXIT
+    trap 'rm -rf "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$life_log" "$ckpt_dir" "$serve_json"' EXIT
     ./target/release/smc serve --bench --json "$serve_json" >/dev/null
     if ! grep -q '"verified":true' "$serve_json"; then
         echo "serve bench gate: verdict mismatch against the offline monitor" >&2
@@ -127,7 +163,7 @@ if [ "${1:-}" != "--no-test" ]; then
     # ~3-node search and ran 14-17x slower than sequential.
     echo "==> bench drift gate (split_dfs_sc_reversed: j4 <= 1.5x sequential)"
     bench_json=$(mktemp)
-    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$serve_json" "$bench_json"' EXIT
+    trap 'rm -rf "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$life_log" "$ckpt_dir" "$serve_json" "$bench_json"' EXIT
     cargo bench -q --bench bench_batch -- split_dfs_sc_reversed --json "$bench_json" >/dev/null
     seq_ns=$(grep -o '"batch/split_dfs_sc_reversed/sequential", "ns_per_iter": [0-9]*' \
         "$bench_json" | grep -o '[0-9]*$')
@@ -151,7 +187,7 @@ if [ "${1:-}" != "--no-test" ]; then
     # intended perf changes must regenerate BENCH_bighist.json.
     echo "==> bench drift gate (TSO_ops_256/saturate <= 1.5x committed baseline)"
     sat_json=$(mktemp)
-    trap 'rm -f "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$serve_json" "$bench_json" "$sat_json"' EXIT
+    trap 'rm -rf "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$life_log" "$ckpt_dir" "$serve_json" "$bench_json" "$sat_json"' EXIT
     cargo bench -q --bench bench_bighist -- TSO_ops_256 --json "$sat_json" >/dev/null
     sat_base=$(grep -o '"bighist/TSO_ops_256/saturate", "ns_per_iter": [0-9]*' \
         BENCH_bighist.json | grep -o '[0-9]*$')
@@ -167,6 +203,49 @@ if [ "${1:-}" != "--no-test" ]; then
         exit 1
     fi
     echo "    baseline ${sat_base}ns, current ${sat_now}ns (within 1.5x)"
+
+    # Lifecycle bench gates: (a) resuming a 10k-event session from a
+    # checkpoint must stay >= 5x faster than cold-replaying the stream
+    # (the whole point of checkpoints — in practice it is >100x); (b)
+    # warm restore must stay within 1.5x of the committed
+    # BENCH_lifecycle.json baseline; (c) windowed monitoring cost must
+    # stay linear in stream length (10k events <= 3x the 5k time —
+    # superlinear growth means window seals stopped bounding the
+    # frontier; the bench itself asserts the state-count ceiling).
+    echo "==> bench drift gate (lifecycle: warm restore >= 5x cold replay, linear windows)"
+    life_json=$(mktemp)
+    trap 'rm -rf "$sweep_json" "$sweep_j4" "$sep_json" "$serve_log" "$life_log" "$ckpt_dir" "$serve_json" "$bench_json" "$sat_json" "$life_json"' EXIT
+    cargo bench -q --bench bench_lifecycle -- --json "$life_json" >/dev/null
+    cold_ns=$(grep -o '"lifecycle/session_10000_events/cold_replay", "ns_per_iter": [0-9]*' \
+        "$life_json" | grep -o '[0-9]*$')
+    warm_ns=$(grep -o '"lifecycle/session_10000_events/warm_restore", "ns_per_iter": [0-9]*' \
+        "$life_json" | grep -o '[0-9]*$')
+    warm_base=$(grep -o '"lifecycle/session_10000_events/warm_restore", "ns_per_iter": [0-9]*' \
+        BENCH_lifecycle.json | grep -o '[0-9]*$')
+    w5_ns=$(grep -o '"lifecycle/windowed_steady_state/5000_events", "ns_per_iter": [0-9]*' \
+        "$life_json" | grep -o '[0-9]*$')
+    w10_ns=$(grep -o '"lifecycle/windowed_steady_state/10000_events", "ns_per_iter": [0-9]*' \
+        "$life_json" | grep -o '[0-9]*$')
+    if [ -z "$cold_ns" ] || [ -z "$warm_ns" ] || [ -z "$warm_base" ] || [ -z "$w5_ns" ] || [ -z "$w10_ns" ]; then
+        echo "lifecycle bench gate: missing rows in $life_json" >&2
+        exit 1
+    fi
+    if [ $((warm_ns * 5)) -gt "$cold_ns" ]; then
+        echo "lifecycle bench gate: warm restore (${warm_ns}ns) not 5x faster than cold replay (${cold_ns}ns)" >&2
+        echo "checkpoint restore regressed — check ckpt deserialization and engine reload" >&2
+        exit 1
+    fi
+    if [ $((warm_ns * 10)) -gt $((warm_base * 15)) ]; then
+        echo "lifecycle bench gate: warm restore (${warm_ns}ns) > 1.5x baseline (${warm_base}ns)" >&2
+        echo "intended perf changes must regenerate BENCH_lifecycle.json" >&2
+        exit 1
+    fi
+    if [ "$w10_ns" -gt $((w5_ns * 3)) ]; then
+        echo "lifecycle bench gate: windowed 10k events (${w10_ns}ns) > 3x the 5k time (${w5_ns}ns)" >&2
+        echo "windowed monitoring went superlinear — check window sealing" >&2
+        exit 1
+    fi
+    echo "    cold ${cold_ns}ns, warm ${warm_ns}ns (>=5x), windows 5k ${w5_ns}ns -> 10k ${w10_ns}ns (linear)"
 fi
 
 echo "==> OK"
